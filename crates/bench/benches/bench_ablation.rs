@@ -1,0 +1,108 @@
+//! Ablation benches for the design choices called out in DESIGN.md §4:
+//!
+//! 1. Vertex ordering: eigenvector centrality vs degree vs random.
+//! 2. Readout: summation vs concatenation.
+//! 3. Receptive-field assembly: full BFS fill vs one-hop truncation.
+//! 4. Feature truncation: full vocabulary vs top-K.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepmap_core::assemble::{assemble_dataset, AssembleConfig};
+use deepmap_core::model::{build_deepmap_model, ModelConfig, Readout};
+use deepmap_core::VertexOrdering;
+use deepmap_datasets::generate;
+use deepmap_kernels::{vertex_feature_maps, FeatureKind};
+use deepmap_nn::layers::Mode;
+use std::hint::black_box;
+
+fn bench_orderings(c: &mut Criterion) {
+    let ds = generate("PTC_MR", 0.06, 1).expect("registered");
+    let features = vertex_feature_maps(&ds.graphs, FeatureKind::WlSubtree { iterations: 2 }, 1);
+    let mut group = c.benchmark_group("ablation_vertex_ordering");
+    for (name, ordering) in [
+        ("eigenvector", VertexOrdering::EigenvectorCentrality),
+        ("degree", VertexOrdering::DegreeCentrality),
+        ("random", VertexOrdering::Random(3)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(assemble_dataset(
+                    &ds.graphs,
+                    &features,
+                    &AssembleConfig {
+                        r: 5,
+                        ordering,
+                        max_hops: None,
+                        normalize: true,
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bfs_fill(c: &mut Criterion) {
+    let ds = generate("PROTEINS", 0.02, 1).expect("registered");
+    let features = vertex_feature_maps(&ds.graphs, FeatureKind::WlSubtree { iterations: 2 }, 1);
+    let mut group = c.benchmark_group("ablation_receptive_fill");
+    for (name, hops) in [("full_bfs", None), ("one_hop", Some(1usize))] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(assemble_dataset(
+                    &ds.graphs,
+                    &features,
+                    &AssembleConfig {
+                        r: 8,
+                        ordering: VertexOrdering::EigenvectorCentrality,
+                        max_hops: hops,
+                        normalize: true,
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_readout(c: &mut Criterion) {
+    let ds = generate("PTC_MR", 0.05, 1).expect("registered");
+    let features = vertex_feature_maps(&ds.graphs, FeatureKind::WlSubtree { iterations: 2 }, 1)
+        .truncate_top_k(32);
+    let assembled = assemble_dataset(&ds.graphs, &features, &AssembleConfig::default());
+    let mut group = c.benchmark_group("ablation_readout_forward");
+    for (name, readout) in [("sum", Readout::Sum), ("concat", Readout::Concat)] {
+        let mut model = build_deepmap_model(&ModelConfig {
+            readout,
+            ..ModelConfig::paper(assembled.m, assembled.r, assembled.w, ds.n_classes, 1)
+        });
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for input in &assembled.inputs {
+                    black_box(model.forward(input, Mode::Eval));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_truncation(c: &mut Criterion) {
+    let ds = generate("PTC_MR", 0.08, 1).expect("registered");
+    let features = vertex_feature_maps(&ds.graphs, FeatureKind::WlSubtree { iterations: 4 }, 1);
+    let mut group = c.benchmark_group("ablation_feature_truncation");
+    for k in [16usize, 64, 256] {
+        group.bench_function(format!("top_{k}"), |b| {
+            b.iter(|| black_box(features.truncate_top_k(black_box(k))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_orderings,
+    bench_bfs_fill,
+    bench_readout,
+    bench_truncation
+);
+criterion_main!(benches);

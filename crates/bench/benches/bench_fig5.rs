@@ -1,0 +1,35 @@
+//! Criterion bench for **Figure 5**: receptive-field construction as a
+//! function of `r` — the pipeline stage the sensitivity sweep stresses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepmap_core::alignment::{vertex_sequence, VertexOrdering};
+use deepmap_core::receptive_field::sequence_receptive_fields;
+use deepmap_graph::generators::{erdos_renyi, GeneratorConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_receptive_fields(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = erdos_renyi(&GeneratorConfig::new(95).edge_probability(0.04), &mut rng);
+    let seq = vertex_sequence(&g, VertexOrdering::EigenvectorCentrality);
+    let mut group = c.benchmark_group("fig5_receptive_fields");
+    for r in [1usize, 2, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                black_box(sequence_receptive_fields(
+                    &g,
+                    &seq.order,
+                    &seq.score,
+                    95,
+                    black_box(r),
+                    None,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_receptive_fields);
+criterion_main!(benches);

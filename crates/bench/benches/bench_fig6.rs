@@ -1,0 +1,44 @@
+//! Criterion bench for **Figure 6**: one representational-power training
+//! step per deep-map variant on a SYNTHIE-shaped graph set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_datasets::generate;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::{fit, TrainConfig};
+use std::hint::black_box;
+
+fn bench_variants(c: &mut Criterion) {
+    let ds = generate("SYNTHIE", 0.02, 1).expect("registered").subsample(8);
+    let mut group = c.benchmark_group("fig6_train_epoch");
+    group.sample_size(10);
+    for kind in [
+        FeatureKind::Graphlet { size: 4, samples: 10 },
+        FeatureKind::ShortestPath,
+        FeatureKind::WlSubtree { iterations: 3 },
+    ] {
+        let pipeline = DeepMap::new(DeepMapConfig {
+            max_feature_dim: Some(64),
+            ..DeepMapConfig::paper(kind)
+        });
+        let prepared = pipeline.prepare(&ds.graphs, &ds.labels);
+        group.bench_function(format!("DEEPMAP-{}", kind.name()), |b| {
+            b.iter(|| {
+                let mut model = pipeline.build_model(&prepared);
+                black_box(fit(
+                    &mut model,
+                    &prepared.samples,
+                    None,
+                    &TrainConfig {
+                        epochs: 1,
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion bench for **Figure 7**: one training epoch of DeepMap vs each
+//! GNN baseline on the same SYNTHIE-shaped inputs — the per-step cost
+//! behind the representational-power curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_datasets::generate;
+use deepmap_gnn::common::featurize;
+use deepmap_gnn::dcnn::{Dcnn, DcnnConfig};
+use deepmap_gnn::dgcnn::{Dgcnn, DgcnnConfig};
+use deepmap_gnn::gin::{Gin, GinConfig};
+use deepmap_gnn::patchysan::{PatchySan, PatchySanConfig};
+use deepmap_gnn::{fit_gnn, GnnInput, GnnTrainConfig};
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::{fit, TrainConfig};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let ds = generate("SYNTHIE", 0.02, 1).expect("registered").subsample(8);
+    let mut group = c.benchmark_group("fig7_epoch_per_model");
+    group.sample_size(10);
+
+    let pipeline = DeepMap::new(DeepMapConfig {
+        max_feature_dim: Some(64),
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 3 })
+    });
+    let prepared = pipeline.prepare(&ds.graphs, &ds.labels);
+    group.bench_function("DEEPMAP", |b| {
+        b.iter(|| {
+            let mut model = pipeline.build_model(&prepared);
+            black_box(fit(
+                &mut model,
+                &prepared.samples,
+                None,
+                &TrainConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+
+    let (samples, m) = featurize(&ds.graphs, &ds.labels, GnnInput::OneHotLabels, 1);
+    let one = GnnTrainConfig {
+        epochs: 1,
+        ..Default::default()
+    };
+    group.bench_function("GIN", |b| {
+        b.iter(|| {
+            let mut model = Gin::new(&GinConfig::default_for(m, ds.n_classes, 1));
+            black_box(fit_gnn(&mut model, &samples, None, &one))
+        })
+    });
+    group.bench_function("DGCNN", |b| {
+        b.iter(|| {
+            let mut model = Dgcnn::new(&DgcnnConfig::default_for(m, ds.n_classes, 1));
+            black_box(fit_gnn(&mut model, &samples, None, &one))
+        })
+    });
+    group.bench_function("DCNN", |b| {
+        b.iter(|| {
+            let mut model = Dcnn::new(&DcnnConfig::default_for(m, ds.n_classes, 1));
+            black_box(fit_gnn(&mut model, &samples, None, &one))
+        })
+    });
+    group.bench_function("PATCHYSAN", |b| {
+        b.iter(|| {
+            let mut model = PatchySan::new(&PatchySanConfig::default_for(m, ds.n_classes, 95.0, 1));
+            black_box(fit_gnn(&mut model, &samples, None, &one))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

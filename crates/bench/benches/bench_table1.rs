@@ -1,0 +1,24 @@
+//! Criterion bench for **Table 1**: dataset simulation and statistics.
+//!
+//! Measures how long each generator family takes to synthesise a benchmark
+//! and compute its Table-1 statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepmap_datasets::{generate, stats};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_generation");
+    for name in ["SYNTHIE", "KKI", "BZR_MD", "PTC_MR", "PROTEINS", "IMDB-BINARY"] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let ds = generate(black_box(name), 0.02, 1).expect("registered");
+                black_box(stats::compute(&ds))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

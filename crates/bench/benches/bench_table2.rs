@@ -1,0 +1,43 @@
+//! Criterion bench for **Table 2**: the flat-kernel and deep-map pipelines.
+//!
+//! Measures the two halves the table compares: Gram-matrix construction for
+//! GK/SP/WL (kernel side) and feature extraction + tensor assembly (deep
+//! side) on the same dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_datasets::generate;
+use deepmap_kernels::{kernel_matrix, FeatureKind};
+use std::hint::black_box;
+
+fn bench_kernels_vs_prepare(c: &mut Criterion) {
+    let ds = generate("PTC_MR", 0.06, 1).expect("registered");
+    let kinds = [
+        ("GK", FeatureKind::Graphlet { size: 4, samples: 10 }),
+        ("SP", FeatureKind::ShortestPath),
+        ("WL", FeatureKind::WlSubtree { iterations: 3 }),
+    ];
+
+    let mut group = c.benchmark_group("table2_flat_kernel_gram");
+    for (name, kind) in kinds {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(kernel_matrix(&ds.graphs, black_box(kind), 1)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table2_deepmap_prepare");
+    for (name, kind) in kinds {
+        let pipeline = DeepMap::new(DeepMapConfig {
+            max_feature_dim: Some(64),
+            ..DeepMapConfig::paper(kind)
+        });
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(pipeline.prepare(&ds.graphs, &ds.labels)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels_vs_prepare);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for **Table 3**: the baseline kernels' Gram matrices.
+//!
+//! DGK (SGNS training + embedded representations), RetGK (exact mean-map),
+//! and GNTK (pairwise dynamic program) dominate Table 3's kernel columns;
+//! this bench measures each on the same small dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepmap_datasets::generate;
+use deepmap_kernels::dgk::{self, DgkConfig};
+use deepmap_kernels::gntk::{self, GntkConfig};
+use deepmap_kernels::retgk::{self, RetGkConfig};
+use std::hint::black_box;
+
+fn bench_baseline_kernels(c: &mut Criterion) {
+    let ds = generate("PTC_MM", 0.05, 1).expect("registered");
+    let mut group = c.benchmark_group("table3_baseline_kernels");
+    group.sample_size(10);
+    group.bench_function("DGK", |b| {
+        b.iter(|| black_box(dgk::kernel_matrix(&ds.graphs, &DgkConfig::default())))
+    });
+    group.bench_function("RETGK", |b| {
+        b.iter(|| black_box(retgk::kernel_matrix(&ds.graphs, &RetGkConfig::default())))
+    });
+    group.bench_function("GNTK", |b| {
+        b.iter(|| black_box(gntk::kernel_matrix(&ds.graphs, &GntkConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_kernels);
+criterion_main!(benches);

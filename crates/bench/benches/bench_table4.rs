@@ -1,0 +1,39 @@
+//! Criterion bench for **Table 4**: featurising GNN inputs.
+//!
+//! Table 4 swaps the GNNs' one-hot label inputs for DeepMap's vertex
+//! feature maps; this bench measures the cost of both featurisations (the
+//! only thing that changes between Table 3 and Table 4 runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepmap_datasets::generate;
+use deepmap_gnn::common::featurize;
+use deepmap_gnn::GnnInput;
+use deepmap_kernels::FeatureKind;
+use std::hint::black_box;
+
+fn bench_featurize(c: &mut Criterion) {
+    let ds = generate("PTC_FM", 0.08, 1).expect("registered");
+    let mut group = c.benchmark_group("table4_featurize");
+    group.bench_function("one_hot_labels", |b| {
+        b.iter(|| black_box(featurize(&ds.graphs, &ds.labels, GnnInput::OneHotLabels, 1)))
+    });
+    for (name, kind) in [
+        ("vertex_maps_wl", FeatureKind::WlSubtree { iterations: 3 }),
+        ("vertex_maps_sp", FeatureKind::ShortestPath),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(featurize(
+                    &ds.graphs,
+                    &ds.labels,
+                    GnnInput::VertexFeatureMaps(kind, 64),
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_featurize);
+criterion_main!(benches);

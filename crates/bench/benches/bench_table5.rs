@@ -1,0 +1,86 @@
+//! Criterion bench for **Table 5**: one training epoch of every neural
+//! model — the exact quantity the paper's Table 5 reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_datasets::generate;
+use deepmap_gnn::common::featurize;
+use deepmap_gnn::dcnn::{Dcnn, DcnnConfig};
+use deepmap_gnn::dgcnn::{Dgcnn, DgcnnConfig};
+use deepmap_gnn::gin::{Gin, GinConfig};
+use deepmap_gnn::patchysan::{PatchySan, PatchySanConfig};
+use deepmap_gnn::{fit_gnn, GnnInput, GnnTrainConfig};
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::{fit, TrainConfig};
+use std::hint::black_box;
+
+fn one_epoch(cfg_seed: u64) -> GnnTrainConfig {
+    GnnTrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        learning_rate: 0.01,
+        seed: cfg_seed,
+    }
+}
+
+fn bench_epochs(c: &mut Criterion) {
+    let ds = generate("PTC_MR", 0.08, 1).expect("registered");
+    let mut group = c.benchmark_group("table5_epoch");
+    group.sample_size(10);
+
+    // DeepMap epoch.
+    let pipeline = DeepMap::new(DeepMapConfig {
+        max_feature_dim: Some(64),
+        train: TrainConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 3 })
+    });
+    let prepared = pipeline.prepare(&ds.graphs, &ds.labels);
+    group.bench_function("DEEPMAP", |b| {
+        b.iter(|| {
+            let mut model = pipeline.build_model(&prepared);
+            black_box(fit(
+                &mut model,
+                &prepared.samples,
+                None,
+                &TrainConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+
+    // GNN epochs.
+    let (samples, m) = featurize(&ds.graphs, &ds.labels, GnnInput::OneHotLabels, 1);
+    group.bench_function("GIN", |b| {
+        b.iter(|| {
+            let mut model = Gin::new(&GinConfig::default_for(m, ds.n_classes, 1));
+            black_box(fit_gnn(&mut model, &samples, None, &one_epoch(1)))
+        })
+    });
+    group.bench_function("DGCNN", |b| {
+        b.iter(|| {
+            let mut model = Dgcnn::new(&DgcnnConfig::default_for(m, ds.n_classes, 1));
+            black_box(fit_gnn(&mut model, &samples, None, &one_epoch(1)))
+        })
+    });
+    group.bench_function("DCNN", |b| {
+        b.iter(|| {
+            let mut model = Dcnn::new(&DcnnConfig::default_for(m, ds.n_classes, 1));
+            black_box(fit_gnn(&mut model, &samples, None, &one_epoch(1)))
+        })
+    });
+    group.bench_function("PATCHYSAN", |b| {
+        b.iter(|| {
+            let mut model = PatchySan::new(&PatchySanConfig::default_for(m, ds.n_classes, 14.0, 1));
+            black_box(fit_gnn(&mut model, &samples, None, &one_epoch(1)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs);
+criterion_main!(benches);

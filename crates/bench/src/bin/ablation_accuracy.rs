@@ -1,0 +1,68 @@
+//! Accuracy ablations for the design choices in DESIGN.md §4:
+//! vertex ordering (eigenvector / degree / random), readout (sum /
+//! concat), receptive-field fill (full BFS / one-hop), and vertex-map
+//! normalisation (on / off), each evaluated under CV on one dataset.
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --bin ablation_accuracy -- \
+//!     --datasets PTC_MR --max-graphs 80 --epochs 20 --folds 3
+//! ```
+
+use deepmap_bench::runner::{deepmap_config, load_dataset, run_deepmap_config};
+use deepmap_bench::ExperimentArgs;
+use deepmap_core::{Readout, VertexOrdering};
+use deepmap_kernels::FeatureKind;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let name = args
+        .datasets
+        .as_ref()
+        .and_then(|d| d.first().cloned())
+        .unwrap_or_else(|| "PTC_MR".to_string());
+    let ds = load_dataset(&name, &args).expect("registered dataset");
+    eprintln!("{name}: {} graphs", ds.len());
+    let kind = FeatureKind::Graphlet { size: 4, samples: 15 };
+    let base = deepmap_config(kind, &args);
+
+    println!("# Accuracy ablations on {name} (DEEPMAP-GK, scale {})\n", args.scale);
+    println!("| choice | setting | accuracy |");
+    println!("|---|---|---|");
+
+    for (label, ordering) in [
+        ("ordering", VertexOrdering::EigenvectorCentrality),
+        ("ordering", VertexOrdering::DegreeCentrality),
+        ("ordering", VertexOrdering::Random(13)),
+    ] {
+        let mut config = base;
+        config.ordering = ordering;
+        let summary = run_deepmap_config(&ds, config, &args);
+        println!("| {label} | {ordering:?} | {} |", summary.accuracy);
+        eprintln!("{label} {ordering:?}: {}", summary.accuracy);
+    }
+    for (label, readout) in [("readout", Readout::Sum), ("readout", Readout::Concat)] {
+        let mut config = base;
+        config.readout = readout;
+        let summary = run_deepmap_config(&ds, config, &args);
+        println!("| {label} | {readout:?} | {} |", summary.accuracy);
+        eprintln!("{label} {readout:?}: {}", summary.accuracy);
+    }
+    for (label, hops) in [("bfs-fill", None), ("bfs-fill", Some(1usize))] {
+        let mut config = base;
+        config.max_hops = hops;
+        let summary = run_deepmap_config(&ds, config, &args);
+        let setting = match hops {
+            None => "full BFS",
+            Some(_) => "one-hop only",
+        };
+        println!("| {label} | {setting} | {} |", summary.accuracy);
+        eprintln!("{label} {setting}: {}", summary.accuracy);
+    }
+    for (label, normalize) in [("normalize", true), ("normalize", false)] {
+        let mut config = base;
+        config.normalize = normalize;
+        let summary = run_deepmap_config(&ds, config, &args);
+        println!("| {label} | {normalize} | {} |", summary.accuracy);
+        eprintln!("{label} {normalize}: {}", summary.accuracy);
+    }
+}

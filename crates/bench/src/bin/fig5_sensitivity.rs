@@ -1,0 +1,85 @@
+//! Reproduces **Figure 5**: parameter sensitivity of the deep map models
+//! with respect to the receptive-field size `r` on SYNTHIE.
+//!
+//! The paper's finding: with `r = 1` (no neighbourhood) the deep maps are
+//! poor (~27%); from `r >= 2` they beat their flat kernels; DEEPMAP-SP/WL
+//! degrade for large `r` ("six degrees of separation") while DEEPMAP-GK
+//! keeps improving.
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --bin fig5_sensitivity -- --scale 0.25 --epochs 30
+//! ```
+//!
+//! Extra flag handled here: `--ordering eigenvector|degree|random` for the
+//! vertex-ordering ablation (DESIGN.md §4 choice 1).
+
+use deepmap_bench::runner::{run_deepmap_config, run_flat_kernel, deepmap_config};
+use deepmap_bench::ExperimentArgs;
+use deepmap_core::VertexOrdering;
+use deepmap_bench::runner::load_dataset;
+use deepmap_eval::tables::series_markdown;
+use deepmap_kernels::FeatureKind;
+
+fn main() {
+    // Strip the --ordering flag before the shared parser sees it.
+    let mut raw: Vec<String> = std::env::args().collect();
+    let mut ordering = VertexOrdering::EigenvectorCentrality;
+    if let Some(pos) = raw.iter().position(|a| a == "--ordering") {
+        let value = raw.get(pos + 1).cloned().unwrap_or_default();
+        ordering = match value.as_str() {
+            "eigenvector" => VertexOrdering::EigenvectorCentrality,
+            "degree" => VertexOrdering::DegreeCentrality,
+            "random" => VertexOrdering::Random(13),
+            other => {
+                eprintln!("unknown ordering {other:?}; use eigenvector|degree|random");
+                std::process::exit(2);
+            }
+        };
+        raw.drain(pos..=pos + 1);
+    }
+    let args = ExperimentArgs::parse(raw);
+
+    let ds = load_dataset("SYNTHIE", &args).expect("SYNTHIE registered");
+    eprintln!(
+        "SYNTHIE at scale {}: {} graphs, ordering {ordering:?}",
+        args.scale,
+        ds.len()
+    );
+
+    let kinds = [
+        FeatureKind::paper_graphlet(),
+        FeatureKind::ShortestPath,
+        FeatureKind::paper_wl(),
+    ];
+    let rs: Vec<usize> = (1..=10).collect();
+
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for kind in kinds {
+        // Flat kernel accuracy is independent of r: one horizontal line.
+        let flat = run_flat_kernel(&ds, kind, &args);
+        eprintln!("{} (flat kernel): {}", kind.name(), flat.accuracy);
+        series.push((kind.name().to_string(), vec![flat.accuracy.mean; rs.len()]));
+
+        let mut deep = Vec::with_capacity(rs.len());
+        for &r in &rs {
+            let mut config = deepmap_config(kind, &args);
+            config.r = r;
+            config.ordering = ordering;
+            let summary = run_deepmap_config(&ds, config, &args);
+            eprintln!("DEEPMAP-{} r={r}: {}", kind.name(), summary.accuracy);
+            deep.push(summary.accuracy.mean);
+        }
+        series.push((format!("DEEPMAP-{}", kind.name()), deep));
+    }
+
+    let xs: Vec<f64> = rs.iter().map(|&r| r as f64).collect();
+    println!(
+        "{}",
+        series_markdown(
+            "Figure 5 — accuracy vs receptive-field size r (SYNTHIE)",
+            "r",
+            &series,
+            &xs,
+        )
+    );
+}

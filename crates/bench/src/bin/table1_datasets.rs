@@ -1,0 +1,34 @@
+//! Reproduces **Table 1**: statistics of the benchmark datasets.
+//!
+//! Prints the statistics of every simulated benchmark next to the paper's
+//! target values, so the fidelity of the simulation is auditable.
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --bin table1_datasets -- --scale 1.0
+//! ```
+
+use deepmap_bench::ExperimentArgs;
+use deepmap_datasets::spec::SPECS;
+use deepmap_datasets::{generate_spec, stats};
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    println!("# Table 1 — dataset statistics (simulated at scale {})\n", args.scale);
+    println!(
+        "| {:<12} | {:>5} | {:>2} | {:>8} | {:>8} | {:>9} | {:>9} | {:>5} |",
+        "Dataset", "Size", "C#", "AvgN", "AvgN*", "AvgE", "AvgE*", "L#"
+    );
+    println!("|{}|", "-".repeat(84));
+    for spec in SPECS {
+        if !args.wants_dataset(spec.name) {
+            continue;
+        }
+        let ds = generate_spec(spec, args.scale, args.seed);
+        let s = stats::compute(&ds);
+        println!(
+            "| {:<12} | {:>5} | {:>2} | {:>8.2} | {:>8.2} | {:>9.2} | {:>9.2} | {:>5} |",
+            s.name, s.size, s.n_classes, s.avg_nodes, spec.avg_nodes, s.avg_edges, spec.avg_edges, s.n_labels,
+        );
+    }
+    println!("\n(* = the paper's Table 1 target; unstarred = measured on the simulation)");
+}

@@ -1,0 +1,70 @@
+//! Reproduces **Table 2**: 10-fold CV accuracy of GK/SP/WL vs
+//! DEEPMAP-GK/SP/WL on the benchmark datasets.
+//!
+//! The paper's finding: the deep map models outperform their flat kernels
+//! on almost every dataset (exceptions in the paper: SP on IMDB-MULTI, WL
+//! on NCI1/COLLAB).
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --bin table2_kernels_vs_deepmap -- \
+//!     --scale 0.1 --epochs 20 --datasets SYNTHIE,KKI,PTC_MR
+//! ```
+//!
+//! Extra flag: `--readout sum|concat` for the readout ablation (DESIGN.md
+//! §4 choice 2).
+
+use deepmap_bench::runner::{deepmap_config, run_deepmap_config, run_flat_kernel};
+use deepmap_bench::ExperimentArgs;
+use deepmap_core::Readout;
+use deepmap_bench::runner::load_dataset;
+use deepmap_datasets::all_dataset_names;
+use deepmap_eval::tables::ResultTable;
+use deepmap_kernels::FeatureKind;
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().collect();
+    let mut readout = Readout::Sum;
+    if let Some(pos) = raw.iter().position(|a| a == "--readout") {
+        let value = raw.get(pos + 1).cloned().unwrap_or_default();
+        readout = match value.as_str() {
+            "sum" => Readout::Sum,
+            "concat" => Readout::Concat,
+            other => {
+                eprintln!("unknown readout {other:?}; use sum|concat");
+                std::process::exit(2);
+            }
+        };
+        raw.drain(pos..=pos + 1);
+    }
+    let args = ExperimentArgs::parse(raw);
+
+    let kinds = [
+        FeatureKind::paper_graphlet(),
+        FeatureKind::ShortestPath,
+        FeatureKind::paper_wl(),
+    ];
+    let mut table = ResultTable::new(vec![
+        "GK", "DEEPMAP-GK", "SP", "DEEPMAP-SP", "WL", "DEEPMAP-WL",
+    ]);
+    for name in all_dataset_names() {
+        if !args.wants_dataset(name) {
+            continue;
+        }
+        let ds = load_dataset(name, &args).expect("registered name");
+        eprintln!("== {name}: {} graphs ==", ds.len());
+        let mut cells = Vec::with_capacity(6);
+        for kind in kinds {
+            let flat = run_flat_kernel(&ds, kind, &args);
+            eprintln!("  {:<3} {}", kind.name(), flat.accuracy);
+            cells.push(Some(flat.accuracy));
+            let mut config = deepmap_config(kind, &args);
+            config.readout = readout;
+            let deep = run_deepmap_config(&ds, config, &args);
+            eprintln!("  DEEPMAP-{:<3} {} (epoch {:?})", kind.name(), deep.accuracy, deep.best_epoch);
+            cells.push(Some(deep.accuracy));
+        }
+        table.push_row(name, cells);
+    }
+    println!("\n# Table 2 — flat kernels vs deep maps (scale {}, readout {readout:?})\n", args.scale);
+    println!("{}", table.to_markdown());
+}

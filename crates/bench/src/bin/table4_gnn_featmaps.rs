@@ -1,0 +1,51 @@
+//! Reproduces **Table 4**: baseline GNNs fed DeepMap's vertex feature maps.
+//!
+//! The paper's question: is DeepMap's advantage the *input* (vertex feature
+//! maps) or the *architecture*? Feeding the same inputs to the GNNs, they
+//! still mostly lose — the architecture matters.
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --bin table4_gnn_featmaps -- \
+//!     --scale 0.1 --epochs 20 --datasets SYNTHIE,KKI
+//! ```
+
+use deepmap_bench::runner::{run_deepmap, run_gnn, GnnKind, DEFAULT_FEATURE_CAP};
+use deepmap_bench::ExperimentArgs;
+use deepmap_bench::runner::load_dataset;
+use deepmap_datasets::all_dataset_names;
+use deepmap_eval::tables::ResultTable;
+use deepmap_gnn::GnnInput;
+use deepmap_kernels::FeatureKind;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    // The paper feeds each GNN the same vertex feature maps DeepMap uses;
+    // WL maps are the representative choice (they are what DeepMap's best
+    // variant uses on most datasets).
+    let featmap = FeatureKind::paper_wl();
+    let input = GnnInput::VertexFeatureMaps(featmap, DEFAULT_FEATURE_CAP);
+
+    let mut table = ResultTable::new(vec!["DEEPMAP", "DGCNN", "GIN", "DCNN", "PATCHYSAN"]);
+    for name in all_dataset_names() {
+        if !args.wants_dataset(name) {
+            continue;
+        }
+        let ds = load_dataset(name, &args).expect("registered name");
+        eprintln!("== {name}: {} graphs ==", ds.len());
+
+        let deepmap = run_deepmap(&ds, featmap, &args);
+        eprintln!("  DEEPMAP   {}", deepmap.accuracy);
+        let mut cells = vec![Some(deepmap.accuracy)];
+        for kind in GnnKind::all() {
+            let s = run_gnn(&ds, kind, input, &args);
+            eprintln!("  {:<9} {}", kind.name(), s.accuracy);
+            cells.push(Some(s.accuracy));
+        }
+        table.push_row(name, cells);
+    }
+    println!(
+        "\n# Table 4 — GNNs with DeepMap's vertex feature maps as input (scale {})\n",
+        args.scale
+    );
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,50 @@
+//! Reproduces **Table 5**: per-epoch runtime of DeepMap and the GNNs.
+//!
+//! The paper's findings: DeepMap is competitive with the other GNNs; it is
+//! slowest where the vertex feature maps are high-dimensional (NCI1,
+//! ENZYMES, IMDB-*), and GIN pays for its deep MLPs everywhere.
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --bin table5_runtime -- \
+//!     --scale 0.1 --epochs 5 --datasets PTC_MR,KKI
+//! ```
+
+use deepmap_bench::runner::{run_deepmap, run_gnn, GnnKind};
+use deepmap_bench::ExperimentArgs;
+use deepmap_bench::runner::load_dataset;
+use deepmap_datasets::all_dataset_names;
+use deepmap_gnn::GnnInput;
+use deepmap_kernels::FeatureKind;
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.1}s")
+    } else {
+        format!("{:.1}ms", seconds * 1000.0)
+    }
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    println!("# Table 5 — per-epoch runtime (scale {})\n", args.scale);
+    println!(
+        "| {:<12} | {:>9} | {:>9} | {:>9} | {:>9} | {:>9} |",
+        "Dataset", "DEEPMAP", "DGCNN", "GIN", "DCNN", "PATCHYSAN"
+    );
+    println!("|{}|", "-".repeat(74));
+    for name in all_dataset_names() {
+        if !args.wants_dataset(name) {
+            continue;
+        }
+        let ds = load_dataset(name, &args).expect("registered name");
+        eprintln!("== {name}: {} graphs ==", ds.len());
+        let deepmap = run_deepmap(&ds, FeatureKind::paper_wl(), &args);
+        let mut row = format!("| {:<12} | {:>9} |", name, format_time(deepmap.mean_epoch_seconds));
+        for kind in GnnKind::all() {
+            let s = run_gnn(&ds, kind, GnnInput::OneHotLabels, &args);
+            row.push_str(&format!(" {:>9} |", format_time(s.mean_epoch_seconds)));
+        }
+        println!("{row}");
+    }
+    println!("\n(wall-clock mean over folds and epochs; single CPU core per fold)");
+}

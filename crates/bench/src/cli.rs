@@ -1,0 +1,160 @@
+//! Minimal flag parsing shared by the experiment binaries.
+//!
+//! Every binary accepts the same knobs so quick runs and paper-scale runs
+//! use one interface:
+//!
+//! ```text
+//! --scale <f64>    dataset size multiplier (default 0.25)
+//! --epochs <n>     training epochs (default 30)
+//! --folds <n>      cross-validation folds (default 10)
+//! --seed <u64>     master seed (default 7)
+//! --full           shorthand for --scale 1.0 --epochs 100
+//! --datasets a,b   restrict to named datasets
+//! ```
+
+/// Parsed experiment arguments.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// Dataset size multiplier relative to the paper's Table 1.
+    pub scale: f64,
+    /// Training epochs for neural models.
+    pub epochs: usize,
+    /// Cross-validation folds.
+    pub folds: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional dataset-name filter.
+    pub datasets: Option<Vec<String>>,
+    /// Hard cap on graphs per dataset after scaling (None = no cap).
+    pub max_graphs: Option<usize>,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs {
+            scale: 0.25,
+            epochs: 30,
+            folds: 10,
+            seed: 7,
+            datasets: None,
+            max_graphs: Some(200),
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses `std::env::args()`-style strings (element 0 is skipped).
+    ///
+    /// Unknown flags abort with a usage message — silent typos in benchmark
+    /// parameters would corrupt result tables.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> ExperimentArgs {
+        let mut out = ExperimentArgs::default();
+        let mut it = args.into_iter().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => out.scale = expect_value(&mut it, "--scale"),
+                "--epochs" => out.epochs = expect_value(&mut it, "--epochs"),
+                "--folds" => out.folds = expect_value(&mut it, "--folds"),
+                "--seed" => out.seed = expect_value(&mut it, "--seed"),
+                "--full" => {
+                    out.scale = 1.0;
+                    out.epochs = 100;
+                    out.max_graphs = None;
+                }
+                "--max-graphs" => {
+                    let v: usize = expect_value(&mut it, "--max-graphs");
+                    out.max_graphs = if v == 0 { None } else { Some(v) };
+                }
+                "--datasets" => {
+                    let list: String = expect_value(&mut it, "--datasets");
+                    out.datasets = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+                }
+                "--help" | "-h" => {
+                    eprintln!("{}", USAGE);
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the real process arguments.
+    pub fn from_env() -> ExperimentArgs {
+        ExperimentArgs::parse(std::env::args())
+    }
+
+    /// `true` when `name` passes the dataset filter.
+    pub fn wants_dataset(&self, name: &str) -> bool {
+        match &self.datasets {
+            None => true,
+            Some(list) => list.iter().any(|d| d.eq_ignore_ascii_case(name)),
+        }
+    }
+}
+
+const USAGE: &str = "usage: <experiment> [--scale F] [--epochs N] [--folds N] [--seed N] [--full] [--datasets a,b,c] [--max-graphs N (0 = uncapped)]";
+
+fn expect_value<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, flag: &str) -> T {
+    let raw = it.next().unwrap_or_else(|| {
+        eprintln!("missing value for {flag}\n{USAGE}");
+        std::process::exit(2);
+    });
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {raw:?} for {flag}\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ExperimentArgs {
+        let mut full = vec!["prog".to_string()];
+        full.extend(args.iter().map(|s| s.to_string()));
+        ExperimentArgs::parse(full)
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.folds, 10);
+        assert!(a.wants_dataset("SYNTHIE"));
+    }
+
+    #[test]
+    fn individual_flags() {
+        let a = parse(&["--scale", "0.5", "--epochs", "12", "--folds", "3", "--seed", "99"]);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.epochs, 12);
+        assert_eq!(a.folds, 3);
+        assert_eq!(a.seed, 99);
+    }
+
+    #[test]
+    fn full_shorthand() {
+        let a = parse(&["--full"]);
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.epochs, 100);
+        assert_eq!(a.max_graphs, None);
+    }
+
+    #[test]
+    fn max_graphs_flag() {
+        assert_eq!(parse(&["--max-graphs", "50"]).max_graphs, Some(50));
+        assert_eq!(parse(&["--max-graphs", "0"]).max_graphs, None);
+        assert_eq!(parse(&[]).max_graphs, Some(200));
+    }
+
+    #[test]
+    fn dataset_filter_case_insensitive() {
+        let a = parse(&["--datasets", "synthie, KKI"]);
+        assert!(a.wants_dataset("SYNTHIE"));
+        assert!(a.wants_dataset("kki"));
+        assert!(!a.wants_dataset("NCI1"));
+    }
+}

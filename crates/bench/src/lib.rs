@@ -1,0 +1,12 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! The actual experiment entry points live in `src/bin/` (one binary per
+//! paper table/figure) and `benches/` (Criterion micro-benchmarks); this
+//! library hosts the argument parsing and output plumbing they share.
+
+#![deny(missing_docs)]
+
+pub mod cli;
+pub mod runner;
+
+pub use cli::ExperimentArgs;

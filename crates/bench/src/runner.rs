@@ -1,0 +1,288 @@
+//! Shared experiment driver: run any method on any generated dataset under
+//! the paper's cross-validation protocol.
+
+use crate::cli::ExperimentArgs;
+use deepmap_core::{DeepMap, DeepMapConfig, Readout, VertexOrdering};
+use deepmap_datasets::GraphDataset;
+use deepmap_eval::cv::{cross_validate_epochs, cross_validate_svm, CvSummary, FoldCurve};
+use deepmap_gnn::dcnn::{Dcnn, DcnnConfig};
+use deepmap_gnn::dgcnn::{Dgcnn, DgcnnConfig};
+use deepmap_gnn::gin::{Gin, GinConfig};
+use deepmap_gnn::patchysan::{PatchySan, PatchySanConfig};
+use deepmap_gnn::{common, fit_gnn, GnnInput, GnnTrainConfig, GraphClassifier, GraphSample};
+use deepmap_kernels::dgk::DgkConfig;
+use deepmap_kernels::gntk::GntkConfig;
+use deepmap_kernels::retgk::RetGkConfig;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::TrainConfig;
+use deepmap_svm::PAPER_C_GRID;
+
+/// Default cap on the vertex feature-map dimension fed to neural models
+/// (paper §6: uncapped maps make the CNN very slow on NCI1 and friends).
+pub const DEFAULT_FEATURE_CAP: usize = 256;
+
+/// Which baseline GNN to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GnnKind {
+    /// Deep Graph CNN.
+    Dgcnn,
+    /// Graph Isomorphism Network.
+    Gin,
+    /// Diffusion-Convolutional NN.
+    Dcnn,
+    /// PATCHY-SAN.
+    PatchySan,
+}
+
+impl GnnKind {
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GnnKind::Dgcnn => "DGCNN",
+            GnnKind::Gin => "GIN",
+            GnnKind::Dcnn => "DCNN",
+            GnnKind::PatchySan => "PATCHYSAN",
+        }
+    }
+
+    /// All four baselines in the paper's column order.
+    pub fn all() -> [GnnKind; 4] {
+        [GnnKind::Dgcnn, GnnKind::Gin, GnnKind::Dcnn, GnnKind::PatchySan]
+    }
+}
+
+/// Generates a benchmark and applies the experiment's graph cap.
+pub fn load_dataset(name: &str, args: &ExperimentArgs) -> Option<GraphDataset> {
+    let ds = deepmap_datasets::generate(name, args.scale, args.seed)?;
+    Some(match args.max_graphs {
+        Some(cap) => ds.subsample(cap),
+        None => ds,
+    })
+}
+
+/// Number of worker threads for fold-parallel runs.
+pub fn fold_threads(folds: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(folds)
+        .max(1)
+}
+
+/// DeepMap under k-fold CV with the paper's epoch-selection protocol.
+pub fn run_deepmap(ds: &GraphDataset, kind: FeatureKind, args: &ExperimentArgs) -> CvSummary {
+    run_deepmap_config(ds, deepmap_config(kind, args), args)
+}
+
+/// Builds the experiment's DeepMap configuration.
+pub fn deepmap_config(kind: FeatureKind, args: &ExperimentArgs) -> DeepMapConfig {
+    DeepMapConfig {
+        kind,
+        r: 5,
+        ordering: VertexOrdering::EigenvectorCentrality,
+        max_hops: None,
+        readout: Readout::Sum,
+        max_feature_dim: Some(DEFAULT_FEATURE_CAP),
+        normalize: true,
+        train: TrainConfig {
+            epochs: args.epochs,
+            batch_size: 32,
+            learning_rate: 0.01,
+            seed: args.seed,
+        },
+        seed: args.seed,
+    }
+}
+
+/// DeepMap CV with an explicit configuration (used by the ablations and the
+/// sensitivity sweep).
+pub fn run_deepmap_config(
+    ds: &GraphDataset,
+    config: DeepMapConfig,
+    args: &ExperimentArgs,
+) -> CvSummary {
+    let pipeline = DeepMap::new(config);
+    let prepared = pipeline.prepare(&ds.graphs, &ds.labels);
+    cross_validate_epochs(
+        &ds.labels,
+        args.folds,
+        args.seed,
+        fold_threads(args.folds),
+        |fold, train, test| {
+            let mut cfg = *pipeline.config();
+            cfg.seed = args.seed.wrapping_add(fold as u64);
+            cfg.train.seed = cfg.seed;
+            let fold_pipeline = DeepMap::new(cfg);
+            // Rebuild only the model per fold; tensors are shared.
+            let result = fold_pipeline.fit_split(&prepared, train, test);
+            FoldCurve {
+                test_accuracy: result
+                    .history
+                    .iter()
+                    .map(|e| e.eval_accuracy.unwrap_or(0.0))
+                    .collect(),
+                epoch_seconds: mean_epoch_seconds(&result.history),
+            }
+        },
+    )
+}
+
+fn mean_epoch_seconds(history: &[deepmap_nn::train::EpochStats]) -> f64 {
+    if history.is_empty() {
+        return 0.0;
+    }
+    history.iter().map(|e| e.epoch_seconds).sum::<f64>() / history.len() as f64
+}
+
+/// A flat R-convolution kernel (GK/SP/WL) under SVM CV.
+pub fn run_flat_kernel(ds: &GraphDataset, kind: FeatureKind, args: &ExperimentArgs) -> CvSummary {
+    let kernel = deepmap_kernels::kernel_matrix(&ds.graphs, kind, args.seed);
+    cross_validate_svm(&kernel, &ds.labels, ds.n_classes, args.folds, &PAPER_C_GRID, args.seed)
+}
+
+/// The DGK baseline under SVM CV.
+pub fn run_dgk(ds: &GraphDataset, args: &ExperimentArgs) -> CvSummary {
+    let kernel = deepmap_kernels::dgk::kernel_matrix(
+        &ds.graphs,
+        &DgkConfig {
+            seed: args.seed,
+            ..Default::default()
+        },
+    );
+    cross_validate_svm(&kernel, &ds.labels, ds.n_classes, args.folds, &PAPER_C_GRID, args.seed)
+}
+
+/// The RetGK baseline under SVM CV.
+pub fn run_retgk(ds: &GraphDataset, args: &ExperimentArgs) -> CvSummary {
+    let kernel = deepmap_kernels::retgk::kernel_matrix(
+        &ds.graphs,
+        &RetGkConfig {
+            threads: fold_threads(8),
+            ..Default::default()
+        },
+    );
+    cross_validate_svm(&kernel, &ds.labels, ds.n_classes, args.folds, &PAPER_C_GRID, args.seed)
+}
+
+/// The GNTK baseline under SVM CV.
+pub fn run_gntk(ds: &GraphDataset, args: &ExperimentArgs) -> CvSummary {
+    let kernel = deepmap_kernels::gntk::kernel_matrix(
+        &ds.graphs,
+        &GntkConfig {
+            threads: fold_threads(8),
+            ..Default::default()
+        },
+    );
+    cross_validate_svm(&kernel, &ds.labels, ds.n_classes, args.folds, &PAPER_C_GRID, args.seed)
+}
+
+fn avg_nodes(ds: &GraphDataset) -> f64 {
+    if ds.is_empty() {
+        return 1.0;
+    }
+    ds.graphs.iter().map(|g| g.n_vertices() as f64).sum::<f64>() / ds.len() as f64
+}
+
+fn build_gnn(
+    kind: GnnKind,
+    m: usize,
+    n_classes: usize,
+    avg_n: f64,
+    seed: u64,
+) -> Box<dyn GraphClassifier> {
+    match kind {
+        GnnKind::Gin => Box::new(Gin::new(&GinConfig::default_for(m, n_classes, seed))),
+        GnnKind::Dgcnn => Box::new(Dgcnn::new(&DgcnnConfig::default_for(m, n_classes, seed))),
+        GnnKind::Dcnn => Box::new(Dcnn::new(&DcnnConfig::default_for(m, n_classes, seed))),
+        GnnKind::PatchySan => Box::new(PatchySan::new(&PatchySanConfig::default_for(
+            m, n_classes, avg_n, seed,
+        ))),
+    }
+}
+
+/// A baseline GNN under k-fold CV with epoch selection.
+pub fn run_gnn(
+    ds: &GraphDataset,
+    kind: GnnKind,
+    input: GnnInput,
+    args: &ExperimentArgs,
+) -> CvSummary {
+    let (samples, m) = common::featurize(&ds.graphs, &ds.labels, input, args.seed);
+    let avg_n = avg_nodes(ds);
+    cross_validate_epochs(
+        &ds.labels,
+        args.folds,
+        args.seed,
+        fold_threads(args.folds),
+        |fold, train, test| {
+            let mut model = build_gnn(kind, m, ds.n_classes, avg_n, args.seed.wrapping_add(fold as u64));
+            let train_samples: Vec<GraphSample> = train.iter().map(|&i| samples[i].clone()).collect();
+            let test_samples: Vec<GraphSample> = test.iter().map(|&i| samples[i].clone()).collect();
+            let history = fit_gnn(
+                model.as_mut(),
+                &train_samples,
+                Some(&test_samples),
+                &GnnTrainConfig {
+                    epochs: args.epochs,
+                    batch_size: 32,
+                    learning_rate: 0.01,
+                    seed: args.seed.wrapping_add(fold as u64),
+                },
+            );
+            FoldCurve {
+                test_accuracy: history
+                    .iter()
+                    .map(|e| e.eval_accuracy.unwrap_or(0.0))
+                    .collect(),
+                epoch_seconds: mean_epoch_seconds(&history),
+            }
+        },
+    )
+}
+
+/// Per-epoch *training* accuracy curves (the paper's Figures 6–7): trains
+/// on the whole dataset and reports the train-accuracy trajectory.
+pub fn deepmap_training_curve(
+    ds: &GraphDataset,
+    kind: FeatureKind,
+    args: &ExperimentArgs,
+) -> Vec<f64> {
+    let pipeline = DeepMap::new(deepmap_config(kind, args));
+    let prepared = pipeline.prepare(&ds.graphs, &ds.labels);
+    let all: Vec<usize> = (0..ds.len()).collect();
+    let result = pipeline.fit_split(&prepared, &all, &all);
+    result.history.iter().map(|e| e.train_accuracy).collect()
+}
+
+/// Training-accuracy curve for a baseline GNN (Figure 7).
+pub fn gnn_training_curve(
+    ds: &GraphDataset,
+    kind: GnnKind,
+    input: GnnInput,
+    args: &ExperimentArgs,
+) -> Vec<f64> {
+    let (samples, m) = common::featurize(&ds.graphs, &ds.labels, input, args.seed);
+    let mut model = build_gnn(kind, m, ds.n_classes, avg_nodes(ds), args.seed);
+    let history = fit_gnn(
+        model.as_mut(),
+        &samples,
+        None,
+        &GnnTrainConfig {
+            epochs: args.epochs,
+            batch_size: 32,
+            learning_rate: 0.01,
+            seed: args.seed,
+        },
+    );
+    history.iter().map(|e| e.train_accuracy).collect()
+}
+
+/// Training accuracy of a flat kernel SVM on the full dataset (the constant
+/// line the kernels contribute to Figure 6).
+pub fn kernel_training_accuracy(ds: &GraphDataset, kind: FeatureKind, args: &ExperimentArgs) -> f64 {
+    let kernel = deepmap_kernels::kernel_matrix(&ds.graphs, kind, args.seed);
+    let all: Vec<usize> = (0..ds.len()).collect();
+    let (model, _c) =
+        deepmap_svm::multiclass::select_c_and_train(&kernel, &all, &ds.labels, ds.n_classes, &PAPER_C_GRID);
+    model.accuracy(&kernel, &all, &ds.labels)
+}

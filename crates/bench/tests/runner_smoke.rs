@@ -1,0 +1,94 @@
+//! Smoke tests: every experiment path runs end-to-end at micro scale.
+//!
+//! These keep the table/figure binaries honest — any API drift in the
+//! pipeline crates breaks here instead of at experiment time.
+
+use deepmap_bench::runner::{
+    deepmap_training_curve, gnn_training_curve, kernel_training_accuracy, load_dataset,
+    run_deepmap, run_dgk, run_flat_kernel, run_gnn, run_gntk, run_retgk, GnnKind,
+};
+use deepmap_bench::ExperimentArgs;
+use deepmap_gnn::GnnInput;
+use deepmap_kernels::FeatureKind;
+
+fn micro_args() -> ExperimentArgs {
+    ExperimentArgs {
+        scale: 1.0,
+        epochs: 2,
+        folds: 2,
+        seed: 1,
+        datasets: None,
+        max_graphs: Some(12),
+    }
+}
+
+#[test]
+fn deepmap_cv_path() {
+    let args = micro_args();
+    let ds = load_dataset("PTC_MM", &args).unwrap();
+    let summary = run_deepmap(&ds, FeatureKind::WlSubtree { iterations: 1 }, &args);
+    assert_eq!(summary.fold_accuracies.len(), 2);
+    assert!(summary.accuracy.mean >= 0.0 && summary.accuracy.mean <= 1.0);
+    assert!(summary.best_epoch.is_some());
+    assert!(summary.mean_epoch_seconds >= 0.0);
+}
+
+#[test]
+fn flat_kernel_cv_path() {
+    let args = micro_args();
+    let ds = load_dataset("KKI", &args).unwrap();
+    for kind in [
+        FeatureKind::Graphlet { size: 3, samples: 4 },
+        FeatureKind::ShortestPath,
+        FeatureKind::WlSubtree { iterations: 1 },
+    ] {
+        let summary = run_flat_kernel(&ds, kind, &args);
+        assert!((0.0..=1.0).contains(&summary.accuracy.mean), "{kind:?}");
+    }
+}
+
+#[test]
+fn baseline_kernel_paths() {
+    let args = micro_args();
+    let ds = load_dataset("PTC_FR", &args).unwrap();
+    for summary in [run_dgk(&ds, &args), run_retgk(&ds, &args), run_gntk(&ds, &args)] {
+        assert!((0.0..=1.0).contains(&summary.accuracy.mean));
+    }
+}
+
+#[test]
+fn gnn_cv_paths_both_inputs() {
+    let args = micro_args();
+    let ds = load_dataset("PTC_MR", &args).unwrap();
+    for kind in GnnKind::all() {
+        let one_hot = run_gnn(&ds, kind, GnnInput::OneHotLabels, &args);
+        assert!((0.0..=1.0).contains(&one_hot.accuracy.mean), "{}", kind.name());
+        let featmaps = run_gnn(
+            &ds,
+            kind,
+            GnnInput::VertexFeatureMaps(FeatureKind::WlSubtree { iterations: 1 }, 16),
+            &args,
+        );
+        assert!((0.0..=1.0).contains(&featmaps.accuracy.mean), "{}", kind.name());
+    }
+}
+
+#[test]
+fn training_curve_paths() {
+    let args = micro_args();
+    let ds = load_dataset("PTC_FM", &args).unwrap();
+    let curve = deepmap_training_curve(&ds, FeatureKind::WlSubtree { iterations: 1 }, &args);
+    assert_eq!(curve.len(), 2);
+    let gnn_curve = gnn_training_curve(&ds, GnnKind::Dcnn, GnnInput::OneHotLabels, &args);
+    assert_eq!(gnn_curve.len(), 2);
+    let flat = kernel_training_accuracy(&ds, FeatureKind::ShortestPath, &args);
+    assert!((0.0..=1.0).contains(&flat));
+}
+
+#[test]
+fn dataset_cap_is_applied() {
+    let args = micro_args();
+    let ds = load_dataset("NCI1", &args).unwrap();
+    assert!(ds.len() <= 12);
+    assert!(load_dataset("NOT_A_DATASET", &args).is_none());
+}

@@ -1,0 +1,210 @@
+//! Tensor assembly: vertex sequences + receptive fields → CNN inputs.
+
+use crate::alignment::{vertex_sequence, VertexOrdering};
+use crate::receptive_field::{sequence_receptive_fields, Slot};
+use deepmap_graph::Graph;
+use deepmap_kernels::feature_map::DatasetFeatureMaps;
+use deepmap_nn::Matrix;
+
+/// Assembly options shared by the whole dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct AssembleConfig {
+    /// Receptive-field size `r`.
+    pub r: usize,
+    /// Vertex ordering used for alignment and neighbour ranking.
+    pub ordering: VertexOrdering,
+    /// BFS fallback bound for receptive fields (`None` = whole component,
+    /// the paper's behaviour).
+    pub max_hops: Option<usize>,
+    /// L2-normalise each vertex feature row. The flat kernels are compared
+    /// after *cosine normalisation* of their Gram matrix, which is exactly
+    /// a per-graph L2 normalisation of the feature map; giving the CNN the
+    /// same treatment per vertex keeps raw substructure counts (which grow
+    /// with graph size) from saturating the first convolution.
+    pub normalize: bool,
+}
+
+impl Default for AssembleConfig {
+    fn default() -> Self {
+        AssembleConfig {
+            r: 5,
+            ordering: VertexOrdering::EigenvectorCentrality,
+            max_hops: None,
+            normalize: true,
+        }
+    }
+}
+
+/// The assembled dataset: one `(w·r × m)` tensor per graph.
+#[derive(Debug, Clone)]
+pub struct AssembledDataset {
+    /// Per-graph CNN input tensors.
+    pub inputs: Vec<Matrix>,
+    /// Aligned sequence length `w` (max vertex count over the dataset).
+    pub w: usize,
+    /// Receptive-field size `r`.
+    pub r: usize,
+    /// Feature dimension `m`.
+    pub m: usize,
+}
+
+/// Assembles the CNN input tensor for one graph (Algorithm 1 lines 10–20).
+///
+/// `features.maps[graph_index]` supplies `φ(v)`; rows for dummy slots are
+/// zero so padding never contributes to the convolution.
+pub fn assemble_graph(
+    graph: &Graph,
+    vertex_features: &[deepmap_kernels::SparseVec],
+    w: usize,
+    m: usize,
+    config: &AssembleConfig,
+) -> Matrix {
+    assert_eq!(
+        vertex_features.len(),
+        graph.n_vertices(),
+        "feature map count must match vertex count"
+    );
+    let seq = vertex_sequence(graph, config.ordering);
+    let fields = sequence_receptive_fields(graph, &seq.order, &seq.score, w, config.r, config.max_hops);
+    let mut input = Matrix::zeros(w * config.r, m);
+    for (pos, field) in fields.iter().enumerate() {
+        for (slot_idx, slot) in field.iter().enumerate() {
+            if let Slot::Vertex(v) = slot {
+                let row = input.row_mut(pos * config.r + slot_idx);
+                vertex_features[*v as usize].write_dense(row);
+                if config.normalize {
+                    let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+                    if norm > 0.0 {
+                        row.iter_mut().for_each(|x| *x /= norm);
+                    }
+                }
+            }
+        }
+    }
+    input
+}
+
+/// Assembles the whole dataset; `w` is the maximum vertex count (Algorithm 1
+/// line 8).
+///
+/// # Panics
+/// Panics when `graphs.len() != features.maps.len()`.
+pub fn assemble_dataset(
+    graphs: &[Graph],
+    features: &DatasetFeatureMaps,
+    config: &AssembleConfig,
+) -> AssembledDataset {
+    assert_eq!(graphs.len(), features.n_graphs(), "graph/feature count mismatch");
+    let w = graphs.iter().map(|g| g.n_vertices()).max().unwrap_or(0).max(1);
+    let m = features.dim.max(1);
+    let inputs = graphs
+        .iter()
+        .zip(&features.maps)
+        .map(|(g, f)| assemble_graph(g, f, w, m, config))
+        .collect();
+    AssembledDataset {
+        inputs,
+        w,
+        r: config.r,
+        m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmap_graph::builder::graph_from_edges;
+    use deepmap_kernels::{vertex_feature_maps, FeatureKind};
+
+    fn two_graphs() -> Vec<Graph> {
+        vec![
+            // Star on 4 vertices.
+            graph_from_edges(4, &[(0, 1), (0, 2), (0, 3)], Some(&[1, 2, 2, 2])).unwrap(),
+            // Edge on 2 vertices.
+            graph_from_edges(2, &[(0, 1)], Some(&[1, 2])).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn dataset_shapes() {
+        let graphs = two_graphs();
+        let features = vertex_feature_maps(&graphs, FeatureKind::WlSubtree { iterations: 1 }, 0);
+        let config = AssembleConfig {
+            r: 3,
+            ..Default::default()
+        };
+        let ds = assemble_dataset(&graphs, &features, &config);
+        assert_eq!(ds.w, 4);
+        assert_eq!(ds.m, features.dim);
+        for input in &ds.inputs {
+            assert_eq!(input.shape(), (4 * 3, features.dim));
+        }
+    }
+
+    #[test]
+    fn padding_rows_are_zero() {
+        let graphs = two_graphs();
+        let features = vertex_feature_maps(&graphs, FeatureKind::WlSubtree { iterations: 1 }, 0);
+        let config = AssembleConfig {
+            r: 3,
+            ..Default::default()
+        };
+        let ds = assemble_dataset(&graphs, &features, &config);
+        // Graph 1 has 2 vertices; sequence positions 2 and 3 are dummies.
+        let input = &ds.inputs[1];
+        for pos in 2..4 {
+            for slot in 0..3 {
+                assert!(input.row(pos * 3 + slot).iter().all(|&v| v == 0.0));
+            }
+        }
+        // Real positions have non-zero roots (WL maps are never empty).
+        assert!(input.row(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn first_row_is_highest_centrality_vertex() {
+        let graphs = two_graphs();
+        let features = vertex_feature_maps(&graphs, FeatureKind::WlSubtree { iterations: 1 }, 0);
+        let config = AssembleConfig {
+            r: 2,
+            normalize: false,
+            ..Default::default()
+        };
+        let ds = assemble_dataset(&graphs, &features, &config);
+        // Graph 0: hub is vertex 0 — its feature map should be the first row.
+        let mut expect = vec![0.0f32; features.dim];
+        features.maps[0][0].write_dense(&mut expect);
+        assert_eq!(ds.inputs[0].row(0), &expect[..]);
+        // With normalisation on, the same row appears L2-normalised.
+        let normalized = assemble_dataset(
+            &graphs,
+            &features,
+            &AssembleConfig {
+                r: 2,
+                ..Default::default()
+            },
+        );
+        let norm: f32 = normalized.inputs[0].row(0).iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5, "row norm {norm}");
+    }
+
+    #[test]
+    fn assemble_deterministic() {
+        let graphs = two_graphs();
+        let features = vertex_feature_maps(&graphs, FeatureKind::ShortestPath, 0);
+        let config = AssembleConfig::default();
+        let a = assemble_dataset(&graphs, &features, &config);
+        let b = assemble_dataset(&graphs, &features, &config);
+        assert_eq!(a.inputs[0], b.inputs[0]);
+        assert_eq!(a.inputs[1], b.inputs[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature map count")]
+    fn mismatched_features_panic() {
+        let graphs = two_graphs();
+        let features = vertex_feature_maps(&graphs, FeatureKind::ShortestPath, 0);
+        // Wrong per-vertex slice for graph 1.
+        assemble_graph(&graphs[1], &features.maps[0], 4, features.dim, &AssembleConfig::default());
+    }
+}

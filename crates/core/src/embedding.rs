@@ -1,0 +1,140 @@
+//! Deep vertex embeddings.
+//!
+//! The paper's conclusion: "The learned deep feature map of each vertex can
+//! also be considered as vertex embedding and used for vertex
+//! classification." The deep vertex feature map is the output of the third
+//! convolution for that vertex's receptive field — the `(w × f₂)` tensor
+//! right before the summation readout. This module reads it out of a
+//! trained model.
+
+use crate::model::Readout;
+use crate::pipeline::{DeepMap, PreparedDataset};
+use deepmap_nn::layers::Mode;
+use deepmap_nn::{Matrix, Sequential};
+
+/// Number of layers up to and including the third conv's ReLU in the
+/// Fig. 4 stack (`Conv, ReLU, Conv, ReLU, Conv, ReLU`).
+const CONV_STACK_LAYERS: usize = 6;
+
+/// Deep vertex embeddings for one prepared graph: row `i` is the embedding
+/// of the `i`-th vertex of the aligned sequence (padding rows included, as
+/// all-dummy fields still pass through the convolution biases — callers
+/// truncate to the real vertex count).
+///
+/// # Panics
+/// Panics if `model` is not a DeepMap architecture built by
+/// [`DeepMap::build_model`] (layer count too small).
+pub fn vertex_embeddings(model: &mut Sequential, input: &Matrix) -> Matrix {
+    assert!(
+        model.n_layers() > CONV_STACK_LAYERS,
+        "model too shallow to be a DeepMap CNN"
+    );
+    model.forward_prefix(input, CONV_STACK_LAYERS, Mode::Eval)
+}
+
+/// Embeddings for every graph of a prepared dataset, truncated to each
+/// graph's real vertex count.
+///
+/// `n_vertices[i]` must be graph `i`'s vertex count (the assembly pads all
+/// inputs to the dataset-wide `w`).
+pub fn dataset_embeddings(
+    pipeline: &DeepMap,
+    model: &mut Sequential,
+    prepared: &PreparedDataset,
+    n_vertices: &[usize],
+) -> Vec<Matrix> {
+    assert_eq!(prepared.samples.len(), n_vertices.len());
+    assert_eq!(
+        pipeline.config().readout,
+        Readout::Sum,
+        "vertex embeddings are defined for the summation architecture"
+    );
+    prepared
+        .samples
+        .iter()
+        .zip(n_vertices)
+        .map(|(sample, &n)| {
+            let full = vertex_embeddings(model, &sample.input);
+            let rows = n.min(full.rows());
+            let mut out = Matrix::zeros(rows, full.cols());
+            for r in 0..rows {
+                out.row_mut(r).copy_from_slice(full.row(r));
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::DeepMapConfig;
+    use deepmap_graph::generators::{complete_graph, cycle_graph};
+    use deepmap_kernels::FeatureKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (DeepMap, PreparedDataset, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let graphs = vec![
+            cycle_graph(6, 0, &mut rng),
+            complete_graph(4, 0, &mut rng),
+        ];
+        let graphs: Vec<_> = graphs
+            .into_iter()
+            .map(|g| {
+                let labels: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+                g.with_labels(labels).unwrap()
+            })
+            .collect();
+        let labels = vec![0, 1];
+        let sizes: Vec<usize> = graphs.iter().map(|g| g.n_vertices()).collect();
+        let pipeline = DeepMap::new(DeepMapConfig {
+            r: 3,
+            ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+        });
+        let prepared = pipeline.prepare(&graphs, &labels);
+        (pipeline, prepared, sizes)
+    }
+
+    #[test]
+    fn embedding_shapes() {
+        let (pipeline, prepared, sizes) = setup();
+        let mut model = pipeline.build_model(&prepared);
+        let embs = dataset_embeddings(&pipeline, &mut model, &prepared, &sizes);
+        assert_eq!(embs.len(), 2);
+        assert_eq!(embs[0].shape(), (6, 8), "f2 = 8 channels per vertex");
+        assert_eq!(embs[1].shape(), (4, 8));
+    }
+
+    #[test]
+    fn embedding_sum_feeds_the_readout() {
+        // The model's pooled representation equals the sum of the vertex
+        // embeddings over the *whole padded sequence* (Eq. 7 inside the
+        // network).
+        let (pipeline, prepared, _) = setup();
+        let mut model = pipeline.build_model(&prepared);
+        let input = &prepared.samples[0].input;
+        let per_vertex = vertex_embeddings(&mut model, input);
+        let pooled = model.forward_prefix(input, 7, Mode::Eval); // + SumPool
+        let manual = per_vertex.sum_rows();
+        for (a, b) in pooled.as_slice().iter().zip(manual.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn structurally_identical_vertices_share_embeddings() {
+        // All vertices of an unlabeled cycle are structurally identical:
+        // same WL maps, same receptive-field content ⇒ same embedding.
+        let (pipeline, prepared, sizes) = setup();
+        let mut model = pipeline.build_model(&prepared);
+        let embs = dataset_embeddings(&pipeline, &mut model, &prepared, &sizes);
+        let cyc = &embs[0];
+        for v in 1..cyc.rows() {
+            for c in 0..cyc.cols() {
+                assert!((cyc.get(0, c) - cyc.get(v, c)).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! DeepMap: deep graph representations via CNNs on vertex feature maps.
+//!
+//! This is the paper's primary contribution. A graph becomes a CNN input in
+//! three steps:
+//!
+//! 1. **Alignment** ([`alignment`]): vertices are sorted by eigenvector
+//!    centrality into a *vertex sequence*; sequences shorter than the
+//!    dataset maximum `w` are padded with dummy vertices (paper §4.1,
+//!    Algorithm 1 lines 11–13).
+//! 2. **Receptive fields** ([`receptive_field`]): each vertex gets an
+//!    `r`-vertex receptive field via centrality-guided BFS — the top `r−1`
+//!    one-hop neighbours by centrality, falling back to two-hop,
+//!    three-hop, … neighbours until `r` vertices are collected, everything
+//!    sorted by descending centrality (Algorithm 1 lines 15–19).
+//! 3. **Assembly** ([`assemble`]): the receptive fields are concatenated
+//!    into a `(w·r × m)` tensor of vertex feature maps (`m` from
+//!    `deepmap-kernels`); dummy positions carry zero vectors so they do not
+//!    contribute to the convolution.
+//!
+//! The CNN itself ([`model`]) is the paper's Fig. 4 architecture: three 1-D
+//! convolutions (the first with kernel = stride = `r`, then two 1×1 convs,
+//! 32/16/8 filters, ReLU), a summation layer (Eq. 7), a 128-unit dense
+//! layer with ReLU, dropout 0.5, and a softmax classifier.
+//! [`pipeline`] glues everything into a train/evaluate API used by the
+//! cross-validation harness, and [`embedding`] extracts the deep vertex
+//! feature maps as vertex embeddings (paper §7).
+
+#![deny(missing_docs)]
+
+pub mod alignment;
+pub mod assemble;
+pub mod embedding;
+pub mod model;
+pub mod pipeline;
+pub mod receptive_field;
+
+pub use alignment::VertexOrdering;
+pub use model::{build_deepmap_model, ModelConfig, Readout};
+pub use pipeline::{DeepMap, DeepMapConfig};

@@ -1,0 +1,171 @@
+//! The Fig. 4 convolutional architecture.
+
+use deepmap_nn::layers::{Conv1D, Dense, Dropout, Flatten, ReLU, SumPool};
+use deepmap_nn::Sequential;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Graph-level readout after the convolutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readout {
+    /// Summation layer (paper Eq. 7): permutation- and size-invariant.
+    Sum,
+    /// Concatenation of all deep vertex maps (paper §6 alternative):
+    /// preserves the local distribution but fixes the graph size to `w`.
+    Concat,
+}
+
+/// Architecture hyper-parameters. Defaults are the paper's (§4.2):
+/// filters 32/16/8, dense 128, dropout 0.5.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Vertex feature-map dimension `m` (input channels).
+    pub m: usize,
+    /// Receptive-field size `r` (kernel and stride of conv 1).
+    pub r: usize,
+    /// Aligned sequence length `w` (needed for the concat readout).
+    pub w: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Filters of the three conv layers.
+    pub filters: [usize; 3],
+    /// Units of the dense layer.
+    pub dense_units: usize,
+    /// Dropout rate before the classifier.
+    pub dropout: f64,
+    /// Readout between convs and dense head.
+    pub readout: Readout,
+    /// Seed for weight initialisation and dropout masks.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// The paper's configuration for a dataset with the given dimensions.
+    pub fn paper(m: usize, r: usize, w: usize, n_classes: usize, seed: u64) -> Self {
+        ModelConfig {
+            m,
+            r,
+            w,
+            n_classes,
+            filters: [32, 16, 8],
+            dense_units: 128,
+            dropout: 0.5,
+            readout: Readout::Sum,
+            seed,
+        }
+    }
+}
+
+/// Builds the DeepMap CNN:
+/// `Conv(k=r, s=r, f₀) → ReLU → Conv(1,1,f₁) → ReLU → Conv(1,1,f₂) → ReLU →
+/// readout → Dense(d) → ReLU → Dropout → Dense(classes)`.
+///
+/// The softmax lives in the loss (`deepmap-nn::loss`), as usual for fused
+/// softmax/cross-entropy training.
+pub fn build_deepmap_model(config: &ModelConfig) -> Sequential {
+    assert!(config.m >= 1 && config.r >= 1 && config.n_classes >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let [f0, f1, f2] = config.filters;
+    let mut model = Sequential::new()
+        .push(Box::new(Conv1D::new(config.m, f0, config.r, config.r, &mut rng)))
+        .push(Box::new(ReLU::new()))
+        .push(Box::new(Conv1D::new(f0, f1, 1, 1, &mut rng)))
+        .push(Box::new(ReLU::new()))
+        .push(Box::new(Conv1D::new(f1, f2, 1, 1, &mut rng)))
+        .push(Box::new(ReLU::new()));
+    let head_in = match config.readout {
+        Readout::Sum => {
+            model.add(Box::new(SumPool::new()));
+            f2
+        }
+        Readout::Concat => {
+            model.add(Box::new(Flatten::new()));
+            config.w * f2
+        }
+    };
+    model
+        .push(Box::new(Dense::new(head_in, config.dense_units, &mut rng)))
+        .push(Box::new(ReLU::new()))
+        .push(Box::new(Dropout::new(config.dropout, config.seed ^ 0x5eed)))
+        .push(Box::new(Dense::new(config.dense_units, config.n_classes, &mut rng)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmap_nn::layers::Mode;
+    use deepmap_nn::Matrix;
+
+    #[test]
+    fn paper_architecture_shapes() {
+        let config = ModelConfig::paper(7, 3, 5, 4, 1);
+        let mut model = build_deepmap_model(&config);
+        // Input: w*r = 15 positions × m = 7 channels.
+        let x = Matrix::zeros(15, 7);
+        let y = model.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (1, 4));
+        assert_eq!(
+            model.layer_names(),
+            vec![
+                "Conv1D", "ReLU", "Conv1D", "ReLU", "Conv1D", "ReLU", "SumPool", "Dense", "ReLU",
+                "Dropout", "Dense"
+            ]
+        );
+    }
+
+    #[test]
+    fn concat_readout_shapes() {
+        let config = ModelConfig {
+            readout: Readout::Concat,
+            ..ModelConfig::paper(7, 3, 5, 2, 1)
+        };
+        let mut model = build_deepmap_model(&config);
+        let x = Matrix::zeros(15, 7);
+        let y = model.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (1, 2));
+    }
+
+    #[test]
+    fn sum_readout_is_sequence_permutation_invariant_across_fields() {
+        // Swapping whole receptive fields (blocks of r rows) must not change
+        // the output under the Sum readout — Theorem 1's mechanism.
+        let config = ModelConfig::paper(4, 2, 3, 2, 5);
+        let mut model = build_deepmap_model(&config);
+        let data: Vec<f32> = (0..24).map(|v| (v as f32).sin()).collect();
+        let x = Matrix::from_vec(6, 4, data.clone());
+        // Swap field 0 (rows 0..2) and field 2 (rows 4..6).
+        let mut swapped = data.clone();
+        for row in 0..2 {
+            for col in 0..4 {
+                swapped.swap(row * 4 + col, (row + 4) * 4 + col);
+            }
+        }
+        let x_swapped = Matrix::from_vec(6, 4, swapped);
+        let y1 = model.forward(&x, Mode::Eval);
+        let y2 = model.forward(&x_swapped, Mode::Eval);
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let config = ModelConfig::paper(3, 2, 4, 2, 9);
+        let mut m1 = build_deepmap_model(&config);
+        let mut m2 = build_deepmap_model(&config);
+        let x = Matrix::from_vec(8, 3, (0..24).map(|v| v as f32 * 0.1).collect());
+        assert_eq!(m1.forward(&x, Mode::Eval), m2.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn parameter_count_matches_formula() {
+        let config = ModelConfig::paper(10, 4, 6, 3, 1);
+        let mut model = build_deepmap_model(&config);
+        let conv1 = 4 * 10 * 32 + 32;
+        let conv2 = 32 * 16 + 16;
+        let conv3 = 16 * 8 + 8;
+        let dense1 = 8 * 128 + 128;
+        let dense2 = 128 * 3 + 3;
+        assert_eq!(model.n_parameters(), conv1 + conv2 + conv3 + dense1 + dense2);
+    }
+}

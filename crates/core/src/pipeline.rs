@@ -1,0 +1,288 @@
+//! End-to-end DeepMap pipeline (Algorithm 1).
+//!
+//! `graphs → vertex feature maps → alignment + receptive fields → tensors →
+//! CNN training`. The pipeline prepares a dataset once and can then train
+//! and evaluate on arbitrary index splits, which is what the 10-fold
+//! cross-validation harness needs.
+
+use crate::assemble::{assemble_dataset, AssembleConfig};
+use crate::model::{build_deepmap_model, ModelConfig, Readout};
+use crate::VertexOrdering;
+use deepmap_graph::Graph;
+use deepmap_kernels::{vertex_feature_maps, FeatureKind};
+use deepmap_nn::train::{evaluate, fit, EpochStats, Sample, TrainConfig};
+use deepmap_nn::Sequential;
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DeepMapConfig {
+    /// Substructure family for the vertex feature maps (GK / SP / WL).
+    pub kind: FeatureKind,
+    /// Receptive-field size `r`.
+    pub r: usize,
+    /// Vertex ordering (paper: eigenvector centrality).
+    pub ordering: VertexOrdering,
+    /// BFS fallback bound for receptive fields (`None` = paper behaviour).
+    pub max_hops: Option<usize>,
+    /// Graph readout (paper: summation).
+    pub readout: Readout,
+    /// Optional top-K truncation of the feature dimension, for datasets
+    /// whose vertex maps are very high-dimensional (paper §6 / Table 5
+    /// discussion).
+    pub max_feature_dim: Option<usize>,
+    /// L2-normalise vertex feature rows (see
+    /// [`crate::assemble::AssembleConfig::normalize`]).
+    pub normalize: bool,
+    /// Trainer hyper-parameters (paper defaults in
+    /// [`TrainConfig::default`]).
+    pub train: TrainConfig,
+    /// Master seed for feature sampling and model initialisation.
+    pub seed: u64,
+}
+
+impl DeepMapConfig {
+    /// The paper's configuration for a given feature kind.
+    pub fn paper(kind: FeatureKind) -> Self {
+        DeepMapConfig {
+            kind,
+            r: 5,
+            ordering: VertexOrdering::EigenvectorCentrality,
+            max_hops: None,
+            readout: Readout::Sum,
+            max_feature_dim: None,
+            normalize: true,
+            train: TrainConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// A dataset that has been pushed through feature extraction and tensor
+/// assembly and is ready for training on any index split.
+pub struct PreparedDataset {
+    /// One labelled sample per graph, aligned with the input order.
+    pub samples: Vec<Sample>,
+    /// Aligned sequence length `w`.
+    pub w: usize,
+    /// Feature dimension `m` after optional truncation.
+    pub m: usize,
+    /// Number of classes (max label + 1).
+    pub n_classes: usize,
+}
+
+/// Result of training on one split.
+pub struct FitResult {
+    /// The trained model.
+    pub model: Sequential,
+    /// Per-epoch statistics, including held-out accuracy per epoch.
+    pub history: Vec<EpochStats>,
+    /// Final held-out accuracy.
+    pub test_accuracy: f64,
+    /// Best held-out accuracy over all epochs (the paper's epoch-selection
+    /// protocol picks the best epoch on CV average; per-fold curves are
+    /// combined by the harness).
+    pub best_test_accuracy: f64,
+}
+
+/// The DeepMap classifier (paper Algorithm 1).
+pub struct DeepMap {
+    config: DeepMapConfig,
+}
+
+impl DeepMap {
+    /// New pipeline with the given configuration.
+    pub fn new(config: DeepMapConfig) -> Self {
+        DeepMap { config }
+    }
+
+    /// Pipeline configuration.
+    pub fn config(&self) -> &DeepMapConfig {
+        &self.config
+    }
+
+    /// Runs feature extraction and tensor assembly (Algorithm 1 lines
+    /// 1–20).
+    ///
+    /// # Panics
+    /// Panics when `graphs.len() != labels.len()` or the dataset is empty.
+    pub fn prepare(&self, graphs: &[Graph], labels: &[usize]) -> PreparedDataset {
+        assert_eq!(graphs.len(), labels.len(), "graph/label count mismatch");
+        assert!(!graphs.is_empty(), "empty dataset");
+        let mut features = vertex_feature_maps(graphs, self.config.kind, self.config.seed);
+        if let Some(k) = self.config.max_feature_dim {
+            features = features.truncate_top_k(k);
+        }
+        let assembled = assemble_dataset(
+            graphs,
+            &features,
+            &AssembleConfig {
+                r: self.config.r,
+                ordering: self.config.ordering,
+                max_hops: self.config.max_hops,
+                normalize: self.config.normalize,
+            },
+        );
+        let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        let samples = assembled
+            .inputs
+            .into_iter()
+            .zip(labels)
+            .map(|(input, &label)| Sample { input, label })
+            .collect();
+        PreparedDataset {
+            samples,
+            w: assembled.w,
+            m: assembled.m,
+            n_classes,
+        }
+    }
+
+    /// Builds the CNN for a prepared dataset.
+    pub fn build_model(&self, prepared: &PreparedDataset) -> Sequential {
+        build_deepmap_model(&ModelConfig {
+            m: prepared.m,
+            r: self.config.r,
+            w: prepared.w,
+            n_classes: prepared.n_classes,
+            filters: [32, 16, 8],
+            dense_units: 128,
+            dropout: 0.5,
+            readout: self.config.readout,
+            seed: self.config.seed,
+        })
+    }
+
+    /// Trains on `train_idx` and evaluates on `test_idx` (Algorithm 1 line
+    /// 21 for one CV fold).
+    pub fn fit_split(
+        &self,
+        prepared: &PreparedDataset,
+        train_idx: &[usize],
+        test_idx: &[usize],
+    ) -> FitResult {
+        let train_samples: Vec<Sample> = train_idx
+            .iter()
+            .map(|&i| prepared.samples[i].clone())
+            .collect();
+        let test_samples: Vec<Sample> = test_idx
+            .iter()
+            .map(|&i| prepared.samples[i].clone())
+            .collect();
+        let mut model = self.build_model(prepared);
+        let history = fit(
+            &mut model,
+            &train_samples,
+            Some(&test_samples),
+            &self.config.train,
+        );
+        let test_accuracy = evaluate(&mut model, &test_samples);
+        let best_test_accuracy = history
+            .iter()
+            .filter_map(|e| e.eval_accuracy)
+            .fold(0.0f64, f64::max);
+        FitResult {
+            model,
+            history,
+            test_accuracy,
+            best_test_accuracy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmap_graph::generators::{complete_graph, cycle_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Cycles (class 0) vs near-cliques (class 1): trivially separable by
+    /// any of the three feature families.
+    fn toy_dataset(n_per_class: usize) -> (Vec<Graph>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per_class {
+            graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+            labels.push(0);
+            graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+            labels.push(1);
+        }
+        (graphs, labels)
+    }
+
+    fn quick_config(kind: FeatureKind) -> DeepMapConfig {
+        DeepMapConfig {
+            r: 3,
+            train: TrainConfig {
+                epochs: 15,
+                batch_size: 8,
+                learning_rate: 0.01,
+                seed: 1,
+            },
+            ..DeepMapConfig::paper(kind)
+        }
+    }
+
+    #[test]
+    fn prepare_shapes() {
+        let (graphs, labels) = toy_dataset(4);
+        let dm = DeepMap::new(quick_config(FeatureKind::WlSubtree { iterations: 2 }));
+        let prepared = dm.prepare(&graphs, &labels);
+        assert_eq!(prepared.samples.len(), 8);
+        assert_eq!(prepared.n_classes, 2);
+        let w = graphs.iter().map(|g| g.n_vertices()).max().unwrap();
+        assert_eq!(prepared.w, w);
+        for s in &prepared.samples {
+            assert_eq!(s.input.shape(), (w * 3, prepared.m));
+        }
+    }
+
+    #[test]
+    fn learns_cycles_vs_cliques_with_wl() {
+        let (graphs, labels) = toy_dataset(8);
+        let dm = DeepMap::new(quick_config(FeatureKind::WlSubtree { iterations: 2 }));
+        let prepared = dm.prepare(&graphs, &labels);
+        // Train on the first 12, test on the last 4.
+        let train_idx: Vec<usize> = (0..12).collect();
+        let test_idx: Vec<usize> = (12..16).collect();
+        let result = dm.fit_split(&prepared, &train_idx, &test_idx);
+        assert!(
+            result.test_accuracy >= 0.75,
+            "test accuracy {}",
+            result.test_accuracy
+        );
+        assert_eq!(result.history.len(), 15);
+    }
+
+    #[test]
+    fn learns_with_sp_features() {
+        let (graphs, labels) = toy_dataset(6);
+        let dm = DeepMap::new(quick_config(FeatureKind::ShortestPath));
+        let prepared = dm.prepare(&graphs, &labels);
+        let train_idx: Vec<usize> = (0..10).collect();
+        let test_idx: Vec<usize> = (10..12).collect();
+        let result = dm.fit_split(&prepared, &train_idx, &test_idx);
+        assert!(result.test_accuracy >= 0.5);
+    }
+
+    #[test]
+    fn feature_truncation_respected() {
+        let (graphs, labels) = toy_dataset(4);
+        let config = DeepMapConfig {
+            max_feature_dim: Some(2),
+            ..quick_config(FeatureKind::WlSubtree { iterations: 3 })
+        };
+        let dm = DeepMap::new(config);
+        let prepared = dm.prepare(&graphs, &labels);
+        assert!(prepared.m <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "graph/label count mismatch")]
+    fn mismatched_labels_panic() {
+        let (graphs, _) = toy_dataset(2);
+        let dm = DeepMap::new(quick_config(FeatureKind::ShortestPath));
+        dm.prepare(&graphs, &[0]);
+    }
+}

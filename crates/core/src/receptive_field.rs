@@ -1,0 +1,194 @@
+//! Receptive-field construction (paper §4.1, Algorithm 1 lines 15–19).
+//!
+//! The receptive field of vertex `v` has exactly `r` slots: `v` itself plus
+//! the top `r − 1` neighbours by centrality score. If the one-hop
+//! neighbourhood is too small, two-hop, three-hop, … neighbours fill the
+//! remainder (BFS expansion); if the whole component is smaller than `r`,
+//! dummy slots pad the tail. Selected neighbours are sorted by descending
+//! centrality, with `v` in front — matching the reference implementation's
+//! `X(v), X(v_σ1), …` layout where the root leads its field.
+
+use deepmap_graph::bfs::bfs_layers;
+use deepmap_graph::{Graph, VertexId};
+
+/// One receptive-field slot: a real vertex or a zero-padded dummy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// A real vertex of the graph.
+    Vertex(VertexId),
+    /// Padding; contributes a zero feature vector.
+    Dummy,
+}
+
+/// The receptive field of `v`: exactly `r` slots, root first, then selected
+/// neighbours in descending score order, then dummies.
+///
+/// `score` is indexed by vertex id (use the scores from
+/// [`crate::alignment::vertex_sequence`] so the field agrees with the
+/// sequence ordering).
+///
+/// `max_hops` bounds the BFS fallback expansion; `None` explores the whole
+/// component (the paper's behaviour). `Some(1)` is the one-hop-only
+/// ablation.
+///
+/// # Panics
+/// Panics when `r == 0` or `v` is out of range.
+pub fn receptive_field(
+    graph: &Graph,
+    v: VertexId,
+    r: usize,
+    score: &[f64],
+    max_hops: Option<usize>,
+) -> Vec<Slot> {
+    assert!(r >= 1, "receptive field size must be at least 1");
+    assert!((v as usize) < graph.n_vertices(), "vertex out of range");
+    let mut slots = Vec::with_capacity(r);
+    slots.push(Slot::Vertex(v));
+    if r == 1 {
+        return slots;
+    }
+    let mut needed = r - 1;
+    // BFS layers: layer 0 is [v]; expand until enough vertices or exhausted.
+    let layers = bfs_layers(graph, v, max_hops);
+    for layer in layers.iter().skip(1) {
+        if needed == 0 {
+            break;
+        }
+        let mut ranked: Vec<VertexId> = layer.clone();
+        ranked.sort_by(|&a, &b| {
+            score[b as usize]
+                .partial_cmp(&score[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| graph.label(a).cmp(&graph.label(b)))
+                .then_with(|| a.cmp(&b))
+        });
+        for w in ranked.into_iter().take(needed) {
+            slots.push(Slot::Vertex(w));
+            needed -= 1;
+        }
+    }
+    // Component exhausted: pad with dummies.
+    slots.resize(r, Slot::Dummy);
+    slots
+}
+
+/// Receptive fields for every position of an aligned vertex sequence of
+/// length `w` (real vertices from `order`, then all-dummy fields for the
+/// padding positions).
+pub fn sequence_receptive_fields(
+    graph: &Graph,
+    order: &[VertexId],
+    score: &[f64],
+    w: usize,
+    r: usize,
+    max_hops: Option<usize>,
+) -> Vec<Vec<Slot>> {
+    let mut fields = Vec::with_capacity(w);
+    for &v in order.iter().take(w) {
+        fields.push(receptive_field(graph, v, r, score, max_hops));
+    }
+    while fields.len() < w {
+        fields.push(vec![Slot::Dummy; r]);
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::{vertex_sequence, VertexOrdering};
+    use deepmap_graph::builder::graph_from_edges;
+
+    /// Star with centre 0; leaves 1..=4.
+    fn star() -> (deepmap_graph::Graph, Vec<f64>) {
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)], None).unwrap();
+        let seq = vertex_sequence(&g, VertexOrdering::EigenvectorCentrality);
+        (g, seq.score)
+    }
+
+    #[test]
+    fn root_leads_the_field() {
+        let (g, score) = star();
+        let field = receptive_field(&g, 3, 3, &score, None);
+        assert_eq!(field[0], Slot::Vertex(3));
+        assert_eq!(field.len(), 3);
+    }
+
+    #[test]
+    fn hub_selected_before_leaves() {
+        let (g, score) = star();
+        // From leaf 1 with r=3: root 1, then hub 0 (1-hop), then a 2-hop leaf.
+        let field = receptive_field(&g, 1, 3, &score, None);
+        assert_eq!(field[0], Slot::Vertex(1));
+        assert_eq!(field[1], Slot::Vertex(0));
+        assert!(matches!(field[2], Slot::Vertex(v) if v >= 2));
+    }
+
+    #[test]
+    fn one_hop_truncation_pads_with_dummies() {
+        let (g, score) = star();
+        // Leaf 1 has a single 1-hop neighbour; with max_hops=1 and r=4 the
+        // field is [1, 0, dummy, dummy].
+        let field = receptive_field(&g, 1, 4, &score, Some(1));
+        assert_eq!(field[0], Slot::Vertex(1));
+        assert_eq!(field[1], Slot::Vertex(0));
+        assert_eq!(field[2], Slot::Dummy);
+        assert_eq!(field[3], Slot::Dummy);
+    }
+
+    #[test]
+    fn small_component_pads() {
+        let g = graph_from_edges(4, &[(0, 1)], None).unwrap();
+        let score = vec![0.5, 0.5, 0.0, 0.0];
+        let field = receptive_field(&g, 0, 4, &score, None);
+        assert_eq!(field[0], Slot::Vertex(0));
+        assert_eq!(field[1], Slot::Vertex(1));
+        assert_eq!(field[2], Slot::Dummy);
+        assert_eq!(field[3], Slot::Dummy);
+    }
+
+    #[test]
+    fn r_equal_one_is_just_the_root() {
+        let (g, score) = star();
+        assert_eq!(receptive_field(&g, 2, 1, &score, None), vec![Slot::Vertex(2)]);
+    }
+
+    #[test]
+    fn top_neighbours_selected_by_score() {
+        // Path 0-1-2-3-4: from vertex 2 with r=3, the two middle-adjacent
+        // vertices 1 and 3 (higher centrality than endpoints) are chosen.
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)], None).unwrap();
+        let seq = vertex_sequence(&g, VertexOrdering::EigenvectorCentrality);
+        let field = receptive_field(&g, 2, 3, &seq.score, None);
+        let members: Vec<_> = field
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Vertex(v) => Some(*v),
+                Slot::Dummy => None,
+            })
+            .collect();
+        assert_eq!(members[0], 2);
+        assert!(members.contains(&1) && members.contains(&3));
+    }
+
+    #[test]
+    fn sequence_fields_pad_to_w() {
+        let (g, score) = star();
+        let seq = vertex_sequence(&g, VertexOrdering::EigenvectorCentrality);
+        let fields = sequence_receptive_fields(&g, &seq.order, &score, 8, 3, None);
+        assert_eq!(fields.len(), 8);
+        for f in &fields[5..] {
+            assert!(f.iter().all(|s| *s == Slot::Dummy));
+        }
+        for f in &fields[..5] {
+            assert_eq!(f.len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "receptive field size must be at least 1")]
+    fn zero_r_panics() {
+        let (g, score) = star();
+        receptive_field(&g, 0, 0, &score, None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the DeepMap core pipeline stages.
+
+use deepmap_core::alignment::{vertex_sequence, VertexOrdering};
+use deepmap_core::assemble::{assemble_dataset, AssembleConfig};
+use deepmap_core::receptive_field::{receptive_field, sequence_receptive_fields, Slot};
+use deepmap_graph::{Graph, GraphBuilder};
+use deepmap_kernels::{vertex_feature_maps, FeatureKind};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(2 * n));
+        let labels = proptest::collection::vec(1u32..4, n);
+        (Just(n), edges, labels).prop_map(|(n, edges, labels)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v).expect("in range");
+                }
+            }
+            b.set_labels(&labels).expect("count");
+            b.build().expect("valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Vertex sequences are permutations of the vertex set for every
+    /// ordering.
+    #[test]
+    fn sequences_are_permutations(g in arb_graph(12), seed in 0u64..20) {
+        for ordering in [
+            VertexOrdering::EigenvectorCentrality,
+            VertexOrdering::DegreeCentrality,
+            VertexOrdering::Random(seed),
+        ] {
+            let seq = vertex_sequence(&g, ordering);
+            let mut sorted = seq.order.clone();
+            sorted.sort_unstable();
+            let expected: Vec<u32> = (0..g.n_vertices() as u32).collect();
+            prop_assert_eq!(sorted, expected, "{:?}", ordering);
+        }
+    }
+
+    /// A receptive field always has exactly `r` slots, starts with its
+    /// root, contains no duplicate vertices, and puts dummies only at the
+    /// tail.
+    #[test]
+    fn receptive_field_shape(g in arb_graph(12), r in 1usize..8) {
+        let seq = vertex_sequence(&g, VertexOrdering::EigenvectorCentrality);
+        for v in g.vertices() {
+            let field = receptive_field(&g, v, r, &seq.score, None);
+            prop_assert_eq!(field.len(), r);
+            prop_assert_eq!(field[0], Slot::Vertex(v));
+            let mut seen = std::collections::HashSet::new();
+            let mut dummy_started = false;
+            for slot in &field {
+                match slot {
+                    Slot::Vertex(w) => {
+                        prop_assert!(!dummy_started, "vertex after dummy");
+                        prop_assert!(seen.insert(*w), "duplicate vertex {w}");
+                    }
+                    Slot::Dummy => dummy_started = true,
+                }
+            }
+        }
+    }
+
+    /// Field members are always within the BFS component of the root.
+    #[test]
+    fn receptive_field_stays_in_component(g in arb_graph(12), r in 2usize..6) {
+        let seq = vertex_sequence(&g, VertexOrdering::EigenvectorCentrality);
+        let comps = deepmap_graph::components::connected_components(&g);
+        for v in g.vertices() {
+            let field = receptive_field(&g, v, r, &seq.score, None);
+            for slot in &field {
+                if let Slot::Vertex(w) = slot {
+                    prop_assert_eq!(
+                        comps.component[*w as usize],
+                        comps.component[v as usize]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sequence receptive fields pad to exactly `w × r` and the padding is
+    /// all-dummy.
+    #[test]
+    fn sequence_fields_pad(g in arb_graph(8), extra in 0usize..5, r in 1usize..5) {
+        let seq = vertex_sequence(&g, VertexOrdering::EigenvectorCentrality);
+        let w = g.n_vertices() + extra;
+        let fields = sequence_receptive_fields(&g, &seq.order, &seq.score, w, r, None);
+        prop_assert_eq!(fields.len(), w);
+        for f in fields.iter().skip(g.n_vertices()) {
+            prop_assert!(f.iter().all(|s| *s == Slot::Dummy));
+        }
+    }
+
+    /// Assembled tensors have the advertised shape and only the first
+    /// `n_vertices × r` rows can be non-zero.
+    #[test]
+    fn assembly_shape_and_padding(graphs in proptest::collection::vec(arb_graph(8), 1..4), r in 1usize..5) {
+        let features = vertex_feature_maps(&graphs, FeatureKind::WlSubtree { iterations: 1 }, 0);
+        let config = AssembleConfig { r, ..Default::default() };
+        let ds = assemble_dataset(&graphs, &features, &config);
+        let w = graphs.iter().map(|g| g.n_vertices()).max().unwrap().max(1);
+        prop_assert_eq!(ds.w, w);
+        for (g, input) in graphs.iter().zip(&ds.inputs) {
+            prop_assert_eq!(input.shape(), (w * r, ds.m));
+            for pos in g.n_vertices()..w {
+                for slot in 0..r {
+                    prop_assert!(input.row(pos * r + slot).iter().all(|&v| v == 0.0));
+                }
+            }
+        }
+    }
+
+    /// Assembly is deterministic.
+    #[test]
+    fn assembly_deterministic(g in arb_graph(8)) {
+        let graphs = vec![g];
+        let features = vertex_feature_maps(&graphs, FeatureKind::ShortestPath, 0);
+        let config = AssembleConfig::default();
+        let a = assemble_dataset(&graphs, &features, &config);
+        let b = assemble_dataset(&graphs, &features, &config);
+        prop_assert_eq!(a.inputs, b.inputs);
+    }
+}

@@ -1,0 +1,226 @@
+//! Generator specifications for the simulated benchmarks.
+
+/// The structural family a simulated dataset's classes are drawn from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Family {
+    /// SYNTHIE's own recipe (paper §5.2): classes derive from two
+    /// Erdős–Rényi seed graphs with edge probability 0.2; each class applies
+    /// a different rewiring intensity to one of the seeds.
+    SynthieLike,
+    /// Brain-network style: planted-partition community graphs whose
+    /// intra/inter densities differ per class (KKI).
+    Community,
+    /// Dense chemical `_MD` style: near-complete graphs whose class signal
+    /// is the density of a planted sparse sub-pattern (BZR_MD, COX2_MD).
+    DenseMolecular,
+    /// Sparse molecule style: random trees plus class-dependent ring counts
+    /// (DHFR, NCI1, PTC_*).
+    SparseMolecular,
+    /// Protein style: caveman-like secondary-structure blobs with
+    /// class-dependent block sizes (ENZYMES, PROTEINS).
+    ProteinLike,
+    /// Social ego-network style: ego networks with class-dependent alter
+    /// density (IMDB-*, COLLAB).
+    EgoNetwork,
+}
+
+/// Everything needed to synthesise one benchmark.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Paper name (Table 1).
+    pub name: &'static str,
+    /// Number of graphs at scale 1.0.
+    pub size: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Target average vertex count.
+    pub avg_nodes: f64,
+    /// Target average edge count (drives the family's density knobs).
+    pub avg_edges: f64,
+    /// Vertex-label alphabet size; 0 = unlabeled (degrees are used as
+    /// labels downstream, as in the paper §5.2).
+    pub n_labels: u32,
+    /// Structural family.
+    pub family: Family,
+}
+
+/// Table 1, transcribed. `avg_nodes`/`avg_edges`/`n_labels` come straight
+/// from the paper; the family assignment encodes what kind of data each
+/// benchmark is (paper §5.2 descriptions).
+pub const SPECS: &[DatasetSpec] = &[
+    DatasetSpec {
+        name: "SYNTHIE",
+        size: 400,
+        n_classes: 4,
+        avg_nodes: 95.0,
+        avg_edges: 172.93,
+        n_labels: 0,
+        family: Family::SynthieLike,
+    },
+    DatasetSpec {
+        name: "KKI",
+        size: 83,
+        n_classes: 2,
+        avg_nodes: 26.96,
+        avg_edges: 48.42,
+        n_labels: 190,
+        family: Family::Community,
+    },
+    DatasetSpec {
+        name: "BZR_MD",
+        size: 306,
+        n_classes: 2,
+        avg_nodes: 21.30,
+        avg_edges: 225.06,
+        n_labels: 8,
+        family: Family::DenseMolecular,
+    },
+    DatasetSpec {
+        name: "COX2_MD",
+        size: 303,
+        n_classes: 2,
+        avg_nodes: 26.28,
+        avg_edges: 335.12,
+        n_labels: 7,
+        family: Family::DenseMolecular,
+    },
+    DatasetSpec {
+        name: "DHFR",
+        size: 467,
+        n_classes: 2,
+        avg_nodes: 42.43,
+        avg_edges: 44.54,
+        n_labels: 9,
+        family: Family::SparseMolecular,
+    },
+    DatasetSpec {
+        name: "NCI1",
+        size: 4110,
+        n_classes: 2,
+        avg_nodes: 17.93,
+        avg_edges: 19.79,
+        n_labels: 37,
+        family: Family::SparseMolecular,
+    },
+    DatasetSpec {
+        name: "PTC_MM",
+        size: 336,
+        n_classes: 2,
+        avg_nodes: 13.97,
+        avg_edges: 14.32,
+        n_labels: 20,
+        family: Family::SparseMolecular,
+    },
+    DatasetSpec {
+        name: "PTC_MR",
+        size: 344,
+        n_classes: 2,
+        avg_nodes: 14.29,
+        avg_edges: 14.69,
+        n_labels: 18,
+        family: Family::SparseMolecular,
+    },
+    DatasetSpec {
+        name: "PTC_FM",
+        size: 349,
+        n_classes: 2,
+        avg_nodes: 14.11,
+        avg_edges: 14.48,
+        n_labels: 18,
+        family: Family::SparseMolecular,
+    },
+    DatasetSpec {
+        name: "PTC_FR",
+        size: 351,
+        n_classes: 2,
+        avg_nodes: 14.56,
+        avg_edges: 15.00,
+        n_labels: 19,
+        family: Family::SparseMolecular,
+    },
+    DatasetSpec {
+        name: "ENZYMES",
+        size: 600,
+        n_classes: 6,
+        avg_nodes: 32.63,
+        avg_edges: 62.14,
+        n_labels: 3,
+        family: Family::ProteinLike,
+    },
+    DatasetSpec {
+        name: "PROTEINS",
+        size: 1113,
+        n_classes: 2,
+        avg_nodes: 39.06,
+        avg_edges: 72.82,
+        n_labels: 3,
+        family: Family::ProteinLike,
+    },
+    DatasetSpec {
+        name: "IMDB-BINARY",
+        size: 1000,
+        n_classes: 2,
+        avg_nodes: 19.77,
+        avg_edges: 96.53,
+        n_labels: 0,
+        family: Family::EgoNetwork,
+    },
+    DatasetSpec {
+        name: "IMDB-MULTI",
+        size: 1500,
+        n_classes: 3,
+        avg_nodes: 13.00,
+        avg_edges: 65.94,
+        n_labels: 0,
+        family: Family::EgoNetwork,
+    },
+    DatasetSpec {
+        name: "COLLAB",
+        size: 5000,
+        n_classes: 3,
+        avg_nodes: 74.49,
+        avg_edges: 2457.78,
+        n_labels: 0,
+        family: Family::EgoNetwork,
+    },
+];
+
+/// Looks a spec up by (case-insensitive) name.
+pub fn spec_by_name(name: &str) -> Option<&'static DatasetSpec> {
+    SPECS.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_benchmarks() {
+        assert_eq!(SPECS.len(), 15);
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        assert!(spec_by_name("synthie").is_some());
+        assert!(spec_by_name("IMDB-binary").is_some());
+        assert!(spec_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn table1_spot_checks() {
+        let nci1 = spec_by_name("NCI1").unwrap();
+        assert_eq!(nci1.size, 4110);
+        assert_eq!(nci1.n_labels, 37);
+        let collab = spec_by_name("COLLAB").unwrap();
+        assert_eq!(collab.n_classes, 3);
+        assert!((collab.avg_edges - 2457.78).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = SPECS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15);
+    }
+}

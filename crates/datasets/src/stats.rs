@@ -1,0 +1,110 @@
+//! Dataset statistics (reproduces the paper's Table 1 columns).
+
+use crate::registry::GraphDataset;
+use deepmap_graph::FxHashSet;
+
+/// Statistics of one generated dataset, matching Table 1's columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of graphs.
+    pub size: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Average vertex count.
+    pub avg_nodes: f64,
+    /// Average edge count.
+    pub avg_edges: f64,
+    /// Number of distinct vertex labels across the dataset.
+    pub n_labels: usize,
+    /// Largest vertex count (the paper's `w`).
+    pub max_nodes: usize,
+}
+
+/// Computes Table-1 statistics for a generated dataset.
+pub fn compute(dataset: &GraphDataset) -> DatasetStats {
+    let size = dataset.len();
+    let (mut node_sum, mut edge_sum, mut max_nodes) = (0usize, 0usize, 0usize);
+    let mut labels: FxHashSet<u32> = FxHashSet::default();
+    for g in &dataset.graphs {
+        node_sum += g.n_vertices();
+        edge_sum += g.n_edges();
+        max_nodes = max_nodes.max(g.n_vertices());
+        labels.extend(g.labels().iter().copied());
+    }
+    let denom = size.max(1) as f64;
+    DatasetStats {
+        name: dataset.name.clone(),
+        size,
+        n_classes: dataset.n_classes,
+        avg_nodes: node_sum as f64 / denom,
+        avg_edges: edge_sum as f64 / denom,
+        n_labels: labels.len(),
+        max_nodes,
+    }
+}
+
+impl DatasetStats {
+    /// One row of a Table-1-style report.
+    pub fn table_row(&self) -> String {
+        format!(
+            "| {:<12} | {:>5} | {:>2} | {:>7.2} | {:>8.2} | {:>4} |",
+            self.name, self.size, self.n_classes, self.avg_nodes, self.avg_edges, self.n_labels
+        )
+    }
+
+    /// Table-1-style header.
+    pub fn table_header() -> String {
+        format!(
+            "| {:<12} | {:>5} | {:>2} | {:>7} | {:>8} | {:>4} |\n|{}|",
+            "Dataset",
+            "Size",
+            "C#",
+            "AvgN",
+            "AvgE",
+            "L#",
+            "-".repeat(54)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::generate;
+
+    #[test]
+    fn stats_computed_on_generated_data() {
+        let ds = generate("PTC_FM", 0.1, 1).unwrap();
+        let stats = compute(&ds);
+        assert_eq!(stats.size, ds.len());
+        assert_eq!(stats.n_classes, 2);
+        assert!(stats.avg_nodes > 3.0);
+        assert!(stats.max_nodes >= stats.avg_nodes as usize);
+        assert!(stats.n_labels >= 1);
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let ds = generate("KKI", 0.2, 1).unwrap();
+        let stats = compute(&ds);
+        let row = stats.table_row();
+        assert!(row.contains("KKI"));
+        assert!(row.starts_with('|') && row.ends_with('|'));
+        assert!(!DatasetStats::table_header().is_empty());
+    }
+
+    #[test]
+    fn empty_dataset_safe() {
+        let ds = GraphDataset {
+            name: "EMPTY".into(),
+            graphs: vec![],
+            labels: vec![],
+            n_classes: 0,
+        };
+        let stats = compute(&ds);
+        assert_eq!(stats.size, 0);
+        assert_eq!(stats.avg_nodes, 0.0);
+    }
+}

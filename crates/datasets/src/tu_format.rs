@@ -1,0 +1,331 @@
+//! TU-repository text format I/O.
+//!
+//! The paper's benchmarks are distributed in the TU Dortmund collection's
+//! plain-text format: a dataset `DS` is a directory of aligned files
+//!
+//! - `DS_A.txt` — one `u, v` edge per line, vertices numbered 1..N over the
+//!   *whole* dataset (all graphs concatenated);
+//! - `DS_graph_indicator.txt` — line `i`: which graph vertex `i` belongs to
+//!   (1-based);
+//! - `DS_graph_labels.txt` — one class label per graph;
+//! - `DS_node_labels.txt` — one vertex label per vertex (optional).
+//!
+//! This module reads and writes that format, so the simulated benchmarks
+//! can be exported for other tools and the *real* TU datasets can be
+//! loaded into this library when they are available.
+
+use crate::registry::GraphDataset;
+use deepmap_graph::{GraphBuilder, GraphError};
+use std::fmt;
+use std::path::Path;
+
+/// Errors from TU-format parsing.
+#[derive(Debug)]
+pub enum TuError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// A line failed to parse.
+    Parse {
+        /// File stem that failed (e.g. `DS_A.txt`).
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// Cross-file inconsistency (counts disagree, dangling ids…).
+    Inconsistent(
+        /// Description of the inconsistency.
+        String,
+    ),
+    /// Graph construction failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for TuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuError::Io(e) => write!(f, "io error: {e}"),
+            TuError::Parse { file, line, message } => {
+                write!(f, "{file}:{line}: {message}")
+            }
+            TuError::Inconsistent(msg) => write!(f, "inconsistent dataset: {msg}"),
+            TuError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuError {}
+
+impl From<std::io::Error> for TuError {
+    fn from(e: std::io::Error) -> Self {
+        TuError::Io(e)
+    }
+}
+
+impl From<GraphError> for TuError {
+    fn from(e: GraphError) -> Self {
+        TuError::Graph(e)
+    }
+}
+
+fn parse_numbers<T: std::str::FromStr>(content: &str, file: &str) -> Result<Vec<Vec<T>>, TuError> {
+    let mut rows = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let row: Result<Vec<T>, _> = trimmed
+            .split(',')
+            .map(|tok| tok.trim().parse::<T>())
+            .collect();
+        match row {
+            Ok(values) => rows.push(values),
+            Err(_) => {
+                return Err(TuError::Parse {
+                    file: file.to_string(),
+                    line: i + 1,
+                    message: format!("cannot parse {trimmed:?}"),
+                })
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Loads a TU-format dataset from `dir` with dataset stem `name`
+/// (`dir/name_A.txt`, …). Missing `_node_labels.txt` defaults all labels
+/// to 0 (callers apply the degree-label convention as needed). Graph class
+/// labels are remapped to dense `0..n_classes` preserving numeric order.
+pub fn load(dir: &Path, name: &str) -> Result<GraphDataset, TuError> {
+    let read = |suffix: &str| -> Result<String, TuError> {
+        Ok(std::fs::read_to_string(dir.join(format!("{name}{suffix}")))?)
+    };
+
+    let indicator: Vec<usize> = parse_numbers::<usize>(&read("_graph_indicator.txt")?, "_graph_indicator.txt")?
+        .into_iter()
+        .map(|row| row[0])
+        .collect();
+    let graph_labels_raw: Vec<i64> = parse_numbers::<i64>(&read("_graph_labels.txt")?, "_graph_labels.txt")?
+        .into_iter()
+        .map(|row| row[0])
+        .collect();
+    let edges: Vec<(usize, usize)> = parse_numbers::<usize>(&read("_A.txt")?, "_A.txt")?
+        .into_iter()
+        .map(|row| {
+            if row.len() >= 2 {
+                Ok((row[0], row[1]))
+            } else {
+                Err(TuError::Inconsistent("edge line with < 2 columns".into()))
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let node_labels: Option<Vec<u32>> = match std::fs::read_to_string(dir.join(format!("{name}_node_labels.txt"))) {
+        Ok(content) => Some(
+            parse_numbers::<u32>(&content, "_node_labels.txt")?
+                .into_iter()
+                .map(|row| row[0])
+                .collect(),
+        ),
+        Err(_) => None,
+    };
+
+    let n_graphs = graph_labels_raw.len();
+    let n_vertices = indicator.len();
+    if let Some(labels) = &node_labels {
+        if labels.len() != n_vertices {
+            return Err(TuError::Inconsistent(format!(
+                "{} node labels for {} vertices",
+                labels.len(),
+                n_vertices
+            )));
+        }
+    }
+
+    // Per-graph vertex ranges; TU vertices are 1-based and grouped.
+    let mut graph_of = vec![0usize; n_vertices];
+    let mut sizes = vec![0usize; n_graphs];
+    for (v, &g) in indicator.iter().enumerate() {
+        if g == 0 || g > n_graphs {
+            return Err(TuError::Inconsistent(format!(
+                "vertex {} assigned to graph {} of {}",
+                v + 1,
+                g,
+                n_graphs
+            )));
+        }
+        graph_of[v] = g - 1;
+        sizes[g - 1] += 1;
+    }
+    let mut local_id = vec![0u32; n_vertices];
+    let mut counters = vec![0u32; n_graphs];
+    for v in 0..n_vertices {
+        local_id[v] = counters[graph_of[v]];
+        counters[graph_of[v]] += 1;
+    }
+
+    let mut builders: Vec<GraphBuilder> = sizes.iter().map(|&s| GraphBuilder::new(s)).collect();
+    if let Some(labels) = &node_labels {
+        for v in 0..n_vertices {
+            builders[graph_of[v]].set_label(local_id[v], labels[v])?;
+        }
+    }
+    for (u, v) in edges {
+        if u == 0 || v == 0 || u > n_vertices || v > n_vertices {
+            return Err(TuError::Inconsistent(format!("edge ({u}, {v}) out of range")));
+        }
+        let (u, v) = (u - 1, v - 1);
+        if graph_of[u] != graph_of[v] {
+            return Err(TuError::Inconsistent(format!(
+                "edge ({}, {}) crosses graphs",
+                u + 1,
+                v + 1
+            )));
+        }
+        if local_id[u] != local_id[v] {
+            builders[graph_of[u]].add_edge(local_id[u], local_id[v])?;
+        }
+    }
+
+    // Dense class labels.
+    let mut distinct: Vec<i64> = graph_labels_raw.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let labels: Vec<usize> = graph_labels_raw
+        .iter()
+        .map(|l| distinct.binary_search(l).expect("label present") )
+        .collect();
+
+    Ok(GraphDataset {
+        name: name.to_string(),
+        graphs: builders
+            .into_iter()
+            .map(|b| b.build())
+            .collect::<Result<_, _>>()?,
+        labels,
+        n_classes: distinct.len(),
+    })
+}
+
+/// Writes `dataset` to `dir` in TU format (creates the directory).
+pub fn save(dataset: &GraphDataset, dir: &Path) -> Result<(), TuError> {
+    std::fs::create_dir_all(dir)?;
+    let name = &dataset.name;
+    let mut a = String::new();
+    let mut indicator = String::new();
+    let mut node_labels = String::new();
+    let mut graph_labels = String::new();
+    let mut offset = 0usize; // global 1-based vertex id offset
+    for (gi, graph) in dataset.graphs.iter().enumerate() {
+        graph_labels.push_str(&format!("{}\n", dataset.labels[gi]));
+        for v in graph.vertices() {
+            indicator.push_str(&format!("{}\n", gi + 1));
+            node_labels.push_str(&format!("{}\n", graph.label(v)));
+        }
+        for (u, v) in graph.edges() {
+            // TU lists both directions.
+            a.push_str(&format!(
+                "{}, {}\n{}, {}\n",
+                offset + u as usize + 1,
+                offset + v as usize + 1,
+                offset + v as usize + 1,
+                offset + u as usize + 1
+            ));
+        }
+        offset += graph.n_vertices();
+    }
+    std::fs::write(dir.join(format!("{name}_A.txt")), a)?;
+    std::fs::write(dir.join(format!("{name}_graph_indicator.txt")), indicator)?;
+    std::fs::write(dir.join(format!("{name}_node_labels.txt")), node_labels)?;
+    std::fs::write(dir.join(format!("{name}_graph_labels.txt")), graph_labels)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::generate;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("deepmap_tu_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_dataset() {
+        let ds = generate("PTC_MM", 0.05, 3).unwrap();
+        let dir = tmp_dir("roundtrip");
+        save(&ds, &dir).unwrap();
+        let loaded = load(&dir, &ds.name).unwrap();
+        assert_eq!(loaded.len(), ds.len());
+        assert_eq!(loaded.n_classes, ds.n_classes);
+        assert_eq!(loaded.labels, ds.labels);
+        for (a, b) in ds.graphs.iter().zip(&loaded.graphs) {
+            assert_eq!(a, b);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_without_node_labels_defaults_zero() {
+        let ds = generate("KKI", 0.1, 1).unwrap();
+        let dir = tmp_dir("nolabels");
+        save(&ds, &dir).unwrap();
+        std::fs::remove_file(dir.join(format!("{}_node_labels.txt", ds.name))).unwrap();
+        let loaded = load(&dir, &ds.name).unwrap();
+        for g in &loaded.graphs {
+            assert!(g.labels().iter().all(|&l| l == 0));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn class_labels_densified() {
+        // Hand-written dataset with class labels {-1, 1}.
+        let dir = tmp_dir("dense");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("X_A.txt"), "1, 2\n2, 1\n3, 4\n4, 3\n").unwrap();
+        std::fs::write(dir.join("X_graph_indicator.txt"), "1\n1\n2\n2\n").unwrap();
+        std::fs::write(dir.join("X_graph_labels.txt"), "-1\n1\n").unwrap();
+        let ds = load(&dir, "X").unwrap();
+        assert_eq!(ds.labels, vec![0, 1]);
+        assert_eq!(ds.n_classes, 2);
+        assert_eq!(ds.graphs[0].n_edges(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_cross_graph_edges() {
+        let dir = tmp_dir("cross");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("X_A.txt"), "1, 3\n").unwrap();
+        std::fs::write(dir.join("X_graph_indicator.txt"), "1\n1\n2\n").unwrap();
+        std::fs::write(dir.join("X_graph_labels.txt"), "0\n1\n").unwrap();
+        let err = load(&dir, "X").unwrap_err();
+        assert!(matches!(err, TuError::Inconsistent(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let dir = tmp_dir("badnum");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("X_A.txt"), "1, banana\n").unwrap();
+        std::fs::write(dir.join("X_graph_indicator.txt"), "1\n1\n").unwrap();
+        std::fs::write(dir.join("X_graph_labels.txt"), "0\n").unwrap();
+        let err = load(&dir, "X").unwrap_err();
+        assert!(matches!(err, TuError::Parse { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let dir = tmp_dir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = load(&dir, "NOPE").unwrap_err();
+        assert!(matches!(err, TuError::Io(_)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

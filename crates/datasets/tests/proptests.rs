@@ -1,0 +1,79 @@
+//! Property-based tests over the benchmark simulators.
+
+use deepmap_datasets::spec::SPECS;
+use deepmap_datasets::{generate, generate_spec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every registered benchmark generates, is class-complete, respects
+    /// its label alphabet, and contains only simple graphs.
+    #[test]
+    fn all_benchmarks_well_formed(spec_idx in 0usize..15, seed in 0u64..50) {
+        let spec = &SPECS[spec_idx];
+        let ds = generate_spec(spec, 0.03, seed);
+        prop_assert!(!ds.is_empty());
+        prop_assert_eq!(ds.graphs.len(), ds.labels.len());
+        // All classes present.
+        for class in 0..spec.n_classes {
+            prop_assert!(ds.labels.contains(&class), "{} class {}", spec.name, class);
+        }
+        for g in &ds.graphs {
+            prop_assert!(g.n_vertices() >= 1, "{}", spec.name);
+            // Labeled datasets stay within the alphabet; unlabeled use
+            // degrees.
+            if spec.n_labels > 0 {
+                prop_assert!(g.labels().iter().all(|&l| (1..=spec.n_labels).contains(&l)));
+            } else {
+                for v in g.vertices() {
+                    prop_assert_eq!(g.label(v), g.degree(v) as u32);
+                }
+            }
+        }
+    }
+
+    /// Generation is a pure function of (name, scale, seed).
+    #[test]
+    fn generation_deterministic(spec_idx in 0usize..15, seed in 0u64..50) {
+        let name = SPECS[spec_idx].name;
+        let a = generate(name, 0.02, seed).unwrap();
+        let b = generate(name, 0.02, seed).unwrap();
+        prop_assert_eq!(a.graphs, b.graphs);
+        prop_assert_eq!(a.labels, b.labels);
+    }
+
+    /// Subsampling keeps class balance within one graph per class and
+    /// never invents graphs.
+    #[test]
+    fn subsample_balance(spec_idx in 0usize..15, cap in 4usize..40) {
+        let spec = &SPECS[spec_idx];
+        let ds = generate_spec(spec, 0.05, 1);
+        let sub = ds.subsample(cap);
+        prop_assert!(sub.len() <= cap.max(ds.len().min(cap)));
+        prop_assert!(sub.len() <= ds.len());
+        if ds.len() >= cap && cap >= spec.n_classes {
+            let mut counts = vec![0usize; spec.n_classes];
+            for &l in &sub.labels {
+                counts[l] += 1;
+            }
+            let max = counts.iter().max().unwrap();
+            let min = counts.iter().min().unwrap();
+            prop_assert!(max - min <= 1, "{:?}", counts);
+        }
+        // Every subsampled graph exists in the original.
+        for g in &sub.graphs {
+            prop_assert!(ds.graphs.contains(g));
+        }
+    }
+
+    /// Different seeds produce different datasets (overwhelmingly likely
+    /// for any non-degenerate generator).
+    #[test]
+    fn seeds_vary_output(spec_idx in 0usize..15) {
+        let name = SPECS[spec_idx].name;
+        let a = generate(name, 0.05, 1).unwrap();
+        let b = generate(name, 0.05, 2).unwrap();
+        prop_assert!(a.graphs != b.graphs, "{name} ignored the seed");
+    }
+}

@@ -1,0 +1,268 @@
+//! Stratified k-fold cross-validation.
+
+use crate::metrics::MeanStd;
+use deepmap_kernels::KernelMatrix;
+use deepmap_svm::multiclass::select_c_and_train;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of one cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CvSummary {
+    /// Accuracy mean ± std over folds (at the selected epoch for neural
+    /// models).
+    pub accuracy: MeanStd,
+    /// Per-fold accuracies in fold order.
+    pub fold_accuracies: Vec<f64>,
+    /// Selected epoch (neural models only): the epoch with the best mean
+    /// CV accuracy, following GIN's protocol (paper §5.1).
+    pub best_epoch: Option<usize>,
+    /// Mean wall-clock seconds per epoch (neural models; 0 for kernels).
+    pub mean_epoch_seconds: f64,
+}
+
+/// Splits `labels` into `k` stratified folds: each fold receives an even
+/// share of every class (shuffled within class by `seed`). Returns the test
+/// indices per fold.
+///
+/// # Panics
+/// Panics when `k == 0` or `k > labels.len()`.
+pub fn stratified_folds(labels: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 1, "need at least one fold");
+    assert!(k <= labels.len().max(1), "more folds than samples");
+    let n_classes = labels.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for class in 0..n_classes {
+        let mut members: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect();
+        members.shuffle(&mut rng);
+        for (j, idx) in members.into_iter().enumerate() {
+            folds[j % k].push(idx);
+        }
+    }
+    for fold in &mut folds {
+        fold.sort_unstable();
+    }
+    folds
+}
+
+/// Complement of `test` within `0..n`, preserving order.
+pub fn train_indices(n: usize, test: &[usize]) -> Vec<usize> {
+    let mut is_test = vec![false; n];
+    for &i in test {
+        is_test[i] = true;
+    }
+    (0..n).filter(|&i| !is_test[i]).collect()
+}
+
+/// Cross-validates a kernel machine: per fold, tunes `C` on the fold's
+/// training data (paper protocol) and measures test accuracy.
+pub fn cross_validate_svm(
+    kernel: &KernelMatrix,
+    labels: &[usize],
+    n_classes: usize,
+    k: usize,
+    c_grid: &[f64],
+    seed: u64,
+) -> CvSummary {
+    let folds = stratified_folds(labels, k, seed);
+    let mut fold_accuracies = Vec::with_capacity(k);
+    for test in &folds {
+        let train = train_indices(labels.len(), test);
+        let train_y: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
+        let test_y: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
+        if train.is_empty() || test.is_empty() {
+            fold_accuracies.push(0.0);
+            continue;
+        }
+        let (model, _c) = select_c_and_train(kernel, &train, &train_y, n_classes, c_grid);
+        fold_accuracies.push(model.accuracy(kernel, test, &test_y));
+    }
+    CvSummary {
+        accuracy: MeanStd::of(&fold_accuracies),
+        fold_accuracies,
+        best_epoch: None,
+        mean_epoch_seconds: 0.0,
+    }
+}
+
+/// Per-fold output of an epoch-tracked neural trainer: test accuracy after
+/// every epoch, plus the mean seconds one epoch took.
+#[derive(Debug, Clone)]
+pub struct FoldCurve {
+    /// `test_accuracy[e]` = held-out accuracy after epoch `e`.
+    pub test_accuracy: Vec<f64>,
+    /// Mean wall-clock seconds per epoch in this fold.
+    pub epoch_seconds: f64,
+}
+
+/// Cross-validates an epoch-tracked model. `train_fold(fold_index, train,
+/// test)` trains from scratch and returns the per-epoch held-out curve.
+/// The reported accuracy follows GIN's protocol: select the epoch with the
+/// best accuracy averaged over folds, then report mean ± std across folds
+/// *at that epoch*.
+///
+/// Folds run on `threads` scoped threads when `threads > 1` (each fold is
+/// an independent training run).
+pub fn cross_validate_epochs<F>(
+    labels: &[usize],
+    k: usize,
+    seed: u64,
+    threads: usize,
+    train_fold: F,
+) -> CvSummary
+where
+    F: Fn(usize, &[usize], &[usize]) -> FoldCurve + Sync,
+{
+    let folds = stratified_folds(labels, k, seed);
+    let n = labels.len();
+    type FoldJob = (usize, Vec<usize>, Vec<usize>);
+    let jobs: Vec<FoldJob> = folds
+        .iter()
+        .enumerate()
+        .map(|(fi, test)| (fi, train_indices(n, test), test.clone()))
+        .collect();
+
+    let curves: Vec<FoldCurve> = if threads <= 1 {
+        jobs.iter()
+            .map(|(fi, train, test)| train_fold(*fi, train, test))
+            .collect()
+    } else {
+        let chunks: Vec<&[FoldJob]> = jobs.chunks(jobs.len().div_ceil(threads)).collect();
+        let mut indexed: Vec<(usize, FoldCurve)> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    let train_fold = &train_fold;
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|(fi, train, test)| (*fi, train_fold(*fi, train, test)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fold worker panicked"))
+                .collect()
+        })
+        .expect("scope panicked");
+        indexed.sort_by_key(|(fi, _)| *fi);
+        indexed.into_iter().map(|(_, c)| c).collect()
+    };
+
+    // Epoch selection on the mean curve.
+    let n_epochs = curves.iter().map(|c| c.test_accuracy.len()).min().unwrap_or(0);
+    let mut best_epoch = 0usize;
+    let mut best_mean = f64::NEG_INFINITY;
+    for e in 0..n_epochs {
+        let mean: f64 =
+            curves.iter().map(|c| c.test_accuracy[e]).sum::<f64>() / curves.len().max(1) as f64;
+        if mean > best_mean {
+            best_mean = mean;
+            best_epoch = e;
+        }
+    }
+    let fold_accuracies: Vec<f64> = if n_epochs == 0 {
+        vec![0.0; curves.len()]
+    } else {
+        curves.iter().map(|c| c.test_accuracy[best_epoch]).collect()
+    };
+    let mean_epoch_seconds =
+        curves.iter().map(|c| c.epoch_seconds).sum::<f64>() / curves.len().max(1) as f64;
+    CvSummary {
+        accuracy: MeanStd::of(&fold_accuracies),
+        fold_accuracies,
+        best_epoch: (n_epochs > 0).then_some(best_epoch),
+        mean_epoch_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_are_a_partition() {
+        let labels = vec![0, 1, 0, 1, 0, 1, 0, 1, 2, 2];
+        let folds = stratified_folds(&labels, 3, 1);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        // 20 of class 0 and 20 of class 1 into 10 folds → 2 per class each.
+        let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let folds = stratified_folds(&labels, 10, 2);
+        for fold in &folds {
+            let c0 = fold.iter().filter(|&&i| labels[i] == 0).count();
+            let c1 = fold.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(c0, 2);
+            assert_eq!(c1, 2);
+        }
+    }
+
+    #[test]
+    fn train_indices_complement() {
+        let train = train_indices(6, &[1, 4]);
+        assert_eq!(train, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn deterministic_folds() {
+        let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        assert_eq!(stratified_folds(&labels, 5, 9), stratified_folds(&labels, 5, 9));
+        assert_ne!(stratified_folds(&labels, 5, 9), stratified_folds(&labels, 5, 10));
+    }
+
+    #[test]
+    fn epoch_selection_picks_best_mean() {
+        // Fold 0 curve peaks at epoch 1, fold 1 at epoch 2; mean peaks at 2.
+        let labels = vec![0, 0, 1, 1];
+        let curves = [
+            vec![0.2, 0.8, 0.7],
+            vec![0.1, 0.5, 0.9],
+        ];
+        let summary = cross_validate_epochs(&labels, 2, 1, 1, |fi, _train, _test| FoldCurve {
+            test_accuracy: curves[fi].clone(),
+            epoch_seconds: 0.5,
+        });
+        assert_eq!(summary.best_epoch, Some(1).map(|_| {
+            // mean(e1) = 0.65, mean(e2) = 0.8 → epoch 2 (index 2).
+            2
+        }));
+        assert!((summary.accuracy.mean - 0.8).abs() < 1e-12);
+        assert!((summary.mean_epoch_seconds - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_folds_match_serial() {
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let runner = |fi: usize, train: &[usize], test: &[usize]| FoldCurve {
+            test_accuracy: vec![
+                (fi as f64 + train.len() as f64) / 30.0,
+                (test.len() as f64) / 10.0,
+            ],
+            epoch_seconds: 0.1,
+        };
+        let serial = cross_validate_epochs(&labels, 4, 3, 1, runner);
+        let parallel = cross_validate_epochs(&labels, 4, 3, 4, runner);
+        assert_eq!(serial.fold_accuracies, parallel.fold_accuracies);
+        assert_eq!(serial.best_epoch, parallel.best_epoch);
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than samples")]
+    fn too_many_folds_panics() {
+        stratified_folds(&[0, 1], 5, 1);
+    }
+}

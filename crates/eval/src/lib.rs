@@ -1,0 +1,22 @@
+//! Evaluation harness for the DeepMap reproduction.
+//!
+//! Implements the paper's protocol (§5.1): 10-fold cross-validation with
+//! mean accuracy ± standard deviation; for neural models the reported epoch
+//! is the one with the best CV accuracy averaged over the folds (following
+//! GIN); for kernel machines `C` is tuned per fold on that fold's training
+//! data.
+//!
+//! - [`cv`] — stratified fold construction and the generic CV drivers for
+//!   kernel SVMs and epoch-tracked neural trainers.
+//! - [`metrics`] — accuracy aggregation (mean ± std).
+//! - [`tables`] — markdown rendering of result tables matching the paper's
+//!   layout.
+
+#![deny(missing_docs)]
+
+pub mod cv;
+pub mod metrics;
+pub mod tables;
+
+pub use cv::{stratified_folds, CvSummary};
+pub use metrics::{ConfusionMatrix, MeanStd};

@@ -1,0 +1,188 @@
+//! Accuracy aggregation.
+
+/// A mean ± (population) standard deviation pair, printed the way the paper
+/// reports accuracies (percent, two decimals).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Mean value (fraction in `[0, 1]` for accuracies).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Aggregates a slice of values.
+    ///
+    /// Returns `mean = std = 0` for empty input.
+    pub fn of(values: &[f64]) -> MeanStd {
+        if values.is_empty() {
+            return MeanStd { mean: 0.0, std: 0.0 };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        MeanStd {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+
+    /// Formats as the paper does: `54.53±6.16` (percent).
+    pub fn as_percent(&self) -> String {
+        format!("{:.2}±{:.2}", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_percent())
+    }
+}
+
+/// A confusion matrix over `n_classes` classes.
+///
+/// `counts[true][predicted]`, accumulated with [`ConfusionMatrix::record`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        ConfusionMatrix {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+        }
+    }
+
+    /// Records one `(true, predicted)` observation.
+    ///
+    /// # Panics
+    /// Panics when either class is out of range.
+    pub fn record(&mut self, true_class: usize, predicted: usize) {
+        assert!(true_class < self.n_classes && predicted < self.n_classes);
+        self.counts[true_class * self.n_classes + predicted] += 1;
+    }
+
+    /// Count for `(true, predicted)`.
+    pub fn get(&self, true_class: usize, predicted: usize) -> usize {
+        self.counts[true_class * self.n_classes + predicted]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.n_classes).map(|c| self.get(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class F1 score (0 when the class never appears as truth or
+    /// prediction).
+    pub fn f1(&self, class: usize) -> f64 {
+        let tp = self.get(class, class) as f64;
+        let fp: f64 = (0..self.n_classes)
+            .filter(|&t| t != class)
+            .map(|t| self.get(t, class) as f64)
+            .sum();
+        let fn_: f64 = (0..self.n_classes)
+            .filter(|&p| p != class)
+            .map(|p| self.get(class, p) as f64)
+            .sum();
+        let denom = 2.0 * tp + fp + fn_;
+        if denom == 0.0 {
+            0.0
+        } else {
+            2.0 * tp / denom
+        }
+    }
+
+    /// Macro-averaged F1 over all classes.
+    pub fn macro_f1(&self) -> f64 {
+        if self.n_classes == 0 {
+            return 0.0;
+        }
+        (0..self.n_classes).map(|c| self.f1(c)).sum::<f64>() / self.n_classes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let m = MeanStd::of(&[0.5, 0.7]);
+        assert!((m.mean - 0.6).abs() < 1e-12);
+        assert!((m.std - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let m = MeanStd::of(&[]);
+        assert_eq!(m.mean, 0.0);
+        assert_eq!(m.std, 0.0);
+    }
+
+    #[test]
+    fn constant_has_zero_std() {
+        let m = MeanStd::of(&[0.42; 10]);
+        assert!((m.mean - 0.42).abs() < 1e-12);
+        // Floating-point summation can leave a vanishing residual variance.
+        assert!(m.std < 1e-9);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        let m = MeanStd {
+            mean: 0.5453,
+            std: 0.0616,
+        };
+        assert_eq!(m.as_percent(), "54.53±6.16");
+        assert_eq!(format!("{m}"), "54.53±6.16");
+    }
+
+    #[test]
+    fn confusion_accuracy_and_f1() {
+        let mut cm = ConfusionMatrix::new(2);
+        // 3 true positives of class 1, 1 false negative, 1 false positive,
+        // 5 true negatives.
+        for _ in 0..3 {
+            cm.record(1, 1);
+        }
+        cm.record(1, 0);
+        cm.record(0, 1);
+        for _ in 0..5 {
+            cm.record(0, 0);
+        }
+        assert_eq!(cm.total(), 10);
+        assert!((cm.accuracy() - 0.8).abs() < 1e-12);
+        // F1(class 1) = 2·3 / (2·3 + 1 + 1) = 0.75.
+        assert!((cm.f1(1) - 0.75).abs() < 1e-12);
+        assert!(cm.macro_f1() > 0.0 && cm.macro_f1() < 1.0);
+    }
+
+    #[test]
+    fn confusion_empty_class_f1_zero() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        assert_eq!(cm.f1(2), 0.0);
+        assert!((cm.accuracy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn confusion_out_of_range_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 5);
+    }
+}

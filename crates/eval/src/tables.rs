@@ -1,0 +1,144 @@
+//! Markdown rendering of result tables in the paper's layout.
+
+use crate::metrics::MeanStd;
+
+/// A result table: datasets down the rows, methods across the columns,
+/// accuracy cells.
+#[derive(Debug, Clone, Default)]
+pub struct ResultTable {
+    methods: Vec<String>,
+    rows: Vec<(String, Vec<Option<MeanStd>>)>,
+}
+
+impl ResultTable {
+    /// New table with the given method columns.
+    pub fn new<S: Into<String>>(methods: Vec<S>) -> Self {
+        ResultTable {
+            methods: methods.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a dataset row; `cells` align with the method columns
+    /// (`None` renders as `N/A`, as the paper prints for SP on COLLAB).
+    ///
+    /// # Panics
+    /// Panics when the cell count does not match the method count.
+    pub fn push_row<S: Into<String>>(&mut self, dataset: S, cells: Vec<Option<MeanStd>>) {
+        assert_eq!(cells.len(), self.methods.len(), "cell/method count mismatch");
+        self.rows.push((dataset.into(), cells));
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as GitHub-flavoured markdown, bolding the best
+    /// cell per row (the paper bolds winners).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| Dataset |");
+        for m in &self.methods {
+            out.push_str(&format!(" {m} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.methods {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (dataset, cells) in &self.rows {
+            let best = cells
+                .iter()
+                .flatten()
+                .map(|c| c.mean)
+                .fold(f64::NEG_INFINITY, f64::max);
+            out.push_str(&format!("| {dataset} |"));
+            for cell in cells {
+                match cell {
+                    Some(c) if (c.mean - best).abs() < 1e-12 => {
+                        out.push_str(&format!(" **{}** |", c.as_percent()));
+                    }
+                    Some(c) => out.push_str(&format!(" {} |", c.as_percent())),
+                    None => out.push_str(" N/A |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a simple two-column series (e.g. a figure's x/y data) as
+/// markdown, for the figure-reproduction binaries.
+pub fn series_markdown(title: &str, x_label: &str, series: &[(String, Vec<f64>)], xs: &[f64]) -> String {
+    let mut out = format!("### {title}\n\n| {x_label} |");
+    for (name, _) in series {
+        out.push_str(&format!(" {name} |"));
+    }
+    out.push_str("\n|---|");
+    for _ in series {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!("| {x:.0} |"));
+        for (_, ys) in series {
+            match ys.get(i) {
+                Some(y) => out.push_str(&format!(" {:.2} |", y * 100.0)),
+                None => out.push_str(" - |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(mean: f64, std: f64) -> Option<MeanStd> {
+        Some(MeanStd { mean, std })
+    }
+
+    #[test]
+    fn renders_markdown_with_bold_winner() {
+        let mut t = ResultTable::new(vec!["GK", "DEEPMAP-GK"]);
+        t.push_row("SYNTHIE", vec![ms(0.2368, 0.0211), ms(0.5448, 0.0434)]);
+        let md = t.to_markdown();
+        assert!(md.contains("| SYNTHIE |"));
+        assert!(md.contains("**54.48±4.34**"));
+        assert!(md.contains("23.68±2.11"));
+        assert!(!md.contains("**23.68"));
+    }
+
+    #[test]
+    fn renders_na_cells() {
+        let mut t = ResultTable::new(vec!["SP"]);
+        t.push_row("COLLAB", vec![None]);
+        assert!(t.to_markdown().contains("N/A"));
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell/method count mismatch")]
+    fn wrong_cell_count_panics() {
+        let mut t = ResultTable::new(vec!["A", "B"]);
+        t.push_row("X", vec![ms(0.5, 0.0)]);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let md = series_markdown(
+            "Fig 5",
+            "r",
+            &[("DEEPMAP-SP".into(), vec![0.27, 0.54])],
+            &[1.0, 2.0],
+        );
+        assert!(md.contains("### Fig 5"));
+        assert!(md.contains("| 1 | 27.00 |"));
+        assert!(md.contains("| 2 | 54.00 |"));
+    }
+}

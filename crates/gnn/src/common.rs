@@ -1,0 +1,267 @@
+//! Shared GNN infrastructure: featurisation, samples, and the training
+//! loop.
+
+use deepmap_graph::{FxHashMap, Graph};
+use deepmap_kernels::{vertex_feature_maps, FeatureKind};
+use deepmap_nn::layers::Param;
+use deepmap_nn::loss::{predict_class, softmax_cross_entropy};
+use deepmap_nn::matrix::Matrix;
+use deepmap_nn::optim::{PlateauScheduler, RmsProp};
+use deepmap_nn::train::EpochStats;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// What the GNNs consume as node features.
+#[derive(Debug, Clone, Copy)]
+pub enum GnnInput {
+    /// One-hot encodings of vertex labels (the GNNs' native protocol,
+    /// paper §2.2: "The inputs to DGCNN and GIN are the one-hot encodings
+    /// of vertex labels").
+    OneHotLabels,
+    /// DeepMap's vertex feature maps (the Table-4 experiment), truncated to
+    /// at most the given dimension.
+    VertexFeatureMaps(
+        /// Substructure family.
+        FeatureKind,
+        /// Top-K feature-dimension cap.
+        usize,
+    ),
+}
+
+/// One graph ready for GNN consumption.
+#[derive(Debug, Clone)]
+pub struct GraphSample {
+    /// Node features, `(n × m)`.
+    pub features: Matrix,
+    /// The graph itself (models derive their own propagation operators).
+    pub graph: Graph,
+    /// Class index.
+    pub label: usize,
+}
+
+/// Builds dense node-feature matrices for a dataset.
+///
+/// Returns the samples plus the feature dimension `m` (shared across the
+/// dataset). Empty graphs yield `(0 × m)` matrices, which the models guard
+/// against.
+pub fn featurize(
+    graphs: &[Graph],
+    labels: &[usize],
+    input: GnnInput,
+    seed: u64,
+) -> (Vec<GraphSample>, usize) {
+    assert_eq!(graphs.len(), labels.len());
+    match input {
+        GnnInput::OneHotLabels => {
+            let mut index: FxHashMap<u32, usize> = FxHashMap::default();
+            for g in graphs {
+                for &l in g.labels() {
+                    let next = index.len();
+                    index.entry(l).or_insert(next);
+                }
+            }
+            let m = index.len().max(1);
+            let samples = graphs
+                .iter()
+                .zip(labels)
+                .map(|(g, &label)| {
+                    let mut features = Matrix::zeros(g.n_vertices(), m);
+                    for v in g.vertices() {
+                        let col = index[&g.label(v)];
+                        features.set(v as usize, col, 1.0);
+                    }
+                    GraphSample {
+                        features,
+                        graph: g.clone(),
+                        label,
+                    }
+                })
+                .collect();
+            (samples, m)
+        }
+        GnnInput::VertexFeatureMaps(kind, cap) => {
+            let maps = vertex_feature_maps(graphs, kind, seed).truncate_top_k(cap);
+            let m = maps.dim.max(1);
+            let samples = graphs
+                .iter()
+                .zip(labels)
+                .zip(&maps.maps)
+                .map(|((g, &label), vmaps)| {
+                    let mut features = Matrix::zeros(g.n_vertices(), m);
+                    for (v, vec) in vmaps.iter().enumerate() {
+                        vec.write_dense(features.row_mut(v));
+                    }
+                    GraphSample {
+                        features,
+                        graph: g.clone(),
+                        label,
+                    }
+                })
+                .collect();
+            (samples, m)
+        }
+    }
+}
+
+/// A trainable graph classifier (the four baselines implement this).
+pub trait GraphClassifier {
+    /// Forward + backward on one sample; accumulates parameter gradients
+    /// and returns the loss.
+    fn train_step(&mut self, sample: &GraphSample) -> f32;
+
+    /// Inference on one sample.
+    fn predict(&mut self, sample: &GraphSample) -> usize;
+
+    /// All parameters in a stable order.
+    fn params(&mut self) -> Vec<Param<'_>>;
+
+    /// Clears gradient accumulators.
+    fn zero_grad(&mut self);
+}
+
+/// Training hyper-parameters for the GNN loop (same defaults as DeepMap's:
+/// RMSProp 0.01, plateau decay, batch 32).
+#[derive(Debug, Clone, Copy)]
+pub struct GnnTrainConfig {
+    /// Epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate.
+    pub learning_rate: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for GnnTrainConfig {
+    fn default() -> Self {
+        GnnTrainConfig {
+            epochs: 50,
+            batch_size: 32,
+            learning_rate: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+/// Accuracy of `model` on `samples`.
+pub fn evaluate_gnn(model: &mut dyn GraphClassifier, samples: &[GraphSample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let correct = samples
+        .iter()
+        .filter(|s| model.predict(s) == s.label)
+        .count();
+    correct as f64 / samples.len() as f64
+}
+
+/// The shared mini-batch training loop (mirrors `deepmap_nn::train::fit`).
+pub fn fit_gnn(
+    model: &mut dyn GraphClassifier,
+    train: &[GraphSample],
+    eval: Option<&[GraphSample]>,
+    config: &GnnTrainConfig,
+) -> Vec<EpochStats> {
+    assert!(!train.is_empty(), "training set must be non-empty");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut optimizer = RmsProp::new(config.learning_rate);
+    let mut scheduler = PlateauScheduler::paper_default();
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut history = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        let start = Instant::now();
+        order.shuffle(&mut rng);
+        let mut total_loss = 0.0f64;
+        for batch in order.chunks(config.batch_size.max(1)) {
+            model.zero_grad();
+            for &i in batch {
+                total_loss += model.train_step(&train[i]) as f64;
+            }
+            let scale = 1.0 / batch.len() as f32;
+            for p in model.params() {
+                for g in p.grad.iter_mut() {
+                    *g *= scale;
+                }
+            }
+            optimizer.step(&mut model.params());
+        }
+        let epoch_seconds = start.elapsed().as_secs_f64();
+        let mean_loss = (total_loss / train.len() as f64) as f32;
+        scheduler.observe(mean_loss, &mut optimizer);
+        let train_accuracy = evaluate_gnn(model, train);
+        let eval_accuracy = eval.map(|e| evaluate_gnn(model, e));
+        history.push(EpochStats {
+            epoch,
+            loss: mean_loss,
+            train_accuracy,
+            eval_accuracy,
+            epoch_seconds,
+            learning_rate: optimizer.learning_rate(),
+        });
+    }
+    history
+}
+
+/// Fused softmax/cross-entropy helper for model implementations: returns
+/// `(loss, grad_logits)`.
+pub fn loss_and_grad(logits: &Matrix, target: usize) -> (f32, Matrix) {
+    softmax_cross_entropy(logits, target)
+}
+
+/// Argmax prediction helper.
+pub fn logits_to_class(logits: &Matrix) -> usize {
+    predict_class(logits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmap_graph::builder::graph_from_edges;
+
+    fn toy_graphs() -> (Vec<Graph>, Vec<usize>) {
+        (
+            vec![
+                graph_from_edges(3, &[(0, 1), (1, 2)], Some(&[1, 2, 1])).unwrap(),
+                graph_from_edges(2, &[(0, 1)], Some(&[2, 3])).unwrap(),
+            ],
+            vec![0, 1],
+        )
+    }
+
+    #[test]
+    fn one_hot_features_shared_index() {
+        let (graphs, labels) = toy_graphs();
+        let (samples, m) = featurize(&graphs, &labels, GnnInput::OneHotLabels, 0);
+        assert_eq!(m, 3, "labels {{1,2,3}}");
+        assert_eq!(samples[0].features.shape(), (3, 3));
+        // Each row one-hot.
+        for s in &samples {
+            for r in 0..s.features.rows() {
+                let sum: f32 = s.features.row(r).iter().sum();
+                assert_eq!(sum, 1.0);
+            }
+        }
+        // Label 2 maps to the same column in both graphs.
+        let col_in_g0 = samples[0].features.row(1).iter().position(|&v| v == 1.0);
+        let col_in_g1 = samples[1].features.row(0).iter().position(|&v| v == 1.0);
+        assert_eq!(col_in_g0, col_in_g1);
+    }
+
+    #[test]
+    fn feature_map_input_capped() {
+        let (graphs, labels) = toy_graphs();
+        let (samples, m) = featurize(
+            &graphs,
+            &labels,
+            GnnInput::VertexFeatureMaps(FeatureKind::WlSubtree { iterations: 2 }, 4),
+            0,
+        );
+        assert!(m <= 4);
+        assert_eq!(samples[0].features.cols(), m);
+        // WL maps are non-empty.
+        assert!(samples[0].features.as_slice().iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Diffusion-Convolutional Neural Network (DCNN, Atwood & Towsley 2016).
+//!
+//! DCNN's graph-classification variant activates `Z = tanh(W ⊙ P* X)` where
+//! `P* X` stacks the diffusion features `P^j X` (`P = D⁻¹A`, hop
+//! `j = 0..H-1`) averaged over vertices, and reads `Z` with a single dense
+//! softmax layer. We keep exactly that capacity — `tanh` of the diffusion
+//! features followed by a single `Dense(H·m → classes)` read (the dense
+//! layer subsumes the original's elementwise weight `W`) — which is why
+//! DCNN is the weakest baseline in the paper's Table 3. The diffusion
+//! tensor is parameterless and cheap, which is also why DCNN epochs are
+//! fast in Table 5.
+
+use crate::common::{logits_to_class, loss_and_grad, GraphClassifier, GraphSample};
+use deepmap_nn::layers::{Dense, Layer, Mode, Param, Tanh};
+use deepmap_nn::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// DCNN hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DcnnConfig {
+    /// Diffusion hops `H` (including hop 0 = the raw features).
+    pub hops: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Input feature dimension `m`.
+    pub input_dim: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl DcnnConfig {
+    /// The original's H = 3 hops.
+    pub fn default_for(input_dim: usize, n_classes: usize, seed: u64) -> Self {
+        DcnnConfig {
+            hops: 3,
+            n_classes,
+            input_dim,
+            seed,
+        }
+    }
+}
+
+/// The DCNN classifier.
+pub struct Dcnn {
+    hops: usize,
+    activation: Tanh,
+    read: Dense,
+}
+
+impl Dcnn {
+    /// Builds a DCNN from its configuration.
+    pub fn new(config: &DcnnConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        Dcnn {
+            hops: config.hops,
+            activation: Tanh::new(),
+            read: Dense::new(config.hops * config.input_dim, config.n_classes, &mut rng),
+        }
+    }
+
+    /// The mean-pooled diffusion representation: a `1 × (H·m)` row stacking
+    /// `mean_v [P^j X]_v` for `j = 0..H-1`.
+    pub fn diffusion_features(&self, sample: &GraphSample) -> Matrix {
+        let n = sample.features.rows();
+        let m = sample.features.cols();
+        let mut out = Matrix::zeros(1, self.hops * m);
+        if n == 0 {
+            return out;
+        }
+        // Column-wise diffusion: x_c holds P^j applied to feature column c.
+        let mut columns: Vec<Vec<f64>> = (0..m)
+            .map(|c| (0..n).map(|v| sample.features.get(v, c) as f64).collect())
+            .collect();
+        for hop in 0..self.hops {
+            for (c, col) in columns.iter_mut().enumerate() {
+                let mean = col.iter().sum::<f64>() / n as f64;
+                out.set(0, hop * m + c, mean as f32);
+                if hop + 1 < self.hops {
+                    *col = sample.graph.transition_apply(col);
+                }
+            }
+        }
+        out
+    }
+
+    fn forward(&mut self, sample: &GraphSample, mode: Mode) -> Matrix {
+        let feats = self.diffusion_features(sample);
+        self.read
+            .forward(&self.activation.forward(&feats, mode), mode)
+    }
+}
+
+impl GraphClassifier for Dcnn {
+    fn train_step(&mut self, sample: &GraphSample) -> f32 {
+        let logits = self.forward(sample, Mode::Train);
+        let (loss, grad) = loss_and_grad(&logits, sample.label);
+        // Diffusion features are constant in the parameters, so the chain
+        // stops after the dense read layer.
+        self.read.backward(&grad);
+        loss
+    }
+
+    fn predict(&mut self, sample: &GraphSample) -> usize {
+        let logits = self.forward(sample, Mode::Eval);
+        logits_to_class(&logits)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        self.read.params()
+    }
+
+    fn zero_grad(&mut self) {
+        self.read.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{featurize, fit_gnn, GnnInput, GnnTrainConfig};
+    use deepmap_graph::generators::{complete_graph, cycle_graph};
+    use deepmap_graph::Graph;
+
+    fn degree_labeled(g: Graph) -> Graph {
+        let labels: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+        g.with_labels(labels).unwrap()
+    }
+
+    fn toy_dataset() -> (Vec<Graph>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            graphs.push(degree_labeled(cycle_graph(5 + i % 3, 0, &mut rng)));
+            labels.push(0);
+            graphs.push(degree_labeled(complete_graph(4 + i % 3, 0, &mut rng)));
+            labels.push(1);
+        }
+        (graphs, labels)
+    }
+
+    #[test]
+    fn diffusion_features_shape_and_hop0() {
+        let (graphs, labels) = toy_dataset();
+        let (samples, m) = featurize(&graphs, &labels, GnnInput::OneHotLabels, 0);
+        let dcnn = Dcnn::new(&DcnnConfig::default_for(m, 2, 1));
+        let f = dcnn.diffusion_features(&samples[0]);
+        assert_eq!(f.shape(), (1, 3 * m));
+        // Hop 0 equals the column means of the raw features.
+        let n = samples[0].features.rows();
+        for c in 0..m {
+            let mean: f32 = (0..n).map(|v| samples[0].features.get(v, c)).sum::<f32>() / n as f32;
+            assert!((f.get(0, c) - mean).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn diffusion_preserves_total_mass_on_regular_graphs() {
+        let (graphs, labels) = toy_dataset();
+        let (samples, m) = featurize(&graphs, &labels, GnnInput::OneHotLabels, 0);
+        let dcnn = Dcnn::new(&DcnnConfig::default_for(m, 2, 1));
+        // Cycles are 2-regular: the transition operator preserves column
+        // sums, so each hop's block has the same total as hop 0.
+        let f = dcnn.diffusion_features(&samples[0]);
+        let block = |h: usize| -> f32 { (0..m).map(|c| f.get(0, h * m + c)).sum() };
+        assert!((block(0) - block(1)).abs() < 1e-5);
+        assert!((block(0) - block(2)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn learns_cycles_vs_cliques() {
+        let (graphs, labels) = toy_dataset();
+        let (samples, m) = featurize(&graphs, &labels, GnnInput::OneHotLabels, 0);
+        let mut dcnn = Dcnn::new(&DcnnConfig::default_for(m, 2, 2));
+        let history = fit_gnn(
+            &mut dcnn,
+            &samples,
+            None,
+            &GnnTrainConfig {
+                epochs: 25,
+                batch_size: 8,
+                ..Default::default()
+            },
+        );
+        let last = history.last().unwrap();
+        assert!(last.train_accuracy > 0.9, "accuracy {}", last.train_accuracy);
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = deepmap_graph::builder::graph_from_edges(0, &[], None).unwrap();
+        let (samples, m) = featurize(&[g], &[0], GnnInput::OneHotLabels, 0);
+        let mut dcnn = Dcnn::new(&DcnnConfig::default_for(m, 2, 1));
+        let _ = dcnn.train_step(&samples[0]);
+        let _ = dcnn.predict(&samples[0]);
+    }
+}

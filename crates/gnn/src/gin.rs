@@ -1,0 +1,348 @@
+//! Graph Isomorphism Network (GIN, Xu et al. 2019).
+//!
+//! Layer `l`: `h'_v = MLP_l((1+ε)·h_v + Σ_{u∈N(v)} h_u)` with a two-layer
+//! ReLU MLP; graph readout is the sum of the final layer's vertex
+//! embeddings followed by a dense classifier. We fix `ε = 0` (GIN-0, the
+//! variant the paper's numbers use) and two MLP layers per block — the
+//! original's five-layer/MLP configuration is why GIN is the slowest GNN in
+//! the paper's Table 5; our ablation keeps the architecture but not the
+//! width.
+
+use crate::common::{logits_to_class, loss_and_grad, GraphClassifier, GraphSample};
+use deepmap_graph::Graph;
+use deepmap_nn::layers::{Dense, Layer, Mode, Param, ReLU};
+use deepmap_nn::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// GIN hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GinConfig {
+    /// Number of GIN blocks (aggregation + MLP).
+    pub layers: usize,
+    /// Hidden width of every MLP.
+    pub hidden: usize,
+    /// The ε in `(1+ε)h_v`; GIN-0 fixes it to 0.
+    pub eps: f32,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Input feature dimension.
+    pub input_dim: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl GinConfig {
+    /// GIN-0 with 3 blocks of width 32.
+    pub fn default_for(input_dim: usize, n_classes: usize, seed: u64) -> Self {
+        GinConfig {
+            layers: 3,
+            hidden: 32,
+            eps: 0.0,
+            n_classes,
+            input_dim,
+            seed,
+        }
+    }
+}
+
+struct GinBlock {
+    d1: Dense,
+    r1: ReLU,
+    d2: Dense,
+    r2: ReLU,
+}
+
+/// The GIN classifier.
+pub struct Gin {
+    blocks: Vec<GinBlock>,
+    head: Dense,
+    eps: f32,
+    /// Pre-MLP inputs cached per block for the aggregation backward.
+    cached_graph: Option<Graph>,
+}
+
+impl Gin {
+    /// Builds a GIN from its configuration.
+    pub fn new(config: &GinConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut blocks = Vec::with_capacity(config.layers);
+        let mut in_dim = config.input_dim;
+        for _ in 0..config.layers {
+            blocks.push(GinBlock {
+                d1: Dense::new(in_dim, config.hidden, &mut rng),
+                r1: ReLU::new(),
+                d2: Dense::new(config.hidden, config.hidden, &mut rng),
+                r2: ReLU::new(),
+            });
+            in_dim = config.hidden;
+        }
+        Gin {
+            blocks,
+            head: Dense::new(in_dim, config.n_classes, &mut rng),
+            eps: config.eps,
+            cached_graph: None,
+        }
+    }
+
+    /// `(1+ε)h_v + Σ_{u∈N(v)} h_u`; self-adjoint, so the same routine
+    /// serves forward and backward.
+    fn aggregate(&self, graph: &Graph, h: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(h.rows(), h.cols());
+        for v in graph.vertices() {
+            let vi = v as usize;
+            // (1+ε) h_v
+            let hv: Vec<f32> = h.row(vi).iter().map(|&x| (1.0 + self.eps) * x).collect();
+            out.row_mut(vi).copy_from_slice(&hv);
+            for &u in graph.neighbors(v) {
+                let src = h.row(u as usize).to_vec();
+                let dst = out.row_mut(vi);
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        }
+        out
+    }
+
+    fn forward(&mut self, sample: &GraphSample, mode: Mode) -> Matrix {
+        let n = sample.features.rows();
+        // Empty graphs degrade to a single zero-feature vertex so shapes
+        // stay valid.
+        let mut h = if n == 0 {
+            Matrix::zeros(1, sample.features.cols())
+        } else {
+            sample.features.clone()
+        };
+        // Borrow-friendly split: aggregation needs `&self`, blocks need
+        // `&mut`; compute the aggregate before entering the block.
+        for i in 0..self.blocks.len() {
+            let agg = if n == 0 {
+                h.clone()
+            } else {
+                self.aggregate(&sample.graph, &h)
+            };
+            let block = &mut self.blocks[i];
+            h = block.r2.forward(
+                &block.d2.forward(
+                    &block.r1.forward(&block.d1.forward(&agg, mode), mode),
+                    mode,
+                ),
+                mode,
+            );
+        }
+        if mode == Mode::Train {
+            self.cached_graph = Some(sample.graph.clone());
+        }
+        let pooled = h.sum_rows();
+        self.head.forward(&pooled, mode)
+    }
+
+    fn backward(&mut self, grad_logits: &Matrix, n_vertices: usize) {
+        let d_pooled = self.head.backward(grad_logits);
+        // SumPool backward: broadcast to every vertex row.
+        let rows = n_vertices.max(1);
+        let mut grad = Matrix::zeros(rows, d_pooled.cols());
+        for r in 0..rows {
+            grad.row_mut(r).copy_from_slice(d_pooled.row(0));
+        }
+        let graph = self.cached_graph.take().expect("train forward first");
+        for l in (0..self.blocks.len()).rev() {
+            let block = &mut self.blocks[l];
+            let d_agg = block
+                .d1
+                .backward(&block.r1.backward(&block.d2.backward(&block.r2.backward(&grad))));
+            grad = if n_vertices == 0 {
+                d_agg
+            } else {
+                // Aggregation is self-adjoint ((1+ε)I + A is symmetric).
+                self.aggregate(&graph, &d_agg)
+            };
+        }
+    }
+}
+
+impl GraphClassifier for Gin {
+    fn train_step(&mut self, sample: &GraphSample) -> f32 {
+        let logits = self.forward(sample, Mode::Train);
+        let (loss, grad) = loss_and_grad(&logits, sample.label);
+        self.backward(&grad, sample.features.rows());
+        loss
+    }
+
+    fn predict(&mut self, sample: &GraphSample) -> usize {
+        let logits = self.forward(sample, Mode::Eval);
+        logits_to_class(&logits)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        let mut out = Vec::new();
+        for b in &mut self.blocks {
+            out.extend(b.d1.params());
+            out.extend(b.d2.params());
+        }
+        out.extend(self.head.params());
+        out
+    }
+
+    fn zero_grad(&mut self) {
+        for b in &mut self.blocks {
+            b.d1.zero_grad();
+            b.d2.zero_grad();
+        }
+        self.head.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{featurize, fit_gnn, GnnInput, GnnTrainConfig};
+    use deepmap_graph::generators::{complete_graph, cycle_graph};
+    use deepmap_graph::Graph;
+
+    fn degree_labeled(g: Graph) -> Graph {
+        let labels: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+        g.with_labels(labels).unwrap()
+    }
+
+    fn toy_dataset() -> (Vec<Graph>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            graphs.push(degree_labeled(cycle_graph(5 + i % 3, 0, &mut rng)));
+            labels.push(0);
+            graphs.push(degree_labeled(complete_graph(4 + i % 3, 0, &mut rng)));
+            labels.push(1);
+        }
+        (graphs, labels)
+    }
+
+    #[test]
+    fn learns_cycles_vs_cliques() {
+        let (graphs, labels) = toy_dataset();
+        let (samples, m) = featurize(&graphs, &labels, GnnInput::OneHotLabels, 0);
+        let mut gin = Gin::new(&GinConfig::default_for(m, 2, 1));
+        let history = fit_gnn(
+            &mut gin,
+            &samples,
+            None,
+            &GnnTrainConfig {
+                epochs: 20,
+                batch_size: 8,
+                ..Default::default()
+            },
+        );
+        let last = history.last().unwrap();
+        assert!(last.train_accuracy > 0.9, "accuracy {}", last.train_accuracy);
+    }
+
+    #[test]
+    fn aggregation_is_permutation_equivariant() {
+        let (graphs, labels) = toy_dataset();
+        let (samples, m) = featurize(&graphs[..1], &labels[..1], GnnInput::OneHotLabels, 0);
+        let gin = Gin::new(&GinConfig::default_for(m, 2, 1));
+        let h = samples[0].features.clone();
+        let agg = gin.aggregate(&samples[0].graph, &h);
+        // Each row = (1+0)·own + sum of neighbours; on a cycle with one-hot
+        // degree labels every vertex has the same feature, so every
+        // aggregated row equals 3× that feature.
+        for r in 0..agg.rows() {
+            for c in 0..agg.cols() {
+                assert!((agg.get(r, c) - 3.0 * h.get(r, c)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_on_tiny_gin() {
+        // Finite-difference check of a couple of weights end-to-end.
+        let (graphs, labels) = toy_dataset();
+        let (samples, m) = featurize(&graphs, &labels, GnnInput::OneHotLabels, 0);
+        let mut gin = Gin::new(&GinConfig {
+            layers: 2,
+            hidden: 6,
+            eps: 0.0,
+            n_classes: 2,
+            input_dim: m,
+            seed: 3,
+        });
+        let sample = &samples[0];
+        // Jitter every parameter off its initial value: zero-initialised
+        // biases put ReLU pre-activations exactly on the kink, where the
+        // derivative is undefined and finite differences measure the
+        // one-sided slope.
+        {
+            use rand::Rng;
+            let mut jitter = StdRng::seed_from_u64(77);
+            for p in gin.params() {
+                for w in p.value.iter_mut() {
+                    *w += jitter.gen_range(0.01..0.03) * if jitter.gen_bool(0.5) { 1.0 } else { -1.0 };
+                }
+            }
+        }
+        gin.zero_grad();
+        let logits = gin.forward(sample, Mode::Train);
+        let (_, grad) = loss_and_grad(&logits, sample.label);
+        gin.backward(&grad, sample.features.rows());
+        let analytic: Vec<f32> = gin.params().iter().map(|p| p.grad[0]).collect();
+        // Central differences at two step sizes: if the two estimates
+        // disagree, the probe straddles a ReLU kink (biases start exactly
+        // at 0, a kink hotspot) and the comparison is skipped — the loss is
+        // only piecewise smooth there, so finite differences are undefined.
+        let numeric_at = |gin: &mut Gin, t: usize, eps: f32| -> f32 {
+            let orig = {
+                let mut ps = gin.params();
+                let v = ps[t].value[0];
+                ps[t].value[0] = v + eps;
+                v
+            };
+            let lp = {
+                let logits = gin.forward(sample, Mode::Train);
+                loss_and_grad(&logits, sample.label).0
+            };
+            {
+                let mut ps = gin.params();
+                ps[t].value[0] = orig - eps;
+            }
+            let lm = {
+                let logits = gin.forward(sample, Mode::Train);
+                loss_and_grad(&logits, sample.label).0
+            };
+            {
+                let mut ps = gin.params();
+                ps[t].value[0] = orig;
+            }
+            (lp - lm) / (2.0 * eps)
+        };
+        let mut checked = 0;
+        #[allow(clippy::needless_range_loop)] // t also indexes the params
+        for t in 0..analytic.len() {
+            let coarse = numeric_at(&mut gin, t, 1e-2);
+            let fine = numeric_at(&mut gin, t, 2.5e-3);
+            let spread = (coarse - fine).abs();
+            if spread > 1e-3 * coarse.abs().max(fine.abs()).max(1.0) {
+                continue; // kink straddled; derivative ill-defined here
+            }
+            let denom = analytic[t].abs().max(fine.abs()).max(1.0);
+            assert!(
+                (analytic[t] - fine).abs() / denom < 2e-2,
+                "tensor {t}: {} vs {}",
+                analytic[t],
+                fine
+            );
+            checked += 1;
+        }
+        assert!(checked >= analytic.len() / 2, "too many kink skips: {checked}");
+    }
+
+    #[test]
+    fn empty_graph_does_not_crash() {
+        let g = deepmap_graph::builder::graph_from_edges(0, &[], None).unwrap();
+        let (samples, m) = featurize(&[g], &[0], GnnInput::OneHotLabels, 0);
+        let mut gin = Gin::new(&GinConfig::default_for(m, 2, 1));
+        let _ = gin.train_step(&samples[0]);
+        let _ = gin.predict(&samples[0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Baseline graph neural networks for the DeepMap reproduction.
+//!
+//! The paper compares DeepMap against four GNNs (§5.1) and additionally
+//! feeds them DeepMap's vertex feature maps (Table 4). All four are built
+//! on the `deepmap-nn` substrate with exact hand-derived gradients:
+//!
+//! - [`gin`] — Graph Isomorphism Network (Xu et al. 2019): sum aggregation
+//!   `(1+ε)h_v + Σ_u h_u` followed by an MLP per layer, sum readout.
+//! - [`dgcnn`] — Deep Graph CNN (Zhang et al. 2018): stacked propagation
+//!   layers, channel concatenation, SortPooling to a fixed `k`, then a
+//!   convolutional head.
+//! - [`dcnn`] — Diffusion-Convolutional NN (Atwood & Towsley 2016):
+//!   mean-pooled diffusion features `P^j X` for `j < H` hops feeding a
+//!   dense classifier.
+//! - [`patchysan`] — PATCHY-SAN (Niepert et al. 2016): fixed-length vertex
+//!   selection, neighbourhood assembly and normalisation, then a CNN. Our
+//!   vertex ordering uses eigenvector centrality in place of NAUTY — the
+//!   substitution the paper itself argues for in §6.
+//!
+//! [`common`] holds the shared sample representation, input featurisation
+//! (one-hot labels vs. DeepMap vertex feature maps), and the training loop.
+//! Documented simplifications vs. the original architectures are listed in
+//! DESIGN.md §1 and in each module's docs.
+
+#![deny(missing_docs)]
+
+pub mod common;
+pub mod dcnn;
+pub mod dgcnn;
+pub mod gin;
+pub mod patchysan;
+
+pub use common::{fit_gnn, GnnInput, GnnTrainConfig, GraphClassifier, GraphSample};

@@ -1,0 +1,252 @@
+//! PATCHY-SAN (Niepert et al. 2016).
+//!
+//! PATCHY-SAN generalises CNNs to graphs with three operations: (1) select
+//! a fixed-length sequence of `w` vertices from a canonical ordering, (2)
+//! assemble a `k`-vertex neighbourhood per selected vertex, (3) normalise
+//! each neighbourhood into a linear order — then run a 1-D CNN over the
+//! `w·k` receptive fields.
+//!
+//! Substitutions (paper §6 discusses exactly these differences vs DeepMap):
+//! the canonical ordering uses eigenvector centrality instead of NAUTY
+//! (the paper's own argument: centrality is the cheaper adequate stand-in),
+//! and neighbourhood normalisation sorts by centrality. Unlike DeepMap,
+//! only `w` vertices are selected (not all), with `w` fixed per dataset —
+//! here the dataset's *average* vertex count, the spirit of the original's
+//! fixed-budget selection.
+
+use crate::common::{logits_to_class, loss_and_grad, GraphClassifier, GraphSample};
+use deepmap_core::alignment::{vertex_sequence, VertexOrdering};
+use deepmap_core::receptive_field::{receptive_field, Slot};
+use deepmap_nn::layers::{Conv1D, Dense, Dropout, Flatten, Layer, Mode, Param, ReLU};
+use deepmap_nn::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// PATCHY-SAN hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PatchySanConfig {
+    /// Number of selected vertices `w` (fixed per dataset).
+    pub w: usize,
+    /// Neighbourhood (receptive-field) size `k`.
+    pub k: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Input feature dimension `m`.
+    pub input_dim: usize,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl PatchySanConfig {
+    /// `w` from the dataset's average vertex count, `k = 5` (a common
+    /// PATCHY-SAN setting).
+    pub fn default_for(input_dim: usize, n_classes: usize, avg_nodes: f64, seed: u64) -> Self {
+        PatchySanConfig {
+            w: (avg_nodes.ceil() as usize).max(1),
+            k: 5,
+            n_classes,
+            input_dim,
+            seed,
+        }
+    }
+}
+
+/// The PATCHY-SAN classifier.
+pub struct PatchySan {
+    w: usize,
+    k: usize,
+    conv1: Conv1D,
+    relu1: ReLU,
+    conv2: Conv1D,
+    relu2: ReLU,
+    flatten: Flatten,
+    d1: Dense,
+    relu3: ReLU,
+    dropout: Dropout,
+    d2: Dense,
+}
+
+impl PatchySan {
+    /// Builds a PATCHY-SAN from its configuration.
+    pub fn new(config: &PatchySanConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        PatchySan {
+            w: config.w,
+            k: config.k,
+            conv1: Conv1D::new(config.input_dim, 16, config.k, config.k, &mut rng),
+            relu1: ReLU::new(),
+            conv2: Conv1D::new(16, 8, 1, 1, &mut rng),
+            relu2: ReLU::new(),
+            flatten: Flatten::new(),
+            d1: Dense::new(config.w * 8, 128, &mut rng),
+            relu3: ReLU::new(),
+            dropout: Dropout::new(0.5, config.seed ^ 0x9a7),
+            d2: Dense::new(128, config.n_classes, &mut rng),
+        }
+    }
+
+    /// Selection + assembly + normalisation: a `(w·k × m)` tensor.
+    pub fn assemble(&self, sample: &GraphSample) -> Matrix {
+        let graph = &sample.graph;
+        let m = sample.features.cols();
+        let mut input = Matrix::zeros(self.w * self.k, m);
+        if graph.n_vertices() == 0 {
+            return input;
+        }
+        let seq = vertex_sequence(graph, VertexOrdering::EigenvectorCentrality);
+        for (pos, &v) in seq.order.iter().take(self.w).enumerate() {
+            let field = receptive_field(graph, v, self.k, &seq.score, None);
+            for (slot_idx, slot) in field.iter().enumerate() {
+                if let Slot::Vertex(u) = slot {
+                    input
+                        .row_mut(pos * self.k + slot_idx)
+                        .copy_from_slice(sample.features.row(*u as usize));
+                }
+            }
+        }
+        input
+    }
+
+    fn forward(&mut self, sample: &GraphSample, mode: Mode) -> Matrix {
+        let x = self.assemble(sample);
+        let x = self.conv1.forward(&x, mode);
+        let x = self.relu1.forward(&x, mode);
+        let x = self.conv2.forward(&x, mode);
+        let x = self.relu2.forward(&x, mode);
+        let x = self.flatten.forward(&x, mode);
+        let x = self.d1.forward(&x, mode);
+        let x = self.relu3.forward(&x, mode);
+        let x = self.dropout.forward(&x, mode);
+        self.d2.forward(&x, mode)
+    }
+}
+
+impl GraphClassifier for PatchySan {
+    fn train_step(&mut self, sample: &GraphSample) -> f32 {
+        let logits = self.forward(sample, Mode::Train);
+        let (loss, grad) = loss_and_grad(&logits, sample.label);
+        let g = self.d2.backward(&grad);
+        let g = self.dropout.backward(&g);
+        let g = self.relu3.backward(&g);
+        let g = self.d1.backward(&g);
+        let g = self.flatten.backward(&g);
+        let g = self.relu2.backward(&g);
+        let g = self.conv2.backward(&g);
+        let g = self.relu1.backward(&g);
+        let _ = self.conv1.backward(&g); // input assembly is parameterless
+        loss
+    }
+
+    fn predict(&mut self, sample: &GraphSample) -> usize {
+        let logits = self.forward(sample, Mode::Eval);
+        logits_to_class(&logits)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        let mut out = self.conv1.params();
+        out.extend(self.conv2.params());
+        out.extend(self.d1.params());
+        out.extend(self.d2.params());
+        out
+    }
+
+    fn zero_grad(&mut self) {
+        self.conv1.zero_grad();
+        self.conv2.zero_grad();
+        self.d1.zero_grad();
+        self.d2.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{featurize, fit_gnn, GnnInput, GnnTrainConfig};
+    use deepmap_graph::generators::{complete_graph, cycle_graph};
+    use deepmap_graph::Graph;
+
+    fn degree_labeled(g: Graph) -> Graph {
+        let labels: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+        g.with_labels(labels).unwrap()
+    }
+
+    #[test]
+    fn assemble_shape_and_padding() {
+        let g = degree_labeled(cycle_graph(4, 0, &mut StdRng::seed_from_u64(1)));
+        let (samples, m) = featurize(&[g], &[0], GnnInput::OneHotLabels, 0);
+        let ps = PatchySan::new(&PatchySanConfig {
+            w: 6,
+            k: 3,
+            n_classes: 2,
+            input_dim: m,
+            seed: 1,
+        });
+        let x = ps.assemble(&samples[0]);
+        assert_eq!(x.shape(), (18, m));
+        // Positions 4 and 5 exceed the graph: fully zero.
+        for pos in 4..6 {
+            for slot in 0..3 {
+                assert!(x.row(pos * 3 + slot).iter().all(|&v| v == 0.0));
+            }
+        }
+        // Real rows carry one-hot mass.
+        assert!(x.row(0).iter().sum::<f32>() > 0.0);
+    }
+
+    #[test]
+    fn truncates_large_graphs_to_w() {
+        let g = degree_labeled(complete_graph(10, 0, &mut StdRng::seed_from_u64(2)));
+        let (samples, m) = featurize(&[g], &[0], GnnInput::OneHotLabels, 0);
+        let ps = PatchySan::new(&PatchySanConfig {
+            w: 4,
+            k: 2,
+            n_classes: 2,
+            input_dim: m,
+            seed: 1,
+        });
+        let x = ps.assemble(&samples[0]);
+        assert_eq!(x.rows(), 8, "only w·k rows regardless of graph size");
+    }
+
+    #[test]
+    fn learns_cycles_vs_cliques() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            graphs.push(degree_labeled(cycle_graph(5 + i % 3, 0, &mut rng)));
+            labels.push(0);
+            graphs.push(degree_labeled(complete_graph(4 + i % 3, 0, &mut rng)));
+            labels.push(1);
+        }
+        let (samples, m) = featurize(&graphs, &labels, GnnInput::OneHotLabels, 0);
+        let mut ps = PatchySan::new(&PatchySanConfig::default_for(m, 2, 6.0, 4));
+        let history = fit_gnn(
+            &mut ps,
+            &samples,
+            None,
+            &GnnTrainConfig {
+                epochs: 25,
+                batch_size: 8,
+                ..Default::default()
+            },
+        );
+        let last = history.last().unwrap();
+        assert!(last.train_accuracy > 0.85, "accuracy {}", last.train_accuracy);
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = deepmap_graph::builder::graph_from_edges(0, &[], None).unwrap();
+        let (samples, m) = featurize(&[g], &[0], GnnInput::OneHotLabels, 0);
+        let mut ps = PatchySan::new(&PatchySanConfig {
+            w: 3,
+            k: 2,
+            n_classes: 2,
+            input_dim: m,
+            seed: 1,
+        });
+        let _ = ps.train_step(&samples[0]);
+        let _ = ps.predict(&samples[0]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Breadth-first search primitives.
+//!
+//! The DeepMap receptive-field construction (paper §4.1) performs a BFS from
+//! each vertex, expanding hop by hop and ranking the vertices discovered at
+//! each hop by eigenvector centrality. [`bfs_distances`] and [`bfs_layers`]
+//! provide the traversal; the centrality-aware selection itself lives in
+//! `deepmap-core::receptive_field`.
+
+use crate::graph::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Distance value for vertices unreachable from the BFS source.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Hop distance from `source` to every vertex (`UNREACHABLE` when
+/// disconnected).
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn bfs_distances(graph: &Graph, source: VertexId) -> Vec<u32> {
+    assert!((source as usize) < graph.n_vertices(), "source out of range");
+    let mut dist = vec![UNREACHABLE; graph.n_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in graph.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Vertices reachable from `source`, grouped by hop distance.
+///
+/// `layers[0] == [source]`, `layers[1]` are the one-hop neighbours, and so
+/// on. Within a layer vertices appear in ascending id order (BFS over sorted
+/// CSR adjacency). Expansion stops after `max_hops` layers, or when the
+/// component is exhausted if `max_hops` is `None`.
+pub fn bfs_layers(graph: &Graph, source: VertexId, max_hops: Option<usize>) -> Vec<Vec<VertexId>> {
+    assert!((source as usize) < graph.n_vertices(), "source out of range");
+    let mut seen = vec![false; graph.n_vertices()];
+    seen[source as usize] = true;
+    let mut layers = vec![vec![source]];
+    loop {
+        if let Some(limit) = max_hops {
+            if layers.len() > limit {
+                break;
+            }
+        }
+        let mut next = Vec::new();
+        for &u in layers.last().expect("at least the source layer") {
+            for &v in graph.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        next.sort_unstable();
+        layers.push(next);
+    }
+    layers
+}
+
+/// All vertices within `hops` of `v`, excluding `v` itself, in BFS layer
+/// order (closer vertices first; ties by ascending id).
+pub fn k_hop_neighborhood(graph: &Graph, v: VertexId, hops: usize) -> Vec<VertexId> {
+    bfs_layers(graph, v, Some(hops))
+        .into_iter()
+        .skip(1)
+        .flatten()
+        .collect()
+}
+
+/// Eccentricity of `v`: the greatest hop distance to any reachable vertex.
+pub fn eccentricity(graph: &Graph, v: VertexId) -> u32 {
+    bfs_distances(graph, v)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    /// 0-1-2-3 path plus isolated vertex 4.
+    fn path_plus_isolated() -> Graph {
+        graph_from_edges(5, &[(0, 1), (1, 2), (2, 3)], None).unwrap()
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path_plus_isolated();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[..4], [0, 1, 2, 3]);
+        assert_eq!(d[4], UNREACHABLE);
+    }
+
+    #[test]
+    fn layers_on_path() {
+        let g = path_plus_isolated();
+        let layers = bfs_layers(&g, 1, None);
+        assert_eq!(layers, vec![vec![1], vec![0, 2], vec![3]]);
+    }
+
+    #[test]
+    fn layers_respect_max_hops() {
+        let g = path_plus_isolated();
+        let layers = bfs_layers(&g, 0, Some(1));
+        assert_eq!(layers, vec![vec![0], vec![1]]);
+        let zero = bfs_layers(&g, 0, Some(0));
+        assert_eq!(zero, vec![vec![0]]);
+    }
+
+    #[test]
+    fn k_hop_excludes_source() {
+        let g = path_plus_isolated();
+        assert_eq!(k_hop_neighborhood(&g, 1, 1), vec![0, 2]);
+        assert_eq!(k_hop_neighborhood(&g, 1, 2), vec![0, 2, 3]);
+        assert_eq!(k_hop_neighborhood(&g, 4, 3), Vec::<VertexId>::new());
+    }
+
+    #[test]
+    fn eccentricity_values() {
+        let g = path_plus_isolated();
+        assert_eq!(eccentricity(&g, 0), 3);
+        assert_eq!(eccentricity(&g, 1), 2);
+        assert_eq!(eccentricity(&g, 4), 0);
+    }
+
+    #[test]
+    fn triangle_layers() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)], None).unwrap();
+        let layers = bfs_layers(&g, 0, None);
+        assert_eq!(layers, vec![vec![0], vec![1, 2]]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Mutable construction of [`Graph`] values.
+
+use crate::graph::{Graph, GraphError, VertexId};
+
+/// Accumulates vertices, labels, and edges, then freezes into a CSR
+/// [`Graph`].
+///
+/// Duplicate edges are tolerated (deduplicated at [`GraphBuilder::build`]),
+/// self-loops are rejected, and unlabeled vertices default to label `0`
+/// (callers that need the paper's "use degrees as labels" fallback apply it
+/// explicitly; see `deepmap-datasets`).
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n_vertices: usize,
+    labels: Vec<u32>,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `n_vertices` vertices, all labeled 0.
+    pub fn new(n_vertices: usize) -> Self {
+        GraphBuilder {
+            n_vertices,
+            labels: vec![0; n_vertices],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates space for `n_edges` edges.
+    pub fn with_edge_capacity(mut self, n_edges: usize) -> Self {
+        self.edges.reserve(n_edges);
+        self
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    /// [`GraphError::SelfLoop`] when `u == v`;
+    /// [`GraphError::VertexOutOfRange`] when an endpoint is `>= n_vertices`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        for &w in &[u, v] {
+            if w as usize >= self.n_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: w,
+                    n_vertices: self.n_vertices,
+                });
+            }
+        }
+        self.edges.push((u, v));
+        Ok(())
+    }
+
+    /// Adds `{u, v}` assuming the endpoints are valid and distinct.
+    ///
+    /// Used on hot internal paths (induced subgraphs, generators) where the
+    /// caller has already validated the ids.
+    #[inline]
+    pub fn add_edge_unchecked(&mut self, u: VertexId, v: VertexId) {
+        debug_assert!(u != v);
+        debug_assert!((u as usize) < self.n_vertices && (v as usize) < self.n_vertices);
+        self.edges.push((u, v));
+    }
+
+    /// Sets the label of one vertex.
+    ///
+    /// # Errors
+    /// [`GraphError::VertexOutOfRange`] when `v >= n_vertices`.
+    pub fn set_label(&mut self, v: VertexId, label: u32) -> Result<(), GraphError> {
+        if v as usize >= self.n_vertices {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n_vertices: self.n_vertices,
+            });
+        }
+        self.labels[v as usize] = label;
+        Ok(())
+    }
+
+    /// Sets all labels at once.
+    ///
+    /// # Errors
+    /// [`GraphError::LabelCountMismatch`] when `labels.len() != n_vertices`.
+    pub fn set_labels(&mut self, labels: &[u32]) -> Result<(), GraphError> {
+        if labels.len() != self.n_vertices {
+            return Err(GraphError::LabelCountMismatch {
+                labels: labels.len(),
+                n_vertices: self.n_vertices,
+            });
+        }
+        self.labels.copy_from_slice(labels);
+        Ok(())
+    }
+
+    /// Freezes the builder into an immutable CSR [`Graph`].
+    ///
+    /// Duplicate edges collapse to one; neighbour lists come out sorted.
+    ///
+    /// # Errors
+    /// Currently infallible for inputs accepted by `add_edge`, but returns
+    /// `Result` so future validation (e.g. connectivity requirements) stays
+    /// non-breaking.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let n = self.n_vertices;
+        // Count directed degrees (each undirected edge contributes twice).
+        let mut adjacency: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for &(u, v) in &self.edges {
+            adjacency[u as usize].push(v);
+            adjacency[v as usize].push(u);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(self.edges.len() * 2);
+        offsets.push(0u32);
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len() as u32);
+        }
+        Ok(Graph::from_csr(offsets, neighbors, self.labels))
+    }
+}
+
+/// Convenience constructor: builds a labeled graph from an edge list.
+///
+/// # Errors
+/// Propagates the first [`GraphError`] from edge insertion or labeling.
+pub fn graph_from_edges(
+    n_vertices: usize,
+    edges: &[(VertexId, VertexId)],
+    labels: Option<&[u32]>,
+) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n_vertices).with_edge_capacity(edges.len());
+    for &(u, v) in edges {
+        b.add_edge(u, v)?;
+    }
+    if let Some(labels) = labels {
+        b.set_labels(labels)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(3);
+        assert_eq!(b.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(
+            b.add_edge(0, 3),
+            Err(GraphError::VertexOutOfRange { vertex: 3, .. })
+        ));
+        assert!(b.set_label(5, 1).is_err());
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn from_edges_helper() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)], Some(&[5, 6, 7])).unwrap();
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.labels(), &[5, 6, 7]);
+        assert!(graph_from_edges(2, &[(0, 1)], Some(&[1])).is_err());
+    }
+
+    #[test]
+    fn default_labels_are_zero() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        assert_eq!(g.labels(), &[0, 0, 0]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Vertex centrality measures.
+//!
+//! DeepMap aligns vertices across graphs by sorting them on **eigenvector
+//! centrality** (paper §4.1, citing Bonacich 1987): a vertex is important if
+//! it is linked to by other important vertices. We compute it with power
+//! iteration on the adjacency matrix, exactly as the paper's Algorithm 1
+//! (line 11, `O(e)` per iteration).
+//!
+//! Degree centrality is included for the ordering ablation benchmarks.
+
+use crate::graph::{Graph, VertexId};
+
+/// Options for the power iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerIterationOptions {
+    /// Maximum number of iterations before giving up on convergence.
+    pub max_iterations: usize,
+    /// L1 change threshold that counts as converged.
+    pub tolerance: f64,
+}
+
+impl Default for PowerIterationOptions {
+    fn default() -> Self {
+        PowerIterationOptions {
+            max_iterations: 100,
+            tolerance: 1e-8,
+        }
+    }
+}
+
+/// Eigenvector centrality of every vertex, by power iteration.
+///
+/// The vector is L2-normalised and non-negative. Isolated vertices converge
+/// to centrality 0. For the empty graph an empty vector is returned.
+///
+/// Convergence notes: on bipartite graphs (stars, paths, molecule rings)
+/// power iteration on `A` oscillates between the two sides, so — like
+/// NetworkX, which the original DeepMap code calls — we iterate on the
+/// shifted matrix `A + I`. The shift leaves the eigenvectors unchanged but
+/// makes the top eigenvalue strictly dominant in magnitude, guaranteeing
+/// convergence to the Perron vector on every connected component.
+pub fn eigenvector_centrality(graph: &Graph, options: PowerIterationOptions) -> Vec<f64> {
+    let n = graph.n_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    if graph.n_edges() == 0 {
+        // Every vertex is isolated; the limit assigns them all zero weight.
+        return vec![0.0; n];
+    }
+    let mut x = vec![1.0 / (n as f64).sqrt(); n];
+    let mut next = vec![0.0; n];
+    for _ in 0..options.max_iterations {
+        // next = (A + I) x  (adjacency is symmetric; the +I shift defeats
+        // bipartite oscillation).
+        next.copy_from_slice(&x);
+        for u in graph.vertices() {
+            let xu = x[u as usize];
+            for &v in graph.neighbors(u) {
+                next[v as usize] += xu;
+            }
+        }
+        let norm = next.iter().map(|v| v * v).sum::<f64>().sqrt();
+        debug_assert!(norm > 0.0, "norm stays positive once edges exist");
+        let mut delta = 0.0;
+        for (xi, ni) in x.iter_mut().zip(next.iter()) {
+            let scaled = ni / norm;
+            delta += (scaled - *xi).abs();
+            *xi = scaled;
+        }
+        if delta < options.tolerance {
+            break;
+        }
+    }
+    x
+}
+
+/// Degree centrality: `deg(v) / (n - 1)` (0 when `n <= 1`).
+pub fn degree_centrality(graph: &Graph) -> Vec<f64> {
+    let n = graph.n_vertices();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    let denom = (n - 1) as f64;
+    graph.vertices().map(|v| graph.degree(v) as f64 / denom).collect()
+}
+
+/// Sorts vertex ids descending by `score`, breaking score ties by vertex
+/// label and then ascending id so the order is total and deterministic.
+///
+/// This produces the paper's "vertex sequence" (Algorithm 1, line 11).
+pub fn rank_by_score_desc(graph: &Graph, score: &[f64]) -> Vec<VertexId> {
+    assert_eq!(score.len(), graph.n_vertices());
+    let mut order: Vec<VertexId> = graph.vertices().collect();
+    order.sort_by(|&a, &b| {
+        score[b as usize]
+            .partial_cmp(&score[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| graph.label(a).cmp(&graph.label(b)))
+            .then_with(|| a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    /// Star graph: center 0 connected to 1..=4.
+    fn star5() -> Graph {
+        graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)], None).unwrap()
+    }
+
+    #[test]
+    fn star_center_has_highest_centrality() {
+        let g = star5();
+        let c = eigenvector_centrality(&g, PowerIterationOptions::default());
+        for leaf in 1..5 {
+            assert!(c[0] > c[leaf], "center should dominate leaf {leaf}");
+        }
+        // Leaves are symmetric.
+        for leaf in 2..5 {
+            assert!((c[1] - c[leaf]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn centrality_is_normalised() {
+        let g = star5();
+        let c = eigenvector_centrality(&g, PowerIterationOptions::default());
+        let norm: f64 = c.iter().map(|v| v * v).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycle_vertices_equal() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], None).unwrap();
+        let c = eigenvector_centrality(&g, PowerIterationOptions::default());
+        for v in 1..4 {
+            assert!((c[0] - c[v]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_zero_centrality() {
+        let g = graph_from_edges(3, &[], None).unwrap();
+        let c = eigenvector_centrality(&g, PowerIterationOptions::default());
+        assert_eq!(c, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph_from_edges(0, &[], None).unwrap();
+        assert!(eigenvector_centrality(&g, PowerIterationOptions::default()).is_empty());
+        assert!(degree_centrality(&g).is_empty());
+    }
+
+    #[test]
+    fn degree_centrality_star() {
+        let g = star5();
+        let c = degree_centrality(&g);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        assert!((c[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_is_deterministic_under_ties() {
+        // Path 0-1-2: endpoints tie; ids break the tie.
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)], None).unwrap();
+        let c = eigenvector_centrality(&g, PowerIterationOptions::default());
+        let order = rank_by_score_desc(&g, &c);
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn ranking_breaks_ties_by_label() {
+        // Edgeless graph, all scores 0; labels decide, then ids.
+        let g = graph_from_edges(3, &[], Some(&[5, 2, 2])).unwrap();
+        let order = rank_by_score_desc(&g, &[0.0, 0.0, 0.0]);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn star_ranking_puts_center_first() {
+        let g = star5();
+        let c = eigenvector_centrality(&g, PowerIterationOptions::default());
+        let order = rank_by_score_desc(&g, &c);
+        assert_eq!(order[0], 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Connected components.
+//!
+//! The graphlet sampler restricts itself to connected induced subgraphs, and
+//! the synthetic dataset generators use component information to validate
+//! their outputs, so a plain union-find based component labelling lives here.
+
+use crate::graph::{Graph, VertexId};
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        true
+    }
+}
+
+/// Component labelling of a graph.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `component[v]` is the 0-based component index of vertex `v`.
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Vertices of each component, grouped.
+    pub fn groups(&self) -> Vec<Vec<VertexId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (v, &c) in self.component.iter().enumerate() {
+            groups[c as usize].push(v as VertexId);
+        }
+        groups
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    pub fn largest_size(&self) -> usize {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Labels connected components with consecutive indices in order of first
+/// appearance (so vertex 0 is always in component 0 when the graph is
+/// non-empty).
+pub fn connected_components(graph: &Graph) -> Components {
+    let n = graph.n_vertices();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in graph.edges() {
+        uf.union(u, v);
+    }
+    let mut component = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        let root = uf.find(v);
+        if component[root as usize] == u32::MAX {
+            component[root as usize] = next;
+            next += 1;
+        }
+        component[v as usize] = component[root as usize];
+    }
+    Components {
+        component,
+        count: next as usize,
+    }
+}
+
+/// `true` when the graph is connected (vacuously true for `n <= 1`).
+pub fn is_connected(graph: &Graph) -> bool {
+    graph.n_vertices() <= 1 || connected_components(graph).count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn two_components() {
+        let g = graph_from_edges(5, &[(0, 1), (2, 3)], None).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.component[0], c.component[1]);
+        assert_eq!(c.component[2], c.component[3]);
+        assert_ne!(c.component[0], c.component[2]);
+        assert_ne!(c.component[4], c.component[0]);
+        assert_eq!(c.largest_size(), 2);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn connected_path() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)], None).unwrap();
+        assert!(is_connected(&g));
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.groups(), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = graph_from_edges(0, &[], None).unwrap();
+        assert!(is_connected(&empty));
+        assert_eq!(connected_components(&empty).count, 0);
+        assert_eq!(connected_components(&empty).largest_size(), 0);
+
+        let single = graph_from_edges(1, &[], None).unwrap();
+        assert!(is_connected(&single));
+        assert_eq!(connected_components(&single).count, 1);
+    }
+
+    #[test]
+    fn union_find_idempotent() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.find(1), uf.find(2));
+    }
+
+    #[test]
+    fn component_indices_in_first_appearance_order() {
+        let g = graph_from_edges(4, &[(2, 3)], None).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.component, vec![0, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,391 @@
+//! Random graph generators.
+//!
+//! These are the building blocks of the synthetic benchmark datasets
+//! (`deepmap-datasets`). SYNTHIE's construction in the paper uses
+//! Erdős–Rényi seed graphs with edge probability 0.2; the other benchmarks
+//! are simulated with class-conditional mixtures of the models here
+//! (preferential attachment for social/collaboration ego-nets, planted
+//! partition for community-structured data, dense near-complete graphs for
+//! the `_MD` chemical datasets, sparse lattice-ish molecules for NCI1/PTC).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Shared knobs for the generators.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edge probability (Erdős–Rényi, planted partition intra/inter base).
+    pub p: f64,
+    /// Number of distinct vertex labels to assign uniformly at random.
+    /// `0` leaves every label as 0.
+    pub n_labels: u32,
+}
+
+impl GeneratorConfig {
+    /// Config with `n` vertices, `p = 0.1`, unlabeled.
+    pub fn new(n: usize) -> Self {
+        GeneratorConfig {
+            n,
+            p: 0.1,
+            n_labels: 0,
+        }
+    }
+
+    /// Sets the edge probability.
+    pub fn edge_probability(mut self, p: f64) -> Self {
+        self.p = p;
+        self
+    }
+
+    /// Sets the number of random vertex labels.
+    pub fn labels(mut self, n_labels: u32) -> Self {
+        self.n_labels = n_labels;
+        self
+    }
+}
+
+fn assign_random_labels(builder: &mut GraphBuilder, n_labels: u32, rng: &mut StdRng) {
+    if n_labels == 0 {
+        return;
+    }
+    for v in 0..builder.n_vertices() as VertexId {
+        let label = rng.gen_range(0..n_labels) + 1;
+        builder.set_label(v, label).expect("vertex in range");
+    }
+}
+
+/// G(n, p) Erdős–Rényi random graph.
+pub fn erdos_renyi(config: &GeneratorConfig, rng: &mut StdRng) -> Graph {
+    let mut b = GraphBuilder::new(config.n);
+    for u in 0..config.n as VertexId {
+        for v in (u + 1)..config.n as VertexId {
+            if rng.gen_bool(config.p.clamp(0.0, 1.0)) {
+                b.add_edge_unchecked(u, v);
+            }
+        }
+    }
+    assign_random_labels(&mut b, config.n_labels, rng);
+    b.build().expect("generated edges are valid")
+}
+
+/// Barabási–Albert-style preferential attachment: each new vertex attaches
+/// to `m` existing vertices chosen proportionally to degree.
+///
+/// Degenerate sizes (`n <= m`) fall back to a complete graph on `n`.
+pub fn preferential_attachment(n: usize, m: usize, n_labels: u32, rng: &mut StdRng) -> Graph {
+    if n <= m + 1 {
+        return complete_graph(n, n_labels, rng);
+    }
+    let m = m.max(1);
+    let mut b = GraphBuilder::new(n);
+    // Repeated-endpoints list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    // Seed: star on the first m+1 vertices so every vertex has degree >= 1.
+    for v in 1..=m as VertexId {
+        b.add_edge_unchecked(0, v);
+        endpoints.extend_from_slice(&[0, v]);
+    }
+    for u in (m + 1)..n {
+        let u = u as VertexId;
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            let &candidate = endpoints.choose(rng).expect("endpoints nonempty");
+            if candidate != u && !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+            guard += 1;
+        }
+        for &v in &chosen {
+            b.add_edge_unchecked(u, v);
+            endpoints.extend_from_slice(&[u, v]);
+        }
+    }
+    assign_random_labels(&mut b, n_labels, rng);
+    b.build().expect("generated edges are valid")
+}
+
+/// Planted-partition graph: `blocks` equal-sized communities, intra-community
+/// edge probability `p_in`, inter-community probability `p_out`.
+pub fn planted_partition(
+    n: usize,
+    blocks: usize,
+    p_in: f64,
+    p_out: f64,
+    n_labels: u32,
+    rng: &mut StdRng,
+) -> Graph {
+    let blocks = blocks.max(1);
+    let mut b = GraphBuilder::new(n);
+    let block_of = |v: usize| v * blocks / n.max(1);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block_of(u) == block_of(v) { p_in } else { p_out };
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                b.add_edge_unchecked(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    assign_random_labels(&mut b, n_labels, rng);
+    b.build().expect("generated edges are valid")
+}
+
+/// Complete graph `K_n`.
+pub fn complete_graph(n: usize, n_labels: u32, rng: &mut StdRng) -> Graph {
+    let mut b = GraphBuilder::new(n).with_edge_capacity(n * n.saturating_sub(1) / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.add_edge_unchecked(u, v);
+        }
+    }
+    assign_random_labels(&mut b, n_labels, rng);
+    b.build().expect("generated edges are valid")
+}
+
+/// Cycle graph `C_n` (empty for `n < 3`).
+pub fn cycle_graph(n: usize, n_labels: u32, rng: &mut StdRng) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    if n >= 3 {
+        for v in 0..n as VertexId {
+            b.add_edge_unchecked(v, ((v as usize + 1) % n) as VertexId);
+        }
+    }
+    assign_random_labels(&mut b, n_labels, rng);
+    b.build().expect("generated edges are valid")
+}
+
+/// Connected caveman-style graph: `cliques` cliques of `clique_size`
+/// vertices, with one edge rewired between consecutive cliques to connect
+/// them.
+pub fn caveman_graph(cliques: usize, clique_size: usize, n_labels: u32, rng: &mut StdRng) -> Graph {
+    let n = cliques * clique_size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..cliques {
+        let base = (c * clique_size) as VertexId;
+        for i in 0..clique_size as VertexId {
+            for j in (i + 1)..clique_size as VertexId {
+                b.add_edge_unchecked(base + i, base + j);
+            }
+        }
+        if cliques > 1 && clique_size >= 1 {
+            let next_base = (((c + 1) % cliques) * clique_size) as VertexId;
+            if next_base != base {
+                b.add_edge_unchecked(base, next_base);
+            }
+        }
+    }
+    assign_random_labels(&mut b, n_labels, rng);
+    b.build().expect("generated edges are valid")
+}
+
+/// Ego network: one ego vertex adjacent to all `n - 1` alters; alters are
+/// connected among themselves with probability `p_alter`. This is the shape
+/// of the IMDB/COLLAB collaboration ego-nets.
+pub fn ego_network(n: usize, p_alter: f64, n_labels: u32, rng: &mut StdRng) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as VertexId {
+        b.add_edge_unchecked(0, v);
+    }
+    for u in 1..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen_bool(p_alter.clamp(0.0, 1.0)) {
+                b.add_edge_unchecked(u, v);
+            }
+        }
+    }
+    assign_random_labels(&mut b, n_labels, rng);
+    b.build().expect("generated edges are valid")
+}
+
+/// Random tree on `n` vertices via a uniform random attachment process
+/// (each vertex `v >= 1` attaches to a uniform earlier vertex). Molecule-like
+/// sparse skeletons; add a few extra edges for rings via `extra_edges`.
+pub fn random_tree_with_extra_edges(
+    n: usize,
+    extra_edges: usize,
+    n_labels: u32,
+    rng: &mut StdRng,
+) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let parent = rng.gen_range(0..v) as VertexId;
+        b.add_edge_unchecked(v as VertexId, parent);
+    }
+    let mut added = 0;
+    let mut guard = 0;
+    while n >= 2 && added < extra_edges && guard < 20 * (extra_edges + 1) {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u != v {
+            b.add_edge_unchecked(u, v);
+            added += 1;
+        }
+        guard += 1;
+    }
+    assign_random_labels(&mut b, n_labels, rng);
+    b.build().expect("generated edges are valid")
+}
+
+/// Perturbs `graph` by rewiring each edge with probability `p_rewire`
+/// (delete the edge, insert a uniform random non-edge). Used to derive the
+/// SYNTHIE class variants from the two seed graphs.
+pub fn rewire(graph: &Graph, p_rewire: f64, rng: &mut StdRng) -> Graph {
+    let n = graph.n_vertices();
+    let mut edges: Vec<(VertexId, VertexId)> = graph.edges().collect();
+    let mut b = GraphBuilder::new(n).with_edge_capacity(edges.len());
+    let original_len = edges.len();
+    let mut kept: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges.len());
+    edges.retain(|_| !rng.gen_bool(p_rewire.clamp(0.0, 1.0)));
+    kept.extend_from_slice(&edges);
+    let removed = original_len - kept.len();
+    for _ in 0..removed {
+        if n < 2 {
+            break;
+        }
+        // A handful of attempts to find a fresh non-edge is plenty at the
+        // densities we generate.
+        for _ in 0..32 {
+            let u = rng.gen_range(0..n) as VertexId;
+            let v = rng.gen_range(0..n) as VertexId;
+            if u != v && !graph.has_edge(u, v) && !kept.contains(&(u.min(v), u.max(v))) {
+                kept.push((u.min(v), u.max(v)));
+                break;
+            }
+        }
+    }
+    for &(u, v) in &kept {
+        b.add_edge_unchecked(u, v);
+    }
+    b.set_labels(graph.labels()).expect("same vertex count");
+    b.build().expect("generated edges are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let g0 = erdos_renyi(&GeneratorConfig::new(10).edge_probability(0.0), &mut rng(1));
+        assert_eq!(g0.n_edges(), 0);
+        let g1 = erdos_renyi(&GeneratorConfig::new(10).edge_probability(1.0), &mut rng(1));
+        assert_eq!(g1.n_edges(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_density_near_p() {
+        let g = erdos_renyi(&GeneratorConfig::new(100).edge_probability(0.2), &mut rng(2));
+        let max_edges = 100 * 99 / 2;
+        let density = g.n_edges() as f64 / max_edges as f64;
+        assert!((density - 0.2).abs() < 0.05, "density {density}");
+    }
+
+    #[test]
+    fn labels_in_requested_range() {
+        let g = erdos_renyi(
+            &GeneratorConfig::new(50).edge_probability(0.1).labels(4),
+            &mut rng(3),
+        );
+        assert!(g.labels().iter().all(|&l| (1..=4).contains(&l)));
+        assert!(g.n_distinct_labels() >= 2);
+    }
+
+    #[test]
+    fn preferential_attachment_connected_and_sized() {
+        let g = preferential_attachment(40, 2, 0, &mut rng(4));
+        assert_eq!(g.n_vertices(), 40);
+        assert!(is_connected(&g));
+        // Every non-seed vertex attaches with m=2 edges, so |E| >= 2*(n-m-1).
+        assert!(g.n_edges() >= 2 * (40 - 3));
+    }
+
+    #[test]
+    fn preferential_attachment_degenerate_is_complete() {
+        let g = preferential_attachment(3, 5, 0, &mut rng(5));
+        assert_eq!(g.n_edges(), 3);
+    }
+
+    #[test]
+    fn planted_partition_denser_inside() {
+        let g = planted_partition(60, 3, 0.5, 0.02, 0, &mut rng(6));
+        let block_of = |v: usize| v * 3 / 60;
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v) in g.edges() {
+            if block_of(u as usize) == block_of(v as usize) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter * 3, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn complete_cycle_shapes() {
+        let k = complete_graph(6, 0, &mut rng(7));
+        assert_eq!(k.n_edges(), 15);
+        let c = cycle_graph(6, 0, &mut rng(7));
+        assert_eq!(c.n_edges(), 6);
+        assert!(c.vertices().all(|v| c.degree(v) == 2));
+        let tiny = cycle_graph(2, 0, &mut rng(7));
+        assert_eq!(tiny.n_edges(), 0);
+    }
+
+    #[test]
+    fn caveman_connected() {
+        let g = caveman_graph(4, 5, 0, &mut rng(8));
+        assert_eq!(g.n_vertices(), 20);
+        assert!(is_connected(&g));
+        // 4 cliques of 5 => 4 * 10 internal edges + 4 bridges.
+        assert_eq!(g.n_edges(), 44);
+    }
+
+    #[test]
+    fn ego_network_shape() {
+        let g = ego_network(10, 0.0, 0, &mut rng(9));
+        assert_eq!(g.degree(0), 9);
+        assert!(is_connected(&g));
+        let dense = ego_network(10, 1.0, 0, &mut rng(9));
+        assert_eq!(dense.n_edges(), 45);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let g = random_tree_with_extra_edges(20, 0, 0, &mut rng(10));
+        assert_eq!(g.n_edges(), 19);
+        assert!(is_connected(&g));
+        let with_rings = random_tree_with_extra_edges(20, 3, 0, &mut rng(10));
+        assert!(with_rings.n_edges() >= 20);
+    }
+
+    #[test]
+    fn rewire_preserves_counts_approximately() {
+        let g = erdos_renyi(&GeneratorConfig::new(30).edge_probability(0.2), &mut rng(11));
+        let r = rewire(&g, 0.3, &mut rng(12));
+        assert_eq!(r.n_vertices(), g.n_vertices());
+        let diff = (r.n_edges() as i64 - g.n_edges() as i64).abs();
+        assert!(diff <= 3, "edge count drifted by {diff}");
+        // Zero rewiring is the identity on edges.
+        let same = rewire(&g, 0.0, &mut rng(13));
+        assert_eq!(same.n_edges(), g.n_edges());
+    }
+
+    #[test]
+    fn generators_deterministic_under_seed() {
+        let a = erdos_renyi(&GeneratorConfig::new(25).edge_probability(0.3).labels(3), &mut rng(42));
+        let b = erdos_renyi(&GeneratorConfig::new(25).edge_probability(0.3).labels(3), &mut rng(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,363 @@
+//! The core undirected labeled graph type.
+//!
+//! [`Graph`] matches the paper's object of study: an undirected labeled graph
+//! `G = (V, E, l)` where `l : V -> Σ` assigns positive-integer labels to
+//! vertices (paper §3). Graphs are immutable once built; construct them with
+//! [`crate::GraphBuilder`].
+
+use std::fmt;
+
+/// Dense vertex identifier. Vertices of an `n`-vertex graph are `0..n`.
+pub type VertexId = u32;
+
+/// Errors produced when constructing or validating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a vertex that does not exist.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// Number of vertices in the graph under construction.
+        n_vertices: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the paper's graphs are simple.
+    SelfLoop(
+        /// The vertex with the self-loop.
+        VertexId,
+    ),
+    /// The label vector length does not match the vertex count.
+    LabelCountMismatch {
+        /// Number of labels supplied.
+        labels: usize,
+        /// Number of vertices in the graph.
+        n_vertices: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n_vertices } => write!(
+                f,
+                "edge endpoint {vertex} out of range for graph with {n_vertices} vertices"
+            ),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} (graphs are simple)"),
+            GraphError::LabelCountMismatch { labels, n_vertices } => write!(
+                f,
+                "{labels} labels supplied for a graph with {n_vertices} vertices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable, undirected, vertex-labeled simple graph in CSR form.
+///
+/// Neighbour lists are sorted ascending and deduplicated, so
+/// [`Graph::neighbors`] is deterministic and [`Graph::has_edge`] is a binary
+/// search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR row offsets; `offsets.len() == n_vertices + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbour lists; each undirected edge appears twice.
+    neighbors: Vec<VertexId>,
+    /// Vertex labels, `labels.len() == n_vertices`.
+    labels: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from parts. Intended for use by [`crate::GraphBuilder`];
+    /// `offsets`/`neighbors` must already be valid sorted CSR.
+    pub(crate) fn from_csr(offsets: Vec<u32>, neighbors: Vec<VertexId>, labels: Vec<u32>) -> Self {
+        debug_assert_eq!(offsets.len(), labels.len() + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, neighbors.len());
+        Graph {
+            offsets,
+            neighbors,
+            labels,
+        }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// `true` when the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The sorted neighbour list of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Label of vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    #[inline]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Returns a copy of this graph with labels replaced.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::LabelCountMismatch`] when `labels.len()` differs
+    /// from the vertex count.
+    pub fn with_labels(&self, labels: Vec<u32>) -> Result<Graph, GraphError> {
+        if labels.len() != self.n_vertices() {
+            return Err(GraphError::LabelCountMismatch {
+                labels: labels.len(),
+                n_vertices: self.n_vertices(),
+            });
+        }
+        Ok(Graph {
+            offsets: self.offsets.clone(),
+            neighbors: self.neighbors.clone(),
+            labels,
+        })
+    }
+
+    /// `true` when `{u, v}` is an edge. Binary search over the sorted
+    /// neighbour list of the lower-degree endpoint.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.n_vertices() || v as usize >= self.n_vertices() {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.n_vertices() as VertexId
+    }
+
+    /// Iterator over undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// The induced subgraph on `vertices` (order defines the new ids).
+    ///
+    /// Duplicated vertices are not rejected; callers must pass distinct ids.
+    /// Labels are carried over. Vertices out of range are ignored.
+    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> Graph {
+        let mut builder = crate::GraphBuilder::new(vertices.len());
+        let mut index_of: crate::FxHashMap<VertexId, u32> = crate::FxHashMap::default();
+        for (new_id, &v) in vertices.iter().enumerate() {
+            index_of.insert(v, new_id as u32);
+        }
+        for (new_u, &u) in vertices.iter().enumerate() {
+            if (u as usize) < self.n_vertices() {
+                builder
+                    .set_label(new_u as VertexId, self.label(u))
+                    .expect("new id in range");
+                for &w in self.neighbors(u) {
+                    if let Some(&new_w) = index_of.get(&w) {
+                        if (new_u as u32) < new_w {
+                            builder.add_edge_unchecked(new_u as VertexId, new_w);
+                        }
+                    }
+                }
+            }
+        }
+        builder.build().expect("induced subgraph is always valid")
+    }
+
+    /// Degree sequence sorted descending (a cheap isomorphism invariant).
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut seq: Vec<usize> = self.vertices().map(|v| self.degree(v)).collect();
+        seq.sort_unstable_by(|a, b| b.cmp(a));
+        seq
+    }
+
+    /// Number of distinct vertex labels present.
+    pub fn n_distinct_labels(&self) -> usize {
+        let set: crate::FxHashSet<u32> = self.labels.iter().copied().collect();
+        set.len()
+    }
+
+    /// Row-normalised transition-matrix step: `out[u] = Σ_{v∈N(u)} x[v]/deg(v)`.
+    ///
+    /// This is `P^T x` for the random-walk transition matrix `P = D^{-1} A`,
+    /// the primitive used by the RetGK return-probability features and the
+    /// DCNN diffusion convolution. Isolated vertices contribute nothing.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n_vertices`.
+    pub fn transition_apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_vertices());
+        let mut out = vec![0.0; x.len()];
+        for u in self.vertices() {
+            let du = self.degree(u);
+            if du == 0 {
+                continue;
+            }
+            let share = x[u as usize] / du as f64;
+            for &v in self.neighbors(u) {
+                out[v as usize] += share;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Path graph 0-1-2-3 with labels 1,2,3,4.
+    fn path4() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 3).unwrap();
+        b.set_labels(&[1, 2, 3, 4]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = path4();
+        assert_eq!(g.n_vertices(), 4);
+        assert_eq!(g.n_edges(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = path4();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = path4();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 99));
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let g = path4();
+        assert_eq!(g.labels(), &[1, 2, 3, 4]);
+        assert_eq!(g.label(2), 3);
+        assert_eq!(g.n_distinct_labels(), 4);
+        let g2 = g.with_labels(vec![7, 7, 7, 7]).unwrap();
+        assert_eq!(g2.n_distinct_labels(), 1);
+        assert!(g.with_labels(vec![1]).is_err());
+    }
+
+    #[test]
+    fn edge_iterator_each_edge_once() {
+        let g = path4();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_structure() {
+        let g = path4();
+        let sub = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sub.n_vertices(), 3);
+        assert_eq!(sub.n_edges(), 2);
+        assert_eq!(sub.labels(), &[2, 3, 4]);
+        assert!(sub.has_edge(0, 1)); // old (1,2)
+        assert!(sub.has_edge(1, 2)); // old (2,3)
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_nonadjacent() {
+        let g = path4();
+        let sub = g.induced_subgraph(&[0, 3]);
+        assert_eq!(sub.n_vertices(), 2);
+        assert_eq!(sub.n_edges(), 0);
+    }
+
+    #[test]
+    fn degree_sequence_sorted() {
+        let g = path4();
+        assert_eq!(g.degree_sequence(), vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn transition_apply_distributes_mass() {
+        let g = path4();
+        let x = vec![1.0, 0.0, 0.0, 0.0];
+        let out = g.transition_apply(&x);
+        // Vertex 0 has degree 1; all of its mass flows to vertex 1.
+        assert_eq!(out, vec![0.0, 1.0, 0.0, 0.0]);
+        // Total probability mass is conserved when there are no isolated vertices.
+        let uniform = vec![0.25; 4];
+        let stepped = g.transition_apply(&uniform);
+        let total: f64 = stepped.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.degree_sequence(), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,37 @@
+//! Graph substrate for the DeepMap reproduction.
+//!
+//! This crate provides everything the rest of the workspace needs from a
+//! graph library:
+//!
+//! - [`Graph`]: an immutable, undirected, vertex-labeled graph stored in
+//!   compressed sparse row (CSR) form, built through [`GraphBuilder`].
+//! - Traversals: breadth-first search and k-hop neighbourhood expansion
+//!   ([`bfs`]).
+//! - All-pairs shortest paths by per-source BFS and by Floyd–Warshall
+//!   ([`shortest_path`]).
+//! - Eigenvector centrality by power iteration, plus degree centrality
+//!   ([`centrality`]).
+//! - Connected components ([`components`]).
+//! - Random graph generators used by the synthetic benchmark datasets
+//!   ([`generators`]).
+//! - A fast, non-cryptographic hasher ([`hash`]) used for substructure
+//!   vocabularies throughout the workspace.
+//!
+//! Vertices are dense `u32` indices `0..n`. Edges are undirected and the CSR
+//! neighbour lists are kept sorted, which makes membership tests and
+//! canonical encodings deterministic.
+
+#![deny(missing_docs)]
+
+pub mod bfs;
+pub mod builder;
+pub mod centrality;
+pub mod components;
+pub mod generators;
+pub mod graph;
+pub mod hash;
+pub mod shortest_path;
+
+pub use builder::GraphBuilder;
+pub use graph::{Graph, GraphError, VertexId};
+pub use hash::{FxHashMap, FxHashSet};

@@ -1,0 +1,154 @@
+//! All-pairs shortest paths.
+//!
+//! The shortest-path kernel (paper §3, Eq. 3) needs the length of the
+//! shortest path between every vertex pair. For the unweighted graphs of the
+//! benchmarks, one BFS per source — [`apsp_bfs`] — is `O(|V|·(|V|+|E|))` and
+//! is what the pipeline uses. [`apsp_floyd_warshall`] implements the
+//! `O(|V|^3)` classic the paper cites for its complexity analysis; the test
+//! suite cross-checks the two.
+
+use crate::bfs::{bfs_distances, UNREACHABLE};
+use crate::graph::Graph;
+
+/// Dense all-pairs shortest-path matrix.
+///
+/// `dist(u, v)` is the hop distance, or [`UNREACHABLE`] when `v` cannot be
+/// reached from `u`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance from `u` to `v`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn dist(&self, u: usize, v: usize) -> u32 {
+        assert!(u < self.n && v < self.n);
+        self.dist[u * self.n + v]
+    }
+
+    /// Row of distances from `u`.
+    #[inline]
+    pub fn row(&self, u: usize) -> &[u32] {
+        &self.dist[u * self.n..(u + 1) * self.n]
+    }
+
+    /// Largest finite distance in the matrix (the graph diameter when
+    /// connected; 0 for empty graphs).
+    pub fn diameter(&self) -> u32 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// All-pairs shortest paths by one BFS per source. `O(|V|·(|V|+|E|))`.
+pub fn apsp_bfs(graph: &Graph) -> DistanceMatrix {
+    let n = graph.n_vertices();
+    let mut dist = Vec::with_capacity(n * n);
+    for v in graph.vertices() {
+        dist.extend(bfs_distances(graph, v));
+    }
+    DistanceMatrix { n, dist }
+}
+
+/// All-pairs shortest paths by Floyd–Warshall. `O(|V|^3)`.
+///
+/// Kept as the reference implementation the paper cites; saturating
+/// arithmetic handles the `UNREACHABLE` sentinel.
+pub fn apsp_floyd_warshall(graph: &Graph) -> DistanceMatrix {
+    let n = graph.n_vertices();
+    let mut dist = vec![UNREACHABLE; n * n];
+    for v in 0..n {
+        dist[v * n + v] = 0;
+    }
+    for (u, v) in graph.edges() {
+        dist[u as usize * n + v as usize] = 1;
+        dist[v as usize * n + u as usize] = 1;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = dist[i * n + k];
+            if dik == UNREACHABLE {
+                continue;
+            }
+            for j in 0..n {
+                let dkj = dist[k * n + j];
+                if dkj == UNREACHABLE {
+                    continue;
+                }
+                let through = dik + dkj;
+                if through < dist[i * n + j] {
+                    dist[i * n + j] = through;
+                }
+            }
+        }
+    }
+    DistanceMatrix { n, dist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::generators::{erdos_renyi, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_distances() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)], None).unwrap();
+        let d = apsp_bfs(&g);
+        assert_eq!(d.dist(0, 3), 3);
+        assert_eq!(d.dist(3, 0), 3);
+        assert_eq!(d.dist(1, 1), 0);
+        assert_eq!(d.diameter(), 3);
+    }
+
+    #[test]
+    fn disconnected_is_unreachable() {
+        let g = graph_from_edges(3, &[(0, 1)], None).unwrap();
+        let d = apsp_bfs(&g);
+        assert_eq!(d.dist(0, 2), UNREACHABLE);
+        assert_eq!(d.diameter(), 1);
+    }
+
+    #[test]
+    fn floyd_warshall_matches_bfs_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 5, 12, 25] {
+            for p in [0.05, 0.2, 0.5] {
+                let g = erdos_renyi(&GeneratorConfig::new(n).edge_probability(p), &mut rng);
+                assert_eq!(apsp_bfs(&g), apsp_floyd_warshall(&g), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_diameter_zero() {
+        let g = graph_from_edges(0, &[], None).unwrap();
+        let d = apsp_bfs(&g);
+        assert_eq!(d.n(), 0);
+        assert_eq!(d.diameter(), 0);
+    }
+
+    #[test]
+    fn row_access() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)], None).unwrap();
+        let d = apsp_bfs(&g);
+        assert_eq!(d.row(0), &[0, 1, 2]);
+    }
+}

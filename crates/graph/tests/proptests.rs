@@ -1,0 +1,155 @@
+//! Property-based tests for the graph substrate.
+
+use deepmap_graph::bfs::{bfs_distances, bfs_layers, UNREACHABLE};
+use deepmap_graph::centrality::{
+    eigenvector_centrality, rank_by_score_desc, PowerIterationOptions,
+};
+use deepmap_graph::components::{connected_components, is_connected};
+use deepmap_graph::generators::{erdos_renyi, preferential_attachment, GeneratorConfig};
+use deepmap_graph::shortest_path::{apsp_bfs, apsp_floyd_warshall};
+use deepmap_graph::{Graph, GraphBuilder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: an arbitrary simple graph with up to `max_n` vertices.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (1..=max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(3 * n));
+        let labels = proptest::collection::vec(0u32..5, n);
+        (Just(n), edges, labels).prop_map(|(n, edges, labels)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v).expect("endpoints in range");
+                }
+            }
+            b.set_labels(&labels).expect("label count matches");
+            b.build().expect("valid graph")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph(20)) {
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_sorted_unique(g in arb_graph(20)) {
+        for u in g.vertices() {
+            let ns = g.neighbors(u);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn handshake_lemma(g in arb_graph(20)) {
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.n_edges());
+    }
+
+    #[test]
+    fn bfs_distance_triangle_inequality_over_edges(g in arb_graph(15)) {
+        // For every edge (u, v) and source s: |d(s,u) - d(s,v)| <= 1.
+        for s in g.vertices() {
+            let d = bfs_distances(&g, s);
+            for (u, v) in g.edges() {
+                let (du, dv) = (d[u as usize], d[v as usize]);
+                if du != UNREACHABLE && dv != UNREACHABLE {
+                    prop_assert!(du.abs_diff(dv) <= 1);
+                } else {
+                    // An edge cannot bridge reachable and unreachable.
+                    prop_assert_eq!(du, dv);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_layers_partition_component(g in arb_graph(15)) {
+        let comps = connected_components(&g);
+        for s in g.vertices() {
+            let layers = bfs_layers(&g, s, None);
+            let visited: usize = layers.iter().map(|l| l.len()).sum();
+            let comp_size = comps
+                .component
+                .iter()
+                .filter(|&&c| c == comps.component[s as usize])
+                .count();
+            prop_assert_eq!(visited, comp_size);
+        }
+    }
+
+    #[test]
+    fn apsp_implementations_agree(g in arb_graph(12)) {
+        prop_assert_eq!(apsp_bfs(&g), apsp_floyd_warshall(&g));
+    }
+
+    #[test]
+    fn apsp_symmetric(g in arb_graph(12)) {
+        let d = apsp_bfs(&g);
+        for u in 0..d.n() {
+            for v in 0..d.n() {
+                prop_assert_eq!(d.dist(u, v), d.dist(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn centrality_nonnegative_and_normalised(g in arb_graph(20)) {
+        let c = eigenvector_centrality(&g, PowerIterationOptions::default());
+        prop_assert!(c.iter().all(|&x| x >= -1e-12));
+        if g.n_edges() > 0 {
+            let norm: f64 = c.iter().map(|x| x * x).sum();
+            prop_assert!((norm - 1.0).abs() < 1e-3, "norm {}", norm);
+        }
+    }
+
+    #[test]
+    fn ranking_is_a_permutation(g in arb_graph(20)) {
+        let c = eigenvector_centrality(&g, PowerIterationOptions::default());
+        let order = rank_by_score_desc(&g, &c);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        let expected: Vec<u32> = (0..g.n_vertices() as u32).collect();
+        prop_assert_eq!(sorted, expected);
+        // Scores are non-increasing along the order.
+        for w in order.windows(2) {
+            prop_assert!(c[w[0] as usize] >= c[w[1] as usize] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edge_subset(g in arb_graph(15), take in 0usize..10) {
+        let verts: Vec<u32> = g.vertices().take(take.min(g.n_vertices())).collect();
+        let sub = g.induced_subgraph(&verts);
+        prop_assert_eq!(sub.n_vertices(), verts.len());
+        for (a, b) in sub.edges() {
+            prop_assert!(g.has_edge(verts[a as usize], verts[b as usize]));
+        }
+        // Labels carried over.
+        for (new_id, &old) in verts.iter().enumerate() {
+            prop_assert_eq!(sub.label(new_id as u32), g.label(old));
+        }
+    }
+
+    #[test]
+    fn er_seeded_determinism(n in 2usize..30, seed in 0u64..1000) {
+        let cfg = GeneratorConfig::new(n).edge_probability(0.3).labels(3);
+        let a = erdos_renyi(&cfg, &mut StdRng::seed_from_u64(seed));
+        let b = erdos_renyi(&cfg, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pa_graphs_connected(n in 3usize..40, seed in 0u64..500) {
+        let g = preferential_attachment(n, 2, 0, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,352 @@
+//! Sparse feature vectors, vocabularies, and dataset-level feature maps.
+//!
+//! A substructure (graphlet class, shortest-path triplet, WL label) is
+//! identified by an opaque `u64` key. A [`Vocabulary`] interns keys into
+//! dense column indices shared across the whole dataset, a [`SparseVec`]
+//! stores one vertex's (or graph's) counts over those columns, and
+//! [`DatasetFeatureMaps`] bundles the per-graph, per-vertex vectors with the
+//! vocabulary.
+
+use deepmap_graph::FxHashMap;
+
+/// Interns opaque `u64` substructure keys into dense column indices.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    map: FxHashMap<u64, u32>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Index for `key`, allocating the next free column on first sight.
+    pub fn intern(&mut self, key: u64) -> u32 {
+        let next = self.map.len() as u32;
+        *self.map.entry(key).or_insert(next)
+    }
+
+    /// Index for `key` if it has been interned.
+    pub fn get(&self, key: u64) -> Option<u32> {
+        self.map.get(&key).copied()
+    }
+
+    /// Number of interned keys (the feature dimension `m`).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A sparse non-negative feature vector: sorted `(column, value)` pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(u32, f32)>,
+}
+
+impl SparseVec {
+    /// The zero vector.
+    pub fn new() -> Self {
+        SparseVec::default()
+    }
+
+    /// Builds from unsorted `(column, value)` pairs, merging duplicates.
+    pub fn from_pairs(mut pairs: Vec<(u32, f32)>) -> Self {
+        pairs.sort_unstable_by_key(|&(c, _)| c);
+        let mut entries: Vec<(u32, f32)> = Vec::with_capacity(pairs.len());
+        for (c, v) in pairs {
+            match entries.last_mut() {
+                Some(last) if last.0 == c => last.1 += v,
+                _ => entries.push((c, v)),
+            }
+        }
+        entries.retain(|&(_, v)| v != 0.0);
+        SparseVec { entries }
+    }
+
+    /// Adds `value` to column `col`.
+    pub fn add(&mut self, col: u32, value: f32) {
+        match self.entries.binary_search_by_key(&col, |&(c, _)| c) {
+            Ok(i) => self.entries[i].1 += value,
+            Err(i) => self.entries.insert(i, (col, value)),
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn add_assign(&mut self, other: &SparseVec) {
+        if other.entries.is_empty() {
+            return;
+        }
+        // Merge two sorted lists.
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.entries[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.entries[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((self.entries[i].0, self.entries[i].1 + other.entries[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.entries[i..]);
+        merged.extend_from_slice(&other.entries[j..]);
+        self.entries = merged;
+    }
+
+    /// Dot product with another sparse vector.
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let mut acc = 0.0f64;
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.entries[i].1 as f64 * other.entries[j].1 as f64;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| (v as f64) * (v as f64)).sum()
+    }
+
+    /// Sum of values (total substructure count).
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v as f64).sum()
+    }
+
+    /// Number of non-zero columns.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Value at column `col` (0 when absent).
+    pub fn get(&self, col: u32) -> f32 {
+        self.entries
+            .binary_search_by_key(&col, |&(c, _)| c)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Sorted `(column, value)` pairs.
+    pub fn entries(&self) -> &[(u32, f32)] {
+        &self.entries
+    }
+
+    /// Writes the vector densely into `out[0..dim]` (zero-filled first).
+    ///
+    /// Columns beyond `out.len()` are ignored — this is how top-K truncated
+    /// dense tensors drop rare features.
+    pub fn write_dense(&self, out: &mut [f32]) {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        for &(c, v) in &self.entries {
+            if let Some(slot) = out.get_mut(c as usize) {
+                *slot = v;
+            }
+        }
+    }
+
+    /// Remaps columns through `mapping` (`None` drops the column). Used by
+    /// top-K truncation.
+    pub fn remap(&self, mapping: &FxHashMap<u32, u32>) -> SparseVec {
+        let pairs: Vec<(u32, f32)> = self
+            .entries
+            .iter()
+            .filter_map(|&(c, v)| mapping.get(&c).map(|&nc| (nc, v)))
+            .collect();
+        SparseVec::from_pairs(pairs)
+    }
+}
+
+/// Per-vertex feature maps for a dataset of graphs, sharing one vocabulary.
+#[derive(Debug, Clone)]
+pub struct DatasetFeatureMaps {
+    /// `maps[g][v]` is the feature map of vertex `v` of graph `g`.
+    pub maps: Vec<Vec<SparseVec>>,
+    /// Feature dimension `m` (vocabulary size).
+    pub dim: usize,
+}
+
+impl DatasetFeatureMaps {
+    /// Graph-level feature maps: `φ(G) = Σᵥ φ(v)` (paper Eq. 7).
+    pub fn sum_per_graph(&self) -> Vec<SparseVec> {
+        self.maps
+            .iter()
+            .map(|vertices| {
+                let mut acc = SparseVec::new();
+                for v in vertices {
+                    acc.add_assign(v);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Restricts the vocabulary to the `k` globally most frequent columns
+    /// (ties broken by column index for determinism), renumbering columns
+    /// densely.
+    ///
+    /// The paper's Discussion (§6) notes vertex feature maps can be very
+    /// high-dimensional, which makes the CNN slow (Table 5); truncation is
+    /// the practical mitigation and is ablated in the benches.
+    pub fn truncate_top_k(&self, k: usize) -> DatasetFeatureMaps {
+        if self.dim <= k {
+            return self.clone();
+        }
+        let mut totals: Vec<f64> = vec![0.0; self.dim];
+        for graph in &self.maps {
+            for vec in graph {
+                for &(c, v) in vec.entries() {
+                    totals[c as usize] += v as f64;
+                }
+            }
+        }
+        let mut order: Vec<u32> = (0..self.dim as u32).collect();
+        order.sort_by(|&a, &b| {
+            totals[b as usize]
+                .partial_cmp(&totals[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(&b))
+        });
+        let mut mapping: FxHashMap<u32, u32> = FxHashMap::default();
+        for (new, &old) in order.iter().take(k).enumerate() {
+            mapping.insert(old, new as u32);
+        }
+        DatasetFeatureMaps {
+            maps: self
+                .maps
+                .iter()
+                .map(|g| g.iter().map(|v| v.remap(&mapping)).collect())
+                .collect(),
+            dim: k,
+        }
+    }
+
+    /// Number of graphs.
+    pub fn n_graphs(&self) -> usize {
+        self.maps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_interns_stably() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern(100), 0);
+        assert_eq!(v.intern(200), 1);
+        assert_eq!(v.intern(100), 0);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(200), Some(1));
+        assert_eq!(v.get(300), None);
+    }
+
+    #[test]
+    fn from_pairs_merges_and_sorts() {
+        let v = SparseVec::from_pairs(vec![(3, 1.0), (1, 2.0), (3, 4.0), (2, 0.0)]);
+        assert_eq!(v.entries(), &[(1, 2.0), (3, 5.0)]);
+    }
+
+    #[test]
+    fn add_and_get() {
+        let mut v = SparseVec::new();
+        v.add(5, 1.0);
+        v.add(2, 3.0);
+        v.add(5, 1.0);
+        assert_eq!(v.get(5), 2.0);
+        assert_eq!(v.get(2), 3.0);
+        assert_eq!(v.get(9), 0.0);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = SparseVec::from_pairs(vec![(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let b = SparseVec::from_pairs(vec![(2, 4.0), (5, 1.0), (7, 9.0)]);
+        assert_eq!(a.dot(&b), 8.0 + 3.0);
+        assert_eq!(a.dot(&SparseVec::new()), 0.0);
+        assert_eq!(a.norm_sq(), 1.0 + 4.0 + 9.0);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = SparseVec::from_pairs(vec![(1, 1.0), (3, 1.0)]);
+        let b = SparseVec::from_pairs(vec![(0, 5.0), (3, 2.0)]);
+        a.add_assign(&b);
+        assert_eq!(a.entries(), &[(0, 5.0), (1, 1.0), (3, 3.0)]);
+    }
+
+    #[test]
+    fn write_dense_truncates() {
+        let v = SparseVec::from_pairs(vec![(0, 1.0), (4, 2.0)]);
+        let mut out = vec![9.0f32; 3];
+        v.write_dense(&mut out);
+        assert_eq!(out, vec![1.0, 0.0, 0.0]);
+    }
+
+    fn toy_maps() -> DatasetFeatureMaps {
+        // Graph 0: two vertices; graph 1: one vertex.
+        DatasetFeatureMaps {
+            maps: vec![
+                vec![
+                    SparseVec::from_pairs(vec![(0, 1.0), (1, 1.0)]),
+                    SparseVec::from_pairs(vec![(1, 2.0), (3, 1.0)]),
+                ],
+                vec![SparseVec::from_pairs(vec![(2, 5.0)])],
+            ],
+            dim: 4,
+        }
+    }
+
+    #[test]
+    fn sum_per_graph_is_eq7() {
+        let maps = toy_maps();
+        let sums = maps.sum_per_graph();
+        assert_eq!(sums[0].entries(), &[(0, 1.0), (1, 3.0), (3, 1.0)]);
+        assert_eq!(sums[1].entries(), &[(2, 5.0)]);
+    }
+
+    #[test]
+    fn truncate_keeps_most_frequent() {
+        let maps = toy_maps();
+        // totals: col0=1, col1=3, col2=5, col3=1 → top-2 is {2, 1}.
+        let t = maps.truncate_top_k(2);
+        assert_eq!(t.dim, 2);
+        // col2 → 0, col1 → 1.
+        assert_eq!(t.maps[1][0].entries(), &[(0, 5.0)]);
+        assert_eq!(t.maps[0][0].entries(), &[(1, 1.0)]);
+        // No-op when k >= dim.
+        let same = maps.truncate_top_k(10);
+        assert_eq!(same.dim, 4);
+    }
+
+    #[test]
+    fn remap_drops_unmapped() {
+        let v = SparseVec::from_pairs(vec![(0, 1.0), (1, 2.0)]);
+        let mut mapping = FxHashMap::default();
+        mapping.insert(1u32, 0u32);
+        assert_eq!(v.remap(&mapping).entries(), &[(0, 2.0)]);
+    }
+}

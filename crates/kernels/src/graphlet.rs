@@ -1,0 +1,277 @@
+//! Graphlet machinery: canonical isomorphism classes and random sampling.
+//!
+//! A graphlet (paper Fig. 1) is a connected induced subgraph of size
+//! `k ∈ {3, 4, 5}` considered up to isomorphism. Sizes this small admit
+//! brute-force canonicalisation: the adjacency of the induced subgraph is
+//! packed into the `k(k-1)/2` upper-triangle bits and the canonical code is
+//! the minimum over all `k!` vertex permutations (at most 120). Exhaustive
+//! enumeration of graphlets is exponential, so — exactly as in Shervashidze
+//! et al. 2009, which the paper follows — graphlets are *sampled*.
+
+use deepmap_graph::{FxHashSet, Graph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::sync::OnceLock;
+
+/// Maximum supported graphlet size.
+pub const MAX_GRAPHLET_SIZE: usize = 5;
+
+fn permutations(k: usize) -> &'static [Vec<u8>] {
+    static TABLES: OnceLock<Vec<Vec<Vec<u8>>>> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        (0..=MAX_GRAPHLET_SIZE)
+            .map(|k| {
+                let mut perms = Vec::new();
+                let mut items: Vec<u8> = (0..k as u8).collect();
+                heap_permutations(&mut items, k, &mut perms);
+                perms
+            })
+            .collect()
+    });
+    &tables[k]
+}
+
+fn heap_permutations(items: &mut Vec<u8>, k: usize, out: &mut Vec<Vec<u8>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permutations(items, k - 1, out);
+        if k.is_multiple_of(2) {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+#[inline]
+fn triangle_bit(i: usize, j: usize, k: usize) -> u32 {
+    // Upper-triangle position of (i, j), i < j, in a k-vertex graph.
+    debug_assert!(i < j && j < k);
+    (i * (2 * k - i - 1) / 2 + (j - i - 1)) as u32
+}
+
+/// Canonical code of the subgraph of `graph` induced by `vertices`
+/// (`2 <= |vertices| <= 5`). Equal codes ⇔ isomorphic induced subgraphs of
+/// equal size. Labels are ignored — the graphlet kernel is defined on
+/// unlabeled connectivity patterns (paper Fig. 1).
+///
+/// The code packs the size in the high bits so graphlets of different sizes
+/// never collide.
+///
+/// # Panics
+/// Panics when `|vertices|` is outside `2..=5`.
+pub fn canonical_code(graph: &Graph, vertices: &[u32]) -> u64 {
+    let k = vertices.len();
+    assert!(
+        (2..=MAX_GRAPHLET_SIZE).contains(&k),
+        "graphlet size {k} outside supported range 2..=5"
+    );
+    // Local adjacency matrix as bitmask over unordered pairs.
+    let mut adj = [[false; MAX_GRAPHLET_SIZE]; MAX_GRAPHLET_SIZE];
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if graph.has_edge(vertices[i], vertices[j]) {
+                adj[i][j] = true;
+                adj[j][i] = true;
+            }
+        }
+    }
+    let mut best = u64::MAX;
+    for perm in permutations(k) {
+        let mut bits: u64 = 0;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if adj[perm[i] as usize][perm[j] as usize] {
+                    bits |= 1 << triangle_bit(i, j, k);
+                }
+            }
+        }
+        best = best.min(bits);
+    }
+    ((k as u64) << 16) | best
+}
+
+/// Samples one connected induced subgraph of `size` vertices containing
+/// `start`, by growing a frontier: repeatedly add a uniformly random
+/// neighbour of the current set. Returns `None` when the component of
+/// `start` has fewer than `size` vertices.
+pub fn sample_connected_graphlet(
+    graph: &Graph,
+    start: u32,
+    size: usize,
+    rng: &mut StdRng,
+) -> Option<Vec<u32>> {
+    assert!((2..=MAX_GRAPHLET_SIZE).contains(&size));
+    let mut chosen = Vec::with_capacity(size);
+    let mut in_set: FxHashSet<u32> = FxHashSet::default();
+    let mut frontier: Vec<u32> = Vec::new();
+    chosen.push(start);
+    in_set.insert(start);
+    frontier.extend(graph.neighbors(start).iter().copied());
+    while chosen.len() < size {
+        frontier.retain(|v| !in_set.contains(v));
+        if frontier.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..frontier.len());
+        let v = frontier.swap_remove(idx);
+        in_set.insert(v);
+        chosen.push(v);
+        frontier.extend(
+            graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|w| !in_set.contains(w)),
+        );
+    }
+    Some(chosen)
+}
+
+/// Samples a connected graphlet rooted at a uniformly random vertex
+/// (graph-level sampling, Shervashidze et al. 2009). `None` when the graph
+/// has no component of `size` vertices reachable from the drawn root.
+pub fn sample_graphlet_anywhere(graph: &Graph, size: usize, rng: &mut StdRng) -> Option<Vec<u32>> {
+    if graph.n_vertices() == 0 {
+        return None;
+    }
+    let roots: Vec<u32> = graph.vertices().collect();
+    let &start = roots.choose(rng).expect("non-empty");
+    sample_connected_graphlet(graph, start, size, rng)
+}
+
+/// Enumerates the number of distinct connected graphlet isomorphism classes
+/// of the given size by brute force over all `2^(k(k-1)/2)` graphs. Used by
+/// tests and documentation; the known values are 2 (k=3), 6 (k=4), 21 (k=5).
+pub fn count_connected_classes(k: usize) -> usize {
+    assert!((2..=MAX_GRAPHLET_SIZE).contains(&k));
+    let pairs = k * (k - 1) / 2;
+    let mut classes: FxHashSet<u64> = FxHashSet::default();
+    for bits in 0u64..(1 << pairs) {
+        // Build the graph.
+        let mut builder = deepmap_graph::GraphBuilder::new(k);
+        let mut bit = 0;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if bits >> bit & 1 == 1 {
+                    builder.add_edge_unchecked(i as u32, j as u32);
+                }
+                bit += 1;
+            }
+        }
+        let g = builder.build().expect("valid");
+        if deepmap_graph::components::is_connected(&g) {
+            let verts: Vec<u32> = (0..k as u32).collect();
+            classes.insert(canonical_code(&g, &verts));
+        }
+    }
+    classes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmap_graph::builder::graph_from_edges;
+    use rand::SeedableRng;
+
+    #[test]
+    fn triangle_bits_are_distinct() {
+        for k in 2..=5usize {
+            let mut seen = FxHashSet::default();
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    assert!(seen.insert(triangle_bit(i, j, k)), "collision at ({i},{j})");
+                }
+            }
+            assert_eq!(seen.len(), k * (k - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn isomorphic_triangles_share_code() {
+        // Path 0-1-2 in two different graphs / vertex orders.
+        let g1 = graph_from_edges(3, &[(0, 1), (1, 2)], None).unwrap();
+        let g2 = graph_from_edges(4, &[(3, 1), (1, 0)], None).unwrap();
+        let c1 = canonical_code(&g1, &[0, 1, 2]);
+        let c2 = canonical_code(&g2, &[0, 1, 3]);
+        let c3 = canonical_code(&g1, &[2, 0, 1]);
+        assert_eq!(c1, c2);
+        assert_eq!(c1, c3);
+    }
+
+    #[test]
+    fn triangle_differs_from_path() {
+        let tri = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)], None).unwrap();
+        let path = graph_from_edges(3, &[(0, 1), (1, 2)], None).unwrap();
+        assert_ne!(
+            canonical_code(&tri, &[0, 1, 2]),
+            canonical_code(&path, &[0, 1, 2])
+        );
+    }
+
+    #[test]
+    fn sizes_never_collide() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)], None).unwrap();
+        let c3 = canonical_code(&g, &[0, 1, 2]);
+        let c4 = canonical_code(&g, &[0, 1, 2, 3]);
+        assert_ne!(c3, c4);
+    }
+
+    #[test]
+    fn known_connected_class_counts() {
+        assert_eq!(count_connected_classes(2), 1);
+        assert_eq!(count_connected_classes(3), 2);
+        assert_eq!(count_connected_classes(4), 6);
+        assert_eq!(count_connected_classes(5), 21);
+    }
+
+    #[test]
+    fn sampled_graphlets_are_connected_and_contain_start() {
+        let g = graph_from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7), (1, 5)],
+            None,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let verts = sample_connected_graphlet(&g, 1, 4, &mut rng).expect("component large enough");
+            assert_eq!(verts.len(), 4);
+            assert!(verts.contains(&1));
+            let sub = g.induced_subgraph(&verts);
+            assert!(deepmap_graph::components::is_connected(&sub));
+        }
+    }
+
+    #[test]
+    fn sampling_fails_on_small_component() {
+        let g = graph_from_edges(5, &[(0, 1)], None).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(sample_connected_graphlet(&g, 0, 3, &mut rng).is_none());
+        assert!(sample_connected_graphlet(&g, 4, 2, &mut rng).is_none());
+    }
+
+    #[test]
+    fn anywhere_sampling_on_empty_graph() {
+        let g = graph_from_edges(0, &[], None).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(sample_graphlet_anywhere(&g, 3, &mut rng).is_none());
+    }
+
+    #[test]
+    fn complete_graph_single_class() {
+        // Every induced size-3 subgraph of K5 is a triangle.
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = deepmap_graph::generators::complete_graph(5, 0, &mut rng);
+        let mut codes = FxHashSet::default();
+        for _ in 0..30 {
+            let verts = sample_graphlet_anywhere(&g, 3, &mut rng).unwrap();
+            codes.insert(canonical_code(&g, &verts));
+        }
+        assert_eq!(codes.len(), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Gram matrices over graphs.
+
+use crate::feature_map::SparseVec;
+
+/// A symmetric positive-semidefinite kernel (Gram) matrix over a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl KernelMatrix {
+    /// Zero matrix for `n` graphs.
+    pub fn zeros(n: usize) -> Self {
+        KernelMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Builds from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * n`.
+    pub fn from_vec(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "kernel matrix shape mismatch");
+        KernelMatrix { n, data }
+    }
+
+    /// Number of graphs.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `K(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j]
+    }
+
+    /// Sets `K(i, j)` (caller maintains symmetry).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Sets `K(i, j) = K(j, i) = v`.
+    #[inline]
+    pub fn set_sym(&mut self, i: usize, j: usize, v: f64) {
+        self.set(i, j, v);
+        self.set(j, i, v);
+    }
+
+    /// Linear kernel `K(i, j) = ⟨φ(Gᵢ), φ(Gⱼ)⟩` on sparse feature maps.
+    pub fn linear(maps: &[SparseVec]) -> KernelMatrix {
+        let n = maps.len();
+        let mut k = KernelMatrix::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                k.set_sym(i, j, maps[i].dot(&maps[j]));
+            }
+        }
+        k
+    }
+
+    /// Builds a kernel matrix from a symmetric pairwise function, computing
+    /// only the upper triangle. Rows are distributed over `threads` scoped
+    /// threads when `threads > 1` (used by the expensive GNTK/RetGK pairs).
+    pub fn from_pairwise<F>(n: usize, threads: usize, f: F) -> KernelMatrix
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        let mut k = KernelMatrix::zeros(n);
+        if threads <= 1 || n < 4 {
+            for i in 0..n {
+                for j in i..n {
+                    k.set_sym(i, j, f(i, j));
+                }
+            }
+            return k;
+        }
+        // Compute rows in parallel into per-thread buffers, then stitch.
+        let rows: Vec<usize> = (0..n).collect();
+        let chunks: Vec<&[usize]> = rows.chunks(n.div_ceil(threads)).collect();
+        let results: Vec<Vec<(usize, Vec<f64>)>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    let f = &f;
+                    scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .map(|&i| {
+                                let row: Vec<f64> = (i..n).map(|j| f(i, j)).collect();
+                                (i, row)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("scope panicked");
+        for batch in results {
+            for (i, row) in batch {
+                for (offset, v) in row.into_iter().enumerate() {
+                    k.set_sym(i, i + offset, v);
+                }
+            }
+        }
+        k
+    }
+
+    /// Cosine normalisation: `K'(i,j) = K(i,j) / sqrt(K(i,i) K(j,j))`.
+    ///
+    /// Graphs with zero self-similarity (empty feature maps) keep zero rows.
+    pub fn normalized(&self) -> KernelMatrix {
+        let mut out = KernelMatrix::zeros(self.n);
+        for i in 0..self.n {
+            let kii = self.get(i, i);
+            for j in 0..self.n {
+                let kjj = self.get(j, j);
+                let denom = (kii * kjj).sqrt();
+                let v = if denom > 0.0 { self.get(i, j) / denom } else { 0.0 };
+                out.set(i, j, v);
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute asymmetry `|K(i,j) - K(j,i)|` (0 for exact kernels;
+    /// used by tests).
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                worst = worst.max((self.get(i, j) - self.get(j, i)).abs());
+            }
+        }
+        worst
+    }
+
+    /// Diagonal entries.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Submatrix over `rows` × `cols` (for CV train/test splits).
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|&i| cols.iter().map(|&j| self.get(i, j)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_vectors() -> Vec<SparseVec> {
+        vec![
+            SparseVec::from_pairs(vec![(0, 1.0), (1, 1.0)]),
+            SparseVec::from_pairs(vec![(1, 2.0)]),
+            SparseVec::from_pairs(vec![(2, 3.0)]),
+        ]
+    }
+
+    #[test]
+    fn linear_kernel_values() {
+        let k = KernelMatrix::linear(&toy_vectors());
+        assert_eq!(k.get(0, 0), 2.0);
+        assert_eq!(k.get(0, 1), 2.0);
+        assert_eq!(k.get(1, 1), 4.0);
+        assert_eq!(k.get(0, 2), 0.0);
+        assert_eq!(k.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn normalized_has_unit_diagonal() {
+        let k = KernelMatrix::linear(&toy_vectors()).normalized();
+        for i in 0..3 {
+            assert!((k.get(i, i) - 1.0).abs() < 1e-12);
+        }
+        // cos(v0, v1) = 2 / (sqrt(2) * 2)
+        assert!((k.get(0, 1) - 2.0 / (2.0 * 2.0f64.sqrt())).abs() < 1e-12);
+        // Off-diagonals bounded by 1 (Cauchy–Schwarz).
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(k.get(i, j) <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_zero_row_stays_zero() {
+        let vecs = vec![SparseVec::new(), SparseVec::from_pairs(vec![(0, 1.0)])];
+        let k = KernelMatrix::linear(&vecs).normalized();
+        assert_eq!(k.get(0, 0), 0.0);
+        assert_eq!(k.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_pairwise_matches_serial() {
+        let f = |i: usize, j: usize| (i * 10 + j) as f64 + (j * 10 + i) as f64;
+        let serial = KernelMatrix::from_pairwise(9, 1, f);
+        let parallel = KernelMatrix::from_pairwise(9, 4, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.get(2, 3), 23.0 + 32.0);
+        assert_eq!(serial.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn submatrix_extraction() {
+        let k = KernelMatrix::linear(&toy_vectors());
+        let sub = k.submatrix(&[0, 2], &[1]);
+        assert_eq!(sub, vec![vec![2.0], vec![0.0]]);
+    }
+
+    #[test]
+    fn diagonal_access() {
+        let k = KernelMatrix::linear(&toy_vectors());
+        assert_eq!(k.diagonal(), vec![2.0, 4.0, 9.0]);
+    }
+}

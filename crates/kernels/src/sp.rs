@@ -1,0 +1,159 @@
+//! Shortest-path kernel (SP) feature maps.
+//!
+//! A shortest path between `s` and `t` is represented by the triplet
+//! `(l(s), l(t), len)` (paper §3, Eq. 3); because the graphs are undirected
+//! we canonicalise the label pair as `(min, max)`. The graph feature map
+//! counts triplets over all vertex pairs; the vertex feature map of `v`
+//! counts the triplets of shortest paths *with `v` as an endpoint*
+//! (Definition 3's "substructures containing v", using the endpoint
+//! convention of the reference implementation). Each unordered pair then
+//! appears in exactly two vertex maps, so `Σᵥ φ(v)` is the graph map scaled
+//! by 2 — the constant factor is irrelevant after kernel normalisation.
+
+use crate::feature_map::{DatasetFeatureMaps, SparseVec, Vocabulary};
+use deepmap_graph::bfs::UNREACHABLE;
+use deepmap_graph::shortest_path::apsp_bfs;
+use deepmap_graph::Graph;
+
+/// Packs a `(min label, max label, length)` triplet into a vocabulary key.
+///
+/// Labels are masked to 24 bits and lengths to 16 — far beyond anything the
+/// benchmarks produce (labels ≤ hundreds, diameters ≤ dozens).
+fn triplet_key(l1: u32, l2: u32, len: u32) -> u64 {
+    let (a, b) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+    ((a as u64 & 0xFF_FFFF) << 40) | ((b as u64 & 0xFF_FFFF) << 16) | (len as u64 & 0xFFFF)
+}
+
+/// Vertex feature maps: for each vertex, the multiset of shortest-path
+/// triplets with that vertex as an endpoint.
+pub fn vertex_feature_maps(graphs: &[Graph]) -> DatasetFeatureMaps {
+    let mut vocab = Vocabulary::new();
+    let mut maps = Vec::with_capacity(graphs.len());
+    for graph in graphs {
+        let dist = apsp_bfs(graph);
+        let n = graph.n_vertices();
+        let mut per_vertex = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut vec = SparseVec::new();
+            let row = dist.row(v);
+            for (u, &d) in row.iter().enumerate() {
+                if u == v || d == UNREACHABLE || d == 0 {
+                    continue;
+                }
+                let key = triplet_key(graph.label(v as u32), graph.label(u as u32), d);
+                vec.add(vocab.intern(key), 1.0);
+            }
+            per_vertex.push(vec);
+        }
+        maps.push(per_vertex);
+    }
+    DatasetFeatureMaps {
+        maps,
+        dim: vocab.len(),
+    }
+}
+
+/// Graph-level feature maps: triplet counts over unordered vertex pairs
+/// (the classical SP kernel of Borgwardt & Kriegel 2005).
+#[allow(clippy::needless_range_loop)] // t indexes both the row and labels
+pub fn graph_feature_maps(graphs: &[Graph]) -> Vec<SparseVec> {
+    let mut vocab = Vocabulary::new();
+    graphs
+        .iter()
+        .map(|graph| {
+            let dist = apsp_bfs(graph);
+            let n = graph.n_vertices();
+            let mut vec = SparseVec::new();
+            for s in 0..n {
+                let row = dist.row(s);
+                for t in (s + 1)..n {
+                    let d = row[t];
+                    if d == UNREACHABLE || d == 0 {
+                        continue;
+                    }
+                    let key = triplet_key(graph.label(s as u32), graph.label(t as u32), d);
+                    vec.add(vocab.intern(key), 1.0);
+                }
+            }
+            vec
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmap_graph::builder::graph_from_edges;
+
+    /// Labeled path: labels 1-2-3.
+    fn labeled_path() -> Graph {
+        graph_from_edges(3, &[(0, 1), (1, 2)], Some(&[1, 2, 3])).unwrap()
+    }
+
+    #[test]
+    fn triplet_key_symmetric_in_labels() {
+        assert_eq!(triplet_key(3, 7, 2), triplet_key(7, 3, 2));
+        assert_ne!(triplet_key(3, 7, 2), triplet_key(3, 7, 3));
+        assert_ne!(triplet_key(3, 7, 2), triplet_key(3, 8, 2));
+    }
+
+    #[test]
+    fn graph_map_counts_each_pair_once() {
+        let maps = graph_feature_maps(&[labeled_path()]);
+        // Pairs: (1,2,d1), (2,3,d1), (1,3,d2) — three distinct triplets.
+        assert_eq!(maps[0].nnz(), 3);
+        assert_eq!(maps[0].total(), 3.0);
+    }
+
+    #[test]
+    fn vertex_maps_sum_to_twice_graph_map() {
+        let g = labeled_path();
+        let vmaps = vertex_feature_maps(std::slice::from_ref(&g));
+        let summed = vmaps.sum_per_graph();
+        assert_eq!(summed[0].total(), 6.0, "each pair counted from both ends");
+        // Same support as the graph-level map (vocabularies are built in
+        // the same discovery order here because both walk v ascending).
+        let gmaps = graph_feature_maps(&[g]);
+        assert_eq!(summed[0].nnz(), gmaps[0].nnz());
+    }
+
+    #[test]
+    fn middle_vertex_sees_short_paths_only() {
+        let vmaps = vertex_feature_maps(&[labeled_path()]);
+        // Vertex 1 (label 2) has two distance-1 paths.
+        let v1 = &vmaps.maps[0][1];
+        assert_eq!(v1.total(), 2.0);
+        // Vertex 0 has one distance-1 and one distance-2 path.
+        let v0 = &vmaps.maps[0][0];
+        assert_eq!(v0.total(), 2.0);
+        assert_eq!(v0.nnz(), 2);
+    }
+
+    #[test]
+    fn disconnected_pairs_ignored() {
+        let g = graph_from_edges(4, &[(0, 1)], Some(&[1, 1, 1, 1])).unwrap();
+        let gmaps = graph_feature_maps(std::slice::from_ref(&g));
+        assert_eq!(gmaps[0].total(), 1.0);
+        let vmaps = vertex_feature_maps(&[g]);
+        assert_eq!(vmaps.maps[0][2].nnz(), 0);
+    }
+
+    #[test]
+    fn shared_vocabulary_across_graphs() {
+        let g1 = labeled_path();
+        let g2 = graph_from_edges(2, &[(0, 1)], Some(&[1, 2])).unwrap();
+        let vmaps = vertex_feature_maps(&[g1, g2]);
+        // The (1,2,1) triplet column must be the same in both graphs.
+        let a = &vmaps.maps[0][0]; // vertex with label 1 in g1
+        let b = &vmaps.maps[1][0]; // vertex with label 1 in g2
+        assert!(a.dot(b) > 0.0, "shared (1,2,1) feature should overlap");
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = graph_from_edges(0, &[], None).unwrap();
+        let maps = vertex_feature_maps(&[g]);
+        assert_eq!(maps.maps[0].len(), 0);
+        assert_eq!(maps.dim, 0);
+    }
+}

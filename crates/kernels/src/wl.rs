@@ -1,0 +1,219 @@
+//! Weisfeiler–Lehman subtree kernel (WL) feature maps.
+//!
+//! One WL iteration (paper §3, Fig. 2) replaces every vertex label with a
+//! compressed label for the pair *(own label, sorted multiset of neighbour
+//! labels)*; compressed labels identify subtree patterns. The kernel's
+//! feature map concatenates the label histograms of all iterations
+//! (Eq. 4–5). The vertex feature map of `v` is the indicator of `v`'s own
+//! label at each iteration — the subtree patterns *rooted at v* — whose sum
+//! over vertices recovers exactly the graph histogram (Eq. 7 holds with
+//! equality for WL).
+//!
+//! The label compressor is shared across the whole dataset so columns are
+//! comparable between graphs, exactly as in Shervashidze et al. 2011.
+
+use crate::feature_map::{DatasetFeatureMaps, SparseVec, Vocabulary};
+use deepmap_graph::{FxHashMap, Graph};
+
+/// The per-iteration label assignment for every graph in a dataset.
+#[derive(Debug, Clone)]
+pub struct WlRefinement {
+    /// `labels[it][g][v]`: compressed label of vertex `v` of graph `g`
+    /// after `it` iterations (`it = 0` is a dense renumbering of the
+    /// original labels).
+    pub labels: Vec<Vec<Vec<u32>>>,
+    /// Number of distinct labels produced at each iteration.
+    pub alphabet_sizes: Vec<usize>,
+}
+
+impl WlRefinement {
+    /// Number of iterations performed (excluding iteration 0).
+    pub fn iterations(&self) -> usize {
+        self.labels.len() - 1
+    }
+}
+
+/// Runs `h` WL refinement iterations over the whole dataset with one shared
+/// compressor per iteration.
+pub fn refine(graphs: &[Graph], h: usize) -> WlRefinement {
+    let mut labels: Vec<Vec<Vec<u32>>> = Vec::with_capacity(h + 1);
+    let mut alphabet_sizes = Vec::with_capacity(h + 1);
+
+    // Iteration 0: dense renumbering of the original labels.
+    let mut base: FxHashMap<u32, u32> = FxHashMap::default();
+    let initial: Vec<Vec<u32>> = graphs
+        .iter()
+        .map(|g| {
+            g.labels()
+                .iter()
+                .map(|&l| {
+                    let next = base.len() as u32;
+                    *base.entry(l).or_insert(next)
+                })
+                .collect()
+        })
+        .collect();
+    alphabet_sizes.push(base.len());
+    labels.push(initial);
+
+    for _ in 0..h {
+        let prev = labels.last().expect("iteration 0 exists");
+        let mut compressor: FxHashMap<(u32, Vec<u32>), u32> = FxHashMap::default();
+        let mut next_labels = Vec::with_capacity(graphs.len());
+        for (gi, graph) in graphs.iter().enumerate() {
+            let current = &prev[gi];
+            let mut new = Vec::with_capacity(graph.n_vertices());
+            for v in graph.vertices() {
+                let mut neigh: Vec<u32> = graph
+                    .neighbors(v)
+                    .iter()
+                    .map(|&u| current[u as usize])
+                    .collect();
+                neigh.sort_unstable();
+                let key = (current[v as usize], neigh);
+                let next = compressor.len() as u32;
+                new.push(*compressor.entry(key).or_insert(next));
+            }
+            next_labels.push(new);
+        }
+        alphabet_sizes.push(compressor.len());
+        labels.push(next_labels);
+    }
+    WlRefinement {
+        labels,
+        alphabet_sizes,
+    }
+}
+
+/// Feature key for (iteration, label): iterations get disjoint column
+/// namespaces so an original label never collides with a compressed one.
+fn wl_key(iteration: usize, label: u32) -> u64 {
+    ((iteration as u64) << 32) | label as u64
+}
+
+/// Vertex feature maps: `φ(v)[it, l] = 1` iff `v` carries label `l` at
+/// iteration `it` (for `it` in `0..=h`).
+pub fn vertex_feature_maps(graphs: &[Graph], h: usize) -> DatasetFeatureMaps {
+    let refinement = refine(graphs, h);
+    let mut vocab = Vocabulary::new();
+    let mut maps: Vec<Vec<SparseVec>> = graphs
+        .iter()
+        .map(|g| vec![SparseVec::new(); g.n_vertices()])
+        .collect();
+    for (it, per_graph) in refinement.labels.iter().enumerate() {
+        for (gi, vertex_labels) in per_graph.iter().enumerate() {
+            for (v, &label) in vertex_labels.iter().enumerate() {
+                let col = vocab.intern(wl_key(it, label));
+                maps[gi][v].add(col, 1.0);
+            }
+        }
+    }
+    DatasetFeatureMaps {
+        maps,
+        dim: vocab.len(),
+    }
+}
+
+/// Graph-level WL feature maps: concatenated label histograms (Eq. 5).
+/// Identical to summing the vertex maps; provided directly for the flat WL
+/// kernel baseline.
+pub fn graph_feature_maps(graphs: &[Graph], h: usize) -> Vec<SparseVec> {
+    vertex_feature_maps(graphs, h).sum_per_graph()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmap_graph::builder::graph_from_edges;
+
+    /// The two non-isomorphic labeled graphs of the paper's Fig. 2 spirit:
+    /// a labeled path and a labeled star.
+    fn path_and_star() -> Vec<Graph> {
+        vec![
+            graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)], Some(&[1, 2, 2, 1])).unwrap(),
+            graph_from_edges(4, &[(0, 1), (0, 2), (0, 3)], Some(&[1, 2, 2, 1])).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn iteration_zero_renumbers_labels() {
+        let graphs = path_and_star();
+        let r = refine(&graphs, 0);
+        assert_eq!(r.iterations(), 0);
+        assert_eq!(r.alphabet_sizes[0], 2);
+        // Same original label → same renumbered label across graphs.
+        assert_eq!(r.labels[0][0][0], r.labels[0][1][0]);
+        assert_eq!(r.labels[0][0][1], r.labels[0][1][1]);
+    }
+
+    #[test]
+    fn refinement_distinguishes_path_from_star() {
+        let graphs = path_and_star();
+        let maps = graph_feature_maps(&graphs, 2);
+        // Same label multiset at iteration 0, so maps overlap there…
+        assert!(maps[0].dot(&maps[1]) > 0.0);
+        // …but they are not identical once neighbourhoods are compressed.
+        assert_ne!(maps[0], maps[1]);
+    }
+
+    #[test]
+    fn isomorphic_graphs_equal_maps() {
+        // Same path with a permuted vertex order.
+        let g1 = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)], Some(&[1, 2, 2, 1])).unwrap();
+        let g2 = graph_from_edges(4, &[(3, 2), (2, 1), (1, 0)], Some(&[1, 2, 2, 1])).unwrap();
+        let maps = graph_feature_maps(&[g1, g2], 3);
+        assert_eq!(maps[0], maps[1]);
+    }
+
+    #[test]
+    fn vertex_maps_have_one_entry_per_iteration() {
+        let graphs = path_and_star();
+        let vmaps = vertex_feature_maps(&graphs, 3);
+        for g in &vmaps.maps {
+            for v in g {
+                assert_eq!(v.total(), 4.0, "one label per iteration 0..=3");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_of_vertex_maps_is_graph_histogram() {
+        let graphs = path_and_star();
+        let vmaps = vertex_feature_maps(&graphs, 2);
+        let summed = vmaps.sum_per_graph();
+        let direct = graph_feature_maps(&graphs, 2);
+        assert_eq!(summed, direct);
+        // Total mass: n vertices × (h+1) iterations.
+        assert_eq!(summed[0].total(), 4.0 * 3.0);
+    }
+
+    #[test]
+    fn refinement_stabilises_alphabet_growth() {
+        // On a vertex-transitive unlabeled cycle every vertex keeps the same
+        // label forever: alphabet size stays 1.
+        let mut rng = rand::SeedableRng::seed_from_u64(1);
+        let g = deepmap_graph::generators::cycle_graph(6, 0, &mut rng);
+        let r = refine(&[g], 4);
+        assert!(r.alphabet_sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn degree_information_captured_at_iteration_one() {
+        // Unlabeled path: endpoints (degree 1) and middles (degree 2) split.
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)], None).unwrap();
+        let r = refine(&[g], 1);
+        assert_eq!(r.alphabet_sizes[1], 2);
+        assert_eq!(r.labels[1][0][0], r.labels[1][0][3]);
+        assert_eq!(r.labels[1][0][1], r.labels[1][0][2]);
+        assert_ne!(r.labels[1][0][0], r.labels[1][0][1]);
+    }
+
+    #[test]
+    fn empty_dataset_and_graph() {
+        let r = refine(&[], 2);
+        assert_eq!(r.labels.len(), 3);
+        let g = graph_from_edges(0, &[], None).unwrap();
+        let maps = vertex_feature_maps(&[g], 2);
+        assert!(maps.maps[0].is_empty());
+    }
+}

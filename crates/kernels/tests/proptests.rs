@@ -1,0 +1,166 @@
+//! Property-based tests for the kernel crate's invariants.
+
+use deepmap_graph::{Graph, GraphBuilder};
+use deepmap_kernels::feature_map::SparseVec;
+use deepmap_kernels::graphlet::canonical_code;
+use deepmap_kernels::{
+    graph_feature_maps, kernel_matrix, vertex_feature_maps, FeatureKind, KernelMatrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random simple labeled graph with `3..=max_n` vertices.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3..=max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(2 * n));
+        let labels = proptest::collection::vec(1u32..5, n);
+        (Just(n), edges, labels).prop_map(|(n, edges, labels)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v).expect("in range");
+                }
+            }
+            b.set_labels(&labels).expect("count matches");
+            b.build().expect("valid")
+        })
+    })
+}
+
+/// Applies a vertex permutation to a graph (`perm[old] = new`).
+fn permuted(g: &Graph, perm: &[u32]) -> Graph {
+    let n = g.n_vertices();
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in g.edges() {
+        b.add_edge(perm[u as usize], perm[v as usize]).expect("in range");
+    }
+    let mut labels = vec![0u32; n];
+    for v in 0..n {
+        labels[perm[v] as usize] = g.label(v as u32);
+    }
+    b.set_labels(&labels).expect("count");
+    b.build().expect("valid")
+}
+
+fn arb_graph_and_permutation(max_n: usize) -> impl Strategy<Value = (Graph, Vec<u32>)> {
+    arb_graph(max_n).prop_flat_map(|g| {
+        let n = g.n_vertices();
+        (Just(g), Just((0..n as u32).collect::<Vec<u32>>()).prop_shuffle())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Deterministic kernels (SP, WL) are isomorphism-invariant: the graph
+    /// feature map of a permuted copy equals the original's.
+    #[test]
+    fn wl_and_sp_isomorphism_invariant((g, perm) in arb_graph_and_permutation(10)) {
+        let h = permuted(&g, &perm);
+        for kind in [FeatureKind::WlSubtree { iterations: 2 }, FeatureKind::ShortestPath] {
+            let maps = graph_feature_maps(&[g.clone(), h.clone()], kind, 0);
+            prop_assert_eq!(&maps[0], &maps[1], "{:?}", kind);
+        }
+    }
+
+    /// Eq. 7 for WL: summing vertex maps reproduces the graph map exactly.
+    #[test]
+    fn wl_eq7(g in arb_graph(10)) {
+        let vmaps = vertex_feature_maps(std::slice::from_ref(&g), FeatureKind::WlSubtree { iterations: 3 }, 0);
+        let direct = graph_feature_maps(&[g], FeatureKind::WlSubtree { iterations: 3 }, 0);
+        prop_assert_eq!(vmaps.sum_per_graph(), direct);
+    }
+
+    /// SP vertex maps double-count each unordered pair: total mass is
+    /// exactly twice the classical SP kernel's (which counts `s < t` pairs
+    /// once; `deepmap_kernels::sp::graph_feature_maps`).
+    #[test]
+    fn sp_vertex_mass_is_double(g in arb_graph(10)) {
+        let vmaps = vertex_feature_maps(std::slice::from_ref(&g), FeatureKind::ShortestPath, 0);
+        let summed = vmaps.sum_per_graph();
+        let direct = deepmap_kernels::sp::graph_feature_maps(&[g]);
+        prop_assert!((summed[0].total() - 2.0 * direct[0].total()).abs() < 1e-6);
+    }
+
+    /// Normalised Gram matrices satisfy the kernel axioms observable at this
+    /// level: symmetry, unit diagonal (for non-empty maps), Cauchy–Schwarz.
+    #[test]
+    fn gram_axioms(graphs in proptest::collection::vec(arb_graph(8), 2..5)) {
+        for kind in [FeatureKind::WlSubtree { iterations: 2 }, FeatureKind::ShortestPath] {
+            let k = kernel_matrix(&graphs, kind, 1);
+            prop_assert!(k.asymmetry() < 1e-12);
+            for i in 0..k.n() {
+                let kii = k.get(i, i);
+                prop_assert!(kii == 0.0 || (kii - 1.0).abs() < 1e-9);
+                for j in 0..k.n() {
+                    prop_assert!(k.get(i, j) <= 1.0 + 1e-9, "CS violated: {}", k.get(i, j));
+                }
+            }
+        }
+    }
+
+    /// PSD check via random quadratic forms: xᵀKx >= 0 for the linear
+    /// kernel on sparse maps (exact PSD by construction).
+    #[test]
+    fn linear_kernel_psd(
+        graphs in proptest::collection::vec(arb_graph(7), 2..5),
+        coeffs in proptest::collection::vec(-1.0f64..1.0, 5),
+    ) {
+        let maps = graph_feature_maps(&graphs, FeatureKind::WlSubtree { iterations: 1 }, 0);
+        let k = KernelMatrix::linear(&maps);
+        let n = k.n();
+        let x: Vec<f64> = (0..n).map(|i| coeffs[i % coeffs.len()]).collect();
+        let mut quad = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                quad += x[i] * x[j] * k.get(i, j);
+            }
+        }
+        prop_assert!(quad >= -1e-6, "negative quadratic form {quad}");
+    }
+
+    /// Graphlet canonical codes are invariant under any ordering of the
+    /// same vertex set.
+    #[test]
+    fn graphlet_code_order_invariant((g, _) in arb_graph_and_permutation(8), seed in 0u64..100) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = g.n_vertices();
+        if n < 4 {
+            return Ok(());
+        }
+        let mut verts: Vec<u32> = (0..4u32).collect();
+        let code1 = canonical_code(&g, &verts);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        verts.shuffle(&mut rng);
+        let code2 = canonical_code(&g, &verts);
+        prop_assert_eq!(code1, code2);
+    }
+
+    /// SparseVec dot is symmetric and bounded by norms (Cauchy–Schwarz at
+    /// the vector level).
+    #[test]
+    fn sparse_vec_dot_properties(
+        a in proptest::collection::vec((0u32..30, 0.0f32..5.0), 0..10),
+        b in proptest::collection::vec((0u32..30, 0.0f32..5.0), 0..10),
+    ) {
+        let va = SparseVec::from_pairs(a);
+        let vb = SparseVec::from_pairs(b);
+        prop_assert!((va.dot(&vb) - vb.dot(&va)).abs() < 1e-9);
+        let bound = (va.norm_sq() * vb.norm_sq()).sqrt();
+        prop_assert!(va.dot(&vb) <= bound + 1e-6);
+    }
+
+    /// Top-K truncation never increases dimension or per-vector mass.
+    #[test]
+    fn truncation_monotone(g in arb_graph(10), k in 1usize..20) {
+        let maps = vertex_feature_maps(&[g], FeatureKind::WlSubtree { iterations: 2 }, 0);
+        let t = maps.truncate_top_k(k);
+        prop_assert!(t.dim <= maps.dim.max(k));
+        prop_assert!(t.dim <= k || t.dim == maps.dim);
+        for (orig_g, trunc_g) in maps.maps.iter().zip(&t.maps) {
+            for (o, tv) in orig_g.iter().zip(trunc_g) {
+                prop_assert!(tv.total() <= o.total() + 1e-6);
+            }
+        }
+    }
+}

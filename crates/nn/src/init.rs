@@ -1,0 +1,56 @@
+//! Weight initialisation.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialisation: entries drawn from
+/// `U(-limit, limit)` with `limit = sqrt(6 / (fan_in + fan_out))`.
+///
+/// This is Keras's default `Dense`/`Conv1D` initialiser, which the paper's
+/// implementation inherits.
+pub fn glorot_uniform(fan_in: usize, fan_out: usize, rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..=limit) as f32)
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Uniform initialisation in `[-scale, scale]`.
+pub fn uniform(scale: f64, rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-scale..=scale) as f32)
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = glorot_uniform(100, 50, 100, 50, &mut rng);
+        let limit = (6.0f64 / 150.0).sqrt() as f32;
+        assert!(w.as_slice().iter().all(|&v| v.abs() <= limit + 1e-6));
+        // Not all zero.
+        assert!(w.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = glorot_uniform(10, 10, 10, 10, &mut StdRng::seed_from_u64(7));
+        let b = glorot_uniform(10, 10, 10, 10, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = uniform(0.01, 5, 5, &mut rng);
+        assert!(w.as_slice().iter().all(|&v| v.abs() <= 0.01 + 1e-9));
+    }
+}

@@ -1,0 +1,247 @@
+//! One-dimensional convolution.
+
+use super::{Layer, Mode, Param};
+use crate::init::glorot_uniform;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+
+/// 1-D convolution over a `(length × channels)` input.
+///
+/// DeepMap's first layer (paper Fig. 4) slides a kernel of size `r` with
+/// stride `r` over the concatenated receptive fields, so windows never
+/// overlap; the 1×1 follow-up convolutions have `kernel = stride = 1`.
+/// Arbitrary `kernel >= stride >= 1` combinations are supported for the
+/// PATCHY-SAN and DGCNN baselines.
+///
+/// Implementation: im2col. Each output position `t` gathers rows
+/// `t*stride .. t*stride + kernel` into one row of length `kernel × c_in`,
+/// and the convolution becomes a single matmul with the `(kernel·c_in × f)`
+/// weight matrix.
+pub struct Conv1D {
+    kernel: usize,
+    stride: usize,
+    c_in: usize,
+    filters: usize,
+    w: Matrix,
+    b: Matrix,
+    dw: Matrix,
+    db: Matrix,
+    cached_cols: Option<Matrix>,
+    cached_input_len: usize,
+}
+
+impl Conv1D {
+    /// New Glorot-initialised convolution.
+    ///
+    /// # Panics
+    /// Panics when `kernel == 0` or `stride == 0`.
+    pub fn new(c_in: usize, filters: usize, kernel: usize, stride: usize, rng: &mut StdRng) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        let fan_in = kernel * c_in;
+        Conv1D {
+            kernel,
+            stride,
+            c_in,
+            filters,
+            w: glorot_uniform(fan_in, filters, fan_in, filters, rng),
+            b: Matrix::zeros(1, filters),
+            dw: Matrix::zeros(fan_in, filters),
+            db: Matrix::zeros(1, filters),
+            cached_cols: None,
+            cached_input_len: 0,
+        }
+    }
+
+    /// Number of output positions for an input of `len` rows.
+    pub fn output_len(&self, len: usize) -> usize {
+        if len < self.kernel {
+            0
+        } else {
+            (len - self.kernel) / self.stride + 1
+        }
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Number of filters (output channels).
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    fn im2col(&self, input: &Matrix) -> Matrix {
+        let l_out = self.output_len(input.rows());
+        let mut cols = Matrix::zeros(l_out, self.kernel * self.c_in);
+        for t in 0..l_out {
+            let dst = cols.row_mut(t);
+            for k in 0..self.kernel {
+                let src = input.row(t * self.stride + k);
+                dst[k * self.c_in..(k + 1) * self.c_in].copy_from_slice(src);
+            }
+        }
+        cols
+    }
+}
+
+impl Layer for Conv1D {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.c_in,
+            "Conv1D: input has {} channels, layer expects {}",
+            input.cols(),
+            self.c_in
+        );
+        assert!(
+            input.rows() >= self.kernel,
+            "Conv1D: input length {} shorter than kernel {}",
+            input.rows(),
+            self.kernel
+        );
+        let cols = self.im2col(input);
+        let mut out = cols.matmul(&self.w);
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (o, &b) in row.iter_mut().zip(self.b.as_slice()) {
+                *o += b;
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_input_len = input.rows();
+            self.cached_cols = Some(cols);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .expect("Conv1D::backward requires a Train-mode forward first");
+        assert_eq!(grad_output.rows(), cols.rows());
+        // dW += colsᵀ · dY ; db += column-sum(dY).
+        self.dw.add_assign(&cols.t_matmul(grad_output));
+        self.db.add_assign(&grad_output.sum_rows());
+        // d(cols) = dY · Wᵀ, then scatter back (col2im). Overlapping windows
+        // accumulate, which is exactly the sum rule of differentiation.
+        let dcols = grad_output.matmul_t(&self.w);
+        let mut dinput = Matrix::zeros(self.cached_input_len, self.c_in);
+        for t in 0..dcols.rows() {
+            let src = dcols.row(t);
+            for k in 0..self.kernel {
+                let dst = dinput.row_mut(t * self.stride + k);
+                for (d, &s) in dst.iter_mut().zip(&src[k * self.c_in..(k + 1) * self.c_in]) {
+                    *d += s;
+                }
+            }
+        }
+        dinput
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param {
+                value: self.w.as_mut_slice(),
+                grad: self.dw.as_mut_slice(),
+            },
+            Param {
+                value: self.b.as_mut_slice(),
+                grad: self.db.as_mut_slice(),
+            },
+        ]
+    }
+
+    fn zero_grad(&mut self) {
+        self.dw.fill_zero();
+        self.db.fill_zero();
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv1D"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_len_math() {
+        let rng = &mut StdRng::seed_from_u64(1);
+        let c = Conv1D::new(4, 8, 3, 3, rng);
+        assert_eq!(c.output_len(9), 3);
+        assert_eq!(c.output_len(10), 3); // trailing partial window dropped
+        assert_eq!(c.output_len(2), 0);
+        let overlapping = Conv1D::new(4, 8, 3, 1, rng);
+        assert_eq!(overlapping.output_len(9), 7);
+    }
+
+    #[test]
+    fn forward_known_values_nonoverlapping() {
+        let mut c = Conv1D::new(1, 1, 2, 2, &mut StdRng::seed_from_u64(1));
+        {
+            let mut ps = c.params();
+            ps[0].value.copy_from_slice(&[1.0, 2.0]); // kernel weights
+            ps[1].value.copy_from_slice(&[0.5]); // bias
+        }
+        let x = Matrix::from_vec(4, 1, vec![1., 2., 3., 4.]);
+        let y = c.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (2, 1));
+        // windows (1,2) and (3,4): 1*1+2*2+0.5 = 5.5 ; 3*1+4*2+0.5 = 11.5
+        assert_eq!(y.as_slice(), &[5.5, 11.5]);
+    }
+
+    #[test]
+    fn kernel_one_is_positionwise_dense() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = Conv1D::new(3, 2, 1, 1, &mut rng);
+        let x = Matrix::from_vec(5, 3, (0..15).map(|v| v as f32 / 3.0).collect());
+        let y = c.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (5, 2));
+        // Each row maps independently: permuting input rows permutes outputs.
+        let x_rev = Matrix::from_vec(
+            5,
+            3,
+            (0..5)
+                .rev()
+                .flat_map(|r| x.row(r).to_vec())
+                .collect::<Vec<_>>(),
+        );
+        let y_rev = c.forward(&x_rev, Mode::Eval);
+        for r in 0..5 {
+            assert_eq!(y.row(r), y_rev.row(4 - r));
+        }
+    }
+
+    #[test]
+    fn overlapping_backward_accumulates() {
+        // kernel 2 stride 1 on length 3: middle input appears in 2 windows.
+        let mut c = Conv1D::new(1, 1, 2, 1, &mut StdRng::seed_from_u64(1));
+        {
+            let mut ps = c.params();
+            ps[0].value.copy_from_slice(&[1.0, 1.0]);
+            ps[1].value.copy_from_slice(&[0.0]);
+        }
+        let x = Matrix::from_vec(3, 1, vec![1., 1., 1.]);
+        c.forward(&x, Mode::Train);
+        let g = Matrix::from_vec(2, 1, vec![1., 1.]);
+        let dx = c.backward(&g);
+        assert_eq!(dx.as_slice(), &[1., 2., 1.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than kernel")]
+    fn input_shorter_than_kernel_panics() {
+        let mut c = Conv1D::new(1, 1, 4, 4, &mut StdRng::seed_from_u64(1));
+        c.forward(&Matrix::zeros(2, 1), Mode::Eval);
+    }
+
+    #[test]
+    fn n_parameters() {
+        let mut c = Conv1D::new(3, 8, 5, 5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(c.n_parameters(), 5 * 3 * 8 + 8);
+    }
+}

@@ -1,0 +1,165 @@
+//! Fully-connected layer.
+
+use super::{Layer, Mode, Param};
+use crate::init::glorot_uniform;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+
+/// A fully-connected (affine) layer: `Y = X · W + b`, applied row-wise.
+///
+/// `X` is `(rows × in_dim)`; `W` is `(in_dim × out_dim)`; `b` broadcasts
+/// over rows. DeepMap's dense head operates on the single pooled row; the
+/// 1×1 convolutions of Fig. 4 are also expressible as `Dense` applied per
+/// position, but we keep them as `Conv1D` to match the paper.
+pub struct Dense {
+    w: Matrix,
+    b: Matrix,
+    dw: Matrix,
+    db: Matrix,
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// New Glorot-initialised layer mapping `in_dim` to `out_dim` features.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Dense {
+            w: glorot_uniform(in_dim, out_dim, in_dim, out_dim, rng),
+            b: Matrix::zeros(1, out_dim),
+            dw: Matrix::zeros(in_dim, out_dim),
+            db: Matrix::zeros(1, out_dim),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.w.rows(),
+            "Dense: input has {} channels, layer expects {}",
+            input.cols(),
+            self.w.rows()
+        );
+        let mut out = input.matmul(&self.w);
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (o, &b) in row.iter_mut().zip(self.b.as_slice()) {
+                *o += b;
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward requires a Train-mode forward first");
+        // dW += Xᵀ · dY ; db += column-sum(dY) ; dX = dY · Wᵀ.
+        self.dw.add_assign(&input.t_matmul(grad_output));
+        self.db.add_assign(&grad_output.sum_rows());
+        grad_output.matmul_t(&self.w)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param {
+                value: self.w.as_mut_slice(),
+                grad: self.dw.as_mut_slice(),
+            },
+            Param {
+                value: self.b.as_mut_slice(),
+                grad: self.db.as_mut_slice(),
+            },
+        ]
+    }
+
+    fn zero_grad(&mut self) {
+        self.dw.fill_zero();
+        self.db.fill_zero();
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn layer() -> Dense {
+        Dense::new(3, 2, &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut l = layer();
+        // Overwrite params with known values.
+        {
+            let mut ps = l.params();
+            ps[0].value.copy_from_slice(&[1., 0., 0., 1., 0., 0.]); // W: 3x2
+            ps[1].value.copy_from_slice(&[0.5, -0.5]); // b
+        }
+        let x = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let y = l.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (2, 2));
+        // y[0] = [1*1 + 2*0 + 3*0 + 0.5, 1*0 + 2*1 + 3*0 - 0.5] = [1.5, 1.5]
+        assert_eq!(y.row(0), &[1.5, 1.5]);
+        assert_eq!(y.row(1), &[4.5, 4.5]);
+    }
+
+    #[test]
+    fn backward_accumulates_over_samples() {
+        let mut l = layer();
+        let x = Matrix::from_vec(1, 3, vec![1., 1., 1.]);
+        let g = Matrix::from_vec(1, 2, vec![1., 1.]);
+        l.forward(&x, Mode::Train);
+        l.backward(&g);
+        l.forward(&x, Mode::Train);
+        l.backward(&g);
+        let ps = l.params();
+        // dW entries are 2 * x_i * g_j = 2.
+        assert!(ps[0].grad.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        assert!(ps[1].grad.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut l = layer();
+        let x = Matrix::from_vec(1, 3, vec![1., 1., 1.]);
+        l.forward(&x, Mode::Train);
+        l.backward(&Matrix::from_vec(1, 2, vec![1., 1.]));
+        l.zero_grad();
+        let ps = l.params();
+        assert!(ps[0].grad.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a Train-mode forward")]
+    fn backward_without_forward_panics() {
+        let mut l = layer();
+        l.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn n_parameters() {
+        let mut l = layer();
+        assert_eq!(l.n_parameters(), 3 * 2 + 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Inverted dropout.
+
+use super::{Layer, Mode};
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `rate` and survivors are scaled by `1 / (1 - rate)`, so
+/// inference is the identity. The paper uses `rate = 0.5` before the softmax
+/// layer (§4.1, Fig. 4).
+pub struct Dropout {
+    rate: f64,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// New dropout layer with drop probability `rate` and a deterministic
+    /// seed for reproducible training runs.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= rate < 1`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
+        Dropout {
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// The configured drop probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        if mode == Mode::Eval || self.rate == 0.0 {
+            if mode == Mode::Train {
+                self.mask = Some(vec![1.0; input.as_slice().len()]);
+            }
+            return input.clone();
+        }
+        let keep_scale = (1.0 / (1.0 - self.rate)) as f32;
+        let mask: Vec<f32> = input
+            .as_slice()
+            .iter()
+            .map(|_| {
+                if self.rng.gen_bool(self.rate) {
+                    0.0
+                } else {
+                    keep_scale
+                }
+            })
+            .collect();
+        let mut out = input.clone();
+        for (o, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
+            *o *= m;
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("Dropout::backward requires a Train-mode forward first");
+        assert_eq!(grad_output.as_slice().len(), mask.len());
+        let mut out = grad_output.clone();
+        for (g, &m) in out.as_mut_slice().iter_mut().zip(mask) {
+            *g *= m;
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut l = Dropout::new(0.5, 42);
+        let x = Matrix::from_vec(1, 5, vec![1., 2., 3., 4., 5.]);
+        assert_eq!(l.forward(&x, Mode::Eval), x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut l = Dropout::new(0.5, 42);
+        let n = 10_000;
+        let x = Matrix::from_vec(1, n, vec![1.0; n]);
+        let y = l.forward(&x, Mode::Train);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Survivors are exactly scaled by 2.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut l = Dropout::new(0.5, 7);
+        let x = Matrix::from_vec(1, 8, vec![1.0; 8]);
+        let y = l.forward(&x, Mode::Train);
+        let g = Matrix::from_vec(1, 8, vec![1.0; 8]);
+        let dx = l.backward(&g);
+        for (o, d) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(o, d, "gradient mask must match forward mask");
+        }
+    }
+
+    #[test]
+    fn rate_zero_passthrough_in_train() {
+        let mut l = Dropout::new(0.0, 1);
+        let x = Matrix::from_vec(1, 4, vec![1., 2., 3., 4.]);
+        assert_eq!(l.forward(&x, Mode::Train), x);
+        let dx = l.backward(&x);
+        assert_eq!(dx, x);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in [0, 1)")]
+    fn invalid_rate_panics() {
+        let _ = Dropout::new(1.0, 1);
+    }
+}

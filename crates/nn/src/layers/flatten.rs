@@ -1,0 +1,75 @@
+//! Flatten layer.
+
+use super::{Layer, Mode};
+use crate::matrix::Matrix;
+
+/// Reshapes `(L × C)` to `(1 × L·C)` row-major.
+///
+/// Used for the paper's §6 alternative readout: *concatenating* the deep
+/// vertex feature maps instead of summing them, which preserves the local
+/// distribution at the cost of size-invariance.
+#[derive(Default)]
+pub struct Flatten {
+    shape: (usize, usize),
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        if mode == Mode::Train {
+            self.shape = input.shape();
+        }
+        Matrix::from_vec(1, input.rows() * input.cols(), input.as_slice().to_vec())
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let (rows, cols) = self.shape;
+        assert_eq!(
+            grad_output.as_slice().len(),
+            rows * cols,
+            "Flatten::backward requires a Train-mode forward first"
+        );
+        Matrix::from_vec(rows, cols, grad_output.as_slice().to_vec())
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_reshapes_row_major() {
+        let mut l = Flatten::new();
+        let x = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let y = l.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (1, 6));
+        assert_eq!(y.as_slice(), &[1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn backward_restores_shape() {
+        let mut l = Flatten::new();
+        let x = Matrix::from_vec(2, 3, vec![0.0; 6]);
+        l.forward(&x, Mode::Train);
+        let g = Matrix::from_vec(1, 6, vec![1., 2., 3., 4., 5., 6.]);
+        let dx = l.backward(&g);
+        assert_eq!(dx.shape(), (2, 3));
+        assert_eq!(dx.get(1, 0), 4.0);
+    }
+
+    #[test]
+    fn stateless() {
+        let mut l = Flatten::new();
+        assert_eq!(l.n_parameters(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Neural-network layers with hand-derived backward passes.
+//!
+//! Each layer consumes and produces a [`Matrix`] whose rows are sequence
+//! positions (or a single pooled row) and whose columns are channels.
+//! Samples flow through one at a time; parameter gradients accumulate across
+//! a mini-batch and are consumed by the optimiser.
+
+mod conv1d;
+mod dense;
+mod dropout;
+mod flatten;
+mod relu;
+mod sum_pool;
+mod tanh;
+
+pub use conv1d::Conv1D;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use relu::ReLU;
+pub use sum_pool::SumPool;
+pub use tanh::Tanh;
+
+use crate::matrix::Matrix;
+
+/// Whether a forward pass is part of training (enables dropout) or
+/// inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: stochastic layers (dropout) are active and inputs are
+    /// cached for the subsequent backward pass.
+    Train,
+    /// Inference: deterministic forward only.
+    Eval,
+}
+
+/// A mutable view of one parameter tensor and its gradient accumulator.
+pub struct Param<'a> {
+    /// Flattened parameter values.
+    pub value: &'a mut [f32],
+    /// Flattened gradient accumulator (same length as `value`).
+    pub grad: &'a mut [f32],
+}
+
+/// A differentiable layer.
+pub trait Layer {
+    /// Computes the layer output. In [`Mode::Train`] the layer caches
+    /// whatever it needs for [`Layer::backward`].
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix;
+
+    /// Given `dL/d(output)`, accumulates parameter gradients and returns
+    /// `dL/d(input)`. Must be called after a [`Mode::Train`] forward pass on
+    /// the same sample.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Parameter/gradient pairs (empty for stateless layers).
+    fn params(&mut self) -> Vec<Param<'_>> {
+        Vec::new()
+    }
+
+    /// Clears accumulated gradients.
+    fn zero_grad(&mut self) {}
+
+    /// Human-readable layer name for debugging and model summaries.
+    fn name(&self) -> &'static str;
+
+    /// Number of trainable scalars.
+    fn n_parameters(&mut self) -> usize {
+        self.params().iter().map(|p| p.value.len()).sum()
+    }
+}

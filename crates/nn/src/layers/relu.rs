@@ -1,0 +1,87 @@
+//! Rectified linear unit.
+
+use super::{Layer, Mode};
+use crate::matrix::Matrix;
+
+/// Elementwise `max(0, x)`.
+///
+/// The backward pass uses the convention `d relu(0) = 0`.
+#[derive(Default)]
+pub struct ReLU {
+    /// Mask of strictly-positive inputs from the last Train forward.
+    mask: Option<Vec<bool>>,
+    shape: (usize, usize),
+}
+
+impl ReLU {
+    /// New activation layer.
+    pub fn new() -> Self {
+        ReLU::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        let mut out = input.clone();
+        if mode == Mode::Train {
+            let mask: Vec<bool> = input.as_slice().iter().map(|&v| v > 0.0).collect();
+            self.mask = Some(mask);
+            self.shape = input.shape();
+        }
+        for v in out.as_mut_slice() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("ReLU::backward requires a Train-mode forward first");
+        assert_eq!(grad_output.shape(), self.shape);
+        let mut out = grad_output.clone();
+        for (g, &m) in out.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut l = ReLU::new();
+        let x = Matrix::from_vec(1, 4, vec![-1., 0., 2., -0.5]);
+        let y = l.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[0., 0., 2., 0.]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut l = ReLU::new();
+        let x = Matrix::from_vec(1, 4, vec![-1., 0., 2., 3.]);
+        l.forward(&x, Mode::Train);
+        let g = Matrix::from_vec(1, 4, vec![10., 10., 10., 10.]);
+        let dx = l.backward(&g);
+        assert_eq!(dx.as_slice(), &[0., 0., 10., 10.]);
+    }
+
+    #[test]
+    fn stateless_params() {
+        let mut l = ReLU::new();
+        assert!(l.params().is_empty());
+        assert_eq!(l.n_parameters(), 0);
+    }
+}

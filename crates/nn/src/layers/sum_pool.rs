@@ -1,0 +1,84 @@
+//! Summation readout.
+
+use super::{Layer, Mode};
+use crate::matrix::Matrix;
+
+/// Sums over sequence positions: `(L × C) → (1 × C)`.
+///
+/// This is the paper's summation layer (Eq. 7): the deep graph feature map
+/// is the sum of the deep vertex feature maps, which makes the
+/// representation invariant to vertex order and graph size, and makes
+/// isomorphic graphs map to identical representations (Theorem 1).
+#[derive(Default)]
+pub struct SumPool {
+    cached_len: usize,
+}
+
+impl SumPool {
+    /// New pooling layer.
+    pub fn new() -> Self {
+        SumPool::default()
+    }
+}
+
+impl Layer for SumPool {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        if mode == Mode::Train {
+            self.cached_len = input.rows();
+        }
+        input.sum_rows()
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        assert!(
+            self.cached_len > 0,
+            "SumPool::backward requires a Train-mode forward first"
+        );
+        assert_eq!(grad_output.rows(), 1);
+        // d(sum)/d(row r) = I, so the gradient broadcasts to every position.
+        let mut out = Matrix::zeros(self.cached_len, grad_output.cols());
+        for r in 0..self.cached_len {
+            out.row_mut(r).copy_from_slice(grad_output.row(0));
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "SumPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_sums_rows() {
+        let mut l = SumPool::new();
+        let x = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let y = l.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (1, 2));
+        assert_eq!(y.as_slice(), &[9., 12.]);
+    }
+
+    #[test]
+    fn forward_invariant_to_row_permutation() {
+        let mut l = SumPool::new();
+        let x = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let x_perm = Matrix::from_vec(3, 2, vec![5., 6., 1., 2., 3., 4.]);
+        assert_eq!(l.forward(&x, Mode::Eval), l.forward(&x_perm, Mode::Eval));
+    }
+
+    #[test]
+    fn backward_broadcasts() {
+        let mut l = SumPool::new();
+        let x = Matrix::from_vec(3, 2, vec![0.0; 6]);
+        l.forward(&x, Mode::Train);
+        let g = Matrix::from_vec(1, 2, vec![7., 8.]);
+        let dx = l.backward(&g);
+        assert_eq!(dx.shape(), (3, 2));
+        for r in 0..3 {
+            assert_eq!(dx.row(r), &[7., 8.]);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Hyperbolic-tangent activation.
+
+use super::{Layer, Mode};
+use crate::matrix::Matrix;
+
+/// Elementwise `tanh(x)`.
+///
+/// Used by the DGCNN and DCNN baselines, whose original architectures are
+/// tanh-activated (Zhang et al. 2018 §4.1; Atwood & Towsley 2016 §2).
+#[derive(Default)]
+pub struct Tanh {
+    /// Cached outputs from the last Train forward (`d tanh = 1 - tanh²`).
+    output: Option<Matrix>,
+}
+
+impl Tanh {
+    /// New activation layer.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            *v = v.tanh();
+        }
+        if mode == Mode::Train {
+            self.output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let output = self
+            .output
+            .as_ref()
+            .expect("Tanh::backward requires a Train-mode forward first");
+        assert_eq!(grad_output.shape(), output.shape());
+        let mut out = grad_output.clone();
+        for (g, &y) in out.as_mut_slice().iter_mut().zip(output.as_slice()) {
+            *g *= 1.0 - y * y;
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values() {
+        let mut l = Tanh::new();
+        let x = Matrix::from_vec(1, 3, vec![0.0, 100.0, -100.0]);
+        let y = l.forward(&x, Mode::Eval);
+        assert_eq!(y.get(0, 0), 0.0);
+        assert!((y.get(0, 1) - 1.0).abs() < 1e-6);
+        assert!((y.get(0, 2) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut l = Tanh::new();
+        let x = Matrix::from_vec(1, 3, vec![-0.7, 0.2, 1.3]);
+        l.forward(&x, Mode::Train);
+        let g = Matrix::from_vec(1, 3, vec![1.0, 1.0, 1.0]);
+        let dx = l.backward(&g);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let mut probe = Tanh::new();
+            let fp = probe.forward(&plus, Mode::Eval).get(0, i);
+            let fm = probe.forward(&minus, Mode::Eval).get(0, i);
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - dx.get(0, i)).abs() < 1e-3, "{fd} vs {}", dx.get(0, i));
+        }
+    }
+
+    #[test]
+    fn stateless_params() {
+        let mut l = Tanh::new();
+        assert_eq!(l.n_parameters(), 0);
+    }
+}

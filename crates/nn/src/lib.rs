@@ -1,0 +1,36 @@
+//! Minimal CPU neural-network substrate for the DeepMap reproduction.
+//!
+//! The paper trains its models with Keras/TensorFlow; this crate replaces
+//! that stack with a small, exact-gradient implementation of precisely the
+//! pieces the paper's architectures need (Fig. 4 and the baseline GNNs):
+//!
+//! - [`matrix::Matrix`] — dense row-major `f32` matrices with the matmul
+//!   variants backprop needs.
+//! - [`layers`] — `Conv1D` (stride = kernel for DeepMap's non-overlapping
+//!   receptive fields, arbitrary stride supported), `Dense`, `ReLU`,
+//!   `Dropout`, `SumPool` (the paper's Eq. 7 summation readout), and the
+//!   [`layers::Layer`] trait with hand-derived backward passes.
+//! - [`loss`] — softmax + cross-entropy with its gradient.
+//! - [`optim`] — RMSProp (the paper's optimiser) and a
+//!   reduce-LR-on-plateau scheduler (factor 0.5, patience 5; paper §5.1).
+//! - [`model`] — [`model::Sequential`] container.
+//! - [`train`] — mini-batch trainer with per-epoch statistics.
+//! - [`init`] — Glorot/Xavier initialisation from a seeded RNG.
+//! - [`persist`] — framed binary checkpointing of model weights.
+//!
+//! Every gradient in the crate is validated against central finite
+//! differences in the test suite (`tests/grad_check.rs`).
+
+#![deny(missing_docs)]
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod matrix;
+pub mod model;
+pub mod optim;
+pub mod persist;
+pub mod train;
+
+pub use matrix::Matrix;
+pub use model::Sequential;

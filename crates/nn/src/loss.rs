@@ -1,0 +1,109 @@
+//! Softmax + cross-entropy loss.
+
+use crate::matrix::Matrix;
+
+/// Numerically-stable softmax of a `1 × n` logit row.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    assert_eq!(logits.rows(), 1, "softmax expects a single logit row");
+    let row = logits.row(0);
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Matrix::row_vector(exps.into_iter().map(|e| e / sum).collect())
+}
+
+/// Cross-entropy of a softmax output against an integer target class.
+///
+/// Returns `(loss, grad)` where `grad = softmax(logits) - onehot(target)` is
+/// the gradient of the loss with respect to the *logits* — the well-known
+/// fused softmax/cross-entropy derivative, which avoids ever differentiating
+/// through the softmax alone.
+///
+/// # Panics
+/// Panics if `target >= logits.cols()`.
+pub fn softmax_cross_entropy(logits: &Matrix, target: usize) -> (f32, Matrix) {
+    assert!(target < logits.cols(), "target class out of range");
+    let probs = softmax(logits);
+    let p_target = probs.get(0, target).max(1e-12);
+    let loss = -p_target.ln();
+    let mut grad = probs;
+    let g = grad.get(0, target) - 1.0;
+    grad.set(0, target, g);
+    (loss, grad)
+}
+
+/// Predicted class: argmax of the logits (softmax is monotone so it can be
+/// skipped at inference time).
+pub fn predict_class(logits: &Matrix) -> usize {
+    logits.argmax_row(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let l = Matrix::row_vector(vec![1.0, 2.0, 3.0]);
+        let p = softmax(&l);
+        let sum: f32 = p.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p.get(0, 2) > p.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let l = Matrix::row_vector(vec![1000.0, 1000.0]);
+        let p = softmax(&l);
+        assert!((p.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_n_loss() {
+        let l = Matrix::row_vector(vec![0.0; 4]);
+        let (loss, _) = softmax_cross_entropy(&l, 2);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = vec![0.3, -1.2, 2.0, 0.7];
+        let target = 1;
+        let (_, grad) = softmax_cross_entropy(&Matrix::row_vector(logits.clone()), target);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus[i] += eps;
+            let mut minus = logits.clone();
+            minus[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&Matrix::row_vector(plus), target);
+            let (lm, _) = softmax_cross_entropy(&Matrix::row_vector(minus), target);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.get(0, i)).abs() < 1e-3,
+                "component {i}: fd {fd} vs analytic {}",
+                grad.get(0, i)
+            );
+        }
+    }
+
+    #[test]
+    fn grad_sums_to_zero() {
+        let (_, grad) = softmax_cross_entropy(&Matrix::row_vector(vec![1.0, 2.0, 3.0]), 0);
+        let sum: f32 = grad.as_slice().iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn predict_class_is_argmax() {
+        let l = Matrix::row_vector(vec![0.1, 5.0, -2.0]);
+        assert_eq!(predict_class(&l), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "target class out of range")]
+    fn bad_target_panics() {
+        softmax_cross_entropy(&Matrix::row_vector(vec![0.0, 0.0]), 5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Sequential model container.
+
+use crate::layers::{Layer, Mode, Param};
+use crate::loss::{predict_class, softmax_cross_entropy};
+use crate::matrix::Matrix;
+
+/// A stack of layers applied in order.
+///
+/// All the paper's architectures (the Fig. 4 CNN and the GNN baselines'
+/// readout heads) are expressible as a `Sequential` over the layers in
+/// [`crate::layers`]; graph-specific preprocessing happens before the
+/// tensors enter the model.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Empty model.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends a layer in place.
+    pub fn add(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn n_parameters(&mut self) -> usize {
+        self.layers.iter_mut().map(|l| l.n_parameters()).sum()
+    }
+
+    /// Runs the full forward pass.
+    pub fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    /// Runs only the first `n_layers` layers — used to read intermediate
+    /// representations (e.g. DeepMap's deep vertex feature maps before the
+    /// summation readout).
+    ///
+    /// # Panics
+    /// Panics when `n_layers > self.n_layers()`.
+    pub fn forward_prefix(&mut self, input: &Matrix, n_layers: usize, mode: Mode) -> Matrix {
+        assert!(n_layers <= self.layers.len(), "prefix longer than model");
+        let mut x = input.clone();
+        for layer in self.layers.iter_mut().take(n_layers) {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    /// Runs the full backward pass from the loss gradient at the output.
+    pub fn backward(&mut self, grad_output: &Matrix) {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+    }
+
+    /// All parameters in a stable (layer, tensor) order.
+    pub fn params(&mut self) -> Vec<Param<'_>> {
+        self.layers.iter_mut().flat_map(|l| l.params()).collect()
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Scales every accumulated gradient by `s` (used to average over a
+    /// mini-batch before the optimiser step).
+    pub fn scale_grads(&mut self, s: f32) {
+        for p in self.params() {
+            for g in p.grad.iter_mut() {
+                *g *= s;
+            }
+        }
+    }
+
+    /// Forward in train mode, then backward through the fused
+    /// softmax/cross-entropy loss. Returns `(loss, predicted_class)`.
+    pub fn train_step(&mut self, input: &Matrix, target: usize) -> (f32, usize) {
+        let logits = self.forward(input, Mode::Train);
+        let predicted = predict_class(&logits);
+        let (loss, grad) = softmax_cross_entropy(&logits, target);
+        self.backward(&grad);
+        (loss, predicted)
+    }
+
+    /// Inference: predicted class for one sample.
+    pub fn predict(&mut self, input: &Matrix) -> usize {
+        let logits = self.forward(input, Mode::Eval);
+        predict_class(&logits)
+    }
+
+    /// Layer names, for summaries.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Sequential::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, ReLU, SumPool};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Box::new(Dense::new(4, 8, &mut rng)))
+            .push(Box::new(ReLU::new()))
+            .push(Box::new(SumPool::new()))
+            .push(Box::new(Dense::new(8, 2, &mut rng)))
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = tiny_model(1);
+        let x = Matrix::from_vec(3, 4, vec![0.1; 12]);
+        let y = m.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (1, 2));
+        assert_eq!(m.n_layers(), 4);
+        assert_eq!(m.layer_names(), vec!["Dense", "ReLU", "SumPool", "Dense"]);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mut m = tiny_model(1);
+        assert_eq!(m.n_parameters(), (4 * 8 + 8) + (8 * 2 + 2));
+    }
+
+    #[test]
+    fn train_step_reduces_loss_with_sgd_like_updates() {
+        let mut m = tiny_model(2);
+        let x = Matrix::from_vec(3, 4, vec![0.3; 12]);
+        let mut opt = crate::optim::RmsProp::new(0.01);
+        let (first_loss, _) = m.train_step(&x, 1);
+        m.scale_grads(1.0);
+        opt.step(&mut m.params());
+        m.zero_grad();
+        let mut last_loss = first_loss;
+        for _ in 0..50 {
+            let (loss, _) = m.train_step(&x, 1);
+            opt.step(&mut m.params());
+            m.zero_grad();
+            last_loss = loss;
+        }
+        assert!(
+            last_loss < first_loss * 0.5,
+            "loss did not decrease: {first_loss} -> {last_loss}"
+        );
+        assert_eq!(m.predict(&x), 1);
+    }
+
+    #[test]
+    fn zero_grad_resets_accumulators() {
+        let mut m = tiny_model(3);
+        let x = Matrix::from_vec(2, 4, vec![0.5; 8]);
+        m.train_step(&x, 0);
+        m.zero_grad();
+        for p in m.params() {
+            assert!(p.grad.iter().all(|&g| g == 0.0));
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Optimisers and learning-rate scheduling.
+
+use crate::layers::Param;
+
+/// RMSProp, the optimiser the paper trains every model with (§5.1:
+/// "We use the RMSPROP optimizer with initial learning rate 0.01").
+///
+/// Update rule per scalar `w` with gradient `g`:
+/// `cache = rho * cache + (1 - rho) * g²` ; `w -= lr * g / (sqrt(cache) + eps)`.
+pub struct RmsProp {
+    lr: f32,
+    rho: f32,
+    eps: f32,
+    caches: Vec<Vec<f32>>,
+}
+
+impl RmsProp {
+    /// Keras defaults: `rho = 0.9`, `eps = 1e-7`.
+    pub fn new(lr: f32) -> Self {
+        RmsProp {
+            lr,
+            rho: 0.9,
+            eps: 1e-7,
+            caches: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Overrides the learning rate (used by the plateau scheduler).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update to every parameter. `params` must be passed in a
+    /// stable order across calls (the `Sequential` container guarantees
+    /// this); gradients should already be averaged over the mini-batch.
+    pub fn step(&mut self, params: &mut [Param<'_>]) {
+        if self.caches.len() < params.len() {
+            for p in params.iter().skip(self.caches.len()) {
+                self.caches.push(vec![0.0; p.value.len()]);
+            }
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let cache = &mut self.caches[i];
+            assert_eq!(
+                cache.len(),
+                p.value.len(),
+                "parameter {i} changed size between steps"
+            );
+            for ((w, &g), c) in p.value.iter_mut().zip(p.grad.iter()).zip(cache.iter_mut()) {
+                *c = self.rho * *c + (1.0 - self.rho) * g * g;
+                *w -= self.lr * g / (c.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Reduce-on-plateau learning-rate schedule.
+///
+/// Paper §5.1: "decay the learning rate by 0.5 if the number of epochs with
+/// no improvement in the loss reaches five."
+pub struct PlateauScheduler {
+    factor: f32,
+    patience: usize,
+    best_loss: f32,
+    epochs_without_improvement: usize,
+    min_lr: f32,
+}
+
+impl PlateauScheduler {
+    /// The paper's configuration: halve the LR after 5 stagnant epochs.
+    pub fn paper_default() -> Self {
+        PlateauScheduler::new(0.5, 5, 1e-6)
+    }
+
+    /// Custom schedule.
+    pub fn new(factor: f32, patience: usize, min_lr: f32) -> Self {
+        PlateauScheduler {
+            factor,
+            patience,
+            best_loss: f32::INFINITY,
+            epochs_without_improvement: 0,
+            min_lr,
+        }
+    }
+
+    /// Reports the end-of-epoch loss; lowers the optimiser's LR when the
+    /// loss has not improved for `patience` consecutive epochs. Returns
+    /// `true` when a decay was applied this call.
+    pub fn observe(&mut self, loss: f32, optimizer: &mut RmsProp) -> bool {
+        if loss < self.best_loss - 1e-6 {
+            self.best_loss = loss;
+            self.epochs_without_improvement = 0;
+            return false;
+        }
+        self.epochs_without_improvement += 1;
+        if self.epochs_without_improvement >= self.patience {
+            self.epochs_without_improvement = 0;
+            let new_lr = (optimizer.learning_rate() * self.factor).max(self.min_lr);
+            optimizer.set_learning_rate(new_lr);
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmsprop_descends_a_quadratic() {
+        // Minimise f(w) = (w - 3)².
+        let mut w = vec![0.0f32];
+        let mut g = vec![0.0f32];
+        let mut opt = RmsProp::new(0.05);
+        for _ in 0..500 {
+            g[0] = 2.0 * (w[0] - 3.0);
+            let mut params = vec![Param {
+                value: &mut w,
+                grad: &mut g,
+            }];
+            opt.step(&mut params);
+        }
+        assert!((w[0] - 3.0).abs() < 0.05, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn rmsprop_normalises_gradient_scale() {
+        // With RMSProp the first-step size is ~lr regardless of gradient
+        // magnitude.
+        for scale in [1.0f32, 1e4] {
+            let mut w = vec![0.0f32];
+            let mut g = vec![scale];
+            let mut opt = RmsProp::new(0.01);
+            let mut params = vec![Param {
+                value: &mut w,
+                grad: &mut g,
+            }];
+            opt.step(&mut params);
+            let step = w[0].abs();
+            // g / sqrt(0.1 g²) = 1/sqrt(0.1) ≈ 3.162, times lr.
+            assert!((step - 0.01 / 0.1f32.sqrt()).abs() < 1e-4, "step {step}");
+        }
+    }
+
+    #[test]
+    fn plateau_halves_after_patience() {
+        let mut opt = RmsProp::new(0.01);
+        let mut sched = PlateauScheduler::new(0.5, 3, 1e-6);
+        assert!(!sched.observe(1.0, &mut opt)); // best
+        assert!(!sched.observe(1.0, &mut opt)); // stale 1
+        assert!(!sched.observe(1.0, &mut opt)); // stale 2
+        assert!(sched.observe(1.0, &mut opt)); // stale 3 -> decay
+        assert!((opt.learning_rate() - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plateau_resets_on_improvement() {
+        let mut opt = RmsProp::new(0.01);
+        let mut sched = PlateauScheduler::new(0.5, 2, 1e-6);
+        sched.observe(1.0, &mut opt);
+        sched.observe(1.0, &mut opt); // stale 1
+        sched.observe(0.5, &mut opt); // improvement resets
+        sched.observe(0.5, &mut opt); // stale 1
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plateau_respects_min_lr() {
+        let mut opt = RmsProp::new(1e-6);
+        let mut sched = PlateauScheduler::new(0.5, 1, 1e-6);
+        sched.observe(1.0, &mut opt);
+        sched.observe(1.0, &mut opt);
+        assert!(opt.learning_rate() >= 1e-6);
+    }
+}

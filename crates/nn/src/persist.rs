@@ -1,0 +1,200 @@
+//! Model weight persistence.
+//!
+//! Trained models are flat lists of `f32` tensors in a stable (layer,
+//! tensor) order, so persistence is a small framed binary format:
+//!
+//! ```text
+//! magic "DMW1" | u32 tensor count | per tensor: u32 len | len × f32 (LE)
+//! ```
+//!
+//! The architecture itself is *not* serialised — callers rebuild the model
+//! from its configuration (which is tiny and deterministic) and load the
+//! weights into it, the usual checkpoint convention.
+
+use crate::model::Sequential;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"DMW1";
+
+/// Errors from weight (de)serialisation.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PersistError {
+    /// The buffer does not start with the expected magic.
+    BadMagic,
+    /// The buffer ended before the declared data.
+    Truncated,
+    /// The checkpoint's tensor shapes do not match the model's.
+    ShapeMismatch {
+        /// Tensor index that disagreed.
+        tensor: usize,
+        /// Length stored in the checkpoint.
+        stored: usize,
+        /// Length the model expects.
+        expected: usize,
+    },
+    /// Tensor count differs between checkpoint and model.
+    TensorCountMismatch {
+        /// Count stored in the checkpoint.
+        stored: usize,
+        /// Count the model expects.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not a DMW1 checkpoint"),
+            PersistError::Truncated => write!(f, "checkpoint truncated"),
+            PersistError::ShapeMismatch { tensor, stored, expected } => write!(
+                f,
+                "tensor {tensor}: checkpoint has {stored} scalars, model expects {expected}"
+            ),
+            PersistError::TensorCountMismatch { stored, expected } => write!(
+                f,
+                "checkpoint has {stored} tensors, model expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serialises the model's parameters.
+pub fn save_weights(model: &mut Sequential) -> Bytes {
+    let params = model.params();
+    let total: usize = params.iter().map(|p| p.value.len()).sum();
+    let mut buf = BytesMut::with_capacity(8 + 4 * params.len() + 4 * total);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(params.len() as u32);
+    for p in &params {
+        buf.put_u32_le(p.value.len() as u32);
+        for &w in p.value.iter() {
+            buf.put_f32_le(w);
+        }
+    }
+    buf.freeze()
+}
+
+/// Loads parameters saved by [`save_weights`] into a model of the same
+/// architecture.
+///
+/// # Errors
+/// Any structural disagreement between the checkpoint and the model is
+/// rejected before any weight is written.
+pub fn load_weights(model: &mut Sequential, data: &[u8]) -> Result<(), PersistError> {
+    let mut cursor = data;
+    if cursor.remaining() < 8 {
+        return Err(PersistError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    cursor.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let count = cursor.get_u32_le() as usize;
+    let mut params = model.params();
+    if count != params.len() {
+        return Err(PersistError::TensorCountMismatch {
+            stored: count,
+            expected: params.len(),
+        });
+    }
+    // First pass: validate the frame without mutating.
+    let mut probe = cursor;
+    for (i, p) in params.iter().enumerate() {
+        if probe.remaining() < 4 {
+            return Err(PersistError::Truncated);
+        }
+        let len = probe.get_u32_le() as usize;
+        if len != p.value.len() {
+            return Err(PersistError::ShapeMismatch {
+                tensor: i,
+                stored: len,
+                expected: p.value.len(),
+            });
+        }
+        if probe.remaining() < 4 * len {
+            return Err(PersistError::Truncated);
+        }
+        probe.advance(4 * len);
+    }
+    // Second pass: write.
+    for p in params.iter_mut() {
+        let _len = cursor.get_u32_le();
+        for w in p.value.iter_mut() {
+            *w = cursor.get_f32_le();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Mode, ReLU};
+    use crate::matrix::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Box::new(Dense::new(4, 6, &mut rng)))
+            .push(Box::new(ReLU::new()))
+            .push(Box::new(Dense::new(6, 2, &mut rng)))
+    }
+
+    #[test]
+    fn round_trip_restores_outputs() {
+        let mut original = model(1);
+        let x = Matrix::from_vec(1, 4, vec![0.3, -0.2, 0.9, 0.1]);
+        let expected = original.forward(&x, Mode::Eval);
+        let blob = save_weights(&mut original);
+
+        let mut restored = model(999); // different init
+        assert_ne!(restored.forward(&x, Mode::Eval), expected);
+        load_weights(&mut restored, &blob).unwrap();
+        assert_eq!(restored.forward(&x, Mode::Eval), expected);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut m = model(1);
+        assert_eq!(load_weights(&mut m, b"NOPE1234"), Err(PersistError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut m = model(1);
+        let blob = save_weights(&mut m);
+        let cut = &blob[..blob.len() / 2];
+        assert_eq!(load_weights(&mut m, cut), Err(PersistError::Truncated));
+        assert_eq!(load_weights(&mut m, &blob[..3]), Err(PersistError::Truncated));
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let mut small = model(1);
+        let blob = save_weights(&mut small);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bigger = Sequential::new()
+            .push(Box::new(Dense::new(4, 7, &mut rng)))
+            .push(Box::new(Dense::new(7, 2, &mut rng)));
+        let err = load_weights(&mut bigger, &blob).unwrap_err();
+        assert!(matches!(err, PersistError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn validation_happens_before_mutation() {
+        let mut m = model(1);
+        let x = Matrix::from_vec(1, 4, vec![1.0; 4]);
+        let before = m.forward(&x, Mode::Eval);
+        let blob = save_weights(&mut m);
+        // Corrupt the tail so the last tensor is truncated.
+        let cut = &blob[..blob.len() - 2];
+        let _ = load_weights(&mut m, cut).unwrap_err();
+        assert_eq!(m.forward(&x, Mode::Eval), before, "model must be untouched");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the NN substrate's algebra and layers.
+
+use deepmap_nn::layers::{Conv1D, Dense, Layer, Mode, ReLU, SumPool, Tanh};
+use deepmap_nn::loss::{softmax, softmax_cross_entropy};
+use deepmap_nn::matrix::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-3.0f32..3.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// A matrix with *fixed* dimensions, for shape-dependent identities.
+fn matrix_of(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Dimension triple plus conforming matrices for transpose identities.
+fn transpose_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..6, 1usize..6, 1usize..6)
+        .prop_flat_map(|(shared, ca, cb)| (matrix_of(shared, ca), matrix_of(shared, cb)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fused transpose matmuls agree with the explicit transpose.
+    #[test]
+    fn fused_transpose_matmuls((a, b) in transpose_pair()) {
+        prop_assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_identity((at, bt) in transpose_pair()) {
+        // Shared dimension is now the *column* count after transposing.
+        let a = at.transpose();
+        let b = bt.transpose();
+        prop_assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    /// Matmul distributes over addition: A(B + C) = AB + AC (up to f32).
+    #[test]
+    fn matmul_distributes(a in matrix_of(4, 4), b in matrix_of(4, 3), c in matrix_of(4, 3)) {
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let left = a.matmul(&bc);
+        let mut right = a.matmul(&b);
+        right.add_assign(&a.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Softmax is a probability distribution and is invariant to constant
+    /// logit shifts.
+    #[test]
+    fn softmax_properties(logits in proptest::collection::vec(-10.0f32..10.0, 2..8), shift in -5.0f32..5.0) {
+        let p1 = softmax(&Matrix::row_vector(logits.clone()));
+        let total: f32 = p1.as_slice().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-5);
+        prop_assert!(p1.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let shifted: Vec<f32> = logits.iter().map(|&v| v + shift).collect();
+        let p2 = softmax(&Matrix::row_vector(shifted));
+        for (a, b) in p1.as_slice().iter().zip(p2.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Cross-entropy loss is non-negative and its gradient sums to zero.
+    #[test]
+    fn cross_entropy_properties(logits in proptest::collection::vec(-5.0f32..5.0, 2..6), target_raw in 0usize..6) {
+        let target = target_raw % logits.len();
+        let (loss, grad) = softmax_cross_entropy(&Matrix::row_vector(logits), target);
+        prop_assert!(loss >= -1e-6);
+        let sum: f32 = grad.as_slice().iter().sum();
+        prop_assert!(sum.abs() < 1e-5);
+        // The target component of the gradient is non-positive.
+        prop_assert!(grad.get(0, target) <= 1e-6);
+    }
+
+    /// ReLU and Tanh keep shapes and bound outputs as advertised.
+    #[test]
+    fn activation_bounds(x in arb_matrix(5, 5)) {
+        let mut relu = ReLU::new();
+        let y = relu.forward(&x, Mode::Eval);
+        prop_assert_eq!(y.shape(), x.shape());
+        prop_assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+        let mut tanh = Tanh::new();
+        let z = tanh.forward(&x, Mode::Eval);
+        prop_assert!(z.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    /// Conv1D output length follows the floor formula for every geometry.
+    #[test]
+    fn conv_output_length(len in 1usize..30, kernel in 1usize..6, stride in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv1D::new(2, 3, kernel, stride, &mut rng);
+        let expected = if len < kernel { 0 } else { (len - kernel) / stride + 1 };
+        prop_assert_eq!(conv.output_len(len), expected);
+    }
+
+    /// Dense layers are affine: f(x + y) - f(x) - f(y) + f(0) = 0.
+    #[test]
+    fn dense_is_affine(x in matrix_of(1, 4), y in matrix_of(1, 4)) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut dense = Dense::new(4, 3, &mut rng);
+        let mut xy = x.clone();
+        xy.add_assign(&y);
+        let fxy = dense.forward(&xy, Mode::Eval);
+        let fx = dense.forward(&x, Mode::Eval);
+        let fy = dense.forward(&y, Mode::Eval);
+        let f0 = dense.forward(&Matrix::zeros(1, 4), Mode::Eval);
+        for i in 0..3 {
+            let residual = fxy.get(0, i) - fx.get(0, i) - fy.get(0, i) + f0.get(0, i);
+            prop_assert!(residual.abs() < 1e-4, "residual {residual}");
+        }
+    }
+
+    /// SumPool commutes with row permutation (the invariance Theorem 1
+    /// rests on).
+    #[test]
+    fn sum_pool_permutation_invariant(x in arb_matrix(6, 4), seed in 0u64..50) {
+        use rand::seq::SliceRandom;
+        let mut pool = SumPool::new();
+        let base = pool.forward(&x, Mode::Eval);
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut shuffled = Matrix::zeros(x.rows(), x.cols());
+        for (new_r, &old_r) in order.iter().enumerate() {
+            shuffled.row_mut(new_r).copy_from_slice(x.row(old_r));
+        }
+        let permuted = pool.forward(&shuffled, Mode::Eval);
+        for (a, b) in base.as_slice().iter().zip(permuted.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

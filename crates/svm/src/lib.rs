@@ -1,0 +1,20 @@
+//! C-SVM on precomputed kernel matrices.
+//!
+//! The paper classifies graph-kernel Gram matrices with "a binary C-SVM
+//! \[LIBSVM\]" (§5.1), tuning `C ∈ {1, 10, 10², 10³}` per fold. This crate is
+//! the LIBSVM stand-in: [`smo`] implements the Sequential Minimal
+//! Optimization algorithm for the dual soft-margin problem with a
+//! precomputed kernel, and [`multiclass`] lifts the binary machine to
+//! multi-class problems with a one-vs-rest ensemble and provides the
+//! paper's per-fold `C` grid selection.
+
+#![deny(missing_docs)]
+
+pub mod multiclass;
+pub mod smo;
+
+pub use multiclass::{select_c_and_train, MulticlassSvm};
+pub use smo::{BinarySvm, SmoConfig};
+
+/// The paper's `C` grid: `{1, 10, 10², 10³}` (§5.1).
+pub const PAPER_C_GRID: [f64; 4] = [1.0, 10.0, 100.0, 1000.0];

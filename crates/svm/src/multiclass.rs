@@ -1,0 +1,194 @@
+//! One-vs-rest multiclass SVM and the paper's `C` selection protocol.
+
+use crate::smo::{BinarySvm, SmoConfig};
+use deepmap_kernels::KernelMatrix;
+
+/// One-vs-rest ensemble of binary SVMs.
+#[derive(Debug, Clone)]
+pub struct MulticlassSvm {
+    /// One machine per class, in class-index order.
+    machines: Vec<BinarySvm>,
+}
+
+impl MulticlassSvm {
+    /// Trains one binary machine per class on the rows `train_indices` of
+    /// `kernel` with integer class labels `y` (`0..n_classes`).
+    ///
+    /// # Panics
+    /// Panics when lengths mismatch or `n_classes == 0`.
+    pub fn train(
+        kernel: &KernelMatrix,
+        train_indices: &[usize],
+        y: &[usize],
+        n_classes: usize,
+        config: &SmoConfig,
+    ) -> MulticlassSvm {
+        assert_eq!(train_indices.len(), y.len(), "index/label length mismatch");
+        assert!(n_classes >= 1, "need at least one class");
+        let machines = (0..n_classes)
+            .map(|class| {
+                let labels: Vec<f64> = y
+                    .iter()
+                    .map(|&yi| if yi == class { 1.0 } else { -1.0 })
+                    .collect();
+                BinarySvm::train(kernel, train_indices, &labels, config)
+            })
+            .collect();
+        MulticlassSvm { machines }
+    }
+
+    /// Predicted class of dataset row `dataset_index`: argmax of the
+    /// per-class decision values.
+    pub fn predict(&self, kernel: &KernelMatrix, dataset_index: usize) -> usize {
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (class, machine) in self.machines.iter().enumerate() {
+            let score = machine.decision(kernel, dataset_index);
+            if score > best_score {
+                best_score = score;
+                best = class;
+            }
+        }
+        best
+    }
+
+    /// Accuracy over the dataset rows `test_indices` with true labels `y`.
+    pub fn accuracy(&self, kernel: &KernelMatrix, test_indices: &[usize], y: &[usize]) -> f64 {
+        assert_eq!(test_indices.len(), y.len());
+        if test_indices.is_empty() {
+            return 0.0;
+        }
+        let correct = test_indices
+            .iter()
+            .zip(y)
+            .filter(|(&i, &yi)| self.predict(kernel, i) == yi)
+            .count();
+        correct as f64 / test_indices.len() as f64
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.machines.len()
+    }
+}
+
+/// The paper's per-fold protocol (§5.1): `C` "is independently tuned from
+/// {1, 10, 10², 10³} using the training data from that fold". We split the
+/// fold's training rows 80/20, pick the `C` with the best inner validation
+/// accuracy (ties → smaller `C`), and retrain on the full fold.
+pub fn select_c_and_train(
+    kernel: &KernelMatrix,
+    train_indices: &[usize],
+    y: &[usize],
+    n_classes: usize,
+    c_grid: &[f64],
+) -> (MulticlassSvm, f64) {
+    assert!(!c_grid.is_empty(), "empty C grid");
+    let n = train_indices.len();
+    let split = (n * 4) / 5;
+    let (inner_train_idx, inner_val_idx) = train_indices.split_at(split.max(1).min(n));
+    let (inner_train_y, inner_val_y) = y.split_at(split.max(1).min(n));
+
+    let mut best_c = c_grid[0];
+    let mut best_acc = -1.0;
+    if !inner_val_idx.is_empty() {
+        for &c in c_grid {
+            let config = SmoConfig {
+                c,
+                ..Default::default()
+            };
+            let model =
+                MulticlassSvm::train(kernel, inner_train_idx, inner_train_y, n_classes, &config);
+            let acc = model.accuracy(kernel, inner_val_idx, inner_val_y);
+            if acc > best_acc {
+                best_acc = acc;
+                best_c = c;
+            }
+        }
+    }
+    let config = SmoConfig {
+        c: best_c,
+        ..Default::default()
+    };
+    (
+        MulticlassSvm::train(kernel, train_indices, y, n_classes, &config),
+        best_c,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmap_kernels::feature_map::SparseVec;
+
+    /// Three clusters at triangle corners in 2-D, so each class is linearly
+    /// separable from the union of the others (one-vs-rest needs this; a
+    /// middle cluster on a line would not be).
+    fn three_cluster_kernel() -> (KernelMatrix, Vec<usize>) {
+        let points: Vec<(f32, f32, usize)> = vec![
+            (0.0, 0.0, 0),
+            (0.5, 0.0, 0),
+            (0.0, 0.5, 0),
+            (10.0, 0.0, 1),
+            (10.5, 0.0, 1),
+            (10.0, 0.5, 1),
+            (0.0, 10.0, 2),
+            (0.5, 10.0, 2),
+            (0.0, 10.5, 2),
+        ];
+        let vecs: Vec<SparseVec> = points
+            .iter()
+            .map(|&(x, yv, _)| SparseVec::from_pairs(vec![(0, x), (1, yv), (2, 1.0)]))
+            .collect();
+        let y = points.iter().map(|&(_, _, c)| c).collect();
+        (KernelMatrix::linear(&vecs), y)
+    }
+
+    #[test]
+    fn three_class_training_accuracy() {
+        let (k, y) = three_cluster_kernel();
+        let idx: Vec<usize> = (0..y.len()).collect();
+        let model = MulticlassSvm::train(&k, &idx, &y, 3, &SmoConfig::default());
+        assert_eq!(model.n_classes(), 3);
+        assert!((model.accuracy(&k, &idx, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn held_out_prediction() {
+        let (k, y) = three_cluster_kernel();
+        // Leave out one point per class.
+        let train: Vec<usize> = vec![0, 1, 3, 4, 6, 7];
+        let ty: Vec<usize> = train.iter().map(|&i| y[i]).collect();
+        let model = MulticlassSvm::train(&k, &train, &ty, 3, &SmoConfig::default());
+        assert_eq!(model.predict(&k, 2), 0);
+        assert_eq!(model.predict(&k, 5), 1);
+        assert_eq!(model.predict(&k, 8), 2);
+    }
+
+    #[test]
+    fn c_selection_returns_grid_member() {
+        let (k, y) = three_cluster_kernel();
+        let idx: Vec<usize> = (0..y.len()).collect();
+        let (model, c) = select_c_and_train(&k, &idx, &y, 3, &crate::PAPER_C_GRID);
+        assert!(crate::PAPER_C_GRID.contains(&c));
+        assert!((model.accuracy(&k, &idx, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_test_set_accuracy_zero() {
+        let (k, y) = three_cluster_kernel();
+        let idx: Vec<usize> = (0..y.len()).collect();
+        let model = MulticlassSvm::train(&k, &idx, &y, 3, &SmoConfig::default());
+        assert_eq!(model.accuracy(&k, &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn binary_special_case_matches_two_machines() {
+        let (k, y) = three_cluster_kernel();
+        // Restrict to classes 0 and 1.
+        let idx: Vec<usize> = (0..6).collect();
+        let yy: Vec<usize> = y[..6].to_vec();
+        let model = MulticlassSvm::train(&k, &idx, &yy, 2, &SmoConfig::default());
+        assert!((model.accuracy(&k, &idx, &yy) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,321 @@
+//! Sequential Minimal Optimization for the binary soft-margin dual.
+//!
+//! Solves `max Σαᵢ − ½ΣΣ αᵢαⱼyᵢyⱼK(i,j)` s.t. `0 ≤ αᵢ ≤ C`, `Σαᵢyᵢ = 0`
+//! over a *precomputed* kernel, in the style of Platt's SMO as used by
+//! LIBSVM: repeatedly pick a maximally-KKT-violating pair, solve the
+//! two-variable subproblem analytically, and update the error cache.
+
+use deepmap_kernels::KernelMatrix;
+
+/// SMO solver options.
+#[derive(Debug, Clone, Copy)]
+pub struct SmoConfig {
+    /// Soft-margin penalty `C`.
+    pub c: f64,
+    /// KKT violation tolerance.
+    pub tolerance: f64,
+    /// Maximum full passes without progress before giving up.
+    pub max_passes: usize,
+    /// Hard cap on pair optimisations (defensive; rarely reached).
+    pub max_iterations: usize,
+}
+
+impl Default for SmoConfig {
+    fn default() -> Self {
+        SmoConfig {
+            c: 1.0,
+            tolerance: 1e-3,
+            max_passes: 10,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// A trained binary SVM over a subset of a dataset's kernel matrix.
+///
+/// `train_indices[i]` maps local index `i` back to the dataset row of the
+/// kernel matrix, so prediction on held-out graphs only needs the same
+/// matrix.
+#[derive(Debug, Clone)]
+pub struct BinarySvm {
+    /// Dataset rows the machine was trained on.
+    pub train_indices: Vec<usize>,
+    /// Dual coefficients `αᵢ` (aligned with `train_indices`).
+    pub alphas: Vec<f64>,
+    /// Training labels in `{-1, +1}` (aligned with `train_indices`).
+    pub labels: Vec<f64>,
+    /// Bias term `b`.
+    pub bias: f64,
+}
+
+impl BinarySvm {
+    /// Trains on the rows `train_indices` of `kernel` with labels `y` in
+    /// `{-1.0, +1.0}`.
+    ///
+    /// # Panics
+    /// Panics when lengths mismatch or labels are not ±1.
+    pub fn train(
+        kernel: &KernelMatrix,
+        train_indices: &[usize],
+        y: &[f64],
+        config: &SmoConfig,
+    ) -> BinarySvm {
+        assert_eq!(train_indices.len(), y.len(), "index/label length mismatch");
+        assert!(
+            y.iter().all(|&l| l == 1.0 || l == -1.0),
+            "labels must be -1 or +1"
+        );
+        let n = train_indices.len();
+        let k = |i: usize, j: usize| kernel.get(train_indices[i], train_indices[j]);
+
+        let mut alphas = vec![0.0f64; n];
+        let mut bias = 0.0f64;
+        // Error cache: E_i = f(x_i) - y_i; with all alphas 0, f = 0.
+        let mut errors: Vec<f64> = y.iter().map(|&yi| -yi).collect();
+
+        let mut passes = 0usize;
+        let mut iterations = 0usize;
+
+        // Attempts the analytic two-variable update on (i, j); returns true
+        // when progress was made. Mutates alphas/bias/errors through raw
+        // indices to keep the borrow checker happy inside the closure-free
+        // loop below.
+        macro_rules! try_pair {
+            ($i:expr, $j:expr) => {{
+                let (i, j) = ($i, $j);
+                let ei = errors[i];
+                let (ai_old, aj_old) = (alphas[i], alphas[j]);
+                let (yi, yj) = (y[i], y[j]);
+                // Bounds on α_j.
+                let (lo, hi) = if yi != yj {
+                    (
+                        (aj_old - ai_old).max(0.0),
+                        (config.c + aj_old - ai_old).min(config.c),
+                    )
+                } else {
+                    (
+                        (ai_old + aj_old - config.c).max(0.0),
+                        (ai_old + aj_old).min(config.c),
+                    )
+                };
+                let eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+                if hi - lo < 1e-12 || eta >= -1e-12 {
+                    false
+                } else {
+                    let mut aj_new = aj_old - yj * (ei - errors[j]) / eta;
+                    aj_new = aj_new.clamp(lo, hi);
+                    if (aj_new - aj_old).abs() < 1e-7 {
+                        false
+                    } else {
+                        let ai_new = ai_old + yi * yj * (aj_old - aj_new);
+                        // Bias update (Platt's rules).
+                        let b1 = bias - ei
+                            - yi * (ai_new - ai_old) * k(i, i)
+                            - yj * (aj_new - aj_old) * k(i, j);
+                        let b2 = bias
+                            - errors[j]
+                            - yi * (ai_new - ai_old) * k(i, j)
+                            - yj * (aj_new - aj_old) * k(j, j);
+                        let new_bias = if ai_new > 0.0 && ai_new < config.c {
+                            b1
+                        } else if aj_new > 0.0 && aj_new < config.c {
+                            b2
+                        } else {
+                            (b1 + b2) / 2.0
+                        };
+                        let bias_delta = new_bias - bias;
+                        bias = new_bias;
+                        let (di, dj) = (yi * (ai_new - ai_old), yj * (aj_new - aj_old));
+                        alphas[i] = ai_new;
+                        alphas[j] = aj_new;
+                        // Incremental error-cache update: E tracks f(x) - y
+                        // with f including the bias, so the bias delta
+                        // shifts every entry.
+                        for (t, e) in errors.iter_mut().enumerate() {
+                            *e += di * k(i, t) + dj * k(j, t) + bias_delta;
+                        }
+                        true
+                    }
+                }
+            }};
+        }
+
+        while passes < config.max_passes && iterations < config.max_iterations {
+            let mut changed = 0usize;
+            for i in 0..n {
+                let ei = errors[i];
+                let ri = ei * y[i];
+                // KKT check: violated if (r < -tol and α < C) or (r > tol and α > 0).
+                if !((ri < -config.tolerance && alphas[i] < config.c)
+                    || (ri > config.tolerance && alphas[i] > 0.0))
+                {
+                    continue;
+                }
+                iterations += 1;
+                // Platt's hierarchy of second choices: (1) the j with the
+                // largest |E_i - E_j| gap, (2) every other j in order. The
+                // fallback matters — the max-gap pair can be degenerate
+                // (η ≈ 0 for duplicate points) while another pair makes
+                // progress.
+                let mut best_j = usize::MAX;
+                let mut best_gap = -1.0;
+                for (cand, &e_cand) in errors.iter().enumerate() {
+                    if cand == i {
+                        continue;
+                    }
+                    let gap = (ei - e_cand).abs();
+                    if gap > best_gap {
+                        best_gap = gap;
+                        best_j = cand;
+                    }
+                }
+                let mut made_progress = false;
+                if best_j != usize::MAX && try_pair!(i, best_j) {
+                    made_progress = true;
+                } else {
+                    for j in 0..n {
+                        if j != i && j != best_j && try_pair!(i, j) {
+                            made_progress = true;
+                            break;
+                        }
+                    }
+                }
+                if made_progress {
+                    changed += 1;
+                }
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+
+        BinarySvm {
+            train_indices: train_indices.to_vec(),
+            alphas,
+            labels: y.to_vec(),
+            bias,
+        }
+    }
+
+    /// Decision value `f(x) = Σ αᵢ yᵢ K(trainᵢ, x) + b` for dataset row
+    /// `dataset_index`.
+    pub fn decision(&self, kernel: &KernelMatrix, dataset_index: usize) -> f64 {
+        let mut f = self.bias;
+        for ((&ti, &a), &yi) in self
+            .train_indices
+            .iter()
+            .zip(&self.alphas)
+            .zip(&self.labels)
+        {
+            if a > 0.0 {
+                f += a * yi * kernel.get(ti, dataset_index);
+            }
+        }
+        f
+    }
+
+    /// Predicted label in `{-1, +1}` for dataset row `dataset_index`.
+    pub fn predict(&self, kernel: &KernelMatrix, dataset_index: usize) -> f64 {
+        if self.decision(kernel, dataset_index) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Number of support vectors (`αᵢ > 0`).
+    pub fn n_support_vectors(&self) -> usize {
+        self.alphas.iter().filter(|&&a| a > 1e-12).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmap_kernels::feature_map::SparseVec;
+
+    /// Linearly separable 1-D points embedded as a linear kernel:
+    /// class -1 at {0, 1, 2}, class +1 at {10, 11, 12}.
+    fn separable_kernel() -> (KernelMatrix, Vec<f64>) {
+        let xs = [0.0f32, 1.0, 2.0, 10.0, 11.0, 12.0];
+        let vecs: Vec<SparseVec> = xs
+            .iter()
+            // offset feature keeps the kernel PD and non-degenerate at x=0
+            .map(|&x| SparseVec::from_pairs(vec![(0, x), (1, 1.0)]))
+            .collect();
+        let k = KernelMatrix::linear(&vecs);
+        let y = vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0];
+        (k, y)
+    }
+
+    #[test]
+    fn separates_linear_data() {
+        let (k, y) = separable_kernel();
+        let idx: Vec<usize> = (0..6).collect();
+        let model = BinarySvm::train(&k, &idx, &y, &SmoConfig::default());
+        for (i, &yi) in y.iter().enumerate() {
+            assert_eq!(model.predict(&k, i), yi, "point {i}");
+        }
+        assert!(model.n_support_vectors() >= 2);
+    }
+
+    #[test]
+    fn generalises_to_held_out_points() {
+        let (k, y) = separable_kernel();
+        // Train on 4 points, test on {2, 5}.
+        let train = [0usize, 1, 3, 4];
+        let ty: Vec<f64> = train.iter().map(|&i| y[i]).collect();
+        let model = BinarySvm::train(&k, &train, &ty, &SmoConfig::default());
+        assert_eq!(model.predict(&k, 2), -1.0);
+        assert_eq!(model.predict(&k, 5), 1.0);
+    }
+
+    #[test]
+    fn dual_constraint_holds() {
+        let (k, y) = separable_kernel();
+        let idx: Vec<usize> = (0..6).collect();
+        let model = BinarySvm::train(&k, &idx, &y, &SmoConfig::default());
+        let balance: f64 = model
+            .alphas
+            .iter()
+            .zip(&model.labels)
+            .map(|(&a, &yi)| a * yi)
+            .sum();
+        assert!(balance.abs() < 1e-6, "Σ αᵢyᵢ = {balance}");
+        let c = SmoConfig::default().c;
+        assert!(model.alphas.iter().all(|&a| (-1e-9..=c + 1e-9).contains(&a)));
+    }
+
+    #[test]
+    fn noisy_data_respects_box_constraint() {
+        // One mislabeled point; small C caps its influence.
+        let (k, mut y) = separable_kernel();
+        y[2] = 1.0; // mislabel
+        let idx: Vec<usize> = (0..6).collect();
+        let config = SmoConfig {
+            c: 0.1,
+            ..Default::default()
+        };
+        let model = BinarySvm::train(&k, &idx, &y, &config);
+        assert!(model.alphas.iter().all(|&a| a <= 0.1 + 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be -1 or +1")]
+    fn bad_labels_panic() {
+        let (k, _) = separable_kernel();
+        BinarySvm::train(&k, &[0, 1], &[0.0, 1.0], &SmoConfig::default());
+    }
+
+    #[test]
+    fn degenerate_single_class_is_stable() {
+        let (k, _) = separable_kernel();
+        let idx = [0usize, 1];
+        let model = BinarySvm::train(&k, &idx, &[1.0, 1.0], &SmoConfig::default());
+        // Nothing to separate: all-zero alphas, decision sign is constant.
+        assert_eq!(model.n_support_vectors(), 0);
+        assert_eq!(model.predict(&k, 3), model.predict(&k, 0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the SMO C-SVM.
+
+use deepmap_kernels::feature_map::SparseVec;
+use deepmap_kernels::KernelMatrix;
+use deepmap_svm::{BinarySvm, MulticlassSvm, SmoConfig};
+use proptest::prelude::*;
+
+/// Strategy: two Gaussian-ish separated clusters in 2-D, as a linear kernel
+/// plus labels.
+fn arb_separable() -> impl Strategy<Value = (KernelMatrix, Vec<f64>)> {
+    (
+        proptest::collection::vec((-1.0f32..1.0, -1.0f32..1.0), 3..8),
+        proptest::collection::vec((-1.0f32..1.0, -1.0f32..1.0), 3..8),
+        2.0f32..8.0,
+    )
+        .prop_map(|(neg, pos, gap)| {
+            let mut vecs = Vec::new();
+            let mut labels = Vec::new();
+            for (x, y) in &neg {
+                vecs.push(SparseVec::from_pairs(vec![(0, *x), (1, *y), (2, 1.0)]));
+                labels.push(-1.0);
+            }
+            for (x, y) in &pos {
+                vecs.push(SparseVec::from_pairs(vec![(0, x + gap), (1, y + gap), (2, 1.0)]));
+                labels.push(1.0);
+            }
+            (KernelMatrix::linear(&vecs), labels)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Separable data: training accuracy is perfect and the dual constraint
+    /// Σ αᵢyᵢ = 0 holds.
+    #[test]
+    fn separable_training_is_exact((kernel, labels) in arb_separable()) {
+        let idx: Vec<usize> = (0..labels.len()).collect();
+        let config = SmoConfig { c: 100.0, ..Default::default() };
+        let model = BinarySvm::train(&kernel, &idx, &labels, &config);
+        for (i, &y) in labels.iter().enumerate() {
+            prop_assert_eq!(model.predict(&kernel, i), y, "point {}", i);
+        }
+        let balance: f64 = model
+            .alphas
+            .iter()
+            .zip(&model.labels)
+            .map(|(&a, &y)| a * y)
+            .sum();
+        prop_assert!(balance.abs() < 1e-5, "Σαy = {balance}");
+    }
+
+    /// Box constraint: every α stays within [0, C] for any C.
+    #[test]
+    fn alphas_respect_box((kernel, labels) in arb_separable(), c in 0.01f64..10.0) {
+        let idx: Vec<usize> = (0..labels.len()).collect();
+        let config = SmoConfig { c, ..Default::default() };
+        let model = BinarySvm::train(&kernel, &idx, &labels, &config);
+        prop_assert!(model.alphas.iter().all(|&a| (-1e-9..=c + 1e-9).contains(&a)));
+    }
+
+    /// Decision values are anti-symmetric under label flip: training with
+    /// -y gives the mirrored classifier.
+    #[test]
+    fn label_flip_mirrors_decision((kernel, labels) in arb_separable()) {
+        let idx: Vec<usize> = (0..labels.len()).collect();
+        let config = SmoConfig::default();
+        let model = BinarySvm::train(&kernel, &idx, &labels, &config);
+        let flipped: Vec<f64> = labels.iter().map(|&y| -y).collect();
+        let mirror = BinarySvm::train(&kernel, &idx, &flipped, &config);
+        for i in 0..labels.len() {
+            let d1 = model.decision(&kernel, i);
+            let d2 = mirror.decision(&kernel, i);
+            prop_assert!((d1 + d2).abs() < 1e-4, "{d1} vs {d2}");
+        }
+    }
+
+    /// One-vs-rest reduces to the binary machine's prediction when there
+    /// are two classes.
+    #[test]
+    fn multiclass_two_class_consistent((kernel, labels) in arb_separable()) {
+        let idx: Vec<usize> = (0..labels.len()).collect();
+        let int_labels: Vec<usize> = labels.iter().map(|&y| if y > 0.0 { 1 } else { 0 }).collect();
+        let config = SmoConfig { c: 100.0, ..Default::default() };
+        let model = MulticlassSvm::train(&kernel, &idx, &int_labels, 2, &config);
+        let acc = model.accuracy(&kernel, &idx, &int_labels);
+        prop_assert!((acc - 1.0).abs() < 1e-12, "accuracy {acc}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Kernel playground: inspect graph feature maps and Gram matrices.
+//!
+//! ```text
+//! cargo run --release --example kernel_playground
+//! ```
+//!
+//! Demonstrates the lower layers of the library without any neural
+//! training: build small graphs, extract the three kinds of graph feature
+//! maps (paper §3), verify Eq. 7 (graph map = sum of vertex maps), and
+//! compare all six kernels — GK, SP, WL, DGK, RetGK, GNTK — on the same
+//! pair of graphs.
+
+use deepmap_repro::graph::builder::graph_from_edges;
+use deepmap_repro::graph::Graph;
+use deepmap_repro::kernels::dgk::{self, DgkConfig};
+use deepmap_repro::kernels::gntk::{self, GntkConfig};
+use deepmap_repro::kernels::retgk::{self, RetGkConfig};
+use deepmap_repro::kernels::{
+    graph_feature_maps, kernel_matrix, vertex_feature_maps, FeatureKind,
+};
+
+fn labeled_triangle_with_tail() -> Graph {
+    // A triangle with a pendant vertex: labels are degrees.
+    let g = graph_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)], None).unwrap();
+    let labels: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+    g.with_labels(labels).unwrap()
+}
+
+fn labeled_path4() -> Graph {
+    let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)], None).unwrap();
+    let labels: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+    g.with_labels(labels).unwrap()
+}
+
+fn main() {
+    let graphs = vec![labeled_triangle_with_tail(), labeled_path4()];
+    println!("two 4-vertex graphs: triangle+tail vs path\n");
+
+    // Graph feature maps of the three kernel families (paper §3).
+    for kind in [
+        FeatureKind::Graphlet { size: 3, samples: 30 },
+        FeatureKind::ShortestPath,
+        FeatureKind::WlSubtree { iterations: 2 },
+    ] {
+        let maps = graph_feature_maps(&graphs, kind, 1);
+        println!(
+            "{:<3} feature maps: dims (nnz) = {} and {}; <φ(G1), φ(G2)> = {:.1}",
+            kind.name(),
+            maps[0].nnz(),
+            maps[1].nnz(),
+            maps[0].dot(&maps[1])
+        );
+
+        // Eq. 7: the graph map is the sum of the vertex maps.
+        let vmaps = vertex_feature_maps(&graphs, kind, 1);
+        let summed = vmaps.sum_per_graph();
+        let ratio = if maps[0].total() > 0.0 {
+            summed[0].total() / maps[0].total()
+        } else {
+            0.0
+        };
+        println!(
+            "    Eq. 7 check: Σ_v φ(v) has total mass {:.0} (×{ratio:.0} of the graph map — SP counts each endpoint)",
+            summed[0].total()
+        );
+    }
+
+    // The six Gram matrices, cosine-normalised: report K(G1, G2).
+    println!("\nnormalised similarity K(triangle+tail, path):");
+    for kind in [
+        FeatureKind::Graphlet { size: 3, samples: 30 },
+        FeatureKind::ShortestPath,
+        FeatureKind::WlSubtree { iterations: 2 },
+    ] {
+        let k = kernel_matrix(&graphs, kind, 1);
+        println!("  {:<6} {:.4}", kind.name(), k.get(0, 1));
+    }
+    let k = dgk::kernel_matrix(&graphs, &DgkConfig::default());
+    println!("  DGK    {:.4}", k.get(0, 1));
+    let k = retgk::kernel_matrix(&graphs, &RetGkConfig::default());
+    println!("  RETGK  {:.4}", k.get(0, 1));
+    let k = gntk::kernel_matrix(&graphs, &GntkConfig::default());
+    println!("  GNTK   {:.4}", k.get(0, 1));
+
+    println!("\nall kernels agree the two graphs are similar-but-distinct (0 < K < 1).");
+}

@@ -1,0 +1,75 @@
+//! Molecule classification: the paper's motivating bioinformatics scenario.
+//!
+//! ```text
+//! cargo run --release --example molecule_classification
+//! ```
+//!
+//! Uses the simulated PTC_MR benchmark (carcinogenicity of chemical
+//! compounds on male rats) and compares a flat WL-subtree kernel SVM — the
+//! classical R-convolution approach — against DEEPMAP-WL under the same
+//! 5-fold cross-validation, demonstrating the paper's central claim on a
+//! molecule-shaped workload.
+
+use deepmap_repro::datasets::generate;
+use deepmap_repro::deepmap::{DeepMap, DeepMapConfig};
+use deepmap_repro::eval::cv::{cross_validate_epochs, cross_validate_svm, FoldCurve};
+use deepmap_repro::kernels::{kernel_matrix, FeatureKind};
+use deepmap_repro::nn::train::TrainConfig;
+use deepmap_repro::svm::PAPER_C_GRID;
+
+fn main() {
+    let seed = 7;
+    let folds = 5;
+    let ds = generate("PTC_MR", 0.25, seed).expect("PTC_MR is a registered benchmark");
+    println!(
+        "PTC_MR (simulated): {} molecules, {} classes, avg {:.1} atoms",
+        ds.len(),
+        ds.n_classes,
+        ds.graphs.iter().map(|g| g.n_vertices()).sum::<usize>() as f64 / ds.len() as f64
+    );
+
+    // Classical baseline: WL subtree kernel + C-SVM, C tuned per fold.
+    let kind = FeatureKind::WlSubtree { iterations: 3 };
+    let gram = kernel_matrix(&ds.graphs, kind, seed);
+    let flat = cross_validate_svm(&gram, &ds.labels, ds.n_classes, folds, &PAPER_C_GRID, seed);
+    println!("WL kernel + SVM:  {}", flat.accuracy);
+
+    // DeepMap on the same substructure family.
+    let config = DeepMapConfig {
+        r: 5,
+        max_feature_dim: Some(128),
+        train: TrainConfig {
+            epochs: 25,
+            batch_size: 32,
+            learning_rate: 0.01,
+            seed,
+        },
+        ..DeepMapConfig::paper(kind)
+    };
+    let pipeline = DeepMap::new(config);
+    let prepared = pipeline.prepare(&ds.graphs, &ds.labels);
+    let deep = cross_validate_epochs(&ds.labels, folds, seed, 1, |fold, train, test| {
+        let mut cfg = *pipeline.config();
+        cfg.seed = seed.wrapping_add(fold as u64);
+        cfg.train.seed = cfg.seed;
+        let result = DeepMap::new(cfg).fit_split(&prepared, train, test);
+        FoldCurve {
+            test_accuracy: result
+                .history
+                .iter()
+                .map(|e| e.eval_accuracy.unwrap_or(0.0))
+                .collect(),
+            epoch_seconds: 0.0,
+        }
+    });
+    println!(
+        "DEEPMAP-WL:       {}  (best epoch {:?})",
+        deep.accuracy, deep.best_epoch
+    );
+
+    if deep.accuracy.mean >= flat.accuracy.mean {
+        println!("→ the deep map beats its flat kernel, as in the paper's Table 2.");
+    } else {
+        println!("→ the flat kernel wins at this tiny scale; larger --scale runs recover the paper's ordering.");
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: classify cycles vs. cliques with DeepMap in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the whole pipeline: build labeled graphs, pick a vertex-feature
+//! family (WL subtrees here), prepare the aligned tensors, train the Fig. 4
+//! CNN on a split, and report accuracy.
+
+use deepmap_repro::deepmap::{DeepMap, DeepMapConfig};
+use deepmap_repro::graph::generators::{complete_graph, cycle_graph};
+use deepmap_repro::graph::Graph;
+use deepmap_repro::kernels::FeatureKind;
+use deepmap_repro::nn::train::TrainConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Unlabeled benchmarks use vertex degrees as labels (paper §5.2).
+fn degree_labeled(g: Graph) -> Graph {
+    let labels: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+    g.with_labels(labels).expect("same vertex count")
+}
+
+fn main() {
+    // 1. A tiny two-class dataset: cycles (class 0) vs cliques (class 1).
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..20 {
+        graphs.push(degree_labeled(cycle_graph(6 + i % 4, 0, &mut rng)));
+        labels.push(0);
+        graphs.push(degree_labeled(complete_graph(5 + i % 4, 0, &mut rng)));
+        labels.push(1);
+    }
+
+    // 2. Configure DeepMap: WL-subtree vertex feature maps, receptive
+    //    field r = 3, paper defaults elsewhere.
+    let config = DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: 20,
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: 1,
+        },
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    };
+    let pipeline = DeepMap::new(config);
+
+    // 3. Feature extraction + vertex alignment + receptive-field assembly.
+    let prepared = pipeline.prepare(&graphs, &labels);
+    println!(
+        "prepared {} graphs: w = {}, feature dim m = {}, {} classes",
+        prepared.samples.len(),
+        prepared.w,
+        prepared.m,
+        prepared.n_classes
+    );
+
+    // 4. Train on the first 30 graphs, test on the last 10.
+    let train_idx: Vec<usize> = (0..30).collect();
+    let test_idx: Vec<usize> = (30..40).collect();
+    let result = pipeline.fit_split(&prepared, &train_idx, &test_idx);
+
+    for stats in result.history.iter().step_by(5) {
+        println!(
+            "epoch {:>2}: loss {:.4}, train acc {:.1}%, test acc {:.1}%",
+            stats.epoch,
+            stats.loss,
+            stats.train_accuracy * 100.0,
+            stats.eval_accuracy.unwrap_or(0.0) * 100.0
+        );
+    }
+    println!(
+        "final test accuracy: {:.1}%  (best epoch reached {:.1}%)",
+        result.test_accuracy * 100.0,
+        result.best_test_accuracy * 100.0
+    );
+    assert!(result.best_test_accuracy >= 0.8, "quickstart should separate cycles from cliques");
+}

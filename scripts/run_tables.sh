@@ -1,0 +1,15 @@
+#!/bin/bash
+set -u
+BIN=target/release
+run() {
+  name=$1; shift
+  echo "=== $name: $* ==="
+  local start=$SECONDS
+  "$BIN/$name" "$@" > "results/$name.md" 2> "results/$name.log"
+  echo "--- $name done (exit $?, $((SECONDS - start))s) ---"
+}
+run table2_kernels_vs_deepmap --scale 1.0 --max-graphs 100 --epochs 25 --folds 5
+run table5_runtime --scale 1.0 --max-graphs 80 --epochs 5 --folds 2
+run table3_sota --scale 1.0 --max-graphs 80 --epochs 20 --folds 3
+run table4_gnn_featmaps --scale 1.0 --max-graphs 80 --epochs 20 --folds 3
+echo "ALL TABLES COMPLETE"

@@ -1,0 +1,26 @@
+//! DeepMap reproduction — facade crate.
+//!
+//! Re-exports the workspace crates under one roof so the examples and
+//! integration tests can `use deepmap_repro::…`. See the individual crates
+//! for the substance:
+//!
+//! - [`graph`] — graph substrate (CSR graphs, BFS, APSP, centrality,
+//!   generators).
+//! - [`kernels`] — GK/SP/WL feature maps and the DGK/RetGK/GNTK baselines.
+//! - [`nn`] — the CPU neural-network substrate.
+//! - [`svm`] — SMO C-SVM on precomputed kernels.
+//! - [`deepmap`] — the paper's contribution: CNNs on vertex feature maps.
+//! - [`gnn`] — GIN / DGCNN / DCNN / PATCHY-SAN baselines.
+//! - [`datasets`] — simulated Table-1 benchmarks.
+//! - [`eval`] — cross-validation, metrics, result tables.
+
+#![deny(missing_docs)]
+
+pub use deepmap_core as deepmap;
+pub use deepmap_datasets as datasets;
+pub use deepmap_eval as eval;
+pub use deepmap_gnn as gnn;
+pub use deepmap_graph as graph;
+pub use deepmap_kernels as kernels;
+pub use deepmap_nn as nn;
+pub use deepmap_svm as svm;

@@ -1,0 +1,131 @@
+//! End-to-end integration tests spanning the whole workspace:
+//! dataset generation → feature maps → alignment/receptive fields →
+//! CNN/SVM training → cross-validated accuracy.
+
+use deepmap_repro::datasets::generate;
+use deepmap_repro::deepmap::{DeepMap, DeepMapConfig, Readout};
+use deepmap_repro::eval::cv::{cross_validate_epochs, cross_validate_svm, FoldCurve};
+use deepmap_repro::eval::MeanStd;
+use deepmap_repro::kernels::{kernel_matrix, FeatureKind};
+use deepmap_repro::nn::train::TrainConfig;
+use deepmap_repro::svm::PAPER_C_GRID;
+
+fn quick_config(kind: FeatureKind, epochs: usize, seed: u64) -> DeepMapConfig {
+    DeepMapConfig {
+        r: 3,
+        max_feature_dim: Some(64),
+        train: TrainConfig {
+            epochs,
+            batch_size: 16,
+            learning_rate: 0.01,
+            seed,
+        },
+        ..DeepMapConfig::paper(kind)
+    }
+}
+
+#[test]
+fn deepmap_cv_on_simulated_benchmark_beats_chance() {
+    let ds = generate("PTC_MM", 0.12, 3).expect("registered");
+    let pipeline = DeepMap::new(quick_config(FeatureKind::WlSubtree { iterations: 2 }, 12, 3));
+    let prepared = pipeline.prepare(&ds.graphs, &ds.labels);
+    let summary = cross_validate_epochs(&ds.labels, 3, 3, 1, |fold, train, test| {
+        let mut cfg = *pipeline.config();
+        cfg.seed = fold as u64;
+        cfg.train.seed = fold as u64;
+        let result = DeepMap::new(cfg).fit_split(&prepared, train, test);
+        FoldCurve {
+            test_accuracy: result
+                .history
+                .iter()
+                .map(|e| e.eval_accuracy.unwrap_or(0.0))
+                .collect(),
+            epoch_seconds: 0.0,
+        }
+    });
+    assert!(
+        summary.accuracy.mean > 0.55,
+        "DeepMap should beat chance on a separable benchmark: {}",
+        summary.accuracy
+    );
+    assert_eq!(summary.fold_accuracies.len(), 3);
+    assert!(summary.best_epoch.is_some());
+}
+
+#[test]
+fn kernel_svm_cv_on_simulated_benchmark() {
+    let ds = generate("KKI", 0.4, 5).expect("registered");
+    let gram = kernel_matrix(&ds.graphs, FeatureKind::WlSubtree { iterations: 2 }, 5);
+    let summary = cross_validate_svm(&gram, &ds.labels, ds.n_classes, 4, &PAPER_C_GRID, 5);
+    assert!(
+        summary.accuracy.mean > 0.5,
+        "WL-SVM should beat chance on community-structured classes: {}",
+        summary.accuracy
+    );
+}
+
+#[test]
+fn all_three_feature_kinds_flow_end_to_end() {
+    let ds = generate("PTC_FR", 0.06, 9).expect("registered");
+    for kind in [
+        FeatureKind::Graphlet { size: 3, samples: 8 },
+        FeatureKind::ShortestPath,
+        FeatureKind::WlSubtree { iterations: 1 },
+    ] {
+        let pipeline = DeepMap::new(quick_config(kind, 4, 9));
+        let prepared = pipeline.prepare(&ds.graphs, &ds.labels);
+        let n = prepared.samples.len();
+        let split = n * 3 / 4;
+        let train: Vec<usize> = (0..split).collect();
+        let test: Vec<usize> = (split..n).collect();
+        let result = pipeline.fit_split(&prepared, &train, &test);
+        assert_eq!(result.history.len(), 4);
+        assert!(result.history.iter().all(|e| e.loss.is_finite()));
+        assert!((0.0..=1.0).contains(&result.test_accuracy), "{kind:?}");
+    }
+}
+
+#[test]
+fn concat_readout_trains() {
+    let ds = generate("PTC_FM", 0.05, 4).expect("registered");
+    let mut config = quick_config(FeatureKind::WlSubtree { iterations: 1 }, 4, 4);
+    config.readout = Readout::Concat;
+    let pipeline = DeepMap::new(config);
+    let prepared = pipeline.prepare(&ds.graphs, &ds.labels);
+    let all: Vec<usize> = (0..prepared.samples.len()).collect();
+    let result = pipeline.fit_split(&prepared, &all, &all);
+    assert!(result.history.iter().all(|e| e.loss.is_finite()));
+}
+
+#[test]
+fn deterministic_cv_results_under_fixed_seed() {
+    let ds = generate("PTC_MR", 0.05, 8).expect("registered");
+    let run = || {
+        let pipeline = DeepMap::new(quick_config(FeatureKind::ShortestPath, 5, 8));
+        let prepared = pipeline.prepare(&ds.graphs, &ds.labels);
+        cross_validate_epochs(&ds.labels, 3, 8, 1, |fold, train, test| {
+            let mut cfg = *pipeline.config();
+            cfg.seed = fold as u64;
+            cfg.train.seed = fold as u64;
+            let result = DeepMap::new(cfg).fit_split(&prepared, train, test);
+            FoldCurve {
+                test_accuracy: result
+                    .history
+                    .iter()
+                    .map(|e| e.eval_accuracy.unwrap_or(0.0))
+                    .collect(),
+                epoch_seconds: 0.0,
+            }
+        })
+        .fold_accuracies
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn mean_std_matches_cv_folds() {
+    let values = [0.5, 0.6, 0.7];
+    let agg = MeanStd::of(&values);
+    assert!((agg.mean - 0.6).abs() < 1e-12);
+    assert!(agg.std > 0.0);
+}
