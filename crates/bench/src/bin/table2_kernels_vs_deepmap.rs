@@ -12,13 +12,19 @@
 //!
 //! Extra flag: `--readout sum|concat` for the readout ablation (DESIGN.md
 //! §4 choice 2).
+//!
+//! Completed DeepMap folds are checkpointed to
+//! `results/table2_kernels_vs_deepmap.journal.jsonl`; re-run with
+//! `--resume` to pick up a killed run where it left off.
 
-use deepmap_bench::runner::{deepmap_config, run_deepmap_config, run_flat_kernel};
+use deepmap_bench::runner::{
+    deepmap_config, load_dataset, open_journal, run_deepmap_config_journaled, run_flat_kernel,
+    JournalCell,
+};
 use deepmap_bench::ExperimentArgs;
 use deepmap_core::Readout;
-use deepmap_bench::runner::load_dataset;
 use deepmap_datasets::all_dataset_names;
-use deepmap_eval::tables::ResultTable;
+use deepmap_eval::tables::{Cell, ResultTable};
 use deepmap_kernels::FeatureKind;
 
 fn main() {
@@ -37,6 +43,7 @@ fn main() {
         raw.drain(pos..=pos + 1);
     }
     let args = ExperimentArgs::parse(raw);
+    let journal = open_journal("table2_kernels_vs_deepmap", &args);
 
     let kinds = [
         FeatureKind::paper_graphlet(),
@@ -56,14 +63,31 @@ fn main() {
         for kind in kinds {
             let flat = run_flat_kernel(&ds, kind, &args);
             eprintln!("  {:<3} {}", kind.name(), flat.accuracy);
-            cells.push(Some(flat.accuracy));
+            cells.push(Cell::from_summary(&flat));
             let mut config = deepmap_config(kind, &args);
             config.readout = readout;
-            let deep = run_deepmap_config(&ds, config, &args);
-            eprintln!("  DEEPMAP-{:<3} {} (epoch {:?})", kind.name(), deep.accuracy, deep.best_epoch);
-            cells.push(Some(deep.accuracy));
+            // Keep sum/concat runs from sharing journal keys.
+            let method = match readout {
+                Readout::Sum => format!("DEEPMAP-{}", kind.name()),
+                Readout::Concat => format!("DEEPMAP-{}-CONCAT", kind.name()),
+            };
+            let cell = journal.as_ref().map(|j| JournalCell {
+                journal: j,
+                dataset: name,
+                method: &method,
+            });
+            let deep = run_deepmap_config_journaled(&ds, config, &args, cell);
+            eprintln!(
+                "  DEEPMAP-{:<3} {} (epoch {:?}, {}/{} folds)",
+                kind.name(),
+                deep.accuracy,
+                deep.best_epoch,
+                deep.folds_completed(),
+                deep.folds_total
+            );
+            cells.push(Cell::from_summary(&deep));
         }
-        table.push_row(name, cells);
+        table.push_cells(name, cells);
     }
     println!("\n# Table 2 — flat kernels vs deep maps (scale {}, readout {readout:?})\n", args.scale);
     println!("{}", table.to_markdown());

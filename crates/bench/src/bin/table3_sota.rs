@@ -8,17 +8,46 @@
 //! cargo run --release -p deepmap-bench --bin table3_sota -- \
 //!     --scale 0.1 --epochs 20 --datasets SYNTHIE,KKI
 //! ```
+//!
+//! Neural folds are checkpointed to `results/table3_sota.journal.jsonl`;
+//! re-run with `--resume` to pick up a killed run where it left off.
 
-use deepmap_bench::runner::{run_deepmap, run_dgk, run_gnn, run_gntk, run_retgk, GnnKind};
-use deepmap_bench::ExperimentArgs;
-use deepmap_bench::runner::load_dataset;
+use deepmap_bench::runner::{
+    load_dataset, open_journal, run_deepmap_config_journaled, run_dgk, run_gnn_journaled,
+    run_gntk, run_retgk, deepmap_config, GnnKind, JournalCell,
+};
+use deepmap_bench::{ExperimentArgs, Journal};
 use deepmap_datasets::all_dataset_names;
-use deepmap_eval::tables::ResultTable;
+use deepmap_eval::tables::{Cell, ResultTable};
+use deepmap_eval::CvSummary;
 use deepmap_gnn::GnnInput;
 use deepmap_kernels::FeatureKind;
 
+fn cell_for<'a>(journal: Option<&'a Journal>, dataset: &'a str, method: &'a str) -> Option<JournalCell<'a>> {
+    journal.map(|j| JournalCell {
+        journal: j,
+        dataset,
+        method,
+    })
+}
+
+/// Picks the summary with the best mean accuracy (the paper reports the
+/// best deep map model per dataset).
+fn best_summary(candidates: Vec<CvSummary>) -> CvSummary {
+    candidates
+        .into_iter()
+        .max_by(|a, b| {
+            a.accuracy
+                .mean
+                .partial_cmp(&b.accuracy.mean)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("at least one candidate")
+}
+
 fn main() {
     let args = ExperimentArgs::from_env();
+    let journal = open_journal("table3_sota", &args);
     let mut table = ResultTable::new(vec![
         "DEEPMAP", "DGCNN", "GIN", "DCNN", "PATCHYSAN", "DGK", "RETGK", "GNTK",
     ]);
@@ -29,39 +58,51 @@ fn main() {
         let ds = load_dataset(name, &args).expect("registered name");
         eprintln!("== {name}: {} graphs ==", ds.len());
 
-        // DeepMap: best of the three variants (the paper reports the best
-        // deep map model per dataset).
-        let deepmap = [
+        let variants = [
             FeatureKind::paper_graphlet(),
             FeatureKind::ShortestPath,
             FeatureKind::paper_wl(),
-        ]
-        .into_iter()
-        .map(|k| {
-            let s = run_deepmap(&ds, k, &args);
-            eprintln!("  DEEPMAP-{:<3} {}", k.name(), s.accuracy);
-            s.accuracy
-        })
-        .max_by(|a, b| a.mean.partial_cmp(&b.mean).unwrap_or(std::cmp::Ordering::Equal))
-        .expect("three variants");
+        ];
+        let deepmap = best_summary(
+            variants
+                .into_iter()
+                .map(|k| {
+                    let method = format!("DEEPMAP-{}", k.name());
+                    let s = run_deepmap_config_journaled(
+                        &ds,
+                        deepmap_config(k, &args),
+                        &args,
+                        cell_for(journal.as_ref(), name, &method),
+                    );
+                    eprintln!("  {:<11} {}", method, s.accuracy);
+                    s
+                })
+                .collect(),
+        );
 
-        let mut cells = vec![Some(deepmap)];
+        let mut cells = vec![Cell::from_summary(&deepmap)];
         for kind in GnnKind::all() {
-            let s = run_gnn(&ds, kind, GnnInput::OneHotLabels, &args);
+            let s = run_gnn_journaled(
+                &ds,
+                kind,
+                GnnInput::OneHotLabels,
+                &args,
+                cell_for(journal.as_ref(), name, kind.name()),
+            );
             eprintln!("  {:<9} {}", kind.name(), s.accuracy);
-            cells.push(Some(s.accuracy));
+            cells.push(Cell::from_summary(&s));
         }
         let dgk = run_dgk(&ds, &args);
         eprintln!("  DGK       {}", dgk.accuracy);
-        cells.push(Some(dgk.accuracy));
+        cells.push(Cell::from_summary(&dgk));
         let retgk = run_retgk(&ds, &args);
         eprintln!("  RETGK     {}", retgk.accuracy);
-        cells.push(Some(retgk.accuracy));
+        cells.push(Cell::from_summary(&retgk));
         let gntk = run_gntk(&ds, &args);
         eprintln!("  GNTK      {}", gntk.accuracy);
-        cells.push(Some(gntk.accuracy));
+        cells.push(Cell::from_summary(&gntk));
 
-        table.push_row(name, cells);
+        table.push_cells(name, cells);
     }
     println!("\n# Table 3 — DeepMap vs state of the art (scale {})\n", args.scale);
     println!("{}", table.to_markdown());

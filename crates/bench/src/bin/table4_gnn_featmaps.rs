@@ -8,17 +8,23 @@
 //! cargo run --release -p deepmap-bench --bin table4_gnn_featmaps -- \
 //!     --scale 0.1 --epochs 20 --datasets SYNTHIE,KKI
 //! ```
+//!
+//! Folds are checkpointed to `results/table4_gnn_featmaps.journal.jsonl`;
+//! re-run with `--resume` to pick up a killed run where it left off.
 
-use deepmap_bench::runner::{run_deepmap, run_gnn, GnnKind, DEFAULT_FEATURE_CAP};
+use deepmap_bench::runner::{
+    deepmap_config, load_dataset, open_journal, run_deepmap_config_journaled,
+    run_gnn_journaled, GnnKind, JournalCell, DEFAULT_FEATURE_CAP,
+};
 use deepmap_bench::ExperimentArgs;
-use deepmap_bench::runner::load_dataset;
 use deepmap_datasets::all_dataset_names;
-use deepmap_eval::tables::ResultTable;
+use deepmap_eval::tables::{Cell, ResultTable};
 use deepmap_gnn::GnnInput;
 use deepmap_kernels::FeatureKind;
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    let journal = open_journal("table4_gnn_featmaps", &args);
     // The paper feeds each GNN the same vertex feature maps DeepMap uses;
     // WL maps are the representative choice (they are what DeepMap's best
     // variant uses on most datasets).
@@ -33,15 +39,35 @@ fn main() {
         let ds = load_dataset(name, &args).expect("registered name");
         eprintln!("== {name}: {} graphs ==", ds.len());
 
-        let deepmap = run_deepmap(&ds, featmap, &args);
+        let deepmap = run_deepmap_config_journaled(
+            &ds,
+            deepmap_config(featmap, &args),
+            &args,
+            journal.as_ref().map(|j| JournalCell {
+                journal: j,
+                dataset: name,
+                method: "DEEPMAP-WL",
+            }),
+        );
         eprintln!("  DEEPMAP   {}", deepmap.accuracy);
-        let mut cells = vec![Some(deepmap.accuracy)];
+        let mut cells = vec![Cell::from_summary(&deepmap)];
         for kind in GnnKind::all() {
-            let s = run_gnn(&ds, kind, input, &args);
+            let method = format!("{}-FM", kind.name());
+            let s = run_gnn_journaled(
+                &ds,
+                kind,
+                input,
+                &args,
+                journal.as_ref().map(|j| JournalCell {
+                    journal: j,
+                    dataset: name,
+                    method: &method,
+                }),
+            );
             eprintln!("  {:<9} {}", kind.name(), s.accuracy);
-            cells.push(Some(s.accuracy));
+            cells.push(Cell::from_summary(&s));
         }
-        table.push_row(name, cells);
+        table.push_cells(name, cells);
     }
     println!(
         "\n# Table 4 — GNNs with DeepMap's vertex feature maps as input (scale {})\n",

@@ -10,6 +10,8 @@
 //! --seed <u64>     master seed (default 7)
 //! --full           shorthand for --scale 1.0 --epochs 100
 //! --datasets a,b   restrict to named datasets
+//! --resume         skip folds already recorded in the run journal
+//! --journal PATH   journal location (default results/<experiment>.journal.jsonl)
 //! ```
 
 /// Parsed experiment arguments.
@@ -27,6 +29,12 @@ pub struct ExperimentArgs {
     pub datasets: Option<Vec<String>>,
     /// Hard cap on graphs per dataset after scaling (None = no cap).
     pub max_graphs: Option<usize>,
+    /// Resume from the run journal: skip (dataset, method, fold) cells it
+    /// already records instead of re-training them.
+    pub resume: bool,
+    /// Journal path override; `None` uses
+    /// `results/<experiment>.journal.jsonl`.
+    pub journal: Option<std::path::PathBuf>,
 }
 
 impl Default for ExperimentArgs {
@@ -38,6 +46,8 @@ impl Default for ExperimentArgs {
             seed: 7,
             datasets: None,
             max_graphs: Some(200),
+            resume: false,
+            journal: None,
         }
     }
 }
@@ -69,6 +79,11 @@ impl ExperimentArgs {
                     let list: String = expect_value(&mut it, "--datasets");
                     out.datasets = Some(list.split(',').map(|s| s.trim().to_string()).collect());
                 }
+                "--resume" => out.resume = true,
+                "--journal" => {
+                    let path: String = expect_value(&mut it, "--journal");
+                    out.journal = Some(std::path::PathBuf::from(path));
+                }
                 "--help" | "-h" => {
                     eprintln!("{}", USAGE);
                     std::process::exit(0);
@@ -96,7 +111,7 @@ impl ExperimentArgs {
     }
 }
 
-const USAGE: &str = "usage: <experiment> [--scale F] [--epochs N] [--folds N] [--seed N] [--full] [--datasets a,b,c] [--max-graphs N (0 = uncapped)]";
+const USAGE: &str = "usage: <experiment> [--scale F] [--epochs N] [--folds N] [--seed N] [--full] [--datasets a,b,c] [--max-graphs N (0 = uncapped)] [--resume] [--journal PATH]";
 
 fn expect_value<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, flag: &str) -> T {
     let raw = it.next().unwrap_or_else(|| {
@@ -148,6 +163,16 @@ mod tests {
         assert_eq!(parse(&["--max-graphs", "50"]).max_graphs, Some(50));
         assert_eq!(parse(&["--max-graphs", "0"]).max_graphs, None);
         assert_eq!(parse(&[]).max_graphs, Some(200));
+    }
+
+    #[test]
+    fn resume_and_journal_flags() {
+        let a = parse(&[]);
+        assert!(!a.resume);
+        assert_eq!(a.journal, None);
+        let a = parse(&["--resume", "--journal", "results/custom.jsonl"]);
+        assert!(a.resume);
+        assert_eq!(a.journal, Some(std::path::PathBuf::from("results/custom.jsonl")));
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Append-only run journal: checkpoint/resume for long table runs.
+//!
+//! Every completed (dataset, method, fold) cell is appended to a JSONL
+//! file under `results/` the moment its training finishes, so a killed
+//! run loses at most the folds that were still in flight. Re-running the
+//! same experiment with `--resume` loads the journal and feeds finished
+//! folds back into the CV harness via
+//! `deepmap_eval::cv::CvOptions::precomputed`, skipping their training
+//! entirely.
+//!
+//! Records are keyed on `(dataset, method, fold, folds, epochs, seed)` —
+//! a journal written at different hyper-parameters can never poison a
+//! resumed run. A torn final line (the kill arrived mid-write) is
+//! detected and ignored on load.
+
+use crate::json::Json;
+use deepmap_eval::cv::FoldCurve;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One journaled fold: the experiment cell key plus the fold's curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldRecord {
+    /// Dataset name (e.g. `SYNTHIE`).
+    pub dataset: String,
+    /// Method column (e.g. `DEEPMAP-GK`).
+    pub method: String,
+    /// Fold index in `0..folds`.
+    pub fold: usize,
+    /// Total folds `k` in the run that produced this record.
+    pub folds: usize,
+    /// Training epochs of the run.
+    pub epochs: usize,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Held-out accuracy after each epoch.
+    pub test_accuracy: Vec<f64>,
+    /// Mean wall-clock seconds per epoch.
+    pub epoch_seconds: f64,
+    /// Diverged attempts recovered from during the fold.
+    pub retries: usize,
+}
+
+type Key = (String, String, usize, usize, usize, u64);
+
+impl FoldRecord {
+    fn key(&self) -> Key {
+        (
+            self.dataset.clone(),
+            self.method.clone(),
+            self.fold,
+            self.folds,
+            self.epochs,
+            self.seed,
+        )
+    }
+
+    /// The curve the CV harness consumes.
+    pub fn curve(&self) -> FoldCurve {
+        FoldCurve {
+            test_accuracy: self.test_accuracy.clone(),
+            epoch_seconds: self.epoch_seconds,
+            retries: self.retries,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("dataset".into(), Json::Str(self.dataset.clone())),
+            ("method".into(), Json::Str(self.method.clone())),
+            ("fold".into(), Json::Num(self.fold as f64)),
+            ("folds".into(), Json::Num(self.folds as f64)),
+            ("epochs".into(), Json::Num(self.epochs as f64)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            (
+                "test_accuracy".into(),
+                Json::Arr(self.test_accuracy.iter().map(|&v| Json::Num(v)).collect()),
+            ),
+            ("epoch_seconds".into(), Json::Num(self.epoch_seconds)),
+            ("retries".into(), Json::Num(self.retries as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<FoldRecord> {
+        Some(FoldRecord {
+            dataset: value.get("dataset")?.as_str()?.to_string(),
+            method: value.get("method")?.as_str()?.to_string(),
+            fold: value.get("fold")?.as_u64()? as usize,
+            folds: value.get("folds")?.as_u64()? as usize,
+            epochs: value.get("epochs")?.as_u64()? as usize,
+            seed: value.get("seed")?.as_u64()?,
+            test_accuracy: value
+                .get("test_accuracy")?
+                .as_arr()?
+                .iter()
+                .map(|v| v.as_f64())
+                .collect::<Option<Vec<f64>>>()?,
+            epoch_seconds: value.get("epoch_seconds")?.as_f64()?,
+            retries: value.get("retries")?.as_u64()? as usize,
+        })
+    }
+}
+
+/// The append-only journal. Safe to share across fold worker threads.
+pub struct Journal {
+    file: Mutex<File>,
+    loaded: HashMap<Key, FoldRecord>,
+    skipped_lines: usize,
+}
+
+impl Journal {
+    /// Opens (creating parent directories as needed) the journal at
+    /// `path`. With `resume` set, existing records are loaded for
+    /// [`Journal::precomputed_curves`] lookups and new records are
+    /// appended after them; without it, any existing journal is
+    /// truncated and the run starts clean.
+    pub fn open(path: &Path, resume: bool) -> io::Result<Journal> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut loaded = HashMap::new();
+        let mut skipped_lines = 0usize;
+        if resume && path.exists() {
+            let reader = BufReader::new(File::open(path)?);
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match Json::parse(&line).ok().as_ref().and_then(FoldRecord::from_json) {
+                    Some(rec) => {
+                        loaded.insert(rec.key(), rec);
+                    }
+                    // A torn line from a killed writer, or hand-edited
+                    // garbage: skip it rather than refuse to resume.
+                    None => skipped_lines += 1,
+                }
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(resume)
+            .truncate(!resume)
+            .write(true)
+            .open(path)?;
+        Ok(Journal {
+            file: Mutex::new(file),
+            loaded,
+            skipped_lines,
+        })
+    }
+
+    /// Number of records loaded from an existing journal.
+    pub fn n_loaded(&self) -> usize {
+        self.loaded.len()
+    }
+
+    /// Unparseable lines ignored during load (normally 0; 1 after a kill
+    /// that interrupted a write).
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+
+    /// The journaled curve for one cell, if the fold already completed
+    /// under identical experiment parameters.
+    pub fn completed(
+        &self,
+        dataset: &str,
+        method: &str,
+        fold: usize,
+        folds: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> Option<&FoldRecord> {
+        self.loaded.get(&(
+            dataset.to_string(),
+            method.to_string(),
+            fold,
+            folds,
+            epochs,
+            seed,
+        ))
+    }
+
+    /// Per-fold precomputed curves for a whole cell, shaped for
+    /// `CvOptions::precomputed`.
+    pub fn precomputed_curves(
+        &self,
+        dataset: &str,
+        method: &str,
+        folds: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> Vec<Option<FoldCurve>> {
+        (0..folds)
+            .map(|fold| {
+                self.completed(dataset, method, fold, folds, epochs, seed)
+                    .map(FoldRecord::curve)
+            })
+            .collect()
+    }
+
+    /// Appends one record and flushes it to disk immediately — the whole
+    /// point is surviving a kill right after this call returns.
+    pub fn record(&self, rec: &FoldRecord) -> io::Result<()> {
+        let line = rec.to_json().to_json();
+        let mut file = self.file.lock().expect("journal mutex poisoned");
+        writeln!(file, "{line}")?;
+        file.flush()
+    }
+}
+
+/// The conventional journal location for an experiment binary:
+/// `results/<experiment>.journal.jsonl`.
+pub fn default_journal_path(experiment: &str) -> PathBuf {
+    PathBuf::from("results").join(format!("{experiment}.journal.jsonl"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "deepmap-journal-{tag}-{}",
+            std::process::id()
+        ))
+    }
+
+    fn sample_record(fold: usize) -> FoldRecord {
+        FoldRecord {
+            dataset: "SYNTHIE".into(),
+            method: "DEEPMAP-GK".into(),
+            fold,
+            folds: 3,
+            epochs: 2,
+            seed: 7,
+            test_accuracy: vec![0.5, 0.625],
+            epoch_seconds: 0.125,
+            retries: fold % 2,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_resume() {
+        let path = tmp_path("roundtrip");
+        {
+            let journal = Journal::open(&path, false).unwrap();
+            journal.record(&sample_record(0)).unwrap();
+            journal.record(&sample_record(2)).unwrap();
+        }
+        let journal = Journal::open(&path, true).unwrap();
+        assert_eq!(journal.n_loaded(), 2);
+        assert_eq!(journal.skipped_lines(), 0);
+        assert_eq!(
+            journal.completed("SYNTHIE", "DEEPMAP-GK", 0, 3, 2, 7),
+            Some(&sample_record(0))
+        );
+        let curves = journal.precomputed_curves("SYNTHIE", "DEEPMAP-GK", 3, 2, 7);
+        assert!(curves[0].is_some());
+        assert!(curves[1].is_none());
+        assert_eq!(curves[2].as_ref().unwrap().retries, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn key_mismatch_is_not_resumed() {
+        let path = tmp_path("keys");
+        {
+            let journal = Journal::open(&path, false).unwrap();
+            journal.record(&sample_record(0)).unwrap();
+        }
+        let journal = Journal::open(&path, true).unwrap();
+        // Same cell, different epochs/seed/folds → no hit.
+        assert!(journal.completed("SYNTHIE", "DEEPMAP-GK", 0, 3, 9, 7).is_none());
+        assert!(journal.completed("SYNTHIE", "DEEPMAP-GK", 0, 3, 2, 8).is_none());
+        assert!(journal.completed("SYNTHIE", "DEEPMAP-GK", 0, 5, 2, 7).is_none());
+        assert!(journal.completed("SYNTHIE", "DEEPMAP-SP", 0, 3, 2, 7).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        let path = tmp_path("torn");
+        {
+            let journal = Journal::open(&path, false).unwrap();
+            journal.record(&sample_record(0)).unwrap();
+            journal.record(&sample_record(1)).unwrap();
+        }
+        // Simulate a kill mid-write: chop the file mid-way through the
+        // second record.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let first_len = text.lines().next().unwrap().len();
+        std::fs::write(&path, &text[..first_len + 1 + 20]).unwrap();
+        let journal = Journal::open(&path, true).unwrap();
+        assert_eq!(journal.n_loaded(), 1);
+        assert_eq!(journal.skipped_lines(), 1);
+        assert!(journal.completed("SYNTHIE", "DEEPMAP-GK", 0, 3, 2, 7).is_some());
+        assert!(journal.completed("SYNTHIE", "DEEPMAP-GK", 1, 3, 2, 7).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fresh_open_truncates() {
+        let path = tmp_path("truncate");
+        {
+            let journal = Journal::open(&path, false).unwrap();
+            journal.record(&sample_record(0)).unwrap();
+        }
+        {
+            let journal = Journal::open(&path, false).unwrap();
+            assert_eq!(journal.n_loaded(), 0);
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let path = tmp_path("concurrent");
+        let journal = Journal::open(&path, false).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let journal = &journal;
+                scope.spawn(move || {
+                    for i in 0..5 {
+                        journal.record(&sample_record(t * 5 + i)).unwrap();
+                    }
+                });
+            }
+        });
+        drop(journal);
+        let reloaded = Journal::open(&path, true).unwrap();
+        assert_eq!(reloaded.n_loaded(), 20);
+        assert_eq!(reloaded.skipped_lines(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -7,6 +7,9 @@
 #![deny(missing_docs)]
 
 pub mod cli;
+pub mod journal;
+pub mod json;
 pub mod runner;
 
 pub use cli::ExperimentArgs;
+pub use journal::{default_journal_path, FoldRecord, Journal};

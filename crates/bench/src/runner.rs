@@ -2,9 +2,12 @@
 //! the paper's cross-validation protocol.
 
 use crate::cli::ExperimentArgs;
-use deepmap_core::{DeepMap, DeepMapConfig, Readout, VertexOrdering};
+use crate::journal::{default_journal_path, FoldRecord, Journal};
+use deepmap_core::{DeepMap, DeepMapConfig, Readout, RecoveryConfig, VertexOrdering};
 use deepmap_datasets::GraphDataset;
-use deepmap_eval::cv::{cross_validate_epochs, cross_validate_svm, CvSummary, FoldCurve};
+use deepmap_eval::cv::{
+    cross_validate_epochs_with, cross_validate_svm, CvOptions, CvSummary, FoldCurve,
+};
 use deepmap_gnn::dcnn::{Dcnn, DcnnConfig};
 use deepmap_gnn::dgcnn::{Dgcnn, DgcnnConfig};
 use deepmap_gnn::gin::{Gin, GinConfig};
@@ -69,6 +72,57 @@ pub fn fold_threads(folds: usize) -> usize {
         .max(1)
 }
 
+/// A (journal, dataset, method) triple identifying one table cell, so fold
+/// workers can checkpoint into — and resume from — the run journal.
+#[derive(Clone, Copy)]
+pub struct JournalCell<'a> {
+    /// The open run journal.
+    pub journal: &'a Journal,
+    /// Dataset row name.
+    pub dataset: &'a str,
+    /// Method column name.
+    pub method: &'a str,
+}
+
+/// Opens the experiment's run journal as configured by `args` (`--journal`
+/// overrides the `results/<experiment>.journal.jsonl` default; `--resume`
+/// loads previously completed folds instead of truncating).
+///
+/// Returns `None` — and the experiment runs unjournaled — when the path
+/// cannot be opened, so a read-only filesystem degrades checkpointing
+/// rather than killing the run.
+pub fn open_journal(experiment: &str, args: &ExperimentArgs) -> Option<Journal> {
+    let path = args
+        .journal
+        .clone()
+        .unwrap_or_else(|| default_journal_path(experiment));
+    match Journal::open(&path, args.resume) {
+        Ok(journal) => {
+            if args.resume {
+                eprintln!(
+                    "resuming from {}: {} fold(s) already recorded",
+                    path.display(),
+                    journal.n_loaded()
+                );
+                if journal.skipped_lines() > 0 {
+                    eprintln!(
+                        "warning: ignored {} corrupt journal line(s)",
+                        journal.skipped_lines()
+                    );
+                }
+            }
+            Some(journal)
+        }
+        Err(e) => {
+            eprintln!(
+                "warning: cannot open journal {}: {e}; running without checkpoints",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
 /// DeepMap under k-fold CV with the paper's epoch-selection protocol.
 pub fn run_deepmap(ds: &GraphDataset, kind: FeatureKind, args: &ExperimentArgs) -> CvSummary {
     run_deepmap_config(ds, deepmap_config(kind, args), args)
@@ -101,30 +155,88 @@ pub fn run_deepmap_config(
     config: DeepMapConfig,
     args: &ExperimentArgs,
 ) -> CvSummary {
+    run_deepmap_config_journaled(ds, config, args, None)
+}
+
+/// [`run_deepmap_config`] with checkpoint/resume: folds already present in
+/// the journal are skipped, and every freshly trained fold is appended the
+/// moment it finishes. Diverging folds retry under
+/// [`RecoveryConfig::default`] (halved LR, reseeded init); a fold that
+/// exhausts its retries is isolated by the CV harness and reported in
+/// [`CvSummary::failures`].
+pub fn run_deepmap_config_journaled(
+    ds: &GraphDataset,
+    config: DeepMapConfig,
+    args: &ExperimentArgs,
+    cell: Option<JournalCell<'_>>,
+) -> CvSummary {
+    let epochs = config.train.epochs;
     let pipeline = DeepMap::new(config);
     let prepared = pipeline.prepare(&ds.graphs, &ds.labels);
-    cross_validate_epochs(
-        &ds.labels,
-        args.folds,
-        args.seed,
-        fold_threads(args.folds),
-        |fold, train, test| {
-            let mut cfg = *pipeline.config();
-            cfg.seed = args.seed.wrapping_add(fold as u64);
-            cfg.train.seed = cfg.seed;
-            let fold_pipeline = DeepMap::new(cfg);
-            // Rebuild only the model per fold; tensors are shared.
-            let result = fold_pipeline.fit_split(&prepared, train, test);
-            FoldCurve {
-                test_accuracy: result
-                    .history
-                    .iter()
-                    .map(|e| e.eval_accuracy.unwrap_or(0.0))
-                    .collect(),
-                epoch_seconds: mean_epoch_seconds(&result.history),
+    let train_fold = |fold: usize, train: &[usize], test: &[usize]| {
+        let mut cfg = *pipeline.config();
+        cfg.seed = args.seed.wrapping_add(fold as u64);
+        cfg.train.seed = cfg.seed;
+        let fold_pipeline = DeepMap::new(cfg);
+        // Rebuild only the model per fold; tensors are shared.
+        let result = fold_pipeline
+            .try_fit_split_with(&prepared, train, test, &RecoveryConfig::default())
+            .unwrap_or_else(|e| panic!("fold {fold}: {e}"));
+        FoldCurve {
+            test_accuracy: result
+                .history
+                .iter()
+                .map(|e| e.eval_accuracy.unwrap_or(0.0))
+                .collect(),
+            epoch_seconds: mean_epoch_seconds(&result.history),
+            retries: result.retries,
+        }
+    };
+    run_journaled_cv(ds, args, epochs, cell, train_fold)
+}
+
+/// Shared journal plumbing for the epoch-tracked runners: loads completed
+/// folds as `precomputed` curves and appends fresh ones via `on_fold`.
+fn run_journaled_cv<F>(
+    ds: &GraphDataset,
+    args: &ExperimentArgs,
+    epochs: usize,
+    cell: Option<JournalCell<'_>>,
+    train_fold: F,
+) -> CvSummary
+where
+    F: Fn(usize, &[usize], &[usize]) -> FoldCurve + Sync,
+{
+    let precomputed = cell
+        .map(|c| {
+            c.journal
+                .precomputed_curves(c.dataset, c.method, args.folds, epochs, args.seed)
+        })
+        .unwrap_or_default();
+    let recorder = move |fold: usize, curve: &FoldCurve| {
+        if let Some(c) = cell {
+            let record = FoldRecord {
+                dataset: c.dataset.to_string(),
+                method: c.method.to_string(),
+                fold,
+                folds: args.folds,
+                epochs,
+                seed: args.seed,
+                test_accuracy: curve.test_accuracy.clone(),
+                epoch_seconds: curve.epoch_seconds,
+                retries: curve.retries,
+            };
+            if let Err(e) = c.journal.record(&record) {
+                eprintln!("warning: journal write failed for fold {fold}: {e}");
             }
-        },
-    )
+        }
+    };
+    let options = CvOptions {
+        threads: fold_threads(args.folds),
+        precomputed,
+        on_fold: Some(&recorder),
+    };
+    cross_validate_epochs_with(&ds.labels, args.folds, args.seed, &options, train_fold)
 }
 
 fn mean_epoch_seconds(history: &[deepmap_nn::train::EpochStats]) -> f64 {
@@ -207,37 +319,44 @@ pub fn run_gnn(
     input: GnnInput,
     args: &ExperimentArgs,
 ) -> CvSummary {
+    run_gnn_journaled(ds, kind, input, args, None)
+}
+
+/// [`run_gnn`] with checkpoint/resume through the run journal.
+pub fn run_gnn_journaled(
+    ds: &GraphDataset,
+    kind: GnnKind,
+    input: GnnInput,
+    args: &ExperimentArgs,
+    cell: Option<JournalCell<'_>>,
+) -> CvSummary {
     let (samples, m) = common::featurize(&ds.graphs, &ds.labels, input, args.seed);
     let avg_n = avg_nodes(ds);
-    cross_validate_epochs(
-        &ds.labels,
-        args.folds,
-        args.seed,
-        fold_threads(args.folds),
-        |fold, train, test| {
-            let mut model = build_gnn(kind, m, ds.n_classes, avg_n, args.seed.wrapping_add(fold as u64));
-            let train_samples: Vec<GraphSample> = train.iter().map(|&i| samples[i].clone()).collect();
-            let test_samples: Vec<GraphSample> = test.iter().map(|&i| samples[i].clone()).collect();
-            let history = fit_gnn(
-                model.as_mut(),
-                &train_samples,
-                Some(&test_samples),
-                &GnnTrainConfig {
-                    epochs: args.epochs,
-                    batch_size: 32,
-                    learning_rate: 0.01,
-                    seed: args.seed.wrapping_add(fold as u64),
-                },
-            );
-            FoldCurve {
-                test_accuracy: history
-                    .iter()
-                    .map(|e| e.eval_accuracy.unwrap_or(0.0))
-                    .collect(),
-                epoch_seconds: mean_epoch_seconds(&history),
-            }
-        },
-    )
+    let train_fold = |fold: usize, train: &[usize], test: &[usize]| {
+        let mut model = build_gnn(kind, m, ds.n_classes, avg_n, args.seed.wrapping_add(fold as u64));
+        let train_samples: Vec<GraphSample> = train.iter().map(|&i| samples[i].clone()).collect();
+        let test_samples: Vec<GraphSample> = test.iter().map(|&i| samples[i].clone()).collect();
+        let history = fit_gnn(
+            model.as_mut(),
+            &train_samples,
+            Some(&test_samples),
+            &GnnTrainConfig {
+                epochs: args.epochs,
+                batch_size: 32,
+                learning_rate: 0.01,
+                seed: args.seed.wrapping_add(fold as u64),
+            },
+        );
+        FoldCurve {
+            test_accuracy: history
+                .iter()
+                .map(|e| e.eval_accuracy.unwrap_or(0.0))
+                .collect(),
+            epoch_seconds: mean_epoch_seconds(&history),
+            retries: 0,
+        }
+    };
+    run_journaled_cv(ds, args, args.epochs, cell, train_fold)
 }
 
 /// Per-epoch *training* accuracy curves (the paper's Figures 6–7): trains

@@ -19,6 +19,7 @@ fn micro_args() -> ExperimentArgs {
         seed: 1,
         datasets: None,
         max_graphs: Some(12),
+        ..ExperimentArgs::default()
     }
 }
 

@@ -1,6 +1,7 @@
 //! Tensor assembly: vertex sequences + receptive fields → CNN inputs.
 
 use crate::alignment::{vertex_sequence, VertexOrdering};
+use crate::error::DeepMapError;
 use crate::receptive_field::{sequence_receptive_fields, Slot};
 use deepmap_graph::Graph;
 use deepmap_kernels::feature_map::DatasetFeatureMaps;
@@ -88,13 +89,48 @@ pub fn assemble_graph(
 /// line 8).
 ///
 /// # Panics
-/// Panics when `graphs.len() != features.maps.len()`.
+/// Panics when `graphs.len() != features.maps.len()`. Use
+/// [`try_assemble_dataset`] for a fallible version that also validates the
+/// configuration.
 pub fn assemble_dataset(
     graphs: &[Graph],
     features: &DatasetFeatureMaps,
     config: &AssembleConfig,
 ) -> AssembledDataset {
     assert_eq!(graphs.len(), features.n_graphs(), "graph/feature count mismatch");
+    assemble_dataset_unchecked(graphs, features, config)
+}
+
+/// Validating variant of [`assemble_dataset`]: rejects empty datasets,
+/// graph/feature-map count mismatches, and `r == 0` with a typed error
+/// instead of panicking or producing degenerate tensors.
+pub fn try_assemble_dataset(
+    graphs: &[Graph],
+    features: &DatasetFeatureMaps,
+    config: &AssembleConfig,
+) -> Result<AssembledDataset, DeepMapError> {
+    if graphs.is_empty() {
+        return Err(DeepMapError::EmptyDataset);
+    }
+    if graphs.len() != features.n_graphs() {
+        return Err(DeepMapError::FeatureCountMismatch {
+            graphs: graphs.len(),
+            feature_maps: features.n_graphs(),
+        });
+    }
+    if config.r == 0 {
+        return Err(DeepMapError::InvalidConfig(
+            "receptive-field size r must be at least 1".to_string(),
+        ));
+    }
+    Ok(assemble_dataset_unchecked(graphs, features, config))
+}
+
+fn assemble_dataset_unchecked(
+    graphs: &[Graph],
+    features: &DatasetFeatureMaps,
+    config: &AssembleConfig,
+) -> AssembledDataset {
     let w = graphs.iter().map(|g| g.n_vertices()).max().unwrap_or(0).max(1);
     let m = features.dim.max(1);
     let inputs = graphs
@@ -197,6 +233,34 @@ mod tests {
         let b = assemble_dataset(&graphs, &features, &config);
         assert_eq!(a.inputs[0], b.inputs[0]);
         assert_eq!(a.inputs[1], b.inputs[1]);
+    }
+
+    #[test]
+    fn try_assemble_rejects_bad_inputs() {
+        let graphs = two_graphs();
+        let features = vertex_feature_maps(&graphs, FeatureKind::ShortestPath, 0);
+        // Count mismatch.
+        let err = try_assemble_dataset(&graphs[..1], &features, &AssembleConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, DeepMapError::FeatureCountMismatch { .. }), "{err}");
+        // r == 0.
+        let err = try_assemble_dataset(
+            &graphs,
+            &features,
+            &AssembleConfig {
+                r: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DeepMapError::InvalidConfig(_)), "{err}");
+        // Empty dataset.
+        let empty_maps = vertex_feature_maps(&[], FeatureKind::ShortestPath, 0);
+        let err = try_assemble_dataset(&[], &empty_maps, &AssembleConfig::default()).unwrap_err();
+        assert_eq!(err, DeepMapError::EmptyDataset);
+        // Valid input still assembles.
+        let ok = try_assemble_dataset(&graphs, &features, &AssembleConfig::default()).unwrap();
+        assert_eq!(ok.inputs.len(), 2);
     }
 
     #[test]

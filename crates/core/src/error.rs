@@ -1,0 +1,162 @@
+//! Typed errors for the DeepMap pipeline.
+//!
+//! The seed implementation panicked on bad shapes, empty datasets, and
+//! diverging training runs — acceptable for a demo, fatal for a harness
+//! that must survive a 10-fold × 15-dataset × 8-method table run. Every
+//! fallible pipeline entry point (`try_prepare`, `try_fit_split`,
+//! `try_assemble_dataset`) returns this enum instead; the panicking
+//! wrappers remain for callers that validated their inputs already.
+
+use deepmap_nn::train::TrainError;
+use std::fmt;
+
+/// Everything that can go wrong preparing or fitting a DeepMap pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeepMapError {
+    /// The dataset had no graphs.
+    EmptyDataset,
+    /// `graphs.len() != labels.len()`.
+    LengthMismatch {
+        /// Number of graphs supplied.
+        graphs: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// `graphs.len() != feature_maps.len()` during tensor assembly.
+    FeatureCountMismatch {
+        /// Number of graphs supplied.
+        graphs: usize,
+        /// Number of per-graph feature maps supplied.
+        feature_maps: usize,
+    },
+    /// Class ids have gaps: `n_classes` is inferred as `max label + 1`, so
+    /// a label set like `{0, 2}` would silently inflate the softmax head
+    /// with a class no sample can ever take.
+    NonContiguousLabels {
+        /// The smallest class id in `0..n_classes` with no samples.
+        missing_class: usize,
+        /// `max label + 1`.
+        n_classes: usize,
+    },
+    /// A configuration value was unusable (e.g. `r == 0`).
+    InvalidConfig(
+        /// What was wrong.
+        String,
+    ),
+    /// A train/test split was empty.
+    EmptySplit {
+        /// Which split (`"train"` or `"test"`).
+        split: &'static str,
+    },
+    /// A split index referenced a sample outside the prepared dataset.
+    IndexOutOfRange {
+        /// Which split (`"train"` or `"test"`).
+        split: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of prepared samples.
+        len: usize,
+    },
+    /// Training diverged on every attempt, retries included.
+    TrainingFailed {
+        /// How many attempts were made (1 + retries).
+        attempts: usize,
+        /// The last attempt's [`TrainError`], rendered.
+        last_error: String,
+    },
+}
+
+impl fmt::Display for DeepMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeepMapError::EmptyDataset => write!(f, "empty dataset"),
+            DeepMapError::LengthMismatch { graphs, labels } => write!(
+                f,
+                "graph/label count mismatch: {graphs} graphs vs {labels} labels"
+            ),
+            DeepMapError::FeatureCountMismatch { graphs, feature_maps } => write!(
+                f,
+                "graph/feature count mismatch: {graphs} graphs vs {feature_maps} feature maps"
+            ),
+            DeepMapError::NonContiguousLabels { missing_class, n_classes } => write!(
+                f,
+                "non-contiguous class labels: class {missing_class} has no samples but the \
+                 maximum label implies {n_classes} classes"
+            ),
+            DeepMapError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DeepMapError::EmptySplit { split } => write!(f, "{split} split is empty"),
+            DeepMapError::IndexOutOfRange { split, index, len } => write!(
+                f,
+                "{split} index {index} out of range for {len} prepared samples"
+            ),
+            DeepMapError::TrainingFailed { attempts, last_error } => write!(
+                f,
+                "training failed after {attempts} attempt(s): {last_error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeepMapError {}
+
+impl DeepMapError {
+    /// Wraps the last [`TrainError`] of an exhausted retry loop.
+    pub fn training_failed(attempts: usize, last: &TrainError) -> Self {
+        DeepMapError::TrainingFailed {
+            attempts,
+            last_error: last.to_string(),
+        }
+    }
+}
+
+/// Validates that `labels` form a contiguous `0..n_classes` set and returns
+/// `n_classes`.
+///
+/// Gap detection is exact: every class in `0..=max` must have at least one
+/// sample. The caller guarantees `labels` is non-empty.
+pub fn validate_contiguous_labels(labels: &[usize]) -> Result<usize, DeepMapError> {
+    let max = labels.iter().copied().max().unwrap_or(0);
+    let n_classes = max + 1;
+    let mut present = vec![false; n_classes];
+    for &l in labels {
+        present[l] = true;
+    }
+    if let Some(missing_class) = present.iter().position(|&p| !p) {
+        return Err(DeepMapError::NonContiguousLabels { missing_class, n_classes });
+    }
+    Ok(n_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_labels_accepted() {
+        assert_eq!(validate_contiguous_labels(&[0, 1, 2, 1, 0]), Ok(3));
+        assert_eq!(validate_contiguous_labels(&[0, 0, 0]), Ok(1));
+    }
+
+    #[test]
+    fn gapped_labels_rejected() {
+        let err = validate_contiguous_labels(&[0, 2, 2]).unwrap_err();
+        assert_eq!(
+            err,
+            DeepMapError::NonContiguousLabels { missing_class: 1, n_classes: 3 }
+        );
+        assert!(err.to_string().contains("class 1"));
+    }
+
+    #[test]
+    fn display_keeps_legacy_panic_messages() {
+        // `DeepMap::prepare` panics with these Display strings; downstream
+        // `should_panic(expected = ...)` tests match on the prefixes.
+        assert!(DeepMapError::LengthMismatch { graphs: 2, labels: 1 }
+            .to_string()
+            .contains("graph/label count mismatch"));
+        assert_eq!(DeepMapError::EmptyDataset.to_string(), "empty dataset");
+        assert!(DeepMapError::FeatureCountMismatch { graphs: 1, feature_maps: 2 }
+            .to_string()
+            .contains("graph/feature count mismatch"));
+    }
+}

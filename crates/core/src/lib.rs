@@ -30,10 +30,12 @@
 pub mod alignment;
 pub mod assemble;
 pub mod embedding;
+pub mod error;
 pub mod model;
 pub mod pipeline;
 pub mod receptive_field;
 
 pub use alignment::VertexOrdering;
+pub use error::DeepMapError;
 pub use model::{build_deepmap_model, ModelConfig, Readout};
-pub use pipeline::{DeepMap, DeepMapConfig};
+pub use pipeline::{DeepMap, DeepMapConfig, FitResult, PreparedDataset, RecoveryConfig};

@@ -4,13 +4,20 @@
 //! CNN training`. The pipeline prepares a dataset once and can then train
 //! and evaluate on arbitrary index splits, which is what the 10-fold
 //! cross-validation harness needs.
+//!
+//! Robustness: every entry point has a `try_*` variant returning
+//! [`DeepMapError`] instead of panicking, and [`DeepMap::try_fit_split_with`]
+//! recovers from diverging training runs (NaN/Inf loss, exploding
+//! gradients) by retrying the fold with a halved learning rate and a
+//! reseeded initialisation — bounded by [`RecoveryConfig::max_retries`].
 
-use crate::assemble::{assemble_dataset, AssembleConfig};
+use crate::assemble::{try_assemble_dataset, AssembleConfig};
+use crate::error::{validate_contiguous_labels, DeepMapError};
 use crate::model::{build_deepmap_model, ModelConfig, Readout};
 use crate::VertexOrdering;
 use deepmap_graph::Graph;
 use deepmap_kernels::{vertex_feature_maps, FeatureKind};
-use deepmap_nn::train::{evaluate, fit, EpochStats, Sample, TrainConfig};
+use deepmap_nn::train::{evaluate, try_fit, EpochStats, GuardConfig, Sample, TrainConfig};
 use deepmap_nn::Sequential;
 
 /// Full pipeline configuration.
@@ -57,6 +64,30 @@ impl DeepMapConfig {
     }
 }
 
+/// How [`DeepMap::try_fit_split_with`] recovers from diverging folds.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// Maximum number of retries after the first failed attempt.
+    pub max_retries: usize,
+    /// Multiplier applied to the learning rate on every retry (the classic
+    /// divergence mitigation: halve and try again).
+    pub lr_backoff: f32,
+    /// Divergence guards applied to every attempt. The fault-injection
+    /// field, if set, only applies to the *first* attempt so tests can
+    /// simulate a transient divergence that the retry recovers from.
+    pub guard: GuardConfig,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            max_retries: 2,
+            lr_backoff: 0.5,
+            guard: GuardConfig::default(),
+        }
+    }
+}
+
 /// A dataset that has been pushed through feature extraction and tensor
 /// assembly and is ready for training on any index split.
 pub struct PreparedDataset {
@@ -66,7 +97,7 @@ pub struct PreparedDataset {
     pub w: usize,
     /// Feature dimension `m` after optional truncation.
     pub m: usize,
-    /// Number of classes (max label + 1).
+    /// Number of classes (max label + 1; labels are validated contiguous).
     pub n_classes: usize,
 }
 
@@ -82,6 +113,11 @@ pub struct FitResult {
     /// protocol picks the best epoch on CV average; per-fold curves are
     /// combined by the harness).
     pub best_test_accuracy: f64,
+    /// Number of diverged attempts before this (successful) one. `0` means
+    /// the first attempt converged.
+    pub retries: usize,
+    /// Human-readable description of each diverged attempt, in order.
+    pub divergences: Vec<String>,
 }
 
 /// The DeepMap classifier (paper Algorithm 1).
@@ -104,15 +140,38 @@ impl DeepMap {
     /// 1–20).
     ///
     /// # Panics
-    /// Panics when `graphs.len() != labels.len()` or the dataset is empty.
+    /// Panics when the inputs are invalid (count mismatch, empty dataset,
+    /// non-contiguous labels). Use [`DeepMap::try_prepare`] for a fallible
+    /// version.
     pub fn prepare(&self, graphs: &[Graph], labels: &[usize]) -> PreparedDataset {
-        assert_eq!(graphs.len(), labels.len(), "graph/label count mismatch");
-        assert!(!graphs.is_empty(), "empty dataset");
+        self.try_prepare(graphs, labels)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`DeepMap::prepare`]: validates that graph and label counts
+    /// match, the dataset is non-empty, the receptive-field size is usable,
+    /// and the class labels are a contiguous `0..n_classes` set (a gap
+    /// would silently inflate the softmax head with dead classes).
+    pub fn try_prepare(
+        &self,
+        graphs: &[Graph],
+        labels: &[usize],
+    ) -> Result<PreparedDataset, DeepMapError> {
+        if graphs.len() != labels.len() {
+            return Err(DeepMapError::LengthMismatch {
+                graphs: graphs.len(),
+                labels: labels.len(),
+            });
+        }
+        if graphs.is_empty() {
+            return Err(DeepMapError::EmptyDataset);
+        }
+        let n_classes = validate_contiguous_labels(labels)?;
         let mut features = vertex_feature_maps(graphs, self.config.kind, self.config.seed);
         if let Some(k) = self.config.max_feature_dim {
             features = features.truncate_top_k(k);
         }
-        let assembled = assemble_dataset(
+        let assembled = try_assemble_dataset(
             graphs,
             &features,
             &AssembleConfig {
@@ -121,24 +180,29 @@ impl DeepMap {
                 max_hops: self.config.max_hops,
                 normalize: self.config.normalize,
             },
-        );
-        let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        )?;
         let samples = assembled
             .inputs
             .into_iter()
             .zip(labels)
             .map(|(input, &label)| Sample { input, label })
             .collect();
-        PreparedDataset {
+        Ok(PreparedDataset {
             samples,
             w: assembled.w,
             m: assembled.m,
             n_classes,
-        }
+        })
     }
 
     /// Builds the CNN for a prepared dataset.
     pub fn build_model(&self, prepared: &PreparedDataset) -> Sequential {
+        self.build_model_seeded(prepared, self.config.seed)
+    }
+
+    /// Builds the CNN with an explicit initialisation seed (used by the
+    /// divergence-recovery retry loop to reseed the weights).
+    fn build_model_seeded(&self, prepared: &PreparedDataset, seed: u64) -> Sequential {
         build_deepmap_model(&ModelConfig {
             m: prepared.m,
             r: self.config.r,
@@ -148,18 +212,56 @@ impl DeepMap {
             dense_units: 128,
             dropout: 0.5,
             readout: self.config.readout,
-            seed: self.config.seed,
+            seed,
         })
     }
 
     /// Trains on `train_idx` and evaluates on `test_idx` (Algorithm 1 line
     /// 21 for one CV fold).
+    ///
+    /// # Panics
+    /// Panics on invalid splits or unrecoverable divergence. Use
+    /// [`DeepMap::try_fit_split`] for a fallible version.
     pub fn fit_split(
         &self,
         prepared: &PreparedDataset,
         train_idx: &[usize],
         test_idx: &[usize],
     ) -> FitResult {
+        self.try_fit_split(prepared, train_idx, test_idx)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`DeepMap::fit_split`] with the default
+    /// [`RecoveryConfig`]: validates the splits, then trains with
+    /// divergence guards, retrying a diverged fold up to twice with a
+    /// halved learning rate and reseeded weights.
+    pub fn try_fit_split(
+        &self,
+        prepared: &PreparedDataset,
+        train_idx: &[usize],
+        test_idx: &[usize],
+    ) -> Result<FitResult, DeepMapError> {
+        self.try_fit_split_with(prepared, train_idx, test_idx, &RecoveryConfig::default())
+    }
+
+    /// [`DeepMap::try_fit_split`] with an explicit recovery policy.
+    ///
+    /// Attempt 0 reproduces [`DeepMap::fit_split`]'s seeds bit-for-bit, so
+    /// a run that never diverges is identical to the legacy behaviour.
+    /// Each retry multiplies the learning rate by
+    /// [`RecoveryConfig::lr_backoff`] and derives fresh model/shuffle
+    /// seeds, which is the recovery the paper's long CV runs need: a NaN
+    /// loss costs one fold attempt, not the whole table.
+    pub fn try_fit_split_with(
+        &self,
+        prepared: &PreparedDataset,
+        train_idx: &[usize],
+        test_idx: &[usize],
+        recovery: &RecoveryConfig,
+    ) -> Result<FitResult, DeepMapError> {
+        validate_split(train_idx, "train", prepared.samples.len())?;
+        validate_split(test_idx, "test", prepared.samples.len())?;
         let train_samples: Vec<Sample> = train_idx
             .iter()
             .map(|&i| prepared.samples[i].clone())
@@ -168,25 +270,76 @@ impl DeepMap {
             .iter()
             .map(|&i| prepared.samples[i].clone())
             .collect();
-        let mut model = self.build_model(prepared);
-        let history = fit(
-            &mut model,
-            &train_samples,
-            Some(&test_samples),
-            &self.config.train,
-        );
-        let test_accuracy = evaluate(&mut model, &test_samples);
-        let best_test_accuracy = history
-            .iter()
-            .filter_map(|e| e.eval_accuracy)
-            .fold(0.0f64, f64::max);
-        FitResult {
-            model,
-            history,
-            test_accuracy,
-            best_test_accuracy,
+
+        let mut divergences = Vec::new();
+        let mut last_error = None;
+        for attempt in 0..=recovery.max_retries {
+            // Attempt 0 uses the configured seeds untouched; retries mix the
+            // attempt number in so the reseeded init explores new weights.
+            let model_seed = reseed(self.config.seed, attempt);
+            let mut train_cfg = self.config.train;
+            train_cfg.seed = reseed(self.config.train.seed, attempt);
+            train_cfg.learning_rate =
+                self.config.train.learning_rate * recovery.lr_backoff.powi(attempt as i32);
+            let mut guard = recovery.guard;
+            if attempt > 0 {
+                // Injected faults model a transient first-attempt failure.
+                guard.inject_nan_at_epoch = None;
+            }
+            let mut model = self.build_model_seeded(prepared, model_seed);
+            match try_fit(&mut model, &train_samples, Some(&test_samples), &train_cfg, &guard) {
+                Ok(history) => {
+                    let test_accuracy = evaluate(&mut model, &test_samples)
+                        .expect("test split validated non-empty");
+                    let best_test_accuracy = history
+                        .iter()
+                        .filter_map(|e| e.eval_accuracy)
+                        .fold(0.0f64, f64::max);
+                    return Ok(FitResult {
+                        model,
+                        history,
+                        test_accuracy,
+                        best_test_accuracy,
+                        retries: attempt,
+                        divergences,
+                    });
+                }
+                Err(e) => {
+                    divergences.push(format!(
+                        "attempt {attempt} (lr {:.3e}): {e}",
+                        train_cfg.learning_rate
+                    ));
+                    last_error = Some(e);
+                }
+            }
         }
+        let last = last_error.expect("at least one attempt ran");
+        Err(DeepMapError::training_failed(recovery.max_retries + 1, &last))
     }
+}
+
+/// Mixes `attempt` into `seed`; attempt 0 is the identity so un-retried
+/// runs keep their legacy seeds (and therefore legacy results).
+fn reseed(seed: u64, attempt: usize) -> u64 {
+    if attempt == 0 {
+        seed
+    } else {
+        seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+fn validate_split(
+    idx: &[usize],
+    split: &'static str,
+    len: usize,
+) -> Result<(), DeepMapError> {
+    if idx.is_empty() {
+        return Err(DeepMapError::EmptySplit { split });
+    }
+    if let Some(&bad) = idx.iter().find(|&&i| i >= len) {
+        return Err(DeepMapError::IndexOutOfRange { split, index: bad, len });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -253,6 +406,8 @@ mod tests {
             result.test_accuracy
         );
         assert_eq!(result.history.len(), 15);
+        assert_eq!(result.retries, 0);
+        assert!(result.divergences.is_empty());
     }
 
     #[test]
@@ -284,5 +439,128 @@ mod tests {
         let (graphs, _) = toy_dataset(2);
         let dm = DeepMap::new(quick_config(FeatureKind::ShortestPath));
         dm.prepare(&graphs, &[0]);
+    }
+
+    #[test]
+    fn try_prepare_rejects_bad_inputs() {
+        let (graphs, labels) = toy_dataset(2);
+        let dm = DeepMap::new(quick_config(FeatureKind::ShortestPath));
+        // Count mismatch.
+        let err = dm.try_prepare(&graphs, &labels[..1]).unwrap_err();
+        assert!(matches!(err, DeepMapError::LengthMismatch { .. }), "{err}");
+        // Empty dataset.
+        let err = dm.try_prepare(&[], &[]).unwrap_err();
+        assert_eq!(err, DeepMapError::EmptyDataset);
+        // Valid inputs succeed.
+        assert!(dm.try_prepare(&graphs, &labels).is_ok());
+    }
+
+    #[test]
+    fn non_contiguous_labels_rejected() {
+        let (graphs, _) = toy_dataset(2);
+        // Labels {0, 2} skip class 1: the softmax head would have a dead
+        // output the old code silently trained.
+        let gapped = vec![0, 2, 0, 2];
+        let dm = DeepMap::new(quick_config(FeatureKind::ShortestPath));
+        let err = dm.try_prepare(&graphs, &gapped).unwrap_err();
+        assert_eq!(
+            err,
+            DeepMapError::NonContiguousLabels { missing_class: 1, n_classes: 3 }
+        );
+    }
+
+    #[test]
+    fn try_fit_split_rejects_bad_splits() {
+        let (graphs, labels) = toy_dataset(3);
+        let dm = DeepMap::new(quick_config(FeatureKind::ShortestPath));
+        let prepared = dm.prepare(&graphs, &labels);
+        let err = dm.try_fit_split(&prepared, &[], &[0]).unwrap_err();
+        assert_eq!(err, DeepMapError::EmptySplit { split: "train" });
+        let err = dm.try_fit_split(&prepared, &[0, 1], &[]).unwrap_err();
+        assert_eq!(err, DeepMapError::EmptySplit { split: "test" });
+        let err = dm.try_fit_split(&prepared, &[0, 99], &[1]).unwrap_err();
+        assert!(matches!(err, DeepMapError::IndexOutOfRange { index: 99, .. }), "{err}");
+    }
+
+    #[test]
+    fn injected_divergence_retries_with_halved_lr() {
+        // The NaN-poisoned-fold smoke test: attempt 0 "diverges" at epoch 0
+        // via fault injection, the retry reseeds, halves the LR, and
+        // completes. This is the recovery path a real mid-table NaN takes.
+        let (graphs, labels) = toy_dataset(4);
+        let dm = DeepMap::new(quick_config(FeatureKind::WlSubtree { iterations: 1 }));
+        let prepared = dm.prepare(&graphs, &labels);
+        let train_idx: Vec<usize> = (0..6).collect();
+        let test_idx: Vec<usize> = (6..8).collect();
+        let recovery = RecoveryConfig {
+            guard: GuardConfig {
+                inject_nan_at_epoch: Some(0),
+                ..GuardConfig::default()
+            },
+            ..RecoveryConfig::default()
+        };
+        let result = dm
+            .try_fit_split_with(&prepared, &train_idx, &test_idx, &recovery)
+            .expect("retry must recover from the injected fault");
+        assert_eq!(result.retries, 1);
+        assert_eq!(result.divergences.len(), 1);
+        assert!(result.divergences[0].contains("non-finite loss"), "{:?}", result.divergences);
+        // The successful attempt ran at half the configured learning rate.
+        let base_lr = dm.config().train.learning_rate;
+        assert!(
+            result.history[0].learning_rate <= base_lr * 0.5 + 1e-9,
+            "retry lr {} vs base {}",
+            result.history[0].learning_rate,
+            base_lr
+        );
+        assert_eq!(result.history.len(), dm.config().train.epochs);
+    }
+
+    #[test]
+    fn unrecoverable_divergence_reports_attempts() {
+        let (graphs, labels) = toy_dataset(3);
+        let dm = DeepMap::new(quick_config(FeatureKind::ShortestPath));
+        let prepared = dm.prepare(&graphs, &labels);
+        // A gradient-norm bound of ~0 fails every attempt.
+        let recovery = RecoveryConfig {
+            max_retries: 1,
+            guard: GuardConfig {
+                max_grad_norm: 1e-12,
+                ..GuardConfig::default()
+            },
+            ..RecoveryConfig::default()
+        };
+        let err = dm
+            .try_fit_split_with(&prepared, &[0, 1, 2, 3], &[4, 5], &recovery)
+            .unwrap_err();
+        match err {
+            DeepMapError::TrainingFailed { attempts, last_error } => {
+                assert_eq!(attempts, 2);
+                assert!(last_error.contains("exploding gradient"), "{last_error}");
+            }
+            other => panic!("expected TrainingFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn attempt_zero_matches_legacy_fit_split() {
+        // The recovery wrapper must be bit-identical to the old fit_split
+        // when nothing diverges, or committed experiment tables would
+        // shift under a pure robustness PR.
+        let (graphs, labels) = toy_dataset(3);
+        let dm = DeepMap::new(quick_config(FeatureKind::ShortestPath));
+        let prepared = dm.prepare(&graphs, &labels);
+        let train_idx: Vec<usize> = (0..4).collect();
+        let test_idx: Vec<usize> = (4..6).collect();
+        let a = dm.fit_split(&prepared, &train_idx, &test_idx);
+        let b = dm
+            .try_fit_split(&prepared, &train_idx, &test_idx)
+            .unwrap();
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.loss, y.loss);
+            assert_eq!(x.eval_accuracy, y.eval_accuracy);
+        }
+        assert_eq!(a.test_accuracy, b.test_accuracy);
     }
 }

@@ -320,6 +320,89 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// Saves a small generated benchmark and hands back its directory, so
+    /// corruption tests start from a known-good on-disk dataset.
+    fn saved_dataset(tag: &str) -> (GraphDataset, std::path::PathBuf) {
+        let ds = generate("PTC_MM", 0.05, 3).unwrap();
+        let dir = tmp_dir(tag);
+        save(&ds, &dir).unwrap();
+        (ds, dir)
+    }
+
+    fn append(path: &std::path::Path, extra: &str) {
+        let mut text = std::fs::read_to_string(path).unwrap();
+        text.push_str(extra);
+        std::fs::write(path, text).unwrap();
+    }
+
+    #[test]
+    fn corrupt_edge_line_is_parse_error_with_location() {
+        let (ds, dir) = saved_dataset("corrupt_edge");
+        let a_path = dir.join(format!("{}_A.txt", ds.name));
+        let good_lines = std::fs::read_to_string(&a_path).unwrap().lines().count();
+        append(&a_path, "7, !!\n");
+        let err = load(&dir, &ds.name).unwrap_err();
+        match err {
+            TuError::Parse { file, line, .. } => {
+                assert_eq!(file, "_A.txt");
+                assert_eq!(line, good_lines + 1);
+            }
+            other => panic!("expected Parse, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dangling_vertex_id_is_inconsistent() {
+        let (ds, dir) = saved_dataset("dangling");
+        let n_vertices: usize = ds.graphs.iter().map(|g| g.n_vertices()).sum();
+        // An edge pointing one past the last vertex of the whole dataset.
+        append(
+            &dir.join(format!("{}_A.txt", ds.name)),
+            &format!("1, {}\n", n_vertices + 1),
+        );
+        let err = load(&dir, &ds.name).unwrap_err();
+        assert!(matches!(err, TuError::Inconsistent(_)), "{err}");
+        assert!(err.to_string().contains("out of range"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn indicator_label_count_mismatch_is_inconsistent() {
+        let (ds, dir) = saved_dataset("count_mismatch");
+        // Drop the last graph label: the indicator still references the
+        // now-unlabelled graph, so the counts disagree.
+        let labels_path = dir.join(format!("{}_graph_labels.txt", ds.name));
+        let text = std::fs::read_to_string(&labels_path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.pop();
+        std::fs::write(&labels_path, format!("{}\n", lines.join("\n"))).unwrap();
+        let err = load(&dir, &ds.name).unwrap_err();
+        assert!(matches!(err, TuError::Inconsistent(_)), "{err}");
+        assert!(err.to_string().contains("assigned to graph"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn node_label_count_mismatch_is_inconsistent() {
+        let (ds, dir) = saved_dataset("node_labels");
+        append(&dir.join(format!("{}_node_labels.txt", ds.name)), "0\n");
+        let err = load(&dir, &ds.name).unwrap_err();
+        assert!(matches!(err, TuError::Inconsistent(_)), "{err}");
+        assert!(err.to_string().contains("node labels"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_edge_line_is_inconsistent() {
+        let (ds, dir) = saved_dataset("one_column");
+        append(&dir.join(format!("{}_A.txt", ds.name)), "5\n");
+        let err = load(&dir, &ds.name).unwrap_err();
+        assert!(matches!(err, TuError::Inconsistent(_)), "{err}");
+        assert!(err.to_string().contains("< 2 columns"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn missing_file_is_io_error() {
         let dir = tmp_dir("missing");

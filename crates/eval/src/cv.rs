@@ -1,4 +1,11 @@
-//! Stratified k-fold cross-validation.
+//! Stratified k-fold cross-validation with per-fold fault isolation.
+//!
+//! Every fold worker runs under `catch_unwind`: a panicking fold (bad
+//! data, a diverged training run that exhausted its retries, a bug in one
+//! baseline) degrades the table cell to "n/k folds completed" instead of
+//! killing a multi-hour table run. Completed folds can also be injected
+//! via [`CvOptions::precomputed`], which is how the bench harness resumes
+//! a killed run from its journal without re-training finished folds.
 
 use crate::metrics::MeanStd;
 use deepmap_kernels::KernelMatrix;
@@ -6,20 +13,74 @@ use deepmap_svm::multiclass::select_c_and_train;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Invalid fold configuration, from [`try_stratified_folds`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CvError {
+    /// `k == 0`.
+    ZeroFolds,
+    /// `k > labels.len()`.
+    TooManyFolds {
+        /// Requested fold count.
+        folds: usize,
+        /// Available samples.
+        samples: usize,
+    },
+}
+
+impl fmt::Display for CvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CvError::ZeroFolds => write!(f, "need at least one fold"),
+            CvError::TooManyFolds { folds, samples } => {
+                write!(f, "more folds than samples: {folds} folds for {samples} samples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CvError {}
+
+/// A fold that did not produce a measurement, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldFailure {
+    /// Fold index in `0..k`.
+    pub fold: usize,
+    /// Panic message or validation failure.
+    pub message: String,
+}
 
 /// Result of one cross-validation run.
 #[derive(Debug, Clone)]
 pub struct CvSummary {
-    /// Accuracy mean ± std over folds (at the selected epoch for neural
-    /// models).
+    /// Accuracy mean ± std over *completed* folds (at the selected epoch
+    /// for neural models).
     pub accuracy: MeanStd,
-    /// Per-fold accuracies in fold order.
+    /// Per-fold accuracies of the completed folds, in fold order.
     pub fold_accuracies: Vec<f64>,
     /// Selected epoch (neural models only): the epoch with the best mean
     /// CV accuracy, following GIN's protocol (paper §5.1).
     pub best_epoch: Option<usize>,
     /// Mean wall-clock seconds per epoch (neural models; 0 for kernels).
     pub mean_epoch_seconds: f64,
+    /// Number of folds requested (`k`).
+    pub folds_total: usize,
+    /// Folds that crashed or were unusable, with their reasons.
+    pub failures: Vec<FoldFailure>,
+}
+
+impl CvSummary {
+    /// Number of folds that produced a measurement.
+    pub fn folds_completed(&self) -> usize {
+        self.folds_total - self.failures.len()
+    }
+
+    /// `true` when every requested fold completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
 }
 
 /// Splits `labels` into `k` stratified folds: each fold receives an even
@@ -27,10 +88,24 @@ pub struct CvSummary {
 /// indices per fold.
 ///
 /// # Panics
-/// Panics when `k == 0` or `k > labels.len()`.
+/// Panics when `k == 0` or `k > labels.len()`. Use
+/// [`try_stratified_folds`] for a fallible version.
 pub fn stratified_folds(labels: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>> {
-    assert!(k >= 1, "need at least one fold");
-    assert!(k <= labels.len().max(1), "more folds than samples");
+    try_stratified_folds(labels, k, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`stratified_folds`].
+pub fn try_stratified_folds(
+    labels: &[usize],
+    k: usize,
+    seed: u64,
+) -> Result<Vec<Vec<usize>>, CvError> {
+    if k == 0 {
+        return Err(CvError::ZeroFolds);
+    }
+    if k > labels.len().max(1) {
+        return Err(CvError::TooManyFolds { folds: k, samples: labels.len() });
+    }
     let n_classes = labels.iter().copied().max().map(|m| m + 1).unwrap_or(0);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
@@ -49,7 +124,7 @@ pub fn stratified_folds(labels: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>
     for fold in &mut folds {
         fold.sort_unstable();
     }
-    folds
+    Ok(folds)
 }
 
 /// Complement of `test` within `0..n`, preserving order.
@@ -61,8 +136,22 @@ pub fn train_indices(n: usize, test: &[usize]) -> Vec<usize> {
     (0..n).filter(|&i| !is_test[i]).collect()
 }
 
+/// Renders a caught panic payload (almost always a `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "fold worker panicked".to_string()
+    }
+}
+
 /// Cross-validates a kernel machine: per fold, tunes `C` on the fold's
 /// training data (paper protocol) and measures test accuracy.
+///
+/// A fold with an empty split, or one whose solver panics, is recorded in
+/// [`CvSummary::failures`] instead of contributing a bogus 0% accuracy.
 pub fn cross_validate_svm(
     kernel: &KernelMatrix,
     labels: &[usize],
@@ -73,33 +162,77 @@ pub fn cross_validate_svm(
 ) -> CvSummary {
     let folds = stratified_folds(labels, k, seed);
     let mut fold_accuracies = Vec::with_capacity(k);
-    for test in &folds {
+    let mut failures = Vec::new();
+    for (fi, test) in folds.iter().enumerate() {
         let train = train_indices(labels.len(), test);
-        let train_y: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
-        let test_y: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
-        if train.is_empty() || test.is_empty() {
-            fold_accuracies.push(0.0);
+        if test.is_empty() || train.is_empty() {
+            let split = if test.is_empty() { "test" } else { "train" };
+            failures.push(FoldFailure {
+                fold: fi,
+                message: format!("empty {split} split"),
+            });
             continue;
         }
-        let (model, _c) = select_c_and_train(kernel, &train, &train_y, n_classes, c_grid);
-        fold_accuracies.push(model.accuracy(kernel, test, &test_y));
+        let train_y: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
+        let test_y: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (model, _c) = select_c_and_train(kernel, &train, &train_y, n_classes, c_grid);
+            model.accuracy(kernel, test, &test_y)
+        }));
+        match outcome {
+            Ok(acc) => fold_accuracies.push(acc),
+            Err(payload) => failures.push(FoldFailure {
+                fold: fi,
+                message: panic_message(payload.as_ref()),
+            }),
+        }
     }
     CvSummary {
         accuracy: MeanStd::of(&fold_accuracies),
         fold_accuracies,
         best_epoch: None,
         mean_epoch_seconds: 0.0,
+        folds_total: k,
+        failures,
     }
 }
 
 /// Per-fold output of an epoch-tracked neural trainer: test accuracy after
 /// every epoch, plus the mean seconds one epoch took.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FoldCurve {
     /// `test_accuracy[e]` = held-out accuracy after epoch `e`.
     pub test_accuracy: Vec<f64>,
     /// Mean wall-clock seconds per epoch in this fold.
     pub epoch_seconds: f64,
+    /// Diverged training attempts the fold recovered from (0 = clean run).
+    pub retries: usize,
+}
+
+/// Harness options for [`cross_validate_epochs_with`].
+pub struct CvOptions<'a> {
+    /// Fold workers run on this many scoped threads when `> 1`.
+    pub threads: usize,
+    /// Already-completed fold curves, indexed by fold. `Some` entries are
+    /// used as-is (the worker is never invoked and
+    /// [`CvOptions::on_fold`] is not re-fired for them) — this is the
+    /// resume path: the bench journal supplies finished folds here.
+    pub precomputed: Vec<Option<FoldCurve>>,
+    /// Called after each *freshly computed* fold completes, from the
+    /// worker thread that ran it. The bench harness appends the fold to
+    /// its journal here, so a kill at any point loses at most the folds
+    /// still in flight.
+    pub on_fold: Option<&'a (dyn Fn(usize, &FoldCurve) + Sync)>,
+}
+
+impl Default for CvOptions<'static> {
+    fn default() -> Self {
+        CvOptions {
+            threads: 1,
+            precomputed: Vec::new(),
+            on_fold: None,
+        }
+    }
 }
 
 /// Cross-validates an epoch-tracked model. `train_fold(fold_index, train,
@@ -109,7 +242,9 @@ pub struct FoldCurve {
 /// *at that epoch*.
 ///
 /// Folds run on `threads` scoped threads when `threads > 1` (each fold is
-/// an independent training run).
+/// an independent training run). A fold whose worker panics is isolated
+/// and recorded in [`CvSummary::failures`]; the remaining folds still
+/// produce a (degraded) summary.
 pub fn cross_validate_epochs<F>(
     labels: &[usize],
     k: usize,
@@ -120,74 +255,140 @@ pub fn cross_validate_epochs<F>(
 where
     F: Fn(usize, &[usize], &[usize]) -> FoldCurve + Sync,
 {
+    cross_validate_epochs_with(
+        labels,
+        k,
+        seed,
+        &CvOptions {
+            threads,
+            ..CvOptions::default()
+        },
+        train_fold,
+    )
+}
+
+/// [`cross_validate_epochs`] with resume and journaling hooks; see
+/// [`CvOptions`].
+pub fn cross_validate_epochs_with<F>(
+    labels: &[usize],
+    k: usize,
+    seed: u64,
+    options: &CvOptions<'_>,
+    train_fold: F,
+) -> CvSummary
+where
+    F: Fn(usize, &[usize], &[usize]) -> FoldCurve + Sync,
+{
     let folds = stratified_folds(labels, k, seed);
     let n = labels.len();
+
+    // Seed the result slots from the precomputed (journaled) folds.
+    let mut results: Vec<Option<Result<FoldCurve, String>>> = (0..k)
+        .map(|fi| options.precomputed.get(fi).cloned().flatten().map(Ok))
+        .collect();
+
     type FoldJob = (usize, Vec<usize>, Vec<usize>);
     let jobs: Vec<FoldJob> = folds
         .iter()
         .enumerate()
+        .filter(|(fi, _)| results[*fi].is_none())
         .map(|(fi, test)| (fi, train_indices(n, test), test.clone()))
         .collect();
 
-    let curves: Vec<FoldCurve> = if threads <= 1 {
-        jobs.iter()
-            .map(|(fi, train, test)| train_fold(*fi, train, test))
-            .collect()
+    let run_one = |fi: usize, train: &[usize], test: &[usize]| -> Result<FoldCurve, String> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| train_fold(fi, train, test)));
+        match outcome {
+            Ok(curve) => {
+                if let Some(cb) = options.on_fold {
+                    cb(fi, &curve);
+                }
+                Ok(curve)
+            }
+            Err(payload) => Err(panic_message(payload.as_ref())),
+        }
+    };
+
+    if options.threads <= 1 || jobs.len() <= 1 {
+        for (fi, train, test) in &jobs {
+            results[*fi] = Some(run_one(*fi, train, test));
+        }
     } else {
-        let chunks: Vec<&[FoldJob]> = jobs.chunks(jobs.len().div_ceil(threads)).collect();
-        let mut indexed: Vec<(usize, FoldCurve)> = crossbeam::scope(|scope| {
+        let chunks: Vec<&[FoldJob]> =
+            jobs.chunks(jobs.len().div_ceil(options.threads)).collect();
+        let outcomes: Vec<(usize, Result<FoldCurve, String>)> = crossbeam::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|chunk| {
-                    let train_fold = &train_fold;
+                    let run_one = &run_one;
                     scope.spawn(move |_| {
                         chunk
                             .iter()
-                            .map(|(fi, train, test)| (*fi, train_fold(*fi, train, test)))
+                            .map(|(fi, train, test)| (*fi, run_one(*fi, train, test)))
                             .collect::<Vec<_>>()
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("fold worker panicked"))
+                // Panics are caught inside `run_one`; a worker thread can
+                // only die on a non-unwinding abort, which we cannot
+                // survive anyway.
+                .flat_map(|h| h.join().expect("fold worker aborted"))
                 .collect()
         })
         .expect("scope panicked");
-        indexed.sort_by_key(|(fi, _)| *fi);
-        indexed.into_iter().map(|(_, c)| c).collect()
-    };
+        for (fi, outcome) in outcomes {
+            results[fi] = Some(outcome);
+        }
+    }
 
-    // Epoch selection on the mean curve.
-    let n_epochs = curves.iter().map(|c| c.test_accuracy.len()).min().unwrap_or(0);
+    let mut completed: Vec<(usize, FoldCurve)> = Vec::new();
+    let mut failures = Vec::new();
+    for (fi, slot) in results.into_iter().enumerate() {
+        match slot.expect("every fold resolved") {
+            Ok(curve) => completed.push((fi, curve)),
+            Err(message) => failures.push(FoldFailure { fold: fi, message }),
+        }
+    }
+
+    // Epoch selection on the mean curve over completed folds.
+    let n_epochs = completed
+        .iter()
+        .map(|(_, c)| c.test_accuracy.len())
+        .min()
+        .unwrap_or(0);
     let mut best_epoch = 0usize;
     let mut best_mean = f64::NEG_INFINITY;
     for e in 0..n_epochs {
-        let mean: f64 =
-            curves.iter().map(|c| c.test_accuracy[e]).sum::<f64>() / curves.len().max(1) as f64;
+        let mean: f64 = completed.iter().map(|(_, c)| c.test_accuracy[e]).sum::<f64>()
+            / completed.len().max(1) as f64;
         if mean > best_mean {
             best_mean = mean;
             best_epoch = e;
         }
     }
     let fold_accuracies: Vec<f64> = if n_epochs == 0 {
-        vec![0.0; curves.len()]
+        vec![0.0; completed.len()]
     } else {
-        curves.iter().map(|c| c.test_accuracy[best_epoch]).collect()
+        completed.iter().map(|(_, c)| c.test_accuracy[best_epoch]).collect()
     };
-    let mean_epoch_seconds =
-        curves.iter().map(|c| c.epoch_seconds).sum::<f64>() / curves.len().max(1) as f64;
+    let mean_epoch_seconds = completed.iter().map(|(_, c)| c.epoch_seconds).sum::<f64>()
+        / completed.len().max(1) as f64;
     CvSummary {
         accuracy: MeanStd::of(&fold_accuracies),
         fold_accuracies,
         best_epoch: (n_epochs > 0).then_some(best_epoch),
         mean_epoch_seconds,
+        folds_total: k,
+        failures,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn folds_are_a_partition() {
@@ -235,13 +436,14 @@ mod tests {
         let summary = cross_validate_epochs(&labels, 2, 1, 1, |fi, _train, _test| FoldCurve {
             test_accuracy: curves[fi].clone(),
             epoch_seconds: 0.5,
+            retries: 0,
         });
-        assert_eq!(summary.best_epoch, Some(1).map(|_| {
-            // mean(e1) = 0.65, mean(e2) = 0.8 → epoch 2 (index 2).
-            2
-        }));
+        // mean(e1) = 0.65, mean(e2) = 0.8 → epoch 2 (index 2).
+        assert_eq!(summary.best_epoch, Some(2));
         assert!((summary.accuracy.mean - 0.8).abs() < 1e-12);
         assert!((summary.mean_epoch_seconds - 0.5).abs() < 1e-12);
+        assert!(summary.is_complete());
+        assert_eq!(summary.folds_completed(), 2);
     }
 
     #[test]
@@ -253,6 +455,7 @@ mod tests {
                 (test.len() as f64) / 10.0,
             ],
             epoch_seconds: 0.1,
+            retries: 0,
         };
         let serial = cross_validate_epochs(&labels, 4, 3, 1, runner);
         let parallel = cross_validate_epochs(&labels, 4, 3, 4, runner);
@@ -264,5 +467,139 @@ mod tests {
     #[should_panic(expected = "more folds than samples")]
     fn too_many_folds_panics() {
         stratified_folds(&[0, 1], 5, 1);
+    }
+
+    #[test]
+    fn try_folds_reports_bad_config() {
+        assert_eq!(try_stratified_folds(&[0, 1], 0, 1), Err(CvError::ZeroFolds));
+        assert_eq!(
+            try_stratified_folds(&[0, 1], 5, 1),
+            Err(CvError::TooManyFolds { folds: 5, samples: 2 })
+        );
+        assert!(try_stratified_folds(&[0, 1], 2, 1).is_ok());
+    }
+
+    #[test]
+    fn serial_fold_panic_is_isolated() {
+        let labels: Vec<usize> = (0..12).map(|i| i % 2).collect();
+        let summary = cross_validate_epochs(&labels, 4, 1, 1, |fi, _train, _test| {
+            if fi == 2 {
+                panic!("synthetic fold crash");
+            }
+            FoldCurve {
+                test_accuracy: vec![0.5, 0.75],
+                epoch_seconds: 0.1,
+                retries: 0,
+            }
+        });
+        assert_eq!(summary.folds_total, 4);
+        assert_eq!(summary.folds_completed(), 3);
+        assert_eq!(summary.fold_accuracies.len(), 3);
+        assert_eq!(summary.failures.len(), 1);
+        assert_eq!(summary.failures[0].fold, 2);
+        assert!(summary.failures[0].message.contains("synthetic fold crash"));
+        // The surviving folds still produce the epoch-selected mean.
+        assert!((summary.accuracy.mean - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_fold_panic_is_isolated() {
+        let labels: Vec<usize> = (0..12).map(|i| i % 2).collect();
+        let run = |fi: usize, _train: &[usize], _test: &[usize]| {
+            if fi == 0 {
+                panic!("worker 0 down");
+            }
+            FoldCurve {
+                test_accuracy: vec![0.6],
+                epoch_seconds: 0.1,
+                retries: 0,
+            }
+        };
+        let summary = cross_validate_epochs(&labels, 4, 1, 4, run);
+        assert_eq!(summary.folds_completed(), 3);
+        assert_eq!(summary.failures, vec![FoldFailure {
+            fold: 0,
+            message: "worker 0 down".to_string(),
+        }]);
+    }
+
+    #[test]
+    fn precomputed_folds_are_not_rerun() {
+        let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let invocations = AtomicUsize::new(0);
+        let cached = FoldCurve {
+            test_accuracy: vec![0.9, 0.9],
+            epoch_seconds: 0.2,
+            retries: 0,
+        };
+        let options = CvOptions {
+            precomputed: vec![Some(cached.clone()), None, None, None],
+            ..CvOptions::default()
+        };
+        let summary = cross_validate_epochs_with(&labels, 4, 1, &options, |fi, _t, _e| {
+            invocations.fetch_add(1, Ordering::SeqCst);
+            assert_ne!(fi, 0, "precomputed fold must not re-run");
+            FoldCurve {
+                test_accuracy: vec![0.5, 0.7],
+                epoch_seconds: 0.1,
+                retries: 0,
+            }
+        });
+        assert_eq!(invocations.load(Ordering::SeqCst), 3);
+        assert_eq!(summary.folds_completed(), 4);
+        // Epoch 1 mean = (0.9 + 3·0.7) / 4 = 0.75, beating epoch 0.
+        assert_eq!(summary.best_epoch, Some(1));
+        assert_eq!(summary.fold_accuracies[0], 0.9);
+    }
+
+    #[test]
+    fn on_fold_fires_for_fresh_folds_only() {
+        let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let record = |fi: usize, curve: &FoldCurve| {
+            assert_eq!(curve.test_accuracy.len(), 1);
+            seen.lock().unwrap().push(fi);
+        };
+        let options = CvOptions {
+            threads: 2,
+            precomputed: vec![
+                None,
+                Some(FoldCurve {
+                    test_accuracy: vec![0.4],
+                    epoch_seconds: 0.0,
+                    retries: 0,
+                }),
+                None,
+                None,
+            ],
+            on_fold: Some(&record),
+        };
+        cross_validate_epochs_with(&labels, 4, 1, &options, |_fi, _t, _e| FoldCurve {
+            test_accuracy: vec![0.5],
+            epoch_seconds: 0.0,
+            retries: 0,
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 2, 3], "journaled fold 1 must not re-fire");
+    }
+
+    #[test]
+    fn svm_empty_fold_is_failure_not_zero() {
+        // Eight samples (4 per class) into five folds: the per-class
+        // round-robin never reaches fold 4, so its test split is empty —
+        // previously scored as a hard 0% accuracy, dragging the mean down.
+        let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let kernel = KernelMatrix::from_pairwise(8, 1, |i, j| {
+            let x = [1.0f64, 1.1, 0.9, 1.05, -1.0, -0.9, -1.1, -1.05];
+            x[i] * x[j]
+        });
+        let summary = cross_validate_svm(&kernel, &labels, 2, 5, &[1.0], 5);
+        assert_eq!(summary.folds_total, 5);
+        assert_eq!(summary.folds_completed(), 4);
+        assert_eq!(summary.fold_accuracies.len(), 4);
+        assert_eq!(summary.failures.len(), 1);
+        assert_eq!(summary.failures[0].fold, 4);
+        assert!(summary.failures[0].message.contains("empty"));
     }
 }

@@ -18,5 +18,6 @@ pub mod cv;
 pub mod metrics;
 pub mod tables;
 
-pub use cv::{stratified_folds, CvSummary};
+pub use cv::{stratified_folds, CvError, CvOptions, CvSummary, FoldFailure};
 pub use metrics::{ConfusionMatrix, MeanStd};
+pub use tables::Cell;

@@ -1,13 +1,73 @@
 //! Markdown rendering of result tables in the paper's layout.
 
+use crate::cv::CvSummary;
 use crate::metrics::MeanStd;
+
+/// One table cell: an optional accuracy plus an optional annotation.
+///
+/// The annotation carries degradation info — a cell whose CV run lost
+/// folds to crashes renders as `54.48±4.34 (3/10 folds)` instead of
+/// pretending the measurement is as trustworthy as its neighbours.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Cell {
+    /// Accuracy mean ± std, `None` for no measurement.
+    pub value: Option<MeanStd>,
+    /// Annotation rendered in parentheses after the value.
+    pub note: Option<String>,
+}
+
+impl Cell {
+    /// A cell with no annotation.
+    pub fn new(value: Option<MeanStd>) -> Cell {
+        Cell { value, note: None }
+    }
+
+    /// Builds the cell for a CV run, annotating it when folds failed:
+    /// `n/k folds` for a partial run, `N/A (0/k folds)` when every fold
+    /// crashed.
+    pub fn from_summary(summary: &CvSummary) -> Cell {
+        let completed = summary.folds_completed();
+        if summary.is_complete() {
+            Cell::new(Some(summary.accuracy))
+        } else {
+            Cell {
+                value: (completed > 0).then_some(summary.accuracy),
+                note: Some(format!("{completed}/{} folds", summary.folds_total)),
+            }
+        }
+    }
+
+    fn render(&self, bold: bool) -> String {
+        let base = match &self.value {
+            Some(v) if bold => format!("**{}**", v.as_percent()),
+            Some(v) => v.as_percent(),
+            None => "N/A".to_string(),
+        };
+        match &self.note {
+            Some(note) => format!("{base} ({note})"),
+            None => base,
+        }
+    }
+}
+
+impl From<Option<MeanStd>> for Cell {
+    fn from(value: Option<MeanStd>) -> Cell {
+        Cell::new(value)
+    }
+}
+
+impl From<MeanStd> for Cell {
+    fn from(value: MeanStd) -> Cell {
+        Cell::new(Some(value))
+    }
+}
 
 /// A result table: datasets down the rows, methods across the columns,
 /// accuracy cells.
 #[derive(Debug, Clone, Default)]
 pub struct ResultTable {
     methods: Vec<String>,
-    rows: Vec<(String, Vec<Option<MeanStd>>)>,
+    rows: Vec<(String, Vec<Cell>)>,
 }
 
 impl ResultTable {
@@ -25,6 +85,14 @@ impl ResultTable {
     /// # Panics
     /// Panics when the cell count does not match the method count.
     pub fn push_row<S: Into<String>>(&mut self, dataset: S, cells: Vec<Option<MeanStd>>) {
+        self.push_cells(dataset, cells.into_iter().map(Cell::new).collect());
+    }
+
+    /// Appends a dataset row of annotated [`Cell`]s.
+    ///
+    /// # Panics
+    /// Panics when the cell count does not match the method count.
+    pub fn push_cells<S: Into<String>>(&mut self, dataset: S, cells: Vec<Cell>) {
         assert_eq!(cells.len(), self.methods.len(), "cell/method count mismatch");
         self.rows.push((dataset.into(), cells));
     }
@@ -51,18 +119,16 @@ impl ResultTable {
         for (dataset, cells) in &self.rows {
             let best = cells
                 .iter()
-                .flatten()
+                .filter_map(|c| c.value)
                 .map(|c| c.mean)
                 .fold(f64::NEG_INFINITY, f64::max);
             out.push_str(&format!("| {dataset} |"));
             for cell in cells {
-                match cell {
-                    Some(c) if (c.mean - best).abs() < 1e-12 => {
-                        out.push_str(&format!(" **{}** |", c.as_percent()));
-                    }
-                    Some(c) => out.push_str(&format!(" {} |", c.as_percent())),
-                    None => out.push_str(" N/A |"),
-                }
+                let bold = cell
+                    .value
+                    .map(|v| (v.mean - best).abs() < 1e-12)
+                    .unwrap_or(false);
+                out.push_str(&format!(" {} |", cell.render(bold)));
             }
             out.push('\n');
         }
@@ -98,6 +164,7 @@ pub fn series_markdown(title: &str, x_label: &str, series: &[(String, Vec<f64>)]
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cv::FoldFailure;
 
     fn ms(mean: f64, std: f64) -> Option<MeanStd> {
         Some(MeanStd { mean, std })
@@ -127,6 +194,55 @@ mod tests {
     fn wrong_cell_count_panics() {
         let mut t = ResultTable::new(vec!["A", "B"]);
         t.push_row("X", vec![ms(0.5, 0.0)]);
+    }
+
+    #[test]
+    fn degraded_cell_annotated_with_fold_count() {
+        let partial = CvSummary {
+            accuracy: MeanStd { mean: 0.5448, std: 0.0434 },
+            fold_accuracies: vec![0.5; 3],
+            best_epoch: Some(4),
+            mean_epoch_seconds: 0.1,
+            folds_total: 10,
+            failures: (3..10)
+                .map(|fold| FoldFailure { fold, message: "crash".into() })
+                .collect(),
+        };
+        let cell = Cell::from_summary(&partial);
+        let mut t = ResultTable::new(vec!["DEEPMAP-GK"]);
+        t.push_cells("SYNTHIE", vec![cell]);
+        let md = t.to_markdown();
+        assert!(md.contains("54.48±4.34** (3/10 folds)"), "{md}");
+    }
+
+    #[test]
+    fn all_folds_failed_renders_na_with_note() {
+        let dead = CvSummary {
+            accuracy: MeanStd::of(&[]),
+            fold_accuracies: vec![],
+            best_epoch: None,
+            mean_epoch_seconds: 0.0,
+            folds_total: 10,
+            failures: (0..10)
+                .map(|fold| FoldFailure { fold, message: "crash".into() })
+                .collect(),
+        };
+        let cell = Cell::from_summary(&dead);
+        assert_eq!(cell.value, None);
+        assert_eq!(cell.render(false), "N/A (0/10 folds)");
+    }
+
+    #[test]
+    fn clean_summary_has_no_note() {
+        let clean = CvSummary {
+            accuracy: MeanStd { mean: 0.9, std: 0.01 },
+            fold_accuracies: vec![0.9; 10],
+            best_epoch: Some(1),
+            mean_epoch_seconds: 0.1,
+            folds_total: 10,
+            failures: vec![],
+        };
+        assert_eq!(Cell::from_summary(&clean), Cell::new(Some(MeanStd { mean: 0.9, std: 0.01 })));
     }
 
     #[test]

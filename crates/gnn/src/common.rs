@@ -147,15 +147,21 @@ impl Default for GnnTrainConfig {
 }
 
 /// Accuracy of `model` on `samples`.
-pub fn evaluate_gnn(model: &mut dyn GraphClassifier, samples: &[GraphSample]) -> f64 {
+///
+/// Returns `None` for an empty slice — an empty fold is "no measurement",
+/// not 0% accuracy.
+pub fn evaluate_gnn(
+    model: &mut dyn GraphClassifier,
+    samples: &[GraphSample],
+) -> Option<f64> {
     if samples.is_empty() {
-        return 0.0;
+        return None;
     }
     let correct = samples
         .iter()
         .filter(|s| model.predict(s) == s.label)
         .count();
-    correct as f64 / samples.len() as f64
+    Some(correct as f64 / samples.len() as f64)
 }
 
 /// The shared mini-batch training loop (mirrors `deepmap_nn::train::fit`).
@@ -191,8 +197,9 @@ pub fn fit_gnn(
         let epoch_seconds = start.elapsed().as_secs_f64();
         let mean_loss = (total_loss / train.len() as f64) as f32;
         scheduler.observe(mean_loss, &mut optimizer);
-        let train_accuracy = evaluate_gnn(model, train);
-        let eval_accuracy = eval.map(|e| evaluate_gnn(model, e));
+        let train_accuracy =
+            evaluate_gnn(model, train).expect("train set is non-empty");
+        let eval_accuracy = eval.and_then(|e| evaluate_gnn(model, e));
         history.push(EpochStats {
             epoch,
             loss: mean_loss,

@@ -1,4 +1,13 @@
-//! Mini-batch training loop.
+//! Mini-batch training loop with divergence detection.
+//!
+//! [`fit`] is the infallible entry point used by code that trusts its
+//! inputs; [`try_fit`] is the robust variant: it validates the training
+//! set, watches every mini-batch for non-finite losses, exploding
+//! gradients, and corrupted parameters, and aborts with a typed
+//! [`TrainError`] instead of silently training on garbage. The
+//! cross-validation harness retries aborted folds with a halved learning
+//! rate and a reseeded initialisation (see
+//! `deepmap_core::pipeline::DeepMap::try_fit_split`).
 
 use crate::layers::Mode;
 use crate::matrix::Matrix;
@@ -7,6 +16,7 @@ use crate::optim::{PlateauScheduler, RmsProp};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::fmt;
 use std::time::Instant;
 
 /// One labelled training sample: the assembled input tensor for a graph and
@@ -46,6 +56,79 @@ impl Default for TrainConfig {
     }
 }
 
+/// A training run aborted because the optimisation diverged (or the inputs
+/// were unusable). Returned by [`try_fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// A sample's loss came back NaN or ±∞.
+    NonFiniteLoss {
+        /// Epoch in which the loss diverged (0-based).
+        epoch: usize,
+        /// Mini-batch index within the epoch.
+        batch: usize,
+    },
+    /// The batch gradient norm exceeded [`GuardConfig::max_grad_norm`]
+    /// (or was itself non-finite).
+    ExplodingGradient {
+        /// Epoch in which the gradient exploded (0-based).
+        epoch: usize,
+        /// Mini-batch index within the epoch.
+        batch: usize,
+        /// The offending L2 gradient norm.
+        norm: f32,
+    },
+    /// A parameter became NaN or ±∞ (detected by the end-of-epoch sweep).
+    NonFiniteParameters {
+        /// Epoch after which the corruption was detected (0-based).
+        epoch: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => write!(f, "training set must be non-empty"),
+            TrainError::NonFiniteLoss { epoch, batch } => {
+                write!(f, "non-finite loss at epoch {epoch}, batch {batch}")
+            }
+            TrainError::ExplodingGradient { epoch, batch, norm } => {
+                write!(f, "exploding gradient (norm {norm:e}) at epoch {epoch}, batch {batch}")
+            }
+            TrainError::NonFiniteParameters { epoch } => {
+                write!(f, "non-finite parameters after epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Divergence-guard configuration for [`try_fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct GuardConfig {
+    /// Abort when the averaged batch gradient L2 norm exceeds this value.
+    /// Set to `f32::INFINITY` to disable the check.
+    pub max_grad_norm: f32,
+    /// Sweep all parameters for NaN/∞ after every epoch.
+    pub check_params: bool,
+    /// Fault injection for tests: report a [`TrainError::NonFiniteLoss`] at
+    /// the start of the given epoch, as if the loss had diverged. `None`
+    /// (the default) injects nothing; production code never sets this.
+    pub inject_nan_at_epoch: Option<usize>,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            max_grad_norm: 1e6,
+            check_params: true,
+            inject_nan_at_epoch: None,
+        }
+    }
+}
+
 /// Per-epoch statistics emitted by [`fit`].
 #[derive(Debug, Clone, Copy)]
 pub struct EpochStats {
@@ -66,15 +149,37 @@ pub struct EpochStats {
 }
 
 /// Classification accuracy of `model` on `samples` in eval mode.
-pub fn evaluate(model: &mut Sequential, samples: &[Sample]) -> f64 {
+///
+/// Returns `None` for an empty slice — an empty test fold must surface as
+/// "no measurement", never as 0% accuracy in a result table.
+pub fn evaluate(model: &mut Sequential, samples: &[Sample]) -> Option<f64> {
     if samples.is_empty() {
-        return 0.0;
+        return None;
     }
     let correct = samples
         .iter()
         .filter(|s| model.predict(&s.input) == s.label)
         .count();
-    correct as f64 / samples.len() as f64
+    Some(correct as f64 / samples.len() as f64)
+}
+
+/// L2 norm of all accumulated gradients.
+fn grad_norm(model: &mut Sequential) -> f32 {
+    let mut sq = 0.0f64;
+    for p in model.params() {
+        for &g in p.grad.iter() {
+            sq += f64::from(g) * f64::from(g);
+        }
+    }
+    sq.sqrt() as f32
+}
+
+/// `true` when any trainable scalar is NaN or ±∞.
+fn params_non_finite(model: &mut Sequential) -> bool {
+    model
+        .params()
+        .iter()
+        .any(|p| p.value.iter().any(|v| !v.is_finite()))
 }
 
 /// Trains `model` on `train` for `config.epochs` epochs, optionally
@@ -83,6 +188,10 @@ pub fn evaluate(model: &mut Sequential, samples: &[Sample]) -> f64 {
 /// The loop is the standard mini-batch recipe: shuffle, accumulate exact
 /// gradients per batch, average, RMSProp step, plateau LR decay on the mean
 /// epoch loss.
+///
+/// # Panics
+/// Panics on an empty training set or when training diverges under the
+/// default [`GuardConfig`]; use [`try_fit`] for a fallible version.
 pub fn fit(
     model: &mut Sequential,
     train: &[Sample],
@@ -90,6 +199,27 @@ pub fn fit(
     config: &TrainConfig,
 ) -> Vec<EpochStats> {
     assert!(!train.is_empty(), "training set must be non-empty");
+    try_fit(model, train, eval, config, &GuardConfig::default())
+        .unwrap_or_else(|e| panic!("training diverged: {e}"))
+}
+
+/// Fallible training loop with divergence guards.
+///
+/// Watches every mini-batch for non-finite losses and exploding gradients
+/// and (optionally) sweeps the parameters for NaN/∞ after each epoch;
+/// aborts the run with a [`TrainError`] the moment anything trips. The
+/// model is left in whatever state the abort found it in — callers that
+/// retry must rebuild it from a fresh initialisation.
+pub fn try_fit(
+    model: &mut Sequential,
+    train: &[Sample],
+    eval: Option<&[Sample]>,
+    config: &TrainConfig,
+    guard: &GuardConfig,
+) -> Result<Vec<EpochStats>, TrainError> {
+    if train.is_empty() {
+        return Err(TrainError::EmptyTrainingSet);
+    }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut optimizer = RmsProp::new(config.learning_rate);
     let mut scheduler = PlateauScheduler::paper_default();
@@ -97,24 +227,39 @@ pub fn fit(
     let mut history = Vec::with_capacity(config.epochs);
 
     for epoch in 0..config.epochs {
+        if guard.inject_nan_at_epoch == Some(epoch) {
+            return Err(TrainError::NonFiniteLoss { epoch, batch: 0 });
+        }
         let start = Instant::now();
         order.shuffle(&mut rng);
         let mut total_loss = 0.0f64;
-        for batch in order.chunks(config.batch_size.max(1)) {
+        for (batch_idx, batch) in order.chunks(config.batch_size.max(1)).enumerate() {
             model.zero_grad();
             for &i in batch {
                 let sample = &train[i];
                 let (loss, _) = model.train_step(&sample.input, sample.label);
+                if !loss.is_finite() {
+                    return Err(TrainError::NonFiniteLoss { epoch, batch: batch_idx });
+                }
                 total_loss += loss as f64;
             }
             model.scale_grads(1.0 / batch.len() as f32);
+            if guard.max_grad_norm.is_finite() {
+                let norm = grad_norm(model);
+                if !norm.is_finite() || norm > guard.max_grad_norm {
+                    return Err(TrainError::ExplodingGradient { epoch, batch: batch_idx, norm });
+                }
+            }
             optimizer.step(&mut model.params());
+        }
+        if guard.check_params && params_non_finite(model) {
+            return Err(TrainError::NonFiniteParameters { epoch });
         }
         let epoch_seconds = start.elapsed().as_secs_f64();
         let mean_loss = (total_loss / train.len() as f64) as f32;
         scheduler.observe(mean_loss, &mut optimizer);
-        let train_accuracy = evaluate(model, train);
-        let eval_accuracy = eval.map(|e| evaluate(model, e));
+        let train_accuracy = evaluate(model, train).expect("train set is non-empty");
+        let eval_accuracy = eval.and_then(|e| evaluate(model, e));
         history.push(EpochStats {
             epoch,
             loss: mean_loss,
@@ -124,7 +269,7 @@ pub fn fit(
             learning_rate: optimizer.learning_rate(),
         });
     }
-    history
+    Ok(history)
 }
 
 /// Per-sample logits in eval mode, for callers that need scores rather than
@@ -240,9 +385,17 @@ mod tests {
     }
 
     #[test]
-    fn evaluate_empty_is_zero() {
+    fn evaluate_empty_is_none() {
         let mut model = toy_model(1);
-        assert_eq!(evaluate(&mut model, &[]), 0.0);
+        assert_eq!(evaluate(&mut model, &[]), None);
+    }
+
+    #[test]
+    fn evaluate_non_empty_is_some() {
+        let data = toy_dataset(3, 2);
+        let mut model = toy_model(1);
+        let acc = evaluate(&mut model, &data).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
     }
 
     #[test]
@@ -250,5 +403,116 @@ mod tests {
     fn fit_empty_panics() {
         let mut model = toy_model(1);
         fit(&mut model, &[], None, &TrainConfig::default());
+    }
+
+    #[test]
+    fn try_fit_empty_is_error() {
+        let mut model = toy_model(1);
+        let err = try_fit(
+            &mut model,
+            &[],
+            None,
+            &TrainConfig::default(),
+            &GuardConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, TrainError::EmptyTrainingSet);
+    }
+
+    #[test]
+    fn try_fit_matches_fit_on_clean_data() {
+        let data = toy_dataset(10, 11);
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 4,
+            learning_rate: 0.01,
+            seed: 12,
+        };
+        let mut m1 = toy_model(13);
+        let mut m2 = toy_model(13);
+        let h1 = fit(&mut m1, &data, None, &cfg);
+        let h2 = try_fit(&mut m2, &data, None, &cfg, &GuardConfig::default()).unwrap();
+        assert_eq!(h1.len(), h2.len());
+        for (a, b) in h1.iter().zip(&h2) {
+            assert_eq!(a.loss, b.loss);
+            assert_eq!(a.train_accuracy, b.train_accuracy);
+        }
+    }
+
+    #[test]
+    fn nan_input_detected_as_divergence() {
+        // A NaN sample poisons the gradients; the guard must abort instead
+        // of silently continuing with corrupted parameters.
+        let mut data = toy_dataset(6, 14);
+        data[0].input = Matrix::from_vec(3, 4, vec![f32::NAN; 12]);
+        let mut model = toy_model(15);
+        let err = try_fit(
+            &mut model,
+            &data,
+            None,
+            &TrainConfig {
+                epochs: 3,
+                batch_size: 4,
+                learning_rate: 0.01,
+                seed: 16,
+            },
+            &GuardConfig::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TrainError::NonFiniteLoss { .. }
+                    | TrainError::ExplodingGradient { .. }
+                    | TrainError::NonFiniteParameters { .. }
+            ),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn injected_fault_aborts_at_requested_epoch() {
+        let data = toy_dataset(6, 17);
+        let mut model = toy_model(18);
+        let err = try_fit(
+            &mut model,
+            &data,
+            None,
+            &TrainConfig {
+                epochs: 5,
+                batch_size: 4,
+                learning_rate: 0.01,
+                seed: 19,
+            },
+            &GuardConfig {
+                inject_nan_at_epoch: Some(2),
+                ..GuardConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, TrainError::NonFiniteLoss { epoch: 2, batch: 0 });
+    }
+
+    #[test]
+    fn tight_grad_norm_trips_exploding_gradient() {
+        let data = toy_dataset(6, 20);
+        let mut model = toy_model(21);
+        let err = try_fit(
+            &mut model,
+            &data,
+            None,
+            &TrainConfig {
+                epochs: 2,
+                batch_size: 4,
+                learning_rate: 0.01,
+                seed: 22,
+            },
+            &GuardConfig {
+                max_grad_norm: 1e-12,
+                ..GuardConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TrainError::ExplodingGradient { .. }), "{err}");
     }
 }

@@ -60,6 +60,7 @@ fn main() {
                 .map(|e| e.eval_accuracy.unwrap_or(0.0))
                 .collect(),
             epoch_seconds: 0.0,
+            retries: 0,
         }
     });
     println!(

@@ -1,0 +1,21 @@
+#!/bin/bash
+# Tier-1 CI gate: build, full test suite, lints.
+#
+# The test suite includes the fault-injection paths — the NaN-poisoned fold
+# (`injected_divergence_retries_with_halved_lr` in deepmap-core), the
+# panicking-fold isolation tests in deepmap-eval, and the kill/resume
+# journal round trip in deepmap-bench — so divergence recovery and
+# checkpoint/resume are exercised on every run, not just at paper scale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== build (release) ==="
+cargo build --release --workspace
+
+echo "=== tests ==="
+cargo test -q --workspace
+
+echo "=== clippy ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI GATE PASSED"

@@ -41,6 +41,7 @@ fn deepmap_cv_on_simulated_benchmark_beats_chance() {
                 .map(|e| e.eval_accuracy.unwrap_or(0.0))
                 .collect(),
             epoch_seconds: 0.0,
+            retries: 0,
         }
     });
     assert!(
@@ -115,6 +116,7 @@ fn deterministic_cv_results_under_fixed_seed() {
                     .map(|e| e.eval_accuracy.unwrap_or(0.0))
                     .collect(),
                 epoch_seconds: 0.0,
+                retries: 0,
             }
         })
         .fold_accuracies
