@@ -9,11 +9,16 @@ use deepmap_nn::train::{fit, TrainConfig};
 use std::hint::black_box;
 
 fn bench_variants(c: &mut Criterion) {
-    let ds = generate("SYNTHIE", 0.02, 1).expect("registered").subsample(8);
+    let ds = generate("SYNTHIE", 0.02, 1)
+        .expect("registered")
+        .subsample(8);
     let mut group = c.benchmark_group("fig6_train_epoch");
     group.sample_size(10);
     for kind in [
-        FeatureKind::Graphlet { size: 4, samples: 10 },
+        FeatureKind::Graphlet {
+            size: 4,
+            samples: 10,
+        },
         FeatureKind::ShortestPath,
         FeatureKind::WlSubtree { iterations: 3 },
     ] {

@@ -16,7 +16,9 @@ use deepmap_nn::train::{fit, TrainConfig};
 use std::hint::black_box;
 
 fn bench_models(c: &mut Criterion) {
-    let ds = generate("SYNTHIE", 0.02, 1).expect("registered").subsample(8);
+    let ds = generate("SYNTHIE", 0.02, 1)
+        .expect("registered")
+        .subsample(8);
     let mut group = c.benchmark_group("fig7_epoch_per_model");
     group.sample_size(10);
 

@@ -9,7 +9,14 @@ use std::hint::black_box;
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_generation");
-    for name in ["SYNTHIE", "KKI", "BZR_MD", "PTC_MR", "PROTEINS", "IMDB-BINARY"] {
+    for name in [
+        "SYNTHIE",
+        "KKI",
+        "BZR_MD",
+        "PTC_MR",
+        "PROTEINS",
+        "IMDB-BINARY",
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let ds = generate(black_box(name), 0.02, 1).expect("registered");

@@ -13,7 +13,13 @@ use std::hint::black_box;
 fn bench_kernels_vs_prepare(c: &mut Criterion) {
     let ds = generate("PTC_MR", 0.06, 1).expect("registered");
     let kinds = [
-        ("GK", FeatureKind::Graphlet { size: 4, samples: 10 }),
+        (
+            "GK",
+            FeatureKind::Graphlet {
+                size: 4,
+                samples: 10,
+            },
+        ),
         ("SP", FeatureKind::ShortestPath),
         ("WL", FeatureKind::WlSubtree { iterations: 3 }),
     ];

@@ -22,10 +22,16 @@ fn main() {
         .unwrap_or_else(|| "PTC_MR".to_string());
     let ds = load_dataset(&name, &args).expect("registered dataset");
     eprintln!("{name}: {} graphs", ds.len());
-    let kind = FeatureKind::Graphlet { size: 4, samples: 15 };
+    let kind = FeatureKind::Graphlet {
+        size: 4,
+        samples: 15,
+    };
     let base = deepmap_config(kind, &args);
 
-    println!("# Accuracy ablations on {name} (DEEPMAP-GK, scale {})\n", args.scale);
+    println!(
+        "# Accuracy ablations on {name} (DEEPMAP-GK, scale {})\n",
+        args.scale
+    );
     println!("| choice | setting | accuracy |");
     println!("|---|---|---|");
 

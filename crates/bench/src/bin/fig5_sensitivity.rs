@@ -13,10 +13,10 @@
 //! Extra flag handled here: `--ordering eigenvector|degree|random` for the
 //! vertex-ordering ablation (DESIGN.md §4 choice 1).
 
-use deepmap_bench::runner::{run_deepmap_config, run_flat_kernel, deepmap_config};
+use deepmap_bench::runner::load_dataset;
+use deepmap_bench::runner::{deepmap_config, run_deepmap_config, run_flat_kernel};
 use deepmap_bench::ExperimentArgs;
 use deepmap_core::VertexOrdering;
-use deepmap_bench::runner::load_dataset;
 use deepmap_eval::tables::series_markdown;
 use deepmap_kernels::FeatureKind;
 

@@ -10,9 +10,9 @@
 //! cargo run --release -p deepmap-bench --bin fig6_representation -- --scale 0.25 --epochs 50
 //! ```
 
+use deepmap_bench::runner::load_dataset;
 use deepmap_bench::runner::{deepmap_training_curve, kernel_training_accuracy};
 use deepmap_bench::ExperimentArgs;
-use deepmap_bench::runner::load_dataset;
 use deepmap_eval::tables::series_markdown;
 use deepmap_kernels::FeatureKind;
 
@@ -29,7 +29,11 @@ fn main() {
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     for kind in kinds {
         let flat = kernel_training_accuracy(&ds, kind, &args);
-        eprintln!("{} training accuracy (flat kernel SVM): {:.2}%", kind.name(), flat * 100.0);
+        eprintln!(
+            "{} training accuracy (flat kernel SVM): {:.2}%",
+            kind.name(),
+            flat * 100.0
+        );
         series.push((kind.name().to_string(), vec![flat; args.epochs]));
 
         let curve = deepmap_training_curve(&ds, kind, &args);

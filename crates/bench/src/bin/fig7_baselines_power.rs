@@ -9,11 +9,11 @@
 //! cargo run --release -p deepmap-bench --bin fig7_baselines_power -- --scale 0.25 --epochs 50
 //! ```
 
+use deepmap_bench::runner::load_dataset;
 use deepmap_bench::runner::{
     deepmap_training_curve, gnn_training_curve, kernel_training_accuracy, GnnKind,
 };
 use deepmap_bench::ExperimentArgs;
-use deepmap_bench::runner::load_dataset;
 use deepmap_eval::tables::series_markdown;
 use deepmap_gnn::GnnInput;
 use deepmap_kernels::FeatureKind;
@@ -28,7 +28,10 @@ fn main() {
     // DeepMap: the paper plots the best deep map variant; WL is the robust
     // default.
     let deepmap = deepmap_training_curve(&ds, FeatureKind::paper_wl(), &args);
-    eprintln!("DEEPMAP final train acc {:.2}%", deepmap.last().unwrap_or(&0.0) * 100.0);
+    eprintln!(
+        "DEEPMAP final train acc {:.2}%",
+        deepmap.last().unwrap_or(&0.0) * 100.0
+    );
     series.push(("DEEPMAP".to_string(), deepmap));
 
     for kind in GnnKind::all() {

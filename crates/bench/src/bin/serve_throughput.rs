@@ -1,0 +1,342 @@
+//! Serving benchmark: bundle round-trip plus micro-batching throughput.
+//!
+//! Trains a small DeepMap-WL classifier on synthetic cycles-vs-cliques,
+//! freezes it into a `DMB1` bundle, reloads the bundle from disk, checks
+//! prediction parity, then drives the [`InferenceServer`] with a sliding
+//! window of outstanding requests at several concurrency levels — once
+//! with micro-batching enabled and once with `max_batch = 1` — and writes
+//! latency percentiles and throughput to `results/BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --bin serve_throughput
+//! cargo run --release -p deepmap-bench --bin serve_throughput -- --smoke
+//!
+//! --smoke          tiny request counts; exit non-zero unless the JSON
+//!                  report is produced and well-formed
+//! --requests <n>   requests per (level, mode) run (default 240)
+//! --seed <u64>     master seed (default 7)
+//! --out <path>     report path (default results/BENCH_serve.json)
+//! ```
+//!
+//! The window sizes are the concurrency levels: with `w` requests in
+//! flight and a fixed two-worker pool, the batcher can merge up to
+//! `max_batch` queued requests into one pass through the convolution
+//! stack, so higher windows amortise more per-request overhead.
+
+use deepmap_bench::json::Json;
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::TrainConfig;
+use deepmap_serve::{InferenceServer, ModelBundle, ServeError, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 2;
+
+struct Args {
+    smoke: bool,
+    requests: usize,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        requests: 240,
+        seed: 7,
+        out: PathBuf::from("results/BENCH_serve.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--requests" => {
+                args.requests = value("--requests").parse().unwrap_or_else(|_| {
+                    fail("--requests must be a positive integer");
+                })
+            }
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    fail("--seed must be an integer");
+                })
+            }
+            "--out" => args.out = PathBuf::from(value("--out")),
+            other => fail(&format!(
+                "unknown flag {other}\nusage: serve_throughput [--smoke] [--requests n] [--seed s] [--out path]"
+            )),
+        }
+    }
+    if args.smoke {
+        args.requests = args.requests.min(40);
+    }
+    args
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_throughput: {msg}");
+    std::process::exit(1);
+}
+
+fn synthetic_dataset(seed: u64) -> (Vec<Graph>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..10 {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    (graphs, labels)
+}
+
+fn request_stream(n: usize, seed: u64) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                cycle_graph(5 + i % 4, 0, &mut rng)
+            } else {
+                complete_graph(4 + i % 4, 0, &mut rng)
+            }
+        })
+        .collect()
+}
+
+struct RunStats {
+    throughput_gps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_batch: f64,
+}
+
+/// Drives the server with a sliding window of `window` outstanding
+/// requests: submit until the window is full, then retire the oldest
+/// before submitting the next.
+fn drive(server: &InferenceServer, graphs: &[Graph], window: usize) -> RunStats {
+    let mut outstanding = VecDeque::new();
+    let mut latencies_ms = Vec::with_capacity(graphs.len());
+    let mut batch_total = 0u64;
+    let mut retire =
+        |outstanding: &mut VecDeque<_>, latencies_ms: &mut Vec<f64>, batch_total: &mut u64| {
+            let handle: deepmap_serve::PredictionHandle =
+                outstanding.pop_front().expect("window non-empty");
+            let served = handle
+                .wait()
+                .expect("server answers every accepted request");
+            latencies_ms.push(served.latency.as_secs_f64() * 1e3);
+            *batch_total += served.batch_size as u64;
+        };
+    let start = Instant::now();
+    for graph in graphs {
+        loop {
+            match server.submit(graph.clone()) {
+                Ok(handle) => {
+                    outstanding.push_back(handle);
+                    break;
+                }
+                // Backpressure: retire the oldest in-flight request and retry.
+                Err(ServeError::QueueFull) => {
+                    retire(&mut outstanding, &mut latencies_ms, &mut batch_total)
+                }
+                Err(e) => fail(&format!("submit failed: {e}")),
+            }
+        }
+        if outstanding.len() >= window {
+            retire(&mut outstanding, &mut latencies_ms, &mut batch_total);
+        }
+    }
+    while !outstanding.is_empty() {
+        retire(&mut outstanding, &mut latencies_ms, &mut batch_total);
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    RunStats {
+        throughput_gps: graphs.len() as f64 / elapsed,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        mean_batch: batch_total as f64 / graphs.len() as f64,
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_stats_json(s: &RunStats) -> Json {
+    Json::Obj(vec![
+        ("throughput_gps".into(), Json::Num(s.throughput_gps)),
+        ("p50_ms".into(), Json::Num(s.p50_ms)),
+        ("p99_ms".into(), Json::Num(s.p99_ms)),
+        ("mean_batch".into(), Json::Num(s.mean_batch)),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+
+    // 1. Train and freeze.
+    let (graphs, labels) = synthetic_dataset(args.seed);
+    let dm = DeepMap::new(DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: if args.smoke { 6 } else { 15 },
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: args.seed,
+        },
+        seed: args.seed,
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    });
+    let (prepared, pre) = dm
+        .try_prepare_frozen(&graphs, &labels)
+        .unwrap_or_else(|e| fail(&format!("prepare failed: {e}")));
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let result = dm.fit_split(&prepared, &all, &all);
+    eprintln!(
+        "trained {} epochs, final train accuracy {:.1}%",
+        result.history.len(),
+        result
+            .history
+            .last()
+            .map_or(0.0, |e| e.train_accuracy * 100.0)
+    );
+    let bundle = ModelBundle::freeze(
+        &dm,
+        &prepared,
+        pre,
+        &result.model,
+        vec!["cycle".to_string(), "clique".to_string()],
+    )
+    .unwrap_or_else(|e| fail(&format!("freeze failed: {e}")));
+
+    // 2. Save, reload, and verify parity on fresh graphs.
+    std::fs::create_dir_all("results").ok();
+    let bundle_path = PathBuf::from("results/serve_bundle.dmb");
+    bundle
+        .save(&bundle_path)
+        .unwrap_or_else(|e| fail(&format!("bundle save failed: {e}")));
+    let reloaded = ModelBundle::load(&bundle_path)
+        .unwrap_or_else(|e| fail(&format!("bundle reload failed: {e}")));
+    let parity_graphs = request_stream(16, args.seed);
+    let mut mem_pred = bundle.predictor().expect("predictor");
+    let mut disk_pred = reloaded.predictor().expect("predictor");
+    let parity = parity_graphs.iter().all(|g| {
+        let a = mem_pred.predict(g);
+        let b = disk_pred.predict(g);
+        a.class == b.class && a.scores == b.scores
+    });
+    if !parity {
+        fail("reloaded bundle predictions diverge from the in-memory model");
+    }
+    eprintln!(
+        "bundle round-trip ok: {} bytes, predictions bit-identical",
+        bundle.to_bytes().len()
+    );
+
+    // 3. Throughput at several concurrency levels, batched vs unbatched.
+    let bundle = Arc::new(reloaded);
+    let levels: &[usize] = if args.smoke { &[2, 4, 8] } else { &[4, 16, 64] };
+    let stream = request_stream(args.requests, args.seed);
+    let mut level_rows = Vec::new();
+    let mut speedup_at_max = 0.0;
+    for &level in levels {
+        let batched_cfg = ServerConfig {
+            workers: WORKERS,
+            queue_capacity: (2 * level).max(8),
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        };
+        let unbatched_cfg = ServerConfig {
+            max_batch: 1,
+            ..batched_cfg
+        };
+        let server = InferenceServer::start(Arc::clone(&bundle), batched_cfg)
+            .unwrap_or_else(|e| fail(&format!("server start failed: {e}")));
+        let batched = drive(&server, &stream, level);
+        drop(server);
+        let server = InferenceServer::start(Arc::clone(&bundle), unbatched_cfg)
+            .unwrap_or_else(|e| fail(&format!("server start failed: {e}")));
+        let unbatched = drive(&server, &stream, level);
+        drop(server);
+        let speedup = batched.throughput_gps / unbatched.throughput_gps.max(1e-9);
+        if level == *levels.last().expect("non-empty levels") {
+            speedup_at_max = speedup;
+        }
+        eprintln!(
+            "concurrency {level:>3}: batched {:8.1} g/s (p50 {:.2} ms, p99 {:.2} ms, mean batch {:.2}) | unbatched {:8.1} g/s (p50 {:.2} ms, p99 {:.2} ms) | speedup {speedup:.2}x",
+            batched.throughput_gps,
+            batched.p50_ms,
+            batched.p99_ms,
+            batched.mean_batch,
+            unbatched.throughput_gps,
+            unbatched.p50_ms,
+            unbatched.p99_ms,
+        );
+        level_rows.push(Json::Obj(vec![
+            ("concurrency".into(), Json::Num(level as f64)),
+            ("batched".into(), run_stats_json(&batched)),
+            ("unbatched".into(), run_stats_json(&unbatched)),
+            ("batched_speedup".into(), Json::Num(speedup)),
+        ]));
+    }
+
+    // 4. Report.
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("serve_throughput".into())),
+        ("smoke".into(), Json::Bool(args.smoke)),
+        ("seed".into(), Json::Num(args.seed as f64)),
+        ("requests_per_run".into(), Json::Num(stream.len() as f64)),
+        ("workers".into(), Json::Num(WORKERS as f64)),
+        (
+            "bundle_bytes".into(),
+            Json::Num(bundle.to_bytes().len() as f64),
+        ),
+        ("parity".into(), Json::Bool(parity)),
+        ("levels".into(), Json::Arr(level_rows)),
+        ("batched_speedup_at_max".into(), Json::Num(speedup_at_max)),
+    ]);
+    std::fs::write(&args.out, report.to_json())
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", args.out.display())));
+
+    // 5. Self-check: the file on disk must parse back as a complete report
+    //    (this is what `scripts/ci.sh --smoke` relies on).
+    let text = std::fs::read_to_string(&args.out)
+        .unwrap_or_else(|e| fail(&format!("cannot re-read {}: {e}", args.out.display())));
+    let parsed =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("report is not valid JSON: {e}")));
+    let n_levels = parsed
+        .get("levels")
+        .and_then(|l| l.as_arr())
+        .map_or(0, |l| l.len());
+    if n_levels < 3
+        || parsed.get("parity").is_none()
+        || parsed
+            .get("batched_speedup_at_max")
+            .and_then(|v| v.as_f64())
+            .is_none()
+    {
+        fail("report is missing required fields");
+    }
+    println!(
+        "wrote {} ({} concurrency levels, parity ok, speedup at max concurrency {:.2}x)",
+        args.out.display(),
+        n_levels,
+        speedup_at_max
+    );
+}

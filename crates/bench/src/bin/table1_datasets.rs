@@ -13,7 +13,10 @@ use deepmap_datasets::{generate_spec, stats};
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    println!("# Table 1 — dataset statistics (simulated at scale {})\n", args.scale);
+    println!(
+        "# Table 1 — dataset statistics (simulated at scale {})\n",
+        args.scale
+    );
     println!(
         "| {:<12} | {:>5} | {:>2} | {:>8} | {:>8} | {:>9} | {:>9} | {:>5} |",
         "Dataset", "Size", "C#", "AvgN", "AvgN*", "AvgE", "AvgE*", "L#"
@@ -27,7 +30,14 @@ fn main() {
         let s = stats::compute(&ds);
         println!(
             "| {:<12} | {:>5} | {:>2} | {:>8.2} | {:>8.2} | {:>9.2} | {:>9.2} | {:>5} |",
-            s.name, s.size, s.n_classes, s.avg_nodes, spec.avg_nodes, s.avg_edges, spec.avg_edges, s.n_labels,
+            s.name,
+            s.size,
+            s.n_classes,
+            s.avg_nodes,
+            spec.avg_nodes,
+            s.avg_edges,
+            spec.avg_edges,
+            s.n_labels,
         );
     }
     println!("\n(* = the paper's Table 1 target; unstarred = measured on the simulation)");

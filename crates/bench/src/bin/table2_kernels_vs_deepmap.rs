@@ -51,7 +51,12 @@ fn main() {
         FeatureKind::paper_wl(),
     ];
     let mut table = ResultTable::new(vec![
-        "GK", "DEEPMAP-GK", "SP", "DEEPMAP-SP", "WL", "DEEPMAP-WL",
+        "GK",
+        "DEEPMAP-GK",
+        "SP",
+        "DEEPMAP-SP",
+        "WL",
+        "DEEPMAP-WL",
     ]);
     for name in all_dataset_names() {
         if !args.wants_dataset(name) {
@@ -89,6 +94,9 @@ fn main() {
         }
         table.push_cells(name, cells);
     }
-    println!("\n# Table 2 — flat kernels vs deep maps (scale {}, readout {readout:?})\n", args.scale);
+    println!(
+        "\n# Table 2 — flat kernels vs deep maps (scale {}, readout {readout:?})\n",
+        args.scale
+    );
     println!("{}", table.to_markdown());
 }

@@ -13,8 +13,8 @@
 //! re-run with `--resume` to pick up a killed run where it left off.
 
 use deepmap_bench::runner::{
-    load_dataset, open_journal, run_deepmap_config_journaled, run_dgk, run_gnn_journaled,
-    run_gntk, run_retgk, deepmap_config, GnnKind, JournalCell,
+    deepmap_config, load_dataset, open_journal, run_deepmap_config_journaled, run_dgk,
+    run_gnn_journaled, run_gntk, run_retgk, GnnKind, JournalCell,
 };
 use deepmap_bench::{ExperimentArgs, Journal};
 use deepmap_datasets::all_dataset_names;
@@ -23,7 +23,11 @@ use deepmap_eval::CvSummary;
 use deepmap_gnn::GnnInput;
 use deepmap_kernels::FeatureKind;
 
-fn cell_for<'a>(journal: Option<&'a Journal>, dataset: &'a str, method: &'a str) -> Option<JournalCell<'a>> {
+fn cell_for<'a>(
+    journal: Option<&'a Journal>,
+    dataset: &'a str,
+    method: &'a str,
+) -> Option<JournalCell<'a>> {
     journal.map(|j| JournalCell {
         journal: j,
         dataset,
@@ -49,7 +53,14 @@ fn main() {
     let args = ExperimentArgs::from_env();
     let journal = open_journal("table3_sota", &args);
     let mut table = ResultTable::new(vec![
-        "DEEPMAP", "DGCNN", "GIN", "DCNN", "PATCHYSAN", "DGK", "RETGK", "GNTK",
+        "DEEPMAP",
+        "DGCNN",
+        "GIN",
+        "DCNN",
+        "PATCHYSAN",
+        "DGK",
+        "RETGK",
+        "GNTK",
     ]);
     for name in all_dataset_names() {
         if !args.wants_dataset(name) {
@@ -104,6 +115,9 @@ fn main() {
 
         table.push_cells(name, cells);
     }
-    println!("\n# Table 3 — DeepMap vs state of the art (scale {})\n", args.scale);
+    println!(
+        "\n# Table 3 — DeepMap vs state of the art (scale {})\n",
+        args.scale
+    );
     println!("{}", table.to_markdown());
 }

@@ -13,8 +13,8 @@
 //! re-run with `--resume` to pick up a killed run where it left off.
 
 use deepmap_bench::runner::{
-    deepmap_config, load_dataset, open_journal, run_deepmap_config_journaled,
-    run_gnn_journaled, GnnKind, JournalCell, DEFAULT_FEATURE_CAP,
+    deepmap_config, load_dataset, open_journal, run_deepmap_config_journaled, run_gnn_journaled,
+    GnnKind, JournalCell, DEFAULT_FEATURE_CAP,
 };
 use deepmap_bench::ExperimentArgs;
 use deepmap_datasets::all_dataset_names;

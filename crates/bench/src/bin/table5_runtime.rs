@@ -9,9 +9,9 @@
 //!     --scale 0.1 --epochs 5 --datasets PTC_MR,KKI
 //! ```
 
+use deepmap_bench::runner::load_dataset;
 use deepmap_bench::runner::{run_deepmap, run_gnn, GnnKind};
 use deepmap_bench::ExperimentArgs;
-use deepmap_bench::runner::load_dataset;
 use deepmap_datasets::all_dataset_names;
 use deepmap_gnn::GnnInput;
 use deepmap_kernels::FeatureKind;
@@ -39,7 +39,11 @@ fn main() {
         let ds = load_dataset(name, &args).expect("registered name");
         eprintln!("== {name}: {} graphs ==", ds.len());
         let deepmap = run_deepmap(&ds, FeatureKind::paper_wl(), &args);
-        let mut row = format!("| {:<12} | {:>9} |", name, format_time(deepmap.mean_epoch_seconds));
+        let mut row = format!(
+            "| {:<12} | {:>9} |",
+            name,
+            format_time(deepmap.mean_epoch_seconds)
+        );
         for kind in GnnKind::all() {
             let s = run_gnn(&ds, kind, GnnInput::OneHotLabels, &args);
             row.push_str(&format!(" {:>9} |", format_time(s.mean_epoch_seconds)));

@@ -143,7 +143,9 @@ mod tests {
 
     #[test]
     fn individual_flags() {
-        let a = parse(&["--scale", "0.5", "--epochs", "12", "--folds", "3", "--seed", "99"]);
+        let a = parse(&[
+            "--scale", "0.5", "--epochs", "12", "--folds", "3", "--seed", "99",
+        ]);
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.epochs, 12);
         assert_eq!(a.folds, 3);
@@ -172,7 +174,10 @@ mod tests {
         assert_eq!(a.journal, None);
         let a = parse(&["--resume", "--journal", "results/custom.jsonl"]);
         assert!(a.resume);
-        assert_eq!(a.journal, Some(std::path::PathBuf::from("results/custom.jsonl")));
+        assert_eq!(
+            a.journal,
+            Some(std::path::PathBuf::from("results/custom.jsonl"))
+        );
     }
 
     #[test]

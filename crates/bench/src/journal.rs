@@ -132,7 +132,11 @@ impl Journal {
                 if line.trim().is_empty() {
                     continue;
                 }
-                match Json::parse(&line).ok().as_ref().and_then(FoldRecord::from_json) {
+                match Json::parse(&line)
+                    .ok()
+                    .as_ref()
+                    .and_then(FoldRecord::from_json)
+                {
                     Some(rec) => {
                         loaded.insert(rec.key(), rec);
                     }
@@ -226,10 +230,7 @@ mod tests {
     use super::*;
 
     fn tmp_path(tag: &str) -> PathBuf {
-        std::env::temp_dir().join(format!(
-            "deepmap-journal-{tag}-{}",
-            std::process::id()
-        ))
+        std::env::temp_dir().join(format!("deepmap-journal-{tag}-{}", std::process::id()))
     }
 
     fn sample_record(fold: usize) -> FoldRecord {
@@ -277,10 +278,18 @@ mod tests {
         }
         let journal = Journal::open(&path, true).unwrap();
         // Same cell, different epochs/seed/folds → no hit.
-        assert!(journal.completed("SYNTHIE", "DEEPMAP-GK", 0, 3, 9, 7).is_none());
-        assert!(journal.completed("SYNTHIE", "DEEPMAP-GK", 0, 3, 2, 8).is_none());
-        assert!(journal.completed("SYNTHIE", "DEEPMAP-GK", 0, 5, 2, 7).is_none());
-        assert!(journal.completed("SYNTHIE", "DEEPMAP-SP", 0, 3, 2, 7).is_none());
+        assert!(journal
+            .completed("SYNTHIE", "DEEPMAP-GK", 0, 3, 9, 7)
+            .is_none());
+        assert!(journal
+            .completed("SYNTHIE", "DEEPMAP-GK", 0, 3, 2, 8)
+            .is_none());
+        assert!(journal
+            .completed("SYNTHIE", "DEEPMAP-GK", 0, 5, 2, 7)
+            .is_none());
+        assert!(journal
+            .completed("SYNTHIE", "DEEPMAP-SP", 0, 3, 2, 7)
+            .is_none());
         std::fs::remove_file(&path).ok();
     }
 
@@ -300,8 +309,12 @@ mod tests {
         let journal = Journal::open(&path, true).unwrap();
         assert_eq!(journal.n_loaded(), 1);
         assert_eq!(journal.skipped_lines(), 1);
-        assert!(journal.completed("SYNTHIE", "DEEPMAP-GK", 0, 3, 2, 7).is_some());
-        assert!(journal.completed("SYNTHIE", "DEEPMAP-GK", 1, 3, 2, 7).is_none());
+        assert!(journal
+            .completed("SYNTHIE", "DEEPMAP-GK", 0, 3, 2, 7)
+            .is_some());
+        assert!(journal
+            .completed("SYNTHIE", "DEEPMAP-GK", 1, 3, 2, 7)
+            .is_none());
         std::fs::remove_file(&path).ok();
     }
 

@@ -350,7 +350,10 @@ mod tests {
         let value = Json::Obj(vec![
             ("dataset".into(), Json::Str("SYNTHIE".into())),
             ("fold".into(), Json::Num(3.0)),
-            ("curve".into(), Json::Arr(vec![Json::Num(0.5), Json::Num(0.625)])),
+            (
+                "curve".into(),
+                Json::Arr(vec![Json::Num(0.5), Json::Num(0.625)]),
+            ),
             ("ok".into(), Json::Bool(true)),
             ("note".into(), Json::Null),
         ]);

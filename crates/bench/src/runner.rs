@@ -50,7 +50,12 @@ impl GnnKind {
 
     /// All four baselines in the paper's column order.
     pub fn all() -> [GnnKind; 4] {
-        [GnnKind::Dgcnn, GnnKind::Gin, GnnKind::Dcnn, GnnKind::PatchySan]
+        [
+            GnnKind::Dgcnn,
+            GnnKind::Gin,
+            GnnKind::Dcnn,
+            GnnKind::PatchySan,
+        ]
     }
 }
 
@@ -249,7 +254,14 @@ fn mean_epoch_seconds(history: &[deepmap_nn::train::EpochStats]) -> f64 {
 /// A flat R-convolution kernel (GK/SP/WL) under SVM CV.
 pub fn run_flat_kernel(ds: &GraphDataset, kind: FeatureKind, args: &ExperimentArgs) -> CvSummary {
     let kernel = deepmap_kernels::kernel_matrix(&ds.graphs, kind, args.seed);
-    cross_validate_svm(&kernel, &ds.labels, ds.n_classes, args.folds, &PAPER_C_GRID, args.seed)
+    cross_validate_svm(
+        &kernel,
+        &ds.labels,
+        ds.n_classes,
+        args.folds,
+        &PAPER_C_GRID,
+        args.seed,
+    )
 }
 
 /// The DGK baseline under SVM CV.
@@ -261,7 +273,14 @@ pub fn run_dgk(ds: &GraphDataset, args: &ExperimentArgs) -> CvSummary {
             ..Default::default()
         },
     );
-    cross_validate_svm(&kernel, &ds.labels, ds.n_classes, args.folds, &PAPER_C_GRID, args.seed)
+    cross_validate_svm(
+        &kernel,
+        &ds.labels,
+        ds.n_classes,
+        args.folds,
+        &PAPER_C_GRID,
+        args.seed,
+    )
 }
 
 /// The RetGK baseline under SVM CV.
@@ -273,7 +292,14 @@ pub fn run_retgk(ds: &GraphDataset, args: &ExperimentArgs) -> CvSummary {
             ..Default::default()
         },
     );
-    cross_validate_svm(&kernel, &ds.labels, ds.n_classes, args.folds, &PAPER_C_GRID, args.seed)
+    cross_validate_svm(
+        &kernel,
+        &ds.labels,
+        ds.n_classes,
+        args.folds,
+        &PAPER_C_GRID,
+        args.seed,
+    )
 }
 
 /// The GNTK baseline under SVM CV.
@@ -285,7 +311,14 @@ pub fn run_gntk(ds: &GraphDataset, args: &ExperimentArgs) -> CvSummary {
             ..Default::default()
         },
     );
-    cross_validate_svm(&kernel, &ds.labels, ds.n_classes, args.folds, &PAPER_C_GRID, args.seed)
+    cross_validate_svm(
+        &kernel,
+        &ds.labels,
+        ds.n_classes,
+        args.folds,
+        &PAPER_C_GRID,
+        args.seed,
+    )
 }
 
 fn avg_nodes(ds: &GraphDataset) -> f64 {
@@ -333,7 +366,13 @@ pub fn run_gnn_journaled(
     let (samples, m) = common::featurize(&ds.graphs, &ds.labels, input, args.seed);
     let avg_n = avg_nodes(ds);
     let train_fold = |fold: usize, train: &[usize], test: &[usize]| {
-        let mut model = build_gnn(kind, m, ds.n_classes, avg_n, args.seed.wrapping_add(fold as u64));
+        let mut model = build_gnn(
+            kind,
+            m,
+            ds.n_classes,
+            avg_n,
+            args.seed.wrapping_add(fold as u64),
+        );
         let train_samples: Vec<GraphSample> = train.iter().map(|&i| samples[i].clone()).collect();
         let test_samples: Vec<GraphSample> = test.iter().map(|&i| samples[i].clone()).collect();
         let history = fit_gnn(
@@ -398,10 +437,19 @@ pub fn gnn_training_curve(
 
 /// Training accuracy of a flat kernel SVM on the full dataset (the constant
 /// line the kernels contribute to Figure 6).
-pub fn kernel_training_accuracy(ds: &GraphDataset, kind: FeatureKind, args: &ExperimentArgs) -> f64 {
+pub fn kernel_training_accuracy(
+    ds: &GraphDataset,
+    kind: FeatureKind,
+    args: &ExperimentArgs,
+) -> f64 {
     let kernel = deepmap_kernels::kernel_matrix(&ds.graphs, kind, args.seed);
     let all: Vec<usize> = (0..ds.len()).collect();
-    let (model, _c) =
-        deepmap_svm::multiclass::select_c_and_train(&kernel, &all, &ds.labels, ds.n_classes, &PAPER_C_GRID);
+    let (model, _c) = deepmap_svm::multiclass::select_c_and_train(
+        &kernel,
+        &all,
+        &ds.labels,
+        ds.n_classes,
+        &PAPER_C_GRID,
+    );
     model.accuracy(&kernel, &all, &ds.labels)
 }

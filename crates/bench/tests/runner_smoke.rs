@@ -39,7 +39,10 @@ fn flat_kernel_cv_path() {
     let args = micro_args();
     let ds = load_dataset("KKI", &args).unwrap();
     for kind in [
-        FeatureKind::Graphlet { size: 3, samples: 4 },
+        FeatureKind::Graphlet {
+            size: 3,
+            samples: 4,
+        },
         FeatureKind::ShortestPath,
         FeatureKind::WlSubtree { iterations: 1 },
     ] {
@@ -52,7 +55,11 @@ fn flat_kernel_cv_path() {
 fn baseline_kernel_paths() {
     let args = micro_args();
     let ds = load_dataset("PTC_FR", &args).unwrap();
-    for summary in [run_dgk(&ds, &args), run_retgk(&ds, &args), run_gntk(&ds, &args)] {
+    for summary in [
+        run_dgk(&ds, &args),
+        run_retgk(&ds, &args),
+        run_gntk(&ds, &args),
+    ] {
         assert!((0.0..=1.0).contains(&summary.accuracy.mean));
     }
 }
@@ -63,14 +70,22 @@ fn gnn_cv_paths_both_inputs() {
     let ds = load_dataset("PTC_MR", &args).unwrap();
     for kind in GnnKind::all() {
         let one_hot = run_gnn(&ds, kind, GnnInput::OneHotLabels, &args);
-        assert!((0.0..=1.0).contains(&one_hot.accuracy.mean), "{}", kind.name());
+        assert!(
+            (0.0..=1.0).contains(&one_hot.accuracy.mean),
+            "{}",
+            kind.name()
+        );
         let featmaps = run_gnn(
             &ds,
             kind,
             GnnInput::VertexFeatureMaps(FeatureKind::WlSubtree { iterations: 1 }, 16),
             &args,
         );
-        assert!((0.0..=1.0).contains(&featmaps.accuracy.mean), "{}", kind.name());
+        assert!(
+            (0.0..=1.0).contains(&featmaps.accuracy.mean),
+            "{}",
+            kind.name()
+        );
     }
 }
 

@@ -27,6 +27,28 @@ pub enum VertexOrdering {
     ),
 }
 
+impl VertexOrdering {
+    /// Serialises to a `(tag, seed)` pair for the frozen-preprocessor binary
+    /// format; the seed is only meaningful for [`VertexOrdering::Random`].
+    pub fn to_tag(self) -> (u8, u64) {
+        match self {
+            VertexOrdering::EigenvectorCentrality => (0, 0),
+            VertexOrdering::DegreeCentrality => (1, 0),
+            VertexOrdering::Random(seed) => (2, seed),
+        }
+    }
+
+    /// Inverse of [`VertexOrdering::to_tag`].
+    pub fn from_tag(tag: u8, seed: u64) -> Result<VertexOrdering, String> {
+        match tag {
+            0 => Ok(VertexOrdering::EigenvectorCentrality),
+            1 => Ok(VertexOrdering::DegreeCentrality),
+            2 => Ok(VertexOrdering::Random(seed)),
+            other => Err(format!("unknown vertex-ordering tag {other}")),
+        }
+    }
+}
+
 /// The aligned vertex sequence of one graph, plus the scores used to build
 /// it (the receptive-field construction re-uses the scores).
 #[derive(Debug, Clone)]
@@ -129,6 +151,19 @@ mod tests {
         let g2 = graph_from_edges(5, &[(2, 0), (2, 1), (2, 3), (2, 4)], None).unwrap();
         let seq = vertex_sequence(&g2, VertexOrdering::EigenvectorCentrality);
         assert_eq!(seq.order[0], 2, "hub leads regardless of its id");
+    }
+
+    #[test]
+    fn ordering_tag_roundtrip() {
+        for ordering in [
+            VertexOrdering::EigenvectorCentrality,
+            VertexOrdering::DegreeCentrality,
+            VertexOrdering::Random(42),
+        ] {
+            let (tag, seed) = ordering.to_tag();
+            assert_eq!(VertexOrdering::from_tag(tag, seed), Ok(ordering));
+        }
+        assert!(VertexOrdering::from_tag(9, 0).is_err());
     }
 
     #[test]

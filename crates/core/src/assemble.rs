@@ -66,7 +66,8 @@ pub fn assemble_graph(
         "feature map count must match vertex count"
     );
     let seq = vertex_sequence(graph, config.ordering);
-    let fields = sequence_receptive_fields(graph, &seq.order, &seq.score, w, config.r, config.max_hops);
+    let fields =
+        sequence_receptive_fields(graph, &seq.order, &seq.score, w, config.r, config.max_hops);
     let mut input = Matrix::zeros(w * config.r, m);
     for (pos, field) in fields.iter().enumerate() {
         for (slot_idx, slot) in field.iter().enumerate() {
@@ -97,7 +98,11 @@ pub fn assemble_dataset(
     features: &DatasetFeatureMaps,
     config: &AssembleConfig,
 ) -> AssembledDataset {
-    assert_eq!(graphs.len(), features.n_graphs(), "graph/feature count mismatch");
+    assert_eq!(
+        graphs.len(),
+        features.n_graphs(),
+        "graph/feature count mismatch"
+    );
     assemble_dataset_unchecked(graphs, features, config)
 }
 
@@ -126,12 +131,24 @@ pub fn try_assemble_dataset(
     Ok(assemble_dataset_unchecked(graphs, features, config))
 }
 
+/// The aligned sequence length `w` for a dataset: the maximum vertex count,
+/// floored at 1 (Algorithm 1 line 8). Exposed so the frozen serving path
+/// records the width the model was trained with.
+pub fn aligned_width(graphs: &[Graph]) -> usize {
+    graphs
+        .iter()
+        .map(|g| g.n_vertices())
+        .max()
+        .unwrap_or(0)
+        .max(1)
+}
+
 fn assemble_dataset_unchecked(
     graphs: &[Graph],
     features: &DatasetFeatureMaps,
     config: &AssembleConfig,
 ) -> AssembledDataset {
-    let w = graphs.iter().map(|g| g.n_vertices()).max().unwrap_or(0).max(1);
+    let w = aligned_width(graphs);
     let m = features.dim.max(1);
     let inputs = graphs
         .iter()
@@ -220,7 +237,12 @@ mod tests {
                 ..Default::default()
             },
         );
-        let norm: f32 = normalized.inputs[0].row(0).iter().map(|x| x * x).sum::<f32>().sqrt();
+        let norm: f32 = normalized.inputs[0]
+            .row(0)
+            .iter()
+            .map(|x| x * x)
+            .sum::<f32>()
+            .sqrt();
         assert!((norm - 1.0).abs() < 1e-5, "row norm {norm}");
     }
 
@@ -240,9 +262,12 @@ mod tests {
         let graphs = two_graphs();
         let features = vertex_feature_maps(&graphs, FeatureKind::ShortestPath, 0);
         // Count mismatch.
-        let err = try_assemble_dataset(&graphs[..1], &features, &AssembleConfig::default())
-            .unwrap_err();
-        assert!(matches!(err, DeepMapError::FeatureCountMismatch { .. }), "{err}");
+        let err =
+            try_assemble_dataset(&graphs[..1], &features, &AssembleConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, DeepMapError::FeatureCountMismatch { .. }),
+            "{err}"
+        );
         // r == 0.
         let err = try_assemble_dataset(
             &graphs,
@@ -269,6 +294,12 @@ mod tests {
         let graphs = two_graphs();
         let features = vertex_feature_maps(&graphs, FeatureKind::ShortestPath, 0);
         // Wrong per-vertex slice for graph 1.
-        assemble_graph(&graphs[1], &features.maps[0], 4, features.dim, &AssembleConfig::default());
+        assemble_graph(
+            &graphs[1],
+            &features.maps[0],
+            4,
+            features.dim,
+            &AssembleConfig::default(),
+        );
     }
 }

@@ -13,8 +13,11 @@ use deepmap_nn::layers::Mode;
 use deepmap_nn::{Matrix, Sequential};
 
 /// Number of layers up to and including the third conv's ReLU in the
-/// Fig. 4 stack (`Conv, ReLU, Conv, ReLU, Conv, ReLU`).
-const CONV_STACK_LAYERS: usize = 6;
+/// Fig. 4 stack (`Conv, ReLU, Conv, ReLU, Conv, ReLU`). The layer at this
+/// index is the SumPool readout; the serving path splits batched forward
+/// passes here because the conv stack is the only part whose rows can be
+/// batched across graphs.
+pub const CONV_STACK_LAYERS: usize = 6;
 
 /// Deep vertex embeddings for one prepared graph: row `i` is the embedding
 /// of the `i`-th vertex of the aligned sequence (padding rows included, as
@@ -76,10 +79,7 @@ mod tests {
 
     fn setup() -> (DeepMap, PreparedDataset, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(1);
-        let graphs = vec![
-            cycle_graph(6, 0, &mut rng),
-            complete_graph(4, 0, &mut rng),
-        ];
+        let graphs = vec![cycle_graph(6, 0, &mut rng), complete_graph(4, 0, &mut rng)];
         let graphs: Vec<_> = graphs
             .into_iter()
             .map(|g| {

@@ -74,11 +74,17 @@ impl fmt::Display for DeepMapError {
                 f,
                 "graph/label count mismatch: {graphs} graphs vs {labels} labels"
             ),
-            DeepMapError::FeatureCountMismatch { graphs, feature_maps } => write!(
+            DeepMapError::FeatureCountMismatch {
+                graphs,
+                feature_maps,
+            } => write!(
                 f,
                 "graph/feature count mismatch: {graphs} graphs vs {feature_maps} feature maps"
             ),
-            DeepMapError::NonContiguousLabels { missing_class, n_classes } => write!(
+            DeepMapError::NonContiguousLabels {
+                missing_class,
+                n_classes,
+            } => write!(
                 f,
                 "non-contiguous class labels: class {missing_class} has no samples but the \
                  maximum label implies {n_classes} classes"
@@ -89,7 +95,10 @@ impl fmt::Display for DeepMapError {
                 f,
                 "{split} index {index} out of range for {len} prepared samples"
             ),
-            DeepMapError::TrainingFailed { attempts, last_error } => write!(
+            DeepMapError::TrainingFailed {
+                attempts,
+                last_error,
+            } => write!(
                 f,
                 "training failed after {attempts} attempt(s): {last_error}"
             ),
@@ -122,7 +131,10 @@ pub fn validate_contiguous_labels(labels: &[usize]) -> Result<usize, DeepMapErro
         present[l] = true;
     }
     if let Some(missing_class) = present.iter().position(|&p| !p) {
-        return Err(DeepMapError::NonContiguousLabels { missing_class, n_classes });
+        return Err(DeepMapError::NonContiguousLabels {
+            missing_class,
+            n_classes,
+        });
     }
     Ok(n_classes)
 }
@@ -142,7 +154,10 @@ mod tests {
         let err = validate_contiguous_labels(&[0, 2, 2]).unwrap_err();
         assert_eq!(
             err,
-            DeepMapError::NonContiguousLabels { missing_class: 1, n_classes: 3 }
+            DeepMapError::NonContiguousLabels {
+                missing_class: 1,
+                n_classes: 3
+            }
         );
         assert!(err.to_string().contains("class 1"));
     }
@@ -151,12 +166,18 @@ mod tests {
     fn display_keeps_legacy_panic_messages() {
         // `DeepMap::prepare` panics with these Display strings; downstream
         // `should_panic(expected = ...)` tests match on the prefixes.
-        assert!(DeepMapError::LengthMismatch { graphs: 2, labels: 1 }
-            .to_string()
-            .contains("graph/label count mismatch"));
+        assert!(DeepMapError::LengthMismatch {
+            graphs: 2,
+            labels: 1
+        }
+        .to_string()
+        .contains("graph/label count mismatch"));
         assert_eq!(DeepMapError::EmptyDataset.to_string(), "empty dataset");
-        assert!(DeepMapError::FeatureCountMismatch { graphs: 1, feature_maps: 2 }
-            .to_string()
-            .contains("graph/feature count mismatch"));
+        assert!(DeepMapError::FeatureCountMismatch {
+            graphs: 1,
+            feature_maps: 2
+        }
+        .to_string()
+        .contains("graph/feature count mismatch"));
     }
 }

@@ -1,0 +1,299 @@
+//! Frozen preprocessing for single-graph inference.
+//!
+//! [`DeepMap::try_prepare_frozen`](crate::DeepMap::try_prepare_frozen)
+//! fits the feature vocabulary and records everything tensor assembly
+//! decided from the corpus — the aligned width `w`, the receptive-field
+//! size `r`, the ordering, the normalisation flag — into a
+//! [`FrozenPreprocessor`]. At serve time [`FrozenPreprocessor::embed_one`]
+//! turns one unseen graph into the exact `(w·r × m)` tensor layout the
+//! model was trained on, with unseen substructures routed to the OOV
+//! feature bucket (see [`deepmap_kernels::frozen`]).
+
+use crate::alignment::VertexOrdering;
+use crate::assemble::{assemble_graph, AssembleConfig};
+use deepmap_graph::Graph;
+use deepmap_kernels::FrozenExtractor;
+use deepmap_nn::Matrix;
+
+/// A frozen feature extractor plus the tensor-assembly parameters captured
+/// at fit time: everything needed to map one graph to a CNN input.
+#[derive(Debug, Clone)]
+pub struct FrozenPreprocessor {
+    extractor: FrozenExtractor,
+    w: usize,
+    r: usize,
+    ordering: VertexOrdering,
+    max_hops: Option<usize>,
+    normalize: bool,
+}
+
+impl FrozenPreprocessor {
+    /// Bundles a fitted extractor with the assembly parameters.
+    pub fn new(
+        extractor: FrozenExtractor,
+        w: usize,
+        r: usize,
+        ordering: VertexOrdering,
+        max_hops: Option<usize>,
+        normalize: bool,
+    ) -> Self {
+        FrozenPreprocessor {
+            extractor,
+            w,
+            r,
+            ordering,
+            max_hops,
+            normalize,
+        }
+    }
+
+    /// The frozen feature extractor.
+    pub fn extractor(&self) -> &FrozenExtractor {
+        &self.extractor
+    }
+
+    /// Aligned sequence length the model was trained with.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Receptive-field size.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Serve-time feature dimension `m` (fitted columns + OOV bucket).
+    pub fn m(&self) -> usize {
+        self.extractor.dim()
+    }
+
+    /// Vertex ordering used for alignment.
+    pub fn ordering(&self) -> VertexOrdering {
+        self.ordering
+    }
+
+    /// BFS fallback bound for receptive fields.
+    pub fn max_hops(&self) -> Option<usize> {
+        self.max_hops
+    }
+
+    /// Whether vertex feature rows are L2-normalised.
+    pub fn normalize(&self) -> bool {
+        self.normalize
+    }
+
+    /// Embeds a single (possibly unseen) graph into the training tensor
+    /// layout: a `(w·r × m)` matrix ready for the CNN.
+    ///
+    /// Graphs with more than `w` vertices keep their `w` highest-ranked
+    /// vertices (the aligned sequence is truncated, exactly as a
+    /// longer-than-`w` graph would have been had it appeared at fit time).
+    pub fn embed_one(&self, graph: &Graph) -> Matrix {
+        let features = self.extractor.embed_one(graph);
+        assemble_graph(
+            graph,
+            &features,
+            self.w,
+            self.m(),
+            &AssembleConfig {
+                r: self.r,
+                ordering: self.ordering,
+                max_hops: self.max_hops,
+                normalize: self.normalize,
+            },
+        )
+    }
+
+    /// Serialises to a little-endian binary blob (the serving bundle's
+    /// container supplies magic/versioning).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let (tag, seed) = self.ordering.to_tag();
+        out.push(tag);
+        out.extend_from_slice(&seed.to_le_bytes());
+        out.extend_from_slice(&(self.w as u64).to_le_bytes());
+        out.extend_from_slice(&(self.r as u64).to_le_bytes());
+        match self.max_hops {
+            None => out.push(0),
+            Some(h) => {
+                out.push(1);
+                out.extend_from_slice(&(h as u64).to_le_bytes());
+            }
+        }
+        out.push(self.normalize as u8);
+        let blob = self.extractor.to_bytes();
+        out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+        out.extend_from_slice(&blob);
+        out
+    }
+
+    /// Deserialises a blob produced by
+    /// [`to_bytes`](FrozenPreprocessor::to_bytes); rejects malformed input
+    /// (short reads, bad flags, trailing bytes) with a description.
+    pub fn from_bytes(data: &[u8]) -> Result<FrozenPreprocessor, String> {
+        let mut r = Reader { data, pos: 0 };
+        let tag = r.u8()?;
+        let seed = r.u64()?;
+        let ordering = VertexOrdering::from_tag(tag, seed)?;
+        let w = r.u64()? as usize;
+        let field_r = r.u64()? as usize;
+        let max_hops = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()? as usize),
+            other => return Err(format!("bad max-hops flag {other}")),
+        };
+        let normalize = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(format!("bad normalize flag {other}")),
+        };
+        let blob_len = r.u64()? as usize;
+        let blob = r.take(blob_len)?;
+        let extractor = FrozenExtractor::from_bytes(blob)?;
+        if r.remaining() != 0 {
+            return Err(format!(
+                "{} trailing bytes after frozen preprocessor",
+                r.remaining()
+            ));
+        }
+        let r = field_r;
+        Ok(FrozenPreprocessor {
+            extractor,
+            w,
+            r,
+            ordering,
+            max_hops,
+            normalize,
+        })
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.data.len() {
+            return Err(format!(
+                "unexpected end of frozen preprocessor at byte {}",
+                self.pos
+            ));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{DeepMap, DeepMapConfig};
+    use deepmap_graph::generators::{complete_graph, cycle_graph};
+    use deepmap_kernels::FeatureKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_dataset() -> (Vec<Graph>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..4 {
+            graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+            labels.push(0);
+            graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+            labels.push(1);
+        }
+        (graphs, labels)
+    }
+
+    fn all_kinds() -> Vec<FeatureKind> {
+        vec![
+            FeatureKind::Graphlet {
+                size: 3,
+                samples: 10,
+            },
+            FeatureKind::ShortestPath,
+            FeatureKind::WlSubtree { iterations: 2 },
+        ]
+    }
+
+    #[test]
+    fn embed_one_matches_prepared_inputs_for_every_kind() {
+        let (graphs, labels) = toy_dataset();
+        for kind in all_kinds() {
+            let dm = DeepMap::new(DeepMapConfig {
+                r: 3,
+                ..DeepMapConfig::paper(kind)
+            });
+            let (prepared, pre) = dm.try_prepare_frozen(&graphs, &labels).unwrap();
+            assert_eq!(pre.m(), prepared.m, "{kind:?}");
+            assert_eq!(pre.w(), prepared.w, "{kind:?}");
+            for (gi, graph) in graphs.iter().enumerate() {
+                assert_eq!(
+                    pre.embed_one(graph),
+                    prepared.samples[gi].input,
+                    "{kind:?}: graph {gi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embed_one_handles_graphs_wider_than_w() {
+        let (graphs, labels) = toy_dataset();
+        let dm = DeepMap::new(DeepMapConfig {
+            r: 3,
+            ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 1 })
+        });
+        let (prepared, pre) = dm.try_prepare_frozen(&graphs, &labels).unwrap();
+        // A 20-vertex cycle: wider than any fitted graph.
+        let mut rng = StdRng::seed_from_u64(3);
+        let big = cycle_graph(20, 0, &mut rng);
+        let input = pre.embed_one(&big);
+        assert_eq!(input.shape(), (prepared.w * 3, prepared.m));
+    }
+
+    #[test]
+    fn preprocessor_bytes_roundtrip() {
+        let (graphs, labels) = toy_dataset();
+        let dm = DeepMap::new(DeepMapConfig {
+            r: 3,
+            max_feature_dim: Some(8),
+            ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+        });
+        let (_, pre) = dm.try_prepare_frozen(&graphs, &labels).unwrap();
+        let blob = pre.to_bytes();
+        let restored = FrozenPreprocessor::from_bytes(&blob).expect("roundtrip");
+        assert_eq!(restored.m(), pre.m());
+        assert_eq!(restored.w(), pre.w());
+        assert_eq!(restored.r(), pre.r());
+        for graph in &graphs {
+            assert_eq!(restored.embed_one(graph), pre.embed_one(graph));
+        }
+        // Malformed blobs are rejected.
+        let mut long = blob.clone();
+        long.push(0);
+        assert!(FrozenPreprocessor::from_bytes(&long)
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(FrozenPreprocessor::from_bytes(&blob[..blob.len() - 2]).is_err());
+        assert!(FrozenPreprocessor::from_bytes(&[]).is_err());
+    }
+}

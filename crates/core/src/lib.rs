@@ -31,11 +31,13 @@ pub mod alignment;
 pub mod assemble;
 pub mod embedding;
 pub mod error;
+pub mod frozen;
 pub mod model;
 pub mod pipeline;
 pub mod receptive_field;
 
 pub use alignment::VertexOrdering;
 pub use error::DeepMapError;
+pub use frozen::FrozenPreprocessor;
 pub use model::{build_deepmap_model, ModelConfig, Readout};
 pub use pipeline::{DeepMap, DeepMapConfig, FitResult, PreparedDataset, RecoveryConfig};

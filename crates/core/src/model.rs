@@ -67,7 +67,9 @@ pub fn build_deepmap_model(config: &ModelConfig) -> Sequential {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let [f0, f1, f2] = config.filters;
     let mut model = Sequential::new()
-        .push(Box::new(Conv1D::new(config.m, f0, config.r, config.r, &mut rng)))
+        .push(Box::new(Conv1D::new(
+            config.m, f0, config.r, config.r, &mut rng,
+        )))
         .push(Box::new(ReLU::new()))
         .push(Box::new(Conv1D::new(f0, f1, 1, 1, &mut rng)))
         .push(Box::new(ReLU::new()))
@@ -87,7 +89,11 @@ pub fn build_deepmap_model(config: &ModelConfig) -> Sequential {
         .push(Box::new(Dense::new(head_in, config.dense_units, &mut rng)))
         .push(Box::new(ReLU::new()))
         .push(Box::new(Dropout::new(config.dropout, config.seed ^ 0x5eed)))
-        .push(Box::new(Dense::new(config.dense_units, config.n_classes, &mut rng)))
+        .push(Box::new(Dense::new(
+            config.dense_units,
+            config.n_classes,
+            &mut rng,
+        )))
 }
 
 #[cfg(test)]
@@ -160,12 +166,15 @@ mod tests {
     #[test]
     fn parameter_count_matches_formula() {
         let config = ModelConfig::paper(10, 4, 6, 3, 1);
-        let mut model = build_deepmap_model(&config);
+        let model = build_deepmap_model(&config);
         let conv1 = 4 * 10 * 32 + 32;
         let conv2 = 32 * 16 + 16;
         let conv3 = 16 * 8 + 8;
         let dense1 = 8 * 128 + 128;
         let dense2 = 128 * 3 + 3;
-        assert_eq!(model.n_parameters(), conv1 + conv2 + conv3 + dense1 + dense2);
+        assert_eq!(
+            model.n_parameters(),
+            conv1 + conv2 + conv3 + dense1 + dense2
+        );
     }
 }

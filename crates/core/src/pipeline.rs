@@ -13,10 +13,11 @@
 
 use crate::assemble::{try_assemble_dataset, AssembleConfig};
 use crate::error::{validate_contiguous_labels, DeepMapError};
+use crate::frozen::FrozenPreprocessor;
 use crate::model::{build_deepmap_model, ModelConfig, Readout};
 use crate::VertexOrdering;
 use deepmap_graph::Graph;
-use deepmap_kernels::{vertex_feature_maps, FeatureKind};
+use deepmap_kernels::{vertex_feature_maps, FeatureKind, FrozenExtractor};
 use deepmap_nn::train::{evaluate, try_fit, EpochStats, GuardConfig, Sample, TrainConfig};
 use deepmap_nn::Sequential;
 
@@ -195,15 +196,84 @@ impl DeepMap {
         })
     }
 
+    /// [`DeepMap::try_prepare`] with a frozen feature vocabulary: in
+    /// addition to the prepared training tensors, returns the
+    /// [`FrozenPreprocessor`] that re-creates the exact tensor layout for
+    /// single unseen graphs at serve time.
+    ///
+    /// The tensors differ from [`DeepMap::try_prepare`]'s in exactly one
+    /// way: the feature dimension gains one trailing OOV column that is
+    /// all-zero on every training graph (unseen substructures land there at
+    /// serve time). For the graphlet kind the sampling RNG is additionally
+    /// re-seeded per graph so serve-time embedding can replay it.
+    pub fn try_prepare_frozen(
+        &self,
+        graphs: &[Graph],
+        labels: &[usize],
+    ) -> Result<(PreparedDataset, FrozenPreprocessor), DeepMapError> {
+        if graphs.len() != labels.len() {
+            return Err(DeepMapError::LengthMismatch {
+                graphs: graphs.len(),
+                labels: labels.len(),
+            });
+        }
+        if graphs.is_empty() {
+            return Err(DeepMapError::EmptyDataset);
+        }
+        let n_classes = validate_contiguous_labels(labels)?;
+        let (mut features, mut extractor) =
+            FrozenExtractor::fit(graphs, self.config.kind, self.config.seed);
+        if let Some(k) = self.config.max_feature_dim {
+            if let Some(mapping) = features.top_k_mapping(k) {
+                features = features.apply_mapping(&mapping, k);
+                extractor.truncate(&mapping, k);
+            }
+        }
+        // Widen the tensors by the OOV bucket so the model has a (zero)
+        // input column for serve-time unseen substructures.
+        features.dim = extractor.dim();
+        let assemble_cfg = AssembleConfig {
+            r: self.config.r,
+            ordering: self.config.ordering,
+            max_hops: self.config.max_hops,
+            normalize: self.config.normalize,
+        };
+        let assembled = try_assemble_dataset(graphs, &features, &assemble_cfg)?;
+        let pre = FrozenPreprocessor::new(
+            extractor,
+            assembled.w,
+            self.config.r,
+            self.config.ordering,
+            self.config.max_hops,
+            self.config.normalize,
+        );
+        let samples = assembled
+            .inputs
+            .into_iter()
+            .zip(labels)
+            .map(|(input, &label)| Sample { input, label })
+            .collect();
+        Ok((
+            PreparedDataset {
+                samples,
+                w: assembled.w,
+                m: assembled.m,
+                n_classes,
+            },
+            pre,
+        ))
+    }
+
     /// Builds the CNN for a prepared dataset.
     pub fn build_model(&self, prepared: &PreparedDataset) -> Sequential {
         self.build_model_seeded(prepared, self.config.seed)
     }
 
-    /// Builds the CNN with an explicit initialisation seed (used by the
-    /// divergence-recovery retry loop to reseed the weights).
-    fn build_model_seeded(&self, prepared: &PreparedDataset, seed: u64) -> Sequential {
-        build_deepmap_model(&ModelConfig {
+    /// The architecture the pipeline builds for a prepared dataset — the
+    /// paper's Fig. 4 stack with its shape parameters filled in. Exposed so
+    /// a serving bundle can record (and later rebuild) the exact model.
+    pub fn model_config(&self, prepared: &PreparedDataset) -> ModelConfig {
+        ModelConfig {
             m: prepared.m,
             r: self.config.r,
             w: prepared.w,
@@ -212,7 +282,16 @@ impl DeepMap {
             dense_units: 128,
             dropout: 0.5,
             readout: self.config.readout,
+            seed: self.config.seed,
+        }
+    }
+
+    /// Builds the CNN with an explicit initialisation seed (used by the
+    /// divergence-recovery retry loop to reseed the weights).
+    fn build_model_seeded(&self, prepared: &PreparedDataset, seed: u64) -> Sequential {
+        build_deepmap_model(&ModelConfig {
             seed,
+            ..self.model_config(prepared)
         })
     }
 
@@ -287,7 +366,13 @@ impl DeepMap {
                 guard.inject_nan_at_epoch = None;
             }
             let mut model = self.build_model_seeded(prepared, model_seed);
-            match try_fit(&mut model, &train_samples, Some(&test_samples), &train_cfg, &guard) {
+            match try_fit(
+                &mut model,
+                &train_samples,
+                Some(&test_samples),
+                &train_cfg,
+                &guard,
+            ) {
                 Ok(history) => {
                     let test_accuracy = evaluate(&mut model, &test_samples)
                         .expect("test split validated non-empty");
@@ -314,7 +399,10 @@ impl DeepMap {
             }
         }
         let last = last_error.expect("at least one attempt ran");
-        Err(DeepMapError::training_failed(recovery.max_retries + 1, &last))
+        Err(DeepMapError::training_failed(
+            recovery.max_retries + 1,
+            &last,
+        ))
     }
 }
 
@@ -328,16 +416,16 @@ fn reseed(seed: u64, attempt: usize) -> u64 {
     }
 }
 
-fn validate_split(
-    idx: &[usize],
-    split: &'static str,
-    len: usize,
-) -> Result<(), DeepMapError> {
+fn validate_split(idx: &[usize], split: &'static str, len: usize) -> Result<(), DeepMapError> {
     if idx.is_empty() {
         return Err(DeepMapError::EmptySplit { split });
     }
     if let Some(&bad) = idx.iter().find(|&&i| i >= len) {
-        return Err(DeepMapError::IndexOutOfRange { split, index: bad, len });
+        return Err(DeepMapError::IndexOutOfRange {
+            split,
+            index: bad,
+            len,
+        });
     }
     Ok(())
 }
@@ -434,6 +522,33 @@ mod tests {
     }
 
     #[test]
+    fn frozen_prepare_adds_only_a_zero_oov_column() {
+        // For the deterministic kinds the frozen tensors must equal the
+        // legacy ones except for one trailing all-zero OOV column — the
+        // guarantee that lets a served model reproduce training behaviour.
+        let (graphs, labels) = toy_dataset(3);
+        for kind in [
+            FeatureKind::WlSubtree { iterations: 2 },
+            FeatureKind::ShortestPath,
+        ] {
+            let dm = DeepMap::new(quick_config(kind));
+            let legacy = dm.prepare(&graphs, &labels);
+            let (frozen, pre) = dm.try_prepare_frozen(&graphs, &labels).unwrap();
+            assert_eq!(frozen.m, legacy.m + 1, "{kind:?}");
+            assert_eq!(frozen.w, legacy.w);
+            assert_eq!(pre.m(), frozen.m);
+            for (a, b) in legacy.samples.iter().zip(&frozen.samples) {
+                let (rows, m) = a.input.shape();
+                assert_eq!(b.input.shape(), (rows, m + 1));
+                for row in 0..rows {
+                    assert_eq!(&b.input.row(row)[..m], a.input.row(row), "{kind:?}");
+                    assert_eq!(b.input.row(row)[m], 0.0, "OOV column all-zero in training");
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "graph/label count mismatch")]
     fn mismatched_labels_panic() {
         let (graphs, _) = toy_dataset(2);
@@ -465,7 +580,10 @@ mod tests {
         let err = dm.try_prepare(&graphs, &gapped).unwrap_err();
         assert_eq!(
             err,
-            DeepMapError::NonContiguousLabels { missing_class: 1, n_classes: 3 }
+            DeepMapError::NonContiguousLabels {
+                missing_class: 1,
+                n_classes: 3
+            }
         );
     }
 
@@ -479,7 +597,10 @@ mod tests {
         let err = dm.try_fit_split(&prepared, &[0, 1], &[]).unwrap_err();
         assert_eq!(err, DeepMapError::EmptySplit { split: "test" });
         let err = dm.try_fit_split(&prepared, &[0, 99], &[1]).unwrap_err();
-        assert!(matches!(err, DeepMapError::IndexOutOfRange { index: 99, .. }), "{err}");
+        assert!(
+            matches!(err, DeepMapError::IndexOutOfRange { index: 99, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -504,7 +625,11 @@ mod tests {
             .expect("retry must recover from the injected fault");
         assert_eq!(result.retries, 1);
         assert_eq!(result.divergences.len(), 1);
-        assert!(result.divergences[0].contains("non-finite loss"), "{:?}", result.divergences);
+        assert!(
+            result.divergences[0].contains("non-finite loss"),
+            "{:?}",
+            result.divergences
+        );
         // The successful attempt ran at half the configured learning rate.
         let base_lr = dm.config().train.learning_rate;
         assert!(
@@ -534,7 +659,10 @@ mod tests {
             .try_fit_split_with(&prepared, &[0, 1, 2, 3], &[4, 5], &recovery)
             .unwrap_err();
         match err {
-            DeepMapError::TrainingFailed { attempts, last_error } => {
+            DeepMapError::TrainingFailed {
+                attempts,
+                last_error,
+            } => {
                 assert_eq!(attempts, 2);
                 assert!(last_error.contains("exploding gradient"), "{last_error}");
             }
@@ -553,9 +681,7 @@ mod tests {
         let train_idx: Vec<usize> = (0..4).collect();
         let test_idx: Vec<usize> = (4..6).collect();
         let a = dm.fit_split(&prepared, &train_idx, &test_idx);
-        let b = dm
-            .try_fit_split(&prepared, &train_idx, &test_idx)
-            .unwrap();
+        let b = dm.try_fit_split(&prepared, &train_idx, &test_idx).unwrap();
         assert_eq!(a.history.len(), b.history.len());
         for (x, y) in a.history.iter().zip(&b.history) {
             assert_eq!(x.loss, y.loss);

@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn r_equal_one_is_just_the_root() {
         let (g, score) = star();
-        assert_eq!(receptive_field(&g, 2, 1, &score, None), vec![Slot::Vertex(2)]);
+        assert_eq!(
+            receptive_field(&g, 2, 1, &score, None),
+            vec![Slot::Vertex(2)]
+        );
     }
 
     #[test]

@@ -239,9 +239,16 @@ fn generate_one(
             }
             for _ in 0..extra {
                 // 20% label noise: use the other class's ring length.
-                let effective_class =
-                    if rng.gen_bool(0.2) { 1 - class.min(1) } else { class.min(1) };
-                let hops = if effective_class == 0 { 2 } else { 3 + rng.gen_range(0..2) };
+                let effective_class = if rng.gen_bool(0.2) {
+                    1 - class.min(1)
+                } else {
+                    class.min(1)
+                };
+                let hops = if effective_class == 0 {
+                    2
+                } else {
+                    3 + rng.gen_range(0..2)
+                };
                 // Non-backtracking walk of `hops` steps from a random start;
                 // connecting the endpoints closes a ring of length hops + 1.
                 let start = rng.gen_range(0..n) as u32;
@@ -400,8 +407,8 @@ mod tests {
         for name in ["PTC_MR", "PROTEINS", "IMDB-MULTI"] {
             let spec = spec_by_name(name).unwrap();
             let ds = generate(name, 0.2, 7).unwrap();
-            let avg: f64 = ds.graphs.iter().map(|g| g.n_vertices() as f64).sum::<f64>()
-                / ds.len() as f64;
+            let avg: f64 =
+                ds.graphs.iter().map(|g| g.n_vertices() as f64).sum::<f64>() / ds.len() as f64;
             assert!(
                 (avg - spec.avg_nodes).abs() < spec.avg_nodes * 0.4,
                 "{name}: avg {avg} vs spec {}",

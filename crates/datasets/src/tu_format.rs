@@ -46,7 +46,11 @@ impl fmt::Display for TuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TuError::Io(e) => write!(f, "io error: {e}"),
-            TuError::Parse { file, line, message } => {
+            TuError::Parse {
+                file,
+                line,
+                message,
+            } => {
                 write!(f, "{file}:{line}: {message}")
             }
             TuError::Inconsistent(msg) => write!(f, "inconsistent dataset: {msg}"),
@@ -100,17 +104,21 @@ fn parse_numbers<T: std::str::FromStr>(content: &str, file: &str) -> Result<Vec<
 /// labels are remapped to dense `0..n_classes` preserving numeric order.
 pub fn load(dir: &Path, name: &str) -> Result<GraphDataset, TuError> {
     let read = |suffix: &str| -> Result<String, TuError> {
-        Ok(std::fs::read_to_string(dir.join(format!("{name}{suffix}")))?)
+        Ok(std::fs::read_to_string(
+            dir.join(format!("{name}{suffix}")),
+        )?)
     };
 
-    let indicator: Vec<usize> = parse_numbers::<usize>(&read("_graph_indicator.txt")?, "_graph_indicator.txt")?
-        .into_iter()
-        .map(|row| row[0])
-        .collect();
-    let graph_labels_raw: Vec<i64> = parse_numbers::<i64>(&read("_graph_labels.txt")?, "_graph_labels.txt")?
-        .into_iter()
-        .map(|row| row[0])
-        .collect();
+    let indicator: Vec<usize> =
+        parse_numbers::<usize>(&read("_graph_indicator.txt")?, "_graph_indicator.txt")?
+            .into_iter()
+            .map(|row| row[0])
+            .collect();
+    let graph_labels_raw: Vec<i64> =
+        parse_numbers::<i64>(&read("_graph_labels.txt")?, "_graph_labels.txt")?
+            .into_iter()
+            .map(|row| row[0])
+            .collect();
     let edges: Vec<(usize, usize)> = parse_numbers::<usize>(&read("_A.txt")?, "_A.txt")?
         .into_iter()
         .map(|row| {
@@ -121,15 +129,16 @@ pub fn load(dir: &Path, name: &str) -> Result<GraphDataset, TuError> {
             }
         })
         .collect::<Result<_, _>>()?;
-    let node_labels: Option<Vec<u32>> = match std::fs::read_to_string(dir.join(format!("{name}_node_labels.txt"))) {
-        Ok(content) => Some(
-            parse_numbers::<u32>(&content, "_node_labels.txt")?
-                .into_iter()
-                .map(|row| row[0])
-                .collect(),
-        ),
-        Err(_) => None,
-    };
+    let node_labels: Option<Vec<u32>> =
+        match std::fs::read_to_string(dir.join(format!("{name}_node_labels.txt"))) {
+            Ok(content) => Some(
+                parse_numbers::<u32>(&content, "_node_labels.txt")?
+                    .into_iter()
+                    .map(|row| row[0])
+                    .collect(),
+            ),
+            Err(_) => None,
+        };
 
     let n_graphs = graph_labels_raw.len();
     let n_vertices = indicator.len();
@@ -173,7 +182,9 @@ pub fn load(dir: &Path, name: &str) -> Result<GraphDataset, TuError> {
     }
     for (u, v) in edges {
         if u == 0 || v == 0 || u > n_vertices || v > n_vertices {
-            return Err(TuError::Inconsistent(format!("edge ({u}, {v}) out of range")));
+            return Err(TuError::Inconsistent(format!(
+                "edge ({u}, {v}) out of range"
+            )));
         }
         let (u, v) = (u - 1, v - 1);
         if graph_of[u] != graph_of[v] {
@@ -194,7 +205,7 @@ pub fn load(dir: &Path, name: &str) -> Result<GraphDataset, TuError> {
     distinct.dedup();
     let labels: Vec<usize> = graph_labels_raw
         .iter()
-        .map(|l| distinct.binary_search(l).expect("label present") )
+        .map(|l| distinct.binary_search(l).expect("label present"))
         .collect();
 
     Ok(GraphDataset {

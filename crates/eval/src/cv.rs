@@ -35,7 +35,10 @@ impl fmt::Display for CvError {
         match self {
             CvError::ZeroFolds => write!(f, "need at least one fold"),
             CvError::TooManyFolds { folds, samples } => {
-                write!(f, "more folds than samples: {folds} folds for {samples} samples")
+                write!(
+                    f,
+                    "more folds than samples: {folds} folds for {samples} samples"
+                )
             }
         }
     }
@@ -104,7 +107,10 @@ pub fn try_stratified_folds(
         return Err(CvError::ZeroFolds);
     }
     if k > labels.len().max(1) {
-        return Err(CvError::TooManyFolds { folds: k, samples: labels.len() });
+        return Err(CvError::TooManyFolds {
+            folds: k,
+            samples: labels.len(),
+        });
     }
     let n_classes = labels.iter().copied().max().map(|m| m + 1).unwrap_or(0);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -313,8 +319,7 @@ where
             results[*fi] = Some(run_one(*fi, train, test));
         }
     } else {
-        let chunks: Vec<&[FoldJob]> =
-            jobs.chunks(jobs.len().div_ceil(options.threads)).collect();
+        let chunks: Vec<&[FoldJob]> = jobs.chunks(jobs.len().div_ceil(options.threads)).collect();
         let outcomes: Vec<(usize, Result<FoldCurve, String>)> = crossbeam::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
@@ -360,7 +365,10 @@ where
     let mut best_epoch = 0usize;
     let mut best_mean = f64::NEG_INFINITY;
     for e in 0..n_epochs {
-        let mean: f64 = completed.iter().map(|(_, c)| c.test_accuracy[e]).sum::<f64>()
+        let mean: f64 = completed
+            .iter()
+            .map(|(_, c)| c.test_accuracy[e])
+            .sum::<f64>()
             / completed.len().max(1) as f64;
         if mean > best_mean {
             best_mean = mean;
@@ -370,10 +378,13 @@ where
     let fold_accuracies: Vec<f64> = if n_epochs == 0 {
         vec![0.0; completed.len()]
     } else {
-        completed.iter().map(|(_, c)| c.test_accuracy[best_epoch]).collect()
+        completed
+            .iter()
+            .map(|(_, c)| c.test_accuracy[best_epoch])
+            .collect()
     };
-    let mean_epoch_seconds = completed.iter().map(|(_, c)| c.epoch_seconds).sum::<f64>()
-        / completed.len().max(1) as f64;
+    let mean_epoch_seconds =
+        completed.iter().map(|(_, c)| c.epoch_seconds).sum::<f64>() / completed.len().max(1) as f64;
     CvSummary {
         accuracy: MeanStd::of(&fold_accuracies),
         fold_accuracies,
@@ -421,18 +432,21 @@ mod tests {
     #[test]
     fn deterministic_folds() {
         let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
-        assert_eq!(stratified_folds(&labels, 5, 9), stratified_folds(&labels, 5, 9));
-        assert_ne!(stratified_folds(&labels, 5, 9), stratified_folds(&labels, 5, 10));
+        assert_eq!(
+            stratified_folds(&labels, 5, 9),
+            stratified_folds(&labels, 5, 9)
+        );
+        assert_ne!(
+            stratified_folds(&labels, 5, 9),
+            stratified_folds(&labels, 5, 10)
+        );
     }
 
     #[test]
     fn epoch_selection_picks_best_mean() {
         // Fold 0 curve peaks at epoch 1, fold 1 at epoch 2; mean peaks at 2.
         let labels = vec![0, 0, 1, 1];
-        let curves = [
-            vec![0.2, 0.8, 0.7],
-            vec![0.1, 0.5, 0.9],
-        ];
+        let curves = [vec![0.2, 0.8, 0.7], vec![0.1, 0.5, 0.9]];
         let summary = cross_validate_epochs(&labels, 2, 1, 1, |fi, _train, _test| FoldCurve {
             test_accuracy: curves[fi].clone(),
             epoch_seconds: 0.5,
@@ -474,7 +488,10 @@ mod tests {
         assert_eq!(try_stratified_folds(&[0, 1], 0, 1), Err(CvError::ZeroFolds));
         assert_eq!(
             try_stratified_folds(&[0, 1], 5, 1),
-            Err(CvError::TooManyFolds { folds: 5, samples: 2 })
+            Err(CvError::TooManyFolds {
+                folds: 5,
+                samples: 2
+            })
         );
         assert!(try_stratified_folds(&[0, 1], 2, 1).is_ok());
     }
@@ -517,10 +534,13 @@ mod tests {
         };
         let summary = cross_validate_epochs(&labels, 4, 1, 4, run);
         assert_eq!(summary.folds_completed(), 3);
-        assert_eq!(summary.failures, vec![FoldFailure {
-            fold: 0,
-            message: "worker 0 down".to_string(),
-        }]);
+        assert_eq!(
+            summary.failures,
+            vec![FoldFailure {
+                fold: 0,
+                message: "worker 0 down".to_string(),
+            }]
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ impl MeanStd {
     /// Returns `mean = std = 0` for empty input.
     pub fn of(values: &[f64]) -> MeanStd {
         if values.is_empty() {
-            return MeanStd { mean: 0.0, std: 0.0 };
+            return MeanStd {
+                mean: 0.0,
+                std: 0.0,
+            };
         }
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;

@@ -93,7 +93,11 @@ impl ResultTable {
     /// # Panics
     /// Panics when the cell count does not match the method count.
     pub fn push_cells<S: Into<String>>(&mut self, dataset: S, cells: Vec<Cell>) {
-        assert_eq!(cells.len(), self.methods.len(), "cell/method count mismatch");
+        assert_eq!(
+            cells.len(),
+            self.methods.len(),
+            "cell/method count mismatch"
+        );
         self.rows.push((dataset.into(), cells));
     }
 
@@ -138,7 +142,12 @@ impl ResultTable {
 
 /// Renders a simple two-column series (e.g. a figure's x/y data) as
 /// markdown, for the figure-reproduction binaries.
-pub fn series_markdown(title: &str, x_label: &str, series: &[(String, Vec<f64>)], xs: &[f64]) -> String {
+pub fn series_markdown(
+    title: &str,
+    x_label: &str,
+    series: &[(String, Vec<f64>)],
+    xs: &[f64],
+) -> String {
     let mut out = format!("### {title}\n\n| {x_label} |");
     for (name, _) in series {
         out.push_str(&format!(" {name} |"));
@@ -199,13 +208,19 @@ mod tests {
     #[test]
     fn degraded_cell_annotated_with_fold_count() {
         let partial = CvSummary {
-            accuracy: MeanStd { mean: 0.5448, std: 0.0434 },
+            accuracy: MeanStd {
+                mean: 0.5448,
+                std: 0.0434,
+            },
             fold_accuracies: vec![0.5; 3],
             best_epoch: Some(4),
             mean_epoch_seconds: 0.1,
             folds_total: 10,
             failures: (3..10)
-                .map(|fold| FoldFailure { fold, message: "crash".into() })
+                .map(|fold| FoldFailure {
+                    fold,
+                    message: "crash".into(),
+                })
                 .collect(),
         };
         let cell = Cell::from_summary(&partial);
@@ -224,7 +239,10 @@ mod tests {
             mean_epoch_seconds: 0.0,
             folds_total: 10,
             failures: (0..10)
-                .map(|fold| FoldFailure { fold, message: "crash".into() })
+                .map(|fold| FoldFailure {
+                    fold,
+                    message: "crash".into(),
+                })
                 .collect(),
         };
         let cell = Cell::from_summary(&dead);
@@ -235,14 +253,23 @@ mod tests {
     #[test]
     fn clean_summary_has_no_note() {
         let clean = CvSummary {
-            accuracy: MeanStd { mean: 0.9, std: 0.01 },
+            accuracy: MeanStd {
+                mean: 0.9,
+                std: 0.01,
+            },
             fold_accuracies: vec![0.9; 10],
             best_epoch: Some(1),
             mean_epoch_seconds: 0.1,
             folds_total: 10,
             failures: vec![],
         };
-        assert_eq!(Cell::from_summary(&clean), Cell::new(Some(MeanStd { mean: 0.9, std: 0.01 })));
+        assert_eq!(
+            Cell::from_summary(&clean),
+            Cell::new(Some(MeanStd {
+                mean: 0.9,
+                std: 0.01
+            }))
+        );
     }
 
     #[test]

@@ -150,10 +150,7 @@ impl Default for GnnTrainConfig {
 ///
 /// Returns `None` for an empty slice — an empty fold is "no measurement",
 /// not 0% accuracy.
-pub fn evaluate_gnn(
-    model: &mut dyn GraphClassifier,
-    samples: &[GraphSample],
-) -> Option<f64> {
+pub fn evaluate_gnn(model: &mut dyn GraphClassifier, samples: &[GraphSample]) -> Option<f64> {
     if samples.is_empty() {
         return None;
     }
@@ -197,8 +194,7 @@ pub fn fit_gnn(
         let epoch_seconds = start.elapsed().as_secs_f64();
         let mean_loss = (total_loss / train.len() as f64) as f32;
         scheduler.observe(mean_loss, &mut optimizer);
-        let train_accuracy =
-            evaluate_gnn(model, train).expect("train set is non-empty");
+        let train_accuracy = evaluate_gnn(model, train).expect("train set is non-empty");
         let eval_accuracy = eval.and_then(|e| evaluate_gnn(model, e));
         history.push(EpochStats {
             epoch,

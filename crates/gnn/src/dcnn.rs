@@ -184,7 +184,11 @@ mod tests {
             },
         );
         let last = history.last().unwrap();
-        assert!(last.train_accuracy > 0.9, "accuracy {}", last.train_accuracy);
+        assert!(
+            last.train_accuracy > 0.9,
+            "accuracy {}",
+            last.train_accuracy
+        );
     }
 
     #[test]

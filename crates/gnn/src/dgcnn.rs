@@ -150,8 +150,14 @@ impl Dgcnn {
         let mut h = sample.features.clone();
         let mut zs: Vec<Matrix> = Vec::with_capacity(self.layers.len());
         for layer in &mut self.layers {
-            let t = if n == 0 { h.clone() } else { propagate(&sample.graph, &h) };
-            h = layer.activation.forward(&layer.dense.forward(&t, mode), mode);
+            let t = if n == 0 {
+                h.clone()
+            } else {
+                propagate(&sample.graph, &h)
+            };
+            h = layer
+                .activation
+                .forward(&layer.dense.forward(&t, mode), mode);
             zs.push(h.clone());
         }
         // Concatenate layer outputs per vertex.
@@ -228,8 +234,9 @@ impl Dgcnn {
         let slice_grad = |l: usize| -> Matrix {
             let mut m = Matrix::zeros(cache.n_vertices, cache.widths[l]);
             for v in 0..cache.n_vertices {
-                m.row_mut(v)
-                    .copy_from_slice(&d_concat.row(v)[col_offsets[l]..col_offsets[l] + cache.widths[l]]);
+                m.row_mut(v).copy_from_slice(
+                    &d_concat.row(v)[col_offsets[l]..col_offsets[l] + cache.widths[l]],
+                );
             }
             m
         };
@@ -318,7 +325,11 @@ mod tests {
         let px = propagate(&g, &x);
         let pty = propagate_transpose(&g, &y);
         let dot = |a: &Matrix, b: &Matrix| -> f32 {
-            a.as_slice().iter().zip(b.as_slice()).map(|(&p, &q)| p * q).sum()
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(&p, &q)| p * q)
+                .sum()
         };
         assert!((dot(&px, &y) - dot(&x, &pty)).abs() < 1e-4);
     }
@@ -367,7 +378,11 @@ mod tests {
             },
         );
         let last = history.last().unwrap();
-        assert!(last.train_accuracy > 0.85, "accuracy {}", last.train_accuracy);
+        assert!(
+            last.train_accuracy > 0.85,
+            "accuracy {}",
+            last.train_accuracy
+        );
     }
 
     #[test]

@@ -124,10 +124,9 @@ impl Gin {
             };
             let block = &mut self.blocks[i];
             h = block.r2.forward(
-                &block.d2.forward(
-                    &block.r1.forward(&block.d1.forward(&agg, mode), mode),
-                    mode,
-                ),
+                &block
+                    .d2
+                    .forward(&block.r1.forward(&block.d1.forward(&agg, mode), mode), mode),
                 mode,
             );
         }
@@ -149,9 +148,11 @@ impl Gin {
         let graph = self.cached_graph.take().expect("train forward first");
         for l in (0..self.blocks.len()).rev() {
             let block = &mut self.blocks[l];
-            let d_agg = block
-                .d1
-                .backward(&block.r1.backward(&block.d2.backward(&block.r2.backward(&grad))));
+            let d_agg = block.d1.backward(
+                &block
+                    .r1
+                    .backward(&block.d2.backward(&block.r2.backward(&grad))),
+            );
             grad = if n_vertices == 0 {
                 d_agg
             } else {
@@ -235,7 +236,11 @@ mod tests {
             },
         );
         let last = history.last().unwrap();
-        assert!(last.train_accuracy > 0.9, "accuracy {}", last.train_accuracy);
+        assert!(
+            last.train_accuracy > 0.9,
+            "accuracy {}",
+            last.train_accuracy
+        );
     }
 
     #[test]
@@ -278,7 +283,8 @@ mod tests {
             let mut jitter = StdRng::seed_from_u64(77);
             for p in gin.params() {
                 for w in p.value.iter_mut() {
-                    *w += jitter.gen_range(0.01..0.03) * if jitter.gen_bool(0.5) { 1.0 } else { -1.0 };
+                    *w += jitter.gen_range(0.01..0.03)
+                        * if jitter.gen_bool(0.5) { 1.0 } else { -1.0 };
                 }
             }
         }
@@ -334,7 +340,10 @@ mod tests {
             );
             checked += 1;
         }
-        assert!(checked >= analytic.len() / 2, "too many kink skips: {checked}");
+        assert!(
+            checked >= analytic.len() / 2,
+            "too many kink skips: {checked}"
+        );
     }
 
     #[test]

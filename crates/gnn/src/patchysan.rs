@@ -232,7 +232,11 @@ mod tests {
             },
         );
         let last = history.last().unwrap();
-        assert!(last.train_accuracy > 0.85, "accuracy {}", last.train_accuracy);
+        assert!(
+            last.train_accuracy > 0.85,
+            "accuracy {}",
+            last.train_accuracy
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// # Panics
 /// Panics if `source` is out of range.
 pub fn bfs_distances(graph: &Graph, source: VertexId) -> Vec<u32> {
-    assert!((source as usize) < graph.n_vertices(), "source out of range");
+    assert!(
+        (source as usize) < graph.n_vertices(),
+        "source out of range"
+    );
     let mut dist = vec![UNREACHABLE; graph.n_vertices()];
     let mut queue = VecDeque::new();
     dist[source as usize] = 0;
@@ -42,7 +45,10 @@ pub fn bfs_distances(graph: &Graph, source: VertexId) -> Vec<u32> {
 /// CSR adjacency). Expansion stops after `max_hops` layers, or when the
 /// component is exhausted if `max_hops` is `None`.
 pub fn bfs_layers(graph: &Graph, source: VertexId, max_hops: Option<usize>) -> Vec<Vec<VertexId>> {
-    assert!((source as usize) < graph.n_vertices(), "source out of range");
+    assert!(
+        (source as usize) < graph.n_vertices(),
+        "source out of range"
+    );
     let mut seen = vec![false; graph.n_vertices()];
     seen[source as usize] = true;
     let mut layers = vec![vec![source]];

@@ -82,7 +82,10 @@ pub fn degree_centrality(graph: &Graph) -> Vec<f64> {
         return vec![0.0; n];
     }
     let denom = (n - 1) as f64;
-    graph.vertices().map(|v| graph.degree(v) as f64 / denom).collect()
+    graph
+        .vertices()
+        .map(|v| graph.degree(v) as f64 / denom)
+        .collect()
 }
 
 /// Sorts vertex ids descending by `score`, breaking score ties by vertex

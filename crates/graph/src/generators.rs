@@ -126,7 +126,11 @@ pub fn planted_partition(
     let block_of = |v: usize| v * blocks / n.max(1);
     for u in 0..n {
         for v in (u + 1)..n {
-            let p = if block_of(u) == block_of(v) { p_in } else { p_out };
+            let p = if block_of(u) == block_of(v) {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen_bool(p.clamp(0.0, 1.0)) {
                 b.add_edge_unchecked(u as VertexId, v as VertexId);
             }
@@ -286,7 +290,10 @@ mod tests {
 
     #[test]
     fn erdos_renyi_density_near_p() {
-        let g = erdos_renyi(&GeneratorConfig::new(100).edge_probability(0.2), &mut rng(2));
+        let g = erdos_renyi(
+            &GeneratorConfig::new(100).edge_probability(0.2),
+            &mut rng(2),
+        );
         let max_edges = 100 * 99 / 2;
         let density = g.n_edges() as f64 / max_edges as f64;
         assert!((density - 0.2).abs() < 0.05, "density {density}");
@@ -372,7 +379,10 @@ mod tests {
 
     #[test]
     fn rewire_preserves_counts_approximately() {
-        let g = erdos_renyi(&GeneratorConfig::new(30).edge_probability(0.2), &mut rng(11));
+        let g = erdos_renyi(
+            &GeneratorConfig::new(30).edge_probability(0.2),
+            &mut rng(11),
+        );
         let r = rewire(&g, 0.3, &mut rng(12));
         assert_eq!(r.n_vertices(), g.n_vertices());
         let diff = (r.n_edges() as i64 - g.n_edges() as i64).abs();
@@ -384,8 +394,14 @@ mod tests {
 
     #[test]
     fn generators_deterministic_under_seed() {
-        let a = erdos_renyi(&GeneratorConfig::new(25).edge_probability(0.3).labels(3), &mut rng(42));
-        let b = erdos_renyi(&GeneratorConfig::new(25).edge_probability(0.3).labels(3), &mut rng(42));
+        let a = erdos_renyi(
+            &GeneratorConfig::new(25).edge_probability(0.3).labels(3),
+            &mut rng(42),
+        );
+        let b = erdos_renyi(
+            &GeneratorConfig::new(25).edge_probability(0.3).labels(3),
+            &mut rng(42),
+        );
         assert_eq!(a, b);
     }
 }

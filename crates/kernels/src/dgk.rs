@@ -110,7 +110,15 @@ pub fn kernel_matrix(graphs: &[Graph], config: &DgkConfig) -> KernelMatrix {
             for &(t, c) in &pairs {
                 let (t, c) = (t as usize, c as usize);
                 // Positive update.
-                sgns_update(&mut embed, &mut context_embed, t, c, 1.0, dim, config.learning_rate);
+                sgns_update(
+                    &mut embed,
+                    &mut context_embed,
+                    t,
+                    c,
+                    1.0,
+                    dim,
+                    config.learning_rate,
+                );
                 // Negatives.
                 for _ in 0..config.negatives {
                     let neg = rng.gen_range(0..vocab_size);
@@ -236,6 +244,10 @@ mod tests {
         let g1 = graph_from_edges(3, &[(0, 1), (1, 2)], Some(&[1, 2, 1])).unwrap();
         let g2 = graph_from_edges(3, &[(0, 1), (1, 2)], Some(&[1, 2, 1])).unwrap();
         let k = kernel_matrix(&[g1, g2], &DgkConfig::default());
-        assert!((k.get(0, 1) - 1.0).abs() < 1e-6, "identical graphs: {}", k.get(0, 1));
+        assert!(
+            (k.get(0, 1) - 1.0).abs() < 1e-6,
+            "identical graphs: {}",
+            k.get(0, 1)
+        );
     }
 }

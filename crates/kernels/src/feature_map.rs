@@ -41,6 +41,30 @@ impl Vocabulary {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// All `(key, column)` pairs, sorted by key. This is the deterministic
+    /// export the frozen-vocabulary serving path serialises.
+    pub fn to_pairs(&self) -> Vec<(u64, u32)> {
+        let mut pairs: Vec<(u64, u32)> = self.map.iter().map(|(&k, &c)| (k, c)).collect();
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        pairs
+    }
+}
+
+/// Interns keyed per-vertex features into `vocab` in iteration order,
+/// producing one [`SparseVec`] per vertex. Shared by the corpus-fitting and
+/// frozen-extractor paths so both assign identical columns.
+pub(crate) fn intern_keyed(keyed: Vec<Vec<(u64, f32)>>, vocab: &mut Vocabulary) -> Vec<SparseVec> {
+    keyed
+        .into_iter()
+        .map(|pairs| {
+            let mut vec = SparseVec::new();
+            for (key, value) in pairs {
+                vec.add(vocab.intern(key), value);
+            }
+            vec
+        })
+        .collect()
 }
 
 /// A sparse non-negative feature vector: sorted `(column, value)` pairs.
@@ -127,7 +151,10 @@ impl SparseVec {
 
     /// Squared L2 norm.
     pub fn norm_sq(&self) -> f64 {
-        self.entries.iter().map(|&(_, v)| (v as f64) * (v as f64)).sum()
+        self.entries
+            .iter()
+            .map(|&(_, v)| (v as f64) * (v as f64))
+            .sum()
     }
 
     /// Sum of values (total substructure count).
@@ -210,8 +237,21 @@ impl DatasetFeatureMaps {
     /// high-dimensional, which makes the CNN slow (Table 5); truncation is
     /// the practical mitigation and is ablated in the benches.
     pub fn truncate_top_k(&self, k: usize) -> DatasetFeatureMaps {
+        match self.top_k_mapping(k) {
+            None => self.clone(),
+            Some(mapping) => self.apply_mapping(&mapping, k),
+        }
+    }
+
+    /// The column mapping `old → new` that [`truncate_top_k`] would apply,
+    /// or `None` when `dim <= k` (no truncation needed). Exposed so the
+    /// frozen-vocabulary serving path can apply the identical mapping to its
+    /// key table.
+    ///
+    /// [`truncate_top_k`]: DatasetFeatureMaps::truncate_top_k
+    pub fn top_k_mapping(&self, k: usize) -> Option<FxHashMap<u32, u32>> {
         if self.dim <= k {
-            return self.clone();
+            return None;
         }
         let mut totals: Vec<f64> = vec![0.0; self.dim];
         for graph in &self.maps {
@@ -232,13 +272,23 @@ impl DatasetFeatureMaps {
         for (new, &old) in order.iter().take(k).enumerate() {
             mapping.insert(old, new as u32);
         }
+        Some(mapping)
+    }
+
+    /// Remaps every vector through `mapping` (unmapped columns are dropped)
+    /// and renumbers the dimension to `new_dim`.
+    pub fn apply_mapping(
+        &self,
+        mapping: &FxHashMap<u32, u32>,
+        new_dim: usize,
+    ) -> DatasetFeatureMaps {
         DatasetFeatureMaps {
             maps: self
                 .maps
                 .iter()
-                .map(|g| g.iter().map(|v| v.remap(&mapping)).collect())
+                .map(|g| g.iter().map(|v| v.remap(mapping)).collect())
                 .collect(),
-            dim: k,
+            dim: new_dim,
         }
     }
 

@@ -1,0 +1,570 @@
+//! Frozen-vocabulary feature extraction for serving.
+//!
+//! The corpus-fitting paths ([`crate::vertex_feature_maps`]) intern
+//! substructure keys on first sight, so the column assignment depends on the
+//! whole dataset. A deployed model must instead embed *one unseen graph at a
+//! time* into exactly the columns the model was trained on. A
+//! [`FrozenExtractor`] captures everything that fit decided — the key →
+//! column table, the WL label dictionaries, the graphlet sampling seed — and
+//! replays it on single graphs:
+//!
+//! - keys seen at fit time map to their fitted column;
+//! - keys never seen map to a dedicated **OOV bucket**, the last column
+//!   (always zero during training, so the model learns to ignore it);
+//! - keys seen but later dropped by top-K truncation are **discarded**,
+//!   matching how [`DatasetFeatureMaps::truncate_top_k`] built the training
+//!   tensors (a rare-but-known feature is evidence the model never used,
+//!   which is different from a never-seen feature).
+//!
+//! The extractor serialises to a small hand-rolled binary blob
+//! ([`FrozenExtractor::to_bytes`]) that the serving `ModelBundle` embeds.
+
+use crate::feature_map::{DatasetFeatureMaps, SparseVec, Vocabulary};
+use crate::wl::{self, WlCompressors};
+use crate::{gk, sp, FeatureKind};
+use deepmap_graph::{FxHashMap, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Column sentinel for keys that were interned at fit time but dropped by
+/// top-K truncation. Distinct from OOV: the key is *known* but carries no
+/// trained column, so serve-time occurrences are discarded (exactly as the
+/// truncated training tensors discarded them). Real columns are dense
+/// indices `< n_cols`, so the sentinel cannot collide.
+const PRUNED: u32 = u32::MAX;
+
+/// The per-kind state a frozen extractor needs beyond the vocabulary.
+#[derive(Debug, Clone)]
+enum FrozenState {
+    /// Graphlet sampling parameters; `seed` re-creates the per-graph RNG.
+    Graphlet {
+        size: usize,
+        samples: usize,
+        seed: u64,
+    },
+    /// Shortest-path triplets are deterministic; no extra state.
+    ShortestPath,
+    /// WL label dictionaries captured while fitting.
+    Wl { compressors: WlCompressors },
+}
+
+/// A feature extractor with its vocabulary frozen at fit time, able to embed
+/// single unseen graphs into the training feature space.
+#[derive(Debug, Clone)]
+pub struct FrozenExtractor {
+    state: FrozenState,
+    /// `(key, column)` pairs sorted by key; column may be [`PRUNED`].
+    vocab: Vec<(u64, u32)>,
+    /// Number of real (non-OOV) columns after any truncation.
+    n_cols: usize,
+}
+
+impl FrozenExtractor {
+    /// Fits vertex feature maps over `graphs` exactly like
+    /// [`crate::vertex_feature_maps`] does for `kind`, and freezes the
+    /// resulting vocabulary.
+    ///
+    /// The returned [`DatasetFeatureMaps`] uses the same columns the frozen
+    /// extractor will produce at serve time, so a model trained on them is
+    /// directly servable. For the graphlet kind the RNG is re-seeded from
+    /// `seed` *per graph* (instead of one stream shared across the corpus)
+    /// so that [`embed_one`](FrozenExtractor::embed_one) replays the exact
+    /// samples later.
+    pub fn fit(
+        graphs: &[Graph],
+        kind: FeatureKind,
+        seed: u64,
+    ) -> (DatasetFeatureMaps, FrozenExtractor) {
+        match kind {
+            FeatureKind::Graphlet { size, samples } => {
+                let mut vocab = Vocabulary::new();
+                let mut maps = Vec::with_capacity(graphs.len());
+                for graph in graphs {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let keyed = gk::keyed_vertex_features(graph, size, samples, &mut rng);
+                    maps.push(crate::feature_map::intern_keyed(keyed, &mut vocab));
+                }
+                Self::package(
+                    maps,
+                    vocab,
+                    FrozenState::Graphlet {
+                        size,
+                        samples,
+                        seed,
+                    },
+                )
+            }
+            FeatureKind::ShortestPath => {
+                let mut vocab = Vocabulary::new();
+                let mut maps = Vec::with_capacity(graphs.len());
+                for graph in graphs {
+                    maps.push(crate::feature_map::intern_keyed(
+                        sp::keyed_vertex_features(graph),
+                        &mut vocab,
+                    ));
+                }
+                Self::package(maps, vocab, FrozenState::ShortestPath)
+            }
+            FeatureKind::WlSubtree { iterations } => {
+                let (dataset, compressors, vocab) =
+                    wl::vertex_feature_maps_frozen(graphs, iterations);
+                let extractor = FrozenExtractor {
+                    state: FrozenState::Wl { compressors },
+                    n_cols: vocab.len(),
+                    vocab: vocab.to_pairs(),
+                };
+                (dataset, extractor)
+            }
+        }
+    }
+
+    fn package(
+        maps: Vec<Vec<SparseVec>>,
+        vocab: Vocabulary,
+        state: FrozenState,
+    ) -> (DatasetFeatureMaps, FrozenExtractor) {
+        let dataset = DatasetFeatureMaps {
+            maps,
+            dim: vocab.len(),
+        };
+        let extractor = FrozenExtractor {
+            state,
+            n_cols: vocab.len(),
+            vocab: vocab.to_pairs(),
+        };
+        (dataset, extractor)
+    }
+
+    /// Serve-time feature dimension: the fitted (possibly truncated) columns
+    /// plus the trailing OOV bucket. Training tensors must be assembled with
+    /// this dimension so the model has a (zero) input for the bucket.
+    pub fn dim(&self) -> usize {
+        self.n_cols + 1
+    }
+
+    /// The column of the OOV bucket (the last one).
+    pub fn oov_column(&self) -> u32 {
+        self.n_cols as u32
+    }
+
+    /// The feature family this extractor was fitted for.
+    pub fn kind(&self) -> FeatureKind {
+        match &self.state {
+            FrozenState::Graphlet { size, samples, .. } => FeatureKind::Graphlet {
+                size: *size,
+                samples: *samples,
+            },
+            FrozenState::ShortestPath => FeatureKind::ShortestPath,
+            FrozenState::Wl { compressors } => FeatureKind::WlSubtree {
+                iterations: compressors.rounds.len(),
+            },
+        }
+    }
+
+    /// Applies the top-K truncation `mapping` (from
+    /// [`DatasetFeatureMaps::top_k_mapping`]) to the frozen vocabulary:
+    /// surviving keys are renumbered, dropped keys are marked [`PRUNED`] so
+    /// serve-time occurrences are discarded rather than bucketed as OOV.
+    pub fn truncate(&mut self, mapping: &FxHashMap<u32, u32>, k: usize) {
+        for entry in &mut self.vocab {
+            entry.1 = mapping.get(&entry.1).copied().unwrap_or(PRUNED);
+        }
+        self.n_cols = k;
+    }
+
+    /// Serve-time column for a substructure key: the fitted column, `None`
+    /// for fitted-but-pruned keys, the OOV bucket for unseen keys.
+    fn column_for(&self, key: u64) -> Option<u32> {
+        match self.vocab.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => {
+                let col = self.vocab[i].1;
+                if col == PRUNED {
+                    None
+                } else {
+                    Some(col)
+                }
+            }
+            Err(_) => Some(self.oov_column()),
+        }
+    }
+
+    fn keyed_to_sparse(&self, keyed: Vec<Vec<(u64, f32)>>) -> Vec<SparseVec> {
+        keyed
+            .into_iter()
+            .map(|pairs| {
+                let mut vec = SparseVec::new();
+                for (key, value) in pairs {
+                    if let Some(col) = self.column_for(key) {
+                        vec.add(col, value);
+                    }
+                }
+                vec
+            })
+            .collect()
+    }
+
+    /// Per-vertex feature maps of a single (possibly unseen) graph in the
+    /// frozen feature space: columns `0..n_cols` are the fitted features,
+    /// column [`oov_column`](FrozenExtractor::oov_column) accumulates
+    /// substructures never seen at fit time.
+    ///
+    /// For graphs that were part of the fitted corpus this reproduces the
+    /// maps returned by [`fit`](FrozenExtractor::fit) bit-for-bit (the
+    /// graphlet RNG is re-seeded identically).
+    pub fn embed_one(&self, graph: &Graph) -> Vec<SparseVec> {
+        match &self.state {
+            FrozenState::Graphlet {
+                size,
+                samples,
+                seed,
+            } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                self.keyed_to_sparse(gk::keyed_vertex_features(graph, *size, *samples, &mut rng))
+            }
+            FrozenState::ShortestPath => self.keyed_to_sparse(sp::keyed_vertex_features(graph)),
+            FrozenState::Wl { compressors } => {
+                // OOV labels map through wl_key to a key no fitted round can
+                // contain (fitted labels are dense from 0), so they land in
+                // the OOV bucket without special-casing.
+                let labels = wl::refine_one(graph, compressors);
+                let keyed: Vec<Vec<(u64, f32)>> = (0..graph.n_vertices())
+                    .map(|v| {
+                        labels
+                            .iter()
+                            .enumerate()
+                            .map(|(it, per_iter)| (wl::wl_key(it, per_iter[v]), 1.0))
+                            .collect()
+                    })
+                    .collect();
+                self.keyed_to_sparse(keyed)
+            }
+        }
+    }
+
+    /// Serialises the extractor to a little-endian binary blob (embedded in
+    /// the serving bundle; the container supplies magic/versioning).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match &self.state {
+            FrozenState::Graphlet {
+                size,
+                samples,
+                seed,
+            } => {
+                out.push(0u8);
+                put_u64(&mut out, *size as u64);
+                put_u64(&mut out, *samples as u64);
+                put_u64(&mut out, *seed);
+            }
+            FrozenState::ShortestPath => out.push(1u8),
+            FrozenState::Wl { compressors } => {
+                out.push(2u8);
+                let mut base: Vec<(u32, u32)> =
+                    compressors.base.iter().map(|(&k, &v)| (k, v)).collect();
+                base.sort_unstable();
+                put_u64(&mut out, base.len() as u64);
+                for (orig, dense) in base {
+                    put_u32(&mut out, orig);
+                    put_u32(&mut out, dense);
+                }
+                put_u64(&mut out, compressors.rounds.len() as u64);
+                for round in &compressors.rounds {
+                    let mut entries: Vec<(&(u32, Vec<u32>), u32)> =
+                        round.iter().map(|(k, &v)| (k, v)).collect();
+                    entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+                    put_u64(&mut out, entries.len() as u64);
+                    for ((own, neigh), compressed) in entries {
+                        put_u32(&mut out, *own);
+                        put_u64(&mut out, neigh.len() as u64);
+                        for &n in neigh {
+                            put_u32(&mut out, n);
+                        }
+                        put_u32(&mut out, compressed);
+                    }
+                }
+            }
+        }
+        put_u64(&mut out, self.n_cols as u64);
+        put_u64(&mut out, self.vocab.len() as u64);
+        for &(key, col) in &self.vocab {
+            put_u64(&mut out, key);
+            put_u32(&mut out, col);
+        }
+        out
+    }
+
+    /// Deserialises a blob produced by
+    /// [`to_bytes`](FrozenExtractor::to_bytes). Rejects malformed input
+    /// (short reads, unsorted vocabularies, trailing bytes) with a
+    /// description of what is wrong.
+    pub fn from_bytes(data: &[u8]) -> Result<FrozenExtractor, String> {
+        let mut r = Reader { data, pos: 0 };
+        let state = match r.u8()? {
+            0 => FrozenState::Graphlet {
+                size: r.u64()? as usize,
+                samples: r.u64()? as usize,
+                seed: r.u64()?,
+            },
+            1 => FrozenState::ShortestPath,
+            2 => {
+                let n_base = r.u64()? as usize;
+                let mut base = FxHashMap::default();
+                for _ in 0..n_base {
+                    let orig = r.u32()?;
+                    let dense = r.u32()?;
+                    if base.insert(orig, dense).is_some() {
+                        return Err(format!("duplicate WL base label {orig}"));
+                    }
+                }
+                let n_rounds = r.u64()? as usize;
+                if n_rounds > r.remaining() {
+                    return Err(format!("WL round count {n_rounds} exceeds payload"));
+                }
+                let mut rounds = Vec::with_capacity(n_rounds);
+                for _ in 0..n_rounds {
+                    let n_entries = r.u64()? as usize;
+                    let mut round = FxHashMap::default();
+                    for _ in 0..n_entries {
+                        let own = r.u32()?;
+                        let n_neigh = r.u64()? as usize;
+                        if n_neigh > r.remaining() / 4 {
+                            return Err(format!("WL neighbour count {n_neigh} exceeds payload"));
+                        }
+                        let mut neigh = Vec::with_capacity(n_neigh);
+                        for _ in 0..n_neigh {
+                            neigh.push(r.u32()?);
+                        }
+                        let compressed = r.u32()?;
+                        if round.insert((own, neigh), compressed).is_some() {
+                            return Err("duplicate WL round entry".to_string());
+                        }
+                    }
+                    rounds.push(round);
+                }
+                FrozenState::Wl {
+                    compressors: WlCompressors { base, rounds },
+                }
+            }
+            tag => return Err(format!("unknown frozen-extractor kind tag {tag}")),
+        };
+        let n_cols = r.u64()? as usize;
+        let n_vocab = r.u64()? as usize;
+        if n_vocab > r.remaining() / 12 {
+            return Err(format!("vocabulary count {n_vocab} exceeds payload"));
+        }
+        let mut vocab = Vec::with_capacity(n_vocab);
+        for _ in 0..n_vocab {
+            let key = r.u64()?;
+            let col = r.u32()?;
+            if let Some(&(prev, _)) = vocab.last() {
+                if prev >= key {
+                    return Err("vocabulary keys not strictly sorted".to_string());
+                }
+            }
+            vocab.push((key, col));
+        }
+        if r.remaining() != 0 {
+            return Err(format!(
+                "{} trailing bytes after frozen extractor",
+                r.remaining()
+            ));
+        }
+        Ok(FrozenExtractor {
+            state,
+            vocab,
+            n_cols,
+        })
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.data.len() {
+            return Err(format!(
+                "unexpected end of frozen extractor at byte {}",
+                self.pos
+            ));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmap_graph::builder::graph_from_edges;
+    use deepmap_graph::generators::{complete_graph, cycle_graph};
+
+    fn toy_graphs() -> Vec<Graph> {
+        let mut rng = StdRng::seed_from_u64(5);
+        vec![
+            cycle_graph(6, 0, &mut rng),
+            complete_graph(5, 0, &mut rng),
+            cycle_graph(7, 0, &mut rng),
+            complete_graph(6, 0, &mut rng),
+        ]
+    }
+
+    fn all_kinds() -> Vec<FeatureKind> {
+        vec![
+            FeatureKind::Graphlet {
+                size: 3,
+                samples: 10,
+            },
+            FeatureKind::ShortestPath,
+            FeatureKind::WlSubtree { iterations: 2 },
+        ]
+    }
+
+    #[test]
+    fn embed_one_replays_fit_for_every_kind() {
+        let graphs = toy_graphs();
+        for kind in all_kinds() {
+            let (maps, frozen) = FrozenExtractor::fit(&graphs, kind, 42);
+            assert_eq!(frozen.dim(), maps.dim + 1, "{kind:?}: OOV bucket appended");
+            for (gi, graph) in graphs.iter().enumerate() {
+                let embedded = frozen.embed_one(graph);
+                assert_eq!(embedded, maps.maps[gi], "{kind:?}: graph {gi}");
+            }
+        }
+    }
+
+    #[test]
+    fn unseen_features_land_in_oov_bucket() {
+        // Fit SP on label-1 paths; serve a graph with unseen label 9.
+        let fit = vec![graph_from_edges(3, &[(0, 1), (1, 2)], Some(&[1, 1, 1])).unwrap()];
+        let (_, frozen) = FrozenExtractor::fit(&fit, FeatureKind::ShortestPath, 0);
+        let unseen = graph_from_edges(3, &[(0, 1), (1, 2)], Some(&[9, 9, 9])).unwrap();
+        let embedded = frozen.embed_one(&unseen);
+        for v in &embedded {
+            assert_eq!(v.nnz(), 1, "all mass in one bucket");
+            assert!(v.get(frozen.oov_column()) > 0.0, "…the OOV bucket");
+        }
+        // A label-1 path still hits the fitted columns.
+        let seen = graph_from_edges(3, &[(0, 1), (1, 2)], Some(&[1, 1, 1])).unwrap();
+        for v in &frozen.embed_one(&seen) {
+            assert_eq!(v.get(frozen.oov_column()), 0.0);
+        }
+    }
+
+    #[test]
+    fn wl_oov_labels_bucket_not_pruned() {
+        let fit =
+            vec![graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)], Some(&[1, 1, 1, 1])).unwrap()];
+        let (_, frozen) = FrozenExtractor::fit(&fit, FeatureKind::WlSubtree { iterations: 1 }, 0);
+        // Star hub: base label fitted, iteration-1 pattern unseen → exactly
+        // one OOV count (the iteration-1 slot).
+        let star = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3)], Some(&[1, 1, 1, 1])).unwrap();
+        let embedded = frozen.embed_one(&star);
+        assert_eq!(embedded[0].get(frozen.oov_column()), 1.0);
+        assert_eq!(embedded[0].total(), 2.0, "one label per iteration 0..=1");
+        assert_eq!(
+            embedded[1].get(frozen.oov_column()),
+            0.0,
+            "leaf patterns fitted"
+        );
+    }
+
+    #[test]
+    fn truncation_prunes_rather_than_buckets() {
+        let graphs = toy_graphs();
+        let (maps, mut frozen) =
+            FrozenExtractor::fit(&graphs, FeatureKind::WlSubtree { iterations: 2 }, 0);
+        let k = maps.dim / 2;
+        let mapping = maps.top_k_mapping(k).expect("dim > k");
+        let truncated = maps.apply_mapping(&mapping, k);
+        frozen.truncate(&mapping, k);
+        assert_eq!(frozen.dim(), k + 1);
+        for (gi, graph) in graphs.iter().enumerate() {
+            let embedded = frozen.embed_one(graph);
+            assert_eq!(
+                embedded, truncated.maps[gi],
+                "pruned columns dropped, graph {gi}"
+            );
+            for v in &embedded {
+                assert_eq!(v.get(frozen.oov_column()), 0.0, "fitted keys never bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip_for_every_kind() {
+        let graphs = toy_graphs();
+        for kind in all_kinds() {
+            let (maps, mut frozen) = FrozenExtractor::fit(&graphs, kind, 99);
+            if let Some(mapping) = maps.top_k_mapping(maps.dim / 2) {
+                frozen.truncate(&mapping, maps.dim / 2);
+            }
+            let blob = frozen.to_bytes();
+            let restored = FrozenExtractor::from_bytes(&blob).expect("roundtrip");
+            assert_eq!(restored.dim(), frozen.dim(), "{kind:?}");
+            assert_eq!(restored.kind(), frozen.kind(), "{kind:?}");
+            for graph in &graphs {
+                assert_eq!(
+                    restored.embed_one(graph),
+                    frozen.embed_one(graph),
+                    "{kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_blobs() {
+        let graphs = toy_graphs();
+        let (_, frozen) =
+            FrozenExtractor::fit(&graphs, FeatureKind::WlSubtree { iterations: 1 }, 0);
+        let blob = frozen.to_bytes();
+        // Trailing junk.
+        let mut long = blob.clone();
+        long.push(0);
+        assert!(FrozenExtractor::from_bytes(&long)
+            .unwrap_err()
+            .contains("trailing"));
+        // Truncation mid-payload.
+        assert!(FrozenExtractor::from_bytes(&blob[..blob.len() - 3]).is_err());
+        // Unknown kind tag.
+        let mut bad = blob;
+        bad[0] = 7;
+        assert!(FrozenExtractor::from_bytes(&bad)
+            .unwrap_err()
+            .contains("kind tag"));
+        // Empty payload.
+        assert!(FrozenExtractor::from_bytes(&[]).is_err());
+    }
+}

@@ -10,10 +10,33 @@
 //! isomorphic graphs need not coincide exactly (the caveat after Theorem 1);
 //! determinism under a fixed seed is still guaranteed.
 
-use crate::feature_map::{DatasetFeatureMaps, SparseVec, Vocabulary};
+use crate::feature_map::{intern_keyed, DatasetFeatureMaps, SparseVec, Vocabulary};
 use crate::graphlet::{canonical_code, sample_connected_graphlet, sample_graphlet_anywhere};
 use deepmap_graph::Graph;
 use rand::rngs::StdRng;
+
+/// Per-vertex graphlet features of one graph, keyed by canonical isomorphism
+/// code (before vocabulary interning). Consumes `rng` in the same order as
+/// [`vertex_feature_maps`], so the corpus path (one shared stream) and the
+/// frozen serving path (one stream per graph) both reproduce their fits.
+pub(crate) fn keyed_vertex_features(
+    graph: &Graph,
+    size: usize,
+    samples: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<(u64, f32)>> {
+    let mut per_vertex = Vec::with_capacity(graph.n_vertices());
+    for v in graph.vertices() {
+        let mut pairs = Vec::new();
+        for _ in 0..samples {
+            if let Some(verts) = sample_connected_graphlet(graph, v, size, rng) {
+                pairs.push((canonical_code(graph, &verts), 1.0));
+            }
+        }
+        per_vertex.push(pairs);
+    }
+    per_vertex
+}
 
 /// Vertex feature maps: for every vertex, `samples` connected graphlets of
 /// `size` vertices rooted at it, classified by isomorphism class.
@@ -29,18 +52,10 @@ pub fn vertex_feature_maps(
     let mut vocab = Vocabulary::new();
     let mut maps = Vec::with_capacity(graphs.len());
     for graph in graphs {
-        let mut per_vertex = Vec::with_capacity(graph.n_vertices());
-        for v in graph.vertices() {
-            let mut vec = SparseVec::new();
-            for _ in 0..samples {
-                if let Some(verts) = sample_connected_graphlet(graph, v, size, rng) {
-                    let code = canonical_code(graph, &verts);
-                    vec.add(vocab.intern(code), 1.0);
-                }
-            }
-            per_vertex.push(vec);
-        }
-        maps.push(per_vertex);
+        maps.push(intern_keyed(
+            keyed_vertex_features(graph, size, samples, rng),
+            &mut vocab,
+        ));
     }
     DatasetFeatureMaps {
         maps,
@@ -82,7 +97,8 @@ mod tests {
 
     #[test]
     fn vertex_maps_have_sampled_mass() {
-        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)], None).unwrap();
+        let g =
+            graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)], None).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let maps = vertex_feature_maps(&[g], 3, 10, &mut rng);
         assert_eq!(maps.maps[0].len(), 6);
@@ -117,8 +133,14 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)], None).unwrap();
-        let a = vertex_feature_maps(std::slice::from_ref(&g), 4, 15, &mut StdRng::seed_from_u64(7));
+        let g =
+            graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)], None).unwrap();
+        let a = vertex_feature_maps(
+            std::slice::from_ref(&g),
+            4,
+            15,
+            &mut StdRng::seed_from_u64(7),
+        );
         let b = vertex_feature_maps(&[g], 4, 15, &mut StdRng::seed_from_u64(7));
         assert_eq!(a.maps, b.maps);
     }

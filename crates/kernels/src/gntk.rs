@@ -159,7 +159,11 @@ fn diagonal_trace(graph: &Graph, feats: &[usize], config: &GntkConfig) -> DiagTr
             for u in 0..n {
                 for v in 0..n {
                     let denom = (diag[u] * diag[v]).sqrt();
-                    let lambda = if denom > 0.0 { sigma.get(u, v) / denom } else { 0.0 };
+                    let lambda = if denom > 0.0 {
+                        sigma.get(u, v) / denom
+                    } else {
+                        0.0
+                    };
                     next.set(u, v, denom * kappa1(lambda));
                 }
             }
@@ -198,7 +202,11 @@ fn pair_kernel(
             for u in 0..n1 {
                 for v in 0..n2 {
                     let denom = (d1[u] * d2[v]).sqrt();
-                    let lambda = if denom > 0.0 { sigma.get(u, v) / denom } else { 0.0 };
+                    let lambda = if denom > 0.0 {
+                        sigma.get(u, v) / denom
+                    } else {
+                        0.0
+                    };
                     let s = denom * kappa1(lambda);
                     next_sigma.set(u, v, s);
                     next_theta.set(u, v, theta.get(u, v) * kappa0(lambda) + s);
@@ -225,14 +233,19 @@ pub fn kernel_matrix(graphs: &[Graph], config: &GntkConfig) -> KernelMatrix {
             label_index.entry(l).or_insert(next);
         }
     }
-    let feats: Vec<Vec<usize>> = graphs.iter().map(|g| one_hot_features(g, &label_index)).collect();
+    let feats: Vec<Vec<usize>> = graphs
+        .iter()
+        .map(|g| one_hot_features(g, &label_index))
+        .collect();
     let traces: Vec<DiagTrace> = graphs
         .iter()
         .zip(&feats)
         .map(|(g, f)| diagonal_trace(g, f, config))
         .collect();
     KernelMatrix::from_pairwise(graphs.len(), config.threads, |i, j| {
-        pair_kernel(&graphs[i], &feats[i], &traces[i], &graphs[j], &feats[j], &traces[j], config)
+        pair_kernel(
+            &graphs[i], &feats[i], &traces[i], &graphs[j], &feats[j], &traces[j], config,
+        )
     })
     .normalized()
 }
@@ -306,7 +319,10 @@ mod tests {
         let path7 =
             graph_from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)], None).unwrap();
         let star6 = graph_from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)], None).unwrap();
-        let graphs: Vec<Graph> = [path6, path7, star6].map(degree_labeled).into_iter().collect();
+        let graphs: Vec<Graph> = [path6, path7, star6]
+            .map(degree_labeled)
+            .into_iter()
+            .collect();
         let k = kernel_matrix(&graphs, &GntkConfig::default());
         assert!(
             k.get(0, 1) > k.get(0, 2),
@@ -320,8 +336,20 @@ mod tests {
     fn parallel_matches_serial() {
         let mut rng = StdRng::seed_from_u64(3);
         let graphs: Vec<_> = (4..9).map(|n| cycle_graph(n, 0, &mut rng)).collect();
-        let s = kernel_matrix(&graphs, &GntkConfig { threads: 1, ..Default::default() });
-        let p = kernel_matrix(&graphs, &GntkConfig { threads: 3, ..Default::default() });
+        let s = kernel_matrix(
+            &graphs,
+            &GntkConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let p = kernel_matrix(
+            &graphs,
+            &GntkConfig {
+                threads: 3,
+                ..Default::default()
+            },
+        );
         for i in 0..graphs.len() {
             for j in 0..graphs.len() {
                 assert!((s.get(i, j) - p.get(i, j)).abs() < 1e-12);

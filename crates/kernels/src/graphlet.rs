@@ -233,13 +233,24 @@ mod tests {
     fn sampled_graphlets_are_connected_and_contain_start() {
         let g = graph_from_edges(
             8,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7), (1, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (0, 7),
+                (1, 5),
+            ],
             None,
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
-            let verts = sample_connected_graphlet(&g, 1, 4, &mut rng).expect("component large enough");
+            let verts =
+                sample_connected_graphlet(&g, 1, 4, &mut rng).expect("component large enough");
             assert_eq!(verts.len(), 4);
             assert!(verts.contains(&1));
             let sub = g.induced_subgraph(&verts);

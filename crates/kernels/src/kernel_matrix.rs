@@ -101,7 +101,10 @@ impl KernelMatrix {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         })
         .expect("scope panicked");
         for batch in results {
@@ -124,7 +127,11 @@ impl KernelMatrix {
             for j in 0..self.n {
                 let kjj = self.get(j, j);
                 let denom = (kii * kjj).sqrt();
-                let v = if denom > 0.0 { self.get(i, j) / denom } else { 0.0 };
+                let v = if denom > 0.0 {
+                    self.get(i, j) / denom
+                } else {
+                    0.0
+                };
                 out.set(i, j, v);
             }
         }

@@ -34,6 +34,7 @@
 
 pub mod dgk;
 pub mod feature_map;
+pub mod frozen;
 pub mod gk;
 pub mod gntk;
 pub mod graphlet;
@@ -44,6 +45,7 @@ pub mod sp;
 pub mod wl;
 
 pub use feature_map::{DatasetFeatureMaps, SparseVec, Vocabulary};
+pub use frozen::FrozenExtractor;
 pub use kernel_matrix::KernelMatrix;
 
 use deepmap_graph::Graph;

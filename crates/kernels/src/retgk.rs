@@ -80,7 +80,11 @@ fn pair_kernel(
     let mut acc = 0.0;
     for (a, &la) in rpf1.iter().zip(labels1) {
         for (b, &lb) in rpf2.iter().zip(labels2) {
-            let label_factor = if la == lb { 1.0 + config.label_weight } else { 1.0 };
+            let label_factor = if la == lb {
+                1.0 + config.label_weight
+            } else {
+                1.0
+            };
             acc += gaussian(a, b, config.gamma) * label_factor;
         }
     }
@@ -158,8 +162,20 @@ mod tests {
     fn parallel_assembly_matches_serial() {
         let mut rng = StdRng::seed_from_u64(3);
         let graphs: Vec<_> = (4..10).map(|n| cycle_graph(n, 0, &mut rng)).collect();
-        let serial = kernel_matrix(&graphs, &RetGkConfig { threads: 1, ..Default::default() });
-        let parallel = kernel_matrix(&graphs, &RetGkConfig { threads: 4, ..Default::default() });
+        let serial = kernel_matrix(
+            &graphs,
+            &RetGkConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = kernel_matrix(
+            &graphs,
+            &RetGkConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
         for i in 0..graphs.len() {
             for j in 0..graphs.len() {
                 assert!((serial.get(i, j) - parallel.get(i, j)).abs() < 1e-12);

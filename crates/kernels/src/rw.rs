@@ -131,8 +131,7 @@ fn pair_kernel_non_backtracking(g1: &Graph, g2: &Graph, config: &RwConfig) -> f6
     let mut state: Vec<f64> = Vec::with_capacity(edges1.len() * edges2.len());
     for &(a, b) in &edges1 {
         for &(c, d) in &edges2 {
-            let matched =
-                g1.label(a) == g2.label(c) && g1.label(b) == g2.label(d);
+            let matched = g1.label(a) == g2.label(c) && g1.label(b) == g2.label(d);
             state.push(if matched { 1.0 } else { 0.0 });
         }
     }
@@ -174,9 +173,7 @@ fn pair_kernel_non_backtracking(g1: &Graph, g2: &Graph, config: &RwConfig) -> f6
 pub fn kernel_matrix(graphs: &[Graph], config: &RwConfig) -> KernelMatrix {
     KernelMatrix::from_pairwise(graphs.len(), config.threads, |i, j| match config.order {
         WalkOrder::FirstOrder => pair_kernel_first_order(&graphs[i], &graphs[j], config),
-        WalkOrder::NonBacktracking => {
-            pair_kernel_non_backtracking(&graphs[i], &graphs[j], config)
-        }
+        WalkOrder::NonBacktracking => pair_kernel_non_backtracking(&graphs[i], &graphs[j], config),
     })
     .normalized()
 }
@@ -216,9 +213,18 @@ mod tests {
     fn gram_properties_both_orders() {
         let graphs = vec![path3([1, 2, 1]), path3([1, 2, 1]), path3([2, 1, 2])];
         for order in [WalkOrder::FirstOrder, WalkOrder::NonBacktracking] {
-            let k = kernel_matrix(&graphs, &RwConfig { order, ..Default::default() });
+            let k = kernel_matrix(
+                &graphs,
+                &RwConfig {
+                    order,
+                    ..Default::default()
+                },
+            );
             assert!(k.asymmetry() < 1e-12, "{order:?}");
-            assert!((k.get(0, 1) - 1.0).abs() < 1e-9, "identical graphs, {order:?}");
+            assert!(
+                (k.get(0, 1) - 1.0).abs() < 1e-9,
+                "identical graphs, {order:?}"
+            );
             for i in 0..3 {
                 assert!((k.get(i, i) - 1.0).abs() < 1e-9);
             }

@@ -10,7 +10,7 @@
 //! appears in exactly two vertex maps, so `Σᵥ φ(v)` is the graph map scaled
 //! by 2 — the constant factor is irrelevant after kernel normalisation.
 
-use crate::feature_map::{DatasetFeatureMaps, SparseVec, Vocabulary};
+use crate::feature_map::{intern_keyed, DatasetFeatureMaps, SparseVec, Vocabulary};
 use deepmap_graph::bfs::UNREACHABLE;
 use deepmap_graph::shortest_path::apsp_bfs;
 use deepmap_graph::Graph;
@@ -24,28 +24,36 @@ fn triplet_key(l1: u32, l2: u32, len: u32) -> u64 {
     ((a as u64 & 0xFF_FFFF) << 40) | ((b as u64 & 0xFF_FFFF) << 16) | (len as u64 & 0xFFFF)
 }
 
+/// Per-vertex shortest-path features of one graph, keyed by packed triplet
+/// (before vocabulary interning). Iteration order matches
+/// [`vertex_feature_maps`] so interning in order reproduces its columns;
+/// the frozen serving path maps the same keys through a fitted vocabulary.
+pub(crate) fn keyed_vertex_features(graph: &Graph) -> Vec<Vec<(u64, f32)>> {
+    let dist = apsp_bfs(graph);
+    let n = graph.n_vertices();
+    let mut per_vertex = Vec::with_capacity(n);
+    for v in 0..n {
+        let mut pairs = Vec::new();
+        let row = dist.row(v);
+        for (u, &d) in row.iter().enumerate() {
+            if u == v || d == UNREACHABLE || d == 0 {
+                continue;
+            }
+            let key = triplet_key(graph.label(v as u32), graph.label(u as u32), d);
+            pairs.push((key, 1.0));
+        }
+        per_vertex.push(pairs);
+    }
+    per_vertex
+}
+
 /// Vertex feature maps: for each vertex, the multiset of shortest-path
 /// triplets with that vertex as an endpoint.
 pub fn vertex_feature_maps(graphs: &[Graph]) -> DatasetFeatureMaps {
     let mut vocab = Vocabulary::new();
     let mut maps = Vec::with_capacity(graphs.len());
     for graph in graphs {
-        let dist = apsp_bfs(graph);
-        let n = graph.n_vertices();
-        let mut per_vertex = Vec::with_capacity(n);
-        for v in 0..n {
-            let mut vec = SparseVec::new();
-            let row = dist.row(v);
-            for (u, &d) in row.iter().enumerate() {
-                if u == v || d == UNREACHABLE || d == 0 {
-                    continue;
-                }
-                let key = triplet_key(graph.label(v as u32), graph.label(u as u32), d);
-                vec.add(vocab.intern(key), 1.0);
-            }
-            per_vertex.push(vec);
-        }
-        maps.push(per_vertex);
+        maps.push(intern_keyed(keyed_vertex_features(graph), &mut vocab));
     }
     DatasetFeatureMaps {
         maps,

@@ -33,9 +33,34 @@ impl WlRefinement {
     }
 }
 
+/// Sentinel label for serve-time vertices whose label (or compressed
+/// neighbourhood pattern) never occurred while fitting. It propagates
+/// through later iterations and lands in the serving OOV feature bucket.
+/// Fitted labels are dense renumberings starting at 0, so the sentinel can
+/// never collide with a real label.
+pub const WL_OOV_LABEL: u32 = u32::MAX;
+
+/// The frozen WL state: the label dictionaries captured while fitting a
+/// dataset — enough to refine a single unseen graph consistently with the
+/// fitted corpus (see [`refine_one`]).
+#[derive(Debug, Clone, Default)]
+pub struct WlCompressors {
+    /// Dense renumbering of the original vertex labels (iteration 0).
+    pub base: FxHashMap<u32, u32>,
+    /// One compressed-label dictionary per refinement iteration, keyed by
+    /// *(own label, sorted neighbour labels)*.
+    pub rounds: Vec<FxHashMap<(u32, Vec<u32>), u32>>,
+}
+
 /// Runs `h` WL refinement iterations over the whole dataset with one shared
 /// compressor per iteration.
 pub fn refine(graphs: &[Graph], h: usize) -> WlRefinement {
+    refine_frozen(graphs, h).0
+}
+
+/// [`refine`], additionally returning the label dictionaries so the
+/// refinement can later be replayed on unseen graphs ([`refine_one`]).
+pub fn refine_frozen(graphs: &[Graph], h: usize) -> (WlRefinement, WlCompressors) {
     let mut labels: Vec<Vec<Vec<u32>>> = Vec::with_capacity(h + 1);
     let mut alphabet_sizes = Vec::with_capacity(h + 1);
 
@@ -56,6 +81,7 @@ pub fn refine(graphs: &[Graph], h: usize) -> WlRefinement {
     alphabet_sizes.push(base.len());
     labels.push(initial);
 
+    let mut rounds = Vec::with_capacity(h);
     for _ in 0..h {
         let prev = labels.last().expect("iteration 0 exists");
         let mut compressor: FxHashMap<(u32, Vec<u32>), u32> = FxHashMap::default();
@@ -78,23 +104,73 @@ pub fn refine(graphs: &[Graph], h: usize) -> WlRefinement {
         }
         alphabet_sizes.push(compressor.len());
         labels.push(next_labels);
+        rounds.push(compressor);
     }
-    WlRefinement {
-        labels,
-        alphabet_sizes,
+    (
+        WlRefinement {
+            labels,
+            alphabet_sizes,
+        },
+        WlCompressors { base, rounds },
+    )
+}
+
+/// Refines a single (possibly unseen) graph against frozen dictionaries.
+///
+/// Returns `labels[it][v]` for `it` in `0..=h` where `h` is the number of
+/// fitted rounds. Labels and neighbourhood patterns that never occurred at
+/// fit time become [`WL_OOV_LABEL`]; once a vertex is OOV it stays OOV, and
+/// a neighbourhood containing an OOV label can never match a fitted key, so
+/// novelty propagates outward exactly one hop per iteration.
+pub fn refine_one(graph: &Graph, compressors: &WlCompressors) -> Vec<Vec<u32>> {
+    let mut labels = Vec::with_capacity(compressors.rounds.len() + 1);
+    let initial: Vec<u32> = graph
+        .labels()
+        .iter()
+        .map(|l| compressors.base.get(l).copied().unwrap_or(WL_OOV_LABEL))
+        .collect();
+    labels.push(initial);
+    for round in &compressors.rounds {
+        let current = labels.last().expect("iteration 0 exists");
+        let mut new = Vec::with_capacity(graph.n_vertices());
+        for v in graph.vertices() {
+            let own = current[v as usize];
+            if own == WL_OOV_LABEL {
+                new.push(WL_OOV_LABEL);
+                continue;
+            }
+            let mut neigh: Vec<u32> = graph
+                .neighbors(v)
+                .iter()
+                .map(|&u| current[u as usize])
+                .collect();
+            neigh.sort_unstable();
+            new.push(round.get(&(own, neigh)).copied().unwrap_or(WL_OOV_LABEL));
+        }
+        labels.push(new);
     }
+    labels
 }
 
 /// Feature key for (iteration, label): iterations get disjoint column
 /// namespaces so an original label never collides with a compressed one.
-fn wl_key(iteration: usize, label: u32) -> u64 {
+pub(crate) fn wl_key(iteration: usize, label: u32) -> u64 {
     ((iteration as u64) << 32) | label as u64
 }
 
 /// Vertex feature maps: `φ(v)[it, l] = 1` iff `v` carries label `l` at
 /// iteration `it` (for `it` in `0..=h`).
 pub fn vertex_feature_maps(graphs: &[Graph], h: usize) -> DatasetFeatureMaps {
-    let refinement = refine(graphs, h);
+    vertex_feature_maps_frozen(graphs, h).0
+}
+
+/// [`vertex_feature_maps`] plus the frozen dictionaries and vocabulary the
+/// serving path needs to embed unseen graphs into the same columns.
+pub fn vertex_feature_maps_frozen(
+    graphs: &[Graph],
+    h: usize,
+) -> (DatasetFeatureMaps, WlCompressors, Vocabulary) {
+    let (refinement, compressors) = refine_frozen(graphs, h);
     let mut vocab = Vocabulary::new();
     let mut maps: Vec<Vec<SparseVec>> = graphs
         .iter()
@@ -108,10 +184,11 @@ pub fn vertex_feature_maps(graphs: &[Graph], h: usize) -> DatasetFeatureMaps {
             }
         }
     }
-    DatasetFeatureMaps {
+    let dataset = DatasetFeatureMaps {
         maps,
         dim: vocab.len(),
-    }
+    };
+    (dataset, compressors, vocab)
 }
 
 /// Graph-level WL feature maps: concatenated label histograms (Eq. 5).
@@ -215,5 +292,58 @@ mod tests {
         let g = graph_from_edges(0, &[], None).unwrap();
         let maps = vertex_feature_maps(&[g], 2);
         assert!(maps.maps[0].is_empty());
+    }
+
+    #[test]
+    fn refine_one_replays_fitted_graphs_exactly() {
+        let graphs = path_and_star();
+        let (refinement, compressors) = refine_frozen(&graphs, 3);
+        assert_eq!(compressors.rounds.len(), 3);
+        for (gi, graph) in graphs.iter().enumerate() {
+            let replayed = refine_one(graph, &compressors);
+            for (it, per_iter) in replayed.iter().enumerate() {
+                assert_eq!(
+                    per_iter, &refinement.labels[it][gi],
+                    "graph {gi} iteration {it}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refine_one_marks_unseen_labels_oov() {
+        let graphs = path_and_star();
+        let (_, compressors) = refine_frozen(&graphs, 2);
+        // Vertex 1 carries label 99, never seen at fit time.
+        let unseen = graph_from_edges(3, &[(0, 1), (1, 2)], Some(&[1, 99, 2])).unwrap();
+        let labels = refine_one(&unseen, &compressors);
+        assert_eq!(labels[0][1], WL_OOV_LABEL, "unseen base label");
+        assert_ne!(labels[0][0], WL_OOV_LABEL, "label 1 was fitted");
+        // OOV sticks at later iterations, and poisons its neighbours'
+        // patterns one hop per round.
+        assert_eq!(labels[1][1], WL_OOV_LABEL);
+        assert_eq!(labels[1][0], WL_OOV_LABEL, "neighbourhood contains OOV");
+    }
+
+    #[test]
+    fn refine_one_marks_unseen_neighbourhoods_oov() {
+        // Fit on a path only; a star's hub has a (label, neighbourhood)
+        // pattern the compressor never saw, even though all labels exist.
+        let path = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)], Some(&[1, 1, 1, 1])).unwrap();
+        let (_, compressors) = refine_frozen(std::slice::from_ref(&path), 1);
+        let star = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3)], Some(&[1, 1, 1, 1])).unwrap();
+        let labels = refine_one(&star, &compressors);
+        assert!(
+            labels[0].iter().all(|&l| l != WL_OOV_LABEL),
+            "base labels fitted"
+        );
+        assert_eq!(
+            labels[1][0], WL_OOV_LABEL,
+            "degree-3 pattern unseen on a path"
+        );
+        assert_ne!(
+            labels[1][1], WL_OOV_LABEL,
+            "leaves look like path endpoints"
+        );
     }
 }

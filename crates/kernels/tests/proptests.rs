@@ -31,7 +31,8 @@ fn permuted(g: &Graph, perm: &[u32]) -> Graph {
     let n = g.n_vertices();
     let mut b = GraphBuilder::new(n);
     for (u, v) in g.edges() {
-        b.add_edge(perm[u as usize], perm[v as usize]).expect("in range");
+        b.add_edge(perm[u as usize], perm[v as usize])
+            .expect("in range");
     }
     let mut labels = vec![0u32; n];
     for v in 0..n {
@@ -44,7 +45,10 @@ fn permuted(g: &Graph, perm: &[u32]) -> Graph {
 fn arb_graph_and_permutation(max_n: usize) -> impl Strategy<Value = (Graph, Vec<u32>)> {
     arb_graph(max_n).prop_flat_map(|g| {
         let n = g.n_vertices();
-        (Just(g), Just((0..n as u32).collect::<Vec<u32>>()).prop_shuffle())
+        (
+            Just(g),
+            Just((0..n as u32).collect::<Vec<u32>>()).prop_shuffle(),
+        )
     })
 }
 

@@ -9,7 +9,13 @@ use rand::Rng;
 ///
 /// This is Keras's default `Dense`/`Conv1D` initialiser, which the paper's
 /// implementation inherits.
-pub fn glorot_uniform(fan_in: usize, fan_out: usize, rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+pub fn glorot_uniform(
+    fan_in: usize,
+    fan_out: usize,
+    rows: usize,
+    cols: usize,
+    rng: &mut StdRng,
+) -> Matrix {
     let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
     let data = (0..rows * cols)
         .map(|_| rng.gen_range(-limit..=limit) as f32)

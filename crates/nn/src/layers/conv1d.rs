@@ -35,8 +35,17 @@ impl Conv1D {
     ///
     /// # Panics
     /// Panics when `kernel == 0` or `stride == 0`.
-    pub fn new(c_in: usize, filters: usize, kernel: usize, stride: usize, rng: &mut StdRng) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+    pub fn new(
+        c_in: usize,
+        filters: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         let fan_in = kernel * c_in;
         Conv1D {
             kernel,
@@ -153,6 +162,10 @@ impl Layer for Conv1D {
         ]
     }
 
+    fn param_values(&self) -> Vec<&[f32]> {
+        vec![self.w.as_slice(), self.b.as_slice()]
+    }
+
     fn zero_grad(&mut self) {
         self.dw.fill_zero();
         self.db.fill_zero();
@@ -241,7 +254,8 @@ mod tests {
 
     #[test]
     fn n_parameters() {
-        let mut c = Conv1D::new(3, 8, 5, 5, &mut StdRng::seed_from_u64(1));
+        let c = Conv1D::new(3, 8, 5, 5, &mut StdRng::seed_from_u64(1));
         assert_eq!(c.n_parameters(), 5 * 3 * 8 + 8);
+        assert_eq!(c.param_values().len(), 2);
     }
 }

@@ -88,6 +88,10 @@ impl Layer for Dense {
         ]
     }
 
+    fn param_values(&self) -> Vec<&[f32]> {
+        vec![self.w.as_slice(), self.b.as_slice()]
+    }
+
     fn zero_grad(&mut self) {
         self.dw.fill_zero();
         self.db.fill_zero();
@@ -159,7 +163,8 @@ mod tests {
 
     #[test]
     fn n_parameters() {
-        let mut l = layer();
+        let l = layer();
         assert_eq!(l.n_parameters(), 3 * 2 + 2);
+        assert_eq!(l.param_values().len(), 2);
     }
 }

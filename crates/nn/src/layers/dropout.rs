@@ -102,7 +102,10 @@ mod tests {
         let mean: f32 = y.as_slice().iter().sum::<f32>() / n as f32;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         // Survivors are exactly scaled by 2.
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
     }
 
     #[test]

@@ -69,7 +69,7 @@ mod tests {
 
     #[test]
     fn stateless() {
-        let mut l = Flatten::new();
+        let l = Flatten::new();
         assert_eq!(l.n_parameters(), 0);
     }
 }

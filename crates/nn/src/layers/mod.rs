@@ -58,6 +58,13 @@ pub trait Layer {
         Vec::new()
     }
 
+    /// Read-only views of the parameter tensors, in the same order as
+    /// [`Layer::params`] (empty for stateless layers). Lets checkpointing
+    /// and inference inspect weights without exclusive access to the model.
+    fn param_values(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
     /// Clears accumulated gradients.
     fn zero_grad(&mut self) {}
 
@@ -65,7 +72,7 @@ pub trait Layer {
     fn name(&self) -> &'static str;
 
     /// Number of trainable scalars.
-    fn n_parameters(&mut self) -> usize {
-        self.params().iter().map(|p| p.value.len()).sum()
+    fn n_parameters(&self) -> usize {
+        self.param_values().iter().map(|v| v.len()).sum()
     }
 }

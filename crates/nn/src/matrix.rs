@@ -246,7 +246,12 @@ impl fmt::Display for Matrix {
         for r in 0..self.rows.min(8) {
             let row = self.row(r);
             let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:>9.4}")).collect();
-            writeln!(f, "  [{}{}]", cells.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                cells.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.rows > 8 {
             writeln!(f, "  …")?;

@@ -37,8 +37,16 @@ impl Sequential {
     }
 
     /// Total number of trainable scalars.
-    pub fn n_parameters(&mut self) -> usize {
-        self.layers.iter_mut().map(|l| l.n_parameters()).sum()
+    pub fn n_parameters(&self) -> usize {
+        self.layers.iter().map(|l| l.n_parameters()).sum()
+    }
+
+    /// Read-only views of every parameter tensor in the stable (layer,
+    /// tensor) order of [`Sequential::params`]. Unlike `params`, this does
+    /// not require exclusive access, so a loaded model can be inspected or
+    /// checkpointed while shared.
+    pub fn param_values(&self) -> Vec<&[f32]> {
+        self.layers.iter().flat_map(|l| l.param_values()).collect()
     }
 
     /// Runs the full forward pass.
@@ -58,8 +66,28 @@ impl Sequential {
     /// Panics when `n_layers > self.n_layers()`.
     pub fn forward_prefix(&mut self, input: &Matrix, n_layers: usize, mode: Mode) -> Matrix {
         assert!(n_layers <= self.layers.len(), "prefix longer than model");
+        self.forward_range(input, 0, n_layers, mode)
+    }
+
+    /// Runs layers `start..end` only. The caller is responsible for feeding
+    /// an input shaped like the output of layer `start - 1`; the batched
+    /// inference path uses this to resume after the readout.
+    ///
+    /// # Panics
+    /// Panics when `start > end` or `end > self.n_layers()`.
+    pub fn forward_range(
+        &mut self,
+        input: &Matrix,
+        start: usize,
+        end: usize,
+        mode: Mode,
+    ) -> Matrix {
+        assert!(
+            start <= end && end <= self.layers.len(),
+            "invalid layer range"
+        );
         let mut x = input.clone();
-        for layer in self.layers.iter_mut().take(n_layers) {
+        for layer in self.layers[start..end].iter_mut() {
             x = layer.forward(&x, mode);
         }
         x
@@ -151,8 +179,29 @@ mod tests {
 
     #[test]
     fn parameter_count() {
-        let mut m = tiny_model(1);
+        let m = tiny_model(1);
         assert_eq!(m.n_parameters(), (4 * 8 + 8) + (8 * 2 + 2));
+        let flat: usize = m.param_values().iter().map(|v| v.len()).sum();
+        assert_eq!(flat, m.n_parameters());
+    }
+
+    #[test]
+    fn forward_range_composes_to_full_forward() {
+        let mut m = tiny_model(4);
+        let x = Matrix::from_vec(3, 4, (0..12).map(|v| v as f32 * 0.2 - 1.0).collect());
+        let full = m.forward(&x, Mode::Eval);
+        let mid = m.forward_range(&x, 0, 2, Mode::Eval);
+        let tail = m.forward_range(&mid, 2, 4, Mode::Eval);
+        assert_eq!(tail, full);
+        // Empty range is the identity.
+        assert_eq!(m.forward_range(&x, 1, 1, Mode::Eval), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid layer range")]
+    fn forward_range_rejects_bad_bounds() {
+        let mut m = tiny_model(1);
+        m.forward_range(&Matrix::zeros(3, 4), 2, 9, Mode::Eval);
     }
 
     #[test]

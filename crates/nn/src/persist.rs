@@ -40,6 +40,13 @@ pub enum PersistError {
         /// Count the model expects.
         expected: usize,
     },
+    /// The buffer contains bytes beyond the declared data. A silently
+    /// oversized payload usually means a corrupt frame or a concatenated
+    /// file, so it is rejected rather than ignored.
+    TrailingBytes {
+        /// Number of unexpected bytes after the last tensor.
+        extra: usize,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -47,7 +54,11 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::BadMagic => write!(f, "not a DMW1 checkpoint"),
             PersistError::Truncated => write!(f, "checkpoint truncated"),
-            PersistError::ShapeMismatch { tensor, stored, expected } => write!(
+            PersistError::ShapeMismatch {
+                tensor,
+                stored,
+                expected,
+            } => write!(
                 f,
                 "tensor {tensor}: checkpoint has {stored} scalars, model expects {expected}"
             ),
@@ -55,22 +66,29 @@ impl fmt::Display for PersistError {
                 f,
                 "checkpoint has {stored} tensors, model expects {expected}"
             ),
+            PersistError::TrailingBytes { extra } => {
+                write!(
+                    f,
+                    "checkpoint has {extra} trailing bytes after the last tensor"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for PersistError {}
 
-/// Serialises the model's parameters.
-pub fn save_weights(model: &mut Sequential) -> Bytes {
-    let params = model.params();
-    let total: usize = params.iter().map(|p| p.value.len()).sum();
+/// Serialises the model's parameters. Takes `&Sequential` so a model shared
+/// read-only across inference workers can still be checkpointed.
+pub fn save_weights(model: &Sequential) -> Bytes {
+    let params = model.param_values();
+    let total: usize = params.iter().map(|v| v.len()).sum();
     let mut buf = BytesMut::with_capacity(8 + 4 * params.len() + 4 * total);
     buf.put_slice(MAGIC);
     buf.put_u32_le(params.len() as u32);
-    for p in &params {
-        buf.put_u32_le(p.value.len() as u32);
-        for &w in p.value.iter() {
+    for values in &params {
+        buf.put_u32_le(values.len() as u32);
+        for &w in values.iter() {
             buf.put_f32_le(w);
         }
     }
@@ -120,6 +138,11 @@ pub fn load_weights(model: &mut Sequential, data: &[u8]) -> Result<(), PersistEr
         }
         probe.advance(4 * len);
     }
+    if probe.remaining() != 0 {
+        return Err(PersistError::TrailingBytes {
+            extra: probe.remaining(),
+        });
+    }
     // Second pass: write.
     for p in params.iter_mut() {
         let _len = cursor.get_u32_le();
@@ -151,7 +174,7 @@ mod tests {
         let mut original = model(1);
         let x = Matrix::from_vec(1, 4, vec![0.3, -0.2, 0.9, 0.1]);
         let expected = original.forward(&x, Mode::Eval);
-        let blob = save_weights(&mut original);
+        let blob = save_weights(&original);
 
         let mut restored = model(999); // different init
         assert_ne!(restored.forward(&x, Mode::Eval), expected);
@@ -162,22 +185,67 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         let mut m = model(1);
-        assert_eq!(load_weights(&mut m, b"NOPE1234"), Err(PersistError::BadMagic));
+        assert_eq!(
+            load_weights(&mut m, b"NOPE1234"),
+            Err(PersistError::BadMagic)
+        );
     }
 
     #[test]
     fn rejects_truncation() {
         let mut m = model(1);
-        let blob = save_weights(&mut m);
+        let blob = save_weights(&m);
         let cut = &blob[..blob.len() / 2];
         assert_eq!(load_weights(&mut m, cut), Err(PersistError::Truncated));
-        assert_eq!(load_weights(&mut m, &blob[..3]), Err(PersistError::Truncated));
+        assert_eq!(
+            load_weights(&mut m, &blob[..3]),
+            Err(PersistError::Truncated)
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut m = model(1);
+        let x = Matrix::from_vec(1, 4, vec![0.7; 4]);
+        let before = m.forward(&x, Mode::Eval);
+        let mut oversized = save_weights(&m).to_vec();
+        oversized.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+        assert_eq!(
+            load_weights(&mut m, &oversized),
+            Err(PersistError::TrailingBytes { extra: 3 })
+        );
+        // Rejection happens before any weight is written.
+        assert_eq!(m.forward(&x, Mode::Eval), before);
+    }
+
+    #[test]
+    fn rejects_doubled_payload() {
+        // Two checkpoints concatenated: structurally valid prefix, junk tail.
+        let mut m = model(1);
+        let blob = save_weights(&m);
+        let mut doubled = blob.to_vec();
+        doubled.extend_from_slice(&blob);
+        let err = load_weights(&mut m, &doubled).unwrap_err();
+        assert_eq!(err, PersistError::TrailingBytes { extra: blob.len() });
+    }
+
+    #[test]
+    fn rejects_corrupt_magic_variants() {
+        let mut m = model(1);
+        let blob = save_weights(&m);
+        // Flip one magic byte of an otherwise valid checkpoint.
+        let mut corrupt = blob.to_vec();
+        corrupt[0] ^= 0xFF;
+        assert_eq!(load_weights(&mut m, &corrupt), Err(PersistError::BadMagic));
+        // Empty and sub-header payloads are truncation, not magic errors.
+        assert_eq!(load_weights(&mut m, &[]), Err(PersistError::Truncated));
+        assert_eq!(load_weights(&mut m, b"DMW1"), Err(PersistError::Truncated));
     }
 
     #[test]
     fn rejects_architecture_mismatch() {
-        let mut small = model(1);
-        let blob = save_weights(&mut small);
+        let small = model(1);
+        let blob = save_weights(&small);
         let mut rng = StdRng::seed_from_u64(2);
         let mut bigger = Sequential::new()
             .push(Box::new(Dense::new(4, 7, &mut rng)))
@@ -191,7 +259,7 @@ mod tests {
         let mut m = model(1);
         let x = Matrix::from_vec(1, 4, vec![1.0; 4]);
         let before = m.forward(&x, Mode::Eval);
-        let blob = save_weights(&mut m);
+        let blob = save_weights(&m);
         // Corrupt the tail so the last tensor is truncated.
         let cut = &blob[..blob.len() - 2];
         let _ = load_weights(&mut m, cut).unwrap_err();

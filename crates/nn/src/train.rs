@@ -94,7 +94,10 @@ impl fmt::Display for TrainError {
                 write!(f, "non-finite loss at epoch {epoch}, batch {batch}")
             }
             TrainError::ExplodingGradient { epoch, batch, norm } => {
-                write!(f, "exploding gradient (norm {norm:e}) at epoch {epoch}, batch {batch}")
+                write!(
+                    f,
+                    "exploding gradient (norm {norm:e}) at epoch {epoch}, batch {batch}"
+                )
             }
             TrainError::NonFiniteParameters { epoch } => {
                 write!(f, "non-finite parameters after epoch {epoch}")
@@ -239,7 +242,10 @@ pub fn try_fit(
                 let sample = &train[i];
                 let (loss, _) = model.train_step(&sample.input, sample.label);
                 if !loss.is_finite() {
-                    return Err(TrainError::NonFiniteLoss { epoch, batch: batch_idx });
+                    return Err(TrainError::NonFiniteLoss {
+                        epoch,
+                        batch: batch_idx,
+                    });
                 }
                 total_loss += loss as f64;
             }
@@ -247,7 +253,11 @@ pub fn try_fit(
             if guard.max_grad_norm.is_finite() {
                 let norm = grad_norm(model);
                 if !norm.is_finite() || norm > guard.max_grad_norm {
-                    return Err(TrainError::ExplodingGradient { epoch, batch: batch_idx, norm });
+                    return Err(TrainError::ExplodingGradient {
+                        epoch,
+                        batch: batch_idx,
+                        norm,
+                    });
                 }
             }
             optimizer.step(&mut model.params());
@@ -303,7 +313,11 @@ mod tests {
                     }
                 }
                 samples.push(Sample {
-                    input: Matrix::from_vec(rows, 4, data.iter().map(|&v: &f64| v as f32).collect()),
+                    input: Matrix::from_vec(
+                        rows,
+                        4,
+                        data.iter().map(|&v: &f64| v as f32).collect(),
+                    ),
                     label: class,
                 });
             }

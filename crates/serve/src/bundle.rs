@@ -1,0 +1,439 @@
+//! The `DMB1` model bundle: a trained DeepMap classifier frozen for serving.
+//!
+//! A bundle packs everything inference needs into one versioned binary
+//! file, all hand-rolled little-endian framing in the style of the `DMW1`
+//! weight checkpoints:
+//!
+//! ```text
+//! magic "DMB1" | u32 version (= 1)
+//! model config   (shapes, filters, readout, seed)
+//! train config   (provenance: epochs, batch size, learning rate, seed)
+//! max feature dim (the top-K truncation the pipeline applied, if any)
+//! class names    (u64 count | per name: u64 len | utf-8 bytes)
+//! preprocessor   (u64 len | FrozenPreprocessor blob: assembly params +
+//!                 frozen feature vocabulary, see deepmap-core::frozen)
+//! weights        (u64 len | DMW1 checkpoint)
+//! ```
+//!
+//! Loading validates every section, rebuilds the architecture from the
+//! recorded config, and checks the weights actually fit it — a bundle that
+//! loads is a bundle that predicts.
+
+use crate::error::ServeError;
+use deepmap_core::embedding::CONV_STACK_LAYERS;
+use deepmap_core::{
+    build_deepmap_model, DeepMap, DeepMapConfig, FrozenPreprocessor, ModelConfig, PreparedDataset,
+    Readout,
+};
+use deepmap_graph::Graph;
+use deepmap_nn::layers::Mode;
+use deepmap_nn::loss::softmax;
+use deepmap_nn::persist::{load_weights, save_weights};
+use deepmap_nn::train::TrainConfig;
+use deepmap_nn::{Matrix, Sequential};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"DMB1";
+const VERSION: u32 = 1;
+
+/// A frozen, servable DeepMap classifier: architecture, trained weights,
+/// frozen feature vocabulary, assembly parameters, and label names.
+#[derive(Debug, Clone)]
+pub struct ModelBundle {
+    model_cfg: ModelConfig,
+    train_cfg: TrainConfig,
+    max_feature_dim: Option<usize>,
+    class_names: Vec<String>,
+    pre: FrozenPreprocessor,
+    weights: Vec<u8>,
+}
+
+impl ModelBundle {
+    /// Freezes a trained model into a bundle.
+    ///
+    /// `prepared` and `pre` must come from the same
+    /// [`DeepMap::try_prepare_frozen`] call that produced the training
+    /// tensors for `model`; `class_names[c]` names class `c`. The weights
+    /// are validated by loading them into a freshly built copy of the
+    /// architecture, so a successfully frozen bundle is guaranteed to
+    /// reload.
+    pub fn freeze(
+        pipeline: &DeepMap,
+        prepared: &PreparedDataset,
+        pre: FrozenPreprocessor,
+        model: &Sequential,
+        class_names: Vec<String>,
+    ) -> Result<ModelBundle, ServeError> {
+        if class_names.len() != prepared.n_classes {
+            return Err(ServeError::Corrupt(format!(
+                "{} class names for {} classes",
+                class_names.len(),
+                prepared.n_classes
+            )));
+        }
+        if pre.m() != prepared.m {
+            return Err(ServeError::Corrupt(format!(
+                "preprocessor dimension {} does not match prepared dimension {}",
+                pre.m(),
+                prepared.m
+            )));
+        }
+        let model_cfg = pipeline.model_config(prepared);
+        let weights = save_weights(model).to_vec();
+        let mut probe = build_deepmap_model(&model_cfg);
+        load_weights(&mut probe, &weights)?;
+        Ok(ModelBundle {
+            model_cfg,
+            train_cfg: pipeline.config().train,
+            max_feature_dim: pipeline.config().max_feature_dim,
+            class_names,
+            pre,
+            weights,
+        })
+    }
+
+    /// The recorded architecture.
+    pub fn model_config(&self) -> &ModelConfig {
+        &self.model_cfg
+    }
+
+    /// The frozen preprocessor.
+    pub fn preprocessor(&self) -> &FrozenPreprocessor {
+        &self.pre
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.model_cfg.n_classes
+    }
+
+    /// Class names, indexed by class id.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// The full pipeline configuration the bundle was trained with,
+    /// reconstructed from the frozen pieces (provenance).
+    pub fn config(&self) -> DeepMapConfig {
+        DeepMapConfig {
+            kind: self.pre.extractor().kind(),
+            r: self.pre.r(),
+            ordering: self.pre.ordering(),
+            max_hops: self.pre.max_hops(),
+            readout: self.model_cfg.readout,
+            max_feature_dim: self.max_feature_dim,
+            normalize: self.pre.normalize(),
+            train: self.train_cfg,
+            seed: self.model_cfg.seed,
+        }
+    }
+
+    /// Rebuilds the architecture and loads the frozen weights into it.
+    pub fn build_model(&self) -> Result<Sequential, ServeError> {
+        let mut model = build_deepmap_model(&self.model_cfg);
+        load_weights(&mut model, &self.weights)?;
+        Ok(model)
+    }
+
+    /// A ready-to-use single-threaded predictor over this bundle.
+    pub fn predictor(&self) -> Result<Predictor, ServeError> {
+        Ok(Predictor {
+            model: self.build_model()?,
+            pre: self.pre.clone(),
+            w: self.model_cfg.w,
+        })
+    }
+
+    /// Serialises the bundle.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        let c = &self.model_cfg;
+        for v in [
+            c.m,
+            c.r,
+            c.w,
+            c.n_classes,
+            c.filters[0],
+            c.filters[1],
+            c.filters[2],
+            c.dense_units,
+        ] {
+            out.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&c.dropout.to_le_bytes());
+        out.push(match c.readout {
+            Readout::Sum => 0,
+            Readout::Concat => 1,
+        });
+        out.extend_from_slice(&c.seed.to_le_bytes());
+        out.extend_from_slice(&(self.train_cfg.epochs as u64).to_le_bytes());
+        out.extend_from_slice(&(self.train_cfg.batch_size as u64).to_le_bytes());
+        out.extend_from_slice(&self.train_cfg.learning_rate.to_le_bytes());
+        out.extend_from_slice(&self.train_cfg.seed.to_le_bytes());
+        match self.max_feature_dim {
+            None => out.push(0),
+            Some(k) => {
+                out.push(1);
+                out.extend_from_slice(&(k as u64).to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.class_names.len() as u64).to_le_bytes());
+        for name in &self.class_names {
+            out.extend_from_slice(&(name.len() as u64).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        let pre_blob = self.pre.to_bytes();
+        out.extend_from_slice(&(pre_blob.len() as u64).to_le_bytes());
+        out.extend_from_slice(&pre_blob);
+        out.extend_from_slice(&(self.weights.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.weights);
+        out
+    }
+
+    /// Deserialises and validates a bundle: checks magic, version, every
+    /// section's framing, trailing bytes, and that the weights load into
+    /// the declared architecture.
+    pub fn from_bytes(data: &[u8]) -> Result<ModelBundle, ServeError> {
+        let mut r = Reader { data, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(ServeError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(ServeError::UnsupportedVersion(version));
+        }
+        let m = r.u64()? as usize;
+        let field_r = r.u64()? as usize;
+        let w = r.u64()? as usize;
+        let n_classes = r.u64()? as usize;
+        let filters = [r.u64()? as usize, r.u64()? as usize, r.u64()? as usize];
+        let dense_units = r.u64()? as usize;
+        let dropout = r.f64()?;
+        let readout = match r.u8()? {
+            0 => Readout::Sum,
+            1 => Readout::Concat,
+            other => return Err(ServeError::Corrupt(format!("unknown readout tag {other}"))),
+        };
+        let seed = r.u64()?;
+        let model_cfg = ModelConfig {
+            m,
+            r: field_r,
+            w,
+            n_classes,
+            filters,
+            dense_units,
+            dropout,
+            readout,
+            seed,
+        };
+        let train_cfg = TrainConfig {
+            epochs: r.u64()? as usize,
+            batch_size: r.u64()? as usize,
+            learning_rate: r.f32()?,
+            seed: r.u64()?,
+        };
+        let max_feature_dim = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()? as usize),
+            other => {
+                return Err(ServeError::Corrupt(format!(
+                    "bad max-feature-dim flag {other}"
+                )))
+            }
+        };
+        let n_names = r.u64()? as usize;
+        if n_names != n_classes {
+            return Err(ServeError::Corrupt(format!(
+                "{n_names} class names for {n_classes} classes"
+            )));
+        }
+        let mut class_names = Vec::with_capacity(n_names.min(r.remaining()));
+        for _ in 0..n_names {
+            let len = r.u64()? as usize;
+            let bytes = r.take(len)?;
+            let name = std::str::from_utf8(bytes)
+                .map_err(|_| ServeError::Corrupt("class name is not utf-8".to_string()))?;
+            class_names.push(name.to_string());
+        }
+        let pre_len = r.u64()? as usize;
+        let pre_blob = r.take(pre_len)?;
+        let pre = FrozenPreprocessor::from_bytes(pre_blob).map_err(ServeError::Corrupt)?;
+        if pre.m() != m || pre.r() != field_r || pre.w() != w {
+            return Err(ServeError::Corrupt(format!(
+                "preprocessor shape ({}, {}, {}) disagrees with model config ({m}, {field_r}, {w})",
+                pre.m(),
+                pre.r(),
+                pre.w()
+            )));
+        }
+        let weights_len = r.u64()? as usize;
+        let weights = r.take(weights_len)?.to_vec();
+        if r.remaining() != 0 {
+            return Err(ServeError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        let bundle = ModelBundle {
+            model_cfg,
+            train_cfg,
+            max_feature_dim,
+            class_names,
+            pre,
+            weights,
+        };
+        // A bundle that parses must also predict: prove the weights fit.
+        bundle.build_model()?;
+        Ok(bundle)
+    }
+
+    /// Writes the bundle to a file.
+    pub fn save(&self, path: &Path) -> Result<(), ServeError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and validates a bundle file.
+    pub fn load(path: &Path) -> Result<ModelBundle, ServeError> {
+        let data = std::fs::read(path)?;
+        ModelBundle::from_bytes(&data)
+    }
+}
+
+/// One classified graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted class id (argmax of the scores).
+    pub class: usize,
+    /// Softmax class scores, indexed by class id.
+    pub scores: Vec<f32>,
+}
+
+/// A single-threaded predictor: a rebuilt model plus the frozen
+/// preprocessor. Each inference worker owns one (the model caches
+/// intermediate activations, so it is deliberately not shared).
+pub struct Predictor {
+    model: Sequential,
+    pre: FrozenPreprocessor,
+    w: usize,
+}
+
+impl Predictor {
+    /// Classifies one graph.
+    pub fn predict(&mut self, graph: &Graph) -> Prediction {
+        let input = self.pre.embed_one(graph);
+        let logits = self.model.forward(&input, Mode::Eval);
+        Self::to_prediction(&logits)
+    }
+
+    /// Classifies a batch of graphs in one pass through the convolution
+    /// stack.
+    ///
+    /// With the summation readout the first convolution has kernel = stride
+    /// = `r`, so receptive-field windows never straddle graph boundaries:
+    /// the `B` input tensors are row-concatenated into one `(B·w·r × m)`
+    /// matrix, pushed through the conv stack together, then split and
+    /// summed per graph before the dense head. The per-row arithmetic is
+    /// identical to the one-at-a-time path, so batched predictions are
+    /// bit-identical to unbatched ones. The concat readout flattens
+    /// position-wise and cannot be row-batched; it falls back to a loop.
+    pub fn predict_batch(&mut self, graphs: &[&Graph]) -> Vec<Prediction> {
+        if graphs.len() <= 1 || self.model_readout_is_concat() {
+            return graphs.iter().map(|g| self.predict(g)).collect();
+        }
+        let inputs: Vec<Matrix> = graphs.iter().map(|g| self.pre.embed_one(g)).collect();
+        let rows_per_graph = inputs[0].rows();
+        let m = inputs[0].cols();
+        let mut stacked = Matrix::zeros(rows_per_graph * inputs.len(), m);
+        for (b, input) in inputs.iter().enumerate() {
+            for row in 0..rows_per_graph {
+                stacked
+                    .row_mut(b * rows_per_graph + row)
+                    .copy_from_slice(input.row(row));
+            }
+        }
+        let conv = self
+            .model
+            .forward_range(&stacked, 0, CONV_STACK_LAYERS, Mode::Eval);
+        let n_layers = self.model.n_layers();
+        graphs
+            .iter()
+            .enumerate()
+            .map(|(b, _)| {
+                // Replicates SumPool (Matrix::sum_rows) over this graph's
+                // row block, in the same ascending-row accumulation order.
+                let mut pooled = Matrix::zeros(1, conv.cols());
+                for row in 0..self.w {
+                    let src = conv.row(b * self.w + row);
+                    for (o, &v) in pooled.row_mut(0).iter_mut().zip(src) {
+                        *o += v;
+                    }
+                }
+                let logits =
+                    self.model
+                        .forward_range(&pooled, CONV_STACK_LAYERS + 1, n_layers, Mode::Eval);
+                Self::to_prediction(&logits)
+            })
+            .collect()
+    }
+
+    fn model_readout_is_concat(&self) -> bool {
+        self.model.layer_names().contains(&"Flatten")
+    }
+
+    fn to_prediction(logits: &Matrix) -> Prediction {
+        let probs = softmax(logits);
+        let scores = probs.row(0).to_vec();
+        let class = probs.argmax_row(0);
+        Prediction { class, scores }
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        if self.pos + n > self.data.len() {
+            return Err(ServeError::Truncated);
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f32(&mut self) -> Result<f32, ServeError> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, ServeError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}

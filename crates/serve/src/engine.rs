@@ -1,0 +1,291 @@
+//! The micro-batching inference server.
+//!
+//! ```text
+//! submit() → bounded request queue → batcher thread → worker pool
+//! ```
+//!
+//! Callers submit graphs into a bounded queue (a full queue rejects with
+//! [`ServeError::QueueFull`] — backpressure, not unbounded memory). A
+//! batcher thread groups requests dynamically: a batch is flushed as soon
+//! as it reaches [`ServerConfig::max_batch`] requests or the oldest request
+//! in it has waited [`ServerConfig::max_wait`]. Workers each own a private
+//! [`Predictor`] (models cache activations, so they cannot be shared) and
+//! answer every request in the batch with its prediction, latency, and the
+//! batch size it rode in.
+//!
+//! Batching trades a bounded amount of queueing latency for throughput: the
+//! convolution stack runs once per batch instead of once per graph, which
+//! amortises per-call overhead. Predictions are bit-identical to the
+//! unbatched path (see [`Predictor::predict_batch`]).
+
+use crate::bundle::{ModelBundle, Predictor};
+use crate::error::ServeError;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use deepmap_graph::Graph;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Inference server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Number of worker threads (each owns a model replica).
+    pub workers: usize,
+    /// Bound of the request queue; a full queue rejects submissions.
+    pub queue_capacity: usize,
+    /// Flush a batch at this many requests.
+    pub max_batch: usize,
+    /// Flush a batch when its oldest request has waited this long.
+    pub max_wait: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A completed prediction as served: the classification plus serving
+/// telemetry.
+#[derive(Debug, Clone)]
+pub struct ServedPrediction {
+    /// Predicted class id.
+    pub class: usize,
+    /// Softmax class scores, indexed by class id.
+    pub scores: Vec<f32>,
+    /// Submit-to-reply time.
+    pub latency: Duration,
+    /// Size of the micro-batch this request was served in.
+    pub batch_size: usize,
+}
+
+struct Request {
+    graph: Graph,
+    submitted: Instant,
+    reply: mpsc::Sender<ServedPrediction>,
+}
+
+/// Waits for one submitted request's prediction.
+pub struct PredictionHandle {
+    rx: mpsc::Receiver<ServedPrediction>,
+}
+
+impl PredictionHandle {
+    /// Blocks until the prediction arrives (or the server shuts down).
+    pub fn wait(self) -> Result<ServedPrediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Shutdown)
+    }
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    queue_depth: AtomicUsize,
+    peak_queue_depth: AtomicUsize,
+}
+
+/// A point-in-time snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Micro-batches dispatched to workers.
+    pub batches: u64,
+    /// Requests that rode in a batch of size ≥ 2.
+    pub batched_requests: u64,
+    /// Requests currently queued (accepted, not yet dispatched).
+    pub queue_depth: usize,
+    /// Maximum observed queue depth.
+    pub peak_queue_depth: usize,
+}
+
+/// Handle on the running server: submit requests, read metrics, shut down.
+pub struct InferenceServer {
+    tx: Option<Sender<Request>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<MetricsInner>,
+}
+
+impl InferenceServer {
+    /// Starts the batcher and `config.workers` worker threads over a shared
+    /// bundle. Each worker rebuilds its own model replica from the bundle.
+    pub fn start(
+        bundle: Arc<ModelBundle>,
+        config: ServerConfig,
+    ) -> Result<InferenceServer, ServeError> {
+        let config = ServerConfig {
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            max_batch: config.max_batch.max(1),
+            ..config
+        };
+        // Fail fast if the bundle cannot produce a predictor at all.
+        bundle.predictor()?;
+        let metrics = Arc::new(MetricsInner::default());
+        let (req_tx, req_rx) = bounded::<Request>(config.queue_capacity);
+        let (batch_tx, batch_rx) = bounded::<Vec<Request>>(config.workers * 2);
+        let batcher = {
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || run_batcher(req_rx, batch_tx, config, metrics))
+        };
+        let workers = (0..config.workers)
+            .map(|_| {
+                let bundle = Arc::clone(&bundle);
+                let batch_rx = batch_rx.clone();
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || {
+                    let mut predictor = bundle.predictor().expect("validated at start");
+                    run_worker(&mut predictor, batch_rx, metrics);
+                })
+            })
+            .collect();
+        Ok(InferenceServer {
+            tx: Some(req_tx),
+            batcher: Some(batcher),
+            workers,
+            metrics,
+        })
+    }
+
+    /// Enqueues a graph for classification. Fails with
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity and
+    /// [`ServeError::Shutdown`] after [`InferenceServer::shutdown`].
+    pub fn submit(&self, graph: Graph) -> Result<PredictionHandle, ServeError> {
+        let tx = self.tx.as_ref().ok_or(ServeError::Shutdown)?;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let request = Request {
+            graph,
+            submitted: Instant::now(),
+            reply: reply_tx,
+        };
+        match tx.try_send(request) {
+            Ok(()) => {
+                self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                let depth = self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                self.metrics
+                    .peak_queue_depth
+                    .fetch_max(depth, Ordering::Relaxed);
+                Ok(PredictionHandle { rx: reply_rx })
+            }
+            Err(_) => {
+                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::QueueFull)
+            }
+        }
+    }
+
+    /// Submits and blocks for the answer (convenience for synchronous
+    /// callers).
+    pub fn predict(&self, graph: Graph) -> Result<ServedPrediction, ServeError> {
+        self.submit(graph)?.wait()
+    }
+
+    /// Current counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.metrics.submitted.load(Ordering::Relaxed),
+            rejected: self.metrics.rejected.load(Ordering::Relaxed),
+            completed: self.metrics.completed.load(Ordering::Relaxed),
+            batches: self.metrics.batches.load(Ordering::Relaxed),
+            batched_requests: self.metrics.batched_requests.load(Ordering::Relaxed),
+            queue_depth: self.metrics.queue_depth.load(Ordering::Relaxed),
+            peak_queue_depth: self.metrics.peak_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting requests, drains the queue, and joins every thread.
+    /// Already-accepted requests are still answered.
+    pub fn shutdown(&mut self) {
+        self.tx = None; // Closes the request channel; the batcher drains and exits.
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run_batcher(
+    req_rx: Receiver<Request>,
+    batch_tx: Sender<Vec<Request>>,
+    config: ServerConfig,
+    metrics: Arc<MetricsInner>,
+) {
+    // Blocks for the first request of each batch, then keeps collecting
+    // until the batch is full or the first request's deadline passes.
+    while let Ok(first) = req_rx.recv() {
+        let mut batch = vec![first];
+        if config.max_batch > 1 {
+            let deadline = Instant::now() + config.max_wait;
+            while batch.len() < config.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match req_rx.recv_timeout(deadline - now) {
+                    Ok(req) => batch.push(req),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        metrics
+            .queue_depth
+            .fetch_sub(batch.len(), Ordering::Relaxed);
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        if batch.len() > 1 {
+            metrics
+                .batched_requests
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        if batch_tx.send(batch).is_err() {
+            return; // Workers are gone; nothing useful left to do.
+        }
+    }
+    // Request channel closed: dropping batch_tx lets the workers drain out.
+}
+
+fn run_worker(
+    predictor: &mut Predictor,
+    batch_rx: Receiver<Vec<Request>>,
+    metrics: Arc<MetricsInner>,
+) {
+    while let Ok(batch) = batch_rx.recv() {
+        let batch_size = batch.len();
+        let graphs: Vec<&Graph> = batch.iter().map(|r| &r.graph).collect();
+        let predictions = predictor.predict_batch(&graphs);
+        for (request, prediction) in batch.iter().zip(predictions) {
+            let served = ServedPrediction {
+                class: prediction.class,
+                scores: prediction.scores,
+                latency: request.submitted.elapsed(),
+                batch_size,
+            };
+            metrics.completed.fetch_add(1, Ordering::Relaxed);
+            // A dropped handle just means the caller stopped waiting.
+            let _ = request.reply.send(served);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Typed serving errors.
+
+use deepmap_nn::persist::PersistError;
+use std::fmt;
+
+/// Errors from bundle (de)serialisation and the inference server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The payload does not start with the `DMB1` magic.
+    BadMagic,
+    /// The bundle declares a format version this build cannot read.
+    UnsupportedVersion(
+        /// The declared version.
+        u32,
+    ),
+    /// The payload ended before the declared data.
+    Truncated,
+    /// The payload contains bytes beyond the declared data.
+    TrailingBytes {
+        /// Number of unexpected bytes after the last section.
+        extra: usize,
+    },
+    /// A section of the payload is structurally invalid.
+    Corrupt(String),
+    /// The embedded weight checkpoint does not load into the declared
+    /// architecture.
+    Persist(PersistError),
+    /// Filesystem error while saving or loading a bundle.
+    Io(String),
+    /// The server's bounded request queue is full (backpressure).
+    QueueFull,
+    /// The server shut down before answering the request.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadMagic => write!(f, "not a DMB1 model bundle"),
+            ServeError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported bundle version {v} (this build reads version 1)"
+                )
+            }
+            ServeError::Truncated => write!(f, "bundle truncated"),
+            ServeError::TrailingBytes { extra } => {
+                write!(
+                    f,
+                    "bundle has {extra} trailing bytes after the last section"
+                )
+            }
+            ServeError::Corrupt(what) => write!(f, "corrupt bundle: {what}"),
+            ServeError::Persist(e) => write!(f, "bundle weights: {e}"),
+            ServeError::Io(e) => write!(f, "bundle io: {e}"),
+            ServeError::QueueFull => write!(f, "inference queue full"),
+            ServeError::Shutdown => write!(f, "inference server shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        ServeError::Persist(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,32 @@
+//! Model serving for the DeepMap reproduction.
+//!
+//! Training produces a classifier entangled with its corpus: the feature
+//! vocabulary, the aligned width `w`, the alignment ordering, and the
+//! weights are all artefacts of one `prepare`/`fit` run. This crate
+//! packages all of it into a deployable unit and serves it:
+//!
+//! - [`bundle`] — the versioned `DMB1` [`ModelBundle`] format freezing a
+//!   trained model (architecture + weights + frozen feature vocabulary +
+//!   assembly parameters + class names), and a single-threaded
+//!   [`Predictor`] that classifies unseen graphs one at a time or in
+//!   bit-identical micro-batches.
+//! - [`engine`] — the [`InferenceServer`]: a bounded request queue, a
+//!   dynamic micro-batcher (flush on batch size or deadline), a worker
+//!   pool of model replicas, and latency/queue-depth counters.
+//!
+//! Unseen substructures at serve time land in an OOV feature bucket that
+//! was all-zero during training (see `deepmap-kernels`' frozen module), so
+//! a served prediction is always well-defined, even for graphs unlike
+//! anything in the corpus.
+
+#![deny(missing_docs)]
+
+pub mod bundle;
+pub mod engine;
+pub mod error;
+
+pub use bundle::{ModelBundle, Prediction, Predictor};
+pub use engine::{
+    InferenceServer, MetricsSnapshot, PredictionHandle, ServedPrediction, ServerConfig,
+};
+pub use error::ServeError;

@@ -1,0 +1,172 @@
+//! Train → freeze → serialise → reload → predict parity.
+
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::builder::graph_from_edges;
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::TrainConfig;
+use deepmap_serve::{ModelBundle, ServeError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn toy_dataset(n_per_class: usize) -> (Vec<Graph>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n_per_class {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    (graphs, labels)
+}
+
+fn quick_config(kind: FeatureKind) -> DeepMapConfig {
+    DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: 1,
+        },
+        ..DeepMapConfig::paper(kind)
+    }
+}
+
+/// Trains on the first 3/4 of the toy dataset and freezes the result.
+fn train_and_freeze(kind: FeatureKind) -> (ModelBundle, Vec<Graph>, DeepMap) {
+    let (graphs, labels) = toy_dataset(8);
+    let dm = DeepMap::new(quick_config(kind));
+    let (prepared, pre) = dm.try_prepare_frozen(&graphs, &labels).unwrap();
+    let n = graphs.len();
+    let train_idx: Vec<usize> = (0..n * 3 / 4).collect();
+    let test_idx: Vec<usize> = (n * 3 / 4..n).collect();
+    let result = dm.fit_split(&prepared, &train_idx, &test_idx);
+    let bundle = ModelBundle::freeze(
+        &dm,
+        &prepared,
+        pre,
+        &result.model,
+        vec!["cycle".to_string(), "clique".to_string()],
+    )
+    .expect("freeze");
+    let held_out: Vec<Graph> = test_idx.iter().map(|&i| graphs[i].clone()).collect();
+    (bundle, held_out, dm)
+}
+
+#[test]
+fn bundle_roundtrip_is_bit_identical_on_held_out_graphs() {
+    for kind in [
+        FeatureKind::WlSubtree { iterations: 2 },
+        FeatureKind::ShortestPath,
+        FeatureKind::Graphlet {
+            size: 3,
+            samples: 10,
+        },
+    ] {
+        let (bundle, held_out, _) = train_and_freeze(kind);
+        let restored = ModelBundle::from_bytes(&bundle.to_bytes()).expect("roundtrip");
+        let mut before = bundle.predictor().unwrap();
+        let mut after = restored.predictor().unwrap();
+        for graph in &held_out {
+            let a = before.predict(graph);
+            let b = after.predict(graph);
+            assert_eq!(a.class, b.class, "{kind:?}");
+            assert_eq!(a.scores, b.scores, "{kind:?}: scores must be bit-identical");
+        }
+        assert_eq!(restored.class_names(), bundle.class_names());
+        assert_eq!(restored.config().r, 3);
+        assert_eq!(restored.config().kind.name(), kind.name());
+    }
+}
+
+#[test]
+fn file_roundtrip_and_oov_graph_smoke() {
+    let (bundle, _, _) = train_and_freeze(FeatureKind::WlSubtree { iterations: 2 });
+    let dir = std::env::temp_dir().join("deepmap_serve_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bundle.dmb");
+    bundle.save(&path).expect("save");
+    let restored = ModelBundle::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    // A graph with labels never seen at fit time: every WL feature is OOV,
+    // yet the prediction is well-defined.
+    let weird =
+        graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)], Some(&[7, 8, 9, 7, 8])).unwrap();
+    let mut predictor = restored.predictor().unwrap();
+    let p = predictor.predict(&weird);
+    assert!(p.class < restored.n_classes());
+    assert_eq!(p.scores.len(), restored.n_classes());
+    let total: f32 = p.scores.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-5,
+        "softmax scores sum to 1, got {total}"
+    );
+    assert!(p.scores.iter().all(|&s| s >= 0.0));
+}
+
+#[test]
+fn batched_predictions_match_unbatched_bit_for_bit() {
+    let (bundle, held_out, _) = train_and_freeze(FeatureKind::WlSubtree { iterations: 2 });
+    let mut predictor = bundle.predictor().unwrap();
+    let refs: Vec<&Graph> = held_out.iter().collect();
+    let batched = predictor.predict_batch(&refs);
+    for (graph, b) in held_out.iter().zip(&batched) {
+        let solo = predictor.predict(graph);
+        assert_eq!(solo.class, b.class);
+        assert_eq!(
+            solo.scores, b.scores,
+            "batched conv stack must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn malformed_bundles_are_rejected() {
+    let (bundle, _, _) = train_and_freeze(FeatureKind::ShortestPath);
+    let blob = bundle.to_bytes();
+
+    let mut bad_magic = blob.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        ModelBundle::from_bytes(&bad_magic),
+        Err(ServeError::BadMagic)
+    ));
+
+    let mut bad_version = blob.clone();
+    bad_version[4] = 99;
+    assert!(matches!(
+        ModelBundle::from_bytes(&bad_version),
+        Err(ServeError::UnsupportedVersion(99))
+    ));
+
+    assert!(matches!(
+        ModelBundle::from_bytes(&blob[..blob.len() - 5]),
+        Err(ServeError::Truncated)
+    ));
+
+    let mut trailing = blob.clone();
+    trailing.extend_from_slice(&[1, 2, 3]);
+    assert!(matches!(
+        ModelBundle::from_bytes(&trailing),
+        Err(ServeError::TrailingBytes { extra: 3 })
+    ));
+
+    assert!(ModelBundle::from_bytes(&[]).is_err());
+}
+
+#[test]
+fn freeze_rejects_mismatched_class_names() {
+    let (graphs, labels) = toy_dataset(4);
+    let dm = DeepMap::new(quick_config(FeatureKind::ShortestPath));
+    let (prepared, pre) = dm.try_prepare_frozen(&graphs, &labels).unwrap();
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let result = dm.fit_split(&prepared, &all, &all);
+    let err = ModelBundle::freeze(&dm, &prepared, pre, &result.model, vec!["only-one".into()])
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Corrupt(_)), "{err}");
+}

@@ -1,0 +1,155 @@
+//! InferenceServer end-to-end: server answers match the direct predictor,
+//! metrics add up, and shutdown is clean.
+
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::TrainConfig;
+use deepmap_serve::{InferenceServer, ModelBundle, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn trained_bundle() -> Arc<ModelBundle> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..8 {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    let dm = DeepMap::new(DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: 1,
+        },
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    });
+    let (prepared, pre) = dm.try_prepare_frozen(&graphs, &labels).unwrap();
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let result = dm.fit_split(&prepared, &all, &all);
+    let bundle = ModelBundle::freeze(
+        &dm,
+        &prepared,
+        pre,
+        &result.model,
+        vec!["cycle".to_string(), "clique".to_string()],
+    )
+    .unwrap();
+    Arc::new(bundle)
+}
+
+fn request_graphs(n: usize) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(77);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                cycle_graph(5 + i % 4, 0, &mut rng)
+            } else {
+                complete_graph(4 + i % 4, 0, &mut rng)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn server_matches_direct_predictor() {
+    let bundle = trained_bundle();
+    let graphs = request_graphs(20);
+    let mut direct = bundle.predictor().unwrap();
+    let expected: Vec<_> = graphs.iter().map(|g| direct.predict(g)).collect();
+
+    let mut server = InferenceServer::start(Arc::clone(&bundle), ServerConfig::default()).unwrap();
+    let handles: Vec<_> = graphs
+        .iter()
+        .map(|g| server.submit(g.clone()).expect("queue has room"))
+        .collect();
+    for (handle, want) in handles.into_iter().zip(&expected) {
+        let got = handle.wait().expect("server answers");
+        assert_eq!(got.class, want.class);
+        assert_eq!(got.scores, want.scores, "served == direct, bit-identical");
+        assert!(got.batch_size >= 1);
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.submitted, 20);
+    assert_eq!(metrics.completed, 20);
+    assert_eq!(metrics.rejected, 0);
+    assert!(metrics.batches >= 1 && metrics.batches <= 20);
+    assert_eq!(metrics.queue_depth, 0, "everything drained");
+    assert!(metrics.peak_queue_depth >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn unbatched_config_still_serves() {
+    let bundle = trained_bundle();
+    let graphs = request_graphs(6);
+    let mut direct = bundle.predictor().unwrap();
+    let server = InferenceServer::start(
+        Arc::clone(&bundle),
+        ServerConfig {
+            workers: 1,
+            max_batch: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    for graph in &graphs {
+        let served = server.predict(graph.clone()).unwrap();
+        let want = direct.predict(graph);
+        assert_eq!(served.class, want.class);
+        assert_eq!(served.scores, want.scores);
+        assert_eq!(served.batch_size, 1, "max_batch = 1 never batches");
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.completed, 6);
+    assert_eq!(metrics.batched_requests, 0);
+}
+
+#[test]
+fn slow_trickle_respects_max_wait() {
+    // One request at a time with pauses longer than max_wait: every batch
+    // must flush on the deadline with a single request in it.
+    let bundle = trained_bundle();
+    let server = InferenceServer::start(
+        bundle,
+        ServerConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    for graph in request_graphs(3) {
+        let served = server.predict(graph).unwrap();
+        assert_eq!(served.batch_size, 1);
+    }
+    assert_eq!(server.metrics().batches, 3);
+}
+
+#[test]
+fn shutdown_answers_accepted_requests_and_rejects_new_ones() {
+    let bundle = trained_bundle();
+    let mut server = InferenceServer::start(bundle, ServerConfig::default()).unwrap();
+    let graphs = request_graphs(5);
+    let handles: Vec<_> = graphs
+        .iter()
+        .map(|g| server.submit(g.clone()).unwrap())
+        .collect();
+    server.shutdown();
+    for handle in handles {
+        assert!(handle.wait().is_ok(), "accepted requests drain on shutdown");
+    }
+    assert!(
+        server.submit(graphs[0].clone()).is_err(),
+        "post-shutdown submits fail"
+    );
+    assert_eq!(server.metrics().completed, 5);
+}

@@ -109,7 +109,8 @@ impl BinarySvm {
                     } else {
                         let ai_new = ai_old + yi * yj * (aj_old - aj_new);
                         // Bias update (Platt's rules).
-                        let b1 = bias - ei
+                        let b1 = bias
+                            - ei
                             - yi * (ai_new - ai_old) * k(i, i)
                             - yj * (aj_new - aj_old) * k(i, j);
                         let b2 = bias
@@ -285,7 +286,10 @@ mod tests {
             .sum();
         assert!(balance.abs() < 1e-6, "Σ αᵢyᵢ = {balance}");
         let c = SmoConfig::default().c;
-        assert!(model.alphas.iter().all(|&a| (-1e-9..=c + 1e-9).contains(&a)));
+        assert!(model
+            .alphas
+            .iter()
+            .all(|&a| (-1e-9..=c + 1e-9).contains(&a)));
     }
 
     #[test]

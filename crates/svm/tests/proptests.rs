@@ -21,7 +21,11 @@ fn arb_separable() -> impl Strategy<Value = (KernelMatrix, Vec<f64>)> {
                 labels.push(-1.0);
             }
             for (x, y) in &pos {
-                vecs.push(SparseVec::from_pairs(vec![(0, x + gap), (1, y + gap), (2, 1.0)]));
+                vecs.push(SparseVec::from_pairs(vec![
+                    (0, x + gap),
+                    (1, y + gap),
+                    (2, 1.0),
+                ]));
                 labels.push(1.0);
             }
             (KernelMatrix::linear(&vecs), labels)

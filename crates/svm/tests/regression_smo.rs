@@ -6,17 +6,55 @@ use deepmap_svm::{BinarySvm, SmoConfig};
 #[test]
 fn proptest_minimal_case_converges() {
     let data = vec![
-        1.6202698843076746, 1.0, 1.0, 3.0467304300655655, 1.9512121048077802, 3.24207021783792,
-        1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
-        1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
-        3.0467304300655655, 1.0, 1.0, 11.753681839691637, 6.160133284033634, 12.398252691753044,
-        1.9512121048077802, 1.0, 1.0, 6.160133284033634, 3.4802203251221044, 6.459695741248595,
-        3.24207021783792, 1.0, 1.0, 12.398252691753044, 6.459695741248595, 13.104341334138155,
+        1.6202698843076746,
+        1.0,
+        1.0,
+        3.0467304300655655,
+        1.9512121048077802,
+        3.24207021783792,
+        1.0,
+        1.0,
+        1.0,
+        1.0,
+        1.0,
+        1.0,
+        1.0,
+        1.0,
+        1.0,
+        1.0,
+        1.0,
+        1.0,
+        3.0467304300655655,
+        1.0,
+        1.0,
+        11.753681839691637,
+        6.160133284033634,
+        12.398252691753044,
+        1.9512121048077802,
+        1.0,
+        1.0,
+        6.160133284033634,
+        3.4802203251221044,
+        6.459695741248595,
+        3.24207021783792,
+        1.0,
+        1.0,
+        12.398252691753044,
+        6.459695741248595,
+        13.104341334138155,
     ];
     let kernel = KernelMatrix::from_vec(6, data);
     let labels = vec![-1.0, -1.0, -1.0, 1.0, 1.0, 1.0];
     let idx: Vec<usize> = (0..6).collect();
-    let model = BinarySvm::train(&kernel, &idx, &labels, &SmoConfig { c: 100.0, ..Default::default() });
+    let model = BinarySvm::train(
+        &kernel,
+        &idx,
+        &labels,
+        &SmoConfig {
+            c: 100.0,
+            ..Default::default()
+        },
+    );
     for (i, &y) in labels.iter().enumerate() {
         let d = model.decision(&kernel, i);
         eprintln!("point {i}: y={y} f={d}");

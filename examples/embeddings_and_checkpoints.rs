@@ -23,7 +23,11 @@ use deepmap_repro::nn::train::TrainConfig;
 fn main() {
     let seed = 3;
     let ds = generate("ENZYMES", 0.1, seed).expect("ENZYMES registered");
-    println!("ENZYMES (simulated): {} proteins, {} classes", ds.len(), ds.n_classes);
+    println!(
+        "ENZYMES (simulated): {} proteins, {} classes",
+        ds.len(),
+        ds.n_classes
+    );
 
     let pipeline = DeepMap::new(DeepMapConfig {
         r: 4,
@@ -68,7 +72,7 @@ fn main() {
 
     // 2. Checkpoint round-trip: a freshly built model disagrees with the
     //    trained one until the weights are loaded.
-    let blob = save_weights(&mut result.model);
+    let blob = save_weights(&result.model);
     println!("checkpoint size: {} bytes", blob.len());
     let mut fresh = pipeline.build_model(&prepared);
     let sample = &prepared.samples[0];
@@ -76,9 +80,10 @@ fn main() {
     load_weights(&mut fresh, &blob).expect("same architecture");
     let after = fresh.predict(&sample.input);
     let reference = result.model.predict(&sample.input);
-    println!(
-        "prediction for graph 0: fresh = {before}, restored = {after}, trained = {reference}"
+    println!("prediction for graph 0: fresh = {before}, restored = {after}, trained = {reference}");
+    assert_eq!(
+        after, reference,
+        "restored model must agree with the trained one"
     );
-    assert_eq!(after, reference, "restored model must agree with the trained one");
     println!("checkpoint restored the trained classifier exactly.");
 }

@@ -15,9 +15,7 @@ use deepmap_repro::graph::Graph;
 use deepmap_repro::kernels::dgk::{self, DgkConfig};
 use deepmap_repro::kernels::gntk::{self, GntkConfig};
 use deepmap_repro::kernels::retgk::{self, RetGkConfig};
-use deepmap_repro::kernels::{
-    graph_feature_maps, kernel_matrix, vertex_feature_maps, FeatureKind,
-};
+use deepmap_repro::kernels::{graph_feature_maps, kernel_matrix, vertex_feature_maps, FeatureKind};
 
 fn labeled_triangle_with_tail() -> Graph {
     // A triangle with a pendant vertex: labels are degrees.
@@ -38,7 +36,10 @@ fn main() {
 
     // Graph feature maps of the three kernel families (paper §3).
     for kind in [
-        FeatureKind::Graphlet { size: 3, samples: 30 },
+        FeatureKind::Graphlet {
+            size: 3,
+            samples: 30,
+        },
         FeatureKind::ShortestPath,
         FeatureKind::WlSubtree { iterations: 2 },
     ] {
@@ -68,7 +69,10 @@ fn main() {
     // The six Gram matrices, cosine-normalised: report K(G1, G2).
     println!("\nnormalised similarity K(triangle+tail, path):");
     for kind in [
-        FeatureKind::Graphlet { size: 3, samples: 30 },
+        FeatureKind::Graphlet {
+            size: 3,
+            samples: 30,
+        },
         FeatureKind::ShortestPath,
         FeatureKind::WlSubtree { iterations: 2 },
     ] {

@@ -77,5 +77,8 @@ fn main() {
         result.test_accuracy * 100.0,
         result.best_test_accuracy * 100.0
     );
-    assert!(result.best_test_accuracy >= 0.8, "quickstart should separate cycles from cliques");
+    assert!(
+        result.best_test_accuracy >= 0.8,
+        "quickstart should separate cycles from cliques"
+    );
 }

@@ -53,7 +53,10 @@ fn main() {
     let train_idx: Vec<usize> = (0..split).collect();
     let test_idx: Vec<usize> = (split..n).collect();
     for kind in [
-        FeatureKind::Graphlet { size: 4, samples: 10 },
+        FeatureKind::Graphlet {
+            size: 4,
+            samples: 10,
+        },
         FeatureKind::ShortestPath,
         FeatureKind::WlSubtree { iterations: 2 },
     ] {

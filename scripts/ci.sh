@@ -9,6 +9,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "=== fmt ==="
+cargo fmt --all -- --check
+
 echo "=== build (release) ==="
 cargo build --release --workspace
 
@@ -17,5 +20,16 @@ cargo test -q --workspace
 
 echo "=== clippy ==="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== serve smoke ==="
+# serve_throughput --smoke trains a toy model, round-trips a bundle through
+# disk, drives the inference server at three concurrency levels, and exits
+# non-zero unless the JSON report it wrote parses back with every required
+# field. The extra checks here assert the artifact actually landed on disk.
+rm -f results/BENCH_serve.json
+cargo run --release -p deepmap-bench --bin serve_throughput -- --smoke
+test -s results/BENCH_serve.json
+grep -q '"bench": *"serve_throughput"' results/BENCH_serve.json
+grep -q '"levels"' results/BENCH_serve.json
 
 echo "CI GATE PASSED"

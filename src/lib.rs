@@ -13,6 +13,7 @@
 //! - [`gnn`] — GIN / DGCNN / DCNN / PATCHY-SAN baselines.
 //! - [`datasets`] — simulated Table-1 benchmarks.
 //! - [`eval`] — cross-validation, metrics, result tables.
+//! - [`serve`] — model bundles and the micro-batching inference server.
 
 #![deny(missing_docs)]
 
@@ -23,4 +24,5 @@ pub use deepmap_gnn as gnn;
 pub use deepmap_graph as graph;
 pub use deepmap_kernels as kernels;
 pub use deepmap_nn as nn;
+pub use deepmap_serve as serve;
 pub use deepmap_svm as svm;

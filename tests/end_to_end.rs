@@ -27,7 +27,11 @@ fn quick_config(kind: FeatureKind, epochs: usize, seed: u64) -> DeepMapConfig {
 #[test]
 fn deepmap_cv_on_simulated_benchmark_beats_chance() {
     let ds = generate("PTC_MM", 0.12, 3).expect("registered");
-    let pipeline = DeepMap::new(quick_config(FeatureKind::WlSubtree { iterations: 2 }, 12, 3));
+    let pipeline = DeepMap::new(quick_config(
+        FeatureKind::WlSubtree { iterations: 2 },
+        12,
+        3,
+    ));
     let prepared = pipeline.prepare(&ds.graphs, &ds.labels);
     let summary = cross_validate_epochs(&ds.labels, 3, 3, 1, |fold, train, test| {
         let mut cfg = *pipeline.config();
@@ -69,7 +73,10 @@ fn kernel_svm_cv_on_simulated_benchmark() {
 fn all_three_feature_kinds_flow_end_to_end() {
     let ds = generate("PTC_FR", 0.06, 9).expect("registered");
     for kind in [
-        FeatureKind::Graphlet { size: 3, samples: 8 },
+        FeatureKind::Graphlet {
+            size: 3,
+            samples: 8,
+        },
         FeatureKind::ShortestPath,
         FeatureKind::WlSubtree { iterations: 1 },
     ] {

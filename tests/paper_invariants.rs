@@ -64,7 +64,14 @@ fn theorem1_isomorphic_graphs_same_output() {
 fn sampled_graphlets_still_finite() {
     let (a, b) = isomorphic_pair();
     let graphs = vec![a, b];
-    let features = vertex_feature_maps(&graphs, FeatureKind::Graphlet { size: 3, samples: 5 }, 7);
+    let features = vertex_feature_maps(
+        &graphs,
+        FeatureKind::Graphlet {
+            size: 3,
+            samples: 5,
+        },
+        7,
+    );
     let assembled = assemble_dataset(&graphs, &features, &AssembleConfig::default());
     let mut model = build_deepmap_model(&ModelConfig::paper(
         assembled.m.max(1),
@@ -146,13 +153,7 @@ fn dummy_padding_contributes_nothing() {
     for r in 0..input.rows() {
         extended.row_mut(r).copy_from_slice(input.row(r));
     }
-    let mut model = build_deepmap_model(&ModelConfig::paper(
-        assembled.m,
-        2,
-        assembled.w + 3,
-        2,
-        9,
-    ));
+    let mut model = build_deepmap_model(&ModelConfig::paper(assembled.m, 2, assembled.w + 3, 2, 9));
     let out1 = model.forward(input, Mode::Eval);
     let out2 = model.forward(&extended, Mode::Eval);
     // SumPool ignores zero rows only if conv(0) + bias relu'd rows sum the
