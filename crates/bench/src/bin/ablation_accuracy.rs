@@ -21,7 +21,7 @@ fn main() {
         .and_then(|d| d.first().cloned())
         .unwrap_or_else(|| "PTC_MR".to_string());
     let ds = load_dataset(&name, &args).expect("registered dataset");
-    eprintln!("{name}: {} graphs", ds.len());
+    deepmap_obs::info!("{name}: {} graphs", ds.len());
     let kind = FeatureKind::Graphlet {
         size: 4,
         samples: 15,
@@ -44,14 +44,14 @@ fn main() {
         config.ordering = ordering;
         let summary = run_deepmap_config(&ds, config, &args);
         println!("| {label} | {ordering:?} | {} |", summary.accuracy);
-        eprintln!("{label} {ordering:?}: {}", summary.accuracy);
+        deepmap_obs::info!("{label} {ordering:?}: {}", summary.accuracy);
     }
     for (label, readout) in [("readout", Readout::Sum), ("readout", Readout::Concat)] {
         let mut config = base;
         config.readout = readout;
         let summary = run_deepmap_config(&ds, config, &args);
         println!("| {label} | {readout:?} | {} |", summary.accuracy);
-        eprintln!("{label} {readout:?}: {}", summary.accuracy);
+        deepmap_obs::info!("{label} {readout:?}: {}", summary.accuracy);
     }
     for (label, hops) in [("bfs-fill", None), ("bfs-fill", Some(1usize))] {
         let mut config = base;
@@ -62,13 +62,13 @@ fn main() {
             Some(_) => "one-hop only",
         };
         println!("| {label} | {setting} | {} |", summary.accuracy);
-        eprintln!("{label} {setting}: {}", summary.accuracy);
+        deepmap_obs::info!("{label} {setting}: {}", summary.accuracy);
     }
     for (label, normalize) in [("normalize", true), ("normalize", false)] {
         let mut config = base;
         config.normalize = normalize;
         let summary = run_deepmap_config(&ds, config, &args);
         println!("| {label} | {normalize} | {} |", summary.accuracy);
-        eprintln!("{label} {normalize}: {}", summary.accuracy);
+        deepmap_obs::info!("{label} {normalize}: {}", summary.accuracy);
     }
 }

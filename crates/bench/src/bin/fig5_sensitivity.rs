@@ -40,7 +40,7 @@ fn main() {
     let args = ExperimentArgs::parse(raw);
 
     let ds = load_dataset("SYNTHIE", &args).expect("SYNTHIE registered");
-    eprintln!(
+    deepmap_obs::info!(
         "SYNTHIE at scale {}: {} graphs, ordering {ordering:?}",
         args.scale,
         ds.len()
@@ -57,7 +57,7 @@ fn main() {
     for kind in kinds {
         // Flat kernel accuracy is independent of r: one horizontal line.
         let flat = run_flat_kernel(&ds, kind, &args);
-        eprintln!("{} (flat kernel): {}", kind.name(), flat.accuracy);
+        deepmap_obs::info!("{} (flat kernel): {}", kind.name(), flat.accuracy);
         series.push((kind.name().to_string(), vec![flat.accuracy.mean; rs.len()]));
 
         let mut deep = Vec::with_capacity(rs.len());
@@ -66,7 +66,7 @@ fn main() {
             config.r = r;
             config.ordering = ordering;
             let summary = run_deepmap_config(&ds, config, &args);
-            eprintln!("DEEPMAP-{} r={r}: {}", kind.name(), summary.accuracy);
+            deepmap_obs::info!("DEEPMAP-{} r={r}: {}", kind.name(), summary.accuracy);
             deep.push(summary.accuracy.mean);
         }
         series.push((format!("DEEPMAP-{}", kind.name()), deep));

@@ -19,7 +19,7 @@ use deepmap_kernels::FeatureKind;
 fn main() {
     let args = ExperimentArgs::from_env();
     let ds = load_dataset("SYNTHIE", &args).expect("SYNTHIE registered");
-    eprintln!("SYNTHIE at scale {}: {} graphs", args.scale, ds.len());
+    deepmap_obs::info!("SYNTHIE at scale {}: {} graphs", args.scale, ds.len());
 
     let kinds = [
         FeatureKind::paper_graphlet(),
@@ -29,7 +29,7 @@ fn main() {
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     for kind in kinds {
         let flat = kernel_training_accuracy(&ds, kind, &args);
-        eprintln!(
+        deepmap_obs::info!(
             "{} training accuracy (flat kernel SVM): {:.2}%",
             kind.name(),
             flat * 100.0
@@ -37,7 +37,7 @@ fn main() {
         series.push((kind.name().to_string(), vec![flat; args.epochs]));
 
         let curve = deepmap_training_curve(&ds, kind, &args);
-        eprintln!(
+        deepmap_obs::info!(
             "DEEPMAP-{}: final training accuracy {:.2}%",
             kind.name(),
             curve.last().copied().unwrap_or(0.0) * 100.0

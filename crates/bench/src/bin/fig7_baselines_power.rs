@@ -21,14 +21,14 @@ use deepmap_kernels::FeatureKind;
 fn main() {
     let args = ExperimentArgs::from_env();
     let ds = load_dataset("SYNTHIE", &args).expect("SYNTHIE registered");
-    eprintln!("SYNTHIE at scale {}: {} graphs", args.scale, ds.len());
+    deepmap_obs::info!("SYNTHIE at scale {}: {} graphs", args.scale, ds.len());
 
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
 
     // DeepMap: the paper plots the best deep map variant; WL is the robust
     // default.
     let deepmap = deepmap_training_curve(&ds, FeatureKind::paper_wl(), &args);
-    eprintln!(
+    deepmap_obs::info!(
         "DEEPMAP final train acc {:.2}%",
         deepmap.last().unwrap_or(&0.0) * 100.0
     );
@@ -36,7 +36,7 @@ fn main() {
 
     for kind in GnnKind::all() {
         let curve = gnn_training_curve(&ds, kind, GnnInput::OneHotLabels, &args);
-        eprintln!(
+        deepmap_obs::info!(
             "{} final train acc {:.2}%",
             kind.name(),
             curve.last().copied().unwrap_or(0.0) * 100.0
@@ -54,7 +54,7 @@ fn main() {
     .map(|k| (k, kernel_training_accuracy(&ds, k, &args)))
     .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
     .expect("three kernels");
-    eprintln!(
+    deepmap_obs::info!(
         "best kernel {} train acc {:.2}%",
         best_kernel.0.name(),
         best_kernel.1 * 100.0

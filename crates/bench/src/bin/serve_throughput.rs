@@ -208,7 +208,7 @@ fn main() {
         .unwrap_or_else(|e| fail(&format!("prepare failed: {e}")));
     let all: Vec<usize> = (0..graphs.len()).collect();
     let result = dm.fit_split(&prepared, &all, &all);
-    eprintln!(
+    deepmap_obs::info!(
         "trained {} epochs, final train accuracy {:.1}%",
         result.history.len(),
         result
@@ -244,7 +244,7 @@ fn main() {
     if !parity {
         fail("reloaded bundle predictions diverge from the in-memory model");
     }
-    eprintln!(
+    deepmap_obs::info!(
         "bundle round-trip ok: {} bytes, predictions bit-identical",
         bundle.to_bytes().len()
     );
@@ -278,7 +278,7 @@ fn main() {
         if level == *levels.last().expect("non-empty levels") {
             speedup_at_max = speedup;
         }
-        eprintln!(
+        deepmap_obs::info!(
             "concurrency {level:>3}: batched {:8.1} g/s (p50 {:.2} ms, p99 {:.2} ms, mean batch {:.2}) | unbatched {:8.1} g/s (p50 {:.2} ms, p99 {:.2} ms) | speedup {speedup:.2}x",
             batched.throughput_gps,
             batched.p50_ms,

@@ -63,11 +63,11 @@ fn main() {
             continue;
         }
         let ds = load_dataset(name, &args).expect("registered name");
-        eprintln!("== {name}: {} graphs ==", ds.len());
+        deepmap_obs::info!("== {name}: {} graphs ==", ds.len());
         let mut cells = Vec::with_capacity(6);
         for kind in kinds {
             let flat = run_flat_kernel(&ds, kind, &args);
-            eprintln!("  {:<3} {}", kind.name(), flat.accuracy);
+            deepmap_obs::info!("  {:<3} {}", kind.name(), flat.accuracy);
             cells.push(Cell::from_summary(&flat));
             let mut config = deepmap_config(kind, &args);
             config.readout = readout;
@@ -82,7 +82,7 @@ fn main() {
                 method: &method,
             });
             let deep = run_deepmap_config_journaled(&ds, config, &args, cell);
-            eprintln!(
+            deepmap_obs::info!(
                 "  DEEPMAP-{:<3} {} (epoch {:?}, {}/{} folds)",
                 kind.name(),
                 deep.accuracy,

@@ -67,7 +67,7 @@ fn main() {
             continue;
         }
         let ds = load_dataset(name, &args).expect("registered name");
-        eprintln!("== {name}: {} graphs ==", ds.len());
+        deepmap_obs::info!("== {name}: {} graphs ==", ds.len());
 
         let variants = [
             FeatureKind::paper_graphlet(),
@@ -85,7 +85,7 @@ fn main() {
                         &args,
                         cell_for(journal.as_ref(), name, &method),
                     );
-                    eprintln!("  {:<11} {}", method, s.accuracy);
+                    deepmap_obs::info!("  {:<11} {}", method, s.accuracy);
                     s
                 })
                 .collect(),
@@ -100,17 +100,17 @@ fn main() {
                 &args,
                 cell_for(journal.as_ref(), name, kind.name()),
             );
-            eprintln!("  {:<9} {}", kind.name(), s.accuracy);
+            deepmap_obs::info!("  {:<9} {}", kind.name(), s.accuracy);
             cells.push(Cell::from_summary(&s));
         }
         let dgk = run_dgk(&ds, &args);
-        eprintln!("  DGK       {}", dgk.accuracy);
+        deepmap_obs::info!("  DGK       {}", dgk.accuracy);
         cells.push(Cell::from_summary(&dgk));
         let retgk = run_retgk(&ds, &args);
-        eprintln!("  RETGK     {}", retgk.accuracy);
+        deepmap_obs::info!("  RETGK     {}", retgk.accuracy);
         cells.push(Cell::from_summary(&retgk));
         let gntk = run_gntk(&ds, &args);
-        eprintln!("  GNTK      {}", gntk.accuracy);
+        deepmap_obs::info!("  GNTK      {}", gntk.accuracy);
         cells.push(Cell::from_summary(&gntk));
 
         table.push_cells(name, cells);

@@ -37,7 +37,7 @@ fn main() {
             continue;
         }
         let ds = load_dataset(name, &args).expect("registered name");
-        eprintln!("== {name}: {} graphs ==", ds.len());
+        deepmap_obs::info!("== {name}: {} graphs ==", ds.len());
 
         let deepmap = run_deepmap_config_journaled(
             &ds,
@@ -49,7 +49,7 @@ fn main() {
                 method: "DEEPMAP-WL",
             }),
         );
-        eprintln!("  DEEPMAP   {}", deepmap.accuracy);
+        deepmap_obs::info!("  DEEPMAP   {}", deepmap.accuracy);
         let mut cells = vec![Cell::from_summary(&deepmap)];
         for kind in GnnKind::all() {
             let method = format!("{}-FM", kind.name());
@@ -64,7 +64,7 @@ fn main() {
                     method: &method,
                 }),
             );
-            eprintln!("  {:<9} {}", kind.name(), s.accuracy);
+            deepmap_obs::info!("  {:<9} {}", kind.name(), s.accuracy);
             cells.push(Cell::from_summary(&s));
         }
         table.push_cells(name, cells);

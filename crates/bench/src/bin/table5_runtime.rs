@@ -8,47 +8,60 @@
 //! cargo run --release -p deepmap-bench --bin table5_runtime -- \
 //!     --scale 0.1 --epochs 5 --datasets PTC_MR,KKI
 //! ```
+//!
+//! This binary doubles as the pipeline profiler: unless `DEEPMAP_TRACE` or
+//! `--quiet` says otherwise it records stage spans, then writes the
+//! per-stage breakdown to `results/BENCH_pipeline_stages.json` and the raw
+//! trace to `results/TRACE_pipeline.jsonl`. `--smoke` runs one tiny cell
+//! (KKI, DeepMap + one GNN) for CI smoke gates.
 
 use deepmap_bench::runner::load_dataset;
 use deepmap_bench::runner::{run_deepmap, run_gnn, GnnKind};
-use deepmap_bench::ExperimentArgs;
+use deepmap_bench::{stages, ExperimentArgs};
 use deepmap_datasets::all_dataset_names;
 use deepmap_gnn::GnnInput;
 use deepmap_kernels::FeatureKind;
-
-fn format_time(seconds: f64) -> String {
-    if seconds >= 1.0 {
-        format!("{seconds:.1}s")
-    } else {
-        format!("{:.1}ms", seconds * 1000.0)
-    }
-}
+use deepmap_obs::time::format_seconds;
 
 fn main() {
     let args = ExperimentArgs::from_env();
+    // This is the runtime table: record stage spans by default so the
+    // breakdown artifact is always fresh. Explicit settings win.
+    if !args.quiet && std::env::var("DEEPMAP_TRACE").is_err() {
+        deepmap_obs::set_global_level(deepmap_obs::TraceLevel::Spans);
+    }
+    let all = GnnKind::all();
+    let gnns: &[GnnKind] = if args.smoke { &all[..1] } else { &all };
     println!("# Table 5 — per-epoch runtime (scale {})\n", args.scale);
-    println!(
-        "| {:<12} | {:>9} | {:>9} | {:>9} | {:>9} | {:>9} |",
-        "Dataset", "DEEPMAP", "DGCNN", "GIN", "DCNN", "PATCHYSAN"
-    );
-    println!("|{}|", "-".repeat(74));
+    let mut header = format!("| {:<12} | {:>9} |", "Dataset", "DEEPMAP");
+    for kind in gnns {
+        header.push_str(&format!(" {:>9} |", kind.name()));
+    }
+    println!("{header}");
+    println!("|{}|", "-".repeat(header.len().saturating_sub(2)));
     for name in all_dataset_names() {
         if !args.wants_dataset(name) {
             continue;
         }
+        if args.smoke && name != "KKI" && args.datasets.is_none() {
+            continue;
+        }
         let ds = load_dataset(name, &args).expect("registered name");
-        eprintln!("== {name}: {} graphs ==", ds.len());
+        deepmap_obs::info!("== {name}: {} graphs ==", ds.len());
         let deepmap = run_deepmap(&ds, FeatureKind::paper_wl(), &args);
         let mut row = format!(
             "| {:<12} | {:>9} |",
             name,
-            format_time(deepmap.mean_epoch_seconds)
+            format_seconds(deepmap.mean_epoch_seconds)
         );
-        for kind in GnnKind::all() {
-            let s = run_gnn(&ds, kind, GnnInput::OneHotLabels, &args);
-            row.push_str(&format!(" {:>9} |", format_time(s.mean_epoch_seconds)));
+        for kind in gnns {
+            let s = run_gnn(&ds, *kind, GnnInput::OneHotLabels, &args);
+            row.push_str(&format!(" {:>9} |", format_seconds(s.mean_epoch_seconds)));
         }
         println!("{row}");
     }
     println!("\n(wall-clock mean over folds and epochs; single CPU core per fold)");
+    if let Some(path) = stages::finish_run("pipeline") {
+        deepmap_obs::info!("stage breakdown written to {}", path.display());
+    }
 }

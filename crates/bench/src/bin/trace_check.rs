@@ -1,0 +1,108 @@
+//! CI smoke gate for the trace exporter: validates a `deepmap-obs` JSONL
+//! trace file.
+//!
+//! ```text
+//! cargo run -p deepmap-bench --bin trace_check -- results/TRACE_pipeline.jsonl
+//! ```
+//!
+//! Every line must parse as JSON with a `kind` of `span` or `event`; span
+//! lines must carry `name`, `start_us`, and `dur_us`; parent references
+//! must point at span ids that exist in the file. The file must contain the
+//! top-level pipeline stage spans plus training epochs — the end-to-end
+//! proof that instrumentation reaches from graph alignment to the training
+//! loop. Exits non-zero with a diagnostic on the first violation.
+
+use deepmap_bench::json::Json;
+use std::collections::HashSet;
+
+/// Span names a full pipeline trace must contain.
+const REQUIRED_SPANS: &[&str] = &[
+    "pipeline.prepare",
+    "pipeline.alignment",
+    "pipeline.receptive_field",
+    "pipeline.feature_extraction",
+    "pipeline.assemble",
+    "train.epoch",
+];
+
+fn fail(message: &str) -> ! {
+    eprintln!("trace_check: {message}");
+    std::process::exit(1);
+}
+
+fn num(json: &Json, key: &str) -> Option<f64> {
+    match json.get(key) {
+        Some(Json::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/TRACE_pipeline.jsonl".to_string());
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+
+    let mut names = HashSet::new();
+    let mut span_ids = HashSet::new();
+    let mut parents = Vec::new();
+    let mut spans = 0usize;
+    let mut events = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = Json::parse(line)
+            .unwrap_or_else(|e| fail(&format!("{path}:{}: invalid JSON: {e}", lineno + 1)));
+        match json.get("kind").and_then(Json::as_str) {
+            Some("span") => {
+                spans += 1;
+                let name = json
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| fail(&format!("{path}:{}: span without name", lineno + 1)));
+                names.insert(name.to_string());
+                let id = num(&json, "id").unwrap_or_else(|| {
+                    fail(&format!("{path}:{}: span without numeric id", lineno + 1))
+                });
+                span_ids.insert(id as u64);
+                if num(&json, "start_us").is_none() || num(&json, "dur_us").is_none() {
+                    fail(&format!("{path}:{}: span without timing", lineno + 1));
+                }
+                if let Some(parent) = num(&json, "parent") {
+                    parents.push((lineno + 1, parent as u64));
+                }
+            }
+            Some("event") => {
+                events += 1;
+                if json.get("message").and_then(Json::as_str).is_none() {
+                    fail(&format!("{path}:{}: event without message", lineno + 1));
+                }
+            }
+            _ => fail(&format!("{path}:{}: unknown or missing kind", lineno + 1)),
+        }
+    }
+    if spans == 0 {
+        fail(&format!(
+            "{path}: no spans recorded (is DEEPMAP_TRACE=spans?)"
+        ));
+    }
+    for (lineno, parent) in parents {
+        if !span_ids.contains(&parent) {
+            fail(&format!("{path}:{lineno}: parent {parent} not in trace"));
+        }
+    }
+    let missing: Vec<&str> = REQUIRED_SPANS
+        .iter()
+        .copied()
+        .filter(|required| !names.contains(*required))
+        .collect();
+    if !missing.is_empty() {
+        fail(&format!("{path}: missing required spans: {missing:?}"));
+    }
+    println!(
+        "trace_check: {path} ok — {spans} span(s), {events} event(s), {} distinct stage name(s)",
+        names.len()
+    );
+}

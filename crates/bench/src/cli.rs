@@ -12,6 +12,8 @@
 //! --datasets a,b   restrict to named datasets
 //! --resume         skip folds already recorded in the run journal
 //! --journal PATH   journal location (default results/<experiment>.journal.jsonl)
+//! --quiet          suppress progress events (sets trace level to off)
+//! --smoke          tiny single-cell run for CI smoke gates
 //! ```
 
 /// Parsed experiment arguments.
@@ -35,6 +37,12 @@ pub struct ExperimentArgs {
     /// Journal path override; `None` uses
     /// `results/<experiment>.journal.jsonl`.
     pub journal: Option<std::path::PathBuf>,
+    /// Suppress progress events: sets the global trace level to
+    /// [`deepmap_obs::TraceLevel::Off`] so `--quiet` runs print results only.
+    pub quiet: bool,
+    /// Tiny single-cell run (smallest dataset, few epochs/folds) for CI
+    /// smoke gates; each binary interprets the exact cell.
+    pub smoke: bool,
 }
 
 impl Default for ExperimentArgs {
@@ -48,6 +56,8 @@ impl Default for ExperimentArgs {
             max_graphs: Some(200),
             resume: false,
             journal: None,
+            quiet: false,
+            smoke: false,
         }
     }
 }
@@ -84,6 +94,14 @@ impl ExperimentArgs {
                     let path: String = expect_value(&mut it, "--journal");
                     out.journal = Some(std::path::PathBuf::from(path));
                 }
+                "--quiet" => out.quiet = true,
+                "--smoke" => {
+                    out.smoke = true;
+                    out.scale = out.scale.min(0.1);
+                    out.epochs = out.epochs.min(3);
+                    out.folds = out.folds.min(2);
+                    out.max_graphs = Some(out.max_graphs.unwrap_or(40).min(40));
+                }
                 "--help" | "-h" => {
                     eprintln!("{}", USAGE);
                     std::process::exit(0);
@@ -99,7 +117,11 @@ impl ExperimentArgs {
 
     /// Parses the real process arguments.
     pub fn from_env() -> ExperimentArgs {
-        ExperimentArgs::parse(std::env::args())
+        let args = ExperimentArgs::parse(std::env::args());
+        if args.quiet {
+            deepmap_obs::set_global_level(deepmap_obs::TraceLevel::Off);
+        }
+        args
     }
 
     /// `true` when `name` passes the dataset filter.
@@ -111,7 +133,7 @@ impl ExperimentArgs {
     }
 }
 
-const USAGE: &str = "usage: <experiment> [--scale F] [--epochs N] [--folds N] [--seed N] [--full] [--datasets a,b,c] [--max-graphs N (0 = uncapped)] [--resume] [--journal PATH]";
+const USAGE: &str = "usage: <experiment> [--scale F] [--epochs N] [--folds N] [--seed N] [--full] [--datasets a,b,c] [--max-graphs N (0 = uncapped)] [--resume] [--journal PATH] [--quiet] [--smoke]";
 
 fn expect_value<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, flag: &str) -> T {
     let raw = it.next().unwrap_or_else(|| {
@@ -178,6 +200,27 @@ mod tests {
             a.journal,
             Some(std::path::PathBuf::from("results/custom.jsonl"))
         );
+    }
+
+    #[test]
+    fn quiet_and_smoke_flags() {
+        let a = parse(&[]);
+        assert!(!a.quiet);
+        assert!(!a.smoke);
+        let a = parse(&["--quiet", "--smoke"]);
+        assert!(a.quiet);
+        assert!(a.smoke);
+        assert!(a.scale <= 0.1);
+        assert!(a.epochs <= 3);
+        assert!(a.folds <= 2);
+        assert_eq!(a.max_graphs, Some(40));
+    }
+
+    #[test]
+    fn smoke_never_scales_settings_up() {
+        let a = parse(&["--epochs", "2", "--folds", "1", "--smoke"]);
+        assert_eq!(a.epochs, 2);
+        assert_eq!(a.folds, 1);
     }
 
     #[test]

@@ -8,8 +8,15 @@
 
 pub mod cli;
 pub mod journal;
-pub mod json;
 pub mod runner;
+pub mod stages;
+
+/// Hand-rolled JSON values and parsing, shared with the observability crate.
+///
+/// The implementation moved to `deepmap-obs` (the trace exporter needs it
+/// too); this re-export keeps `deepmap_bench::json::Json` working for the
+/// journal and the experiment binaries.
+pub use deepmap_obs::json;
 
 pub use cli::ExperimentArgs;
 pub use journal::{default_journal_path, FoldRecord, Journal};

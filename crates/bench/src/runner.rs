@@ -104,14 +104,14 @@ pub fn open_journal(experiment: &str, args: &ExperimentArgs) -> Option<Journal> 
     match Journal::open(&path, args.resume) {
         Ok(journal) => {
             if args.resume {
-                eprintln!(
+                deepmap_obs::info!(
                     "resuming from {}: {} fold(s) already recorded",
                     path.display(),
                     journal.n_loaded()
                 );
                 if journal.skipped_lines() > 0 {
-                    eprintln!(
-                        "warning: ignored {} corrupt journal line(s)",
+                    deepmap_obs::warn!(
+                        "ignored {} corrupt journal line(s)",
                         journal.skipped_lines()
                     );
                 }
@@ -119,8 +119,8 @@ pub fn open_journal(experiment: &str, args: &ExperimentArgs) -> Option<Journal> 
             Some(journal)
         }
         Err(e) => {
-            eprintln!(
-                "warning: cannot open journal {}: {e}; running without checkpoints",
+            deepmap_obs::warn!(
+                "cannot open journal {}: {e}; running without checkpoints",
                 path.display()
             );
             None
@@ -232,7 +232,7 @@ where
                 retries: curve.retries,
             };
             if let Err(e) = c.journal.record(&record) {
-                eprintln!("warning: journal write failed for fold {fold}: {e}");
+                deepmap_obs::warn!("journal write failed for fold {fold}: {e}");
             }
         }
     };
@@ -244,11 +244,10 @@ where
     cross_validate_epochs_with(&ds.labels, args.folds, args.seed, &options, train_fold)
 }
 
+/// Mean wall-clock seconds per epoch, via the shared `obs::time` helper so
+/// every reported seconds figure uses the same arithmetic.
 fn mean_epoch_seconds(history: &[deepmap_nn::train::EpochStats]) -> f64 {
-    if history.is_empty() {
-        return 0.0;
-    }
-    history.iter().map(|e| e.epoch_seconds).sum::<f64>() / history.len() as f64
+    deepmap_obs::time::mean_seconds(history.iter().map(|e| e.epoch_seconds))
 }
 
 /// A flat R-convolution kernel (GK/SP/WL) under SVM CV.

@@ -1,0 +1,82 @@
+//! Per-stage timing breakdown for the experiment binaries.
+//!
+//! Every pipeline stage instrumented with a `deepmap-obs` span (alignment,
+//! receptive-field assembly, feature-map extraction, tensor assembly,
+//! training epochs, …) lands in the global registry when `DEEPMAP_TRACE` is
+//! `spans`. [`finish_run`] folds those spans into a per-stage summary,
+//! writes it to `results/BENCH_<name>_stages.json`, and flushes the raw
+//! trace next to it so a slow run can be diagnosed span by span.
+
+use crate::json::Json;
+use std::path::PathBuf;
+
+/// Where the stage breakdown for `name` is written.
+pub fn stages_path(name: &str) -> PathBuf {
+    PathBuf::from("results").join(format!("BENCH_{name}_stages.json"))
+}
+
+/// Writes `results/BENCH_<name>_stages.json` from the spans recorded in the
+/// global registry and flushes the JSONL trace via
+/// [`deepmap_obs::flush_trace`].
+///
+/// Returns the breakdown path when spans were recorded, `None` when the
+/// trace level never reached `spans` (nothing to summarise). Failures to
+/// write are reported as warning events, not panics — a benchmark that ran
+/// to completion should still print its table.
+pub fn finish_run(name: &str) -> Option<PathBuf> {
+    let registry = deepmap_obs::global();
+    let summary = registry.stage_summary();
+    if summary.is_empty() {
+        return None;
+    }
+    let stages: Vec<Json> = summary
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("stage".to_string(), Json::Str(s.name.clone())),
+                ("count".to_string(), Json::Num(s.count as f64)),
+                ("total_s".to_string(), Json::Num(s.total_s)),
+                ("mean_s".to_string(), Json::Num(s.mean_s)),
+                ("min_s".to_string(), Json::Num(s.min_s)),
+                ("max_s".to_string(), Json::Num(s.max_s)),
+            ])
+        })
+        .collect();
+    let trace = deepmap_obs::flush_trace(name);
+    let doc = Json::Obj(vec![
+        ("experiment".to_string(), Json::Str(name.to_string())),
+        ("recorded".to_string(), Json::Bool(true)),
+        ("stages".to_string(), Json::Arr(stages)),
+        (
+            "trace".to_string(),
+            match &trace {
+                Some(path) => Json::Str(path.display().to_string()),
+                None => Json::Null,
+            },
+        ),
+    ]);
+    let path = stages_path(name);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, format!("{}\n", doc.to_json())) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            deepmap_obs::warn!("cannot write stage breakdown {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_path_is_under_results() {
+        assert_eq!(
+            stages_path("pipeline"),
+            PathBuf::from("results/BENCH_pipeline_stages.json")
+        );
+    }
+}

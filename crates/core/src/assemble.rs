@@ -68,6 +68,18 @@ pub fn assemble_graph(
     let seq = vertex_sequence(graph, config.ordering);
     let fields =
         sequence_receptive_fields(graph, &seq.order, &seq.score, w, config.r, config.max_hops);
+    write_tensor(vertex_features, &fields, w, m, config)
+}
+
+/// Fills the `(w·r × m)` tensor from resolved receptive fields (Algorithm 1
+/// lines 14–20). Rows for dummy slots stay zero.
+fn write_tensor(
+    vertex_features: &[deepmap_kernels::SparseVec],
+    fields: &[Vec<Slot>],
+    w: usize,
+    m: usize,
+    config: &AssembleConfig,
+) -> Matrix {
     let mut input = Matrix::zeros(w * config.r, m);
     for (pos, field) in fields.iter().enumerate() {
         for (slot_idx, slot) in field.iter().enumerate() {
@@ -150,11 +162,42 @@ fn assemble_dataset_unchecked(
 ) -> AssembledDataset {
     let w = aligned_width(graphs);
     let m = features.dim.max(1);
-    let inputs = graphs
-        .iter()
-        .zip(&features.maps)
-        .map(|(g, f)| assemble_graph(g, f, w, m, config))
-        .collect();
+    let n = graphs.len() as u64;
+    // The three dataset-level stages run under their own spans so a trace
+    // (or the stage summary) attributes time to alignment vs BFS receptive
+    // fields vs the tensor write, matching the paper's Table 5 breakdown.
+    let sequences: Vec<_> = {
+        let _span = deepmap_obs::span("pipeline.alignment").with_u64("graphs", n);
+        graphs
+            .iter()
+            .map(|g| vertex_sequence(g, config.ordering))
+            .collect()
+    };
+    let fields: Vec<_> = {
+        let _span = deepmap_obs::span("pipeline.receptive_field")
+            .with_u64("graphs", n)
+            .with_u64("r", config.r as u64);
+        graphs
+            .iter()
+            .zip(&sequences)
+            .map(|(g, seq)| {
+                sequence_receptive_fields(g, &seq.order, &seq.score, w, config.r, config.max_hops)
+            })
+            .collect()
+    };
+    let inputs = {
+        let _span = deepmap_obs::span("pipeline.assemble")
+            .with_u64("graphs", n)
+            .with_u64("w", w as u64)
+            .with_u64("m", m as u64);
+        features
+            .maps
+            .iter()
+            .zip(&fields)
+            .map(|(f, fields)| write_tensor(f, fields, w, m, config))
+            .collect()
+    };
+    deepmap_obs::counter("pipeline.graphs_embedded").add(n);
     AssembledDataset {
         inputs,
         w,

@@ -168,8 +168,20 @@ impl DeepMap {
             return Err(DeepMapError::EmptyDataset);
         }
         let n_classes = validate_contiguous_labels(labels)?;
-        let mut features = vertex_feature_maps(graphs, self.config.kind, self.config.seed);
+        let _prepare = deepmap_obs::span("pipeline.prepare")
+            .with_str("kernel", self.config.kind.name())
+            .with_u64("graphs", graphs.len() as u64);
+        let mut features = {
+            let mut span = deepmap_obs::span("pipeline.feature_extraction")
+                .with_str("kernel", self.config.kind.name());
+            let features = vertex_feature_maps(graphs, self.config.kind, self.config.seed);
+            span.record_u64("dim", features.dim as u64);
+            features
+        };
         if let Some(k) = self.config.max_feature_dim {
+            let _span = deepmap_obs::span("pipeline.truncation")
+                .with_u64("k", k as u64)
+                .with_u64("dim_before", features.dim as u64);
             features = features.truncate_top_k(k);
         }
         let assembled = try_assemble_dataset(
@@ -221,9 +233,22 @@ impl DeepMap {
             return Err(DeepMapError::EmptyDataset);
         }
         let n_classes = validate_contiguous_labels(labels)?;
-        let (mut features, mut extractor) =
-            FrozenExtractor::fit(graphs, self.config.kind, self.config.seed);
+        let _prepare = deepmap_obs::span("pipeline.prepare")
+            .with_str("kernel", self.config.kind.name())
+            .with_str("mode", "frozen")
+            .with_u64("graphs", graphs.len() as u64);
+        let (mut features, mut extractor) = {
+            let mut span = deepmap_obs::span("pipeline.feature_extraction")
+                .with_str("kernel", self.config.kind.name());
+            let (features, extractor) =
+                FrozenExtractor::fit(graphs, self.config.kind, self.config.seed);
+            span.record_u64("dim", features.dim as u64);
+            (features, extractor)
+        };
         if let Some(k) = self.config.max_feature_dim {
+            let _span = deepmap_obs::span("pipeline.truncation")
+                .with_u64("k", k as u64)
+                .with_u64("dim_before", features.dim as u64);
             if let Some(mapping) = features.top_k_mapping(k) {
                 features = features.apply_mapping(&mapping, k);
                 extractor.truncate(&mapping, k);
@@ -390,6 +415,7 @@ impl DeepMap {
                     });
                 }
                 Err(e) => {
+                    deepmap_obs::counter("train.divergence_retries").inc();
                     divergences.push(format!(
                         "attempt {attempt} (lr {:.3e}): {e}",
                         train_cfg.learning_rate

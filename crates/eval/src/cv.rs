@@ -302,15 +302,28 @@ where
         .collect();
 
     let run_one = |fi: usize, train: &[usize], test: &[usize]| -> Result<FoldCurve, String> {
+        let mut span = deepmap_obs::span("cv.fold");
+        span.record_u64("fold", fi as u64);
+        span.record_u64("train", train.len() as u64);
+        span.record_u64("test", test.len() as u64);
         let outcome = catch_unwind(AssertUnwindSafe(|| train_fold(fi, train, test)));
         match outcome {
             Ok(curve) => {
+                deepmap_obs::counter("cv.folds_completed").inc();
+                if curve.retries > 0 {
+                    deepmap_obs::counter("cv.divergence_retries").add(curve.retries as u64);
+                }
+                span.record_u64("retries", curve.retries as u64);
                 if let Some(cb) = options.on_fold {
                     cb(fi, &curve);
                 }
                 Ok(curve)
             }
-            Err(payload) => Err(panic_message(payload.as_ref())),
+            Err(payload) => {
+                deepmap_obs::counter("cv.fold_failures").inc();
+                span.record_str("outcome", "panicked");
+                Err(panic_message(payload.as_ref()))
+            }
         }
     };
 

@@ -13,11 +13,11 @@ use crate::layers::Mode;
 use crate::matrix::Matrix;
 use crate::model::Sequential;
 use crate::optim::{PlateauScheduler, RmsProp};
+use deepmap_obs::Stopwatch;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::fmt;
-use std::time::Instant;
 
 /// One labelled training sample: the assembled input tensor for a graph and
 /// its class index.
@@ -223,6 +223,9 @@ pub fn try_fit(
     if train.is_empty() {
         return Err(TrainError::EmptyTrainingSet);
     }
+    let _fit_span = deepmap_obs::span("train.fit")
+        .with_u64("epochs", config.epochs as u64)
+        .with_u64("samples", train.len() as u64);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut optimizer = RmsProp::new(config.learning_rate);
     let mut scheduler = PlateauScheduler::paper_default();
@@ -230,22 +233,25 @@ pub fn try_fit(
     let mut history = Vec::with_capacity(config.epochs);
 
     for epoch in 0..config.epochs {
+        let mut epoch_span = deepmap_obs::span("train.epoch");
+        epoch_span.record_u64("epoch", epoch as u64);
         if guard.inject_nan_at_epoch == Some(epoch) {
-            return Err(TrainError::NonFiniteLoss { epoch, batch: 0 });
+            return Err(guard_trip(TrainError::NonFiniteLoss { epoch, batch: 0 }));
         }
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         order.shuffle(&mut rng);
         let mut total_loss = 0.0f64;
+        let mut last_grad_norm = None;
         for (batch_idx, batch) in order.chunks(config.batch_size.max(1)).enumerate() {
             model.zero_grad();
             for &i in batch {
                 let sample = &train[i];
                 let (loss, _) = model.train_step(&sample.input, sample.label);
                 if !loss.is_finite() {
-                    return Err(TrainError::NonFiniteLoss {
+                    return Err(guard_trip(TrainError::NonFiniteLoss {
                         epoch,
                         batch: batch_idx,
-                    });
+                    }));
                 }
                 total_loss += loss as f64;
             }
@@ -253,23 +259,35 @@ pub fn try_fit(
             if guard.max_grad_norm.is_finite() {
                 let norm = grad_norm(model);
                 if !norm.is_finite() || norm > guard.max_grad_norm {
-                    return Err(TrainError::ExplodingGradient {
+                    return Err(guard_trip(TrainError::ExplodingGradient {
                         epoch,
                         batch: batch_idx,
                         norm,
-                    });
+                    }));
                 }
+                last_grad_norm = Some(norm);
             }
             optimizer.step(&mut model.params());
         }
         if guard.check_params && params_non_finite(model) {
-            return Err(TrainError::NonFiniteParameters { epoch });
+            return Err(guard_trip(TrainError::NonFiniteParameters { epoch }));
         }
-        let epoch_seconds = start.elapsed().as_secs_f64();
+        let epoch_seconds = watch.elapsed_seconds();
         let mean_loss = (total_loss / train.len() as f64) as f32;
         scheduler.observe(mean_loss, &mut optimizer);
         let train_accuracy = evaluate(model, train).expect("train set is non-empty");
         let eval_accuracy = eval.and_then(|e| evaluate(model, e));
+        deepmap_obs::counter("train.epochs_run").inc();
+        deepmap_obs::histogram("train.epoch_seconds").observe(epoch_seconds);
+        epoch_span.record_f64("loss", f64::from(mean_loss));
+        epoch_span.record_f64("learning_rate", f64::from(optimizer.learning_rate()));
+        if let Some(norm) = last_grad_norm {
+            epoch_span.record_f64("grad_norm", f64::from(norm));
+        }
+        epoch_span.record_f64("train_accuracy", train_accuracy);
+        if let Some(acc) = eval_accuracy {
+            epoch_span.record_f64("eval_accuracy", acc);
+        }
         history.push(EpochStats {
             epoch,
             loss: mean_loss,
@@ -280,6 +298,12 @@ pub fn try_fit(
         });
     }
     Ok(history)
+}
+
+/// Counts a divergence-guard abort before handing the error back.
+fn guard_trip(err: TrainError) -> TrainError {
+    deepmap_obs::counter("train.guard_trips").inc();
+    err
 }
 
 /// Per-sample logits in eval mode, for callers that need scores rather than

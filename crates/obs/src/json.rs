@@ -1,9 +1,10 @@
-//! Minimal JSON reader/writer for the run journal.
+//! Minimal JSON reader/writer shared by the trace exporter, the bench run
+//! journal, and the `results/*.json` artifacts.
 //!
-//! The workspace's dependency policy keeps third-party crates out, so the
-//! journal uses this hand-rolled subset instead of `serde_json`: enough of
-//! RFC 8259 to round-trip the flat records in `results/*.jsonl` (objects,
-//! arrays, strings with escapes, finite numbers, booleans, null).
+//! The workspace's dependency policy keeps third-party crates out, so these
+//! consumers use this hand-rolled subset instead of `serde_json`: enough of
+//! RFC 8259 to round-trip flat records (objects, arrays, strings with
+//! escapes, finite numbers, booleans, null).
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,126 @@
+//! The `DEEPMAP_TRACE` verbosity switch.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much the observability layer records.
+///
+/// The level is an ordering: everything a lower level records, a higher
+/// level records too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Record nothing: spans are no-ops, counters stay untouched, events
+    /// are dropped. Instrumented code runs at (near) uninstrumented cost.
+    Off,
+    /// Counters, gauges, and histograms are live and leveled events print
+    /// to stderr, but spans are not recorded. The default.
+    Summary,
+    /// Everything: metrics, events, and hierarchical spans (exportable as
+    /// a JSONL trace).
+    Spans,
+}
+
+impl TraceLevel {
+    /// Parses a `DEEPMAP_TRACE` value. Unrecognised strings yield `None`.
+    pub fn parse(text: &str) -> Option<TraceLevel> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Some(TraceLevel::Off),
+            "summary" | "1" | "on" => Some(TraceLevel::Summary),
+            "spans" | "2" | "trace" | "full" => Some(TraceLevel::Spans),
+            _ => None,
+        }
+    }
+
+    /// Reads `DEEPMAP_TRACE` from the environment; unset or unparseable
+    /// values fall back to [`TraceLevel::Summary`].
+    pub fn from_env() -> TraceLevel {
+        std::env::var("DEEPMAP_TRACE")
+            .ok()
+            .and_then(|v| TraceLevel::parse(&v))
+            .unwrap_or(TraceLevel::Summary)
+    }
+
+    /// `true` when counters/gauges/histograms record.
+    pub fn metrics_enabled(self) -> bool {
+        self != TraceLevel::Off
+    }
+
+    /// `true` when spans record.
+    pub fn spans_enabled(self) -> bool {
+        self == TraceLevel::Spans
+    }
+
+    /// Short lowercase name (`off` / `summary` / `spans`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Summary => "summary",
+            TraceLevel::Spans => "spans",
+        }
+    }
+
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            TraceLevel::Off => 0,
+            TraceLevel::Summary => 1,
+            TraceLevel::Spans => 2,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> TraceLevel {
+        match v {
+            0 => TraceLevel::Off,
+            2 => TraceLevel::Spans,
+            _ => TraceLevel::Summary,
+        }
+    }
+}
+
+/// An interior-mutable [`TraceLevel`] cell (a registry's level can be
+/// flipped at runtime, e.g. by a `--quiet` flag).
+#[derive(Debug)]
+pub(crate) struct LevelCell(AtomicU8);
+
+impl LevelCell {
+    pub(crate) fn new(level: TraceLevel) -> LevelCell {
+        LevelCell(AtomicU8::new(level.to_u8()))
+    }
+
+    pub(crate) fn get(&self) -> TraceLevel {
+        TraceLevel::from_u8(self.0.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn set(&self, level: TraceLevel) {
+        self.0.store(level.to_u8(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_documented_values() {
+        assert_eq!(TraceLevel::parse("off"), Some(TraceLevel::Off));
+        assert_eq!(TraceLevel::parse("SUMMARY"), Some(TraceLevel::Summary));
+        assert_eq!(TraceLevel::parse(" spans "), Some(TraceLevel::Spans));
+        assert_eq!(TraceLevel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(TraceLevel::Off < TraceLevel::Summary);
+        assert!(TraceLevel::Summary < TraceLevel::Spans);
+        assert!(!TraceLevel::Off.metrics_enabled());
+        assert!(TraceLevel::Summary.metrics_enabled());
+        assert!(!TraceLevel::Summary.spans_enabled());
+        assert!(TraceLevel::Spans.spans_enabled());
+    }
+
+    #[test]
+    fn cell_round_trips() {
+        let cell = LevelCell::new(TraceLevel::Off);
+        assert_eq!(cell.get(), TraceLevel::Off);
+        cell.set(TraceLevel::Spans);
+        assert_eq!(cell.get(), TraceLevel::Spans);
+    }
+}

@@ -1,0 +1,162 @@
+//! `deepmap-obs`: zero-dependency structured tracing, stage metrics, and
+//! profiling hooks for the DeepMap workspace.
+//!
+//! The crate provides four pieces, all hand-rolled (no new dependencies):
+//!
+//! 1. **Hierarchical spans** ([`SpanGuard`]) — RAII-timed regions with
+//!    key/value fields and thread-local parent links, recorded into a
+//!    thread-safe [`Registry`].
+//! 2. **Named metrics** — [`Counter`], [`Gauge`] (with high-water mark), and
+//!    fixed-bucket [`Histogram`] (p50/p90/p99 via bucket upper bounds).
+//! 3. **Exporters** — a JSONL trace ([`Registry::export_jsonl`]) and a
+//!    Prometheus-style text snapshot ([`Registry::render_prometheus`]),
+//!    plus a per-stage aggregate ([`Registry::stage_summary`]).
+//! 4. **A verbosity switch** — `DEEPMAP_TRACE=off|summary|spans`
+//!    ([`TraceLevel`]); instrumented code is near-zero-cost at `off`.
+//!
+//! Most call sites use the process-global registry through the free
+//! functions here:
+//!
+//! ```
+//! let _span = deepmap_obs::span("pipeline.alignment");
+//! deepmap_obs::counter("pipeline.graphs_embedded").add(42);
+//! deepmap_obs::info!("aligned {} graphs", 42);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod json;
+mod level;
+pub mod metrics;
+mod registry;
+mod span;
+pub mod time;
+
+pub use level::TraceLevel;
+pub use metrics::{Bucket, Counter, Gauge, Histogram};
+pub use registry::{EventLevel, EventRecord, Registry, StageSummary};
+pub use span::{FieldValue, SpanGuard, SpanRecord};
+pub use time::Stopwatch;
+
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry. Its initial level comes from the
+/// `DEEPMAP_TRACE` environment variable (default `summary`); change it at
+/// runtime with [`set_global_level`].
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(|| Registry::new(TraceLevel::from_env()))
+}
+
+/// Sets the global registry's level (e.g. `--quiet` → [`TraceLevel::Off`]).
+pub fn set_global_level(level: TraceLevel) {
+    global().set_level(level);
+}
+
+/// The global registry's current level.
+pub fn global_level() -> TraceLevel {
+    global().level()
+}
+
+/// Opens a span named `name` on the global registry. Inert unless
+/// `DEEPMAP_TRACE=spans`.
+pub fn span(name: &'static str) -> SpanGuard<'static> {
+    global().span(name)
+}
+
+fn noop_counter() -> Arc<Counter> {
+    static NOOP: OnceLock<Arc<Counter>> = OnceLock::new();
+    Arc::clone(NOOP.get_or_init(|| Arc::new(Counter::new())))
+}
+
+fn noop_gauge() -> Arc<Gauge> {
+    static NOOP: OnceLock<Arc<Gauge>> = OnceLock::new();
+    Arc::clone(NOOP.get_or_init(|| Arc::new(Gauge::new())))
+}
+
+fn noop_histogram() -> Arc<Histogram> {
+    static NOOP: OnceLock<Arc<Histogram>> = OnceLock::new();
+    Arc::clone(NOOP.get_or_init(|| Arc::new(Histogram::with_bounds(vec![1.0]))))
+}
+
+/// The global counter named `name`. When the global level is
+/// [`TraceLevel::Off`] a detached sink counter is returned instead, so
+/// registered counters stay untouched.
+pub fn counter(name: &str) -> Arc<Counter> {
+    if global_level().metrics_enabled() {
+        global().counter(name)
+    } else {
+        noop_counter()
+    }
+}
+
+/// The global gauge named `name` (detached sink at [`TraceLevel::Off`]).
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    if global_level().metrics_enabled() {
+        global().gauge(name)
+    } else {
+        noop_gauge()
+    }
+}
+
+/// The global histogram named `name` (detached sink at
+/// [`TraceLevel::Off`]).
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    if global_level().metrics_enabled() {
+        global().histogram(name)
+    } else {
+        noop_histogram()
+    }
+}
+
+/// Emits a leveled event on the global registry: printed to stderr unless
+/// the level is [`TraceLevel::Off`], and recorded into the trace at
+/// [`TraceLevel::Spans`]. Prefer the [`info!`] / [`warn!`] macros.
+pub fn event(level: EventLevel, message: &str) {
+    global().event(level, message);
+}
+
+/// Resolves where a trace for run `name` should be written: the
+/// `DEEPMAP_TRACE_FILE` environment variable when set, otherwise
+/// `results/TRACE_{name}.jsonl`.
+pub fn trace_path(name: &str) -> PathBuf {
+    match std::env::var("DEEPMAP_TRACE_FILE") {
+        Ok(path) if !path.is_empty() => PathBuf::from(path),
+        _ => PathBuf::from(format!("results/TRACE_{name}.jsonl")),
+    }
+}
+
+/// Writes the global registry's JSONL trace for run `name` (see
+/// [`trace_path`]) and returns the path written. Returns `None` without
+/// touching the filesystem when spans are not enabled.
+pub fn flush_trace(name: &str) -> Option<PathBuf> {
+    if !global_level().spans_enabled() {
+        return None;
+    }
+    let path = trace_path(name);
+    match global().write_trace(&path) {
+        Ok(()) => Some(path),
+        Err(err) => {
+            eprintln!("warning: could not write trace {}: {err}", path.display());
+            None
+        }
+    }
+}
+
+/// Emits an info-level event on the global registry (`format!` syntax).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::event($crate::EventLevel::Info, &format!($($arg)*))
+    };
+}
+
+/// Emits a warning-level event on the global registry (`format!` syntax).
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::event($crate::EventLevel::Warn, &format!($($arg)*))
+    };
+}

@@ -1,0 +1,263 @@
+//! Lock-free named metrics: counters, gauges, and fixed-bucket histograms.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (e.g. queue depth) that also tracks its
+/// high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Adds `delta` (may be negative) and returns the new value. The
+    /// high-water mark is updated when the new value exceeds it.
+    pub fn add(&self, delta: i64) -> i64 {
+        let new = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.max.fetch_max(new, Ordering::Relaxed);
+        new
+    }
+
+    /// Sets the value outright (also feeds the high-water mark).
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever observed.
+    pub fn max(&self) -> i64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+///
+/// Buckets are defined by ascending upper bounds; one extra overflow bucket
+/// catches observations above the last bound. Percentiles are reported as
+/// the upper bound of the bucket containing the requested rank, which is
+/// exact when observations land on bucket bounds and conservative (rounds
+/// up) otherwise.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    /// Total of all observations, maintained with a CAS loop over bits.
+    sum_bits: AtomicU64,
+}
+
+/// One histogram bucket as reported by [`Histogram::buckets`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Inclusive upper bound of the bucket (`f64::INFINITY` for overflow).
+    pub upper_bound: f64,
+    /// Observations that landed in this bucket.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// A histogram over the default exponential bounds `1e-6 · 2^i` for
+    /// `i in 0..40` — microseconds up to ~12.7 days, suitable for seconds-
+    /// denominated durations.
+    pub fn new() -> Histogram {
+        let bounds = (0..40).map(|i| 1e-6 * f64::powi(2.0, i)).collect();
+        Histogram::with_bounds(bounds)
+    }
+
+    /// A histogram with caller-chosen ascending upper bounds.
+    ///
+    /// Non-finite, non-ascending, or empty bounds are rejected by clamping:
+    /// the list is sorted, deduplicated, and non-finite entries dropped; an
+    /// empty result falls back to a single `1.0` bound.
+    pub fn with_bounds(mut bounds: Vec<f64>) -> Histogram {
+        bounds.retain(|b| b.is_finite());
+        bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
+        bounds.dedup();
+        if bounds.is_empty() {
+            bounds.push(1.0);
+        }
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() / count as f64
+        }
+    }
+
+    /// The `p`-quantile (`p` in `[0, 1]`), reported as the upper bound of
+    /// the bucket containing that rank. Overflow-bucket ranks report the
+    /// last finite bound; an empty histogram reports 0.0.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return if idx < self.bounds.len() {
+                    self.bounds[idx]
+                } else {
+                    *self.bounds.last().expect("at least one bound")
+                };
+            }
+        }
+        *self.bounds.last().expect("at least one bound")
+    }
+
+    /// Bucket-by-bucket view (finite buckets plus the overflow bucket).
+    pub fn buckets(&self) -> Vec<Bucket> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(idx, count)| Bucket {
+                upper_bound: self.bounds.get(idx).copied().unwrap_or(f64::INFINITY),
+                count: count.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let g = Gauge::new();
+        assert_eq!(g.add(3), 3);
+        assert_eq!(g.add(-2), 1);
+        assert_eq!(g.add(5), 6);
+        assert_eq!(g.add(-6), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.max(), 6);
+    }
+
+    #[test]
+    fn histogram_percentiles_on_known_distribution() {
+        let h = Histogram::with_bounds((1..=100).map(|i| i as f64).collect());
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.sum() - 5050.0).abs() < 1e-9);
+        assert_eq!(h.percentile(0.50), 50.0);
+        assert_eq!(h.percentile(0.90), 90.0);
+        assert_eq!(h.percentile(0.99), 99.0);
+        assert_eq!(h.percentile(1.0), 100.0);
+    }
+
+    #[test]
+    fn histogram_overflow_and_empty() {
+        let h = Histogram::with_bounds(vec![1.0, 2.0]);
+        assert_eq!(h.percentile(0.5), 0.0);
+        h.observe(10.0); // overflow bucket
+        assert_eq!(h.percentile(0.5), 2.0); // clamps to last finite bound
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[2].count, 1);
+        assert!(buckets[2].upper_bound.is_infinite());
+    }
+}

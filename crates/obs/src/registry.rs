@@ -1,0 +1,387 @@
+//! The metric/span registry: named instruments, recorded spans and events,
+//! and the JSONL / Prometheus-style exporters.
+
+use crate::json::Json;
+use crate::level::{LevelCell, TraceLevel};
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::span::{FieldValue, SpanGuard, SpanRecord};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Severity of a leveled [`Registry::event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventLevel {
+    /// Progress information; printed plainly.
+    Info,
+    /// Something suspicious but survivable; printed with a `warning:` prefix.
+    Warn,
+}
+
+impl EventLevel {
+    /// Lowercase name used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventLevel::Info => "info",
+            EventLevel::Warn => "warn",
+        }
+    }
+}
+
+/// A recorded leveled event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Severity.
+    pub level: EventLevel,
+    /// Message text.
+    pub message: String,
+    /// Offset from the registry epoch, in microseconds.
+    pub at_us: u64,
+}
+
+/// Aggregate view of one span name, from [`Registry::stage_summary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// Span name.
+    pub name: String,
+    /// How many spans with this name finished.
+    pub count: u64,
+    /// Total wall-clock seconds across those spans.
+    pub total_s: f64,
+    /// Mean seconds per span.
+    pub mean_s: f64,
+    /// Fastest span, seconds.
+    pub min_s: f64,
+    /// Slowest span, seconds.
+    pub max_s: f64,
+}
+
+/// A thread-safe home for named metrics, spans, and events.
+///
+/// Most code uses the process-global registry via the free functions in the
+/// crate root; a private `Registry` is useful for components whose metrics
+/// must stay live regardless of `DEEPMAP_TRACE` (the serve engine) and for
+/// hermetic tests.
+pub struct Registry {
+    level: LevelCell,
+    epoch: Instant,
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+    spans: Mutex<Vec<SpanRecord>>,
+    events: Mutex<Vec<EventRecord>>,
+}
+
+impl Registry {
+    /// An empty registry at the given level.
+    pub fn new(level: TraceLevel) -> Registry {
+        Registry {
+            level: LevelCell::new(level),
+            epoch: Instant::now(),
+            counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+            spans: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> TraceLevel {
+        self.level.get()
+    }
+
+    /// Changes the level at runtime.
+    pub fn set_level(&self, level: TraceLevel) {
+        self.level.set(level);
+    }
+
+    pub(crate) fn micros_since_epoch(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut counters = self.counters.lock().expect("counter registry");
+        if let Some((_, c)) = counters.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        counters.push((name.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut gauges = self.gauges.lock().expect("gauge registry");
+        if let Some((_, g)) = gauges.iter().find(|(n, _)| n == name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        gauges.push((name.to_string(), Arc::clone(&g)));
+        g
+    }
+
+    /// The histogram named `name`, created on first use with the default
+    /// (duration-oriented) bounds.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut histograms = self.histograms.lock().expect("histogram registry");
+        if let Some((_, h)) = histograms.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        histograms.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// Opens a span named `name`. Inert (and free) unless the registry level
+    /// is [`TraceLevel::Spans`].
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if self.level().spans_enabled() {
+            SpanGuard::open(self, name)
+        } else {
+            SpanGuard::disabled()
+        }
+    }
+
+    pub(crate) fn push_span(&self, record: SpanRecord) {
+        self.spans.lock().expect("span store").push(record);
+    }
+
+    /// Records (and prints to stderr) a leveled event. Dropped entirely at
+    /// [`TraceLevel::Off`]; recorded into the trace at [`TraceLevel::Spans`].
+    pub fn event(&self, level: EventLevel, message: &str) {
+        let trace_level = self.level();
+        if !trace_level.metrics_enabled() {
+            return;
+        }
+        match level {
+            EventLevel::Info => eprintln!("{message}"),
+            EventLevel::Warn => eprintln!("warning: {message}"),
+        }
+        if trace_level.spans_enabled() {
+            self.events.lock().expect("event store").push(EventRecord {
+                level,
+                message: message.to_string(),
+                at_us: self.micros_since_epoch(),
+            });
+        }
+    }
+
+    /// All finished spans, in completion order.
+    pub fn snapshot_spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("span store").clone()
+    }
+
+    /// All recorded events, in order.
+    pub fn snapshot_events(&self) -> Vec<EventRecord> {
+        self.events.lock().expect("event store").clone()
+    }
+
+    /// Serialises spans and events as JSON Lines: one object per line, with
+    /// a `"kind"` discriminator (`span` / `event`). Spans carry
+    /// `id`/`parent`/`name`/`start_us`/`dur_us` plus a `fields` object.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in self.snapshot_spans() {
+            let mut obj = vec![
+                ("kind".to_string(), Json::Str("span".to_string())),
+                ("id".to_string(), Json::Num(span.id as f64)),
+                (
+                    "parent".to_string(),
+                    match span.parent {
+                        Some(p) => Json::Num(p as f64),
+                        None => Json::Null,
+                    },
+                ),
+                ("name".to_string(), Json::Str(span.name.clone())),
+                ("start_us".to_string(), Json::Num(span.start_us as f64)),
+                ("dur_us".to_string(), Json::Num(span.dur_us as f64)),
+            ];
+            if !span.fields.is_empty() {
+                let fields = span
+                    .fields
+                    .iter()
+                    .map(|(k, v)| {
+                        let value = match v {
+                            FieldValue::Str(s) => Json::Str(s.clone()),
+                            FieldValue::U64(n) => Json::Num(*n as f64),
+                            FieldValue::I64(n) => Json::Num(*n as f64),
+                            FieldValue::F64(n) => Json::Num(*n),
+                        };
+                        (k.clone(), value)
+                    })
+                    .collect();
+                obj.push(("fields".to_string(), Json::Obj(fields)));
+            }
+            out.push_str(&Json::Obj(obj).to_json());
+            out.push('\n');
+        }
+        for event in self.snapshot_events() {
+            let obj = Json::Obj(vec![
+                ("kind".to_string(), Json::Str("event".to_string())),
+                (
+                    "level".to_string(),
+                    Json::Str(event.level.name().to_string()),
+                ),
+                ("message".to_string(), Json::Str(event.message.clone())),
+                ("at_us".to_string(), Json::Num(event.at_us as f64)),
+            ]);
+            out.push_str(&obj.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL trace to `path`, creating parent directories.
+    pub fn write_trace(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.export_jsonl().as_bytes())?;
+        Ok(())
+    }
+
+    /// Renders every instrument in the Prometheus text exposition format.
+    /// Metric names are prefixed `deepmap_` with dots mapped to underscores;
+    /// gauges also emit a `_peak` companion for their high-water mark.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, counter) in self.counters.lock().expect("counter registry").iter() {
+            let name = metric_name(name);
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {}\n", counter.get()));
+        }
+        for (name, gauge) in self.gauges.lock().expect("gauge registry").iter() {
+            let name = metric_name(name);
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            out.push_str(&format!("{name} {}\n", gauge.get()));
+            out.push_str(&format!("# TYPE {name}_peak gauge\n"));
+            out.push_str(&format!("{name}_peak {}\n", gauge.max()));
+        }
+        for (name, histogram) in self.histograms.lock().expect("histogram registry").iter() {
+            let name = metric_name(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for bucket in histogram.buckets() {
+                cumulative += bucket.count;
+                let le = if bucket.upper_bound.is_finite() {
+                    format!("{}", bucket.upper_bound)
+                } else {
+                    "+Inf".to_string()
+                };
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n", histogram.sum()));
+            out.push_str(&format!("{name}_count {}\n", histogram.count()));
+        }
+        out
+    }
+
+    /// Aggregates finished spans by name, sorted by total time descending —
+    /// the per-stage breakdown written into `results/BENCH_*_stages.json`.
+    pub fn stage_summary(&self) -> Vec<StageSummary> {
+        let spans = self.snapshot_spans();
+        let mut stages: Vec<StageSummary> = Vec::new();
+        for span in &spans {
+            let seconds = span.dur_us as f64 / 1e6;
+            match stages.iter_mut().find(|s| s.name == span.name) {
+                Some(stage) => {
+                    stage.count += 1;
+                    stage.total_s += seconds;
+                    stage.min_s = stage.min_s.min(seconds);
+                    stage.max_s = stage.max_s.max(seconds);
+                }
+                None => stages.push(StageSummary {
+                    name: span.name.clone(),
+                    count: 1,
+                    total_s: seconds,
+                    mean_s: 0.0,
+                    min_s: seconds,
+                    max_s: seconds,
+                }),
+            }
+        }
+        for stage in &mut stages {
+            stage.mean_s = stage.total_s / stage.count as f64;
+        }
+        stages.sort_by(|a, b| {
+            b.total_s
+                .partial_cmp(&a.total_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        stages
+    }
+
+    /// Drops all recorded spans and events (metrics keep their values).
+    pub fn clear_trace(&self) {
+        self.spans.lock().expect("span store").clear();
+        self.events.lock().expect("event store").clear();
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("level", &self.level())
+            .field("spans", &self.spans.lock().expect("span store").len())
+            .finish()
+    }
+}
+
+/// `pipeline.alignment` → `deepmap_pipeline_alignment`; characters outside
+/// `[A-Za-z0-9_]` become `_`.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("deepmap_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let reg = Registry::new(TraceLevel::Summary);
+        reg.counter("a").inc();
+        reg.counter("a").inc();
+        assert_eq!(reg.counter("a").get(), 2);
+        assert_eq!(reg.counter("b").get(), 0);
+    }
+
+    #[test]
+    fn metric_name_sanitizes() {
+        assert_eq!(
+            metric_name("pipeline.alignment"),
+            "deepmap_pipeline_alignment"
+        );
+        assert_eq!(metric_name("a-b c"), "deepmap_a_b_c");
+    }
+
+    #[test]
+    fn spans_disabled_below_spans_level() {
+        let reg = Registry::new(TraceLevel::Summary);
+        {
+            let span = reg.span("quiet");
+            assert!(!span.is_recording());
+        }
+        assert!(reg.snapshot_spans().is_empty());
+        reg.set_level(TraceLevel::Spans);
+        {
+            let _span = reg.span("loud");
+        }
+        assert_eq!(reg.snapshot_spans().len(), 1);
+    }
+}

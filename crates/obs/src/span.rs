@@ -1,0 +1,170 @@
+//! Hierarchical spans: RAII-timed regions with key/value fields.
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Globally unique span ids (unique across threads and registries).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Stack of currently open span ids on this thread (innermost last).
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A typed span field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string field.
+    Str(String),
+    /// An unsigned integer field.
+    U64(u64),
+    /// A signed integer field.
+    I64(i64),
+    /// A floating-point field.
+    F64(f64),
+}
+
+/// A finished span as recorded in the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Globally unique span id.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (dotted taxonomy, e.g. `pipeline.alignment`).
+    pub name: String,
+    /// Start offset from the registry epoch, in microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, in microseconds.
+    pub dur_us: u64,
+    /// Attached key/value fields, in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+pub(crate) struct ActiveSpan<'a> {
+    registry: &'a Registry,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    fields: Vec<(String, FieldValue)>,
+}
+
+/// An RAII guard for an open span. Created by [`Registry::span`] (or the
+/// global [`crate::span`]); recording happens when the guard drops.
+///
+/// A guard created while spans are disabled is an inert no-op: every method
+/// returns immediately and nothing is recorded.
+pub struct SpanGuard<'a> {
+    inner: Option<ActiveSpan<'a>>,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// An inert guard (spans disabled).
+    pub(crate) fn disabled() -> SpanGuard<'a> {
+        SpanGuard { inner: None }
+    }
+
+    pub(crate) fn open(registry: &'a Registry, name: &'static str) -> SpanGuard<'a> {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = STACK.with(|s| s.borrow().last().copied());
+        STACK.with(|s| s.borrow_mut().push(id));
+        SpanGuard {
+            inner: Some(ActiveSpan {
+                registry,
+                id,
+                parent,
+                name,
+                start: Instant::now(),
+                start_us: registry.micros_since_epoch(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// `true` when this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The span id (0 for an inert guard).
+    pub fn id(&self) -> u64 {
+        self.inner.as_ref().map(|s| s.id).unwrap_or(0)
+    }
+
+    /// Attaches a string field (builder style).
+    pub fn with_str(mut self, key: &str, value: &str) -> SpanGuard<'a> {
+        self.record_str(key, value);
+        self
+    }
+
+    /// Attaches an unsigned integer field (builder style).
+    pub fn with_u64(mut self, key: &str, value: u64) -> SpanGuard<'a> {
+        self.record_u64(key, value);
+        self
+    }
+
+    /// Attaches a floating-point field (builder style).
+    pub fn with_f64(mut self, key: &str, value: f64) -> SpanGuard<'a> {
+        self.record_f64(key, value);
+        self
+    }
+
+    /// Records a string field on the open span.
+    pub fn record_str(&mut self, key: &str, value: &str) {
+        if let Some(span) = self.inner.as_mut() {
+            span.fields
+                .push((key.to_string(), FieldValue::Str(value.to_string())));
+        }
+    }
+
+    /// Records an unsigned integer field on the open span.
+    pub fn record_u64(&mut self, key: &str, value: u64) {
+        if let Some(span) = self.inner.as_mut() {
+            span.fields.push((key.to_string(), FieldValue::U64(value)));
+        }
+    }
+
+    /// Records a signed integer field on the open span.
+    pub fn record_i64(&mut self, key: &str, value: i64) {
+        if let Some(span) = self.inner.as_mut() {
+            span.fields.push((key.to_string(), FieldValue::I64(value)));
+        }
+    }
+
+    /// Records a floating-point field on the open span.
+    pub fn record_f64(&mut self, key: &str, value: f64) {
+        if let Some(span) = self.inner.as_mut() {
+            span.fields.push((key.to_string(), FieldValue::F64(value)));
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(span) = self.inner.take() else {
+            return;
+        };
+        // Pop this span from the thread-local stack. Guards normally drop in
+        // LIFO order so the last entry is ours, but a guard moved across an
+        // early return can drop out of order — remove by id to stay correct.
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|id| *id == span.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: span.id,
+            parent: span.parent,
+            name: span.name.to_string(),
+            start_us: span.start_us,
+            dur_us: span.start.elapsed().as_micros() as u64,
+            fields: span.fields,
+        };
+        span.registry.push_span(record);
+    }
+}

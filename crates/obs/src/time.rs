@@ -1,0 +1,91 @@
+//! Wall-clock helpers: the single source of truth for elapsed-seconds
+//! bookkeeping and human-readable duration formatting.
+
+use std::time::Instant;
+
+/// A restartable wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds since the (last) start.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Seconds since the (last) start, then restarts the stopwatch.
+    pub fn lap_seconds(&mut self) -> f64 {
+        let elapsed = self.elapsed_seconds();
+        self.start = Instant::now();
+        elapsed
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Stopwatch {
+        Stopwatch::start()
+    }
+}
+
+/// Formats a duration for tables: `"1.5s"` at or above one second,
+/// `"340.0ms"` below.
+pub fn format_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.1}s")
+    } else {
+        format!("{:.1}ms", seconds * 1000.0)
+    }
+}
+
+/// Arithmetic mean of a sequence of seconds (0.0 when empty).
+pub fn mean_seconds<I: IntoIterator<Item = f64>>(seconds: I) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0u64;
+    for s in seconds {
+        total += s;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_matches_table_convention() {
+        assert_eq!(format_seconds(1.0), "1.0s");
+        assert_eq!(format_seconds(12.34), "12.3s");
+        assert_eq!(format_seconds(0.34), "340.0ms");
+        assert_eq!(format_seconds(0.0), "0.0ms");
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean_seconds([]), 0.0);
+        assert!((mean_seconds([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stopwatch_measures_and_laps() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let first = sw.lap_seconds();
+        assert!(first >= 0.004);
+        let second = sw.elapsed_seconds();
+        assert!(second < first);
+    }
+}

@@ -1,0 +1,207 @@
+//! Integration tests for `deepmap-obs`: span nesting, percentile math,
+//! disabled-mode behaviour, and exporter round-trips.
+
+use deepmap_obs::json::Json;
+use deepmap_obs::{Histogram, Registry, TraceLevel};
+
+#[test]
+fn spans_nest_and_record_parents() {
+    let reg = Registry::new(TraceLevel::Spans);
+    let (outer_id, inner_id, sibling_id);
+    {
+        let outer = reg.span("outer").with_u64("graphs", 3);
+        outer_id = outer.id();
+        {
+            let inner = reg.span("inner");
+            inner_id = inner.id();
+            assert_ne!(inner_id, outer_id);
+        }
+        {
+            let sibling = reg.span("sibling");
+            sibling_id = sibling.id();
+        }
+    }
+    let spans = reg.snapshot_spans();
+    assert_eq!(spans.len(), 3);
+    // Completion order: inner, sibling, outer.
+    assert_eq!(spans[0].name, "inner");
+    assert_eq!(spans[0].parent, Some(outer_id));
+    assert_eq!(spans[1].name, "sibling");
+    assert_eq!(spans[1].parent, Some(outer_id));
+    assert_eq!(spans[2].name, "outer");
+    assert_eq!(spans[2].parent, None);
+    assert_eq!(spans[2].id, outer_id);
+    assert_eq!(spans[0].id, inner_id);
+    assert_ne!(inner_id, sibling_id);
+    assert_eq!(spans[2].fields.len(), 1);
+    assert!(spans[2].start_us <= spans[0].start_us);
+}
+
+#[test]
+fn span_fields_record_after_creation() {
+    let reg = Registry::new(TraceLevel::Spans);
+    {
+        let mut span = reg.span("work");
+        span.record_f64("loss", 0.25);
+        span.record_str("kernel", "WL");
+        span.record_i64("delta", -3);
+    }
+    let spans = reg.snapshot_spans();
+    assert_eq!(spans[0].fields.len(), 3);
+    assert_eq!(spans[0].fields[0].0, "loss");
+}
+
+#[test]
+fn histogram_percentiles_known_distribution() {
+    let h = Histogram::with_bounds((1..=100).map(f64::from).collect());
+    for i in 1..=100 {
+        h.observe(f64::from(i));
+    }
+    assert_eq!(h.percentile(0.5), 50.0);
+    assert_eq!(h.percentile(0.9), 90.0);
+    assert_eq!(h.percentile(0.99), 99.0);
+    assert_eq!(h.count(), 100);
+    assert!((h.mean() - 50.5).abs() < 1e-9);
+}
+
+#[test]
+fn jsonl_export_round_trips() {
+    let reg = Registry::new(TraceLevel::Spans);
+    {
+        let _outer = reg.span("pipeline.prepare").with_str("dataset", "MUTAG");
+        let _inner = reg.span("pipeline.alignment");
+    }
+    reg.event(deepmap_obs::EventLevel::Warn, "low \"memory\"\nretrying");
+    let jsonl = reg.export_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 3);
+    let mut span_names = Vec::new();
+    for line in &lines {
+        let value = Json::parse(line).expect("every trace line parses");
+        match value.get("kind").and_then(Json::as_str) {
+            Some("span") => {
+                span_names.push(value.get("name").unwrap().as_str().unwrap().to_string());
+                assert!(value.get("id").unwrap().as_u64().is_some());
+                assert!(value.get("dur_us").unwrap().as_u64().is_some());
+            }
+            Some("event") => {
+                assert_eq!(
+                    value.get("message").unwrap().as_str(),
+                    Some("low \"memory\"\nretrying")
+                );
+                assert_eq!(value.get("level").unwrap().as_str(), Some("warn"));
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+    assert_eq!(span_names, vec!["pipeline.alignment", "pipeline.prepare"]);
+    // Parent linkage survives the round-trip.
+    let inner = Json::parse(lines[0]).unwrap();
+    let outer = Json::parse(lines[1]).unwrap();
+    assert_eq!(
+        inner.get("parent").unwrap().as_u64(),
+        outer.get("id").unwrap().as_u64()
+    );
+}
+
+#[test]
+fn prometheus_render_has_types_buckets_and_peaks() {
+    let reg = Registry::new(TraceLevel::Summary);
+    reg.counter("train.epochs_run").add(7);
+    let g = reg.gauge("serve.queue_depth");
+    g.add(5);
+    g.add(-3);
+    let h = reg.histogram("serve.latency_seconds");
+    h.observe(0.5);
+    let text = reg.render_prometheus();
+    assert!(text.contains("# TYPE deepmap_train_epochs_run counter"));
+    assert!(text.contains("deepmap_train_epochs_run 7"));
+    assert!(text.contains("deepmap_serve_queue_depth 2"));
+    assert!(text.contains("deepmap_serve_queue_depth_peak 5"));
+    assert!(text.contains("# TYPE deepmap_serve_latency_seconds histogram"));
+    assert!(text.contains("deepmap_serve_latency_seconds_count 1"));
+    assert!(text.contains("_bucket{le=\"+Inf\"} 1"));
+}
+
+#[test]
+fn stage_summary_aggregates_by_name() {
+    let reg = Registry::new(TraceLevel::Spans);
+    for _ in 0..3 {
+        let _s = reg.span("pipeline.alignment");
+    }
+    {
+        let _s = reg.span("pipeline.assemble");
+    }
+    let stages = reg.stage_summary();
+    assert_eq!(stages.len(), 2);
+    let alignment = stages
+        .iter()
+        .find(|s| s.name == "pipeline.alignment")
+        .unwrap();
+    assert_eq!(alignment.count, 3);
+    assert!(alignment.min_s <= alignment.mean_s && alignment.mean_s <= alignment.max_s);
+    assert!((alignment.mean_s - alignment.total_s / 3.0).abs() < 1e-12);
+}
+
+/// All assertions that mutate the process-global level live in this one
+/// test so parallel test threads never race on it.
+#[test]
+fn global_off_mode_leaves_registry_untouched() {
+    let restore = deepmap_obs::global_level();
+    deepmap_obs::set_global_level(TraceLevel::Off);
+
+    // Counter writes go to a detached sink, not the registry.
+    deepmap_obs::counter("off.test_counter").add(10);
+    assert_eq!(deepmap_obs::global().counter("off.test_counter").get(), 0);
+    // Gauges and histograms likewise.
+    deepmap_obs::gauge("off.test_gauge").add(4);
+    assert_eq!(deepmap_obs::global().gauge("off.test_gauge").get(), 0);
+    deepmap_obs::histogram("off.test_hist").observe(1.0);
+    assert_eq!(deepmap_obs::global().histogram("off.test_hist").count(), 0);
+    // Spans are inert guards.
+    {
+        let span = deepmap_obs::span("off.test_span");
+        assert!(!span.is_recording());
+        assert_eq!(span.id(), 0);
+    }
+    assert!(!deepmap_obs::global()
+        .snapshot_spans()
+        .iter()
+        .any(|s| s.name == "off.test_span"));
+    // flush_trace declines to write anything.
+    assert_eq!(deepmap_obs::flush_trace("off-test"), None);
+
+    // Back on: the same call sites hit the registry.
+    deepmap_obs::set_global_level(TraceLevel::Summary);
+    deepmap_obs::counter("off.test_counter").add(2);
+    assert_eq!(deepmap_obs::global().counter("off.test_counter").get(), 2);
+
+    deepmap_obs::set_global_level(restore);
+}
+
+#[test]
+fn trace_path_defaults_to_results_dir() {
+    // DEEPMAP_TRACE_FILE is not set in the test environment.
+    if std::env::var("DEEPMAP_TRACE_FILE").is_err() {
+        assert_eq!(
+            deepmap_obs::trace_path("pipeline"),
+            std::path::PathBuf::from("results/TRACE_pipeline.jsonl")
+        );
+    }
+}
+
+#[test]
+fn write_trace_round_trips_through_file() {
+    let reg = Registry::new(TraceLevel::Spans);
+    {
+        let _s = reg.span("disk.round_trip");
+    }
+    let dir = std::env::temp_dir().join("deepmap-obs-test");
+    let path = dir.join("trace.jsonl");
+    reg.write_trace(&path).expect("trace written");
+    let text = std::fs::read_to_string(&path).expect("trace readable");
+    let line = text.lines().next().expect("one line");
+    let value = Json::parse(line).expect("line parses");
+    assert_eq!(value.get("name").unwrap().as_str(), Some("disk.round_trip"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -22,7 +22,7 @@ use crate::bundle::{ModelBundle, Predictor};
 use crate::error::ServeError;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use deepmap_graph::Graph;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use deepmap_obs::{Counter, Gauge, Histogram, Registry, TraceLevel};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -83,15 +83,35 @@ impl PredictionHandle {
     }
 }
 
-#[derive(Default)]
-struct MetricsInner {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
-    queue_depth: AtomicUsize,
-    peak_queue_depth: AtomicUsize,
+/// The server's instruments, registered on a dedicated `deepmap-obs`
+/// registry so server and batch metrics share one vocabulary (and one
+/// Prometheus rendering). The registry is always live — serving metrics are
+/// part of the server's contract regardless of `DEEPMAP_TRACE`.
+struct ServerMetrics {
+    registry: Arc<Registry>,
+    submitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    completed: Arc<Counter>,
+    batches: Arc<Counter>,
+    batched_requests: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    latency_seconds: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Arc::new(Registry::new(TraceLevel::Summary));
+        ServerMetrics {
+            submitted: registry.counter("serve.requests_submitted"),
+            rejected: registry.counter("serve.requests_rejected"),
+            completed: registry.counter("serve.requests_completed"),
+            batches: registry.counter("serve.batches_dispatched"),
+            batched_requests: registry.counter("serve.batched_requests"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            latency_seconds: registry.histogram("serve.latency_seconds"),
+            registry,
+        }
+    }
 }
 
 /// A point-in-time snapshot of the server's counters.
@@ -118,7 +138,7 @@ pub struct InferenceServer {
     tx: Option<Sender<Request>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    metrics: Arc<MetricsInner>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl InferenceServer {
@@ -136,7 +156,7 @@ impl InferenceServer {
         };
         // Fail fast if the bundle cannot produce a predictor at all.
         bundle.predictor()?;
-        let metrics = Arc::new(MetricsInner::default());
+        let metrics = Arc::new(ServerMetrics::new());
         let (req_tx, req_rx) = bounded::<Request>(config.queue_capacity);
         let (batch_tx, batch_rx) = bounded::<Vec<Request>>(config.workers * 2);
         let batcher = {
@@ -175,15 +195,14 @@ impl InferenceServer {
         };
         match tx.try_send(request) {
             Ok(()) => {
-                self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-                let depth = self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-                self.metrics
-                    .peak_queue_depth
-                    .fetch_max(depth, Ordering::Relaxed);
+                self.metrics.submitted.inc();
+                // The gauge tracks its own high-water mark, which is the
+                // peak queue depth.
+                self.metrics.queue_depth.add(1);
                 Ok(PredictionHandle { rx: reply_rx })
             }
             Err(_) => {
-                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                self.metrics.rejected.inc();
                 Err(ServeError::QueueFull)
             }
         }
@@ -198,14 +217,28 @@ impl InferenceServer {
     /// Current counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            submitted: self.metrics.submitted.load(Ordering::Relaxed),
-            rejected: self.metrics.rejected.load(Ordering::Relaxed),
-            completed: self.metrics.completed.load(Ordering::Relaxed),
-            batches: self.metrics.batches.load(Ordering::Relaxed),
-            batched_requests: self.metrics.batched_requests.load(Ordering::Relaxed),
-            queue_depth: self.metrics.queue_depth.load(Ordering::Relaxed),
-            peak_queue_depth: self.metrics.peak_queue_depth.load(Ordering::Relaxed),
+            submitted: self.metrics.submitted.get(),
+            rejected: self.metrics.rejected.get(),
+            completed: self.metrics.completed.get(),
+            batches: self.metrics.batches.get(),
+            batched_requests: self.metrics.batched_requests.get(),
+            queue_depth: self.metrics.queue_depth.get().max(0) as usize,
+            peak_queue_depth: self.metrics.queue_depth.max().max(0) as usize,
         }
+    }
+
+    /// The `deepmap-obs` registry backing the server's metrics — always
+    /// live, independent of `DEEPMAP_TRACE`. Useful for scraping the serve
+    /// instruments alongside batch metrics.
+    pub fn metrics_registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.metrics.registry)
+    }
+
+    /// The server's metrics in the Prometheus text exposition format
+    /// (counters, queue-depth gauge with `_peak`, latency histogram with
+    /// `_bucket`/`_sum`/`_count` series).
+    pub fn render_metrics(&self) -> String {
+        self.metrics.registry.render_prometheus()
     }
 
     /// Stops accepting requests, drains the queue, and joins every thread.
@@ -231,7 +264,7 @@ fn run_batcher(
     req_rx: Receiver<Request>,
     batch_tx: Sender<Vec<Request>>,
     config: ServerConfig,
-    metrics: Arc<MetricsInner>,
+    metrics: Arc<ServerMetrics>,
 ) {
     // Blocks for the first request of each batch, then keeps collecting
     // until the batch is full or the first request's deadline passes.
@@ -251,14 +284,10 @@ fn run_batcher(
                 }
             }
         }
-        metrics
-            .queue_depth
-            .fetch_sub(batch.len(), Ordering::Relaxed);
-        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        metrics.queue_depth.add(-(batch.len() as i64));
+        metrics.batches.inc();
         if batch.len() > 1 {
-            metrics
-                .batched_requests
-                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            metrics.batched_requests.add(batch.len() as u64);
         }
         if batch_tx.send(batch).is_err() {
             return; // Workers are gone; nothing useful left to do.
@@ -270,20 +299,22 @@ fn run_batcher(
 fn run_worker(
     predictor: &mut Predictor,
     batch_rx: Receiver<Vec<Request>>,
-    metrics: Arc<MetricsInner>,
+    metrics: Arc<ServerMetrics>,
 ) {
     while let Ok(batch) = batch_rx.recv() {
         let batch_size = batch.len();
         let graphs: Vec<&Graph> = batch.iter().map(|r| &r.graph).collect();
         let predictions = predictor.predict_batch(&graphs);
         for (request, prediction) in batch.iter().zip(predictions) {
+            let latency = request.submitted.elapsed();
             let served = ServedPrediction {
                 class: prediction.class,
                 scores: prediction.scores,
-                latency: request.submitted.elapsed(),
+                latency,
                 batch_size,
             };
-            metrics.completed.fetch_add(1, Ordering::Relaxed);
+            metrics.completed.inc();
+            metrics.latency_seconds.observe(latency.as_secs_f64());
             // A dropped handle just means the caller stopped waiting.
             let _ = request.reply.send(served);
         }

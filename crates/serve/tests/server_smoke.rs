@@ -84,6 +84,30 @@ fn server_matches_direct_predictor() {
     assert!(metrics.batches >= 1 && metrics.batches <= 20);
     assert_eq!(metrics.queue_depth, 0, "everything drained");
     assert!(metrics.peak_queue_depth >= 1);
+
+    // The snapshot is served from the shared obs registry, which also
+    // renders the same numbers in the Prometheus text format.
+    let text = server.render_metrics();
+    assert!(
+        text.contains("deepmap_serve_requests_submitted 20"),
+        "{text}"
+    );
+    assert!(
+        text.contains("deepmap_serve_requests_completed 20"),
+        "{text}"
+    );
+    assert!(text.contains("# TYPE deepmap_serve_latency_seconds histogram"));
+    assert!(
+        text.contains("deepmap_serve_latency_seconds_count 20"),
+        "{text}"
+    );
+    assert_eq!(
+        server
+            .metrics_registry()
+            .counter("serve.requests_submitted")
+            .get(),
+        20
+    );
     server.shutdown();
 }
 

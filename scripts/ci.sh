@@ -21,6 +21,18 @@ cargo test -q --workspace
 echo "=== clippy ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "=== trace smoke ==="
+# One tiny Table 5 cell with span tracing on: the run must emit a JSONL
+# trace whose every line parses and which contains the top-level pipeline
+# stage spans (alignment, receptive field, feature extraction, assembly)
+# plus training epochs. trace_check exits non-zero otherwise. The stage
+# breakdown artifact must land next to it.
+rm -f results/TRACE_pipeline.jsonl results/BENCH_pipeline_stages.json
+DEEPMAP_TRACE=spans cargo run --release -p deepmap-bench --bin table5_runtime -- --smoke
+cargo run --release -p deepmap-bench --bin trace_check -- results/TRACE_pipeline.jsonl
+test -s results/BENCH_pipeline_stages.json
+grep -q '"stage": *"pipeline.alignment"' results/BENCH_pipeline_stages.json
+
 echo "=== serve smoke ==="
 # serve_throughput --smoke trains a toy model, round-trips a bundle through
 # disk, drives the inference server at three concurrency levels, and exits

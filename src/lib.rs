@@ -14,6 +14,7 @@
 //! - [`datasets`] — simulated Table-1 benchmarks.
 //! - [`eval`] — cross-validation, metrics, result tables.
 //! - [`serve`] — model bundles and the micro-batching inference server.
+//! - [`obs`] — structured tracing, stage metrics, and profiling hooks.
 
 #![deny(missing_docs)]
 
@@ -24,5 +25,6 @@ pub use deepmap_gnn as gnn;
 pub use deepmap_graph as graph;
 pub use deepmap_kernels as kernels;
 pub use deepmap_nn as nn;
+pub use deepmap_obs as obs;
 pub use deepmap_serve as serve;
 pub use deepmap_svm as svm;
