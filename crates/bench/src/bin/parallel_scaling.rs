@@ -1,0 +1,290 @@
+//! Thread-scaling benchmark for the shared `deepmap-par` pool.
+//!
+//! Sweeps `deepmap_par::set_threads` over 1/2/4/8 and times the three
+//! pool-backed stages on synthetic cycles-vs-cliques data:
+//!
+//! - **prepare** — feature extraction + alignment + tensor assembly
+//!   (`DeepMap::try_prepare_frozen`, per-graph fan-out);
+//! - **train** — data-parallel mini-batch training (`DeepMap::fit_split`,
+//!   per-sample fan-out with fixed-order gradient reduction);
+//! - **embed** — frozen-bundle serving (`Predictor::predict` over a request
+//!   stream, chunked fan-out).
+//!
+//! Alongside wall-clock speedups the run re-asserts the determinism
+//! contract: final trained weights and every served prediction must be
+//! bit-identical at every thread count. The report lands in
+//! `results/BENCH_parallel.json` together with the host's
+//! `available_parallelism`, so a 1-core CI container reporting ~1.0x
+//! speedups is legible as a hardware limit, not a regression.
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --bin parallel_scaling
+//! cargo run --release -p deepmap-bench --bin parallel_scaling -- --smoke
+//!
+//! --smoke       tiny dataset and epoch counts; exit non-zero unless the
+//!               JSON report is produced, well-formed, and deterministic
+//! --seed <u64>  master seed (default 7)
+//! --out <path>  report path (default results/BENCH_parallel.json)
+//! ```
+
+use deepmap_bench::json::Json;
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::TrainConfig;
+use deepmap_serve::ModelBundle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
+const EMBED_CHUNK: usize = 8;
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        seed: 7,
+        out: PathBuf::from("results/BENCH_parallel.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    fail("--seed must be an integer");
+                })
+            }
+            "--out" => args.out = PathBuf::from(value("--out")),
+            other => fail(&format!(
+                "unknown flag {other}\nusage: parallel_scaling [--smoke] [--seed s] [--out path]"
+            )),
+        }
+    }
+    args
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("parallel_scaling: {msg}");
+    std::process::exit(1);
+}
+
+fn synthetic_dataset(pairs: usize, seed: u64) -> (Vec<Graph>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..pairs {
+        graphs.push(cycle_graph(6 + i % 4, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    (graphs, labels)
+}
+
+fn request_stream(n: usize, seed: u64) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                cycle_graph(5 + i % 4, 0, &mut rng)
+            } else {
+                complete_graph(4 + i % 4, 0, &mut rng)
+            }
+        })
+        .collect()
+}
+
+struct SweepPoint {
+    threads: usize,
+    prepare_s: f64,
+    train_s: f64,
+    embed_s: f64,
+    weights: Vec<Vec<f32>>,
+    predictions: Vec<usize>,
+}
+
+/// Runs prepare + train + embed with the pool set to `threads` workers and
+/// returns timings plus the determinism witnesses (final weights, served
+/// classes).
+fn run_at(
+    threads: usize,
+    graphs: &[Graph],
+    labels: &[usize],
+    stream: &[Graph],
+    config: &DeepMapConfig,
+) -> SweepPoint {
+    deepmap_par::set_threads(threads);
+    let dm = DeepMap::new(*config);
+
+    let start = Instant::now();
+    let (prepared, pre) = dm
+        .try_prepare_frozen(graphs, labels)
+        .unwrap_or_else(|e| fail(&format!("prepare failed: {e}")));
+    let prepare_s = start.elapsed().as_secs_f64();
+
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let start = Instant::now();
+    let result = dm.fit_split(&prepared, &all, &all);
+    let train_s = start.elapsed().as_secs_f64();
+    let weights: Vec<Vec<f32>> = result
+        .model
+        .param_values()
+        .iter()
+        .map(|v| v.to_vec())
+        .collect();
+
+    let bundle = ModelBundle::freeze(
+        &dm,
+        &prepared,
+        pre,
+        &result.model,
+        vec!["cycle".to_string(), "clique".to_string()],
+    )
+    .unwrap_or_else(|e| fail(&format!("freeze failed: {e}")));
+    let chunks: Vec<&[Graph]> = stream.chunks(EMBED_CHUNK).collect();
+    let start = Instant::now();
+    // One predictor per chunk: predictors carry mutable layer scratch, so
+    // each parallel task builds its own from the shared frozen bundle.
+    let served = deepmap_par::par_map_indexed(&chunks, |_, chunk| {
+        let mut predictor = bundle
+            .predictor()
+            .unwrap_or_else(|e| fail(&format!("predictor build failed: {e}")));
+        chunk
+            .iter()
+            .map(|g| predictor.predict(g).class)
+            .collect::<Vec<usize>>()
+    });
+    let embed_s = start.elapsed().as_secs_f64();
+    let predictions = served.into_iter().flatten().collect();
+
+    SweepPoint {
+        threads,
+        prepare_s,
+        train_s,
+        embed_s,
+        weights,
+        predictions,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let pairs = if args.smoke { 8 } else { 20 };
+    let stream_len = if args.smoke { 24 } else { 120 };
+    let (graphs, labels) = synthetic_dataset(pairs, args.seed);
+    let stream = request_stream(stream_len, args.seed);
+    let config = DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: if args.smoke { 4 } else { 12 },
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: args.seed,
+        },
+        seed: args.seed,
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    deepmap_obs::info!(
+        "parallel_scaling: {} graphs, {} requests, {} hardware threads",
+        graphs.len(),
+        stream.len(),
+        cores
+    );
+
+    let points: Vec<SweepPoint> = THREAD_SWEEP
+        .iter()
+        .map(|&t| run_at(t, &graphs, &labels, &stream, &config))
+        .collect();
+    let base = &points[0];
+    let mut deterministic = true;
+    let mut rows = Vec::new();
+    let mut best_speedup = 0.0f64;
+    for p in &points {
+        let same = p.weights == base.weights && p.predictions == base.predictions;
+        deterministic &= same;
+        let prepare_speedup = base.prepare_s / p.prepare_s.max(1e-9);
+        let train_speedup = base.train_s / p.train_s.max(1e-9);
+        let embed_speedup = base.embed_s / p.embed_s.max(1e-9);
+        best_speedup = best_speedup
+            .max(prepare_speedup)
+            .max(train_speedup)
+            .max(embed_speedup);
+        deepmap_obs::info!(
+            "threads {:>2}: prepare {:.3}s ({prepare_speedup:.2}x) | train {:.3}s ({train_speedup:.2}x) | embed {:.3}s ({embed_speedup:.2}x) | bit-identical: {same}",
+            p.threads,
+            p.prepare_s,
+            p.train_s,
+            p.embed_s,
+        );
+        rows.push(Json::Obj(vec![
+            ("threads".into(), Json::Num(p.threads as f64)),
+            ("prepare_s".into(), Json::Num(p.prepare_s)),
+            ("train_s".into(), Json::Num(p.train_s)),
+            ("embed_s".into(), Json::Num(p.embed_s)),
+            ("prepare_speedup".into(), Json::Num(prepare_speedup)),
+            ("train_speedup".into(), Json::Num(train_speedup)),
+            ("embed_speedup".into(), Json::Num(embed_speedup)),
+            ("bit_identical_to_t1".into(), Json::Bool(same)),
+        ]));
+    }
+    if !deterministic {
+        fail("results are not bit-identical across thread counts");
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("parallel_scaling".into())),
+        ("smoke".into(), Json::Bool(args.smoke)),
+        ("seed".into(), Json::Num(args.seed as f64)),
+        ("graphs".into(), Json::Num(graphs.len() as f64)),
+        ("requests".into(), Json::Num(stream.len() as f64)),
+        ("available_parallelism".into(), Json::Num(cores as f64)),
+        ("deterministic".into(), Json::Bool(deterministic)),
+        ("best_speedup".into(), Json::Num(best_speedup)),
+        ("sweep".into(), Json::Arr(rows)),
+    ]);
+    std::fs::create_dir_all(args.out.parent().unwrap_or_else(|| ".".as_ref())).ok();
+    std::fs::write(&args.out, report.to_json())
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", args.out.display())));
+
+    // Self-check: the file on disk must parse back as a complete report
+    // (this is what `scripts/ci.sh --smoke` relies on).
+    let text = std::fs::read_to_string(&args.out)
+        .unwrap_or_else(|e| fail(&format!("cannot re-read {}: {e}", args.out.display())));
+    let parsed =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("report is not valid JSON: {e}")));
+    let n_points = parsed
+        .get("sweep")
+        .and_then(|s| s.as_arr())
+        .map_or(0, |s| s.len());
+    if n_points < THREAD_SWEEP.len()
+        || parsed.get("deterministic").is_none()
+        || parsed
+            .get("available_parallelism")
+            .and_then(|v| v.as_f64())
+            .is_none()
+    {
+        fail("report is missing required fields");
+    }
+    println!(
+        "wrote {} ({} thread counts, deterministic, best speedup {:.2}x on {} hardware threads)",
+        args.out.display(),
+        n_points,
+        best_speedup,
+        cores
+    );
+}

@@ -166,36 +166,30 @@ fn assemble_dataset_unchecked(
     // The three dataset-level stages run under their own spans so a trace
     // (or the stage summary) attributes time to alignment vs BFS receptive
     // fields vs the tensor write, matching the paper's Table 5 breakdown.
+    // Each stage is a pure per-graph function, so it fans out over the
+    // shared pool; results come back in graph order, keeping the assembled
+    // tensors bit-identical at any thread count.
     let sequences: Vec<_> = {
         let _span = deepmap_obs::span("pipeline.alignment").with_u64("graphs", n);
-        graphs
-            .iter()
-            .map(|g| vertex_sequence(g, config.ordering))
-            .collect()
+        deepmap_par::par_map_indexed(graphs, |_, g| vertex_sequence(g, config.ordering))
     };
     let fields: Vec<_> = {
         let _span = deepmap_obs::span("pipeline.receptive_field")
             .with_u64("graphs", n)
             .with_u64("r", config.r as u64);
-        graphs
-            .iter()
-            .zip(&sequences)
-            .map(|(g, seq)| {
-                sequence_receptive_fields(g, &seq.order, &seq.score, w, config.r, config.max_hops)
-            })
-            .collect()
+        deepmap_par::par_map_indexed(graphs, |i, g| {
+            let seq = &sequences[i];
+            sequence_receptive_fields(g, &seq.order, &seq.score, w, config.r, config.max_hops)
+        })
     };
     let inputs = {
         let _span = deepmap_obs::span("pipeline.assemble")
             .with_u64("graphs", n)
             .with_u64("w", w as u64)
             .with_u64("m", m as u64);
-        features
-            .maps
-            .iter()
-            .zip(&fields)
-            .map(|(f, fields)| write_tensor(f, fields, w, m, config))
-            .collect()
+        deepmap_par::par_map_indexed(&features.maps, |i, f| {
+            write_tensor(f, &fields[i], w, m, config)
+        })
     };
     deepmap_obs::counter("pipeline.graphs_embedded").add(n);
     AssembledDataset {

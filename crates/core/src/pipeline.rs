@@ -399,7 +399,7 @@ impl DeepMap {
                 &guard,
             ) {
                 Ok(history) => {
-                    let test_accuracy = evaluate(&mut model, &test_samples)
+                    let test_accuracy = evaluate(&model, &test_samples)
                         .expect("test split validated non-empty");
                     let best_test_accuracy = history
                         .iter()

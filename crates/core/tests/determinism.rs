@@ -1,0 +1,121 @@
+//! Thread-count determinism: the tentpole guarantee of the shared
+//! `deepmap-par` pool is that every pipeline stage — feature extraction,
+//! tensor assembly, and data-parallel training — produces bit-identical
+//! results no matter how many workers it fans out over.
+
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::TrainConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn toy_dataset(pairs: usize, seed: u64) -> (Vec<Graph>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..pairs {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    (graphs, labels)
+}
+
+fn config(kind: FeatureKind) -> DeepMapConfig {
+    DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            learning_rate: 0.01,
+            seed: 13,
+        },
+        seed: 13,
+        ..DeepMapConfig::paper(kind)
+    }
+}
+
+fn all_kinds() -> Vec<FeatureKind> {
+    vec![
+        FeatureKind::Graphlet {
+            size: 3,
+            samples: 10,
+        },
+        FeatureKind::ShortestPath,
+        FeatureKind::WlSubtree { iterations: 2 },
+    ]
+}
+
+#[test]
+fn prepared_tensors_bit_identical_across_thread_counts() {
+    let (graphs, labels) = toy_dataset(5, 3);
+    for kind in all_kinds() {
+        let dm = DeepMap::new(config(kind));
+        deepmap_par::set_threads(4);
+        let a = dm.try_prepare(&graphs, &labels).expect("prepare");
+        deepmap_par::set_threads(1);
+        let b = dm.try_prepare(&graphs, &labels).expect("prepare");
+        assert_eq!(a.w, b.w, "{kind:?}");
+        assert_eq!(a.m, b.m, "{kind:?}");
+        for (i, (sa, sb)) in a.samples.iter().zip(&b.samples).enumerate() {
+            assert_eq!(sa.label, sb.label);
+            assert_eq!(sa.input, sb.input, "{kind:?}: tensor {i}");
+        }
+    }
+}
+
+#[test]
+fn frozen_prepare_bit_identical_across_thread_counts() {
+    let (graphs, labels) = toy_dataset(5, 4);
+    for kind in all_kinds() {
+        let dm = DeepMap::new(config(kind));
+        deepmap_par::set_threads(4);
+        let (a, pre_a) = dm.try_prepare_frozen(&graphs, &labels).expect("prepare");
+        deepmap_par::set_threads(1);
+        let (b, pre_b) = dm.try_prepare_frozen(&graphs, &labels).expect("prepare");
+        assert_eq!(a.m, b.m, "{kind:?}");
+        for (i, (sa, sb)) in a.samples.iter().zip(&b.samples).enumerate() {
+            assert_eq!(sa.input, sb.input, "{kind:?}: tensor {i}");
+        }
+        // The frozen vocabularies must agree too: serve-time embeddings of
+        // a fresh graph are the same whichever pool size fitted them.
+        let mut rng = StdRng::seed_from_u64(99);
+        let fresh = cycle_graph(7, 0, &mut rng);
+        assert_eq!(pre_a.embed_one(&fresh), pre_b.embed_one(&fresh), "{kind:?}");
+    }
+}
+
+#[test]
+fn fit_split_weights_bit_identical_across_thread_counts() {
+    let (graphs, labels) = toy_dataset(6, 5);
+    let dm = DeepMap::new(config(FeatureKind::WlSubtree { iterations: 2 }));
+    let train_idx: Vec<usize> = (0..8).collect();
+    let test_idx: Vec<usize> = (8..graphs.len()).collect();
+
+    let run = |threads: usize| {
+        deepmap_par::set_threads(threads);
+        let prepared = dm.try_prepare(&graphs, &labels).expect("prepare");
+        let result = dm.fit_split(&prepared, &train_idx, &test_idx);
+        let weights: Vec<Vec<f32>> = result
+            .model
+            .param_values()
+            .iter()
+            .map(|v| v.to_vec())
+            .collect();
+        (result.history, result.test_accuracy, weights)
+    };
+    let (h1, acc1, w1) = run(1);
+    let (h4, acc4, w4) = run(4);
+
+    assert_eq!(h1.len(), h4.len());
+    for (a, b) in h1.iter().zip(&h4) {
+        assert_eq!(a.loss, b.loss, "epoch {} loss", a.epoch);
+        assert_eq!(a.train_accuracy, b.train_accuracy, "epoch {}", a.epoch);
+        assert_eq!(a.eval_accuracy, b.eval_accuracy, "epoch {}", a.epoch);
+    }
+    assert_eq!(acc1, acc4);
+    assert_eq!(w1, w4, "final weights must be bit-identical");
+}

@@ -217,7 +217,8 @@ pub struct FoldCurve {
 
 /// Harness options for [`cross_validate_epochs_with`].
 pub struct CvOptions<'a> {
-    /// Fold workers run on this many scoped threads when `> 1`.
+    /// When `> 1`, folds fan out over the shared `deepmap-par` pool (whose
+    /// size — `DEEPMAP_THREADS` — governs the actual parallelism).
     pub threads: usize,
     /// Already-completed fold curves, indexed by fold. `Some` entries are
     /// used as-is (the worker is never invoked and
@@ -247,8 +248,10 @@ impl Default for CvOptions<'static> {
 /// best accuracy averaged over folds, then report mean ± std across folds
 /// *at that epoch*.
 ///
-/// Folds run on `threads` scoped threads when `threads > 1` (each fold is
-/// an independent training run). A fold whose worker panics is isolated
+/// When `threads > 1`, folds fan out over the shared `deepmap-par` pool
+/// (each fold is an independent training run); the pool size —
+/// `DEEPMAP_THREADS` — governs the actual degree of parallelism. A fold
+/// whose worker panics is isolated
 /// and recorded in [`CvSummary::failures`]; the remaining folds still
 /// produce a (degraded) summary.
 pub fn cross_validate_epochs<F>(
@@ -332,31 +335,12 @@ where
             results[*fi] = Some(run_one(*fi, train, test));
         }
     } else {
-        let chunks: Vec<&[FoldJob]> = jobs.chunks(jobs.len().div_ceil(options.threads)).collect();
-        let outcomes: Vec<(usize, Result<FoldCurve, String>)> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| {
-                    let run_one = &run_one;
-                    scope.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .map(|(fi, train, test)| (*fi, run_one(*fi, train, test)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                // Panics are caught inside `run_one`; a worker thread can
-                // only die on a non-unwinding abort, which we cannot
-                // survive anyway.
-                .flat_map(|h| h.join().expect("fold worker aborted"))
-                .collect()
-        })
-        .expect("scope panicked");
-        for (fi, outcome) in outcomes {
-            results[fi] = Some(outcome);
+        // Fold panics are caught inside `run_one`, so the pool only sees
+        // cleanly returning tasks; outcomes come back in job order.
+        let outcomes =
+            deepmap_par::par_map_indexed(&jobs, |_, (fi, train, test)| run_one(*fi, train, test));
+        for ((fi, _, _), outcome) in jobs.iter().zip(outcomes) {
+            results[*fi] = Some(outcome);
         }
     }
 

@@ -75,15 +75,21 @@ impl FrozenExtractor {
         kind: FeatureKind,
         seed: u64,
     ) -> (DatasetFeatureMaps, FrozenExtractor) {
+        // GK and SP extraction is a pure per-graph function (GK re-seeds
+        // its RNG per graph), so it fans out over the shared `deepmap-par`
+        // pool; vocabulary interning stays sequential in graph order so
+        // column assignment is independent of the thread count.
         match kind {
             FeatureKind::Graphlet { size, samples } => {
-                let mut vocab = Vocabulary::new();
-                let mut maps = Vec::with_capacity(graphs.len());
-                for graph in graphs {
+                let keyed = deepmap_par::par_map_indexed(graphs, |_, graph| {
                     let mut rng = StdRng::seed_from_u64(seed);
-                    let keyed = gk::keyed_vertex_features(graph, size, samples, &mut rng);
-                    maps.push(crate::feature_map::intern_keyed(keyed, &mut vocab));
-                }
+                    gk::keyed_vertex_features(graph, size, samples, &mut rng)
+                });
+                let mut vocab = Vocabulary::new();
+                let maps = keyed
+                    .into_iter()
+                    .map(|k| crate::feature_map::intern_keyed(k, &mut vocab))
+                    .collect();
                 Self::package(
                     maps,
                     vocab,
@@ -95,14 +101,14 @@ impl FrozenExtractor {
                 )
             }
             FeatureKind::ShortestPath => {
+                let keyed = deepmap_par::par_map_indexed(graphs, |_, graph| {
+                    sp::keyed_vertex_features(graph)
+                });
                 let mut vocab = Vocabulary::new();
-                let mut maps = Vec::with_capacity(graphs.len());
-                for graph in graphs {
-                    maps.push(crate::feature_map::intern_keyed(
-                        sp::keyed_vertex_features(graph),
-                        &mut vocab,
-                    ));
-                }
+                let maps = keyed
+                    .into_iter()
+                    .map(|k| crate::feature_map::intern_keyed(k, &mut vocab))
+                    .collect();
                 Self::package(maps, vocab, FrozenState::ShortestPath)
             }
             FeatureKind::WlSubtree { iterations } => {

@@ -14,6 +14,7 @@ use crate::feature_map::{intern_keyed, DatasetFeatureMaps, SparseVec, Vocabulary
 use crate::graphlet::{canonical_code, sample_connected_graphlet, sample_graphlet_anywhere};
 use deepmap_graph::Graph;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Per-vertex graphlet features of one graph, keyed by canonical isomorphism
 /// code (before vocabulary interning). Consumes `rng` in the same order as
@@ -63,6 +64,34 @@ pub fn vertex_feature_maps(
     }
 }
 
+/// Vertex feature maps with one RNG stream per graph, each re-seeded with
+/// `seed` — exactly the convention of the frozen serving path
+/// (`FrozenExtractor::fit`), so the corpus and serving vocabularies now
+/// agree for GK too. Independent streams make per-graph sampling a pure
+/// function of `(graph, seed)`, so it fans out over the shared
+/// `deepmap-par` pool; vocabulary interning stays sequential in graph
+/// order. Results are deterministic and independent of the thread count.
+pub fn vertex_feature_maps_per_graph(
+    graphs: &[Graph],
+    size: usize,
+    samples: usize,
+    seed: u64,
+) -> DatasetFeatureMaps {
+    let keyed = deepmap_par::par_map_indexed(graphs, |_, g| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        keyed_vertex_features(g, size, samples, &mut rng)
+    });
+    let mut vocab = Vocabulary::new();
+    let maps = keyed
+        .into_iter()
+        .map(|k| intern_keyed(k, &mut vocab))
+        .collect();
+    DatasetFeatureMaps {
+        maps,
+        dim: vocab.len(),
+    }
+}
+
 /// Graph-level feature maps by direct sampling (the original GK of
 /// Shervashidze et al. 2009): `samples` graphlets per graph from uniformly
 /// random roots.
@@ -105,6 +134,18 @@ mod tests {
         for v in &maps.maps[0] {
             assert_eq!(v.total(), 10.0, "every sample lands in some class");
         }
+    }
+
+    #[test]
+    fn per_graph_streams_deterministic_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let graphs = vec![cycle_graph(8, 0, &mut rng), complete_graph(8, 0, &mut rng)];
+        deepmap_par::set_threads(4);
+        let a = vertex_feature_maps_per_graph(&graphs, 3, 10, 5);
+        deepmap_par::set_threads(1);
+        let b = vertex_feature_maps_per_graph(&graphs, 3, 10, 5);
+        assert_eq!(a.dim, b.dim);
+        assert_eq!(a.maps, b.maps, "vocabulary order must not depend on threads");
     }
 
     #[test]

@@ -67,8 +67,11 @@ impl KernelMatrix {
     }
 
     /// Builds a kernel matrix from a symmetric pairwise function, computing
-    /// only the upper triangle. Rows are distributed over `threads` scoped
-    /// threads when `threads > 1` (used by the expensive GNTK/RetGK pairs).
+    /// only the upper triangle. When `threads > 1`, rows fan out over the
+    /// shared `deepmap-par` pool (used by the expensive GNTK/RetGK pairs);
+    /// the pool's own size — `DEEPMAP_THREADS` — governs the actual degree
+    /// of parallelism. Entries are stitched back in row order, so the
+    /// result is identical to the serial loop at any thread count.
     pub fn from_pairwise<F>(n: usize, threads: usize, f: F) -> KernelMatrix
     where
         F: Fn(usize, usize) -> f64 + Sync,
@@ -82,36 +85,10 @@ impl KernelMatrix {
             }
             return k;
         }
-        // Compute rows in parallel into per-thread buffers, then stitch.
-        let rows: Vec<usize> = (0..n).collect();
-        let chunks: Vec<&[usize]> = rows.chunks(n.div_ceil(threads)).collect();
-        let results: Vec<Vec<(usize, Vec<f64>)>> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| {
-                    let f = &f;
-                    scope.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .map(|&i| {
-                                let row: Vec<f64> = (i..n).map(|j| f(i, j)).collect();
-                                (i, row)
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("scope panicked");
-        for batch in results {
-            for (i, row) in batch {
-                for (offset, v) in row.into_iter().enumerate() {
-                    k.set_sym(i, i + offset, v);
-                }
+        let rows = deepmap_par::par_map_index(n, |i| (i..n).map(|j| f(i, j)).collect::<Vec<f64>>());
+        for (i, row) in rows.into_iter().enumerate() {
+            for (offset, v) in row.into_iter().enumerate() {
+                k.set_sym(i, i + offset, v);
             }
         }
         k

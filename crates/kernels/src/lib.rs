@@ -49,8 +49,6 @@ pub use frozen::FrozenExtractor;
 pub use kernel_matrix::KernelMatrix;
 
 use deepmap_graph::Graph;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Which substructure family a feature map is built from.
 ///
@@ -102,11 +100,16 @@ impl FeatureKind {
 
 /// Vertex feature maps (Definition 3) for a whole dataset, with a shared
 /// vocabulary so vectors are comparable across graphs.
+///
+/// Per-graph extraction fans out over the shared `deepmap-par` pool. For
+/// graphlets this uses one RNG stream per graph (each re-seeded with
+/// `seed`), the same convention as the frozen serving path — so GK corpus
+/// and serving vocabularies agree, and results are deterministic at any
+/// thread count.
 pub fn vertex_feature_maps(graphs: &[Graph], kind: FeatureKind, seed: u64) -> DatasetFeatureMaps {
     match kind {
         FeatureKind::Graphlet { size, samples } => {
-            let mut rng = StdRng::seed_from_u64(seed);
-            gk::vertex_feature_maps(graphs, size, samples, &mut rng)
+            gk::vertex_feature_maps_per_graph(graphs, size, samples, seed)
         }
         FeatureKind::ShortestPath => sp::vertex_feature_maps(graphs),
         FeatureKind::WlSubtree { iterations } => wl::vertex_feature_maps(graphs, iterations),

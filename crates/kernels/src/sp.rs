@@ -49,12 +49,18 @@ pub(crate) fn keyed_vertex_features(graph: &Graph) -> Vec<Vec<(u64, f32)>> {
 
 /// Vertex feature maps: for each vertex, the multiset of shortest-path
 /// triplets with that vertex as an endpoint.
+///
+/// The per-graph APSP (the expensive part) fans out over the shared
+/// `deepmap-par` pool; vocabulary interning stays sequential in graph
+/// order, so column assignment — and hence the result — is independent of
+/// the thread count.
 pub fn vertex_feature_maps(graphs: &[Graph]) -> DatasetFeatureMaps {
+    let keyed = deepmap_par::par_map_indexed(graphs, |_, g| keyed_vertex_features(g));
     let mut vocab = Vocabulary::new();
-    let mut maps = Vec::with_capacity(graphs.len());
-    for graph in graphs {
-        maps.push(intern_keyed(keyed_vertex_features(graph), &mut vocab));
-    }
+    let maps = keyed
+        .into_iter()
+        .map(|k| intern_keyed(k, &mut vocab))
+        .collect();
     DatasetFeatureMaps {
         maps,
         dim: vocab.len(),

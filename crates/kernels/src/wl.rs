@@ -84,24 +84,38 @@ pub fn refine_frozen(graphs: &[Graph], h: usize) -> (WlRefinement, WlCompressors
     let mut rounds = Vec::with_capacity(h);
     for _ in 0..h {
         let prev = labels.last().expect("iteration 0 exists");
-        let mut compressor: FxHashMap<(u32, Vec<u32>), u32> = FxHashMap::default();
-        let mut next_labels = Vec::with_capacity(graphs.len());
-        for (gi, graph) in graphs.iter().enumerate() {
+        // Building the (own label, sorted neighbour labels) keys — the
+        // sort-heavy part of a round — is a pure per-graph function of the
+        // previous labels, so it fans out over the shared pool. Compressed
+        // labels are then assigned sequentially in (graph, vertex) order,
+        // which keeps the dictionaries identical at any thread count.
+        let keyed: Vec<Vec<(u32, Vec<u32>)>> = deepmap_par::par_map_indexed(graphs, |gi, graph| {
             let current = &prev[gi];
-            let mut new = Vec::with_capacity(graph.n_vertices());
-            for v in graph.vertices() {
-                let mut neigh: Vec<u32> = graph
-                    .neighbors(v)
-                    .iter()
-                    .map(|&u| current[u as usize])
-                    .collect();
-                neigh.sort_unstable();
-                let key = (current[v as usize], neigh);
-                let next = compressor.len() as u32;
-                new.push(*compressor.entry(key).or_insert(next));
-            }
-            next_labels.push(new);
-        }
+            graph
+                .vertices()
+                .map(|v| {
+                    let mut neigh: Vec<u32> = graph
+                        .neighbors(v)
+                        .iter()
+                        .map(|&u| current[u as usize])
+                        .collect();
+                    neigh.sort_unstable();
+                    (current[v as usize], neigh)
+                })
+                .collect()
+        });
+        let mut compressor: FxHashMap<(u32, Vec<u32>), u32> = FxHashMap::default();
+        let next_labels: Vec<Vec<u32>> = keyed
+            .into_iter()
+            .map(|keys| {
+                keys.into_iter()
+                    .map(|key| {
+                        let next = compressor.len() as u32;
+                        *compressor.entry(key).or_insert(next)
+                    })
+                    .collect()
+            })
+            .collect();
         alphabet_sizes.push(compressor.len());
         labels.push(next_labels);
         rounds.push(compressor);

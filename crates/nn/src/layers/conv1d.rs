@@ -26,7 +26,12 @@ pub struct Conv1D {
     b: Matrix,
     dw: Matrix,
     db: Matrix,
-    cached_cols: Option<Matrix>,
+    /// Persistent im2col scratch, reused across Train-mode forwards so the
+    /// per-sample hot loop stops allocating a fresh `(l_out × kernel·c_in)`
+    /// matrix on every call. Valid for [`Conv1D::backward`] only when
+    /// `cols_valid` is set.
+    cols: Matrix,
+    cols_valid: bool,
     cached_input_len: usize,
 }
 
@@ -56,7 +61,8 @@ impl Conv1D {
             b: Matrix::zeros(1, filters),
             dw: Matrix::zeros(fan_in, filters),
             db: Matrix::zeros(1, filters),
-            cached_cols: None,
+            cols: Matrix::zeros(0, 0),
+            cols_valid: false,
             cached_input_len: 0,
         }
     }
@@ -80,22 +86,27 @@ impl Conv1D {
         self.filters
     }
 
+    /// Writes the im2col expansion of `input` into `cols`, whose shape must
+    /// already be `(l_out × kernel·c_in)`. Every element is overwritten, so
+    /// a reused buffer needs no clearing.
+    fn im2col_into(kernel: usize, stride: usize, c_in: usize, input: &Matrix, cols: &mut Matrix) {
+        for t in 0..cols.rows() {
+            let dst = cols.row_mut(t);
+            for k in 0..kernel {
+                let src = input.row(t * stride + k);
+                dst[k * c_in..(k + 1) * c_in].copy_from_slice(src);
+            }
+        }
+    }
+
     fn im2col(&self, input: &Matrix) -> Matrix {
         let l_out = self.output_len(input.rows());
         let mut cols = Matrix::zeros(l_out, self.kernel * self.c_in);
-        for t in 0..l_out {
-            let dst = cols.row_mut(t);
-            for k in 0..self.kernel {
-                let src = input.row(t * self.stride + k);
-                dst[k * self.c_in..(k + 1) * self.c_in].copy_from_slice(src);
-            }
-        }
+        Self::im2col_into(self.kernel, self.stride, self.c_in, input, &mut cols);
         cols
     }
-}
 
-impl Layer for Conv1D {
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+    fn check_input(&self, input: &Matrix) {
         assert_eq!(
             input.cols(),
             self.c_in,
@@ -109,26 +120,53 @@ impl Layer for Conv1D {
             input.rows(),
             self.kernel
         );
-        let cols = self.im2col(input);
-        let mut out = cols.matmul(&self.w);
+    }
+
+    fn add_bias(&self, out: &mut Matrix) {
         for r in 0..out.rows() {
             let row = out.row_mut(r);
             for (o, &b) in row.iter_mut().zip(self.b.as_slice()) {
                 *o += b;
             }
         }
-        if mode == Mode::Train {
-            self.cached_input_len = input.rows();
-            self.cached_cols = Some(cols);
+    }
+}
+
+impl Layer for Conv1D {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        self.check_input(input);
+        if mode != Mode::Train {
+            // Eval leaves the Train scratch untouched so a pending backward
+            // still sees the columns of the last Train-mode forward.
+            return self.infer(input);
         }
+        let l_out = self.output_len(input.rows());
+        let width = self.kernel * self.c_in;
+        if self.cols.shape() != (l_out, width) {
+            self.cols = Matrix::zeros(l_out, width);
+        }
+        Self::im2col_into(self.kernel, self.stride, self.c_in, input, &mut self.cols);
+        let mut out = self.cols.matmul(&self.w);
+        self.add_bias(&mut out);
+        self.cached_input_len = input.rows();
+        self.cols_valid = true;
+        out
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        self.check_input(input);
+        let cols = self.im2col(input);
+        let mut out = cols.matmul(&self.w);
+        self.add_bias(&mut out);
         out
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let cols = self
-            .cached_cols
-            .as_ref()
-            .expect("Conv1D::backward requires a Train-mode forward first");
+        assert!(
+            self.cols_valid,
+            "Conv1D::backward requires a Train-mode forward first"
+        );
+        let cols = &self.cols;
         assert_eq!(grad_output.rows(), cols.rows());
         // dW += colsᵀ · dY ; db += column-sum(dY).
         self.dw.add_assign(&cols.t_matmul(grad_output));
@@ -169,6 +207,22 @@ impl Layer for Conv1D {
     fn zero_grad(&mut self) {
         self.dw.fill_zero();
         self.db.fill_zero();
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Conv1D {
+            kernel: self.kernel,
+            stride: self.stride,
+            c_in: self.c_in,
+            filters: self.filters,
+            w: self.w.clone(),
+            b: self.b.clone(),
+            dw: Matrix::zeros(self.dw.rows(), self.dw.cols()),
+            db: Matrix::zeros(self.db.rows(), self.db.cols()),
+            cols: Matrix::zeros(0, 0),
+            cols_valid: false,
+            cached_input_len: 0,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -243,6 +297,45 @@ mod tests {
         let g = Matrix::from_vec(2, 1, vec![1., 1.]);
         let dx = c.backward(&g);
         assert_eq!(dx.as_slice(), &[1., 2., 1.]);
+    }
+
+    #[test]
+    fn infer_matches_eval_forward() {
+        let mut c = Conv1D::new(2, 3, 2, 2, &mut StdRng::seed_from_u64(5));
+        let x = Matrix::from_vec(6, 2, (0..12).map(|v| v as f32).collect());
+        let eval = c.forward(&x, Mode::Eval);
+        assert_eq!(c.infer(&x), eval);
+    }
+
+    #[test]
+    fn eval_forward_does_not_clobber_train_columns() {
+        let mut c = Conv1D::new(1, 1, 2, 2, &mut StdRng::seed_from_u64(1));
+        {
+            let mut ps = c.params();
+            ps[0].value.copy_from_slice(&[1.0, 1.0]);
+            ps[1].value.copy_from_slice(&[0.0]);
+        }
+        let x = Matrix::from_vec(4, 1, vec![1., 2., 3., 4.]);
+        c.forward(&x, Mode::Train);
+        // An interleaved Eval pass on different data must not disturb the
+        // cached Train columns.
+        let other = Matrix::from_vec(4, 1, vec![10., 20., 30., 40.]);
+        c.forward(&other, Mode::Eval);
+        c.backward(&Matrix::from_vec(2, 1, vec![1., 1.]));
+        let ps = c.params();
+        assert_eq!(ps[0].grad, &[4.0, 6.0], "dW must come from the Train input");
+    }
+
+    #[test]
+    fn scratch_buffer_reused_across_same_shape_forwards() {
+        let mut c = Conv1D::new(1, 2, 2, 2, &mut StdRng::seed_from_u64(2));
+        let a = Matrix::from_vec(4, 1, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(4, 1, vec![5., 6., 7., 8.]);
+        let ya = c.forward(&a, Mode::Train);
+        let yb = c.forward(&b, Mode::Train);
+        // Second pass fully overwrites the scratch: results are independent.
+        assert_ne!(ya, yb);
+        assert_eq!(c.forward(&a, Mode::Train), ya);
     }
 
     #[test]

@@ -40,10 +40,8 @@ impl Dense {
     pub fn out_dim(&self) -> usize {
         self.w.cols()
     }
-}
 
-impl Layer for Dense {
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+    fn affine(&self, input: &Matrix) -> Matrix {
         assert_eq!(
             input.cols(),
             self.w.rows(),
@@ -58,10 +56,21 @@ impl Layer for Dense {
                 *o += b;
             }
         }
+        out
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix {
+        let out = self.affine(input);
         if mode == Mode::Train {
             self.cached_input = Some(input.clone());
         }
         out
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        self.affine(input)
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -95,6 +104,16 @@ impl Layer for Dense {
     fn zero_grad(&mut self) {
         self.dw.fill_zero();
         self.db.fill_zero();
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Dense {
+            w: self.w.clone(),
+            b: self.b.clone(),
+            dw: Matrix::zeros(self.dw.rows(), self.dw.cols()),
+            db: Matrix::zeros(self.db.rows(), self.db.cols()),
+            cached_input: None,
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -9,10 +9,27 @@ use rand::{Rng, SeedableRng};
 /// probability `rate` and survivors are scaled by `1 / (1 - rate)`, so
 /// inference is the identity. The paper uses `rate = 0.5` before the softmax
 /// layer (§4.1, Fig. 4).
+///
+/// The mask for each Train forward is drawn from a counter-based stream:
+/// pass `k` uses a fresh `StdRng` seeded with `mix(seed, nonce_k)`, where the
+/// nonce auto-increments after every Train forward and can be pinned
+/// externally via [`Layer::set_noise_nonce`]. Pinning makes the mask a pure
+/// function of `(seed, nonce)` — the property data-parallel training relies
+/// on to stay bit-identical at any thread count.
 pub struct Dropout {
     rate: f64,
-    rng: StdRng,
+    seed: u64,
+    nonce: u64,
     mask: Option<Vec<f32>>,
+}
+
+/// SplitMix64 finalizer: decorrelates `(seed, nonce)` into an independent
+/// stream seed so consecutive nonces don't produce correlated masks.
+fn mix(seed: u64, nonce: u64) -> u64 {
+    let mut z = seed ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Dropout {
@@ -25,7 +42,8 @@ impl Dropout {
         assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
         Dropout {
             rate,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            nonce: 0,
             mask: None,
         }
     }
@@ -41,15 +59,18 @@ impl Layer for Dropout {
         if mode == Mode::Eval || self.rate == 0.0 {
             if mode == Mode::Train {
                 self.mask = Some(vec![1.0; input.as_slice().len()]);
+                self.nonce = self.nonce.wrapping_add(1);
             }
             return input.clone();
         }
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, self.nonce));
+        self.nonce = self.nonce.wrapping_add(1);
         let keep_scale = (1.0 / (1.0 - self.rate)) as f32;
         let mask: Vec<f32> = input
             .as_slice()
             .iter()
             .map(|_| {
-                if self.rng.gen_bool(self.rate) {
+                if rng.gen_bool(self.rate) {
                     0.0
                 } else {
                     keep_scale
@@ -64,6 +85,10 @@ impl Layer for Dropout {
         out
     }
 
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.clone()
+    }
+
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         let mask = self
             .mask
@@ -75,6 +100,19 @@ impl Layer for Dropout {
             *g *= m;
         }
         out
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Dropout {
+            rate: self.rate,
+            seed: self.seed,
+            nonce: self.nonce,
+            mask: None,
+        })
+    }
+
+    fn set_noise_nonce(&mut self, nonce: u64) {
+        self.nonce = nonce;
     }
 
     fn name(&self) -> &'static str {
@@ -91,6 +129,7 @@ mod tests {
         let mut l = Dropout::new(0.5, 42);
         let x = Matrix::from_vec(1, 5, vec![1., 2., 3., 4., 5.]);
         assert_eq!(l.forward(&x, Mode::Eval), x);
+        assert_eq!(l.infer(&x), x);
     }
 
     #[test]
@@ -127,6 +166,27 @@ mod tests {
         assert_eq!(l.forward(&x, Mode::Train), x);
         let dx = l.backward(&x);
         assert_eq!(dx, x);
+    }
+
+    #[test]
+    fn masks_differ_across_forwards_but_match_at_equal_nonce() {
+        let x = Matrix::from_vec(1, 64, vec![1.0; 64]);
+        let mut a = Dropout::new(0.5, 9);
+        let y0 = a.forward(&x, Mode::Train);
+        let y1 = a.forward(&x, Mode::Train);
+        assert_ne!(y0, y1, "consecutive nonces must draw fresh masks");
+        // A second layer pinned to the same (seed, nonce) reproduces pass 1.
+        let mut b = Dropout::new(0.5, 9);
+        b.set_noise_nonce(1);
+        assert_eq!(b.forward(&x, Mode::Train), y1);
+    }
+
+    #[test]
+    fn clone_computes_same_masks() {
+        let x = Matrix::from_vec(1, 32, vec![1.0; 32]);
+        let mut a = Dropout::new(0.5, 3);
+        let mut b = a.clone_layer();
+        assert_eq!(a.forward(&x, Mode::Train), b.forward(&x, Mode::Train));
     }
 
     #[test]

@@ -28,6 +28,10 @@ impl Layer for Flatten {
         Matrix::from_vec(1, input.rows() * input.cols(), input.as_slice().to_vec())
     }
 
+    fn infer(&self, input: &Matrix) -> Matrix {
+        Matrix::from_vec(1, input.rows() * input.cols(), input.as_slice().to_vec())
+    }
+
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         let (rows, cols) = self.shape;
         assert_eq!(
@@ -36,6 +40,10 @@ impl Layer for Flatten {
             "Flatten::backward requires a Train-mode forward first"
         );
         Matrix::from_vec(rows, cols, grad_output.as_slice().to_vec())
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Flatten::new())
     }
 
     fn name(&self) -> &'static str {

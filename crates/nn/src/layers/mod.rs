@@ -43,10 +43,19 @@ pub struct Param<'a> {
 }
 
 /// A differentiable layer.
-pub trait Layer {
+///
+/// Layers are `Send + Sync` so that immutable model replicas can be shared
+/// across the worker threads of `deepmap-par` fan-outs; all mutation flows
+/// through `&mut self` methods, so the bounds cost nothing.
+pub trait Layer: Send + Sync {
     /// Computes the layer output. In [`Mode::Train`] the layer caches
     /// whatever it needs for [`Layer::backward`].
     fn forward(&mut self, input: &Matrix, mode: Mode) -> Matrix;
+
+    /// Pure inference forward: identical output to
+    /// `forward(input, Mode::Eval)` but without touching any cached state,
+    /// so a shared `&self` model can serve many threads concurrently.
+    fn infer(&self, input: &Matrix) -> Matrix;
 
     /// Given `dL/d(output)`, accumulates parameter gradients and returns
     /// `dL/d(input)`. Must be called after a [`Mode::Train`] forward pass on
@@ -67,6 +76,20 @@ pub trait Layer {
 
     /// Clears accumulated gradients.
     fn zero_grad(&mut self) {}
+
+    /// Deep-copies the layer's parameters and configuration into a fresh
+    /// boxed layer. Transient training caches (stored activations, gradient
+    /// accumulators) start empty/zeroed in the clone; the clone computes the
+    /// same function as the original.
+    fn clone_layer(&self) -> Box<dyn Layer>;
+
+    /// Positions the layer's stochastic noise stream (dropout masks) at
+    /// `nonce`. Deterministic data-parallel training uses this to give every
+    /// sample the same mask regardless of which replica processes it.
+    /// Default: no-op for noise-free layers.
+    fn set_noise_nonce(&mut self, nonce: u64) {
+        let _ = nonce;
+    }
 
     /// Human-readable layer name for debugging and model summaries.
     fn name(&self) -> &'static str;

@@ -36,6 +36,16 @@ impl Layer for ReLU {
         out
     }
 
+    fn infer(&self, input: &Matrix) -> Matrix {
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         let mask = self
             .mask
@@ -49,6 +59,10 @@ impl Layer for ReLU {
             }
         }
         out
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(ReLU::new())
     }
 
     fn name(&self) -> &'static str {

@@ -29,6 +29,10 @@ impl Layer for SumPool {
         input.sum_rows()
     }
 
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.sum_rows()
+    }
+
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         assert!(
             self.cached_len > 0,
@@ -41,6 +45,10 @@ impl Layer for SumPool {
             out.row_mut(r).copy_from_slice(grad_output.row(0));
         }
         out
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(SumPool::new())
     }
 
     fn name(&self) -> &'static str {

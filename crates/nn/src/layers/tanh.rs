@@ -32,6 +32,14 @@ impl Layer for Tanh {
         out
     }
 
+    fn infer(&self, input: &Matrix) -> Matrix {
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            *v = v.tanh();
+        }
+        out
+    }
+
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
         let output = self
             .output
@@ -43,6 +51,10 @@ impl Layer for Tanh {
             *g *= 1.0 - y * y;
         }
         out
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Tanh::new())
     }
 
     fn name(&self) -> &'static str {

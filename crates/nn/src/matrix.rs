@@ -2,11 +2,27 @@
 //!
 //! The NN substrate works on small dense matrices: a sample flowing through
 //! the DeepMap CNN is a `(sequence length × channels)` matrix, and layer
-//! parameters are weight matrices. The matmul uses the cache-friendly `ikj`
-//! loop order, which the compiler auto-vectorises well at these sizes; no
-//! BLAS dependency is allowed in this workspace.
+//! parameters are weight matrices. The matmuls use cache-blocked `ikj`-order
+//! loops whose slice-based inner loop the compiler auto-vectorises; no BLAS
+//! dependency is allowed in this workspace.
+//!
+//! Determinism: blocking only changes *which* output elements are worked on
+//! when, never the order in which contributions to a single output element
+//! are accumulated (always ascending over the contracted dimension). Every
+//! product is therefore bit-identical to the naive triple loop — the
+//! property tests at the bottom of this file pin that down.
 
 use std::fmt;
+
+/// Tile length over the contracted dimension (`k`): one tile of the right
+/// operand's rows stays resident in L1 while an output row accumulates.
+const BLOCK_K: usize = 64;
+/// Tile width over output columns: bounds the working set of the output row
+/// slice the inner loop streams over.
+const BLOCK_J: usize = 128;
+/// Tile height over output rows for the dot-product (`matmul_t`) kernel:
+/// each right-hand row is reused across this many left-hand rows while hot.
+const BLOCK_I: usize = 32;
 
 /// A dense row-major matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,18 +127,29 @@ impl Matrix {
             "matmul inner dimensions: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // ikj order: the inner loop streams both `other` and `out` rows.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let (m, kk, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        // Cache-blocked ikj: for each output row, walk `k` in tiles so the
+        // touched rows of `other` stay hot, and `j` in tiles so the output
+        // slice does. Per output element the `k` order is still ascending,
+        // so results are bit-identical to the unblocked loop.
+        for i in 0..m {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let a_row = &self.data[i * kk..(i + 1) * kk];
+            for k0 in (0..kk).step_by(BLOCK_K) {
+                let k1 = (k0 + BLOCK_K).min(kk);
+                for j0 in (0..n).step_by(BLOCK_J) {
+                    let j1 = (j0 + BLOCK_J).min(n);
+                    for k in k0..k1 {
+                        let a = a_row[k];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &other.data[k * n + j0..k * n + j1];
+                        for (o, &b) in out_row[j0..j1].iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
         }
@@ -136,17 +163,25 @@ impl Matrix {
             "t_matmul outer dimensions: {}x{} ᵀ· {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let (rr, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        // Blocked over the contracted dimension (`r`, the shared row index):
+        // within a tile each output row accumulates all of the tile's
+        // contributions while resident. `r` stays ascending per output
+        // element, so results are bit-identical to the unblocked loop.
+        for r0 in (0..rr).step_by(BLOCK_K) {
+            let r1 = (r0 + BLOCK_K).min(rr);
+            for i in 0..m {
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for r in r0..r1 {
+                    let a = self.data[r * m + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[r * n..(r + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
@@ -160,16 +195,24 @@ impl Matrix {
             "matmul_t inner dimensions: {}x{} · {}x{}ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
+        let (m, n) = (self.rows, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        // Row-blocked dot products: each row of `other` is reused across a
+        // tile of `self` rows while hot. The single-accumulator ascending-k
+        // dot per output element is untouched, so results are bit-identical
+        // to the unblocked loop.
+        for i0 in (0..m).step_by(BLOCK_I) {
+            let i1 = (i0 + BLOCK_I).min(m);
+            for j in 0..n {
                 let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+                for i in i0..i1 {
+                    let a_row = self.row(i);
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    out.data[i * n + j] = acc;
                 }
-                out.data[i * other.rows + j] = acc;
             }
         }
         out
@@ -339,5 +382,63 @@ mod tests {
         assert_eq!(a.row(1), &[3., 4.]);
         a.row_mut(0)[1] = 9.0;
         assert_eq!(a.get(0, 1), 9.0);
+    }
+
+    #[test]
+    fn matmul_larger_than_one_block() {
+        // Shapes straddling the 64/128 tile boundaries exercise ragged tails
+        // in every blocking dimension.
+        let (m, k, n) = (3, 67, 131);
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|v| (v % 13) as f32 - 6.0).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|v| (v % 7) as f32 - 3.0).collect());
+        assert_eq!(a.matmul(&b), naive_matmul(&a, &b));
+        assert_eq!(a.transpose().t_matmul(&b), naive_matmul(&a, &b));
+        assert_eq!(a.matmul_t(&b.transpose()), naive_matmul(&a, &b));
+    }
+
+    /// Naive ascending-`k` triple loop (no blocking, no zero-skip): the
+    /// reference the blocked kernels must match bit for bit on finite data.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows());
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+            proptest::collection::vec(-10.0f32..10.0, rows * cols)
+                .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+        }
+
+        /// Random shapes deliberately straddling the tile sizes (64 / 128 /
+        /// 32) so ragged block tails are exercised, with the operand pair
+        /// shaped consistently for one product.
+        fn product_inputs() -> impl Strategy<Value = (Matrix, Matrix)> {
+            (1usize..12, 1usize..100, 1usize..150)
+                .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n)))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn blocked_products_match_naive_reference((a, b) in product_inputs()) {
+                let naive = naive_matmul(&a, &b);
+                prop_assert_eq!(a.matmul(&b), naive.clone());
+                prop_assert_eq!(a.transpose().t_matmul(&b), naive.clone());
+                prop_assert_eq!(a.matmul_t(&b.transpose()), naive);
+            }
+        }
     }
 }

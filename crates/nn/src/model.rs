@@ -14,6 +14,17 @@ pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
 
+impl Clone for Sequential {
+    /// Deep-copies parameters and configuration via
+    /// [`Layer::clone_layer`]; transient training caches start empty. Used
+    /// to build per-thread model replicas for data-parallel training.
+    fn clone(&self) -> Self {
+        Sequential {
+            layers: self.layers.iter().map(|l| l.clone_layer()).collect(),
+        }
+    }
+}
+
 impl Sequential {
     /// Empty model.
     pub fn new() -> Self {
@@ -93,6 +104,17 @@ impl Sequential {
         x
     }
 
+    /// Pure inference forward pass: identical output to
+    /// `forward(input, Mode::Eval)` but through [`Layer::infer`], so it needs
+    /// only `&self` and a single model can serve many threads concurrently.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
     /// Runs the full backward pass from the loss gradient at the output.
     pub fn backward(&mut self, grad_output: &Matrix) {
         let mut g = grad_output.clone();
@@ -133,10 +155,67 @@ impl Sequential {
         (loss, predicted)
     }
 
-    /// Inference: predicted class for one sample.
-    pub fn predict(&mut self, input: &Matrix) -> usize {
-        let logits = self.forward(input, Mode::Eval);
+    /// Inference: predicted class for one sample. Pure (`&self`), so shared
+    /// references can predict from many threads at once.
+    pub fn predict(&self, input: &Matrix) -> usize {
+        let logits = self.infer(input);
         predict_class(&logits)
+    }
+
+    /// Positions every stochastic layer's noise stream (dropout masks) at
+    /// `nonce`; see [`Layer::set_noise_nonce`]. Every noisy layer receives
+    /// the same nonce — their streams stay decorrelated because each mixes
+    /// its own seed in.
+    pub fn set_noise_nonce(&mut self, nonce: u64) {
+        for layer in &mut self.layers {
+            layer.set_noise_nonce(nonce);
+        }
+    }
+
+    /// Appends every accumulated gradient scalar to `out` in the stable
+    /// (layer, tensor) order of [`Sequential::params`].
+    pub fn grads_flat_into(&mut self, out: &mut Vec<f32>) {
+        for p in self.params() {
+            out.extend_from_slice(p.grad);
+        }
+    }
+
+    /// Adds `flat` (a vector produced by [`Sequential::grads_flat_into`])
+    /// into the model's gradient accumulators, in order.
+    ///
+    /// # Panics
+    /// Panics when `flat` has a different total length than the model's
+    /// parameters.
+    pub fn add_grads_flat(&mut self, flat: &[f32]) {
+        let mut offset = 0;
+        for p in self.params() {
+            let end = offset + p.grad.len();
+            for (g, &v) in p.grad.iter_mut().zip(&flat[offset..end]) {
+                *g += v;
+            }
+            offset = end;
+        }
+        assert_eq!(offset, flat.len(), "flat gradient length mismatch");
+    }
+
+    /// Copies every parameter value from `src` (same architecture) into
+    /// `self`. Used to resynchronise data-parallel replicas with the master
+    /// weights after each optimiser step.
+    ///
+    /// # Panics
+    /// Panics when the two models' parameter tensors disagree in number or
+    /// shape.
+    pub fn copy_params_from(&mut self, src: &Sequential) {
+        let src_values = src.param_values();
+        let mut params = self.params();
+        assert_eq!(
+            params.len(),
+            src_values.len(),
+            "copy_params_from: tensor count mismatch"
+        );
+        for (dst, src) in params.iter_mut().zip(src_values) {
+            dst.value.copy_from_slice(src);
+        }
     }
 
     /// Layer names, for summaries.
@@ -225,6 +304,57 @@ mod tests {
             "loss did not decrease: {first_loss} -> {last_loss}"
         );
         assert_eq!(m.predict(&x), 1);
+    }
+
+    #[test]
+    fn infer_matches_eval_forward() {
+        let mut m = tiny_model(5);
+        let x = Matrix::from_vec(3, 4, (0..12).map(|v| v as f32 * 0.3 - 1.5).collect());
+        let eval = m.forward(&x, Mode::Eval);
+        assert_eq!(m.infer(&x), eval);
+        assert_eq!(m.predict(&x), crate::loss::predict_class(&eval));
+    }
+
+    #[test]
+    fn clone_replicates_parameters_and_function() {
+        let m = tiny_model(6);
+        let replica = m.clone();
+        assert_eq!(m.n_parameters(), replica.n_parameters());
+        for (a, b) in m.param_values().iter().zip(replica.param_values()) {
+            assert_eq!(*a, b);
+        }
+        let x = Matrix::from_vec(2, 4, vec![0.25; 8]);
+        assert_eq!(m.infer(&x), replica.infer(&x));
+    }
+
+    #[test]
+    fn flat_gradients_round_trip() {
+        let mut m = tiny_model(7);
+        let x = Matrix::from_vec(2, 4, vec![0.4; 8]);
+        m.train_step(&x, 1);
+        let mut flat = Vec::new();
+        m.grads_flat_into(&mut flat);
+        assert_eq!(flat.len(), m.n_parameters());
+
+        // Adding the captured gradients into a zeroed clone reproduces the
+        // original accumulators exactly.
+        let mut other = m.clone();
+        other.zero_grad();
+        other.add_grads_flat(&flat);
+        let mut flat_other = Vec::new();
+        other.grads_flat_into(&mut flat_other);
+        assert_eq!(flat, flat_other);
+    }
+
+    #[test]
+    fn copy_params_from_resynchronises() {
+        let src = tiny_model(8);
+        let mut dst = tiny_model(9);
+        assert_ne!(src.param_values()[0], dst.param_values()[0]);
+        dst.copy_params_from(&src);
+        for (a, b) in src.param_values().iter().zip(dst.param_values()) {
+            assert_eq!(*a, b);
+        }
     }
 
     #[test]

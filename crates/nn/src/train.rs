@@ -8,8 +8,20 @@
 //! cross-validation harness retries aborted folds with a halved learning
 //! rate and a reseeded initialisation (see
 //! `deepmap_core::pipeline::DeepMap::try_fit_split`).
+//!
+//! # Data parallelism and determinism
+//!
+//! Each mini-batch fans its samples out over the shared `deepmap-par` pool:
+//! every worker runs forward/backward on its own model replica, and the
+//! per-sample gradient contributions are then reduced on the calling thread
+//! **in sample order**. Because a replica's gradients are zeroed before each
+//! sample, the reduction performs exactly the additions the sequential loop
+//! would — same values, same order — so losses, gradients, and learned
+//! weights are bit-identical at any thread count (`DEEPMAP_THREADS=1` and
+//! `=8` produce the same model). Dropout masks are pinned to the sample's
+//! position in the epoch via [`Sequential::set_noise_nonce`], never to the
+//! worker that happened to process it.
 
-use crate::layers::Mode;
 use crate::matrix::Matrix;
 use crate::model::Sequential;
 use crate::optim::{PlateauScheduler, RmsProp};
@@ -153,16 +165,22 @@ pub struct EpochStats {
 
 /// Classification accuracy of `model` on `samples` in eval mode.
 ///
+/// Takes `&Sequential`: inference goes through the pure
+/// [`Sequential::infer`] path, so the model is shared immutably across the
+/// pool's worker threads (one prediction per fan-out task; the count of
+/// correct predictions is order-independent).
+///
 /// Returns `None` for an empty slice — an empty test fold must surface as
 /// "no measurement", never as 0% accuracy in a result table.
-pub fn evaluate(model: &mut Sequential, samples: &[Sample]) -> Option<f64> {
+pub fn evaluate(model: &Sequential, samples: &[Sample]) -> Option<f64> {
     if samples.is_empty() {
         return None;
     }
-    let correct = samples
-        .iter()
-        .filter(|s| model.predict(&s.input) == s.label)
-        .count();
+    let correct: usize = deepmap_par::par_map_indexed(samples, |_, s| {
+        usize::from(model.predict(&s.input) == s.label)
+    })
+    .into_iter()
+    .sum();
     Some(correct as f64 / samples.len() as f64)
 }
 
@@ -231,6 +249,15 @@ pub fn try_fit(
     let mut scheduler = PlateauScheduler::paper_default();
     let mut order: Vec<usize> = (0..train.len()).collect();
     let mut history = Vec::with_capacity(config.epochs);
+    // One model replica per pool worker. Workers check a replica out of the
+    // pool per sample, so a replica only ever serves one sample at a time;
+    // parameters are resynchronised from the master after every optimiser
+    // step. If the pool grows mid-fit (a concurrent `set_threads`), checkout
+    // falls back to cloning the master, so the pool can never underflow.
+    let n_threads = deepmap_par::threads();
+    let mut replicas: Vec<Sequential> = (0..n_threads).map(|_| model.clone()).collect();
+    let n_params = model.n_parameters();
+    let batch_len = config.batch_size.max(1);
 
     for epoch in 0..config.epochs {
         let mut epoch_span = deepmap_obs::span("train.epoch");
@@ -242,18 +269,46 @@ pub fn try_fit(
         order.shuffle(&mut rng);
         let mut total_loss = 0.0f64;
         let mut last_grad_norm = None;
-        for (batch_idx, batch) in order.chunks(config.batch_size.max(1)).enumerate() {
+        for (batch_idx, batch) in order.chunks(batch_len).enumerate() {
+            // Refresh the replicas with the post-step master weights, then
+            // fan the batch out: each task checks a replica out, zeroes its
+            // gradients, pins the dropout stream to the sample's position in
+            // the epoch, and returns (loss, flat per-sample gradients).
+            for replica in replicas.iter_mut() {
+                replica.copy_params_from(model);
+            }
+            let pool = std::sync::Mutex::new(std::mem::take(&mut replicas));
+            let nonce_base = (epoch * train.len() + batch_idx * batch_len) as u64;
+            let master: &Sequential = model;
+            let results: Vec<(f32, Vec<f32>)> = deepmap_par::par_map_index(batch.len(), |j| {
+                let mut replica = {
+                    let popped = pool.lock().unwrap().pop();
+                    popped.unwrap_or_else(|| master.clone())
+                };
+                replica.zero_grad();
+                replica.set_noise_nonce(nonce_base + j as u64);
+                let sample = &train[batch[j]];
+                let (loss, _) = replica.train_step(&sample.input, sample.label);
+                let mut flat = Vec::with_capacity(n_params);
+                replica.grads_flat_into(&mut flat);
+                pool.lock().unwrap().push(replica);
+                (loss, flat)
+            });
+            replicas = pool.into_inner().unwrap();
+            // Fixed-order reduction: adding the per-sample contributions in
+            // sample order performs the same f32 additions, in the same
+            // order, as the sequential in-place accumulation — losses,
+            // gradients, and weights stay bit-identical at any thread count.
             model.zero_grad();
-            for &i in batch {
-                let sample = &train[i];
-                let (loss, _) = model.train_step(&sample.input, sample.label);
+            for (loss, flat) in &results {
                 if !loss.is_finite() {
                     return Err(guard_trip(TrainError::NonFiniteLoss {
                         epoch,
                         batch: batch_idx,
                     }));
                 }
-                total_loss += loss as f64;
+                total_loss += f64::from(*loss);
+                model.add_grads_flat(flat);
             }
             model.scale_grads(1.0 / batch.len() as f32);
             if guard.max_grad_norm.is_finite() {
@@ -307,18 +362,16 @@ fn guard_trip(err: TrainError) -> TrainError {
 }
 
 /// Per-sample logits in eval mode, for callers that need scores rather than
-/// hard predictions.
-pub fn predict_logits(model: &mut Sequential, samples: &[Sample]) -> Vec<Matrix> {
-    samples
-        .iter()
-        .map(|s| model.forward(&s.input, Mode::Eval))
-        .collect()
+/// hard predictions. Pure (`&Sequential`), fanned out over the shared pool;
+/// results come back in sample order.
+pub fn predict_logits(model: &Sequential, samples: &[Sample]) -> Vec<Matrix> {
+    deepmap_par::par_map_indexed(samples, |_, s| model.infer(&s.input))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layers::{Dense, ReLU, SumPool};
+    use crate::layers::{Dense, Dropout, ReLU, SumPool};
     use rand::Rng;
 
     /// Two linearly separable "graph" classes: rows biased positive vs
@@ -422,17 +475,68 @@ mod tests {
         }
     }
 
+    fn dropout_model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Box::new(Dense::new(4, 8, &mut rng)))
+            .push(Box::new(ReLU::new()))
+            .push(Box::new(Dropout::new(0.3, seed ^ 0xD0)))
+            .push(Box::new(SumPool::new()))
+            .push(Box::new(Dense::new(8, 2, &mut rng)))
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_thread_counts() {
+        // The tentpole guarantee: same losses and same final weights whether
+        // the batch fan-out runs on 1 worker or 4 — including the dropout
+        // masks, which are pinned to sample position, not worker identity.
+        let data = toy_dataset(12, 30);
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 5,
+            learning_rate: 0.01,
+            seed: 31,
+        };
+        let run = |threads: usize| {
+            deepmap_par::set_threads(threads);
+            let mut model = dropout_model(32);
+            let history = fit(&mut model, &data, None, &cfg);
+            let weights: Vec<Vec<f32>> = model.param_values().iter().map(|v| v.to_vec()).collect();
+            (history, weights)
+        };
+        let (h1, w1) = run(1);
+        let (h4, w4) = run(4);
+        assert_eq!(h1.len(), h4.len());
+        for (a, b) in h1.iter().zip(&h4) {
+            assert_eq!(a.loss, b.loss, "epoch {} loss", a.epoch);
+            assert_eq!(a.train_accuracy, b.train_accuracy);
+        }
+        assert_eq!(w1, w4, "final weights must be bit-identical");
+    }
+
+    #[test]
+    fn evaluate_shares_model_immutably() {
+        let data = toy_dataset(5, 40);
+        let model = dropout_model(41);
+        deepmap_par::set_threads(4);
+        let a = evaluate(&model, &data).unwrap();
+        deepmap_par::set_threads(1);
+        let b = evaluate(&model, &data).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(predict_logits(&model, &data).len(), data.len());
+    }
+
     #[test]
     fn evaluate_empty_is_none() {
-        let mut model = toy_model(1);
-        assert_eq!(evaluate(&mut model, &[]), None);
+        let model = toy_model(1);
+        assert_eq!(evaluate(&model, &[]), None);
     }
 
     #[test]
     fn evaluate_non_empty_is_some() {
         let data = toy_dataset(3, 2);
-        let mut model = toy_model(1);
-        let acc = evaluate(&mut model, &data).unwrap();
+        let model = toy_model(1);
+        let acc = evaluate(&model, &data).unwrap();
         assert!((0.0..=1.0).contains(&acc));
     }
 

@@ -1,0 +1,281 @@
+//! Shared deterministic thread pool for the workspace.
+//!
+//! Every parallel site in the workspace fans out through this crate so that
+//! thread sizing, instrumentation, and determinism rules live in one place.
+//! The primitives are *indexed*: work items carry their position, results are
+//! stitched back in index order, and callers are expected to keep any
+//! order-sensitive reduction (gradient sums, vocabulary interning) in that
+//! fixed index order. Under that contract every computation is bit-identical
+//! at any thread count, including `1`.
+//!
+//! The pool size comes from `DEEPMAP_THREADS` (default:
+//! [`std::thread::available_parallelism`]) and can be overridden in-process
+//! with [`set_threads`] — tests use that to compare thread counts without
+//! re-execing. Threads are scoped ([`std::thread::scope`]): nothing outlives
+//! a fan-out call, borrows work naturally, and worker panics propagate to the
+//! caller via [`std::panic::resume_unwind`].
+//!
+//! Instrumentation (via `deepmap-obs`): the `par.pool_threads` gauge records
+//! the resolved size, `par.fanout_us` the wall time of each parallel region,
+//! and `par.task_wait_us` how long each work item sat queued before a worker
+//! picked it up.
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Unresolved marker for the global thread count.
+const UNSET: usize = 0;
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(UNSET);
+
+/// Number of worker threads the pool fans out to.
+///
+/// Resolution order: an in-process [`set_threads`] override, then the
+/// `DEEPMAP_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`]. The result is cached after the
+/// first call; invalid or zero values fall back to the default.
+pub fn threads() -> usize {
+    let cached = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if cached != UNSET {
+        return cached;
+    }
+    let resolved = threads_from_env();
+    GLOBAL_THREADS.store(resolved, Ordering::Relaxed);
+    deepmap_obs::gauge("par.pool_threads").set(resolved as i64);
+    resolved
+}
+
+/// Overrides the pool size for this process (tests, benches).
+///
+/// `n` is clamped to at least 1. Takes effect for every subsequent fan-out;
+/// in-flight parallel regions are unaffected.
+pub fn set_threads(n: usize) {
+    let n = n.max(1);
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+    deepmap_obs::gauge("par.pool_threads").set(n as i64);
+}
+
+fn threads_from_env() -> usize {
+    std::env::var("DEEPMAP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// `f(i)` for every `i in 0..n`, fanned out over the pool; results are
+/// returned in index order regardless of which worker computed them.
+///
+/// Workers pull indices from a shared counter (dynamic load balancing), so
+/// the *assignment* of index to worker is nondeterministic — but `f` receives
+/// only the index, so as long as `f` itself is a pure function of `i` the
+/// output vector is identical at any thread count.
+///
+/// # Panics
+/// Re-raises the first worker panic on the calling thread.
+pub fn par_map_index<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let wait_hist = deepmap_obs::histogram("par.task_wait_us");
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        if local.is_empty() {
+                            wait_hist.observe(started.elapsed().as_micros() as f64);
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| resume_unwind(p)))
+            .collect()
+    });
+    deepmap_obs::histogram("par.fanout_us").observe(started.elapsed().as_micros() as f64);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for bucket in buckets {
+        for (i, r) in bucket {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("par_map_index: worker skipped an index"))
+        .collect()
+}
+
+/// Maps `f(index, &item)` over a slice, preserving index order in the output.
+///
+/// Convenience wrapper over [`par_map_index`] for the common borrow-a-slice
+/// case (per-graph pipeline stages, per-row kernel evaluation).
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_index(items.len(), |i| f(i, &items[i]))
+}
+
+/// Splits `data` into `chunk_len`-sized chunks and runs `f(chunk_index,
+/// chunk)` on each, fanned out over the pool.
+///
+/// Chunks are assigned to workers round-robin by index, so every chunk is
+/// visited exactly once and mutation is race-free by construction. The chunk
+/// *boundaries* depend only on `chunk_len`, never on the thread count — the
+/// determinism contract for in-place fan-out.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`; re-raises worker panics on the calling thread.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be >= 1");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = threads().min(n_chunks.max(1));
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let started = Instant::now();
+    let mut assignments: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        assignments[i % workers].push((i, chunk));
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = assignments
+            .into_iter()
+            .map(|work| {
+                s.spawn(|| {
+                    for (i, chunk) in work {
+                        f(i, chunk);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(p) = h.join() {
+                resume_unwind(p);
+            }
+        }
+    });
+    deepmap_obs::histogram("par.fanout_us").observe(started.elapsed().as_micros() as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises tests that mutate the global thread count.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn map_index_preserves_order() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(4);
+        let out = par_map_index(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_indexed_matches_sequential_at_any_thread_count() {
+        let _g = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..57).map(|i| i * 3 + 1).collect();
+        let expect: Vec<u64> = items.iter().enumerate().map(|(i, v)| v + i as u64).collect();
+        for threads in [1, 2, 4, 8] {
+            set_threads(threads);
+            let got = par_map_indexed(&items, |i, v| v + i as u64);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_empty_and_single() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(4);
+        assert_eq!(par_map_index(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_index(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn chunks_mut_visits_every_chunk_once() {
+        let _g = LOCK.lock().unwrap();
+        for threads in [1, 3, 8] {
+            set_threads(threads);
+            let mut data = vec![0u32; 103];
+            par_chunks_mut(&mut data, 10, |chunk_idx, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1 + chunk_idx as u32;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, 1 + (i / 10) as u32, "threads={threads} element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_mut_ragged_tail() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(2);
+        let mut data = vec![1u8; 7];
+        let mut seen = Vec::new();
+        let lens = std::sync::Mutex::new(&mut seen);
+        par_chunks_mut(&mut data, 3, |i, chunk| {
+            lens.lock().unwrap().push((i, chunk.len()));
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 3), (1, 3), (2, 1)]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(4);
+        let caught = std::panic::catch_unwind(|| {
+            par_map_index(16, |i| {
+                if i == 9 {
+                    panic!("boom at nine");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn set_threads_clamps_to_one() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(0);
+        assert_eq!(threads(), 1);
+        set_threads(4);
+        assert_eq!(threads(), 4);
+    }
+}

@@ -15,8 +15,13 @@ cargo fmt --all -- --check
 echo "=== build (release) ==="
 cargo build --release --workspace
 
-echo "=== tests ==="
-cargo test -q --workspace
+echo "=== tests (DEEPMAP_THREADS=1) ==="
+# The determinism contract says results are bit-identical at any pool
+# size, so the whole suite runs twice: once serial, once with 4 workers.
+DEEPMAP_THREADS=1 cargo test -q --workspace
+
+echo "=== tests (DEEPMAP_THREADS=4) ==="
+DEEPMAP_THREADS=4 cargo test -q --workspace
 
 echo "=== clippy ==="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -43,5 +48,17 @@ cargo run --release -p deepmap-bench --bin serve_throughput -- --smoke
 test -s results/BENCH_serve.json
 grep -q '"bench": *"serve_throughput"' results/BENCH_serve.json
 grep -q '"levels"' results/BENCH_serve.json
+
+echo "=== parallel scaling smoke ==="
+# parallel_scaling --smoke sweeps the shared pool over 1/2/4/8 threads,
+# re-asserts bit-identical weights and predictions at every size, and
+# exits non-zero unless the JSON report parses back with every required
+# field (including available_parallelism, so 1-core runners are legible).
+rm -f results/BENCH_parallel.json
+cargo run --release -p deepmap-bench --bin parallel_scaling -- --smoke
+test -s results/BENCH_parallel.json
+grep -q '"bench": *"parallel_scaling"' results/BENCH_parallel.json
+grep -q '"deterministic": *true' results/BENCH_parallel.json
+grep -q '"available_parallelism"' results/BENCH_parallel.json
 
 echo "CI GATE PASSED"

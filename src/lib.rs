@@ -15,6 +15,7 @@
 //! - [`eval`] — cross-validation, metrics, result tables.
 //! - [`serve`] — model bundles and the micro-batching inference server.
 //! - [`obs`] — structured tracing, stage metrics, and profiling hooks.
+//! - [`par`] — the shared deterministic thread pool (`DEEPMAP_THREADS`).
 
 #![deny(missing_docs)]
 
@@ -26,5 +27,6 @@ pub use deepmap_graph as graph;
 pub use deepmap_kernels as kernels;
 pub use deepmap_nn as nn;
 pub use deepmap_obs as obs;
+pub use deepmap_par as par;
 pub use deepmap_serve as serve;
 pub use deepmap_svm as svm;
