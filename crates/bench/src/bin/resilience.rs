@@ -1,0 +1,472 @@
+//! Resilience benchmark: serving latency and recovery under deterministic
+//! chaos.
+//!
+//! Trains a small DeepMap-WL classifier on synthetic cycles-vs-cliques,
+//! freezes it into a bundle, then measures three serving scenarios:
+//!
+//! 1. **healthy** — no faults; baseline p50/p99 latency and throughput;
+//! 2. **chaos** — a seed-keyed [`FaultPlan`] injects worker panics,
+//!    latency, and dropped replies; every submitted request is accounted
+//!    for (`ok` / typed error / hung), and the run is executed twice to
+//!    check the outcome sequence is bit-deterministic;
+//! 3. **breaker** — a zero restart budget turns the first panic into a
+//!    tripped circuit breaker; the run records the trip, the fast-fail,
+//!    and the cool-down probe recovery.
+//!
+//! The report lands in `results/BENCH_resilience.json` with p50/p99 plus
+//! shed/panic/restart counters. `hung_requests` must be 0 — a request the
+//! server never answered is the one failure mode this harness exists to
+//! rule out — and the binary exits non-zero otherwise.
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --features fault-inject --bin resilience
+//! cargo run --release -p deepmap-bench --features fault-inject --bin resilience -- --smoke
+//!
+//! --smoke          tiny request counts; same hard assertions
+//! --requests <n>   requests per scenario (default 160)
+//! --seed <u64>     master seed, also keys the FaultPlan (default 7)
+//! --out <path>     report path (default results/BENCH_resilience.json)
+//! ```
+
+use deepmap_bench::json::Json;
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::TrainConfig;
+use deepmap_serve::{
+    FaultPlan, InferenceServer, ModelBundle, ResilienceConfig, ServeError, ServerConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 2;
+const WAIT_BOUND: Duration = Duration::from_secs(30);
+
+struct Args {
+    smoke: bool,
+    requests: usize,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        requests: 160,
+        seed: 7,
+        out: PathBuf::from("results/BENCH_resilience.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--requests" => {
+                args.requests = value("--requests").parse().unwrap_or_else(|_| {
+                    fail("--requests must be a positive integer");
+                })
+            }
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    fail("--seed must be an integer");
+                })
+            }
+            "--out" => args.out = PathBuf::from(value("--out")),
+            other => fail(&format!(
+                "unknown flag {other}\nusage: resilience [--smoke] [--requests n] [--seed s] [--out path]"
+            )),
+        }
+    }
+    if args.smoke {
+        args.requests = args.requests.min(32);
+    }
+    args
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("resilience: {msg}");
+    std::process::exit(1);
+}
+
+fn synthetic_dataset(seed: u64) -> (Vec<Graph>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..10 {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    (graphs, labels)
+}
+
+fn request_stream(n: usize, seed: u64) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                cycle_graph(5 + i % 4, 0, &mut rng)
+            } else {
+                complete_graph(4 + i % 4, 0, &mut rng)
+            }
+        })
+        .collect()
+}
+
+/// One-request batches so the batch sequence number equals the submit
+/// order — the key the deterministic fault plan is indexed by.
+fn unbatched_config(queue: usize) -> ServerConfig {
+    ServerConfig {
+        workers: WORKERS,
+        queue_capacity: queue,
+        max_batch: 1,
+        max_wait: Duration::from_millis(2),
+    }
+}
+
+/// Per-request outcomes of one driven run, plus the counters that matter.
+struct RunOutcome {
+    /// One label per request, in submit order: `ok:<class>` or the typed
+    /// error. Timed-out waits count as hung — the contract violation.
+    labels: Vec<String>,
+    ok: u64,
+    worker_panic: u64,
+    deadline: u64,
+    dropped: u64,
+    hung: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    throughput_gps: f64,
+    shed_deadline: u64,
+    worker_panics: u64,
+    worker_restarts: u64,
+    replies_dropped: u64,
+}
+
+/// Submits every graph up front, then resolves each handle under a hard
+/// wait bound: nothing is allowed to hang.
+fn drive(server: &InferenceServer, graphs: &[Graph]) -> RunOutcome {
+    let start = Instant::now();
+    let handles: Vec<_> = graphs
+        .iter()
+        .map(|g| {
+            server
+                .submit(g.clone())
+                .unwrap_or_else(|e| fail(&format!("submit refused: {e}")))
+        })
+        .collect();
+    let mut labels = Vec::with_capacity(handles.len());
+    let mut latencies_ms = Vec::new();
+    let (mut ok, mut worker_panic, mut deadline, mut dropped, mut hung) = (0, 0, 0, 0, 0);
+    for handle in handles {
+        match handle.wait_timeout(WAIT_BOUND) {
+            Ok(served) => {
+                ok += 1;
+                latencies_ms.push(served.latency.as_secs_f64() * 1e3);
+                labels.push(format!("ok:{}", served.class));
+            }
+            Err(ServeError::WorkerPanic) => {
+                worker_panic += 1;
+                labels.push("worker_panic".to_string());
+            }
+            Err(ServeError::DeadlineExceeded) => {
+                deadline += 1;
+                labels.push("deadline".to_string());
+            }
+            Err(ServeError::Shutdown) => {
+                // A dropped reply disconnects the handle; the server is
+                // still up, so this is the reply-drop fault, not shutdown.
+                dropped += 1;
+                labels.push("dropped".to_string());
+            }
+            Err(ServeError::WaitTimeout) => {
+                hung += 1;
+                labels.push("hung".to_string());
+            }
+            Err(e) => fail(&format!("unexpected serving error: {e}")),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    // Counters settle once respawns catch up with panics; bound the wait.
+    let settle = Instant::now() + Duration::from_secs(10);
+    let metrics = loop {
+        let m = server.metrics();
+        if m.worker_restarts == m.worker_panics || Instant::now() >= settle {
+            break m;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    RunOutcome {
+        labels,
+        ok,
+        worker_panic,
+        deadline,
+        dropped,
+        hung,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        throughput_gps: graphs.len() as f64 / elapsed,
+        shed_deadline: metrics.shed_deadline,
+        worker_panics: metrics.worker_panics,
+        worker_restarts: metrics.worker_restarts,
+        replies_dropped: metrics.replies_dropped,
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn outcome_json(o: &RunOutcome) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Num(o.ok as f64)),
+        ("worker_panic".into(), Json::Num(o.worker_panic as f64)),
+        ("deadline".into(), Json::Num(o.deadline as f64)),
+        ("dropped".into(), Json::Num(o.dropped as f64)),
+        ("p50_ms".into(), Json::Num(o.p50_ms)),
+        ("p99_ms".into(), Json::Num(o.p99_ms)),
+        ("throughput_gps".into(), Json::Num(o.throughput_gps)),
+        ("shed_deadline".into(), Json::Num(o.shed_deadline as f64)),
+        ("worker_panics".into(), Json::Num(o.worker_panics as f64)),
+        (
+            "worker_restarts".into(),
+            Json::Num(o.worker_restarts as f64),
+        ),
+        (
+            "replies_dropped".into(),
+            Json::Num(o.replies_dropped as f64),
+        ),
+    ])
+}
+
+/// Silences the default panic printout for the fault plan's own panics —
+/// they are the scenario, not a bug — while leaving real panics loud.
+fn muffle_planned_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let planned = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|msg| msg.contains("fault-inject:"));
+        if !planned {
+            default_hook(info);
+        }
+    }));
+}
+
+fn main() {
+    let args = parse_args();
+    muffle_planned_panics();
+
+    // 1. Train and freeze a toy bundle.
+    let (graphs, labels) = synthetic_dataset(args.seed);
+    let dm = DeepMap::new(DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: if args.smoke { 6 } else { 15 },
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: args.seed,
+        },
+        seed: args.seed,
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    });
+    let (prepared, pre) = dm
+        .try_prepare_frozen(&graphs, &labels)
+        .unwrap_or_else(|e| fail(&format!("prepare failed: {e}")));
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let result = dm.fit_split(&prepared, &all, &all);
+    let bundle = Arc::new(
+        ModelBundle::freeze(
+            &dm,
+            &prepared,
+            pre,
+            &result.model,
+            vec!["cycle".to_string(), "clique".to_string()],
+        )
+        .unwrap_or_else(|e| fail(&format!("freeze failed: {e}"))),
+    );
+    let stream = request_stream(args.requests, args.seed);
+    let queue = (2 * stream.len()).max(8);
+
+    // 2. Healthy baseline: no faults.
+    let server = InferenceServer::start(Arc::clone(&bundle), unbatched_config(queue))
+        .unwrap_or_else(|e| fail(&format!("server start failed: {e}")));
+    let healthy = drive(&server, &stream);
+    drop(server);
+    if healthy.ok as usize != stream.len() {
+        fail("healthy run must serve every request");
+    }
+    deepmap_obs::info!(
+        "healthy: {} ok, p50 {:.2} ms, p99 {:.2} ms, {:.1} g/s",
+        healthy.ok,
+        healthy.p50_ms,
+        healthy.p99_ms,
+        healthy.throughput_gps
+    );
+
+    // 3. Chaos: seed-keyed faults, run twice, outcomes must match exactly.
+    let plan = FaultPlan::seeded(
+        args.seed,
+        stream.len() as u64,
+        0.10,
+        0.10,
+        Duration::from_millis(2),
+        0.05,
+    );
+    let chaos_run = || {
+        let server = InferenceServer::start_chaos(
+            Arc::clone(&bundle),
+            unbatched_config(queue),
+            ResilienceConfig {
+                max_restarts: u32::MAX, // keep chaos on the respawn path
+                restart_backoff: Duration::from_millis(1),
+                ..ResilienceConfig::default()
+            },
+            plan.clone(),
+        )
+        .unwrap_or_else(|e| fail(&format!("chaos server start failed: {e}")));
+        drive(&server, &stream)
+    };
+    let chaos = chaos_run();
+    let chaos_replay = chaos_run();
+    let deterministic = chaos.labels == chaos_replay.labels
+        && chaos.shed_deadline == chaos_replay.shed_deadline
+        && chaos.worker_panics == chaos_replay.worker_panics
+        && chaos.worker_restarts == chaos_replay.worker_restarts
+        && chaos.replies_dropped == chaos_replay.replies_dropped;
+    deepmap_obs::info!(
+        "chaos: {} ok / {} panic / {} dropped of {} ({} planned panics), p99 {:.2} ms, deterministic: {}",
+        chaos.ok,
+        chaos.worker_panic,
+        chaos.dropped,
+        stream.len(),
+        plan.planned_panics(),
+        chaos.p99_ms,
+        deterministic
+    );
+
+    // 4. Breaker: zero restart budget, first panic trips, probe recovers.
+    let server = InferenceServer::start_chaos(
+        Arc::clone(&bundle),
+        unbatched_config(queue),
+        ResilienceConfig {
+            max_restarts: 0,
+            breaker_cooldown: Duration::from_millis(50),
+            ..ResilienceConfig::default()
+        },
+        FaultPlan::new().panic_on_batches([0]),
+    )
+    .unwrap_or_else(|e| fail(&format!("breaker server start failed: {e}")));
+    let victim = server
+        .submit(stream[0].clone())
+        .unwrap_or_else(|e| fail(&format!("victim submit refused: {e}")));
+    let victim_panicked = matches!(
+        victim.wait_timeout(WAIT_BOUND),
+        Err(ServeError::WorkerPanic)
+    );
+    let trip_deadline = Instant::now() + Duration::from_secs(10);
+    while server.metrics().breaker_state != 2 && Instant::now() < trip_deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let breaker_tripped = server.metrics().breaker_state == 2;
+    let fast_failed = matches!(
+        server.submit(stream[0].clone()),
+        Err(ServeError::CircuitOpen)
+    );
+    std::thread::sleep(Duration::from_millis(60)); // past the cool-down
+    let probe_recovered = server
+        .submit(stream[0].clone())
+        .and_then(|h| h.wait_timeout(WAIT_BOUND))
+        .is_ok();
+    let recover_deadline = Instant::now() + Duration::from_secs(10);
+    while server.metrics().breaker_state != 0 && Instant::now() < recover_deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let breaker_closed = server.metrics().breaker_state == 0;
+    drop(server);
+    deepmap_obs::info!(
+        "breaker: panicked {victim_panicked}, tripped {breaker_tripped}, fast-failed {fast_failed}, probe recovered {probe_recovered}, closed {breaker_closed}"
+    );
+
+    // 5. Report + hard assertions.
+    let hung_total = healthy.hung + chaos.hung + chaos_replay.hung;
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("resilience".into())),
+        ("smoke".into(), Json::Bool(args.smoke)),
+        ("seed".into(), Json::Num(args.seed as f64)),
+        ("requests_per_run".into(), Json::Num(stream.len() as f64)),
+        ("workers".into(), Json::Num(WORKERS as f64)),
+        ("healthy".into(), outcome_json(&healthy)),
+        ("chaos".into(), outcome_json(&chaos)),
+        (
+            "planned_panics".into(),
+            Json::Num(plan.planned_panics() as f64),
+        ),
+        (
+            "planned_reply_drops".into(),
+            Json::Num(plan.planned_reply_drops() as f64),
+        ),
+        ("deterministic".into(), Json::Bool(deterministic)),
+        (
+            "breaker".into(),
+            Json::Obj(vec![
+                ("tripped".into(), Json::Bool(breaker_tripped)),
+                ("fast_failed".into(), Json::Bool(fast_failed)),
+                ("probe_recovered".into(), Json::Bool(probe_recovered)),
+                ("closed_after_probe".into(), Json::Bool(breaker_closed)),
+            ]),
+        ),
+        ("hung_requests".into(), Json::Num(hung_total as f64)),
+    ]);
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(&args.out, report.to_json())
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", args.out.display())));
+
+    // Self-check: re-read and parse what landed on disk, then enforce the
+    // resilience contract with non-zero exits.
+    let text = std::fs::read_to_string(&args.out)
+        .unwrap_or_else(|e| fail(&format!("cannot re-read {}: {e}", args.out.display())));
+    let parsed =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("report is not valid JSON: {e}")));
+    if parsed.get("chaos").and_then(|c| c.get("p99_ms")).is_none()
+        || parsed.get("hung_requests").is_none()
+    {
+        fail("report is missing required fields");
+    }
+    if hung_total != 0 {
+        fail(&format!(
+            "{hung_total} requests hung — resilience contract broken"
+        ));
+    }
+    if !deterministic {
+        fail("chaos replay diverged — fault plan is not deterministic");
+    }
+    if !(victim_panicked && breaker_tripped && fast_failed && probe_recovered && breaker_closed) {
+        fail("breaker scenario did not trip and recover as required");
+    }
+    if chaos.worker_panics != plan.planned_panics() as u64 {
+        fail("observed panics disagree with the fault plan");
+    }
+    println!(
+        "wrote {} (chaos: {} ok / {} panic / {} dropped, p99 {:.2} ms, 0 hung, breaker trip+recover ok)",
+        args.out.display(),
+        chaos.ok,
+        chaos.worker_panic,
+        chaos.dropped,
+        chaos.p99_ms
+    );
+}

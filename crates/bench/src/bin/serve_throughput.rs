@@ -128,7 +128,7 @@ fn drive(server: &InferenceServer, graphs: &[Graph], window: usize) -> RunStats 
     let mut outstanding = VecDeque::new();
     let mut latencies_ms = Vec::with_capacity(graphs.len());
     let mut batch_total = 0u64;
-    let mut retire =
+    let retire =
         |outstanding: &mut VecDeque<_>, latencies_ms: &mut Vec<f64>, batch_total: &mut u64| {
             let handle: deepmap_serve::PredictionHandle =
                 outstanding.pop_front().expect("window non-empty");

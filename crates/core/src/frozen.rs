@@ -52,6 +52,13 @@ impl FrozenPreprocessor {
         &self.extractor
     }
 
+    /// The sorted vertex-label alphabet the vocabulary was fitted on, when
+    /// the feature family records one (see
+    /// [`FrozenExtractor::label_alphabet`]).
+    pub fn label_alphabet(&self) -> Option<Vec<u32>> {
+        self.extractor.label_alphabet()
+    }
+
     /// Aligned sequence length the model was trained with.
     pub fn w(&self) -> usize {
         self.w

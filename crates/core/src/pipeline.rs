@@ -91,6 +91,7 @@ impl Default for RecoveryConfig {
 
 /// A dataset that has been pushed through feature extraction and tensor
 /// assembly and is ready for training on any index split.
+#[derive(Debug)]
 pub struct PreparedDataset {
     /// One labelled sample per graph, aligned with the input order.
     pub samples: Vec<Sample>,
@@ -103,6 +104,7 @@ pub struct PreparedDataset {
 }
 
 /// Result of training on one split.
+#[derive(Debug)]
 pub struct FitResult {
     /// The trained model.
     pub model: Sequential,

@@ -229,6 +229,9 @@ pub struct CvOptions<'a> {
     /// worker thread that ran it. The bench harness appends the fold to
     /// its journal here, so a kill at any point loses at most the folds
     /// still in flight.
+    // An alias would hide the `Sync` bound callers must satisfy to fan
+    // folds out across the pool.
+    #[allow(clippy::type_complexity)]
     pub on_fold: Option<&'a (dyn Fn(usize, &FoldCurve) + Sync)>,
 }
 

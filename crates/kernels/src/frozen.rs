@@ -153,6 +153,22 @@ impl FrozenExtractor {
         self.n_cols as u32
     }
 
+    /// The sorted vertex-label alphabet seen while fitting, when the
+    /// feature family records one. WL keeps its base-label dictionary, so
+    /// the training alphabet is recoverable; graphlet counts ignore labels
+    /// and shortest-path triplets hash them irreversibly, so those return
+    /// `None`. Serving layers use this for optional input validation.
+    pub fn label_alphabet(&self) -> Option<Vec<u32>> {
+        match &self.state {
+            FrozenState::Wl { compressors } => {
+                let mut labels: Vec<u32> = compressors.base.keys().copied().collect();
+                labels.sort_unstable();
+                Some(labels)
+            }
+            FrozenState::Graphlet { .. } | FrozenState::ShortestPath => None,
+        }
+    }
+
     /// The feature family this extractor was fitted for.
     pub fn kind(&self) -> FeatureKind {
         match &self.state {

@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn stateless_params() {
-        let mut l = Tanh::new();
+        let l = Tanh::new();
         assert_eq!(l.n_parameters(), 0);
     }
 }

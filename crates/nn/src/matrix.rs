@@ -121,6 +121,9 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
+    // The indexed `k` loop mirrors the blocked-tile arithmetic; iterator
+    // chains over `a_row` obscure the k0..k1 tile bounds.
+    #[allow(clippy::needless_range_loop)]
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,

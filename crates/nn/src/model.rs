@@ -14,6 +14,17 @@ pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
 
+impl std::fmt::Debug for Sequential {
+    /// Compact summary — `dyn Layer` carries no Debug bound, so layers are
+    /// reported by count and parameter total rather than contents.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("n_layers", &self.n_layers())
+            .field("n_parameters", &self.n_parameters())
+            .finish()
+    }
+}
+
 impl Clone for Sequential {
     /// Deep-copies parameters and configuration via
     /// [`Layer::clone_layer`]; transient training caches start empty. Used

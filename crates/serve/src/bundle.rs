@@ -112,6 +112,14 @@ impl ModelBundle {
         &self.class_names
     }
 
+    /// The sorted vertex-label alphabet the feature vocabulary was fitted
+    /// on, when the feature family records one (WL does; graphlet and
+    /// shortest-path vocabularies do not retain a recoverable label set).
+    /// Drives the optional [`crate::GraphLimits`] alphabet check.
+    pub fn label_alphabet(&self) -> Option<Vec<u32>> {
+        self.pre.label_alphabet()
+    }
+
     /// The full pipeline configuration the bundle was trained with,
     /// reconstructed from the frozen pieces (provenance).
     pub fn config(&self) -> DeepMapConfig {

@@ -1,17 +1,31 @@
 //! The micro-batching inference server.
 //!
 //! ```text
-//! submit() → bounded request queue → batcher thread → worker pool
+//! submit() → admission control → bounded request queue → batcher thread
+//!          → supervised worker pool (catch_unwind + respawn + breaker)
 //! ```
 //!
 //! Callers submit graphs into a bounded queue (a full queue rejects with
-//! [`ServeError::QueueFull`] — backpressure, not unbounded memory). A
-//! batcher thread groups requests dynamically: a batch is flushed as soon
-//! as it reaches [`ServerConfig::max_batch`] requests or the oldest request
-//! in it has waited [`ServerConfig::max_wait`]. Workers each own a private
-//! [`Predictor`] (models cache activations, so they cannot be shared) and
-//! answer every request in the batch with its prediction, latency, and the
-//! batch size it rode in.
+//! [`ServeError::QueueFull`] — backpressure, not unbounded memory). Before
+//! a request is queued it passes **admission control**: the circuit breaker
+//! must not be open ([`ServeError::CircuitOpen`]) and the graph must satisfy
+//! the configured [`GraphLimits`] ([`ServeError::Rejected`]). A batcher
+//! thread groups requests dynamically: a batch is flushed as soon as it
+//! reaches [`ServerConfig::max_batch`] requests or the oldest request in it
+//! has waited [`ServerConfig::max_wait`]. Requests whose **deadline**
+//! expired while queued are shed by the batcher — answered with
+//! [`ServeError::DeadlineExceeded`] and counted, never silently dropped.
+//!
+//! Workers each own a private [`Predictor`] (models cache activations, so
+//! they cannot be shared) and answer every request in the batch with its
+//! prediction, latency, and the batch size it rode in. A panicking
+//! `predict_batch` is caught ([`std::panic::catch_unwind`]): the poisoned
+//! batch's callers get [`ServeError::WorkerPanic`], and the supervisor
+//! respawns the replica after a doubling backoff, drawing from a bounded
+//! restart budget. An exhausted budget trips the circuit breaker: new
+//! submissions fast-fail until a cool-down passes and a probe request
+//! succeeds (see [`crate::supervise`]). [`InferenceServer::health`] reports
+//! `Ready` / `Degraded` / `Unavailable` from the same state.
 //!
 //! Batching trades a bounded amount of queueing latency for throughput: the
 //! convolution stack runs once per batch instead of once per graph, which
@@ -20,12 +34,24 @@
 
 use crate::bundle::{ModelBundle, Predictor};
 use crate::error::ServeError;
+#[cfg(feature = "fault-inject")]
+use crate::fault::FaultPlan;
+use crate::limits::GraphLimits;
+use crate::supervise::{Admission, BreakerState, Health, ResilienceConfig, Supervisor};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use deepmap_graph::Graph;
 use deepmap_obs::{Counter, Gauge, Histogram, Registry, TraceLevel};
+use std::panic::AssertUnwindSafe;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The fault plan handle threaded through workers: present only when the
+/// `fault-inject` feature is compiled in, a zero-sized unit otherwise.
+#[cfg(feature = "fault-inject")]
+type FaultHandle = Option<Arc<FaultPlan>>;
+#[cfg(not(feature = "fault-inject"))]
+type FaultHandle = ();
 
 /// Inference server tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -68,18 +94,48 @@ pub struct ServedPrediction {
 struct Request {
     graph: Graph,
     submitted: Instant,
-    reply: mpsc::Sender<ServedPrediction>,
+    /// Absolute expiry; the batcher sheds the request past it.
+    deadline: Option<Instant>,
+    /// This request is the circuit breaker's half-open probe: its outcome
+    /// closes or reopens the breaker.
+    probe: bool,
+    reply: mpsc::Sender<Result<ServedPrediction, ServeError>>,
+}
+
+/// One dispatched micro-batch. The sequence number is stamped by the single
+/// batcher thread in dispatch order, giving fault plans a deterministic key
+/// independent of which worker picks the batch up.
+struct Batch {
+    seq: u64,
+    requests: Vec<Request>,
 }
 
 /// Waits for one submitted request's prediction.
+#[derive(Debug)]
 pub struct PredictionHandle {
-    rx: mpsc::Receiver<ServedPrediction>,
+    rx: mpsc::Receiver<Result<ServedPrediction, ServeError>>,
 }
 
 impl PredictionHandle {
-    /// Blocks until the prediction arrives (or the server shuts down).
+    /// Blocks until the prediction (or its typed failure — worker panic,
+    /// shed deadline) arrives. [`ServeError::Shutdown`] means the server
+    /// dropped the request without answering (it is shutting down).
     pub fn wait(self) -> Result<ServedPrediction, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::Shutdown)
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Like [`wait`](PredictionHandle::wait), but gives up after `timeout`
+    /// with [`ServeError::WaitTimeout`]. The request stays in flight, so a
+    /// timed-out handle can be waited on again.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<ServedPrediction, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::WaitTimeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Shutdown),
+        }
     }
 }
 
@@ -91,10 +147,17 @@ struct ServerMetrics {
     registry: Arc<Registry>,
     submitted: Arc<Counter>,
     rejected: Arc<Counter>,
+    rejected_invalid: Arc<Counter>,
+    breaker_rejected: Arc<Counter>,
+    shed_deadline: Arc<Counter>,
     completed: Arc<Counter>,
     batches: Arc<Counter>,
     batched_requests: Arc<Counter>,
+    worker_panics: Arc<Counter>,
+    worker_restarts: Arc<Counter>,
+    replies_dropped: Arc<Counter>,
     queue_depth: Arc<Gauge>,
+    breaker_state: Arc<Gauge>,
     latency_seconds: Arc<Histogram>,
 }
 
@@ -104,10 +167,17 @@ impl ServerMetrics {
         ServerMetrics {
             submitted: registry.counter("serve.requests_submitted"),
             rejected: registry.counter("serve.requests_rejected"),
+            rejected_invalid: registry.counter("serve.rejected_invalid"),
+            breaker_rejected: registry.counter("serve.breaker_rejected"),
+            shed_deadline: registry.counter("serve.requests_shed_deadline"),
             completed: registry.counter("serve.requests_completed"),
             batches: registry.counter("serve.batches_dispatched"),
             batched_requests: registry.counter("serve.batched_requests"),
+            worker_panics: registry.counter("serve.worker_panics"),
+            worker_restarts: registry.counter("serve.worker_restarts"),
+            replies_dropped: registry.counter("serve.replies_dropped"),
             queue_depth: registry.gauge("serve.queue_depth"),
+            breaker_state: registry.gauge("serve.breaker_state"),
             latency_seconds: registry.histogram("serve.latency_seconds"),
             registry,
         }
@@ -121,32 +191,135 @@ pub struct MetricsSnapshot {
     pub submitted: u64,
     /// Requests rejected because the queue was full.
     pub rejected: u64,
-    /// Requests answered.
+    /// Requests refused by admission control ([`GraphLimits`]).
+    pub rejected_invalid: u64,
+    /// Requests fast-failed by the open circuit breaker.
+    pub breaker_rejected: u64,
+    /// Accepted requests shed by the batcher because their deadline passed.
+    pub shed_deadline: u64,
+    /// Requests answered with a prediction.
     pub completed: u64,
     /// Micro-batches dispatched to workers.
     pub batches: u64,
     /// Requests that rode in a batch of size ≥ 2.
     pub batched_requests: u64,
-    /// Requests currently queued (accepted, not yet dispatched).
+    /// Worker panics caught while serving a batch.
+    pub worker_panics: u64,
+    /// Worker replicas respawned after a panic.
+    pub worker_restarts: u64,
+    /// Replies discarded by fault injection (always 0 in production).
+    pub replies_dropped: u64,
+    /// Circuit breaker state: 0 closed, 1 half-open, 2 open.
+    pub breaker_state: i64,
+    /// Requests currently queued (accepted, not yet picked up).
     pub queue_depth: usize,
     /// Maximum observed queue depth.
     pub peak_queue_depth: usize,
 }
 
-/// Handle on the running server: submit requests, read metrics, shut down.
+/// Handle on the running server: submit requests, read metrics and health,
+/// shut down.
 pub struct InferenceServer {
     tx: Option<Sender<Request>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<ServerMetrics>,
+    supervisor: Arc<Supervisor>,
+    limits: GraphLimits,
+    alphabet: Option<Vec<u32>>,
+    default_deadline: Option<Duration>,
+}
+
+/// Everything a worker thread shares with the server.
+struct WorkerShared {
+    bundle: Arc<ModelBundle>,
+    metrics: Arc<ServerMetrics>,
+    supervisor: Arc<Supervisor>,
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    fault: FaultHandle,
+}
+
+impl WorkerShared {
+    #[cfg(feature = "fault-inject")]
+    fn inject_latency(&self, seq: u64) {
+        if let Some(plan) = &self.fault {
+            if let Some(delay) = plan.latency_for(seq) {
+                std::thread::sleep(delay);
+            }
+        }
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    fn inject_latency(&self, _seq: u64) {}
+
+    #[cfg(feature = "fault-inject")]
+    fn inject_panic(&self, seq: u64) {
+        if let Some(plan) = &self.fault {
+            plan.maybe_panic(seq);
+        }
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    fn inject_panic(&self, _seq: u64) {}
+
+    #[cfg(feature = "fault-inject")]
+    fn should_drop_replies(&self, seq: u64) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|plan| plan.should_drop_replies(seq))
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    fn should_drop_replies(&self, _seq: u64) -> bool {
+        false
+    }
 }
 
 impl InferenceServer {
     /// Starts the batcher and `config.workers` worker threads over a shared
-    /// bundle. Each worker rebuilds its own model replica from the bundle.
+    /// bundle with the default [`ResilienceConfig`]. Each worker owns its
+    /// own model replica, built from the bundle before any thread spawns —
+    /// a bundle that cannot produce every replica is a startup error, not a
+    /// detached worker panic.
     pub fn start(
         bundle: Arc<ModelBundle>,
         config: ServerConfig,
+    ) -> Result<InferenceServer, ServeError> {
+        Self::start_with(bundle, config, ResilienceConfig::default())
+    }
+
+    /// [`start`](InferenceServer::start) with explicit resilience policy:
+    /// admission limits, default deadline, restart budget, breaker
+    /// cool-down.
+    // Without `fault-inject`, `FaultHandle` is `()` and the default() call
+    // below is a unit argument.
+    #[cfg_attr(not(feature = "fault-inject"), allow(clippy::unit_arg))]
+    pub fn start_with(
+        bundle: Arc<ModelBundle>,
+        config: ServerConfig,
+        resilience: ResilienceConfig,
+    ) -> Result<InferenceServer, ServeError> {
+        Self::start_inner(bundle, config, resilience, FaultHandle::default())
+    }
+
+    /// Starts a server with a deterministic [`FaultPlan`] wired into its
+    /// workers — the chaos-testing entry point. Only available under the
+    /// `fault-inject` feature.
+    #[cfg(feature = "fault-inject")]
+    pub fn start_chaos(
+        bundle: Arc<ModelBundle>,
+        config: ServerConfig,
+        resilience: ResilienceConfig,
+        plan: FaultPlan,
+    ) -> Result<InferenceServer, ServeError> {
+        Self::start_inner(bundle, config, resilience, Some(Arc::new(plan)))
+    }
+
+    // Without `fault-inject`, `FaultHandle` is `()` and the per-worker
+    // `fault.clone()` clones a Copy unit.
+    #[cfg_attr(not(feature = "fault-inject"), allow(clippy::clone_on_copy))]
+    fn start_inner(
+        bundle: Arc<ModelBundle>,
+        config: ServerConfig,
+        resilience: ResilienceConfig,
+        fault: FaultHandle,
     ) -> Result<InferenceServer, ServeError> {
         let config = ServerConfig {
             workers: config.workers.max(1),
@@ -154,24 +327,36 @@ impl InferenceServer {
             max_batch: config.max_batch.max(1),
             ..config
         };
-        // Fail fast if the bundle cannot produce a predictor at all.
-        bundle.predictor()?;
+        // Build every replica up front so construction failures surface
+        // here instead of panicking inside a detached worker thread.
+        let predictors = (0..config.workers)
+            .map(|_| bundle.predictor())
+            .collect::<Result<Vec<_>, _>>()?;
         let metrics = Arc::new(ServerMetrics::new());
+        let supervisor = Arc::new(Supervisor::new(
+            config.workers,
+            &resilience,
+            Arc::clone(&metrics.breaker_state),
+        ));
+        let alphabet = bundle.label_alphabet();
         let (req_tx, req_rx) = bounded::<Request>(config.queue_capacity);
-        let (batch_tx, batch_rx) = bounded::<Vec<Request>>(config.workers * 2);
+        let (batch_tx, batch_rx) = bounded::<Batch>(config.workers * 2);
         let batcher = {
             let metrics = Arc::clone(&metrics);
-            std::thread::spawn(move || run_batcher(req_rx, batch_tx, config, metrics))
+            let supervisor = Arc::clone(&supervisor);
+            std::thread::spawn(move || run_batcher(req_rx, batch_tx, config, metrics, supervisor))
         };
-        let workers = (0..config.workers)
-            .map(|_| {
-                let bundle = Arc::clone(&bundle);
+        let workers = predictors
+            .into_iter()
+            .map(|predictor| {
                 let batch_rx = batch_rx.clone();
-                let metrics = Arc::clone(&metrics);
-                std::thread::spawn(move || {
-                    let mut predictor = bundle.predictor().expect("validated at start");
-                    run_worker(&mut predictor, batch_rx, metrics);
-                })
+                let shared = WorkerShared {
+                    bundle: Arc::clone(&bundle),
+                    metrics: Arc::clone(&metrics),
+                    supervisor: Arc::clone(&supervisor),
+                    fault: fault.clone(),
+                };
+                std::thread::spawn(move || run_worker(predictor, batch_rx, shared))
             })
             .collect();
         Ok(InferenceServer {
@@ -179,18 +364,59 @@ impl InferenceServer {
             batcher: Some(batcher),
             workers,
             metrics,
+            supervisor,
+            limits: resilience.limits,
+            alphabet,
+            default_deadline: resilience.default_deadline,
         })
     }
 
-    /// Enqueues a graph for classification. Fails with
-    /// [`ServeError::QueueFull`] when the bounded queue is at capacity and
-    /// [`ServeError::Shutdown`] after [`InferenceServer::shutdown`].
+    /// Enqueues a graph for classification under the server's default
+    /// deadline. Fails fast with [`ServeError::CircuitOpen`] while the
+    /// breaker is open, [`ServeError::Rejected`] when the graph violates
+    /// the admission limits, [`ServeError::QueueFull`] when the bounded
+    /// queue is at capacity, and [`ServeError::Shutdown`] after
+    /// [`InferenceServer::shutdown`].
     pub fn submit(&self, graph: Graph) -> Result<PredictionHandle, ServeError> {
+        self.submit_with_deadline(graph, None)
+    }
+
+    /// [`submit`](InferenceServer::submit) with a per-request deadline
+    /// override (`None` falls back to the server default). A request whose
+    /// deadline expires before a worker picks it up is shed with
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn submit_with_deadline(
+        &self,
+        graph: Graph,
+        deadline: Option<Duration>,
+    ) -> Result<PredictionHandle, ServeError> {
         let tx = self.tx.as_ref().ok_or(ServeError::Shutdown)?;
+        let probe = match self.supervisor.admit() {
+            Admission::Normal => false,
+            Admission::Probe => true,
+            Admission::Refused => {
+                self.metrics.breaker_rejected.inc();
+                return Err(ServeError::CircuitOpen);
+            }
+        };
+        if let Err(reason) = self.limits.check(&graph, self.alphabet.as_deref()) {
+            self.metrics.rejected_invalid.inc();
+            if probe {
+                // The probe never ran; rearm the breaker for the next one.
+                self.supervisor.probe_failed();
+            }
+            return Err(ServeError::Rejected { reason });
+        }
+        let submitted = Instant::now();
+        let deadline = deadline
+            .or(self.default_deadline)
+            .map(|budget| submitted + budget);
         let (reply_tx, reply_rx) = mpsc::channel();
         let request = Request {
             graph,
-            submitted: Instant::now(),
+            submitted,
+            deadline,
+            probe,
             reply: reply_tx,
         };
         match tx.try_send(request) {
@@ -203,6 +429,9 @@ impl InferenceServer {
             }
             Err(_) => {
                 self.metrics.rejected.inc();
+                if probe {
+                    self.supervisor.probe_failed();
+                }
                 Err(ServeError::QueueFull)
             }
         }
@@ -214,14 +443,46 @@ impl InferenceServer {
         self.submit(graph)?.wait()
     }
 
+    /// Point-in-time health: `Ready` (breaker closed, all replicas live),
+    /// `Degraded` (serving below full strength — replicas restarting or
+    /// down, or a breaker probe in flight), or `Unavailable` (breaker
+    /// open, no live replica, or shut down).
+    pub fn health(&self) -> Health {
+        if self.tx.is_none() {
+            return Health::Unavailable;
+        }
+        let live = self.supervisor.live_workers();
+        if live == 0 {
+            return Health::Unavailable;
+        }
+        match self.supervisor.breaker_state() {
+            BreakerState::Open => Health::Unavailable,
+            BreakerState::HalfOpen => Health::Degraded { live_workers: live },
+            BreakerState::Closed => {
+                if live < self.supervisor.total_workers() {
+                    Health::Degraded { live_workers: live }
+                } else {
+                    Health::Ready
+                }
+            }
+        }
+    }
+
     /// Current counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             submitted: self.metrics.submitted.get(),
             rejected: self.metrics.rejected.get(),
+            rejected_invalid: self.metrics.rejected_invalid.get(),
+            breaker_rejected: self.metrics.breaker_rejected.get(),
+            shed_deadline: self.metrics.shed_deadline.get(),
             completed: self.metrics.completed.get(),
             batches: self.metrics.batches.get(),
             batched_requests: self.metrics.batched_requests.get(),
+            worker_panics: self.metrics.worker_panics.get(),
+            worker_restarts: self.metrics.worker_restarts.get(),
+            replies_dropped: self.metrics.replies_dropped.get(),
+            breaker_state: self.metrics.breaker_state.get(),
             queue_depth: self.metrics.queue_depth.get().max(0) as usize,
             peak_queue_depth: self.metrics.queue_depth.max().max(0) as usize,
         }
@@ -235,14 +496,17 @@ impl InferenceServer {
     }
 
     /// The server's metrics in the Prometheus text exposition format
-    /// (counters, queue-depth gauge with `_peak`, latency histogram with
-    /// `_bucket`/`_sum`/`_count` series).
+    /// (counters, queue-depth and breaker-state gauges with `_peak`,
+    /// latency histogram with `_bucket`/`_sum`/`_count` series).
     pub fn render_metrics(&self) -> String {
         self.metrics.registry.render_prometheus()
     }
 
     /// Stops accepting requests, drains the queue, and joins every thread.
-    /// Already-accepted requests are still answered.
+    /// Already-accepted requests are still answered where a live worker
+    /// remains; requests a dead worker pool can no longer serve resolve
+    /// with [`ServeError::Shutdown`] instead of hanging, so the drain is
+    /// graceful even after worker deaths.
     pub fn shutdown(&mut self) {
         self.tx = None; // Closes the request channel; the batcher drains and exits.
         if let Some(batcher) = self.batcher.take() {
@@ -260,35 +524,84 @@ impl Drop for InferenceServer {
     }
 }
 
+/// Sheds `request` if its deadline has passed: answers the caller with
+/// [`ServeError::DeadlineExceeded`], bumps the shed counter, and rearms the
+/// breaker when the shed request was the probe. Returns the request back
+/// when it is still live.
+fn shed_if_expired(
+    request: Request,
+    now: Instant,
+    metrics: &ServerMetrics,
+    supervisor: &Supervisor,
+) -> Option<Request> {
+    match request.deadline {
+        Some(deadline) if now >= deadline => {
+            metrics.shed_deadline.inc();
+            if request.probe {
+                supervisor.probe_failed();
+            }
+            let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
+            None
+        }
+        _ => Some(request),
+    }
+}
+
 fn run_batcher(
     req_rx: Receiver<Request>,
-    batch_tx: Sender<Vec<Request>>,
+    batch_tx: Sender<Batch>,
     config: ServerConfig,
     metrics: Arc<ServerMetrics>,
+    supervisor: Arc<Supervisor>,
 ) {
     // Blocks for the first request of each batch, then keeps collecting
-    // until the batch is full or the first request's deadline passes.
+    // until the batch is full or the first request's wait deadline passes.
+    // Expired requests are shed at pop time and again at dispatch time
+    // (they may have expired while the batch was forming).
     while let Ok(first) = req_rx.recv() {
+        metrics.queue_depth.add(-1);
+        let Some(first) = shed_if_expired(first, Instant::now(), &metrics, &supervisor) else {
+            continue;
+        };
         let mut batch = vec![first];
         if config.max_batch > 1 {
-            let deadline = Instant::now() + config.max_wait;
+            let flush_at = Instant::now() + config.max_wait;
             while batch.len() < config.max_batch {
                 let now = Instant::now();
-                if now >= deadline {
+                if now >= flush_at {
                     break;
                 }
-                match req_rx.recv_timeout(deadline - now) {
-                    Ok(req) => batch.push(req),
+                match req_rx.recv_timeout(flush_at - now) {
+                    Ok(request) => {
+                        metrics.queue_depth.add(-1);
+                        if let Some(request) =
+                            shed_if_expired(request, Instant::now(), &metrics, &supervisor)
+                        {
+                            batch.push(request);
+                        }
+                    }
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
         }
-        metrics.queue_depth.add(-(batch.len() as i64));
-        metrics.batches.inc();
-        if batch.len() > 1 {
-            metrics.batched_requests.add(batch.len() as u64);
+        // Final sweep: anything that expired while the batch was forming.
+        let now = Instant::now();
+        let requests: Vec<Request> = batch
+            .into_iter()
+            .filter_map(|request| shed_if_expired(request, now, &metrics, &supervisor))
+            .collect();
+        if requests.is_empty() {
+            continue;
         }
+        metrics.batches.inc();
+        if requests.len() > 1 {
+            metrics.batched_requests.add(requests.len() as u64);
+        }
+        let batch = Batch {
+            seq: supervisor.next_batch_seq(),
+            requests,
+        };
         if batch_tx.send(batch).is_err() {
             return; // Workers are gone; nothing useful left to do.
         }
@@ -296,27 +609,82 @@ fn run_batcher(
     // Request channel closed: dropping batch_tx lets the workers drain out.
 }
 
-fn run_worker(
-    predictor: &mut Predictor,
-    batch_rx: Receiver<Vec<Request>>,
-    metrics: Arc<ServerMetrics>,
-) {
-    while let Ok(batch) = batch_rx.recv() {
-        let batch_size = batch.len();
-        let graphs: Vec<&Graph> = batch.iter().map(|r| &r.graph).collect();
-        let predictions = predictor.predict_batch(&graphs);
-        for (request, prediction) in batch.iter().zip(predictions) {
-            let latency = request.submitted.elapsed();
-            let served = ServedPrediction {
-                class: prediction.class,
-                scores: prediction.scores,
-                latency,
-                batch_size,
-            };
-            metrics.completed.inc();
-            metrics.latency_seconds.observe(latency.as_secs_f64());
-            // A dropped handle just means the caller stopped waiting.
-            let _ = request.reply.send(served);
+fn run_worker(mut predictor: Predictor, batch_rx: Receiver<Batch>, shared: WorkerShared) {
+    while let Ok(Batch { seq, requests }) = batch_rx.recv() {
+        shared.inject_latency(seq);
+        let batch_size = requests.len();
+        let graphs: Vec<&Graph> = requests.iter().map(|r| &r.graph).collect();
+        // The replica caches activations, so a panic mid-batch poisons it;
+        // AssertUnwindSafe is sound because the poisoned predictor is
+        // discarded and rebuilt from the bundle before it is used again.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            shared.inject_panic(seq);
+            predictor.predict_batch(&graphs)
+        }));
+        match outcome {
+            Ok(predictions) => {
+                let drop_replies = shared.should_drop_replies(seq);
+                for (request, prediction) in requests.into_iter().zip(predictions) {
+                    let latency = request.submitted.elapsed();
+                    shared.metrics.completed.inc();
+                    shared
+                        .metrics
+                        .latency_seconds
+                        .observe(latency.as_secs_f64());
+                    if request.probe {
+                        shared.supervisor.probe_succeeded();
+                    }
+                    if drop_replies {
+                        shared.metrics.replies_dropped.inc();
+                        continue; // The reply sender drops; wait() sees Shutdown.
+                    }
+                    let served = ServedPrediction {
+                        class: prediction.class,
+                        scores: prediction.scores,
+                        latency,
+                        batch_size,
+                    };
+                    // A dropped handle just means the caller stopped waiting.
+                    let _ = request.reply.send(Ok(served));
+                }
+            }
+            Err(_) => {
+                shared.metrics.worker_panics.inc();
+                let mut had_probe = false;
+                for request in requests {
+                    had_probe |= request.probe;
+                    let _ = request.reply.send(Err(ServeError::WorkerPanic));
+                }
+                if had_probe {
+                    shared.supervisor.probe_failed();
+                }
+                shared.supervisor.worker_down();
+                match shared.supervisor.try_restart() {
+                    Some(backoff) => {
+                        std::thread::sleep(backoff);
+                        match shared.bundle.predictor() {
+                            Ok(fresh) => {
+                                predictor = fresh;
+                                shared.metrics.worker_restarts.inc();
+                                shared.supervisor.worker_up();
+                            }
+                            Err(_) => {
+                                // The bundle stopped producing replicas:
+                                // nothing left to respawn from.
+                                shared.supervisor.trip();
+                                return;
+                            }
+                        }
+                    }
+                    None => {
+                        // Restart budget exhausted: stay down and trip the
+                        // breaker so submissions fast-fail instead of
+                        // queueing behind a shrinking pool.
+                        shared.supervisor.trip();
+                        return;
+                    }
+                }
+            }
         }
     }
 }

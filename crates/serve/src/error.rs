@@ -31,6 +31,25 @@ pub enum ServeError {
     QueueFull,
     /// The server shut down before answering the request.
     Shutdown,
+    /// Admission control refused the request (see
+    /// [`crate::limits::GraphLimits`]).
+    Rejected {
+        /// Why the graph was refused (e.g. "graph has 100001 vertices,
+        /// limit is 100000").
+        reason: String,
+    },
+    /// The request's deadline expired before a worker could serve it; the
+    /// batcher shed it without running inference.
+    DeadlineExceeded,
+    /// [`crate::PredictionHandle::wait_timeout`] gave up before the reply
+    /// arrived. The request is still in flight; waiting again may succeed.
+    WaitTimeout,
+    /// The worker serving this request's micro-batch panicked. The replica
+    /// is respawned by the supervisor; resubmitting is safe.
+    WorkerPanic,
+    /// The circuit breaker is open (the worker restart budget was
+    /// exhausted); submissions fast-fail until a cool-down probe succeeds.
+    CircuitOpen,
 }
 
 impl fmt::Display for ServeError {
@@ -55,11 +74,27 @@ impl fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "bundle io: {e}"),
             ServeError::QueueFull => write!(f, "inference queue full"),
             ServeError::Shutdown => write!(f, "inference server shut down"),
+            ServeError::Rejected { reason } => write!(f, "request rejected: {reason}"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline expired before dispatch")
+            }
+            ServeError::WaitTimeout => write!(f, "timed out waiting for the prediction"),
+            ServeError::WorkerPanic => write!(f, "inference worker panicked serving this batch"),
+            ServeError::CircuitOpen => {
+                write!(f, "circuit breaker open: inference temporarily unavailable")
+            }
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<PersistError> for ServeError {
     fn from(e: PersistError) -> Self {

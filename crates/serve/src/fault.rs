@@ -1,0 +1,157 @@
+//! Deterministic fault injection for the inference server (chaos harness).
+//!
+//! Only compiled under the `fault-inject` cargo feature; production builds
+//! carry none of these hooks. A [`FaultPlan`] is keyed by the **batch
+//! sequence number** the batcher stamps on every dispatched micro-batch —
+//! a single, deterministic counter — so a fixed plan produces the same
+//! panics, delays, and dropped replies on every run at any worker count.
+//!
+//! Three fault kinds, mirroring what real serving fleets see:
+//!
+//! - **panic** — the worker's `predict_batch` panics mid-batch (poisoned
+//!   replica; exercises `catch_unwind`, restart budgets, the breaker);
+//! - **latency** — the batch is served after an injected delay (exercises
+//!   deadlines and shedding);
+//! - **reply drop** — predictions are computed but the replies are
+//!   discarded, as if the connection back to the caller vanished
+//!   (exercises `wait`'s disconnect path and `wait_timeout`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// A deterministic schedule of injected faults, keyed by batch sequence
+/// number.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    panic_batches: BTreeSet<u64>,
+    latency_batches: BTreeMap<u64, Duration>,
+    drop_reply_batches: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Panic while serving the given batch sequence numbers.
+    pub fn panic_on_batches(mut self, batches: impl IntoIterator<Item = u64>) -> FaultPlan {
+        self.panic_batches.extend(batches);
+        self
+    }
+
+    /// Delay the given batch by `latency` before running inference.
+    pub fn latency_on_batch(mut self, batch: u64, latency: Duration) -> FaultPlan {
+        self.latency_batches.insert(batch, latency);
+        self
+    }
+
+    /// Compute but discard the replies of the given batches.
+    pub fn drop_replies_on_batches(mut self, batches: impl IntoIterator<Item = u64>) -> FaultPlan {
+        self.drop_reply_batches.extend(batches);
+        self
+    }
+
+    /// A seed-keyed pseudo-random plan over batches `0..horizon`: each
+    /// batch independently panics with probability `panic_rate`, is delayed
+    /// by `latency` with probability `latency_rate`, and has its replies
+    /// dropped with probability `drop_rate`. The draws come from a
+    /// splitmix64 stream, so the same `(seed, horizon, rates)` always
+    /// yields the same plan.
+    pub fn seeded(
+        seed: u64,
+        horizon: u64,
+        panic_rate: f64,
+        latency_rate: f64,
+        latency: Duration,
+        drop_rate: f64,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        let mut state = seed;
+        let mut draw = || {
+            state = splitmix64(state);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for batch in 0..horizon {
+            if draw() < panic_rate {
+                plan.panic_batches.insert(batch);
+            }
+            if draw() < latency_rate {
+                plan.latency_batches.insert(batch, latency);
+            }
+            if draw() < drop_rate {
+                plan.drop_reply_batches.insert(batch);
+            }
+        }
+        plan
+    }
+
+    /// Number of batches the plan will panic.
+    pub fn planned_panics(&self) -> usize {
+        self.panic_batches.len()
+    }
+
+    /// Number of batches whose replies the plan will drop.
+    pub fn planned_reply_drops(&self) -> usize {
+        self.drop_reply_batches.len()
+    }
+
+    /// Injected delay for `batch`, if any.
+    pub(crate) fn latency_for(&self, batch: u64) -> Option<Duration> {
+        self.latency_batches.get(&batch).copied()
+    }
+
+    /// Panics if the plan schedules a panic for `batch`. Called inside the
+    /// worker's `catch_unwind` scope, standing in for a replica bug.
+    pub(crate) fn maybe_panic(&self, batch: u64) {
+        if self.panic_batches.contains(&batch) {
+            panic!("fault-inject: planned panic on batch {batch}");
+        }
+    }
+
+    /// Whether `batch`'s replies should be discarded.
+    pub(crate) fn should_drop_replies(&self, batch: u64) -> bool {
+        self.drop_reply_batches.contains(&batch)
+    }
+}
+
+/// The splitmix64 mixer — tiny, seedable, and plenty for fault scheduling
+/// (no `rand` dependency in the serving path).
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_seed_sensitive() {
+        let ms = Duration::from_millis(5);
+        let a = FaultPlan::seeded(42, 200, 0.2, 0.1, ms, 0.1);
+        let b = FaultPlan::seeded(42, 200, 0.2, 0.1, ms, 0.1);
+        assert_eq!(a.panic_batches, b.panic_batches);
+        assert_eq!(a.latency_batches, b.latency_batches);
+        assert_eq!(a.drop_reply_batches, b.drop_reply_batches);
+        let c = FaultPlan::seeded(43, 200, 0.2, 0.1, ms, 0.1);
+        assert_ne!(a.panic_batches, c.panic_batches, "different seed, plan");
+        assert!(a.planned_panics() > 0, "20% of 200 batches");
+    }
+
+    #[test]
+    fn explicit_plan_hooks_fire_where_scheduled() {
+        let plan = FaultPlan::new()
+            .panic_on_batches([3])
+            .latency_on_batch(1, Duration::from_millis(7))
+            .drop_replies_on_batches([2]);
+        plan.maybe_panic(0); // no-op
+        assert!(std::panic::catch_unwind(|| plan.maybe_panic(3)).is_err());
+        assert_eq!(plan.latency_for(1), Some(Duration::from_millis(7)));
+        assert_eq!(plan.latency_for(0), None);
+        assert!(plan.should_drop_replies(2));
+        assert!(!plan.should_drop_replies(3));
+    }
+}

@@ -3,7 +3,8 @@
 //! Training produces a classifier entangled with its corpus: the feature
 //! vocabulary, the aligned width `w`, the alignment ordering, and the
 //! weights are all artefacts of one `prepare`/`fit` run. This crate
-//! packages all of it into a deployable unit and serves it:
+//! packages all of it into a deployable unit and serves it — and keeps
+//! serving it when inputs are hostile and replicas die:
 //!
 //! - [`bundle`] — the versioned `DMB1` [`ModelBundle`] format freezing a
 //!   trained model (architecture + weights + frozen feature vocabulary +
@@ -13,6 +14,17 @@
 //! - [`engine`] — the [`InferenceServer`]: a bounded request queue, a
 //!   dynamic micro-batcher (flush on batch size or deadline), a worker
 //!   pool of model replicas, and latency/queue-depth counters.
+//! - [`limits`] — [`GraphLimits`] admission control: degenerate or
+//!   pathologically large graphs are refused at `submit`, before they
+//!   reach feature extraction.
+//! - [`supervise`] — worker supervision: panicking replicas are caught
+//!   and respawned under a bounded restart budget; an exhausted budget
+//!   trips a circuit breaker that fast-fails submissions until a
+//!   cool-down probe succeeds. [`InferenceServer::health`] reports
+//!   [`Health::Ready`]/[`Health::Degraded`]/[`Health::Unavailable`].
+//! - [`fault`] *(feature `fault-inject` only)* — a deterministic,
+//!   seed-keyed [`FaultPlan`](fault::FaultPlan) injecting worker panics,
+//!   latency, and dropped replies for chaos testing.
 //!
 //! Unseen substructures at serve time land in an OOV feature bucket that
 //! was all-zero during training (see `deepmap-kernels`' frozen module), so
@@ -24,9 +36,17 @@
 pub mod bundle;
 pub mod engine;
 pub mod error;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
+pub mod limits;
+pub mod supervise;
 
 pub use bundle::{ModelBundle, Prediction, Predictor};
 pub use engine::{
     InferenceServer, MetricsSnapshot, PredictionHandle, ServedPrediction, ServerConfig,
 };
 pub use error::ServeError;
+#[cfg(feature = "fault-inject")]
+pub use fault::FaultPlan;
+pub use limits::GraphLimits;
+pub use supervise::{BreakerState, Health, ResilienceConfig};

@@ -1,0 +1,133 @@
+//! Admission control for the inference server.
+//!
+//! Receptive-field construction has per-graph cost that grows with vertex
+//! count and BFS fan-out, so a serving layer must bound its inputs rather
+//! than feed whatever arrives straight into feature extraction. A
+//! [`GraphLimits`] is checked at [`crate::InferenceServer::submit`] time;
+//! a graph that violates it is refused with
+//! [`ServeError::Rejected`](crate::ServeError::Rejected) *before* it
+//! consumes queue space or worker time.
+
+use deepmap_graph::Graph;
+
+/// Per-request admission rules enforced at `submit`.
+///
+/// The default rejects only empty graphs (which have no receptive fields to
+/// extract) and leaves sizes unbounded; production deployments should set
+/// explicit ceilings sized to their latency budget.
+#[derive(Debug, Clone, Default)]
+pub struct GraphLimits {
+    /// Reject graphs with more vertices than this.
+    pub max_vertices: Option<usize>,
+    /// Reject graphs with more (undirected) edges than this.
+    pub max_edges: Option<usize>,
+    /// Reject graphs with zero vertices.
+    pub reject_empty: bool,
+    /// Reject graphs carrying a vertex label outside the bundle's training
+    /// alphabet. Only enforceable when the bundle records one (the WL
+    /// feature family does; graphlet and shortest-path vocabularies do not
+    /// retain a recoverable label set, so the check is skipped for them).
+    pub check_label_alphabet: bool,
+}
+
+impl GraphLimits {
+    /// The default policy: empty graphs rejected, everything else admitted.
+    pub fn new() -> GraphLimits {
+        GraphLimits {
+            reject_empty: true,
+            ..GraphLimits::default()
+        }
+    }
+
+    /// A policy admitting everything, including empty graphs.
+    pub fn unrestricted() -> GraphLimits {
+        GraphLimits::default()
+    }
+
+    /// Checks `graph` against the limits. `alphabet` is the bundle's sorted
+    /// training label alphabet, if it records one. Returns the rejection
+    /// reason on violation.
+    pub fn check(&self, graph: &Graph, alphabet: Option<&[u32]>) -> Result<(), String> {
+        if self.reject_empty && graph.is_empty() {
+            return Err("graph is empty".to_string());
+        }
+        if let Some(max) = self.max_vertices {
+            let n = graph.n_vertices();
+            if n > max {
+                return Err(format!("graph has {n} vertices, limit is {max}"));
+            }
+        }
+        if let Some(max) = self.max_edges {
+            let n = graph.n_edges();
+            if n > max {
+                return Err(format!("graph has {n} edges, limit is {max}"));
+            }
+        }
+        if self.check_label_alphabet {
+            if let Some(alphabet) = alphabet {
+                for &label in graph.labels() {
+                    if alphabet.binary_search(&label).is_err() {
+                        return Err(format!(
+                            "vertex label {label} is outside the training alphabet \
+                             ({} known labels)",
+                            alphabet.len()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmap_graph::builder::graph_from_edges;
+
+    fn path3(labels: [u32; 3]) -> Graph {
+        graph_from_edges(3, &[(0, 1), (1, 2)], Some(&labels)).unwrap()
+    }
+
+    #[test]
+    fn default_rejects_only_empty() {
+        let limits = GraphLimits::new();
+        let empty = graph_from_edges(0, &[], None).unwrap();
+        assert!(limits.check(&empty, None).unwrap_err().contains("empty"));
+        assert!(limits.check(&path3([1, 1, 1]), None).is_ok());
+        assert!(GraphLimits::unrestricted().check(&empty, None).is_ok());
+    }
+
+    #[test]
+    fn size_ceilings_name_the_violation() {
+        let limits = GraphLimits {
+            max_vertices: Some(2),
+            ..GraphLimits::new()
+        };
+        let err = limits.check(&path3([1, 1, 1]), None).unwrap_err();
+        assert!(err.contains("3 vertices"), "{err}");
+        let limits = GraphLimits {
+            max_edges: Some(1),
+            ..GraphLimits::new()
+        };
+        let err = limits.check(&path3([1, 1, 1]), None).unwrap_err();
+        assert!(err.contains("2 edges"), "{err}");
+    }
+
+    #[test]
+    fn alphabet_check_is_optional_and_needs_an_alphabet() {
+        let graph = path3([1, 9, 1]);
+        let alphabet = [0u32, 1];
+        let off = GraphLimits::new();
+        assert!(off.check(&graph, Some(&alphabet)).is_ok());
+        let on = GraphLimits {
+            check_label_alphabet: true,
+            ..GraphLimits::new()
+        };
+        let err = on.check(&graph, Some(&alphabet)).unwrap_err();
+        assert!(err.contains("label 9"), "{err}");
+        assert!(on.check(&path3([0, 1, 0]), Some(&alphabet)).is_ok());
+        // No recorded alphabet: the check cannot run, graphs pass.
+        assert!(on.check(&graph, None).is_ok());
+    }
+}

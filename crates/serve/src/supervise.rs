@@ -1,0 +1,321 @@
+//! Worker supervision: restart budgets, the circuit breaker, and health.
+//!
+//! A worker whose `predict_batch` panics has a poisoned replica: its model
+//! caches intermediate activations, so nothing about its state can be
+//! trusted. The supervisor's contract is
+//!
+//! 1. the poisoned batch's callers are answered with
+//!    [`ServeError::WorkerPanic`](crate::ServeError::WorkerPanic) — never
+//!    left hanging;
+//! 2. the replica is **respawned** (rebuilt from the bundle) after an
+//!    exponential backoff, drawing from a bounded, server-wide restart
+//!    budget;
+//! 3. an exhausted budget **trips the circuit breaker**: the worker stays
+//!    down, and new submissions fast-fail with
+//!    [`ServeError::CircuitOpen`](crate::ServeError::CircuitOpen) until a
+//!    cool-down has passed and a single probe request succeeds end to end.
+//!
+//! The breaker is the classic three-state machine: `Closed` (normal
+//! service) → `Open` (fast-fail) → `HalfOpen` (one probe in flight) →
+//! `Closed` on probe success, back to `Open` on probe failure. Closing the
+//! breaker also refills the restart budget — recovery is a clean slate.
+
+use deepmap_obs::Gauge;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Resilience knobs for [`crate::InferenceServer::start_with`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Admission rules checked at `submit`.
+    pub limits: crate::limits::GraphLimits,
+    /// Deadline attached to requests submitted without an explicit one
+    /// (`None`: requests never expire).
+    pub default_deadline: Option<Duration>,
+    /// Server-wide budget of worker-replica restarts before the circuit
+    /// breaker trips.
+    pub max_restarts: u32,
+    /// Backoff before the first restart; doubles per restart already used.
+    pub restart_backoff: Duration,
+    /// How long an open breaker fast-fails before admitting a probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            limits: crate::limits::GraphLimits::new(),
+            default_deadline: None,
+            max_restarts: 3,
+            restart_backoff: Duration::from_millis(10),
+            breaker_cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Point-in-time server health, from [`crate::InferenceServer::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Breaker closed, every worker replica live.
+    Ready,
+    /// Serving, but below full strength: some workers are restarting or
+    /// permanently down, or the breaker is half-open (probe in flight).
+    Degraded {
+        /// Workers currently able to take batches.
+        live_workers: usize,
+    },
+    /// Not serving: the breaker is open, no worker is live, or the server
+    /// has shut down.
+    Unavailable,
+}
+
+/// Circuit breaker states, exposed through the `serve.breaker_state` gauge
+/// (0 = closed, 1 = half-open, 2 = open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal service.
+    Closed,
+    /// One probe request admitted; everything else fast-fails.
+    HalfOpen,
+    /// Fast-failing all submissions until the cool-down passes.
+    Open,
+}
+
+impl BreakerState {
+    /// The gauge encoding of this state.
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    opened_at: Option<Instant>,
+}
+
+/// Outcome of [`Supervisor::admit`].
+pub(crate) enum Admission {
+    /// Serve normally.
+    Normal,
+    /// Serve, and report the outcome back as the breaker's probe.
+    Probe,
+    /// Fast-fail with `CircuitOpen`.
+    Refused,
+}
+
+/// Shared supervision state: breaker, restart budget, live-worker count,
+/// and the deterministic batch sequence.
+pub(crate) struct Supervisor {
+    total_workers: usize,
+    max_restarts: u32,
+    restart_backoff: Duration,
+    breaker_cooldown: Duration,
+    restarts_used: AtomicU32,
+    live_workers: AtomicUsize,
+    breaker: Mutex<BreakerInner>,
+    batch_seq: AtomicU64,
+    /// Mirrors the breaker state into `serve.breaker_state` (0/1/2).
+    breaker_gauge: Arc<Gauge>,
+}
+
+impl Supervisor {
+    pub(crate) fn new(
+        total_workers: usize,
+        config: &ResilienceConfig,
+        breaker_gauge: Arc<Gauge>,
+    ) -> Supervisor {
+        breaker_gauge.set(BreakerState::Closed.as_gauge());
+        Supervisor {
+            total_workers,
+            max_restarts: config.max_restarts,
+            restart_backoff: config.restart_backoff,
+            breaker_cooldown: config.breaker_cooldown,
+            restarts_used: AtomicU32::new(0),
+            live_workers: AtomicUsize::new(total_workers),
+            breaker: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                opened_at: None,
+            }),
+            batch_seq: AtomicU64::new(0),
+            breaker_gauge,
+        }
+    }
+
+    /// The next batch sequence number. Stamped by the single batcher thread
+    /// in dispatch order, so a fixed request order yields a fixed numbering
+    /// regardless of worker count — the hook deterministic fault plans key
+    /// on.
+    pub(crate) fn next_batch_seq(&self) -> u64 {
+        self.batch_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn live_workers(&self) -> usize {
+        self.live_workers.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn total_workers(&self) -> usize {
+        self.total_workers
+    }
+
+    pub(crate) fn breaker_state(&self) -> BreakerState {
+        self.breaker.lock().expect("breaker lock").state
+    }
+
+    /// Admission decision for one submission.
+    pub(crate) fn admit(&self) -> Admission {
+        let mut breaker = self.breaker.lock().expect("breaker lock");
+        match breaker.state {
+            BreakerState::Closed => Admission::Normal,
+            BreakerState::HalfOpen => Admission::Refused,
+            BreakerState::Open => {
+                let cooled = breaker
+                    .opened_at
+                    .is_none_or(|at| at.elapsed() >= self.breaker_cooldown);
+                if cooled && self.live_workers() > 0 {
+                    breaker.state = BreakerState::HalfOpen;
+                    self.breaker_gauge.set(BreakerState::HalfOpen.as_gauge());
+                    Admission::Probe
+                } else {
+                    Admission::Refused
+                }
+            }
+        }
+    }
+
+    /// The probe completed successfully: close the breaker and refill the
+    /// restart budget.
+    pub(crate) fn probe_succeeded(&self) {
+        let mut breaker = self.breaker.lock().expect("breaker lock");
+        breaker.state = BreakerState::Closed;
+        breaker.opened_at = None;
+        self.breaker_gauge.set(BreakerState::Closed.as_gauge());
+        self.restarts_used.store(0, Ordering::Relaxed);
+    }
+
+    /// The probe failed (worker panic, shed, or the request never made it
+    /// into the queue): reopen and restart the cool-down clock.
+    pub(crate) fn probe_failed(&self) {
+        let mut breaker = self.breaker.lock().expect("breaker lock");
+        breaker.state = BreakerState::Open;
+        breaker.opened_at = Some(Instant::now());
+        self.breaker_gauge.set(BreakerState::Open.as_gauge());
+    }
+
+    /// Trips the breaker (restart budget exhausted or last worker down).
+    pub(crate) fn trip(&self) {
+        let mut breaker = self.breaker.lock().expect("breaker lock");
+        breaker.state = BreakerState::Open;
+        breaker.opened_at = Some(Instant::now());
+        self.breaker_gauge.set(BreakerState::Open.as_gauge());
+    }
+
+    /// A worker replica went down (panic observed).
+    pub(crate) fn worker_down(&self) {
+        self.live_workers.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A worker replica came back up after a respawn.
+    pub(crate) fn worker_up(&self) {
+        self.live_workers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tries to draw one restart from the budget. Returns the backoff to
+    /// sleep before respawning, or `None` when the budget is exhausted
+    /// (the caller must stay down and trip the breaker).
+    pub(crate) fn try_restart(&self) -> Option<Duration> {
+        let used = self
+            .restarts_used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                if used < self.max_restarts {
+                    Some(used + 1)
+                } else {
+                    None
+                }
+            });
+        match used {
+            Ok(prev) => Some(self.restart_backoff.saturating_mul(1 << prev.min(16))),
+            Err(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn supervisor(max_restarts: u32, cooldown: Duration) -> Supervisor {
+        Supervisor::new(
+            2,
+            &ResilienceConfig {
+                max_restarts,
+                restart_backoff: Duration::from_millis(1),
+                breaker_cooldown: cooldown,
+                ..ResilienceConfig::default()
+            },
+            Arc::new(Gauge::new()),
+        )
+    }
+
+    #[test]
+    fn restart_budget_is_bounded_with_doubling_backoff() {
+        let s = supervisor(2, Duration::from_millis(5));
+        assert_eq!(s.try_restart(), Some(Duration::from_millis(1)));
+        assert_eq!(s.try_restart(), Some(Duration::from_millis(2)));
+        assert_eq!(s.try_restart(), None, "budget of 2 exhausted");
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let s = supervisor(0, Duration::from_millis(0));
+        assert!(matches!(s.admit(), Admission::Normal));
+        s.trip();
+        assert_eq!(s.breaker_state(), BreakerState::Open);
+        // Zero cool-down: the very next admit becomes the probe…
+        assert!(matches!(s.admit(), Admission::Probe));
+        // …and everything behind it fast-fails.
+        assert!(matches!(s.admit(), Admission::Refused));
+        s.probe_succeeded();
+        assert_eq!(s.breaker_state(), BreakerState::Closed);
+        assert!(matches!(s.admit(), Admission::Normal));
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_cooldown_holds() {
+        let s = supervisor(0, Duration::from_secs(3600));
+        s.trip();
+        // A long cool-down: no probe admitted while it holds.
+        assert!(matches!(s.admit(), Admission::Refused));
+        let quick = supervisor(0, Duration::from_millis(0));
+        quick.trip();
+        assert!(matches!(quick.admit(), Admission::Probe));
+        quick.probe_failed();
+        assert_eq!(quick.breaker_state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn probe_success_refills_restart_budget() {
+        let s = supervisor(1, Duration::from_millis(0));
+        assert!(s.try_restart().is_some());
+        assert!(s.try_restart().is_none());
+        s.trip();
+        assert!(matches!(s.admit(), Admission::Probe));
+        s.probe_succeeded();
+        assert!(s.try_restart().is_some(), "recovery resets the budget");
+    }
+
+    #[test]
+    fn no_probe_without_live_workers() {
+        let s = supervisor(0, Duration::from_millis(0));
+        s.worker_down();
+        s.worker_down();
+        s.trip();
+        assert!(matches!(s.admit(), Admission::Refused));
+        s.worker_up();
+        assert!(matches!(s.admit(), Admission::Probe));
+    }
+}

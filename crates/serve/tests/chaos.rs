@@ -1,0 +1,326 @@
+//! Chaos suite: deterministic fault injection against the live server.
+//!
+//! Every test drives a real `InferenceServer` with a [`FaultPlan`] and
+//! checks the resilience contract: every accepted request is answered
+//! (success or typed error — never a hang), panicking replicas respawn
+//! within the restart budget, an exhausted budget trips the circuit
+//! breaker, and a fixed plan yields identical outcomes at any worker
+//! count.
+#![cfg(feature = "fault-inject")]
+
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::TrainConfig;
+use deepmap_serve::{
+    FaultPlan, Health, InferenceServer, ModelBundle, ResilienceConfig, ServeError, ServerConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn trained_bundle() -> Arc<ModelBundle> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..8 {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    let dm = DeepMap::new(DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: 1,
+        },
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    });
+    let (prepared, pre) = dm.try_prepare_frozen(&graphs, &labels).unwrap();
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let result = dm.fit_split(&prepared, &all, &all);
+    let bundle = ModelBundle::freeze(
+        &dm,
+        &prepared,
+        pre,
+        &result.model,
+        vec!["cycle".to_string(), "clique".to_string()],
+    )
+    .unwrap();
+    Arc::new(bundle)
+}
+
+fn request_graphs(n: usize) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(77);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                cycle_graph(5 + i % 4, 0, &mut rng)
+            } else {
+                complete_graph(4 + i % 4, 0, &mut rng)
+            }
+        })
+        .collect()
+}
+
+/// One-request batches: batch sequence number == submit order, the key the
+/// fault plans below rely on.
+fn unbatched(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        max_batch: 1,
+        queue_capacity: 256,
+        ..ServerConfig::default()
+    }
+}
+
+/// Every submitted request resolves to a compact outcome label. A request
+/// that hangs fails the test via the wait_timeout bound — the chaos suite's
+/// core assertion.
+fn resolve(handle: deepmap_serve::PredictionHandle) -> String {
+    match handle.wait_timeout(Duration::from_secs(30)) {
+        Ok(served) => format!("class={}", served.class),
+        Err(ServeError::WaitTimeout) => panic!("request hung for 30s under chaos"),
+        Err(err) => format!("err={err}"),
+    }
+}
+
+#[test]
+fn panics_within_budget_respawn_and_answer_everything() {
+    let bundle = trained_bundle();
+    let server = InferenceServer::start_chaos(
+        bundle,
+        unbatched(2),
+        ResilienceConfig {
+            max_restarts: 4,
+            restart_backoff: Duration::from_millis(1),
+            ..ResilienceConfig::default()
+        },
+        FaultPlan::new().panic_on_batches([1, 3]),
+    )
+    .unwrap();
+
+    let handles: Vec<_> = request_graphs(12)
+        .into_iter()
+        .map(|g| server.submit(g).expect("breaker never trips"))
+        .collect();
+    let outcomes: Vec<String> = handles.into_iter().map(resolve).collect();
+
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if i == 1 || i == 3 {
+            assert_eq!(
+                outcome,
+                &format!("err={}", ServeError::WorkerPanic),
+                "batch {i} was the planned panic"
+            );
+        } else {
+            assert!(outcome.starts_with("class="), "batch {i}: {outcome}");
+        }
+    }
+
+    // Both replicas respawned; give the second respawn a moment to land
+    // before checking the counters and health.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.metrics().worker_restarts < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.worker_panics, 2);
+    assert_eq!(metrics.worker_restarts, 2, "every panic respawned");
+    assert_eq!(metrics.breaker_state, 0, "budget of 4 never exhausted");
+    assert_eq!(server.health(), Health::Ready);
+
+    // The Prometheus rendering carries the chaos counters.
+    let text = server.render_metrics();
+    assert!(text.contains("deepmap_serve_worker_panics 2"), "{text}");
+    assert!(text.contains("deepmap_serve_worker_restarts 2"), "{text}");
+}
+
+#[test]
+fn exhausted_restart_budget_trips_breaker_and_probe_recovers() {
+    let bundle = trained_bundle();
+    let server = InferenceServer::start_chaos(
+        bundle,
+        unbatched(2),
+        ResilienceConfig {
+            max_restarts: 0, // first panic kills the replica for good
+            breaker_cooldown: Duration::from_millis(200),
+            ..ResilienceConfig::default()
+        },
+        FaultPlan::new().panic_on_batches([0]),
+    )
+    .unwrap();
+    let graphs = request_graphs(4);
+
+    // Batch 0 panics; with a zero restart budget the worker stays down and
+    // the breaker trips.
+    let victim = server.submit(graphs[0].clone()).unwrap();
+    assert_eq!(resolve(victim), format!("err={}", ServeError::WorkerPanic));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.metrics().breaker_state != 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(server.metrics().breaker_state, 2, "breaker open");
+    assert_eq!(server.health(), Health::Unavailable);
+
+    // While open (and inside the cool-down) submissions fast-fail.
+    assert!(matches!(
+        server.submit(graphs[1].clone()),
+        Err(ServeError::CircuitOpen)
+    ));
+    assert!(server.metrics().breaker_rejected >= 1);
+
+    // After the cool-down the next submission rides as the half-open probe;
+    // the surviving replica serves it and the breaker closes.
+    std::thread::sleep(Duration::from_millis(250));
+    let probe = server.submit(graphs[2].clone()).unwrap();
+    assert!(resolve(probe).starts_with("class="));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.metrics().breaker_state != 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        server.metrics().breaker_state,
+        0,
+        "probe closed the breaker"
+    );
+    assert_eq!(
+        server.health(),
+        Health::Degraded { live_workers: 1 },
+        "closed breaker, one replica permanently gone"
+    );
+
+    // Normal service resumes on the surviving replica.
+    assert!(server.predict(graphs[3].clone()).is_ok());
+    let metrics = server.metrics();
+    assert_eq!(metrics.worker_panics, 1);
+    assert_eq!(metrics.worker_restarts, 0, "budget was zero");
+}
+
+#[test]
+fn dropped_replies_resolve_as_shutdown_not_hangs() {
+    let bundle = trained_bundle();
+    let server = InferenceServer::start_chaos(
+        bundle,
+        unbatched(1),
+        ResilienceConfig::default(),
+        FaultPlan::new().drop_replies_on_batches([1]),
+    )
+    .unwrap();
+    let handles: Vec<_> = request_graphs(3)
+        .into_iter()
+        .map(|g| server.submit(g).unwrap())
+        .collect();
+    let outcomes: Vec<String> = handles.into_iter().map(resolve).collect();
+    assert!(outcomes[0].starts_with("class="), "{outcomes:?}");
+    assert_eq!(
+        outcomes[1],
+        format!("err={}", ServeError::Shutdown),
+        "a dropped reply disconnects the handle instead of hanging it"
+    );
+    assert!(outcomes[2].starts_with("class="), "{outcomes:?}");
+    assert_eq!(server.metrics().replies_dropped, 1);
+}
+
+#[test]
+fn injected_latency_makes_the_batcher_shed_expired_requests() {
+    let bundle = trained_bundle();
+    // One worker stalled 150ms on batch 0; batch_tx holds workers*2 = 2
+    // batches, so the fifth submission sits in the request queue well past
+    // its 10ms deadline and the batcher sheds it at pop time.
+    let server = InferenceServer::start_chaos(
+        bundle,
+        unbatched(1),
+        ResilienceConfig::default(),
+        FaultPlan::new().latency_on_batch(0, Duration::from_millis(150)),
+    )
+    .unwrap();
+    let graphs = request_graphs(5);
+    let slow: Vec<_> = graphs[..4]
+        .iter()
+        .map(|g| server.submit(g.clone()).unwrap())
+        .collect();
+    let doomed = server
+        .submit_with_deadline(graphs[4].clone(), Some(Duration::from_millis(10)))
+        .unwrap();
+    assert_eq!(
+        resolve(doomed),
+        format!("err={}", ServeError::DeadlineExceeded)
+    );
+    for handle in slow {
+        assert!(resolve(handle).starts_with("class="), "no deadline, served");
+    }
+    assert_eq!(server.metrics().shed_deadline, 1);
+}
+
+/// Runs `n` requests through a chaos server and returns the per-request
+/// outcome labels plus the (shed, panics, restarts, drops) counter tuple.
+fn chaos_run(
+    bundle: &Arc<ModelBundle>,
+    workers: usize,
+    plan: &FaultPlan,
+    graphs: &[Graph],
+) -> (Vec<String>, (u64, u64, u64, u64)) {
+    let server = InferenceServer::start_chaos(
+        Arc::clone(bundle),
+        unbatched(workers),
+        ResilienceConfig {
+            max_restarts: 64, // never exhaust: keep every run on the respawn path
+            restart_backoff: Duration::from_millis(1),
+            ..ResilienceConfig::default()
+        },
+        plan.clone(),
+    )
+    .unwrap();
+    let handles: Vec<_> = graphs
+        .iter()
+        .map(|g| server.submit(g.clone()).expect("budget of 64 never trips"))
+        .collect();
+    let outcomes: Vec<String> = handles.into_iter().map(resolve).collect();
+    // Restart counters lag the last reply by one respawn backoff; settle
+    // until panics and restarts agree (they must, with the budget uncapped).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let m = server.metrics();
+        if m.worker_restarts == m.worker_panics || Instant::now() >= deadline {
+            return (
+                outcomes,
+                (
+                    m.shed_deadline,
+                    m.worker_panics,
+                    m.worker_restarts,
+                    m.replies_dropped,
+                ),
+            );
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn fixed_fault_plan_is_deterministic_at_any_worker_count() {
+    let bundle = trained_bundle();
+    let graphs = request_graphs(32);
+    let plan = FaultPlan::seeded(42, 32, 0.15, 0.10, Duration::from_millis(2), 0.10);
+    assert!(plan.planned_panics() > 0, "seed 42 must actually panic");
+    assert!(plan.planned_reply_drops() > 0, "seed 42 must actually drop");
+
+    let (base_outcomes, base_counters) = chaos_run(&bundle, 1, &plan, &graphs);
+    for workers in [1, 4] {
+        let (outcomes, counters) = chaos_run(&bundle, workers, &plan, &graphs);
+        assert_eq!(
+            outcomes, base_outcomes,
+            "per-request outcomes must not depend on worker count ({workers} workers)"
+        );
+        assert_eq!(
+            counters, base_counters,
+            "shed/panic/restart/drop counters must not depend on worker count ({workers} workers)"
+        );
+    }
+    assert_eq!(base_counters.1, plan.planned_panics() as u64);
+}

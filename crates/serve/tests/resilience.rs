@@ -1,0 +1,294 @@
+//! Resilience behaviour that needs no fault injection: admission control,
+//! deadlines, wait timeouts, typed errors, health, and the metrics wiring.
+
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::builder::graph_from_edges;
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::persist::PersistError;
+use deepmap_nn::train::TrainConfig;
+use deepmap_serve::{
+    GraphLimits, Health, InferenceServer, ModelBundle, ResilienceConfig, ServeError, ServerConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn trained_bundle() -> Arc<ModelBundle> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..8 {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    let dm = DeepMap::new(DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: 1,
+        },
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    });
+    let (prepared, pre) = dm.try_prepare_frozen(&graphs, &labels).unwrap();
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let result = dm.fit_split(&prepared, &all, &all);
+    let bundle = ModelBundle::freeze(
+        &dm,
+        &prepared,
+        pre,
+        &result.model,
+        vec!["cycle".to_string(), "clique".to_string()],
+    )
+    .unwrap();
+    Arc::new(bundle)
+}
+
+fn small_cycle() -> Graph {
+    let mut rng = StdRng::seed_from_u64(5);
+    cycle_graph(6, 0, &mut rng)
+}
+
+#[test]
+fn admission_limits_reject_before_the_queue() {
+    let bundle = trained_bundle();
+    let server = InferenceServer::start_with(
+        bundle,
+        ServerConfig::default(),
+        ResilienceConfig {
+            limits: GraphLimits {
+                max_vertices: Some(4),
+                ..GraphLimits::new()
+            },
+            ..ResilienceConfig::default()
+        },
+    )
+    .unwrap();
+
+    let empty = graph_from_edges(0, &[], None).unwrap();
+    match server.submit(empty) {
+        Err(ServeError::Rejected { reason }) => assert!(reason.contains("empty"), "{reason}"),
+        other => panic!("empty graph must be rejected, got {other:?}"),
+    }
+    match server.submit(small_cycle()) {
+        Err(ServeError::Rejected { reason }) => {
+            assert!(reason.contains("6 vertices"), "{reason}")
+        }
+        other => panic!("oversized graph must be rejected, got {other:?}"),
+    }
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.rejected_invalid, 2);
+    assert_eq!(metrics.submitted, 0, "rejections never enter the queue");
+    assert_eq!(
+        server.health(),
+        Health::Ready,
+        "rejection is not ill health"
+    );
+}
+
+#[test]
+fn label_alphabet_check_rejects_unseen_labels() {
+    // The WL bundle above was trained on label-0 graphs only, so its
+    // recorded alphabet is exactly {0}.
+    let bundle = trained_bundle();
+    let server = InferenceServer::start_with(
+        Arc::clone(&bundle),
+        ServerConfig::default(),
+        ResilienceConfig {
+            limits: GraphLimits {
+                check_label_alphabet: true,
+                ..GraphLimits::new()
+            },
+            ..ResilienceConfig::default()
+        },
+    )
+    .unwrap();
+
+    let alien = graph_from_edges(3, &[(0, 1), (1, 2)], Some(&[0, 9, 0])).unwrap();
+    match server.submit(alien) {
+        Err(ServeError::Rejected { reason }) => assert!(reason.contains("label 9"), "{reason}"),
+        other => panic!("unseen label must be rejected, got {other:?}"),
+    }
+    // In-alphabet graphs still serve.
+    assert!(server.predict(small_cycle()).is_ok());
+}
+
+#[test]
+fn zero_deadline_requests_are_shed_not_dropped() {
+    let bundle = trained_bundle();
+    let server = InferenceServer::start(bundle, ServerConfig::default()).unwrap();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            server
+                .submit_with_deadline(small_cycle(), Some(Duration::ZERO))
+                .expect("an expired deadline is still accepted; the batcher sheds it")
+        })
+        .collect();
+    for handle in handles {
+        match handle.wait() {
+            Err(ServeError::DeadlineExceeded) => {}
+            other => panic!("expired request must be shed with a typed error, got {other:?}"),
+        }
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.shed_deadline, 4);
+    assert_eq!(metrics.completed, 0);
+}
+
+#[test]
+fn server_default_deadline_applies_to_plain_submits() {
+    let bundle = trained_bundle();
+    let server = InferenceServer::start_with(
+        bundle,
+        ServerConfig::default(),
+        ResilienceConfig {
+            default_deadline: Some(Duration::ZERO),
+            ..ResilienceConfig::default()
+        },
+    )
+    .unwrap();
+    let shed = server.submit(small_cycle()).unwrap().wait();
+    assert!(matches!(shed, Err(ServeError::DeadlineExceeded)));
+    // A per-request override beats the server default.
+    let served = server
+        .submit_with_deadline(small_cycle(), Some(Duration::from_secs(30)))
+        .unwrap()
+        .wait();
+    assert!(served.is_ok(), "{served:?}");
+}
+
+#[test]
+fn wait_timeout_gives_up_and_can_retry() {
+    let bundle = trained_bundle();
+    // A lone request in a wide batch window: the batcher holds it for
+    // max_wait before flushing, so a short wait_timeout fires first.
+    let server = InferenceServer::start(
+        bundle,
+        ServerConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.submit(small_cycle()).unwrap();
+    match handle.wait_timeout(Duration::from_millis(1)) {
+        Err(ServeError::WaitTimeout) => {}
+        other => panic!("expected WaitTimeout, got {other:?}"),
+    }
+    // The request stayed in flight; a patient wait still gets the answer.
+    assert!(handle.wait().is_ok());
+}
+
+#[test]
+fn serve_errors_display_and_source() {
+    let cases: Vec<(ServeError, &str)> = vec![
+        (
+            ServeError::Rejected {
+                reason: "graph has 9 vertices, limit is 4".to_string(),
+            },
+            "rejected",
+        ),
+        (ServeError::DeadlineExceeded, "deadline"),
+        (ServeError::WaitTimeout, "timed out"),
+        (ServeError::WorkerPanic, "panicked"),
+        (ServeError::CircuitOpen, "circuit breaker open"),
+        (ServeError::QueueFull, "queue full"),
+        (ServeError::Shutdown, "shut down"),
+    ];
+    for (err, needle) in cases {
+        let text = err.to_string();
+        assert!(text.contains(needle), "{text:?} should contain {needle:?}");
+        assert!(err.source().is_none(), "{err:?} wraps no inner error");
+    }
+    let wrapped = ServeError::from(PersistError::Truncated);
+    assert!(wrapped.source().is_some(), "Persist keeps its inner error");
+    assert!(wrapped.to_string().contains("weights"));
+}
+
+#[test]
+fn metrics_move_under_rejection_heavy_load_and_render() {
+    let bundle = trained_bundle();
+    let server = InferenceServer::start_with(
+        bundle,
+        ServerConfig::default(),
+        ResilienceConfig {
+            limits: GraphLimits {
+                max_vertices: Some(10),
+                ..GraphLimits::new()
+            },
+            ..ResilienceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    // Mix of served, admission-rejected, and deadline-shed requests.
+    let mut handles = Vec::new();
+    for i in 0..12 {
+        match i % 3 {
+            0 => handles.push(server.submit(small_cycle()).unwrap()),
+            1 => {
+                let big = cycle_graph(24, 0, &mut rng);
+                assert!(matches!(
+                    server.submit(big),
+                    Err(ServeError::Rejected { .. })
+                ));
+            }
+            _ => {
+                let handle = server
+                    .submit_with_deadline(small_cycle(), Some(Duration::ZERO))
+                    .unwrap();
+                assert!(matches!(handle.wait(), Err(ServeError::DeadlineExceeded)));
+            }
+        }
+    }
+    for handle in handles {
+        handle.wait().expect("valid requests still serve");
+    }
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.completed, 4);
+    assert_eq!(metrics.rejected_invalid, 4);
+    assert_eq!(metrics.shed_deadline, 4);
+    assert_eq!(metrics.submitted, 8, "served + shed entered the queue");
+    assert_eq!(metrics.worker_panics, 0);
+    assert_eq!(metrics.breaker_state, 0, "breaker stays closed");
+    assert_eq!(metrics.queue_depth, 0, "everything drained");
+
+    // The same counters render as Prometheus series, new instruments
+    // included.
+    let text = server.render_metrics();
+    for series in [
+        "deepmap_serve_rejected_invalid 4",
+        "deepmap_serve_requests_shed_deadline 4",
+        "deepmap_serve_worker_panics 0",
+        "deepmap_serve_worker_restarts 0",
+        "deepmap_serve_breaker_rejected 0",
+        "deepmap_serve_breaker_state 0",
+    ] {
+        assert!(text.contains(series), "missing {series:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn health_tracks_shutdown() {
+    let bundle = trained_bundle();
+    let mut server = InferenceServer::start(bundle, ServerConfig::default()).unwrap();
+    assert_eq!(server.health(), Health::Ready);
+    server.predict(small_cycle()).unwrap();
+    assert_eq!(server.health(), Health::Ready);
+    server.shutdown();
+    assert_eq!(server.health(), Health::Unavailable);
+    assert!(matches!(
+        server.submit(small_cycle()),
+        Err(ServeError::Shutdown)
+    ));
+}

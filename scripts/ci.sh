@@ -61,4 +61,27 @@ grep -q '"bench": *"parallel_scaling"' results/BENCH_parallel.json
 grep -q '"deterministic": *true' results/BENCH_parallel.json
 grep -q '"available_parallelism"' results/BENCH_parallel.json
 
+echo "=== serve chaos smoke ==="
+# The chaos suite runs the inference server under deterministic fault
+# injection (worker panics, injected latency, dropped replies): every
+# accepted request must resolve — success or typed error, never a hang —
+# replicas must respawn within the restart budget, and the circuit breaker
+# must trip on an exhausted budget and recover through its cool-down probe.
+# The feature-gated code also gets its own clippy pass, since the default
+# workspace lint run never compiles it.
+cargo clippy -p deepmap-serve -p deepmap-bench --features fault-inject --all-targets -- -D warnings
+cargo test -q --release -p deepmap-serve --features fault-inject
+
+echo "=== resilience bench smoke ==="
+# resilience --smoke measures healthy vs chaos p50/p99, replays the chaos
+# run to prove the fault plan is deterministic, and walks the breaker
+# through trip/fast-fail/probe/recover. It exits non-zero if any request
+# hangs; the greps assert the report landed with the zero-hang contract.
+rm -f results/BENCH_resilience.json
+cargo run --release -p deepmap-bench --features fault-inject --bin resilience -- --smoke
+test -s results/BENCH_resilience.json
+grep -q '"bench": *"resilience"' results/BENCH_resilience.json
+grep -q '"hung_requests": *0' results/BENCH_resilience.json
+grep -q '"deterministic": *true' results/BENCH_resilience.json
+
 echo "CI GATE PASSED"
