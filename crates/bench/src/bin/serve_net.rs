@@ -1,0 +1,471 @@
+//! Network serving benchmark: round-trip latency and hardening counters for
+//! the `deepmap-net` TCP front end.
+//!
+//! Trains a small DeepMap-WL classifier, freezes it into a bundle, serves
+//! it behind a [`NetServer`] on an ephemeral loopback port, and measures:
+//!
+//! 1. **healthy** — client-observed p50/p99 round-trip latency and
+//!    requests/sec over real sockets, reconnecting periodically to exercise
+//!    the accept path, plus one batched frame;
+//! 2. **rejections** — a deliberately starved second server (zero in-flight
+//!    budget, two-connection cap) must answer every overflow with a typed
+//!    `Busy`, feeding the `serve.rejected_busy` / `serve.conn_rejected_capacity`
+//!    counters;
+//! 3. **torture** — a seeded burst of hostile byte streams (bad magic, bad
+//!    version, unknown types, oversized declarations, truncated bodies,
+//!    garbage payloads) against the main server; every hostile frame must be
+//!    answered with an error frame, and the server must keep serving.
+//!
+//! The report lands in `results/BENCH_net.json`. Hard contract, enforced
+//! with non-zero exits: zero handler panics, zero force-closed sockets on
+//! shutdown (`clean_shutdown`), and a server that survives the full torture
+//! burst (`torture_survived`).
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --bin serve_net
+//! cargo run --release -p deepmap-bench --bin serve_net -- --smoke
+//!
+//! --smoke          tiny request counts; same hard assertions
+//! --requests <n>   healthy round-trips (default 200)
+//! --seed <u64>     master seed for data and torture bytes (default 7)
+//! --out <path>     report path (default results/BENCH_net.json)
+//! ```
+
+use deepmap_bench::json::Json;
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_net::protocol::{encode_frame, MAGIC};
+use deepmap_net::{
+    ClientError, ErrorCode, FrameType, NetClient, NetConfig, NetServer, WIRE_VERSION,
+};
+use deepmap_nn::train::TrainConfig;
+use deepmap_serve::{InferenceServer, ModelBundle, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Replies wait out cold starts; nothing in this harness may hang on them.
+const PATIENT: Duration = Duration::from_secs(30);
+/// Reconnect cadence during the healthy run (exercises accept/close).
+const RECONNECT_EVERY: usize = 25;
+
+struct Args {
+    smoke: bool,
+    requests: usize,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        requests: 200,
+        seed: 7,
+        out: PathBuf::from("results/BENCH_net.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--requests" => {
+                args.requests = value("--requests").parse().unwrap_or_else(|_| {
+                    fail("--requests must be a positive integer");
+                })
+            }
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    fail("--seed must be an integer");
+                })
+            }
+            "--out" => args.out = PathBuf::from(value("--out")),
+            other => fail(&format!(
+                "unknown flag {other}\nusage: serve_net [--smoke] [--requests n] [--seed s] [--out path]"
+            )),
+        }
+    }
+    if args.smoke {
+        args.requests = args.requests.min(40);
+    }
+    args
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_net: {msg}");
+    std::process::exit(1);
+}
+
+/// Fixed-increment SplitMix64 — keys the torture byte streams.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+fn synthetic_dataset(seed: u64) -> (Vec<Graph>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..10 {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    (graphs, labels)
+}
+
+fn request_stream(n: usize, seed: u64) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                cycle_graph(5 + i % 4, 0, &mut rng)
+            } else {
+                complete_graph(4 + i % 4, 0, &mut rng)
+            }
+        })
+        .collect()
+}
+
+fn trained_bundle(seed: u64, smoke: bool) -> Arc<ModelBundle> {
+    let (graphs, labels) = synthetic_dataset(seed);
+    let dm = DeepMap::new(DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: if smoke { 6 } else { 15 },
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed,
+        },
+        seed,
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    });
+    let (prepared, pre) = dm
+        .try_prepare_frozen(&graphs, &labels)
+        .unwrap_or_else(|e| fail(&format!("prepare failed: {e}")));
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let result = dm.fit_split(&prepared, &all, &all);
+    Arc::new(
+        ModelBundle::freeze(
+            &dm,
+            &prepared,
+            pre,
+            &result.model,
+            vec!["cycle".to_string(), "clique".to_string()],
+        )
+        .unwrap_or_else(|e| fail(&format!("freeze failed: {e}"))),
+    )
+}
+
+fn start_server(bundle: &Arc<ModelBundle>, config: NetConfig) -> NetServer {
+    let engine = InferenceServer::start(Arc::clone(bundle), ServerConfig::default())
+        .unwrap_or_else(|e| fail(&format!("engine start failed: {e}")));
+    NetServer::start(engine, "127.0.0.1:0", config)
+        .unwrap_or_else(|e| fail(&format!("net server start failed: {e}")))
+}
+
+fn connect(server: &NetServer) -> NetClient {
+    let client = NetClient::connect(server.local_addr())
+        .unwrap_or_else(|e| fail(&format!("connect failed: {e}")));
+    client
+        .set_read_timeout(PATIENT)
+        .unwrap_or_else(|e| fail(&format!("set timeout failed: {e}")));
+    client
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One hostile stream on a fresh connection; returns `true` when the server
+/// answered it with a typed error frame (the contract for every scenario
+/// except mid-frame disconnects, which owe no reply).
+fn throw_hostile(server: &NetServer, rng: &mut SplitMix64, kind: u64) -> (bool, bool) {
+    let mut client = connect(server);
+    let mut header = Vec::with_capacity(10);
+    header.extend_from_slice(&MAGIC);
+    header.push(WIRE_VERSION);
+    header.push(FrameType::Health as u8);
+    header.extend_from_slice(&0u32.to_le_bytes());
+    let expects_reply = match kind {
+        // Corrupted magic byte.
+        0 => {
+            header[rng.below(4) as usize] ^= 1 + rng.below(255) as u8;
+            true
+        }
+        // Unsupported version.
+        1 => {
+            header[4] = 2 + rng.below(250) as u8;
+            true
+        }
+        // Unknown frame type.
+        2 => {
+            let mut byte = rng.next_u64() as u8;
+            while FrameType::from_u8(byte).is_some() {
+                byte = byte.wrapping_add(1);
+            }
+            header[5] = byte;
+            true
+        }
+        // Oversized declared body.
+        3 => {
+            let declared = deepmap_net::DEFAULT_MAX_FRAME + 1 + rng.below(1024) as u32;
+            header[6..10].copy_from_slice(&declared.to_le_bytes());
+            true
+        }
+        // Well-formed Predict frame, garbage body.
+        4 => {
+            let body: Vec<u8> = (0..8 + rng.below(40))
+                .map(|_| rng.next_u64() as u8)
+                .collect();
+            header = encode_frame(FrameType::Predict, &body);
+            true
+        }
+        // Truncated body, then disconnect: no reply owed.
+        _ => {
+            header[5] = FrameType::Predict as u8;
+            let declared = 32 + rng.below(64) as u32;
+            header[6..10].copy_from_slice(&declared.to_le_bytes());
+            header.extend((0..rng.below(declared as u64)).map(|_| rng.next_u64() as u8));
+            false
+        }
+    };
+    if client.send_raw(&header).is_err() {
+        return (expects_reply, false);
+    }
+    if !expects_reply {
+        return (false, false);
+    }
+    let answered = matches!(client.read_reply(), Ok((FrameType::Error, _)));
+    (true, answered)
+}
+
+fn main() {
+    let args = parse_args();
+    let bundle = trained_bundle(args.seed, args.smoke);
+    let stream = request_stream(args.requests, args.seed);
+    let server = start_server(&bundle, NetConfig::default());
+
+    // 1. Healthy round-trips, client-observed latency over real sockets.
+    let mut client = connect(&server);
+    client
+        .predict(&stream[0])
+        .unwrap_or_else(|e| fail(&format!("warm-up predict failed: {e}")));
+    let mut latencies_ms = Vec::with_capacity(stream.len());
+    let start = Instant::now();
+    for (i, graph) in stream.iter().enumerate() {
+        if i > 0 && i % RECONNECT_EVERY == 0 {
+            client = connect(&server);
+        }
+        let sent = Instant::now();
+        match client.predict(graph) {
+            Ok(_) => latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3),
+            Err(e) => fail(&format!("healthy request {i} failed: {e}")),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let requests_per_sec = stream.len() as f64 / elapsed;
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50_ms = percentile(&latencies_ms, 0.50);
+    let p99_ms = percentile(&latencies_ms, 0.99);
+
+    // One batched frame: every item must come back healthy.
+    let batch_n = stream.len().min(16);
+    let batch = client
+        .predict_batch(&stream[..batch_n])
+        .unwrap_or_else(|e| fail(&format!("batch failed: {e}")));
+    let batch_ok = batch.iter().filter(|item| item.is_ok()).count();
+    if batch_ok != batch_n {
+        fail(&format!("batch served {batch_ok}/{batch_n} items"));
+    }
+    drop(client);
+    deepmap_obs::info!(
+        "healthy: {} round-trips, p50 {:.3} ms, p99 {:.3} ms, {:.0} req/s",
+        stream.len(),
+        p50_ms,
+        p99_ms,
+        requests_per_sec
+    );
+
+    // 2. Rejection counters on a deliberately starved server: zero
+    // in-flight budget and a two-connection cap.
+    let starved = start_server(
+        &bundle,
+        NetConfig {
+            max_connections: 2,
+            max_in_flight: 0,
+            ..NetConfig::default()
+        },
+    );
+    let mut busy_rejects = 0u64;
+    let mut holders: Vec<NetClient> = Vec::new();
+    for _ in 0..2 {
+        let mut c = connect(&starved);
+        match c.predict(&stream[0]) {
+            Err(ClientError::Server(r)) if r.code == ErrorCode::Busy => busy_rejects += 1,
+            other => fail(&format!(
+                "starved server must reject with Busy, got {other:?}"
+            )),
+        }
+        holders.push(c); // keep the connection open to fill the cap
+    }
+    // Over the connection cap: the server answers Busy and closes.
+    let mut overflow = connect(&starved);
+    match overflow.read_reply() {
+        Ok((FrameType::Error, _)) => {}
+        other => fail(&format!(
+            "over-cap connection must get an error frame, got {other:?}"
+        )),
+    }
+    let starved_metrics = starved.metrics();
+    drop(holders);
+    drop(overflow);
+    let starved_stats = starved.shutdown();
+    if starved_metrics.rejected_busy != busy_rejects || busy_rejects != 2 {
+        fail("serve.rejected_busy disagrees with the driven rejections");
+    }
+    if starved_metrics.conn_rejected_capacity != 1 {
+        fail("serve.conn_rejected_capacity must count the over-cap connection");
+    }
+    deepmap_obs::info!(
+        "rejections: {} busy, {} capacity, starved shutdown forced {} closes",
+        starved_metrics.rejected_busy,
+        starved_metrics.conn_rejected_capacity,
+        starved_stats.forced_closes
+    );
+
+    // 3. Seeded torture burst against the main server.
+    let mut rng = SplitMix64(args.seed ^ 0xD33_94A9);
+    let torture_rounds: u64 = if args.smoke { 12 } else { 60 };
+    let mut hostile_frames = 0u64;
+    let mut answered_errors = 0u64;
+    for round in 0..torture_rounds {
+        let (owed, answered) = throw_hostile(&server, &mut rng, round % 6);
+        if owed {
+            hostile_frames += 1;
+            if answered {
+                answered_errors += 1;
+            }
+        }
+    }
+    // The server must still serve, correctly, after the burst.
+    let mut survivor = connect(&server);
+    let torture_survived = stream.iter().take(4).all(|g| survivor.predict(g).is_ok());
+    drop(survivor);
+    let main_metrics = server.metrics();
+    let stats = server.shutdown();
+    let clean_shutdown = stats.forced_closes == 0
+        && stats.conn_panics == 0
+        && stats.conns_accepted == stats.conns_closed;
+    deepmap_obs::info!(
+        "torture: {hostile_frames} hostile frames, {answered_errors} answered, survived {torture_survived}, clean shutdown {clean_shutdown}"
+    );
+
+    // 4. Report + hard assertions.
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("serve_net".into())),
+        ("smoke".into(), Json::Bool(args.smoke)),
+        ("seed".into(), Json::Num(args.seed as f64)),
+        ("requests".into(), Json::Num(stream.len() as f64)),
+        ("p50_ms".into(), Json::Num(p50_ms)),
+        ("p99_ms".into(), Json::Num(p99_ms)),
+        ("requests_per_sec".into(), Json::Num(requests_per_sec)),
+        ("batch_items_ok".into(), Json::Num(batch_ok as f64)),
+        (
+            "rejections".into(),
+            Json::Obj(vec![
+                (
+                    "rejected_busy".into(),
+                    Json::Num(starved_metrics.rejected_busy as f64),
+                ),
+                (
+                    "conn_rejected_capacity".into(),
+                    Json::Num(starved_metrics.conn_rejected_capacity as f64),
+                ),
+                (
+                    "conn_frame_errors".into(),
+                    Json::Num(main_metrics.conn_frame_errors as f64),
+                ),
+            ]),
+        ),
+        (
+            "torture".into(),
+            Json::Obj(vec![
+                ("hostile_frames".into(), Json::Num(hostile_frames as f64)),
+                ("answered_errors".into(), Json::Num(answered_errors as f64)),
+                (
+                    "conn_panics".into(),
+                    Json::Num(main_metrics.conn_panics as f64),
+                ),
+            ]),
+        ),
+        ("torture_survived".into(), Json::Bool(torture_survived)),
+        ("clean_shutdown".into(), Json::Bool(clean_shutdown)),
+    ]);
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(&args.out, report.to_json())
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", args.out.display())));
+
+    // Self-check: re-read and parse what landed on disk, then enforce the
+    // hardening contract with non-zero exits.
+    let text = std::fs::read_to_string(&args.out)
+        .unwrap_or_else(|e| fail(&format!("cannot re-read {}: {e}", args.out.display())));
+    let parsed =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("report is not valid JSON: {e}")));
+    if parsed.get("p99_ms").is_none()
+        || parsed.get("requests_per_sec").is_none()
+        || parsed.get("torture_survived").is_none()
+    {
+        fail("report is missing required fields");
+    }
+    if latencies_ms.len() != stream.len() {
+        fail("healthy run must answer every request");
+    }
+    if answered_errors != hostile_frames {
+        fail(&format!(
+            "{answered_errors}/{hostile_frames} hostile frames answered — typed-error contract broken"
+        ));
+    }
+    if main_metrics.conn_panics != 0 {
+        fail("handler panicked during torture");
+    }
+    if !torture_survived {
+        fail("server stopped serving after the torture burst");
+    }
+    if !clean_shutdown {
+        fail(&format!(
+            "shutdown was not clean: {} forced closes, {} accepted vs {} closed",
+            stats.forced_closes, stats.conns_accepted, stats.conns_closed
+        ));
+    }
+    println!(
+        "wrote {} (p50 {:.3} ms, p99 {:.3} ms, {:.0} req/s, {} hostile frames all answered, clean shutdown)",
+        args.out.display(),
+        p50_ms,
+        p99_ms,
+        requests_per_sec,
+        hostile_frames
+    );
+}

@@ -1,0 +1,257 @@
+//! A small blocking client for the `DMW1` wire protocol.
+//!
+//! One [`NetClient`] wraps one TCP connection and offers a synchronous
+//! request/reply call per frame type. Replies are validated as strictly on
+//! the client as requests are on the server: unexpected frame types,
+//! oversized replies, and malformed bodies all surface as typed
+//! [`ClientError`]s, never panics. Used by the integration tests, the
+//! protocol-torture suite, and the `serve_net` bench.
+
+use crate::protocol::{
+    decode_error_body, encode_batch_request, encode_frame, read_frame, ErrorCode, FrameType,
+    WireError, DEFAULT_MAX_FRAME,
+};
+use deepmap_graph::Graph;
+use deepmap_serve::codec::{decode_prediction, encode_graph, Reader};
+use deepmap_serve::Prediction;
+use std::fmt;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A server-side rejection, decoded from an error frame (or a per-item
+/// error in a batch reply).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerReject {
+    /// The typed reason.
+    pub code: ErrorCode,
+    /// The server's human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ServerReject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "server rejected request ({}): {}",
+            self.code, self.message
+        )
+    }
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout, server closed).
+    Io(std::io::Error),
+    /// The server's reply violated the wire protocol.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Server(ServerReject),
+    /// The server answered with a frame type the request cannot accept.
+    UnexpectedReply(
+        /// The frame type that arrived.
+        FrameType,
+    ),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol violation in reply: {e}"),
+            ClientError::Server(r) => write!(f, "{r}"),
+            ClientError::UnexpectedReply(t) => write!(f, "unexpected reply frame {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Server health as reported over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteHealth {
+    /// Breaker closed, all replicas live.
+    Ready,
+    /// Serving below full strength.
+    Degraded {
+        /// Workers currently able to take batches.
+        live_workers: u32,
+    },
+    /// Not serving (breaker open, no replicas, or draining).
+    Unavailable,
+}
+
+/// A blocking `DMW1` client over one TCP connection.
+pub struct NetClient {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+impl NetClient {
+    /// Connects with a 5-second default for connect, read, and write
+    /// timeouts (see [`NetClient::connect_with_timeout`] to choose).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, ClientError> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connects and applies `timeout` to reads and writes. A reply slower
+    /// than the timeout surfaces as [`ClientError::Io`].
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<NetClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true).ok();
+        Ok(NetClient {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Overrides the read timeout (e.g. to outwait a cold first request).
+    pub fn set_read_timeout(&self, timeout: Duration) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        Ok(())
+    }
+
+    /// Sends one request frame and reads one reply frame.
+    fn round_trip(
+        &mut self,
+        frame_type: FrameType,
+        body: &[u8],
+    ) -> Result<(FrameType, Vec<u8>), ClientError> {
+        self.stream.write_all(&encode_frame(frame_type, body))?;
+        let (header, reply) = read_frame(&mut self.stream, self.max_frame)??;
+        Ok((header.frame_type, reply))
+    }
+
+    /// Maps a reply frame onto the expected type, decoding error frames.
+    fn expect(reply: (FrameType, Vec<u8>), want: FrameType) -> Result<Vec<u8>, ClientError> {
+        match reply {
+            (t, body) if t == want => Ok(body),
+            (FrameType::Error, body) => {
+                let (code, message) = decode_error_body(&body)?;
+                Err(ClientError::Server(ServerReject { code, message }))
+            }
+            (t, _) => Err(ClientError::UnexpectedReply(t)),
+        }
+    }
+
+    /// Classifies one graph.
+    pub fn predict(&mut self, graph: &Graph) -> Result<Prediction, ClientError> {
+        let reply = self.round_trip(FrameType::Predict, &encode_graph(graph))?;
+        let body = Self::expect(reply, FrameType::PredictReply)?;
+        decode_prediction(&body).map_err(|e| ClientError::Wire(WireError::BadBody(e.to_string())))
+    }
+
+    /// Classifies a batch in one frame. Per-item failures (admission
+    /// rejections, deadlines) come back per item; a frame-level failure
+    /// (bad framing, busy, draining) fails the whole call.
+    pub fn predict_batch(
+        &mut self,
+        graphs: &[Graph],
+    ) -> Result<Vec<Result<Prediction, ServerReject>>, ClientError> {
+        let blobs: Vec<Vec<u8>> = graphs.iter().map(encode_graph).collect();
+        let reply = self.round_trip(FrameType::PredictBatch, &encode_batch_request(&blobs))?;
+        let body = Self::expect(reply, FrameType::PredictBatchReply)?;
+        let mut r = Reader::new(&body);
+        let bad = |what: &str| ClientError::Wire(WireError::BadBody(what.to_string()));
+        let count = r.u32().map_err(|_| bad("missing item count"))? as usize;
+        let mut items = Vec::with_capacity(count.min(body.len()));
+        for i in 0..count {
+            let tag = r.u8().map_err(|_| bad("missing item tag"))?;
+            match tag {
+                0 => {
+                    let len = r.u32().map_err(|_| bad("missing item length"))? as usize;
+                    let blob = r.take(len).map_err(|_| bad("item truncated"))?;
+                    let prediction =
+                        decode_prediction(blob).map_err(|e| bad(&format!("item {i}: {e}")))?;
+                    items.push(Ok(prediction));
+                }
+                1 => {
+                    let code = r.u16().map_err(|_| bad("missing error code"))?;
+                    let len = r.u32().map_err(|_| bad("missing error length"))? as usize;
+                    let message =
+                        String::from_utf8_lossy(r.take(len).map_err(|_| bad("error truncated"))?)
+                            .into_owned();
+                    items.push(Err(ServerReject {
+                        code: ErrorCode::from_u16(code),
+                        message,
+                    }));
+                }
+                other => return Err(bad(&format!("unknown item tag {other}"))),
+            }
+        }
+        r.finish()
+            .map_err(|_| bad("trailing bytes after batch items"))?;
+        Ok(items)
+    }
+
+    /// Asks for the server's health.
+    pub fn health(&mut self) -> Result<RemoteHealth, ClientError> {
+        let reply = self.round_trip(FrameType::Health, &[])?;
+        let body = Self::expect(reply, FrameType::HealthReply)?;
+        let mut r = Reader::new(&body);
+        let bad = |what: &str| ClientError::Wire(WireError::BadBody(what.to_string()));
+        let state = r.u8().map_err(|_| bad("missing health state"))?;
+        let live_workers = r.u32().map_err(|_| bad("missing live workers"))?;
+        r.finish().map_err(|_| bad("oversized health reply"))?;
+        match state {
+            0 => Ok(RemoteHealth::Ready),
+            1 => Ok(RemoteHealth::Degraded { live_workers }),
+            2 => Ok(RemoteHealth::Unavailable),
+            other => Err(bad(&format!("unknown health state {other}"))),
+        }
+    }
+
+    /// Fetches the server's metrics in Prometheus text format.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let reply = self.round_trip(FrameType::Metrics, &[])?;
+        let body = Self::expect(reply, FrameType::MetricsReply)?;
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// Asks the server to drain gracefully. The server acknowledges and
+    /// then closes this connection.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        let reply = self.round_trip(FrameType::Drain, &[])?;
+        Self::expect(reply, FrameType::DrainReply)?;
+        Ok(())
+    }
+
+    /// Sends raw bytes as-is — the torture suite's hostile-frame entry
+    /// point; production code never needs it.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Reads one raw reply frame — the torture suite's assertion hook.
+    pub fn read_reply(&mut self) -> Result<(FrameType, Vec<u8>), ClientError> {
+        let (header, body) = read_frame(&mut self.stream, self.max_frame)??;
+        Ok((header.frame_type, body))
+    }
+}

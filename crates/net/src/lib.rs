@@ -1,0 +1,38 @@
+//! `deepmap-net`: a hardened, zero-dependency TCP front end for the
+//! DeepMap inference server.
+//!
+//! PR 5 made the in-process engine resilient (admission control,
+//! deadlines, supervision, a circuit breaker); this crate extends that
+//! posture one layer out, to where malformed input, slow clients, and
+//! connection churn actually arrive:
+//!
+//! - [`protocol`] — the versioned, length-prefixed `DMW1` wire format
+//!   (magic + version + frame type + u32 body length) with strict typed
+//!   validation ([`WireError`]): bad magic, unknown versions and frame
+//!   types, oversized and truncated frames are all answered with error
+//!   frames, never panics or silent drops. Graph and prediction payloads
+//!   ride the shared [`deepmap_serve::codec`] readers, so the wire and
+//!   bundle formats validate bytes one way.
+//! - [`server`] — the blocking-threads [`NetServer`]: per-connection
+//!   read/write deadlines and idle timeouts (slow-loris shedding),
+//!   bounded connection and in-flight budgets that reject with
+//!   [`ErrorCode::Busy`] (backpressure), per-connection panic isolation,
+//!   graceful drain with a bounded shutdown deadline, and `serve.conn_*`
+//!   instruments on the engine's metrics registry.
+//! - [`client`] — a small blocking [`NetClient`] used by the integration
+//!   tests, the protocol-torture suite, and the `serve_net` bench.
+//!
+//! The engine's fast-fail taxonomy crosses the wire intact: admission
+//! rejections, queue-full, breaker-open, deadline, and worker-panic
+//! failures each map to their own [`ErrorCode`], so a remote client can
+//! react exactly as an in-process caller would.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, NetClient, RemoteHealth, ServerReject};
+pub use protocol::{ErrorCode, FrameType, WireError, DEFAULT_MAX_FRAME, WIRE_VERSION};
+pub use server::{NetConfig, NetMetricsSnapshot, NetServer, NetStats};

@@ -1,0 +1,495 @@
+//! The `DMW1` wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! magic "DMW1" | u8 version (= 1) | u8 frame type | u32 body length (LE) | body
+//! ```
+//!
+//! Request frames carry graphs ([`FrameType::Predict`],
+//! [`FrameType::PredictBatch`]) or are empty ([`FrameType::Health`],
+//! [`FrameType::Metrics`], [`FrameType::Drain`]); each is answered by
+//! exactly one reply frame — the matching `*Reply` type or
+//! [`FrameType::Error`] carrying a typed [`ErrorCode`] plus a human-readable
+//! message. Graph and prediction bodies use the validated codecs in
+//! [`deepmap_serve::codec`], so wire payloads and bundle files share one
+//! length-checked reader.
+//!
+//! Validation is strict and total: a header that fails [`parse_header`]
+//! (bad magic, unknown version or frame type, body length over the
+//! negotiated maximum) yields a typed [`WireError`], never a panic, and the
+//! server answers it with an error frame before closing the connection —
+//! after a framing error the byte stream can no longer be trusted to be
+//! frame-aligned.
+
+use deepmap_serve::codec::Reader;
+use deepmap_serve::ServeError;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// The wire magic, first bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"DMW1";
+/// The protocol version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+/// Bytes in a frame header: magic + version + type + body length.
+pub const HEADER_LEN: usize = 10;
+/// Default ceiling on a frame body; [`parse_header`] rejects bigger ones.
+pub const DEFAULT_MAX_FRAME: u32 = 8 * 1024 * 1024;
+
+/// Every frame type the protocol defines. Requests are `0x01..=0x05`,
+/// replies have the high bit set; `0xEE` is the error reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Classify one graph (body: encoded graph).
+    Predict = 0x01,
+    /// Classify several graphs (body: `u32 count | count × (u32 len | graph)`).
+    PredictBatch = 0x02,
+    /// Report server health (empty body).
+    Health = 0x03,
+    /// Report serving metrics (empty body).
+    Metrics = 0x04,
+    /// Begin graceful drain: stop accepting, flush in-flight (empty body).
+    Drain = 0x05,
+    /// Reply to [`FrameType::Predict`] (body: encoded prediction).
+    PredictReply = 0x81,
+    /// Reply to [`FrameType::PredictBatch`] (body: per-item tagged results).
+    PredictBatchReply = 0x82,
+    /// Reply to [`FrameType::Health`] (body: `u8 state | u32 live_workers`).
+    HealthReply = 0x83,
+    /// Reply to [`FrameType::Metrics`] (body: Prometheus text, utf-8).
+    MetricsReply = 0x84,
+    /// Reply to [`FrameType::Drain`] (empty body).
+    DrainReply = 0x85,
+    /// Error reply to any request (body: `u16 code | utf-8 message`).
+    Error = 0xEE,
+}
+
+impl FrameType {
+    /// Parses a frame-type byte.
+    pub fn from_u8(byte: u8) -> Option<FrameType> {
+        match byte {
+            0x01 => Some(FrameType::Predict),
+            0x02 => Some(FrameType::PredictBatch),
+            0x03 => Some(FrameType::Health),
+            0x04 => Some(FrameType::Metrics),
+            0x05 => Some(FrameType::Drain),
+            0x81 => Some(FrameType::PredictReply),
+            0x82 => Some(FrameType::PredictBatchReply),
+            0x83 => Some(FrameType::HealthReply),
+            0x84 => Some(FrameType::MetricsReply),
+            0x85 => Some(FrameType::DrainReply),
+            0xEE => Some(FrameType::Error),
+            _ => None,
+        }
+    }
+}
+
+/// Typed error codes carried in [`FrameType::Error`] bodies. Codes `1..=5`
+/// are protocol violations; the rest mirror the engine's [`ServeError`]
+/// fast-fail taxonomy so a wire client can tell backpressure
+/// ([`ErrorCode::Busy`]) from admission ([`ErrorCode::Rejected`]) from the
+/// breaker ([`ErrorCode::CircuitOpen`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Frame did not start with the `DMW1` magic.
+    BadMagic = 1,
+    /// Frame declared a protocol version this build cannot speak.
+    UnsupportedVersion = 2,
+    /// Frame type byte is not part of the protocol.
+    UnknownFrameType = 3,
+    /// Declared body length exceeds the server's frame budget.
+    FrameTooLarge = 4,
+    /// Frame was well-formed but its body failed payload validation.
+    BadBody = 5,
+    /// In-flight request budget exhausted (backpressure); retry later.
+    Busy = 6,
+    /// Admission control refused the graph ([`ServeError::Rejected`]).
+    Rejected = 7,
+    /// The engine's bounded queue is full ([`ServeError::QueueFull`]).
+    QueueFull = 8,
+    /// The circuit breaker is open ([`ServeError::CircuitOpen`]).
+    CircuitOpen = 9,
+    /// The request's deadline expired ([`ServeError::DeadlineExceeded`]).
+    DeadlineExceeded = 10,
+    /// The worker serving the request panicked ([`ServeError::WorkerPanic`]).
+    WorkerPanic = 11,
+    /// The server is draining or shut down; no new work is accepted.
+    Draining = 12,
+    /// The server gave up waiting for the engine's reply.
+    Timeout = 13,
+    /// A reply-direction frame arrived as a request.
+    UnexpectedFrame = 14,
+    /// Any other serving failure.
+    Internal = 15,
+}
+
+impl ErrorCode {
+    /// Parses an error-code value; unknown codes map to
+    /// [`ErrorCode::Internal`] so old clients survive new servers.
+    pub fn from_u16(code: u16) -> ErrorCode {
+        match code {
+            1 => ErrorCode::BadMagic,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::UnknownFrameType,
+            4 => ErrorCode::FrameTooLarge,
+            5 => ErrorCode::BadBody,
+            6 => ErrorCode::Busy,
+            7 => ErrorCode::Rejected,
+            8 => ErrorCode::QueueFull,
+            9 => ErrorCode::CircuitOpen,
+            10 => ErrorCode::DeadlineExceeded,
+            11 => ErrorCode::WorkerPanic,
+            12 => ErrorCode::Draining,
+            13 => ErrorCode::Timeout,
+            14 => ErrorCode::UnexpectedFrame,
+            _ => ErrorCode::Internal,
+        }
+    }
+
+    /// The code the server answers a given engine failure with.
+    pub fn from_serve_error(e: &ServeError) -> ErrorCode {
+        match e {
+            ServeError::Busy => ErrorCode::Busy,
+            ServeError::Rejected { .. } => ErrorCode::Rejected,
+            ServeError::QueueFull => ErrorCode::QueueFull,
+            ServeError::CircuitOpen => ErrorCode::CircuitOpen,
+            ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+            ServeError::WorkerPanic => ErrorCode::WorkerPanic,
+            ServeError::Shutdown => ErrorCode::Draining,
+            ServeError::WaitTimeout => ErrorCode::Timeout,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::BadMagic => "bad-magic",
+            ErrorCode::UnsupportedVersion => "unsupported-version",
+            ErrorCode::UnknownFrameType => "unknown-frame-type",
+            ErrorCode::FrameTooLarge => "frame-too-large",
+            ErrorCode::BadBody => "bad-body",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Rejected => "rejected",
+            ErrorCode::QueueFull => "queue-full",
+            ErrorCode::CircuitOpen => "circuit-open",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::WorkerPanic => "worker-panic",
+            ErrorCode::Draining => "draining",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::UnexpectedFrame => "unexpected-frame",
+            ErrorCode::Internal => "internal",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Typed wire-protocol violations, produced by [`parse_header`] and body
+/// decoding — the front end's counterpart of the bundle format's strict
+/// validation. Every variant is answered with an error frame; none panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes were not `DMW1`.
+    BadMagic(
+        /// The bytes found instead.
+        [u8; 4],
+    ),
+    /// The version byte is not one this build speaks.
+    UnsupportedVersion(
+        /// The declared version.
+        u8,
+    ),
+    /// The frame-type byte is not defined by the protocol.
+    UnknownFrameType(
+        /// The byte found.
+        u8,
+    ),
+    /// The declared body length exceeds the frame budget.
+    Oversized {
+        /// Declared body length.
+        declared: u32,
+        /// The budget it exceeded.
+        max: u32,
+    },
+    /// The stream ended (or a declared length ran out) mid-frame.
+    Truncated,
+    /// The frame was well-formed but its body failed validation.
+    BadBody(
+        /// What was wrong with the payload.
+        String,
+    ),
+}
+
+impl WireError {
+    /// The error code a server answers this violation with.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            WireError::BadMagic(_) => ErrorCode::BadMagic,
+            WireError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+            WireError::UnknownFrameType(_) => ErrorCode::UnknownFrameType,
+            WireError::Oversized { .. } => ErrorCode::FrameTooLarge,
+            WireError::Truncated => ErrorCode::BadBody,
+            WireError::BadBody(_) => ErrorCode::BadBody,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(found) => write!(f, "bad magic {found:02x?} (want \"DMW1\")"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire version {v} (this build speaks 1)")
+            }
+            WireError::UnknownFrameType(t) => write!(f, "unknown frame type 0x{t:02x}"),
+            WireError::Oversized { declared, max } => {
+                write!(f, "frame body of {declared} bytes exceeds the {max} budget")
+            }
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadBody(what) => write!(f, "bad frame body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A parsed frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The frame type.
+    pub frame_type: FrameType,
+    /// Declared body length in bytes.
+    pub body_len: u32,
+}
+
+/// Validates a raw header: magic, version, frame type, body budget.
+pub fn parse_header(buf: &[u8; HEADER_LEN], max_frame: u32) -> Result<FrameHeader, WireError> {
+    let magic: [u8; 4] = buf[0..4].try_into().expect("4 bytes");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if buf[4] != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(buf[4]));
+    }
+    let frame_type = FrameType::from_u8(buf[5]).ok_or(WireError::UnknownFrameType(buf[5]))?;
+    let body_len = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes"));
+    if body_len > max_frame {
+        return Err(WireError::Oversized {
+            declared: body_len,
+            max: max_frame,
+        });
+    }
+    Ok(FrameHeader {
+        frame_type,
+        body_len,
+    })
+}
+
+/// Serialises one frame (header + body).
+pub fn encode_frame(frame_type: FrameType, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(frame_type as u8);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Writes one frame to `w` (a single `write_all`, so a frame is never
+/// interleaved with another writer's bytes on the same stream).
+pub fn write_frame(w: &mut impl Write, frame_type: FrameType, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&encode_frame(frame_type, body))
+}
+
+/// Reads one frame from `r`, validating the header against `max_frame`.
+///
+/// `Ok(Err(_))` is a protocol violation (the caller should answer with an
+/// error frame and drop the connection); `Err(_)` is a transport failure
+/// (timeout, reset, clean close).
+pub fn read_frame(
+    r: &mut impl Read,
+    max_frame: u32,
+) -> std::io::Result<Result<(FrameHeader, Vec<u8>), WireError>> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let parsed = match parse_header(&header, max_frame) {
+        Ok(parsed) => parsed,
+        Err(e) => return Ok(Err(e)),
+    };
+    let mut body = vec![0u8; parsed.body_len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Ok((parsed, body)))
+}
+
+/// Encodes an error-frame body: `u16 code | utf-8 message`.
+pub fn encode_error_body(code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + message.len());
+    out.extend_from_slice(&(code as u16).to_le_bytes());
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Decodes an error-frame body.
+pub fn decode_error_body(body: &[u8]) -> Result<(ErrorCode, String), WireError> {
+    let mut r = Reader::new(body);
+    let code = r.u16().map_err(|_| WireError::Truncated)?;
+    let message = String::from_utf8_lossy(r.take(r.remaining()).expect("remaining")).into_owned();
+    Ok((ErrorCode::from_u16(code), message))
+}
+
+/// Encodes a predict-batch request body: `u32 count | count × (u32 len |
+/// encoded graph)`.
+pub fn encode_batch_request(graph_blobs: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = graph_blobs.iter().map(|b| 4 + b.len()).sum();
+    let mut out = Vec::with_capacity(4 + total);
+    out.extend_from_slice(&(graph_blobs.len() as u32).to_le_bytes());
+    for blob in graph_blobs {
+        out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        out.extend_from_slice(blob);
+    }
+    out
+}
+
+/// Splits a predict-batch request body into its per-graph blobs (not yet
+/// graph-decoded; each blob still goes through the graph codec).
+pub fn decode_batch_request(body: &[u8]) -> Result<Vec<&[u8]>, WireError> {
+    let mut r = Reader::new(body);
+    let count = r.u32().map_err(|_| WireError::Truncated)? as usize;
+    let mut blobs = Vec::with_capacity(count.min(r.remaining() / 4 + 1));
+    for _ in 0..count {
+        let len = r.u32().map_err(|_| WireError::Truncated)? as usize;
+        blobs.push(r.take(len).map_err(|_| WireError::Truncated)?);
+    }
+    if r.remaining() != 0 {
+        return Err(WireError::BadBody(format!(
+            "{} trailing bytes after {count} batch items",
+            r.remaining()
+        )));
+    }
+    Ok(blobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let bytes = encode_frame(FrameType::Predict, b"payload");
+        let mut cursor = &bytes[..];
+        let (header, body) = read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(header.frame_type, FrameType::Predict);
+        assert_eq!(body, b"payload");
+    }
+
+    #[test]
+    fn header_rejects_each_violation() {
+        let good = encode_frame(FrameType::Health, &[]);
+        let header: [u8; HEADER_LEN] = good[..HEADER_LEN].try_into().unwrap();
+
+        let mut bad = header;
+        bad[0] = b'X';
+        assert!(matches!(
+            parse_header(&bad, DEFAULT_MAX_FRAME),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad = header;
+        bad[4] = 9;
+        assert_eq!(
+            parse_header(&bad, DEFAULT_MAX_FRAME),
+            Err(WireError::UnsupportedVersion(9))
+        );
+
+        let mut bad = header;
+        bad[5] = 0x42;
+        assert_eq!(
+            parse_header(&bad, DEFAULT_MAX_FRAME),
+            Err(WireError::UnknownFrameType(0x42))
+        );
+
+        let mut bad = header;
+        bad[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            parse_header(&bad, 1024),
+            Err(WireError::Oversized {
+                declared: u32::MAX,
+                max: 1024
+            })
+        );
+    }
+
+    #[test]
+    fn every_frame_type_byte_parses_back() {
+        for t in [
+            FrameType::Predict,
+            FrameType::PredictBatch,
+            FrameType::Health,
+            FrameType::Metrics,
+            FrameType::Drain,
+            FrameType::PredictReply,
+            FrameType::PredictBatchReply,
+            FrameType::HealthReply,
+            FrameType::MetricsReply,
+            FrameType::DrainReply,
+            FrameType::Error,
+        ] {
+            assert_eq!(FrameType::from_u8(t as u8), Some(t));
+        }
+        assert_eq!(FrameType::from_u8(0x66), None, "poison pill stays unknown");
+    }
+
+    #[test]
+    fn error_body_round_trips_and_tolerates_unknown_codes() {
+        let body = encode_error_body(ErrorCode::Busy, "try later");
+        assert_eq!(
+            decode_error_body(&body).unwrap(),
+            (ErrorCode::Busy, "try later".to_string())
+        );
+        let mut forged = body.clone();
+        forged[0..2].copy_from_slice(&999u16.to_le_bytes());
+        assert_eq!(decode_error_body(&forged).unwrap().0, ErrorCode::Internal);
+        assert_eq!(decode_error_body(&[1]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn batch_request_round_trips_and_rejects_garbage() {
+        let blobs = vec![vec![1u8, 2], vec![], vec![9u8; 5]];
+        let body = encode_batch_request(&blobs);
+        let split = decode_batch_request(&body).unwrap();
+        assert_eq!(split.len(), 3);
+        assert_eq!(split[0], &[1, 2]);
+        assert_eq!(split[2], &[9; 5]);
+
+        let mut trailing = body.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_batch_request(&trailing),
+            Err(WireError::BadBody(_))
+        ));
+        assert!(matches!(
+            decode_batch_request(&body[..body.len() - 1]),
+            Err(WireError::Truncated)
+        ));
+        // A count far beyond the payload cannot over-allocate.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_batch_request(&huge).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let bytes = encode_frame(FrameType::Predict, b"full body");
+        for cut in 0..bytes.len() {
+            let mut cursor = &bytes[..cut];
+            assert!(
+                read_frame(&mut cursor, DEFAULT_MAX_FRAME).is_err(),
+                "cut at {cut} must surface as a transport error"
+            );
+        }
+    }
+}

@@ -1,0 +1,785 @@
+//! The blocking-threads TCP front end.
+//!
+//! ```text
+//! TcpListener → acceptor thread → per-connection handler threads
+//!             → frame loop → InferenceServer::submit → reply frames
+//! ```
+//!
+//! The acceptor polls a non-blocking listener so it can observe the drain
+//! flag; every accepted socket gets its own handler thread. The edge is
+//! hardened the same way PR 5 hardened the engine:
+//!
+//! - **strict protocol validation** — every frame is parsed with the typed
+//!   [`WireError`] taxonomy and answered (error frame or reply), never
+//!   silently dropped; a framing violation closes the connection because
+//!   the stream can no longer be trusted to be frame-aligned, while a
+//!   well-formed frame with a bad payload is answered and the connection
+//!   lives on;
+//! - **deadlines everywhere** — waiting for a new frame is bounded by
+//!   [`NetConfig::idle_timeout`], reading the rest of a started frame by
+//!   [`NetConfig::read_timeout`] (slow-loris shedding), writes by
+//!   [`NetConfig::write_timeout`], and waiting on the engine by
+//!   [`NetConfig::reply_deadline`] — no connection thread can block
+//!   forever;
+//! - **bounded budgets** — at most [`NetConfig::max_connections`] handler
+//!   threads (excess connections are accepted, answered with a
+//!   [`ErrorCode::Busy`] error frame, and closed) and at most
+//!   [`NetConfig::max_in_flight`] requests inside the engine at once
+//!   (excess requests are answered with `Busy` — backpressure, counted in
+//!   `serve.rejected_busy`);
+//! - **panic isolation** — each handler runs under
+//!   [`std::panic::catch_unwind`]; a poisoned connection is closed and
+//!   counted (`serve.conn_panics`) without touching the acceptor or any
+//!   other connection;
+//! - **graceful drain** — [`NetServer::drain`] (or a [`FrameType::Drain`]
+//!   frame) stops the acceptor and asks handlers to finish their current
+//!   frame; [`NetServer::shutdown`] bounds the drain with
+//!   [`NetConfig::drain_deadline`], force-closes stragglers' sockets, and
+//!   joins every thread — zero leaked threads by construction.
+//!
+//! All instruments are registered on the engine's metrics registry, so one
+//! Prometheus rendering covers the engine and the edge.
+
+use crate::protocol::{
+    encode_error_body, parse_header, ErrorCode, FrameHeader, FrameType, DEFAULT_MAX_FRAME,
+    HEADER_LEN,
+};
+use deepmap_obs::{Counter, Gauge};
+use deepmap_serve::codec::{decode_graph, encode_prediction};
+use deepmap_serve::{Health, InferenceServer, Prediction, ServeError};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the TCP front end.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Handler-thread budget; further connections are answered with a
+    /// `Busy` error frame and closed.
+    pub max_connections: usize,
+    /// Server-wide ceiling on requests inside the engine at once; further
+    /// requests are answered with `Busy` (backpressure at the edge).
+    pub max_in_flight: usize,
+    /// Largest accepted frame body; bigger declared lengths are refused
+    /// before any allocation.
+    pub max_frame_bytes: u32,
+    /// How long a connection may sit between frames before it is closed.
+    pub idle_timeout: Duration,
+    /// How long a started frame may take to finish arriving (slow-loris
+    /// shedding).
+    pub read_timeout: Duration,
+    /// How long a reply write may block.
+    pub write_timeout: Duration,
+    /// How long the server waits for the engine to answer one request.
+    pub reply_deadline: Duration,
+    /// How long [`NetServer::shutdown`] waits for handlers to drain before
+    /// force-closing their sockets.
+    pub drain_deadline: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_connections: 64,
+            max_in_flight: 256,
+            max_frame_bytes: DEFAULT_MAX_FRAME,
+            idle_timeout: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            reply_deadline: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Point-in-time snapshot of the `serve.conn_*` edge instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetMetricsSnapshot {
+    /// Connections accepted (including ones rejected right after accept).
+    pub conn_accepted: u64,
+    /// Connections fully closed.
+    pub conn_closed: u64,
+    /// Connections answered with `Busy` because the handler budget was
+    /// exhausted.
+    pub conn_rejected_capacity: u64,
+    /// Connections closed because they sat idle past the idle timeout.
+    pub conn_idle_closed: u64,
+    /// Connections closed because a started frame (or a reply write)
+    /// timed out — the slow-loris counter.
+    pub conn_timeouts: u64,
+    /// Handler panics caught; each closed exactly one connection.
+    pub conn_panics: u64,
+    /// Well-formed frames received.
+    pub conn_frames_in: u64,
+    /// Frames written (replies and error frames).
+    pub conn_frames_out: u64,
+    /// Protocol violations answered with an error frame.
+    pub conn_frame_errors: u64,
+    /// Bytes read off accepted sockets.
+    pub conn_bytes_in: u64,
+    /// Bytes written to accepted sockets.
+    pub conn_bytes_out: u64,
+    /// Requests refused at the edge because the in-flight budget was
+    /// exhausted (same counter as `MetricsSnapshot::rejected_busy`).
+    pub rejected_busy: u64,
+    /// Currently open connections.
+    pub conn_active: usize,
+    /// High-water mark of open connections.
+    pub peak_conn_active: usize,
+}
+
+/// The `serve.conn_*` instruments, registered on the engine's registry.
+struct NetMetrics {
+    accepted: Arc<Counter>,
+    closed: Arc<Counter>,
+    rejected_capacity: Arc<Counter>,
+    idle_closed: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    panics: Arc<Counter>,
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    frame_errors: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    rejected_busy: Arc<Counter>,
+    active: Arc<Gauge>,
+}
+
+impl NetMetrics {
+    fn new(engine: &InferenceServer) -> NetMetrics {
+        let registry = engine.metrics_registry();
+        NetMetrics {
+            accepted: registry.counter("serve.conn_accepted"),
+            closed: registry.counter("serve.conn_closed"),
+            rejected_capacity: registry.counter("serve.conn_rejected_capacity"),
+            idle_closed: registry.counter("serve.conn_idle_closed"),
+            timeouts: registry.counter("serve.conn_timeouts"),
+            panics: registry.counter("serve.conn_panics"),
+            frames_in: registry.counter("serve.conn_frames_in"),
+            frames_out: registry.counter("serve.conn_frames_out"),
+            frame_errors: registry.counter("serve.conn_frame_errors"),
+            bytes_in: registry.counter("serve.conn_bytes_in"),
+            bytes_out: registry.counter("serve.conn_bytes_out"),
+            // Shared by name with the engine's MetricsSnapshot.
+            rejected_busy: registry.counter("serve.rejected_busy"),
+            active: registry.gauge("serve.conn_active"),
+        }
+    }
+}
+
+/// State shared between the acceptor, every handler thread, and the
+/// [`NetServer`] handle.
+struct Shared {
+    engine: Arc<InferenceServer>,
+    config: NetConfig,
+    draining: AtomicBool,
+    in_flight: AtomicUsize,
+    active_conns: AtomicUsize,
+    next_conn_id: AtomicU64,
+    /// One cloned stream per live connection, so shutdown can force
+    /// stragglers off their blocking reads.
+    conn_streams: Mutex<HashMap<u64, TcpStream>>,
+    metrics: NetMetrics,
+}
+
+/// Final accounting returned by [`NetServer::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted over the server's lifetime.
+    pub conns_accepted: u64,
+    /// Connections closed (must equal accepted after shutdown).
+    pub conns_closed: u64,
+    /// Handler panics caught and isolated.
+    pub conn_panics: u64,
+    /// Handler threads joined by shutdown (acceptor not included).
+    pub threads_joined: usize,
+    /// Sockets force-closed because the drain deadline passed (0 for a
+    /// fully graceful drain).
+    pub forced_closes: usize,
+}
+
+/// Handle on the running TCP front end. Owns the engine: dropping the
+/// server (or calling [`NetServer::shutdown`]) drains the edge first, then
+/// the engine.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    forced_closes: usize,
+    threads_joined: usize,
+    shut_down: bool,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor. The engine is wrapped and owned; its metrics registry
+    /// gains the `serve.conn_*` edge instruments.
+    pub fn start(
+        engine: InferenceServer,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> Result<NetServer, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = NetMetrics::new(&engine);
+        let shared = Arc::new(Shared {
+            engine: Arc::new(engine),
+            config,
+            draining: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            active_conns: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(0),
+            conn_streams: Mutex::new(HashMap::new()),
+            metrics,
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("net-acceptor".to_string())
+                .spawn(move || run_acceptor(listener, shared, handlers))
+                .map_err(|e| ServeError::Io(e.to_string()))?
+        };
+        Ok(NetServer {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            handlers,
+            forced_closes: 0,
+            threads_joined: 0,
+            shut_down: false,
+        })
+    }
+
+    /// The bound address (with the resolved port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// `true` once a drain has started (locally or via a `Drain` frame).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// Starts a graceful drain: the acceptor stops accepting and handler
+    /// threads close after finishing the frame they are on. Idempotent.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    /// The engine's health, as the wire `Health` frame reports it.
+    pub fn health(&self) -> Health {
+        if self.is_draining() {
+            return Health::Unavailable;
+        }
+        self.shared.engine.health()
+    }
+
+    /// Snapshot of the edge instruments.
+    pub fn metrics(&self) -> NetMetricsSnapshot {
+        let m = &self.shared.metrics;
+        NetMetricsSnapshot {
+            conn_accepted: m.accepted.get(),
+            conn_closed: m.closed.get(),
+            conn_rejected_capacity: m.rejected_capacity.get(),
+            conn_idle_closed: m.idle_closed.get(),
+            conn_timeouts: m.timeouts.get(),
+            conn_panics: m.panics.get(),
+            conn_frames_in: m.frames_in.get(),
+            conn_frames_out: m.frames_out.get(),
+            conn_frame_errors: m.frame_errors.get(),
+            conn_bytes_in: m.bytes_in.get(),
+            conn_bytes_out: m.bytes_out.get(),
+            rejected_busy: m.rejected_busy.get(),
+            conn_active: m.active.get().max(0) as usize,
+            peak_conn_active: m.active.max().max(0) as usize,
+        }
+    }
+
+    /// The wrapped engine (for its metrics snapshot or health).
+    pub fn engine(&self) -> &InferenceServer {
+        &self.shared.engine
+    }
+
+    /// Drains, bounds the drain with [`NetConfig::drain_deadline`],
+    /// force-closes straggler sockets past it, joins every thread (acceptor
+    /// and handlers), and shuts the engine down. Returns the final
+    /// accounting; after it, no thread started by this server is alive.
+    pub fn shutdown(mut self) -> NetStats {
+        self.shutdown_in_place();
+        NetStats {
+            conns_accepted: self.shared.metrics.accepted.get(),
+            conns_closed: self.shared.metrics.closed.get(),
+            conn_panics: self.shared.metrics.panics.get(),
+            threads_joined: self.threads_joined,
+            forced_closes: self.forced_closes,
+        }
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        self.drain();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Bounded graceful phase: wait for handlers to notice the drain.
+        let deadline = Instant::now() + self.shared.config.drain_deadline;
+        while self.shared.active_conns.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Force phase: kick stragglers off their blocking reads.
+        {
+            let streams = self.shared.conn_streams.lock().expect("conn streams");
+            self.forced_closes = streams.len();
+            for stream in streams.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        let handlers: Vec<JoinHandle<()>> = {
+            let mut guard = self.handlers.lock().expect("handler list");
+            guard.drain(..).collect()
+        };
+        self.threads_joined = handlers.len();
+        for handle in handlers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+        // Dropping `shared` (last Arc once handlers exited) drops the
+        // engine, whose own Drop joins the batcher and workers.
+    }
+}
+
+fn run_acceptor(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.metrics.accepted.inc();
+                // The listener is non-blocking and the accepted socket
+                // inherits that on some platforms; handlers need blocking
+                // reads with timeouts.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                if shared.draining.load(Ordering::Acquire) {
+                    reject_connection(&shared, stream, ErrorCode::Draining, "server is draining");
+                    continue;
+                }
+                if shared.active_conns.load(Ordering::Acquire) >= shared.config.max_connections {
+                    shared.metrics.rejected_capacity.inc();
+                    reject_connection(
+                        &shared,
+                        stream,
+                        ErrorCode::Busy,
+                        "connection budget exhausted, retry later",
+                    );
+                    continue;
+                }
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    shared
+                        .conn_streams
+                        .lock()
+                        .expect("conn streams")
+                        .insert(conn_id, clone);
+                }
+                shared.active_conns.fetch_add(1, Ordering::AcqRel);
+                shared.metrics.active.add(1);
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("net-conn-{conn_id}"))
+                    .spawn(move || {
+                        // Panic isolation: a poisoned connection never takes
+                        // down the acceptor or its sibling connections.
+                        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            run_connection(&conn_shared, &stream)
+                        }));
+                        if result.is_err() {
+                            conn_shared.metrics.panics.inc();
+                            let _ = stream.shutdown(Shutdown::Both);
+                        }
+                        conn_shared
+                            .conn_streams
+                            .lock()
+                            .expect("conn streams")
+                            .remove(&conn_id);
+                        conn_shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                        conn_shared.metrics.active.add(-1);
+                        conn_shared.metrics.closed.inc();
+                    });
+                match spawned {
+                    Ok(handle) => handlers.lock().expect("handler list").push(handle),
+                    Err(_) => {
+                        // Thread spawn failed (resource exhaustion): undo
+                        // the bookkeeping; the stream drops closed.
+                        shared
+                            .conn_streams
+                            .lock()
+                            .expect("conn streams")
+                            .remove(&conn_id);
+                        shared.active_conns.fetch_sub(1, Ordering::AcqRel);
+                        shared.metrics.active.add(-1);
+                        shared.metrics.closed.inc();
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE); back off briefly
+                // rather than spinning or dying.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Answers a connection the server will not serve (over budget or
+/// draining) with one best-effort error frame, then closes it. The socket
+/// was accepted first, so the client gets a typed reason instead of a
+/// silent RST.
+fn reject_connection(shared: &Shared, mut stream: TcpStream, code: ErrorCode, message: &str) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = write_counted(
+        shared,
+        &mut stream,
+        FrameType::Error,
+        &encode_error_body(code, message),
+    );
+    shared.metrics.closed.inc();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Writes one frame and maintains the frames/bytes-out instruments.
+fn write_counted(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    frame_type: FrameType,
+    body: &[u8],
+) -> std::io::Result<()> {
+    crate::protocol::write_frame(stream, frame_type, body)?;
+    shared.metrics.frames_out.inc();
+    shared
+        .metrics
+        .bytes_out
+        .add((HEADER_LEN + body.len()) as u64);
+    Ok(())
+}
+
+/// Why the per-connection frame loop stopped.
+enum ConnExit {
+    /// Peer closed, went idle, or the drain flag asked us to stop.
+    Clean,
+    /// A started frame or a reply write timed out (slow client).
+    TimedOut,
+    /// A framing violation was answered; the stream is desynchronised.
+    Protocol,
+}
+
+fn run_connection(shared: &Shared, stream: &TcpStream) {
+    let mut stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let exit = connection_loop(shared, &mut stream);
+    match exit {
+        ConnExit::Clean => {}
+        ConnExit::TimedOut => shared.metrics.timeouts.inc(),
+        ConnExit::Protocol => {}
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn connection_loop(shared: &Shared, stream: &mut TcpStream) -> ConnExit {
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            return ConnExit::Clean;
+        }
+        // Waiting for a new frame is bounded by the idle timeout…
+        let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+        let mut header = [0u8; HEADER_LEN];
+        match stream.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if is_timeout(&e) => {
+                shared.metrics.idle_closed.inc();
+                return ConnExit::Clean;
+            }
+            Err(_) => return ConnExit::Clean, // EOF or reset: peer is gone.
+        }
+        #[cfg(feature = "fault-inject")]
+        maybe_poison(&header);
+        let parsed = match parse_header(&header, shared.config.max_frame_bytes) {
+            Ok(parsed) => parsed,
+            Err(wire_err) => {
+                // Answer the violation, then close: after a bad header the
+                // stream is no longer frame-aligned.
+                shared.metrics.frame_errors.inc();
+                let _ = write_counted(
+                    shared,
+                    stream,
+                    FrameType::Error,
+                    &encode_error_body(wire_err.code(), &wire_err.to_string()),
+                );
+                return ConnExit::Protocol;
+            }
+        };
+        // …but once a frame has started, the body must arrive promptly.
+        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+        let mut body = vec![0u8; parsed.body_len as usize];
+        match stream.read_exact(&mut body) {
+            Ok(()) => {}
+            Err(e) if is_timeout(&e) => return ConnExit::TimedOut,
+            Err(_) => return ConnExit::Clean,
+        }
+        shared.metrics.frames_in.inc();
+        shared
+            .metrics
+            .bytes_in
+            .add((HEADER_LEN + body.len()) as u64);
+        match serve_frame(shared, stream, parsed, &body) {
+            Ok(keep_going) => {
+                if !keep_going {
+                    return ConnExit::Clean;
+                }
+            }
+            Err(e) if is_timeout(&e) => return ConnExit::TimedOut,
+            Err(_) => return ConnExit::Clean,
+        }
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+fn maybe_poison(header: &[u8; HEADER_LEN]) {
+    // 0x66 is reserved-unknown in the protocol; with fault injection
+    // compiled in it detonates the handler to prove panic isolation.
+    if header[0..4] == crate::protocol::MAGIC
+        && header[4] == crate::protocol::WIRE_VERSION
+        && header[5] == 0x66
+    {
+        panic!("fault-inject: poison-pill frame");
+    }
+}
+
+/// Serves one well-formed frame. Returns `Ok(false)` when the connection
+/// should close after the reply (drain), `Err` on a write failure.
+fn serve_frame(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    header: FrameHeader,
+    body: &[u8],
+) -> std::io::Result<bool> {
+    match header.frame_type {
+        FrameType::Predict => {
+            let reply = predict_one(shared, body);
+            match reply {
+                Ok(prediction) => write_counted(
+                    shared,
+                    stream,
+                    FrameType::PredictReply,
+                    &encode_prediction(&prediction),
+                )?,
+                Err((code, message)) => {
+                    // A bad payload is a protocol violation; engine-side
+                    // failures (busy, rejected, breaker) are not.
+                    if code == ErrorCode::BadBody {
+                        shared.metrics.frame_errors.inc();
+                    }
+                    write_counted(
+                        shared,
+                        stream,
+                        FrameType::Error,
+                        &encode_error_body(code, &message),
+                    )?
+                }
+            }
+            Ok(true)
+        }
+        FrameType::PredictBatch => {
+            let reply = predict_batch(shared, body);
+            match reply {
+                Ok(items) => write_counted(shared, stream, FrameType::PredictBatchReply, &items)?,
+                Err((code, message)) => {
+                    if code == ErrorCode::BadBody {
+                        shared.metrics.frame_errors.inc();
+                    }
+                    write_counted(
+                        shared,
+                        stream,
+                        FrameType::Error,
+                        &encode_error_body(code, &message),
+                    )?
+                }
+            }
+            Ok(true)
+        }
+        FrameType::Health => {
+            let (state, live) = match shared.engine.health() {
+                _ if shared.draining.load(Ordering::Acquire) => (2u8, 0u32),
+                Health::Ready => (0, 0),
+                Health::Degraded { live_workers } => (1, live_workers as u32),
+                Health::Unavailable => (2, 0),
+            };
+            let mut reply = Vec::with_capacity(5);
+            reply.push(state);
+            reply.extend_from_slice(&live.to_le_bytes());
+            write_counted(shared, stream, FrameType::HealthReply, &reply)?;
+            Ok(true)
+        }
+        FrameType::Metrics => {
+            let text = shared.engine.render_metrics();
+            write_counted(shared, stream, FrameType::MetricsReply, text.as_bytes())?;
+            Ok(true)
+        }
+        FrameType::Drain => {
+            shared.draining.store(true, Ordering::Release);
+            write_counted(shared, stream, FrameType::DrainReply, &[])?;
+            Ok(false)
+        }
+        FrameType::PredictReply
+        | FrameType::PredictBatchReply
+        | FrameType::HealthReply
+        | FrameType::MetricsReply
+        | FrameType::DrainReply
+        | FrameType::Error => {
+            // Reply-direction frames are never valid requests; answer and
+            // keep the (still frame-aligned) connection.
+            shared.metrics.frame_errors.inc();
+            write_counted(
+                shared,
+                stream,
+                FrameType::Error,
+                &encode_error_body(
+                    ErrorCode::UnexpectedFrame,
+                    &format!("{:?} is a reply frame, not a request", header.frame_type),
+                ),
+            )?;
+            Ok(true)
+        }
+    }
+}
+
+/// RAII slice of the in-flight budget; dropping releases it.
+struct InFlight<'a> {
+    shared: &'a Shared,
+    n: usize,
+}
+
+impl<'a> InFlight<'a> {
+    /// Reserves `n` slots, or fails with [`ServeError::Busy`] when the
+    /// budget cannot cover them.
+    fn reserve(shared: &'a Shared, n: usize) -> Result<InFlight<'a>, ServeError> {
+        let reserved = shared
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                if cur + n <= shared.config.max_in_flight {
+                    Some(cur + n)
+                } else {
+                    None
+                }
+            });
+        match reserved {
+            Ok(_) => Ok(InFlight { shared, n }),
+            Err(_) => {
+                shared.metrics.rejected_busy.add(n as u64);
+                Err(ServeError::Busy)
+            }
+        }
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.shared.in_flight.fetch_sub(self.n, Ordering::AcqRel);
+    }
+}
+
+fn serve_error_reply(e: &ServeError) -> (ErrorCode, String) {
+    (ErrorCode::from_serve_error(e), e.to_string())
+}
+
+fn predict_one(shared: &Shared, body: &[u8]) -> Result<Prediction, (ErrorCode, String)> {
+    let graph = decode_graph(body).map_err(|e| (ErrorCode::BadBody, e.to_string()))?;
+    let _slot = InFlight::reserve(shared, 1).map_err(|e| serve_error_reply(&e))?;
+    let handle = shared
+        .engine
+        .submit(graph)
+        .map_err(|e| serve_error_reply(&e))?;
+    let served = handle
+        .wait_timeout(shared.config.reply_deadline)
+        .map_err(|e| serve_error_reply(&e))?;
+    Ok(Prediction {
+        class: served.class,
+        scores: served.scores,
+    })
+}
+
+/// Serves a batch frame: decodes every graph first (one bad graph fails
+/// the whole frame with `BadBody` — the sender's framing is broken), then
+/// submits all under one in-flight reservation and answers per item, so
+/// one rejected graph does not fail its batch-mates.
+fn predict_batch(shared: &Shared, body: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+    let blobs = crate::protocol::decode_batch_request(body)
+        .map_err(|e| (ErrorCode::BadBody, e.to_string()))?;
+    let mut graphs = Vec::with_capacity(blobs.len());
+    for (i, blob) in blobs.iter().enumerate() {
+        graphs.push(
+            decode_graph(blob).map_err(|e| (ErrorCode::BadBody, format!("batch item {i}: {e}")))?,
+        );
+    }
+    let _slots = InFlight::reserve(shared, graphs.len()).map_err(|e| serve_error_reply(&e))?;
+    let outcomes: Vec<Result<_, ServeError>> = graphs
+        .into_iter()
+        .map(|graph| shared.engine.submit(graph))
+        .collect();
+    let mut reply = Vec::new();
+    reply.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
+    for outcome in outcomes {
+        let item = outcome.and_then(|handle| handle.wait_timeout(shared.config.reply_deadline));
+        match item {
+            Ok(served) => {
+                let blob = encode_prediction(&Prediction {
+                    class: served.class,
+                    scores: served.scores,
+                });
+                reply.push(0);
+                reply.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+                reply.extend_from_slice(&blob);
+            }
+            Err(e) => {
+                let (code, message) = serve_error_reply(&e);
+                reply.push(1);
+                reply.extend_from_slice(&(code as u16).to_le_bytes());
+                reply.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                reply.extend_from_slice(message.as_bytes());
+            }
+        }
+    }
+    Ok(reply)
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}

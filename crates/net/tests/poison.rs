@@ -1,0 +1,92 @@
+//! Panic isolation under fault injection: a poison-pill frame (reserved
+//! type byte 0x66, armed only with `--features fault-inject`) detonates its
+//! connection handler. Exactly one connection dies; the acceptor, every
+//! other connection, and the engine keep serving, and shutdown still joins
+//! every thread.
+
+#![cfg(feature = "fault-inject")]
+
+mod common;
+
+use common::{engine, request_graphs, trained_bundle};
+use deepmap_net::protocol::MAGIC;
+use deepmap_net::{NetClient, NetConfig, NetServer, RemoteHealth, WIRE_VERSION};
+use std::time::{Duration, Instant};
+
+/// Silences the planned handler panics so test output stays readable;
+/// anything not marked `fault-inject:` still prints.
+fn muffle_planned_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let planned = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("fault-inject:"))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("fault-inject:"))
+            })
+            .unwrap_or(false);
+        if !planned {
+            default_hook(info);
+        }
+    }));
+}
+
+#[test]
+fn poison_pill_takes_one_connection_not_the_server() {
+    muffle_planned_panics();
+    let bundle = trained_bundle();
+    let mut direct = bundle.predictor().unwrap();
+    let server = NetServer::start(engine(&bundle), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let graphs = request_graphs(2);
+
+    // A healthy bystander connection, open across the detonation.
+    let mut bystander = NetClient::connect(server.local_addr()).unwrap();
+    bystander.set_read_timeout(Duration::from_secs(30)).unwrap();
+    bystander.predict(&graphs[0]).unwrap();
+
+    // The victim sends the poison pill: a well-formed header whose type
+    // byte is the reserved 0x66.
+    let mut victim = NetClient::connect(server.local_addr()).unwrap();
+    victim.set_read_timeout(Duration::from_secs(5)).unwrap();
+    let mut pill = Vec::new();
+    pill.extend_from_slice(&MAGIC);
+    pill.push(WIRE_VERSION);
+    pill.push(0x66);
+    pill.extend_from_slice(&0u32.to_le_bytes());
+    victim.send_raw(&pill).unwrap();
+    assert!(
+        victim.read_reply().is_err(),
+        "the poisoned handler dies without replying"
+    );
+
+    // The panic is caught, counted, and scoped to that one connection.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.metrics().conn_panics == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(server.metrics().conn_panics, 1);
+
+    // The bystander never noticed…
+    let got = bystander.predict(&graphs[1]).unwrap();
+    assert_eq!(got.class, direct.predict(&graphs[1]).class);
+    // …and the acceptor still takes fresh connections.
+    let mut fresh = NetClient::connect(server.local_addr()).unwrap();
+    fresh.set_read_timeout(Duration::from_secs(30)).unwrap();
+    assert_eq!(fresh.health().unwrap(), RemoteHealth::Ready);
+    let got = fresh.predict(&graphs[0]).unwrap();
+    assert_eq!(got.class, direct.predict(&graphs[0]).class);
+
+    drop(bystander);
+    drop(victim);
+    drop(fresh);
+    let stats = server.shutdown();
+    assert_eq!(stats.conn_panics, 1, "exactly the planned panic");
+    assert_eq!(
+        stats.conns_accepted, stats.conns_closed,
+        "the poisoned connection was still accounted and closed"
+    );
+    assert_eq!(stats.forced_closes, 0);
+}

@@ -1,0 +1,214 @@
+//! End-to-end client/server integration over real TCP sockets: wire
+//! predictions match the direct predictor, health/metrics/drain round-trip,
+//! and both budgets (connections, in-flight) reject with a typed `Busy`.
+
+mod common;
+
+use common::{engine, request_graphs, trained_bundle};
+use deepmap_net::protocol::{decode_error_body, encode_frame};
+use deepmap_net::{
+    ClientError, ErrorCode, FrameType, NetClient, NetConfig, NetServer, RemoteHealth,
+};
+use deepmap_serve::Health;
+use std::time::Duration;
+
+/// The first request pays predictor warm-up; give replies plenty of room.
+const PATIENT: Duration = Duration::from_secs(30);
+
+#[test]
+fn tcp_predictions_match_direct_predictor() {
+    let bundle = trained_bundle();
+    let mut direct = bundle.predictor().unwrap();
+    let server = NetServer::start(engine(&bundle), "127.0.0.1:0", NetConfig::default()).unwrap();
+
+    let graphs = request_graphs(12);
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client.set_read_timeout(PATIENT).unwrap();
+
+    for graph in &graphs {
+        let got = client.predict(graph).unwrap();
+        let want = direct.predict(graph);
+        assert_eq!(got.class, want.class);
+        assert_eq!(got.scores, want.scores, "wire == direct, bit-identical");
+    }
+
+    let batch = client.predict_batch(&graphs).unwrap();
+    assert_eq!(batch.len(), graphs.len());
+    for (item, graph) in batch.iter().zip(&graphs) {
+        let got = item.as_ref().expect("healthy batch item");
+        let want = direct.predict(graph);
+        assert_eq!(got.class, want.class);
+        assert_eq!(got.scores, want.scores);
+    }
+
+    assert_eq!(client.health().unwrap(), RemoteHealth::Ready);
+    let text = client.metrics_text().unwrap();
+    assert!(text.contains("deepmap_serve_conn_frames_in"), "{text}");
+    assert!(text.contains("deepmap_serve_requests_completed"), "{text}");
+
+    let m = server.metrics();
+    assert_eq!(m.conn_frame_errors, 0);
+    assert_eq!(m.conn_panics, 0);
+    // 12 predicts + 1 batch + health + metrics, each answered once.
+    assert_eq!(m.conn_frames_in, 15);
+    assert_eq!(m.conn_frames_out, 15);
+    assert_eq!(m.conn_active, 1);
+    assert!(m.conn_bytes_in > 0 && m.conn_bytes_out > 0);
+
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.conns_accepted, 1);
+    assert_eq!(stats.conns_closed, 1);
+    assert_eq!(stats.conn_panics, 0);
+    assert_eq!(stats.forced_closes, 0, "drained gracefully");
+}
+
+#[test]
+fn drain_frame_quiesces_the_server() {
+    let bundle = trained_bundle();
+    let server = NetServer::start(engine(&bundle), "127.0.0.1:0", NetConfig::default()).unwrap();
+    assert_eq!(server.health(), Health::Ready);
+    assert!(!server.is_draining());
+
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client.set_read_timeout(PATIENT).unwrap();
+    client.drain().unwrap();
+    assert!(server.is_draining());
+    assert_eq!(
+        server.health(),
+        Health::Unavailable,
+        "draining reports unavailable"
+    );
+
+    // The server closes the drained connection after acknowledging.
+    assert!(
+        client.read_reply().is_err(),
+        "connection closed after drain ack"
+    );
+
+    // New work is refused: the acceptor has stopped, so a fresh connection
+    // either fails outright or never gets an answer.
+    match NetClient::connect(server.local_addr()) {
+        Err(_) => {}
+        Ok(mut late) => assert!(late.health().is_err(), "no service while draining"),
+    }
+
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.forced_closes, 0);
+    assert_eq!(stats.conn_panics, 0);
+}
+
+#[test]
+fn in_flight_budget_rejects_with_busy() {
+    let bundle = trained_bundle();
+    let config = NetConfig {
+        max_in_flight: 0, // every request overflows the budget
+        ..NetConfig::default()
+    };
+    let server = NetServer::start(engine(&bundle), "127.0.0.1:0", config).unwrap();
+    let graphs = request_graphs(3);
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client.set_read_timeout(PATIENT).unwrap();
+
+    match client.predict(&graphs[0]) {
+        Err(ClientError::Server(reject)) => assert_eq!(reject.code, ErrorCode::Busy),
+        other => panic!("expected a Busy rejection, got {other:?}"),
+    }
+    // A batch reserves all its slots up front, so it fails at frame level.
+    match client.predict_batch(&graphs) {
+        Err(ClientError::Server(reject)) => assert_eq!(reject.code, ErrorCode::Busy),
+        other => panic!("expected a Busy rejection, got {other:?}"),
+    }
+    // Control-plane frames are exempt from the in-flight budget.
+    assert_eq!(client.health().unwrap(), RemoteHealth::Ready);
+
+    let m = server.metrics();
+    assert_eq!(m.rejected_busy, 4, "1 predict + 3 batch items");
+    // Same counter the engine snapshot reads (shared by name on the registry).
+    assert_eq!(server.engine().metrics().rejected_busy, 4);
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn connection_budget_rejects_with_busy() {
+    let bundle = trained_bundle();
+    let config = NetConfig {
+        max_connections: 0, // every connection is over budget
+        ..NetConfig::default()
+    };
+    let server = NetServer::start(engine(&bundle), "127.0.0.1:0", config).unwrap();
+
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client.set_read_timeout(PATIENT).unwrap();
+    // The server answers with one unsolicited Busy error frame, then closes.
+    let (frame_type, body) = client.read_reply().unwrap();
+    assert_eq!(frame_type, FrameType::Error);
+    let (code, message) = decode_error_body(&body).unwrap();
+    assert_eq!(code, ErrorCode::Busy);
+    assert!(message.contains("budget"), "{message}");
+    assert!(
+        client.read_reply().is_err(),
+        "rejected connection is closed"
+    );
+
+    let m = server.metrics();
+    assert_eq!(m.conn_rejected_capacity, 1);
+    assert_eq!(m.conn_accepted, 1);
+
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.conns_accepted, stats.conns_closed);
+}
+
+#[test]
+fn oversized_frame_is_refused_before_allocation() {
+    let bundle = trained_bundle();
+    let config = NetConfig {
+        max_frame_bytes: 64,
+        ..NetConfig::default()
+    };
+    let server = NetServer::start(engine(&bundle), "127.0.0.1:0", config).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client.set_read_timeout(PATIENT).unwrap();
+
+    // A header declaring a body far over budget — and no body at all. The
+    // server must answer from the header alone.
+    let mut header = encode_frame(FrameType::Predict, &[]);
+    header[6..10].copy_from_slice(&(1u32 << 20).to_le_bytes());
+    client.send_raw(&header).unwrap();
+    let (frame_type, body) = client.read_reply().unwrap();
+    assert_eq!(frame_type, FrameType::Error);
+    let (code, _) = decode_error_body(&body).unwrap();
+    assert_eq!(code, ErrorCode::FrameTooLarge);
+    // A framing violation desynchronises the stream: connection closed.
+    assert!(client.read_reply().is_err());
+    assert_eq!(server.metrics().conn_frame_errors, 1);
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn reply_frame_as_request_is_answered_and_connection_survives() {
+    let bundle = trained_bundle();
+    let server = NetServer::start(engine(&bundle), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client.set_read_timeout(PATIENT).unwrap();
+
+    client
+        .send_raw(&encode_frame(FrameType::HealthReply, &[0, 0, 0, 0, 0]))
+        .unwrap();
+    let (frame_type, body) = client.read_reply().unwrap();
+    assert_eq!(frame_type, FrameType::Error);
+    let (code, _) = decode_error_body(&body).unwrap();
+    assert_eq!(code, ErrorCode::UnexpectedFrame);
+    // The frame itself was well-formed, so the stream is still aligned and
+    // the connection keeps serving.
+    assert_eq!(client.health().unwrap(), RemoteHealth::Ready);
+
+    drop(client);
+    server.shutdown();
+}

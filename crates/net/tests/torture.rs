@@ -1,0 +1,245 @@
+//! Deterministic protocol-torture suite: seeded hostile byte streams —
+//! corrupted headers, oversized and truncated frames, garbage bodies,
+//! mid-frame disconnects, pipelined bursts, and slow-loris writers — are
+//! thrown at a live server. Every well-formed frame must be answered, every
+//! hostile one must be refused with a typed error frame (or a clean close),
+//! and the server must come out healthy with zero panics and zero forced
+//! closes.
+//!
+//! All randomness flows from one fixed-seed SplitMix64, so every run
+//! replays the same byte streams.
+
+mod common;
+
+use common::{engine, request_graphs, trained_bundle};
+use deepmap_net::protocol::{decode_error_body, encode_frame, HEADER_LEN, MAGIC};
+use deepmap_net::{
+    ErrorCode, FrameType, NetClient, NetConfig, NetServer, RemoteHealth, WIRE_VERSION,
+};
+use deepmap_serve::codec::encode_graph;
+use std::time::Duration;
+
+const PATIENT: Duration = Duration::from_secs(30);
+const SEED: u64 = 0xD33_94A9_0001;
+const ROUNDS: usize = 3;
+
+/// Fixed-increment SplitMix64 — deterministic, dependency-free.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+}
+
+/// A syntactically valid header for `frame_type` with `body_len` declared.
+fn raw_header(frame_type_byte: u8, body_len: u32) -> Vec<u8> {
+    let mut h = Vec::with_capacity(HEADER_LEN);
+    h.extend_from_slice(&MAGIC);
+    h.push(WIRE_VERSION);
+    h.push(frame_type_byte);
+    h.extend_from_slice(&body_len.to_le_bytes());
+    h
+}
+
+fn connect(server: &NetServer) -> NetClient {
+    let client = NetClient::connect(server.local_addr()).expect("connect");
+    client.set_read_timeout(PATIENT).expect("read timeout");
+    client
+}
+
+/// Expects one typed error frame carrying `want` as the next reply.
+fn expect_error(client: &mut NetClient, want: ErrorCode, scenario: &str) {
+    let (frame_type, body) = client
+        .read_reply()
+        .unwrap_or_else(|e| panic!("{scenario}: no reply frame: {e}"));
+    assert_eq!(frame_type, FrameType::Error, "{scenario}");
+    let (code, message) = decode_error_body(&body).unwrap();
+    assert_eq!(code, want, "{scenario}: {message}");
+}
+
+#[test]
+fn hostile_streams_never_take_the_server_down() {
+    let bundle = trained_bundle();
+    let mut direct = bundle.predictor().unwrap();
+    let config = NetConfig {
+        read_timeout: Duration::from_millis(250),
+        ..NetConfig::default()
+    };
+    let server = NetServer::start(engine(&bundle), "127.0.0.1:0", config).unwrap();
+    let graphs = request_graphs(4);
+    let mut rng = SplitMix64::new(SEED);
+    let mut hostile_frames = 0u64;
+    let mut slow_loris = 0u64;
+
+    // Warm the predictor so interleaved health checks stay snappy.
+    let mut warm = connect(&server);
+    warm.predict(&graphs[0]).unwrap();
+    drop(warm);
+
+    for round in 0..ROUNDS {
+        // 1. Bad magic: one corrupted magic byte at a random position.
+        let mut client = connect(&server);
+        let mut header = raw_header(FrameType::Health as u8, 0);
+        let pos = rng.below(4) as usize;
+        header[pos] ^= 1 + rng.below(255) as u8;
+        client.send_raw(&header).unwrap();
+        expect_error(&mut client, ErrorCode::BadMagic, "bad magic");
+        assert!(client.read_reply().is_err(), "bad header closes the stream");
+        hostile_frames += 1;
+
+        // 2. Unsupported version.
+        let mut client = connect(&server);
+        let mut header = raw_header(FrameType::Health as u8, 0);
+        header[4] = 2 + rng.below(250) as u8;
+        client.send_raw(&header).unwrap();
+        expect_error(&mut client, ErrorCode::UnsupportedVersion, "bad version");
+        hostile_frames += 1;
+
+        // 3. Unknown frame type (avoiding every assigned byte).
+        let mut client = connect(&server);
+        let mut byte = rng.next_u64() as u8;
+        while FrameType::from_u8(byte).is_some() {
+            byte = byte.wrapping_add(1);
+        }
+        client.send_raw(&raw_header(byte, 0)).unwrap();
+        expect_error(&mut client, ErrorCode::UnknownFrameType, "unknown type");
+        hostile_frames += 1;
+
+        // 4. Oversized declared body, no body sent: refused from the header
+        // alone, before any allocation.
+        let mut client = connect(&server);
+        let declared = deepmap_net::DEFAULT_MAX_FRAME + 1 + rng.next_u64() as u32 % 1024;
+        client
+            .send_raw(&raw_header(FrameType::Predict as u8, declared))
+            .unwrap();
+        expect_error(&mut client, ErrorCode::FrameTooLarge, "oversized");
+        hostile_frames += 1;
+
+        // 5. Truncated body, then disconnect mid-frame: no reply owed; the
+        // server must simply survive the EOF.
+        let declared = 32 + rng.below(64) as u32;
+        let sent = rng.below(declared as u64) as usize;
+        let mut client = connect(&server);
+        client
+            .send_raw(&raw_header(FrameType::Predict as u8, declared))
+            .unwrap();
+        client.send_raw(&rng.bytes(sent)).unwrap();
+        drop(client);
+
+        // 6. Well-formed frame, garbage body: answered with BadBody and the
+        // connection lives on — the very next frame is served normally.
+        let mut client = connect(&server);
+        let garbage_len = 8 + rng.below(40) as usize;
+        let garbage = rng.bytes(garbage_len);
+        client
+            .send_raw(&encode_frame(FrameType::Predict, &garbage))
+            .unwrap();
+        expect_error(&mut client, ErrorCode::BadBody, "garbage body");
+        let graph = &graphs[round % graphs.len()];
+        let got = client.predict(graph).unwrap();
+        assert_eq!(got.class, direct.predict(graph).class, "served after error");
+        hostile_frames += 1;
+        drop(client);
+
+        // 7. Pipelined burst: several frames in one write; replies must come
+        // back one per frame, in order, still frame-aligned.
+        let mut client = connect(&server);
+        let mut burst = Vec::new();
+        burst.extend_from_slice(&encode_frame(FrameType::Health, &[]));
+        burst.extend_from_slice(&encode_frame(FrameType::Predict, &encode_graph(&graphs[0])));
+        burst.extend_from_slice(&encode_frame(FrameType::Health, &[]));
+        client.send_raw(&burst).unwrap();
+        let (t1, _) = client.read_reply().unwrap();
+        let (t2, _) = client.read_reply().unwrap();
+        let (t3, _) = client.read_reply().unwrap();
+        assert_eq!(
+            (t1, t2, t3),
+            (
+                FrameType::HealthReply,
+                FrameType::PredictReply,
+                FrameType::HealthReply
+            ),
+            "pipelined replies arrive in order"
+        );
+        drop(client);
+
+        // 8. Slow loris: start a frame, stall past the read deadline, then
+        // try to finish it. The server must have shed the connection.
+        let mut client = connect(&server);
+        let body = encode_graph(&graphs[1]);
+        client
+            .send_raw(&raw_header(FrameType::Predict as u8, body.len() as u32))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(450));
+        let write = client.send_raw(&body);
+        let read = client.read_reply();
+        assert!(
+            write.is_err() || read.is_err(),
+            "stalled mid-frame connection must be shed"
+        );
+        slow_loris += 1;
+        drop(client);
+
+        // Interleaved liveness probe after every hostile round.
+        let mut probe = connect(&server);
+        assert_eq!(
+            probe.health().unwrap(),
+            RemoteHealth::Ready,
+            "round {round}"
+        );
+        drop(probe);
+    }
+
+    // The server survived everything, still serves correctly…
+    let mut client = connect(&server);
+    for graph in &graphs {
+        let got = client.predict(graph).unwrap();
+        let want = direct.predict(graph);
+        assert_eq!(got.class, want.class);
+        assert_eq!(got.scores, want.scores);
+    }
+    drop(client);
+
+    // …its books balance…
+    let m = server.metrics();
+    assert_eq!(m.conn_panics, 0, "no handler ever panicked");
+    assert_eq!(
+        m.conn_frame_errors, hostile_frames,
+        "every hostile frame was answered with a typed error"
+    );
+    assert!(
+        m.conn_timeouts >= slow_loris,
+        "each slow-loris connection was shed: {} < {slow_loris}",
+        m.conn_timeouts
+    );
+    assert!(m.conn_frames_in > 0 && m.conn_frames_out > 0);
+
+    // …and it still shuts down fully gracefully.
+    let stats = server.shutdown();
+    assert_eq!(stats.conn_panics, 0);
+    assert_eq!(
+        stats.forced_closes, 0,
+        "graceful drain, no force-closed sockets"
+    );
+    assert_eq!(
+        stats.conns_accepted, stats.conns_closed,
+        "every accepted connection was closed"
+    );
+}

@@ -19,6 +19,7 @@
 //! recorded config, and checks the weights actually fit it — a bundle that
 //! loads is a bundle that predicts.
 
+use crate::codec::Reader;
 use crate::error::ServeError;
 use deepmap_core::embedding::CONV_STACK_LAYERS;
 use deepmap_core::{
@@ -204,7 +205,7 @@ impl ModelBundle {
     /// section's framing, trailing bytes, and that the weights load into
     /// the declared architecture.
     pub fn from_bytes(data: &[u8]) -> Result<ModelBundle, ServeError> {
-        let mut r = Reader { data, pos: 0 };
+        let mut r = Reader::new(data);
         if r.take(4)? != MAGIC {
             return Err(ServeError::BadMagic);
         }
@@ -278,11 +279,7 @@ impl ModelBundle {
         }
         let weights_len = r.u64()? as usize;
         let weights = r.take(weights_len)?.to_vec();
-        if r.remaining() != 0 {
-            return Err(ServeError::TrailingBytes {
-                extra: r.remaining(),
-            });
-        }
+        r.finish()?;
         let bundle = ModelBundle {
             model_cfg,
             train_cfg,
@@ -395,53 +392,5 @@ impl Predictor {
         let scores = probs.row(0).to_vec();
         let class = probs.argmax_row(0);
         Prediction { class, scores }
-    }
-}
-
-struct Reader<'a> {
-    data: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
-        if self.pos + n > self.data.len() {
-            return Err(ServeError::Truncated);
-        }
-        let slice = &self.data[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8, ServeError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, ServeError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    fn u64(&mut self) -> Result<u64, ServeError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    fn f32(&mut self) -> Result<f32, ServeError> {
-        Ok(f32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    fn f64(&mut self) -> Result<f64, ServeError> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    fn remaining(&self) -> usize {
-        self.data.len() - self.pos
     }
 }

@@ -1,0 +1,312 @@
+//! Shared validated byte codecs for serving formats.
+//!
+//! Both persisted bundles (`DMB1`, [`crate::bundle`]) and the network wire
+//! protocol (`DMW1`, `deepmap-net`) are hand-rolled little-endian binary
+//! formats. They share one [`Reader`] — every read is length-checked and a
+//! finished payload must be fully consumed ([`Reader::finish`] rejects
+//! trailing bytes) — so a framing bug fixed here is fixed for both formats
+//! at once.
+//!
+//! On top of the reader sit the two payload codecs the wire format carries:
+//!
+//! - **graphs** ([`encode_graph`]/[`decode_graph`]) — vertex count, labels,
+//!   and the undirected edge list; decoding rebuilds the graph through
+//!   [`deepmap_graph::builder::graph_from_edges`], so structural
+//!   invariants (endpoints in range, no self-loops) are re-validated on
+//!   every decode, not trusted from the sender;
+//! - **predictions** ([`encode_prediction`]/[`decode_prediction`]) — the
+//!   argmax class plus the full softmax score vector.
+
+use crate::bundle::Prediction;
+use crate::error::ServeError;
+use deepmap_graph::builder::graph_from_edges;
+use deepmap_graph::Graph;
+
+/// A length-checked little-endian reader over a byte payload.
+///
+/// Every accessor fails with [`ServeError::Truncated`] instead of panicking
+/// when the payload ends early, and [`Reader::finish`] fails with
+/// [`ServeError::TrailingBytes`] when bytes remain after the last declared
+/// section — the two framing rules every serving format here shares.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    /// The next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        if n > self.data.len() - self.pos {
+            return Err(ServeError::Truncated);
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// The next byte.
+    pub fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// The next little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, ServeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// The next little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// The next little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// The next little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32, ServeError> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// The next little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, ServeError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Asserts the payload is fully consumed; rejects trailing bytes.
+    pub fn finish(self) -> Result<(), ServeError> {
+        if self.remaining() != 0 {
+            return Err(ServeError::TrailingBytes {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Serialises a graph: `u32 n_vertices | u32 n_edges | n_vertices × u32
+/// label | n_edges × (u32 u, u32 v)` with `u < v`, all little-endian.
+pub fn encode_graph(graph: &Graph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 * graph.n_vertices() + 8 * graph.n_edges());
+    out.extend_from_slice(&(graph.n_vertices() as u32).to_le_bytes());
+    out.extend_from_slice(&(graph.n_edges() as u32).to_le_bytes());
+    for &label in graph.labels() {
+        out.extend_from_slice(&label.to_le_bytes());
+    }
+    for (u, v) in graph.edges() {
+        out.extend_from_slice(&u.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Deserialises and validates a graph encoded by [`encode_graph`].
+///
+/// Declared counts are checked against the actual payload length before any
+/// allocation, endpoints and self-loops are re-validated by the graph
+/// builder, and trailing bytes are rejected — a hostile payload yields a
+/// typed [`ServeError`], never a panic or an oversized allocation.
+pub fn decode_graph(bytes: &[u8]) -> Result<Graph, ServeError> {
+    let mut r = Reader::new(bytes);
+    let n_vertices = r.u32()? as usize;
+    let n_edges = r.u32()? as usize;
+    let declared = 4usize
+        .checked_mul(n_vertices)
+        .and_then(|l| l.checked_add(8usize.checked_mul(n_edges)?))
+        .ok_or(ServeError::Truncated)?;
+    if declared > r.remaining() {
+        return Err(ServeError::Truncated);
+    }
+    let mut labels = Vec::with_capacity(n_vertices);
+    for _ in 0..n_vertices {
+        labels.push(r.u32()?);
+    }
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        edges.push((r.u32()?, r.u32()?));
+    }
+    r.finish()?;
+    graph_from_edges(n_vertices, &edges, Some(&labels))
+        .map_err(|e| ServeError::Corrupt(format!("invalid graph: {e}")))
+}
+
+/// Serialises a prediction: `u32 class | u32 n_scores | n_scores × f32`.
+pub fn encode_prediction(prediction: &Prediction) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 * prediction.scores.len());
+    out.extend_from_slice(&(prediction.class as u32).to_le_bytes());
+    out.extend_from_slice(&(prediction.scores.len() as u32).to_le_bytes());
+    for &score in &prediction.scores {
+        out.extend_from_slice(&score.to_le_bytes());
+    }
+    out
+}
+
+/// Deserialises and validates a prediction encoded by
+/// [`encode_prediction`]: the class must index into the score vector and
+/// trailing bytes are rejected.
+pub fn decode_prediction(bytes: &[u8]) -> Result<Prediction, ServeError> {
+    let mut r = Reader::new(bytes);
+    let class = r.u32()? as usize;
+    let n_scores = r.u32()? as usize;
+    if 4 * n_scores > r.remaining() {
+        return Err(ServeError::Truncated);
+    }
+    let mut scores = Vec::with_capacity(n_scores);
+    for _ in 0..n_scores {
+        scores.push(r.f32()?);
+    }
+    r.finish()?;
+    if class >= scores.len() {
+        return Err(ServeError::Corrupt(format!(
+            "predicted class {class} out of range for {} scores",
+            scores.len()
+        )));
+    }
+    Ok(Prediction { class, scores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepmap_graph::builder::graph_from_edges;
+
+    fn sample_graph() -> Graph {
+        graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)], Some(&[5, 6, 7, 8])).unwrap()
+    }
+
+    #[test]
+    fn graph_round_trips() {
+        let g = sample_graph();
+        let decoded = decode_graph(&encode_graph(&g)).unwrap();
+        assert_eq!(decoded, g);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = graph_from_edges(0, &[], None).unwrap();
+        assert_eq!(decode_graph(&encode_graph(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn graph_decode_rejects_truncation_at_every_length() {
+        let bytes = encode_graph(&sample_graph());
+        for cut in 0..bytes.len() {
+            let err = decode_graph(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ServeError::Truncated),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_decode_rejects_trailing_bytes() {
+        let mut bytes = encode_graph(&sample_graph());
+        bytes.push(0xAA);
+        assert!(matches!(
+            decode_graph(&bytes),
+            Err(ServeError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn graph_decode_rejects_structural_garbage() {
+        // Edge endpoint out of range.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(decode_graph(&bytes), Err(ServeError::Corrupt(_))));
+        // Self-loop.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(decode_graph(&bytes), Err(ServeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn huge_declared_counts_fail_before_allocating() {
+        // Declares u32::MAX vertices with a 10-byte payload: the length
+        // check must fire before any Vec::with_capacity of that size.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0]);
+        assert!(matches!(decode_graph(&bytes), Err(ServeError::Truncated)));
+    }
+
+    #[test]
+    fn prediction_round_trips() {
+        let p = Prediction {
+            class: 1,
+            scores: vec![0.25, 0.5, 0.25],
+        };
+        assert_eq!(decode_prediction(&encode_prediction(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn prediction_decode_rejects_bad_class_and_framing() {
+        let p = Prediction {
+            class: 0,
+            scores: vec![1.0],
+        };
+        let mut bytes = encode_prediction(&p);
+        bytes[0] = 7; // class 7 of 1 score
+        assert!(matches!(
+            decode_prediction(&bytes),
+            Err(ServeError::Corrupt(_))
+        ));
+        let bytes = encode_prediction(&p);
+        assert!(matches!(
+            decode_prediction(&bytes[..bytes.len() - 1]),
+            Err(ServeError::Truncated)
+        ));
+        let mut bytes = encode_prediction(&p);
+        bytes.push(0);
+        assert!(matches!(
+            decode_prediction(&bytes),
+            Err(ServeError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn reader_finish_rejects_leftovers() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        assert!(matches!(
+            r.finish(),
+            Err(ServeError::TrailingBytes { extra: 1 })
+        ));
+        let mut r = Reader::new(&[1, 2, 3]);
+        r.take(3).unwrap();
+        assert!(r.finish().is_ok());
+    }
+}

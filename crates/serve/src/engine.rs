@@ -148,6 +148,7 @@ struct ServerMetrics {
     submitted: Arc<Counter>,
     rejected: Arc<Counter>,
     rejected_invalid: Arc<Counter>,
+    rejected_busy: Arc<Counter>,
     breaker_rejected: Arc<Counter>,
     shed_deadline: Arc<Counter>,
     completed: Arc<Counter>,
@@ -168,6 +169,7 @@ impl ServerMetrics {
             submitted: registry.counter("serve.requests_submitted"),
             rejected: registry.counter("serve.requests_rejected"),
             rejected_invalid: registry.counter("serve.rejected_invalid"),
+            rejected_busy: registry.counter("serve.rejected_busy"),
             breaker_rejected: registry.counter("serve.breaker_rejected"),
             shed_deadline: registry.counter("serve.requests_shed_deadline"),
             completed: registry.counter("serve.requests_completed"),
@@ -193,6 +195,10 @@ pub struct MetricsSnapshot {
     pub rejected: u64,
     /// Requests refused by admission control ([`GraphLimits`]).
     pub rejected_invalid: u64,
+    /// Requests refused because the serving tier's in-flight budget was
+    /// exhausted ([`ServeError::Busy`]) — bumped by the network front end,
+    /// which shares this registry; always 0 for in-process serving.
+    pub rejected_busy: u64,
     /// Requests fast-failed by the open circuit breaker.
     pub breaker_rejected: u64,
     /// Accepted requests shed by the batcher because their deadline passed.
@@ -474,6 +480,7 @@ impl InferenceServer {
             submitted: self.metrics.submitted.get(),
             rejected: self.metrics.rejected.get(),
             rejected_invalid: self.metrics.rejected_invalid.get(),
+            rejected_busy: self.metrics.rejected_busy.get(),
             breaker_rejected: self.metrics.breaker_rejected.get(),
             shed_deadline: self.metrics.shed_deadline.get(),
             completed: self.metrics.completed.get(),

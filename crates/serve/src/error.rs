@@ -29,6 +29,12 @@ pub enum ServeError {
     Io(String),
     /// The server's bounded request queue is full (backpressure).
     QueueFull,
+    /// The serving tier's in-flight budget is exhausted (backpressure at
+    /// the network edge, before the request reaches the engine queue).
+    /// Distinct from [`ServeError::Rejected`] (admission control) and
+    /// [`ServeError::CircuitOpen`] (breaker): retrying after a short pause
+    /// is expected to succeed.
+    Busy,
     /// The server shut down before answering the request.
     Shutdown,
     /// Admission control refused the request (see
@@ -73,6 +79,7 @@ impl fmt::Display for ServeError {
             ServeError::Persist(e) => write!(f, "bundle weights: {e}"),
             ServeError::Io(e) => write!(f, "bundle io: {e}"),
             ServeError::QueueFull => write!(f, "inference queue full"),
+            ServeError::Busy => write!(f, "server busy: in-flight request budget exhausted"),
             ServeError::Shutdown => write!(f, "inference server shut down"),
             ServeError::Rejected { reason } => write!(f, "request rejected: {reason}"),
             ServeError::DeadlineExceeded => {

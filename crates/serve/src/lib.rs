@@ -11,6 +11,10 @@
 //!   assembly parameters + class names), and a single-threaded
 //!   [`Predictor`] that classifies unseen graphs one at a time or in
 //!   bit-identical micro-batches.
+//! - [`codec`] — the shared validated byte codecs: one length-checked,
+//!   trailing-byte-rejecting [`codec::Reader`] reused by the bundle format
+//!   and the `deepmap-net` wire protocol, plus graph and prediction
+//!   encoders/decoders.
 //! - [`engine`] — the [`InferenceServer`]: a bounded request queue, a
 //!   dynamic micro-batcher (flush on batch size or deadline), a worker
 //!   pool of model replicas, and latency/queue-depth counters.
@@ -34,6 +38,7 @@
 #![deny(missing_docs)]
 
 pub mod bundle;
+pub mod codec;
 pub mod engine;
 pub mod error;
 #[cfg(feature = "fault-inject")]

@@ -1,0 +1,144 @@
+//! `PredictionHandle::wait_timeout` edge cases — zero timeouts, waits on
+//! already-answered handles, timeouts racing the reply — and `health()`
+//! transitions while the server drains.
+
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::TrainConfig;
+use deepmap_serve::{Health, InferenceServer, ModelBundle, ServeError, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn trained_bundle() -> Arc<ModelBundle> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..8 {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    let dm = DeepMap::new(DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: 1,
+        },
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    });
+    let (prepared, pre) = dm.try_prepare_frozen(&graphs, &labels).unwrap();
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let result = dm.fit_split(&prepared, &all, &all);
+    Arc::new(
+        ModelBundle::freeze(
+            &dm,
+            &prepared,
+            pre,
+            &result.model,
+            vec!["cycle".to_string(), "clique".to_string()],
+        )
+        .unwrap(),
+    )
+}
+
+fn one_graph() -> deepmap_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(7);
+    cycle_graph(6, 0, &mut rng)
+}
+
+#[test]
+fn zero_timeout_on_pending_request_times_out_then_recovers() {
+    let server = InferenceServer::start(
+        trained_bundle(),
+        ServerConfig {
+            // A wide batching window guarantees the reply cannot have
+            // arrived by the time the instant poll runs.
+            max_batch: 64,
+            max_wait: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.submit(one_graph()).unwrap();
+    match handle.wait_timeout(Duration::ZERO) {
+        Err(ServeError::WaitTimeout) => {}
+        other => panic!("instant poll on a pending request must time out, got {other:?}"),
+    }
+    // WaitTimeout leaves the request in flight: the same handle can be
+    // waited on again and gets the real answer.
+    let served = handle
+        .wait_timeout(Duration::from_secs(30))
+        .expect("re-wait after timeout succeeds");
+    assert_eq!(served.scores.len(), 2);
+    assert_eq!(served.batch_size, 1);
+}
+
+#[test]
+fn already_answered_handle_satisfies_zero_timeout() {
+    let server = InferenceServer::start(trained_bundle(), ServerConfig::default()).unwrap();
+    let handle = server.submit(one_graph()).unwrap();
+    // Wait for the reply to be buffered in the handle's channel without
+    // consuming it.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.metrics().completed == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(server.metrics().completed, 1, "request served");
+    // The answer is already there, so even a zero timeout succeeds.
+    let served = handle
+        .wait_timeout(Duration::ZERO)
+        .expect("buffered reply satisfies an instant poll");
+    assert_eq!(served.scores.len(), 2);
+}
+
+#[test]
+fn timeout_racing_the_reply_never_loses_it() {
+    let server = InferenceServer::start(trained_bundle(), ServerConfig::default()).unwrap();
+    // Tight 1ms polls race the worker's reply; however the race lands, the
+    // prediction must eventually come out of the same handle.
+    for _ in 0..5 {
+        let handle = server.submit(one_graph()).unwrap();
+        let mut polls = 0u32;
+        let served = loop {
+            match handle.wait_timeout(Duration::from_millis(1)) {
+                Ok(served) => break served,
+                Err(ServeError::WaitTimeout) => {
+                    polls += 1;
+                    assert!(polls < 60_000, "request never answered");
+                }
+                Err(other) => panic!("unexpected failure: {other}"),
+            }
+        };
+        assert_eq!(served.scores.len(), 2);
+    }
+    assert_eq!(server.metrics().completed, 5);
+}
+
+#[test]
+fn health_transitions_to_unavailable_while_drain_still_answers() {
+    let mut server = InferenceServer::start(trained_bundle(), ServerConfig::default()).unwrap();
+    assert_eq!(server.health(), Health::Ready);
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| server.submit(one_graph()).expect("queue has room"))
+        .collect();
+    server.shutdown();
+    // Draining flips health immediately…
+    assert_eq!(server.health(), Health::Unavailable);
+    // …but already-accepted requests were still answered, not dropped.
+    for handle in handles {
+        assert!(handle.wait().is_ok(), "in-flight work drains on shutdown");
+    }
+    // New work is fast-failed, and health stays down.
+    assert!(matches!(
+        server.submit(one_graph()),
+        Err(ServeError::Shutdown)
+    ));
+    assert_eq!(server.health(), Health::Unavailable);
+}

@@ -69,8 +69,27 @@ echo "=== serve chaos smoke ==="
 # must trip on an exhausted budget and recover through its cool-down probe.
 # The feature-gated code also gets its own clippy pass, since the default
 # workspace lint run never compiles it.
-cargo clippy -p deepmap-serve -p deepmap-bench --features fault-inject --all-targets -- -D warnings
+cargo clippy -p deepmap-serve -p deepmap-net -p deepmap-bench --features fault-inject --all-targets -- -D warnings
 cargo test -q --release -p deepmap-serve --features fault-inject
+
+echo "=== net smoke ==="
+# The TCP front end, end to end on an ephemeral loopback port: serve_net
+# --smoke drives healthy round-trips over real sockets, a starved server
+# that must reject with typed Busy errors, and a seeded burst of hostile
+# frames (bad magic/version/type, oversized, truncated, garbage bodies).
+# It exits non-zero unless every hostile frame was answered with an error
+# frame, the server kept serving afterwards, and shutdown was fully clean
+# (zero handler panics, zero force-closed sockets, every accepted
+# connection closed — i.e. zero leaked threads).
+rm -f results/BENCH_net.json
+cargo run --release -p deepmap-bench --bin serve_net -- --smoke
+test -s results/BENCH_net.json
+grep -q '"bench": *"serve_net"' results/BENCH_net.json
+grep -q '"torture_survived": *true' results/BENCH_net.json
+grep -q '"clean_shutdown": *true' results/BENCH_net.json
+# The poison-pill suite proves per-connection panic isolation: a detonated
+# handler takes exactly its own connection, never the acceptor.
+cargo test -q --release -p deepmap-net --features fault-inject
 
 echo "=== resilience bench smoke ==="
 # resilience --smoke measures healthy vs chaos p50/p99, replays the chaos

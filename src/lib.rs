@@ -14,6 +14,8 @@
 //! - [`datasets`] — simulated Table-1 benchmarks.
 //! - [`eval`] — cross-validation, metrics, result tables.
 //! - [`serve`] — model bundles and the micro-batching inference server.
+//! - [`net`] — the hardened TCP front end speaking the `DMW1` wire
+//!   protocol, with a matching blocking client.
 //! - [`obs`] — structured tracing, stage metrics, and profiling hooks.
 //! - [`par`] — the shared deterministic thread pool (`DEEPMAP_THREADS`).
 
@@ -25,6 +27,7 @@ pub use deepmap_eval as eval;
 pub use deepmap_gnn as gnn;
 pub use deepmap_graph as graph;
 pub use deepmap_kernels as kernels;
+pub use deepmap_net as net;
 pub use deepmap_nn as nn;
 pub use deepmap_obs as obs;
 pub use deepmap_par as par;
