@@ -1,0 +1,435 @@
+//! Multi-tenant router benchmark: latency with many resident models and
+//! zero-downtime hot reload, measured over real sockets.
+//!
+//! Trains four small DeepMap-WL bundles (different seeds, same task),
+//! parks them behind one `deepmap-net` port via the [`ModelRouter`], and
+//! measures:
+//!
+//! 1. **single** — client-observed p50/p99 round-trip latency and
+//!    requests/sec with one resident model (the PR-6 baseline shape);
+//! 2. **multi** — the same traffic mixed round-robin across four resident
+//!    models by name: per-model replica pools mean tenancy must not cost
+//!    an order of magnitude;
+//! 3. **reload** — four client threads hammer one model over TCP while an
+//!    admin connection hot-swaps its weights twice mid-load. The contract
+//!    is zero failed requests: every wire request is answered with a
+//!    prediction or a typed backpressure rejection, never a dropped
+//!    connection or a routing hole;
+//! 4. **audit** — shutdown accounting: every retired replica pool joined
+//!    (`pools_joined == pools_retired`), zero leaked pools, zero forced
+//!    socket closes.
+//!
+//! The report lands in `results/BENCH_router.json`. Hard contract,
+//! enforced with non-zero exits: `reload_failed_requests == 0`,
+//! `pools_leaked == 0`, and a clean shutdown.
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --bin router_bench
+//! cargo run --release -p deepmap-bench --bin router_bench -- --smoke
+//!
+//! --smoke          tiny request counts; same hard assertions
+//! --requests <n>   round-trips per scenario (default 200)
+//! --seed <u64>     master seed for data and traffic (default 7)
+//! --out <path>     report path (default results/BENCH_router.json)
+//! ```
+
+use deepmap_bench::json::Json;
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_net::{ClientError, ErrorCode, NetClient, NetConfig, NetServer};
+use deepmap_nn::train::TrainConfig;
+use deepmap_router::{ModelConfig, ModelRouter, RouterConfig};
+use deepmap_serve::ModelBundle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Replies wait out cold starts; nothing in this harness may hang on them.
+const PATIENT: Duration = Duration::from_secs(30);
+/// Models resident in the multi-tenant scenario.
+const TENANTS: usize = 4;
+/// Client threads hammering the victim model during the hot reload.
+const RELOAD_CLIENTS: usize = 4;
+
+struct Args {
+    smoke: bool,
+    requests: usize,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        requests: 200,
+        seed: 7,
+        out: PathBuf::from("results/BENCH_router.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--requests" => {
+                args.requests = value("--requests").parse().unwrap_or_else(|_| {
+                    fail("--requests must be a positive integer");
+                })
+            }
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    fail("--seed must be an integer");
+                })
+            }
+            "--out" => args.out = PathBuf::from(value("--out")),
+            other => fail(&format!(
+                "unknown flag {other}\nusage: router_bench [--smoke] [--requests n] [--seed s] [--out path]"
+            )),
+        }
+    }
+    if args.smoke {
+        args.requests = args.requests.min(40);
+    }
+    args
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("router_bench: {msg}");
+    std::process::exit(1);
+}
+
+fn synthetic_dataset(seed: u64) -> (Vec<Graph>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..10 {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    (graphs, labels)
+}
+
+fn request_stream(n: usize, seed: u64) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                cycle_graph(5 + i % 4, 0, &mut rng)
+            } else {
+                complete_graph(4 + i % 4, 0, &mut rng)
+            }
+        })
+        .collect()
+}
+
+fn trained_bundle(seed: u64, smoke: bool) -> Arc<ModelBundle> {
+    let (graphs, labels) = synthetic_dataset(seed);
+    let dm = DeepMap::new(DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: if smoke { 6 } else { 15 },
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed,
+        },
+        seed,
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    });
+    let (prepared, pre) = dm
+        .try_prepare_frozen(&graphs, &labels)
+        .unwrap_or_else(|e| fail(&format!("prepare failed: {e}")));
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let result = dm.fit_split(&prepared, &all, &all);
+    Arc::new(
+        ModelBundle::freeze(
+            &dm,
+            &prepared,
+            pre,
+            &result.model,
+            vec!["cycle".to_string(), "clique".to_string()],
+        )
+        .unwrap_or_else(|e| fail(&format!("freeze failed: {e}"))),
+    )
+}
+
+fn start_router_server(bundles: &[Arc<ModelBundle>], config: NetConfig) -> NetServer {
+    let router = Arc::new(ModelRouter::new(RouterConfig::default()));
+    for (i, bundle) in bundles.iter().enumerate() {
+        router
+            .register(&format!("m{i}"), Arc::clone(bundle), ModelConfig::default())
+            .unwrap_or_else(|e| fail(&format!("register m{i} failed: {e}")));
+    }
+    NetServer::start_router(router, "127.0.0.1:0", config)
+        .unwrap_or_else(|e| fail(&format!("net server start failed: {e}")))
+}
+
+fn connect(server: &NetServer) -> NetClient {
+    let client = NetClient::connect(server.local_addr())
+        .unwrap_or_else(|e| fail(&format!("connect failed: {e}")));
+    client
+        .set_read_timeout(PATIENT)
+        .unwrap_or_else(|e| fail(&format!("set timeout failed: {e}")));
+    client
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Round-trips `stream` against `server`, naming `models[i % len]` on each
+/// request. Returns (p50_ms, p99_ms, requests_per_sec).
+fn measure(server: &NetServer, stream: &[Graph], models: &[&str]) -> (f64, f64, f64) {
+    let mut client = connect(server);
+    // Warm every named pool so cold starts stay out of the percentiles.
+    for model in models {
+        client
+            .predict_as(model, &stream[0])
+            .unwrap_or_else(|e| fail(&format!("warm-up on {model} failed: {e}")));
+    }
+    let mut latencies_ms = Vec::with_capacity(stream.len());
+    let start = Instant::now();
+    for (i, graph) in stream.iter().enumerate() {
+        let model = models[i % models.len()];
+        let sent = Instant::now();
+        match client.predict_as(model, graph) {
+            Ok(_) => latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3),
+            Err(e) => fail(&format!("request {i} on {model} failed: {e}")),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let requests_per_sec = stream.len() as f64 / elapsed;
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (
+        percentile(&latencies_ms, 0.50),
+        percentile(&latencies_ms, 0.99),
+        requests_per_sec,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let bundles: Vec<Arc<ModelBundle>> = (0..TENANTS as u64)
+        .map(|i| trained_bundle(args.seed.wrapping_add(i * 1009), args.smoke))
+        .collect();
+    let stream = request_stream(args.requests, args.seed);
+
+    // 1. One resident model: the baseline shape.
+    let single = start_router_server(&bundles[..1], NetConfig::default());
+    let (single_p50, single_p99, single_rps) = measure(&single, &stream, &["m0"]);
+    let single_stats = single.shutdown();
+    if single_stats.router.pools_leaked != 0 {
+        fail("single-model shutdown leaked a pool");
+    }
+    deepmap_obs::info!(
+        "single: p50 {:.3} ms, p99 {:.3} ms, {:.0} req/s",
+        single_p50,
+        single_p99,
+        single_rps
+    );
+
+    // 2. Four resident models, traffic mixed round-robin by name.
+    let server = start_router_server(
+        &bundles,
+        NetConfig {
+            allow_admin: true,
+            ..NetConfig::default()
+        },
+    );
+    let names: Vec<String> = (0..TENANTS).map(|i| format!("m{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let (multi_p50, multi_p99, multi_rps) = measure(&server, &stream, &name_refs);
+    deepmap_obs::info!(
+        "multi ({TENANTS} models): p50 {:.3} ms, p99 {:.3} ms, {:.0} req/s",
+        multi_p50,
+        multi_p99,
+        multi_rps
+    );
+
+    // 3. Hot reload under load: hammer m0 from several connections while
+    // an admin connection swaps its weights twice. Nothing may fail —
+    // typed backpressure (Busy/queue-full) counts as answered, anything
+    // else is a dropped request and fails the bench.
+    let stop = Arc::new(AtomicBool::new(false));
+    let answered = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..RELOAD_CLIENTS)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let answered = Arc::clone(&answered);
+            let failed = Arc::clone(&failed);
+            let graphs = stream.clone();
+            let mut client = connect(&server);
+            std::thread::spawn(move || {
+                let mut i = c;
+                while !stop.load(Ordering::Relaxed) {
+                    let graph = &graphs[i % graphs.len()];
+                    i += 1;
+                    match client.predict_as("m0", graph) {
+                        Ok(_) => {
+                            answered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Server(r))
+                            if r.code == ErrorCode::Busy || r.code == ErrorCode::QueueFull =>
+                        {
+                            answered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("router_bench: reload-load request failed: {e}");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut admin = connect(&server);
+    let replacement = trained_bundle(args.seed.wrapping_mul(31).wrapping_add(5), args.smoke);
+    let replacement_bytes = replacement.to_bytes();
+    std::thread::sleep(Duration::from_millis(if args.smoke { 20 } else { 50 }));
+    let mut reload_ms = Vec::new();
+    let mut version = 1u64;
+    for _ in 0..2 {
+        let begin = Instant::now();
+        version = admin
+            .reload("m0", &replacement_bytes)
+            .unwrap_or_else(|e| fail(&format!("hot reload failed: {e}")));
+        reload_ms.push(begin.elapsed().as_secs_f64() * 1e3);
+        std::thread::sleep(Duration::from_millis(if args.smoke { 20 } else { 50 }));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for client in clients {
+        if client.join().is_err() {
+            failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let reload_answered = answered.load(Ordering::Relaxed);
+    let reload_failed = failed.load(Ordering::Relaxed);
+    if version != 3 {
+        fail(&format!(
+            "two reloads must land at version 3, got {version}"
+        ));
+    }
+    deepmap_obs::info!(
+        "reload: {} requests answered across 2 swaps ({} failed), swap times {:?} ms",
+        reload_answered,
+        reload_failed,
+        reload_ms
+    );
+
+    // 4. Shutdown audit.
+    drop(admin);
+    let stats = server.shutdown();
+    let audit = stats.router;
+    let clean_shutdown = stats.forced_closes == 0
+        && stats.conn_panics == 0
+        && stats.conns_accepted == stats.conns_closed
+        && audit.pools_leaked == 0
+        && audit.pools_joined == audit.pools_retired;
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("router_bench".into())),
+        ("smoke".into(), Json::Bool(args.smoke)),
+        ("seed".into(), Json::Num(args.seed as f64)),
+        ("requests".into(), Json::Num(stream.len() as f64)),
+        (
+            "single_model".into(),
+            Json::Obj(vec![
+                ("p50_ms".into(), Json::Num(single_p50)),
+                ("p99_ms".into(), Json::Num(single_p99)),
+                ("requests_per_sec".into(), Json::Num(single_rps)),
+            ]),
+        ),
+        (
+            "multi_model".into(),
+            Json::Obj(vec![
+                ("models".into(), Json::Num(TENANTS as f64)),
+                ("p50_ms".into(), Json::Num(multi_p50)),
+                ("p99_ms".into(), Json::Num(multi_p99)),
+                ("requests_per_sec".into(), Json::Num(multi_rps)),
+            ]),
+        ),
+        (
+            "hot_reload".into(),
+            Json::Obj(vec![
+                ("reloads".into(), Json::Num(reload_ms.len() as f64)),
+                (
+                    "answered_during_reload".into(),
+                    Json::Num(reload_answered as f64),
+                ),
+                ("failed_requests".into(), Json::Num(reload_failed as f64)),
+                (
+                    "swap_ms".into(),
+                    Json::Arr(reload_ms.iter().map(|&ms| Json::Num(ms)).collect()),
+                ),
+                ("final_version".into(), Json::Num(version as f64)),
+            ]),
+        ),
+        (
+            "audit".into(),
+            Json::Obj(vec![
+                (
+                    "pools_retired".into(),
+                    Json::Num(audit.pools_retired as f64),
+                ),
+                ("pools_joined".into(), Json::Num(audit.pools_joined as f64)),
+                (
+                    "threads_joined".into(),
+                    Json::Num(audit.threads_joined as f64),
+                ),
+                ("pools_leaked".into(), Json::Num(audit.pools_leaked as f64)),
+            ]),
+        ),
+        ("clean_shutdown".into(), Json::Bool(clean_shutdown)),
+    ]);
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(&args.out, report.to_json())
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", args.out.display())));
+
+    // Self-check: re-read and parse what landed on disk, then enforce the
+    // tenancy contract with non-zero exits.
+    let text = std::fs::read_to_string(&args.out)
+        .unwrap_or_else(|e| fail(&format!("cannot re-read {}: {e}", args.out.display())));
+    let parsed =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("report is not valid JSON: {e}")));
+    if parsed.get("multi_model").is_none()
+        || parsed.get("hot_reload").is_none()
+        || parsed.get("audit").is_none()
+    {
+        fail("report is missing required fields");
+    }
+    if reload_failed != 0 {
+        fail(&format!(
+            "{reload_failed} requests failed across the hot swaps — zero-downtime contract broken"
+        ));
+    }
+    if reload_answered == 0 {
+        fail("no traffic actually ran during the hot swaps");
+    }
+    if !clean_shutdown {
+        fail(&format!(
+            "shutdown was not clean: {} forced closes, {} pools leaked, {}/{} pools joined",
+            stats.forced_closes, audit.pools_leaked, audit.pools_joined, audit.pools_retired
+        ));
+    }
+    println!(
+        "wrote {} (single p50 {:.3} ms, {TENANTS}-model p50 {:.3} ms, 2 hot swaps with 0 failed requests, clean shutdown)",
+        args.out.display(),
+        single_p50,
+        multi_p50
+    );
+}

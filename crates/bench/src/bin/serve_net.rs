@@ -36,7 +36,7 @@ use deepmap_core::{DeepMap, DeepMapConfig};
 use deepmap_graph::generators::{complete_graph, cycle_graph};
 use deepmap_graph::Graph;
 use deepmap_kernels::FeatureKind;
-use deepmap_net::protocol::{encode_frame, MAGIC};
+use deepmap_net::protocol::{encode_frame, encode_named_body, MAGIC};
 use deepmap_net::{
     ClientError, ErrorCode, FrameType, NetClient, NetConfig, NetServer, WIRE_VERSION,
 };
@@ -215,9 +215,9 @@ fn throw_hostile(server: &NetServer, rng: &mut SplitMix64, kind: u64) -> (bool, 
             header[rng.below(4) as usize] ^= 1 + rng.below(255) as u8;
             true
         }
-        // Unsupported version.
+        // Unsupported version (3..: both 1 and 2 are spoken dialects now).
         1 => {
-            header[4] = 2 + rng.below(250) as u8;
+            header[4] = 3 + rng.below(250) as u8;
             true
         }
         // Unknown frame type.
@@ -240,7 +240,7 @@ fn throw_hostile(server: &NetServer, rng: &mut SplitMix64, kind: u64) -> (bool, 
             let body: Vec<u8> = (0..8 + rng.below(40))
                 .map(|_| rng.next_u64() as u8)
                 .collect();
-            header = encode_frame(FrameType::Predict, &body);
+            header = encode_frame(FrameType::Predict, &encode_named_body("", &body));
             true
         }
         // Truncated body, then disconnect: no reply owed.

@@ -1,15 +1,24 @@
-//! A small blocking client for the `DMW1` wire protocol.
+//! A small blocking client for the `DMW2` wire protocol.
 //!
 //! One [`NetClient`] wraps one TCP connection and offers a synchronous
-//! request/reply call per frame type. Replies are validated as strictly on
-//! the client as requests are on the server: unexpected frame types,
-//! oversized replies, and malformed bodies all surface as typed
-//! [`ClientError`]s, never panics. Used by the integration tests, the
-//! protocol-torture suite, and the `serve_net` bench.
+//! request/reply call per frame type. A client speaks one dialect for the
+//! life of the connection: [`NetClient::connect`] speaks `DMW2` and can
+//! name models ([`NetClient::predict_as`], [`NetClient::health_of`], the
+//! admin calls); [`NetClient::connect_v1`] speaks the legacy `DMW1` frames
+//! byte-for-byte — it exists so the compatibility tests exercise exactly
+//! what a not-yet-upgraded client sends, and it always routes to the
+//! server's default model.
+//!
+//! Replies are validated as strictly on the client as requests are on the
+//! server: unexpected frame types, oversized replies, and malformed bodies
+//! all surface as typed [`ClientError`]s, never panics. Used by the
+//! integration tests, the protocol-torture suite, and the `serve_net` /
+//! `router_bench` benches.
 
 use crate::protocol::{
-    decode_error_body, encode_batch_request, encode_frame, read_frame, ErrorCode, FrameType,
-    WireError, DEFAULT_MAX_FRAME,
+    decode_error_body, decode_model_list, encode_batch_request, encode_frame_v, encode_named_body,
+    read_frame, ErrorCode, FrameType, WireError, WireModelInfo, DEFAULT_MAX_FRAME, MAX_MODEL_NAME,
+    WIRE_V1, WIRE_VERSION,
 };
 use deepmap_graph::Graph;
 use deepmap_serve::codec::{decode_prediction, encode_graph, Reader};
@@ -53,6 +62,12 @@ pub enum ClientError {
         /// The frame type that arrived.
         FrameType,
     ),
+    /// The call is not expressible in this connection's wire dialect
+    /// (naming a model, or an admin call, on a `DMW1` connection).
+    DialectMismatch(
+        /// What was attempted.
+        String,
+    ),
 }
 
 impl fmt::Display for ClientError {
@@ -62,6 +77,12 @@ impl fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "protocol violation in reply: {e}"),
             ClientError::Server(r) => write!(f, "{r}"),
             ClientError::UnexpectedReply(t) => write!(f, "unexpected reply frame {t:?}"),
+            ClientError::DialectMismatch(what) => {
+                write!(
+                    f,
+                    "{what} requires a DMW2 connection (this one speaks DMW1)"
+                )
+            }
         }
     }
 }
@@ -102,21 +123,33 @@ pub enum RemoteHealth {
     Unavailable,
 }
 
-/// A blocking `DMW1` client over one TCP connection.
+/// A blocking `DMW2` (or legacy `DMW1`) client over one TCP connection.
 pub struct NetClient {
     stream: TcpStream,
     max_frame: u32,
+    wire_version: u8,
 }
 
 impl NetClient {
-    /// Connects with a 5-second default for connect, read, and write
-    /// timeouts (see [`NetClient::connect_with_timeout`] to choose).
+    /// Connects speaking `DMW2`, with a 5-second default for connect,
+    /// read, and write timeouts (see [`NetClient::connect_with_timeout`]
+    /// to choose).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, ClientError> {
         Self::connect_with_timeout(addr, Duration::from_secs(5))
     }
 
-    /// Connects and applies `timeout` to reads and writes. A reply slower
-    /// than the timeout surfaces as [`ClientError::Io`].
+    /// Connects speaking the legacy `DMW1` dialect: no model names, every
+    /// request routed to the server's default model. Frames go out
+    /// byte-identical to what a PR 6 client sends.
+    pub fn connect_v1(addr: impl ToSocketAddrs) -> Result<NetClient, ClientError> {
+        let mut client = Self::connect_with_timeout(addr, Duration::from_secs(5))?;
+        client.wire_version = WIRE_V1;
+        Ok(client)
+    }
+
+    /// Connects (speaking `DMW2`) and applies `timeout` to reads and
+    /// writes. A reply slower than the timeout surfaces as
+    /// [`ClientError::Io`].
     pub fn connect_with_timeout(
         addr: impl ToSocketAddrs,
         timeout: Duration,
@@ -128,7 +161,13 @@ impl NetClient {
         Ok(NetClient {
             stream,
             max_frame: DEFAULT_MAX_FRAME,
+            wire_version: WIRE_VERSION,
         })
+    }
+
+    /// The dialect this connection speaks (1 or 2).
+    pub fn wire_version(&self) -> u8 {
+        self.wire_version
     }
 
     /// Overrides the read timeout (e.g. to outwait a cold first request).
@@ -137,13 +176,32 @@ impl NetClient {
         Ok(())
     }
 
+    /// Builds a request body for this dialect: v2 prefixes the model name,
+    /// v1 has no name field (and refuses to name a model at all).
+    fn named(&self, what: &str, model: &str, rest: &[u8]) -> Result<Vec<u8>, ClientError> {
+        if self.wire_version == WIRE_V1 {
+            if model.is_empty() {
+                return Ok(rest.to_vec());
+            }
+            return Err(ClientError::DialectMismatch(what.to_string()));
+        }
+        if model.len() > MAX_MODEL_NAME {
+            return Err(ClientError::Wire(WireError::BadBody(format!(
+                "model name of {} bytes exceeds the {MAX_MODEL_NAME} limit",
+                model.len()
+            ))));
+        }
+        Ok(encode_named_body(model, rest))
+    }
+
     /// Sends one request frame and reads one reply frame.
     fn round_trip(
         &mut self,
         frame_type: FrameType,
         body: &[u8],
     ) -> Result<(FrameType, Vec<u8>), ClientError> {
-        self.stream.write_all(&encode_frame(frame_type, body))?;
+        self.stream
+            .write_all(&encode_frame_v(self.wire_version, frame_type, body))?;
         let (header, reply) = read_frame(&mut self.stream, self.max_frame)??;
         Ok((header.frame_type, reply))
     }
@@ -160,22 +218,40 @@ impl NetClient {
         }
     }
 
-    /// Classifies one graph.
+    /// Classifies one graph on the server's default model.
     pub fn predict(&mut self, graph: &Graph) -> Result<Prediction, ClientError> {
-        let reply = self.round_trip(FrameType::Predict, &encode_graph(graph))?;
+        self.predict_as("", graph)
+    }
+
+    /// Classifies one graph on the named model (the empty name is the
+    /// default model). `DMW2` connections only.
+    pub fn predict_as(&mut self, model: &str, graph: &Graph) -> Result<Prediction, ClientError> {
+        let body = self.named("predict_as", model, &encode_graph(graph))?;
+        let reply = self.round_trip(FrameType::Predict, &body)?;
         let body = Self::expect(reply, FrameType::PredictReply)?;
         decode_prediction(&body).map_err(|e| ClientError::Wire(WireError::BadBody(e.to_string())))
     }
 
-    /// Classifies a batch in one frame. Per-item failures (admission
-    /// rejections, deadlines) come back per item; a frame-level failure
-    /// (bad framing, busy, draining) fails the whole call.
+    /// Classifies a batch in one frame on the default model. Per-item
+    /// failures (admission rejections, deadlines) come back per item; a
+    /// frame-level failure (bad framing, busy, draining) fails the whole
+    /// call.
     pub fn predict_batch(
         &mut self,
         graphs: &[Graph],
     ) -> Result<Vec<Result<Prediction, ServerReject>>, ClientError> {
+        self.predict_batch_as("", graphs)
+    }
+
+    /// [`predict_batch`](NetClient::predict_batch) on the named model.
+    pub fn predict_batch_as(
+        &mut self,
+        model: &str,
+        graphs: &[Graph],
+    ) -> Result<Vec<Result<Prediction, ServerReject>>, ClientError> {
         let blobs: Vec<Vec<u8>> = graphs.iter().map(encode_graph).collect();
-        let reply = self.round_trip(FrameType::PredictBatch, &encode_batch_request(&blobs))?;
+        let body = self.named("predict_batch_as", model, &encode_batch_request(&blobs))?;
+        let reply = self.round_trip(FrameType::PredictBatch, &body)?;
         let body = Self::expect(reply, FrameType::PredictBatchReply)?;
         let mut r = Reader::new(&body);
         let bad = |what: &str| ClientError::Wire(WireError::BadBody(what.to_string()));
@@ -210,9 +286,15 @@ impl NetClient {
         Ok(items)
     }
 
-    /// Asks for the server's health.
+    /// Asks for the default model's health.
     pub fn health(&mut self) -> Result<RemoteHealth, ClientError> {
-        let reply = self.round_trip(FrameType::Health, &[])?;
+        self.health_of("")
+    }
+
+    /// Asks for the named model's health. `DMW2` connections only.
+    pub fn health_of(&mut self, model: &str) -> Result<RemoteHealth, ClientError> {
+        let body = self.named("health_of", model, &[])?;
+        let reply = self.round_trip(FrameType::Health, &body)?;
         let body = Self::expect(reply, FrameType::HealthReply)?;
         let mut r = Reader::new(&body);
         let bad = |what: &str| ClientError::Wire(WireError::BadBody(what.to_string()));
@@ -227,11 +309,49 @@ impl NetClient {
         }
     }
 
-    /// Fetches the server's metrics in Prometheus text format.
+    /// Fetches the server's metrics in Prometheus text format: the whole
+    /// tenancy (edge instruments plus every model labelled) on the empty
+    /// name, or one model's labelled registry.
     pub fn metrics_text(&mut self) -> Result<String, ClientError> {
-        let reply = self.round_trip(FrameType::Metrics, &[])?;
+        self.metrics_of("")
+    }
+
+    /// [`metrics_text`](NetClient::metrics_text) scoped to one model.
+    /// `DMW2` connections only.
+    pub fn metrics_of(&mut self, model: &str) -> Result<String, ClientError> {
+        let body = self.named("metrics_of", model, &[])?;
+        let reply = self.round_trip(FrameType::Metrics, &body)?;
         let body = Self::expect(reply, FrameType::MetricsReply)?;
         Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// Lists every resident model (admin frame; the server must have been
+    /// started with `allow_admin`, else [`ErrorCode::AdminDisabled`]).
+    pub fn list_models(&mut self) -> Result<Vec<WireModelInfo>, ClientError> {
+        if self.wire_version == WIRE_V1 {
+            return Err(ClientError::DialectMismatch("list_models".to_string()));
+        }
+        let reply = self.round_trip(FrameType::ListModels, &[])?;
+        let body = Self::expect(reply, FrameType::ListModelsReply)?;
+        Ok(decode_model_list(&body)?)
+    }
+
+    /// Hot-reloads the named model from a `DMB1` bundle image (admin
+    /// frame). Returns the model's new version. The call blocks while the
+    /// server builds and probes the replacement pool; other connections
+    /// keep being served by the resident pool throughout.
+    pub fn reload(&mut self, model: &str, bundle_bytes: &[u8]) -> Result<u64, ClientError> {
+        if self.wire_version == WIRE_V1 {
+            return Err(ClientError::DialectMismatch("reload".to_string()));
+        }
+        let body = self.named("reload", model, bundle_bytes)?;
+        let reply = self.round_trip(FrameType::Reload, &body)?;
+        let body = Self::expect(reply, FrameType::ReloadReply)?;
+        let bytes: [u8; 8] = body
+            .as_slice()
+            .try_into()
+            .map_err(|_| ClientError::Wire(WireError::BadBody("reload reply length".into())))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Asks the server to drain gracefully. The server acknowledges and

@@ -1,31 +1,39 @@
-//! `deepmap-net`: a hardened, zero-dependency TCP front end for the
-//! DeepMap inference server.
+//! `deepmap-net`: a hardened TCP front end for the DeepMap model router.
 //!
 //! PR 5 made the in-process engine resilient (admission control,
-//! deadlines, supervision, a circuit breaker); this crate extends that
-//! posture one layer out, to where malformed input, slow clients, and
-//! connection churn actually arrive:
+//! deadlines, supervision, a circuit breaker); PR 6 extended that posture
+//! one layer out, to where malformed input, slow clients, and connection
+//! churn actually arrive; PR 7 put a multi-tenant
+//! [`ModelRouter`](deepmap_router::ModelRouter) behind the same port:
 //!
-//! - [`protocol`] — the versioned, length-prefixed `DMW1` wire format
-//!   (magic + version + frame type + u32 body length) with strict typed
-//!   validation ([`WireError`]): bad magic, unknown versions and frame
-//!   types, oversized and truncated frames are all answered with error
-//!   frames, never panics or silent drops. Graph and prediction payloads
-//!   ride the shared [`deepmap_serve::codec`] readers, so the wire and
-//!   bundle formats validate bytes one way.
-//! - [`server`] — the blocking-threads [`NetServer`]: per-connection
+//! - [`protocol`] — the versioned, length-prefixed `DMW2` wire format
+//!   (magic + version + frame type + u32 body length, request bodies
+//!   carrying a length-prefixed model name) with strict typed validation
+//!   ([`WireError`]): bad magic, unknown versions and frame types,
+//!   oversized and truncated frames, and over-long model names are all
+//!   answered with error frames, never panics or silent drops. Legacy
+//!   `DMW1` frames are still accepted and routed to the default model.
+//!   Graph and prediction payloads ride the shared
+//!   [`deepmap_serve::codec`] readers, so the wire and bundle formats
+//!   validate bytes one way.
+//! - [`server`] — the blocking-threads [`NetServer`]: many named models
+//!   behind one port ([`NetServer::start_router`]), per-connection
 //!   read/write deadlines and idle timeouts (slow-loris shedding),
 //!   bounded connection and in-flight budgets that reject with
 //!   [`ErrorCode::Busy`] (backpressure), per-connection panic isolation,
-//!   graceful drain with a bounded shutdown deadline, and `serve.conn_*`
-//!   instruments on the engine's metrics registry.
-//! - [`client`] — a small blocking [`NetClient`] used by the integration
-//!   tests, the protocol-torture suite, and the `serve_net` bench.
+//!   graceful drain with a bounded shutdown deadline, admin frames gated
+//!   by [`NetConfig::allow_admin`], and `serve.conn_*` instruments on the
+//!   router's metrics registry.
+//! - [`client`] — a small blocking [`NetClient`] (with a byte-faithful
+//!   `DMW1` mode, [`NetClient::connect_v1`]) used by the integration
+//!   tests, the protocol-torture suite, and the benches.
 //!
 //! The engine's fast-fail taxonomy crosses the wire intact: admission
 //! rejections, queue-full, breaker-open, deadline, and worker-panic
 //! failures each map to their own [`ErrorCode`], so a remote client can
-//! react exactly as an in-process caller would.
+//! react exactly as an in-process caller would — and a routing miss has
+//! its own [`ErrorCode::UnknownModel`], answered without dropping the
+//! connection.
 
 #![deny(missing_docs)]
 
@@ -34,5 +42,8 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{ClientError, NetClient, RemoteHealth, ServerReject};
-pub use protocol::{ErrorCode, FrameType, WireError, DEFAULT_MAX_FRAME, WIRE_VERSION};
-pub use server::{NetConfig, NetMetricsSnapshot, NetServer, NetStats};
+pub use protocol::{
+    ErrorCode, FrameType, WireError, WireModelInfo, DEFAULT_MAX_FRAME, MAX_MODEL_NAME, WIRE_V1,
+    WIRE_VERSION,
+};
+pub use server::{NetConfig, NetMetricsSnapshot, NetServer, NetStats, DEFAULT_MODEL_NAME};

@@ -1,56 +1,83 @@
-//! The `DMW1` wire protocol: versioned, length-prefixed binary frames.
+//! The `DMW2` wire protocol: versioned, length-prefixed binary frames
+//! with multi-tenant model routing (`DMW1` still accepted).
 //!
 //! Every message on the wire is one frame:
 //!
 //! ```text
-//! magic "DMW1" | u8 version (= 1) | u8 frame type | u32 body length (LE) | body
+//! magic "DMW2" | u8 version (= 2) | u8 frame type | u32 body length (LE) | body
 //! ```
 //!
+//! Version 2 request bodies for [`FrameType::Predict`],
+//! [`FrameType::PredictBatch`], [`FrameType::Health`], and
+//! [`FrameType::Metrics`] start with a length-prefixed **model name**
+//! (`u16 len | utf-8 name`); the empty name routes to the server's default
+//! model. Version 1 frames (`magic "DMW1"`, version byte 1) carry no name
+//! field and route to the default model, so a `DMW1` client keeps working
+//! against a `DMW2` server unchanged. The admin frames
+//! ([`FrameType::ListModels`], [`FrameType::Reload`]) are version-2 only
+//! and gated server-side by `NetConfig::allow_admin`.
+//!
 //! Request frames carry graphs ([`FrameType::Predict`],
-//! [`FrameType::PredictBatch`]) or are empty ([`FrameType::Health`],
-//! [`FrameType::Metrics`], [`FrameType::Drain`]); each is answered by
-//! exactly one reply frame — the matching `*Reply` type or
-//! [`FrameType::Error`] carrying a typed [`ErrorCode`] plus a human-readable
-//! message. Graph and prediction bodies use the validated codecs in
-//! [`deepmap_serve::codec`], so wire payloads and bundle files share one
-//! length-checked reader.
+//! [`FrameType::PredictBatch`]), a name (or nothing) for
+//! [`FrameType::Health`] / [`FrameType::Metrics`] / [`FrameType::Drain`],
+//! or a name plus a `DMB1` bundle image for [`FrameType::Reload`]; each is
+//! answered by exactly one reply frame — the matching `*Reply` type or
+//! [`FrameType::Error`] carrying a typed [`ErrorCode`] plus a
+//! human-readable message. Graph and prediction bodies use the validated
+//! codecs in [`deepmap_serve::codec`], so wire payloads and bundle files
+//! share one length-checked reader.
 //!
 //! Validation is strict and total: a header that fails [`parse_header`]
 //! (bad magic, unknown version or frame type, body length over the
 //! negotiated maximum) yields a typed [`WireError`], never a panic, and the
 //! server answers it with an error frame before closing the connection —
 //! after a framing error the byte stream can no longer be trusted to be
-//! frame-aligned.
+//! frame-aligned. A model-name field longer than [`MAX_MODEL_NAME`] is
+//! rejected before any allocation or registry lookup.
 
 use deepmap_serve::codec::Reader;
 use deepmap_serve::ServeError;
 use std::fmt;
 use std::io::{Read, Write};
 
-/// The wire magic, first bytes of every frame.
-pub const MAGIC: [u8; 4] = *b"DMW1";
-/// The protocol version this build speaks.
-pub const WIRE_VERSION: u8 = 1;
+/// The wire magic, first bytes of every version-2 frame.
+pub const MAGIC: [u8; 4] = *b"DMW2";
+/// The version-1 magic, still accepted for routing to the default model.
+pub const MAGIC_V1: [u8; 4] = *b"DMW1";
+/// The protocol version this build speaks (and answers v2 requests with).
+pub const WIRE_VERSION: u8 = 2;
+/// The legacy protocol version, accepted alongside [`WIRE_VERSION`].
+pub const WIRE_V1: u8 = 1;
 /// Bytes in a frame header: magic + version + type + body length.
 pub const HEADER_LEN: usize = 10;
 /// Default ceiling on a frame body; [`parse_header`] rejects bigger ones.
 pub const DEFAULT_MAX_FRAME: u32 = 8 * 1024 * 1024;
+/// Longest model name a version-2 frame may carry, mirroring the router's
+/// registration limit. Checked before the name is even sliced out.
+pub const MAX_MODEL_NAME: usize = 128;
 
-/// Every frame type the protocol defines. Requests are `0x01..=0x05`,
+/// Every frame type the protocol defines. Requests are `0x01..=0x07`,
 /// replies have the high bit set; `0xEE` is the error reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum FrameType {
-    /// Classify one graph (body: encoded graph).
+    /// Classify one graph (v2 body: `name | encoded graph`).
     Predict = 0x01,
-    /// Classify several graphs (body: `u32 count | count × (u32 len | graph)`).
+    /// Classify several graphs (v2 body: `name | u32 count | count ×
+    /// (u32 len | graph)`).
     PredictBatch = 0x02,
-    /// Report server health (empty body).
+    /// Report one model's health (v2 body: `name`; v1 body empty).
     Health = 0x03,
-    /// Report serving metrics (empty body).
+    /// Report serving metrics (v2 body: `name` — empty name renders the
+    /// whole tenancy; v1 body empty).
     Metrics = 0x04,
     /// Begin graceful drain: stop accepting, flush in-flight (empty body).
     Drain = 0x05,
+    /// List resident models (empty body; admin-gated, v2 only).
+    ListModels = 0x06,
+    /// Hot-reload one model (body: `name | DMB1 bundle image`;
+    /// admin-gated, v2 only).
+    Reload = 0x07,
     /// Reply to [`FrameType::Predict`] (body: encoded prediction).
     PredictReply = 0x81,
     /// Reply to [`FrameType::PredictBatch`] (body: per-item tagged results).
@@ -61,6 +88,10 @@ pub enum FrameType {
     MetricsReply = 0x84,
     /// Reply to [`FrameType::Drain`] (empty body).
     DrainReply = 0x85,
+    /// Reply to [`FrameType::ListModels`] (body: encoded model list).
+    ListModelsReply = 0x86,
+    /// Reply to [`FrameType::Reload`] (body: `u64 new version`).
+    ReloadReply = 0x87,
     /// Error reply to any request (body: `u16 code | utf-8 message`).
     Error = 0xEE,
 }
@@ -74,11 +105,15 @@ impl FrameType {
             0x03 => Some(FrameType::Health),
             0x04 => Some(FrameType::Metrics),
             0x05 => Some(FrameType::Drain),
+            0x06 => Some(FrameType::ListModels),
+            0x07 => Some(FrameType::Reload),
             0x81 => Some(FrameType::PredictReply),
             0x82 => Some(FrameType::PredictBatchReply),
             0x83 => Some(FrameType::HealthReply),
             0x84 => Some(FrameType::MetricsReply),
             0x85 => Some(FrameType::DrainReply),
+            0x86 => Some(FrameType::ListModelsReply),
+            0x87 => Some(FrameType::ReloadReply),
             0xEE => Some(FrameType::Error),
             _ => None,
         }
@@ -86,14 +121,15 @@ impl FrameType {
 }
 
 /// Typed error codes carried in [`FrameType::Error`] bodies. Codes `1..=5`
-/// are protocol violations; the rest mirror the engine's [`ServeError`]
+/// are protocol violations; `6..=15` mirror the engine's [`ServeError`]
 /// fast-fail taxonomy so a wire client can tell backpressure
 /// ([`ErrorCode::Busy`]) from admission ([`ErrorCode::Rejected`]) from the
-/// breaker ([`ErrorCode::CircuitOpen`]).
+/// breaker ([`ErrorCode::CircuitOpen`]); `16..` are routing errors new in
+/// `DMW2`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u16)]
 pub enum ErrorCode {
-    /// Frame did not start with the `DMW1` magic.
+    /// Frame did not start with the `DMW2` (or `DMW1`) magic.
     BadMagic = 1,
     /// Frame declared a protocol version this build cannot speak.
     UnsupportedVersion = 2,
@@ -123,6 +159,12 @@ pub enum ErrorCode {
     UnexpectedFrame = 14,
     /// Any other serving failure.
     Internal = 15,
+    /// The named model is not resident (and the connection lives on — a
+    /// routing miss is the requester's problem, not a framing violation).
+    UnknownModel = 16,
+    /// An admin frame arrived but the server was started without
+    /// `allow_admin`.
+    AdminDisabled = 17,
 }
 
 impl ErrorCode {
@@ -144,6 +186,8 @@ impl ErrorCode {
             12 => ErrorCode::Draining,
             13 => ErrorCode::Timeout,
             14 => ErrorCode::UnexpectedFrame,
+            16 => ErrorCode::UnknownModel,
+            17 => ErrorCode::AdminDisabled,
             _ => ErrorCode::Internal,
         }
     }
@@ -182,6 +226,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Timeout => "timeout",
             ErrorCode::UnexpectedFrame => "unexpected-frame",
             ErrorCode::Internal => "internal",
+            ErrorCode::UnknownModel => "unknown-model",
+            ErrorCode::AdminDisabled => "admin-disabled",
         };
         write!(f, "{name}")
     }
@@ -192,12 +238,13 @@ impl fmt::Display for ErrorCode {
 /// validation. Every variant is answered with an error frame; none panics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
-    /// The first four bytes were not `DMW1`.
+    /// The first four bytes were neither `DMW2` nor `DMW1`.
     BadMagic(
         /// The bytes found instead.
         [u8; 4],
     ),
-    /// The version byte is not one this build speaks.
+    /// The version byte is not one this build speaks (or does not match
+    /// its magic: `DMW2` frames must declare version 2, `DMW1` version 1).
     UnsupportedVersion(
         /// The declared version.
         u8,
@@ -240,9 +287,14 @@ impl WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WireError::BadMagic(found) => write!(f, "bad magic {found:02x?} (want \"DMW1\")"),
+            WireError::BadMagic(found) => {
+                write!(f, "bad magic {found:02x?} (want \"DMW2\" or \"DMW1\")")
+            }
             WireError::UnsupportedVersion(v) => {
-                write!(f, "unsupported wire version {v} (this build speaks 1)")
+                write!(
+                    f,
+                    "unsupported wire version {v} (this build speaks 1 and 2)"
+                )
             }
             WireError::UnknownFrameType(t) => write!(f, "unknown frame type 0x{t:02x}"),
             WireError::Oversized { declared, max } => {
@@ -259,20 +311,33 @@ impl std::error::Error for WireError {}
 /// A parsed frame header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
+    /// The wire version the frame declared (1 or 2). Replies mirror it, so
+    /// a `DMW1` client only ever reads `DMW1` frames back.
+    pub version: u8,
     /// The frame type.
     pub frame_type: FrameType,
     /// Declared body length in bytes.
     pub body_len: u32,
 }
 
-/// Validates a raw header: magic, version, frame type, body budget.
+/// Validates a raw header: magic, version, frame type, body budget. The
+/// magic and version must agree: `DMW2` frames declare version 2, `DMW1`
+/// frames version 1; a `DMW2` magic with any other version byte is an
+/// [`WireError::UnsupportedVersion`] (the magic proves the peer speaks
+/// *some* DMW dialect, so the version is what is wrong).
 pub fn parse_header(buf: &[u8; HEADER_LEN], max_frame: u32) -> Result<FrameHeader, WireError> {
     let magic: [u8; 4] = buf[0..4].try_into().expect("4 bytes");
-    if magic != MAGIC {
+    if magic != MAGIC && magic != MAGIC_V1 {
         return Err(WireError::BadMagic(magic));
     }
-    if buf[4] != WIRE_VERSION {
-        return Err(WireError::UnsupportedVersion(buf[4]));
+    let version = buf[4];
+    let expected = if magic == MAGIC {
+        WIRE_VERSION
+    } else {
+        WIRE_V1
+    };
+    if version != expected {
+        return Err(WireError::UnsupportedVersion(version));
     }
     let frame_type = FrameType::from_u8(buf[5]).ok_or(WireError::UnknownFrameType(buf[5]))?;
     let body_len = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes"));
@@ -283,16 +348,32 @@ pub fn parse_header(buf: &[u8; HEADER_LEN], max_frame: u32) -> Result<FrameHeade
         });
     }
     Ok(FrameHeader {
+        version,
         frame_type,
         body_len,
     })
 }
 
-/// Serialises one frame (header + body).
+/// Serialises one version-2 frame (header + body).
 pub fn encode_frame(frame_type: FrameType, body: &[u8]) -> Vec<u8> {
+    encode_frame_v(WIRE_VERSION, frame_type, body)
+}
+
+/// Serialises one frame in the given wire dialect (1 or 2); the magic
+/// follows the version. The server uses this to answer each request in the
+/// dialect it arrived in.
+pub fn encode_frame_v(version: u8, frame_type: FrameType, body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + body.len());
-    out.extend_from_slice(&MAGIC);
-    out.push(WIRE_VERSION);
+    out.extend_from_slice(if version == WIRE_V1 {
+        &MAGIC_V1
+    } else {
+        &MAGIC
+    });
+    out.push(if version == WIRE_V1 {
+        WIRE_V1
+    } else {
+        WIRE_VERSION
+    });
     out.push(frame_type as u8);
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(body);
@@ -325,6 +406,111 @@ pub fn read_frame(
     Ok(Ok((parsed, body)))
 }
 
+/// Prefixes `rest` with a length-prefixed model name — the version-2
+/// request-body layout for the routable frame types.
+pub fn encode_named_body(model: &str, rest: &[u8]) -> Vec<u8> {
+    debug_assert!(model.len() <= MAX_MODEL_NAME);
+    let mut out = Vec::with_capacity(2 + model.len() + rest.len());
+    out.extend_from_slice(&(model.len() as u16).to_le_bytes());
+    out.extend_from_slice(model.as_bytes());
+    out.extend_from_slice(rest);
+    out
+}
+
+/// Splits a version-2 request body into its model name and payload. The
+/// declared name length is checked against [`MAX_MODEL_NAME`] *before* the
+/// name is sliced out, so a hostile 64 KiB name field is refused without
+/// allocating or copying anything.
+pub fn split_named_body(body: &[u8]) -> Result<(&str, &[u8]), WireError> {
+    if body.len() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let name_len = u16::from_le_bytes(body[0..2].try_into().expect("2 bytes")) as usize;
+    if name_len > MAX_MODEL_NAME {
+        return Err(WireError::BadBody(format!(
+            "model name of {name_len} bytes exceeds the {MAX_MODEL_NAME} limit"
+        )));
+    }
+    if body.len() < 2 + name_len {
+        return Err(WireError::Truncated);
+    }
+    let name = std::str::from_utf8(&body[2..2 + name_len])
+        .map_err(|_| WireError::BadBody("model name is not valid utf-8".to_string()))?;
+    Ok((name, &body[2 + name_len..]))
+}
+
+/// One model's row in a [`FrameType::ListModelsReply`] body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireModelInfo {
+    /// Registered name.
+    pub name: String,
+    /// Bumps on every successful reload; starts at 1.
+    pub version: u64,
+    /// Whether the empty wire name routes here.
+    pub is_default: bool,
+    /// Health state byte: 0 ready, 1 degraded, 2 unavailable.
+    pub health_state: u8,
+    /// Live workers when degraded (0 otherwise).
+    pub live_workers: u32,
+    /// Classes the model predicts over.
+    pub n_classes: u32,
+}
+
+/// Encodes a [`FrameType::ListModelsReply`] body: `u32 count | count ×
+/// (u16 name_len | name | u64 version | u8 is_default | u8 health |
+/// u32 live_workers | u32 n_classes)`.
+pub fn encode_model_list(models: &[WireModelInfo]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(models.len() as u32).to_le_bytes());
+    for m in models {
+        out.extend_from_slice(&(m.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(m.name.as_bytes());
+        out.extend_from_slice(&m.version.to_le_bytes());
+        out.push(u8::from(m.is_default));
+        out.push(m.health_state);
+        out.extend_from_slice(&m.live_workers.to_le_bytes());
+        out.extend_from_slice(&m.n_classes.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a [`FrameType::ListModelsReply`] body.
+pub fn decode_model_list(body: &[u8]) -> Result<Vec<WireModelInfo>, WireError> {
+    let mut r = Reader::new(body);
+    let count = r.u32().map_err(|_| WireError::Truncated)? as usize;
+    let mut models = Vec::with_capacity(count.min(r.remaining() / 16 + 1));
+    for _ in 0..count {
+        let name_len = r.u16().map_err(|_| WireError::Truncated)? as usize;
+        if name_len > MAX_MODEL_NAME {
+            return Err(WireError::BadBody(format!(
+                "model name of {name_len} bytes exceeds the {MAX_MODEL_NAME} limit"
+            )));
+        }
+        let name = String::from_utf8(r.take(name_len).map_err(|_| WireError::Truncated)?.to_vec())
+            .map_err(|_| WireError::BadBody("model name is not valid utf-8".to_string()))?;
+        let version = r.u64().map_err(|_| WireError::Truncated)?;
+        let is_default = r.u8().map_err(|_| WireError::Truncated)? != 0;
+        let health_state = r.u8().map_err(|_| WireError::Truncated)?;
+        let live_workers = r.u32().map_err(|_| WireError::Truncated)?;
+        let n_classes = r.u32().map_err(|_| WireError::Truncated)?;
+        models.push(WireModelInfo {
+            name,
+            version,
+            is_default,
+            health_state,
+            live_workers,
+            n_classes,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(WireError::BadBody(format!(
+            "{} trailing bytes after {count} model rows",
+            r.remaining()
+        )));
+    }
+    Ok(models)
+}
+
 /// Encodes an error-frame body: `u16 code | utf-8 message`.
 pub fn encode_error_body(code: ErrorCode, message: &str) -> Vec<u8> {
     let mut out = Vec::with_capacity(2 + message.len());
@@ -342,7 +528,8 @@ pub fn decode_error_body(body: &[u8]) -> Result<(ErrorCode, String), WireError> 
 }
 
 /// Encodes a predict-batch request body: `u32 count | count × (u32 len |
-/// encoded graph)`.
+/// encoded graph)`. (In version 2 the name prefix goes in front of this;
+/// see [`encode_named_body`].)
 pub fn encode_batch_request(graph_blobs: &[Vec<u8>]) -> Vec<u8> {
     let total: usize = graph_blobs.iter().map(|b| 4 + b.len()).sum();
     let mut out = Vec::with_capacity(4 + total);
@@ -383,7 +570,39 @@ mod tests {
         let mut cursor = &bytes[..];
         let (header, body) = read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap();
         assert_eq!(header.frame_type, FrameType::Predict);
+        assert_eq!(header.version, WIRE_VERSION);
         assert_eq!(body, b"payload");
+    }
+
+    #[test]
+    fn v1_frame_still_parses() {
+        let bytes = encode_frame_v(WIRE_V1, FrameType::Health, &[]);
+        assert_eq!(&bytes[0..4], b"DMW1");
+        let mut cursor = &bytes[..];
+        let (header, body) = read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert_eq!(header.version, WIRE_V1);
+        assert_eq!(header.frame_type, FrameType::Health);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn magic_and_version_must_agree() {
+        // DMW2 magic with version 1 (and vice versa) is a version error,
+        // not silently accepted: the frame lies about its own dialect.
+        let mut bytes = encode_frame(FrameType::Health, &[]);
+        bytes[4] = WIRE_V1;
+        let header: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().unwrap();
+        assert_eq!(
+            parse_header(&header, DEFAULT_MAX_FRAME),
+            Err(WireError::UnsupportedVersion(1))
+        );
+        let mut bytes = encode_frame_v(WIRE_V1, FrameType::Health, &[]);
+        bytes[4] = WIRE_VERSION;
+        let header: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().unwrap();
+        assert_eq!(
+            parse_header(&header, DEFAULT_MAX_FRAME),
+            Err(WireError::UnsupportedVersion(2))
+        );
     }
 
     #[test]
@@ -431,16 +650,104 @@ mod tests {
             FrameType::Health,
             FrameType::Metrics,
             FrameType::Drain,
+            FrameType::ListModels,
+            FrameType::Reload,
             FrameType::PredictReply,
             FrameType::PredictBatchReply,
             FrameType::HealthReply,
             FrameType::MetricsReply,
             FrameType::DrainReply,
+            FrameType::ListModelsReply,
+            FrameType::ReloadReply,
             FrameType::Error,
         ] {
             assert_eq!(FrameType::from_u8(t as u8), Some(t));
         }
         assert_eq!(FrameType::from_u8(0x66), None, "poison pill stays unknown");
+    }
+
+    #[test]
+    fn named_body_round_trips() {
+        let body = encode_named_body("mutag", b"graph bytes");
+        let (name, rest) = split_named_body(&body).unwrap();
+        assert_eq!(name, "mutag");
+        assert_eq!(rest, b"graph bytes");
+
+        let empty = encode_named_body("", b"x");
+        assert_eq!(split_named_body(&empty).unwrap(), ("", &b"x"[..]));
+    }
+
+    #[test]
+    fn named_body_rejects_overlong_and_garbage_names() {
+        // A hostile 64 KiB name-length field is refused before the name is
+        // even sliced — the body here is only 2 bytes long.
+        let hostile = u16::MAX.to_le_bytes();
+        let err = split_named_body(&hostile).unwrap_err();
+        assert!(
+            matches!(&err, WireError::BadBody(what) if what.contains("exceeds")),
+            "want the limit violation, got {err:?}"
+        );
+
+        // Length one past the limit, with the bytes actually present.
+        let mut long = Vec::new();
+        long.extend_from_slice(&((MAX_MODEL_NAME + 1) as u16).to_le_bytes());
+        long.extend_from_slice(&[b'a'; MAX_MODEL_NAME + 1]);
+        assert!(matches!(
+            split_named_body(&long),
+            Err(WireError::BadBody(_))
+        ));
+
+        // Exactly at the limit is fine.
+        let mut max = Vec::new();
+        max.extend_from_slice(&(MAX_MODEL_NAME as u16).to_le_bytes());
+        max.extend_from_slice(&[b'a'; MAX_MODEL_NAME]);
+        assert!(split_named_body(&max).is_ok());
+
+        // Truncated: name length says 5, body has 3.
+        let truncated = [5u8, 0, b'a', b'b', b'c'];
+        assert_eq!(split_named_body(&truncated), Err(WireError::Truncated));
+
+        // Invalid utf-8 in the name.
+        let bad_utf8 = [2u8, 0, 0xFF, 0xFE];
+        assert!(matches!(
+            split_named_body(&bad_utf8),
+            Err(WireError::BadBody(_))
+        ));
+    }
+
+    #[test]
+    fn model_list_round_trips() {
+        let models = vec![
+            WireModelInfo {
+                name: "mutag".to_string(),
+                version: 3,
+                is_default: true,
+                health_state: 0,
+                live_workers: 0,
+                n_classes: 2,
+            },
+            WireModelInfo {
+                name: "ptc".to_string(),
+                version: 1,
+                is_default: false,
+                health_state: 1,
+                live_workers: 1,
+                n_classes: 2,
+            },
+        ];
+        let body = encode_model_list(&models);
+        assert_eq!(decode_model_list(&body).unwrap(), models);
+
+        let mut trailing = body.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_model_list(&trailing),
+            Err(WireError::BadBody(_))
+        ));
+        assert_eq!(
+            decode_model_list(&body[..body.len() - 1]),
+            Err(WireError::Truncated)
+        );
     }
 
     #[test]
@@ -454,6 +761,11 @@ mod tests {
         forged[0..2].copy_from_slice(&999u16.to_le_bytes());
         assert_eq!(decode_error_body(&forged).unwrap().0, ErrorCode::Internal);
         assert_eq!(decode_error_body(&[1]), Err(WireError::Truncated));
+        // The DMW2 routing codes survive their own round trip.
+        for code in [ErrorCode::UnknownModel, ErrorCode::AdminDisabled] {
+            let body = encode_error_body(code, "");
+            assert_eq!(decode_error_body(&body).unwrap().0, code);
+        }
     }
 
     #[test]

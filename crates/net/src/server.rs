@@ -2,19 +2,29 @@
 //!
 //! ```text
 //! TcpListener → acceptor thread → per-connection handler threads
-//!             → frame loop → InferenceServer::submit → reply frames
+//!             → frame loop → ModelRouter::resolve → InferenceServer::submit
+//!             → reply frames
 //! ```
 //!
 //! The acceptor polls a non-blocking listener so it can observe the drain
-//! flag; every accepted socket gets its own handler thread. The edge is
-//! hardened the same way PR 5 hardened the engine:
+//! flag; every accepted socket gets its own handler thread. Since PR 7 the
+//! front end serves a whole [`ModelRouter`] rather than a single engine:
+//! version-2 frames carry a model name and are routed to that model's
+//! replica pool, version-1 frames (and v2 frames with the empty name) go
+//! to the router's default model, and admin frames
+//! ([`FrameType::ListModels`], [`FrameType::Reload`]) manage the registry
+//! over the wire when [`NetConfig::allow_admin`] is set. Replies mirror
+//! the request's wire dialect, so a `DMW1` client only ever reads `DMW1`
+//! frames back.
+//!
+//! The edge is hardened the same way PR 5 hardened the engine:
 //!
 //! - **strict protocol validation** — every frame is parsed with the typed
 //!   [`WireError`] taxonomy and answered (error frame or reply), never
 //!   silently dropped; a framing violation closes the connection because
 //!   the stream can no longer be trusted to be frame-aligned, while a
-//!   well-formed frame with a bad payload is answered and the connection
-//!   lives on;
+//!   well-formed frame with a bad payload — including an over-long or
+//!   unknown model name — is answered and the connection lives on;
 //! - **deadlines everywhere** — waiting for a new frame is bounded by
 //!   [`NetConfig::idle_timeout`], reading the rest of a started frame by
 //!   [`NetConfig::read_timeout`] (slow-loris shedding), writes by
@@ -24,7 +34,7 @@
 //! - **bounded budgets** — at most [`NetConfig::max_connections`] handler
 //!   threads (excess connections are accepted, answered with a
 //!   [`ErrorCode::Busy`] error frame, and closed) and at most
-//!   [`NetConfig::max_in_flight`] requests inside the engine at once
+//!   [`NetConfig::max_in_flight`] requests inside the engines at once
 //!   (excess requests are answered with `Busy` — backpressure, counted in
 //!   `serve.rejected_busy`);
 //! - **panic isolation** — each handler runs under
@@ -34,19 +44,22 @@
 //! - **graceful drain** — [`NetServer::drain`] (or a [`FrameType::Drain`]
 //!   frame) stops the acceptor and asks handlers to finish their current
 //!   frame; [`NetServer::shutdown`] bounds the drain with
-//!   [`NetConfig::drain_deadline`], force-closes stragglers' sockets, and
-//!   joins every thread — zero leaked threads by construction.
+//!   [`NetConfig::drain_deadline`], force-closes stragglers' sockets,
+//!   joins every thread, and then shuts the router down (joining every
+//!   replica pool) — zero leaked threads by construction.
 //!
-//! All instruments are registered on the engine's metrics registry, so one
-//! Prometheus rendering covers the engine and the edge.
+//! The edge instruments live on the router's always-live registry, so one
+//! Prometheus rendering covers the edge unlabelled plus every resident
+//! model's `serve.*` instruments labelled `model="<name>"`.
 
 use crate::protocol::{
-    encode_error_body, parse_header, ErrorCode, FrameHeader, FrameType, DEFAULT_MAX_FRAME,
-    HEADER_LEN,
+    encode_error_body, encode_model_list, parse_header, split_named_body, ErrorCode, FrameHeader,
+    FrameType, WireError, WireModelInfo, DEFAULT_MAX_FRAME, HEADER_LEN, WIRE_V1, WIRE_VERSION,
 };
 use deepmap_obs::{Counter, Gauge};
+use deepmap_router::{ModelConfig, ModelRouter, RouterConfig, RouterError, RouterStats};
 use deepmap_serve::codec::{decode_graph, encode_prediction};
-use deepmap_serve::{Health, InferenceServer, Prediction, ServeError};
+use deepmap_serve::{Health, InferenceServer, ModelBundle, Prediction, ServeError};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -56,13 +69,17 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// The name [`NetServer::start`] registers a bare engine under when it
+/// wraps it into a single-model router.
+pub const DEFAULT_MODEL_NAME: &str = "default";
+
 /// Tuning knobs for the TCP front end.
 #[derive(Debug, Clone, Copy)]
 pub struct NetConfig {
     /// Handler-thread budget; further connections are answered with a
     /// `Busy` error frame and closed.
     pub max_connections: usize,
-    /// Server-wide ceiling on requests inside the engine at once; further
+    /// Server-wide ceiling on requests inside the engines at once; further
     /// requests are answered with `Busy` (backpressure at the edge).
     pub max_in_flight: usize,
     /// Largest accepted frame body; bigger declared lengths are refused
@@ -75,11 +92,15 @@ pub struct NetConfig {
     pub read_timeout: Duration,
     /// How long a reply write may block.
     pub write_timeout: Duration,
-    /// How long the server waits for the engine to answer one request.
+    /// How long the server waits for an engine to answer one request.
     pub reply_deadline: Duration,
     /// How long [`NetServer::shutdown`] waits for handlers to drain before
     /// force-closing their sockets.
     pub drain_deadline: Duration,
+    /// Whether the admin frames ([`FrameType::ListModels`],
+    /// [`FrameType::Reload`]) are served. Off by default: a predict-only
+    /// deployment must not let any peer swap its models.
+    pub allow_admin: bool,
 }
 
 impl Default for NetConfig {
@@ -93,6 +114,7 @@ impl Default for NetConfig {
             write_timeout: Duration::from_secs(2),
             reply_deadline: Duration::from_secs(30),
             drain_deadline: Duration::from_secs(5),
+            allow_admin: false,
         }
     }
 }
@@ -125,7 +147,7 @@ pub struct NetMetricsSnapshot {
     /// Bytes written to accepted sockets.
     pub conn_bytes_out: u64,
     /// Requests refused at the edge because the in-flight budget was
-    /// exhausted (same counter as `MetricsSnapshot::rejected_busy`).
+    /// exhausted.
     pub rejected_busy: u64,
     /// Currently open connections.
     pub conn_active: usize,
@@ -133,7 +155,7 @@ pub struct NetMetricsSnapshot {
     pub peak_conn_active: usize,
 }
 
-/// The `serve.conn_*` instruments, registered on the engine's registry.
+/// The `serve.conn_*` instruments, registered on the router's registry.
 struct NetMetrics {
     accepted: Arc<Counter>,
     closed: Arc<Counter>,
@@ -151,8 +173,8 @@ struct NetMetrics {
 }
 
 impl NetMetrics {
-    fn new(engine: &InferenceServer) -> NetMetrics {
-        let registry = engine.metrics_registry();
+    fn new(router: &ModelRouter) -> NetMetrics {
+        let registry = router.metrics_registry();
         NetMetrics {
             accepted: registry.counter("serve.conn_accepted"),
             closed: registry.counter("serve.conn_closed"),
@@ -165,7 +187,8 @@ impl NetMetrics {
             frame_errors: registry.counter("serve.conn_frame_errors"),
             bytes_in: registry.counter("serve.conn_bytes_in"),
             bytes_out: registry.counter("serve.conn_bytes_out"),
-            // Shared by name with the engine's MetricsSnapshot.
+            // The edge's slice of the backpressure counter; each engine
+            // also counts its own admission-layer rejections.
             rejected_busy: registry.counter("serve.rejected_busy"),
             active: registry.gauge("serve.conn_active"),
         }
@@ -175,7 +198,7 @@ impl NetMetrics {
 /// State shared between the acceptor, every handler thread, and the
 /// [`NetServer`] handle.
 struct Shared {
-    engine: Arc<InferenceServer>,
+    router: Arc<ModelRouter>,
     config: NetConfig,
     draining: AtomicBool,
     in_flight: AtomicUsize,
@@ -201,11 +224,13 @@ pub struct NetStats {
     /// Sockets force-closed because the drain deadline passed (0 for a
     /// fully graceful drain).
     pub forced_closes: usize,
+    /// The router's final accounting: pools retired, joined, and leaked.
+    pub router: RouterStats,
 }
 
-/// Handle on the running TCP front end. Owns the engine: dropping the
+/// Handle on the running TCP front end. Owns the router: dropping the
 /// server (or calling [`NetServer::shutdown`]) drains the edge first, then
-/// the engine.
+/// retires every model's replica pool.
 pub struct NetServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
@@ -213,24 +238,40 @@ pub struct NetServer {
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     forced_closes: usize,
     threads_joined: usize,
+    router_stats: Option<RouterStats>,
     shut_down: bool,
 }
 
 impl NetServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor. The engine is wrapped and owned; its metrics registry
-    /// gains the `serve.conn_*` edge instruments.
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves `engine`
+    /// as the single model [`DEFAULT_MODEL_NAME`] — the PR 6 entry point,
+    /// now sugar over a one-model router.
     pub fn start(
         engine: InferenceServer,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> Result<NetServer, ServeError> {
+        let router = Arc::new(ModelRouter::new(RouterConfig::default()));
+        router
+            .register_engine(DEFAULT_MODEL_NAME, engine, ModelConfig::default())
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        Self::start_router(router, addr, config)
+    }
+
+    /// Binds `addr` and serves every model resident in (or later added to)
+    /// `router`. The router's registry gains the `serve.conn_*` edge
+    /// instruments; [`NetServer::shutdown`] retires every model.
+    pub fn start_router(
+        router: Arc<ModelRouter>,
         addr: impl ToSocketAddrs,
         config: NetConfig,
     ) -> Result<NetServer, ServeError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let metrics = NetMetrics::new(&engine);
+        let metrics = NetMetrics::new(&router);
         let shared = Arc::new(Shared {
-            engine: Arc::new(engine),
+            router,
             config,
             draining: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
@@ -255,6 +296,7 @@ impl NetServer {
             handlers,
             forced_closes: 0,
             threads_joined: 0,
+            router_stats: None,
             shut_down: false,
         })
     }
@@ -275,12 +317,16 @@ impl NetServer {
         self.shared.draining.store(true, Ordering::Release);
     }
 
-    /// The engine's health, as the wire `Health` frame reports it.
+    /// The default model's health, as the unnamed wire `Health` frame
+    /// reports it. `Unavailable` while draining or with no default model.
     pub fn health(&self) -> Health {
         if self.is_draining() {
             return Health::Unavailable;
         }
-        self.shared.engine.health()
+        match self.shared.router.resolve("") {
+            Ok(engine) => engine.health(),
+            Err(_) => Health::Unavailable,
+        }
     }
 
     /// Snapshot of the edge instruments.
@@ -304,15 +350,23 @@ impl NetServer {
         }
     }
 
-    /// The wrapped engine (for its metrics snapshot or health).
-    pub fn engine(&self) -> &InferenceServer {
-        &self.shared.engine
+    /// The router behind the front end (register or reload models on it
+    /// while the server runs; new requests route to the new pools).
+    pub fn router(&self) -> &Arc<ModelRouter> {
+        &self.shared.router
+    }
+
+    /// The default model's replica pool, if a default is set (for its
+    /// metrics snapshot or health in tests).
+    pub fn default_engine(&self) -> Option<Arc<InferenceServer>> {
+        self.shared.router.resolve("").ok()
     }
 
     /// Drains, bounds the drain with [`NetConfig::drain_deadline`],
     /// force-closes straggler sockets past it, joins every thread (acceptor
-    /// and handlers), and shuts the engine down. Returns the final
-    /// accounting; after it, no thread started by this server is alive.
+    /// and handlers), and shuts the router down — every model's pool is
+    /// retired and joined. Returns the final accounting; after it, no
+    /// thread started by this server is alive.
     pub fn shutdown(mut self) -> NetStats {
         self.shutdown_in_place();
         NetStats {
@@ -321,6 +375,9 @@ impl NetServer {
             conn_panics: self.shared.metrics.panics.get(),
             threads_joined: self.threads_joined,
             forced_closes: self.forced_closes,
+            router: self
+                .router_stats
+                .unwrap_or_else(|| self.shared.router.shutdown()),
         }
     }
 
@@ -354,14 +411,15 @@ impl NetServer {
         for handle in handlers {
             let _ = handle.join();
         }
+        // Edge fully quiet: no handler holds an engine Arc any more, so
+        // the router can retire and join every pool.
+        self.router_stats = Some(self.shared.router.shutdown());
     }
 }
 
 impl Drop for NetServer {
     fn drop(&mut self) {
         self.shutdown_in_place();
-        // Dropping `shared` (last Arc once handlers exited) drops the
-        // engine, whose own Drop joins the batcher and workers.
     }
 }
 
@@ -459,12 +517,14 @@ fn run_acceptor(
 /// Answers a connection the server will not serve (over budget or
 /// draining) with one best-effort error frame, then closes it. The socket
 /// was accepted first, so the client gets a typed reason instead of a
-/// silent RST.
+/// silent RST. The peer's dialect is unknown before its first frame, so
+/// the rejection goes out as `DMW2`.
 fn reject_connection(shared: &Shared, mut stream: TcpStream, code: ErrorCode, message: &str) {
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let _ = write_counted(
         shared,
         &mut stream,
+        WIRE_VERSION,
         FrameType::Error,
         &encode_error_body(code, message),
     );
@@ -472,14 +532,17 @@ fn reject_connection(shared: &Shared, mut stream: TcpStream, code: ErrorCode, me
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// Writes one frame and maintains the frames/bytes-out instruments.
+/// Writes one frame in the given wire dialect and maintains the
+/// frames/bytes-out instruments.
 fn write_counted(
     shared: &Shared,
     stream: &mut TcpStream,
+    version: u8,
     frame_type: FrameType,
     body: &[u8],
 ) -> std::io::Result<()> {
-    crate::protocol::write_frame(stream, frame_type, body)?;
+    use std::io::Write;
+    stream.write_all(&crate::protocol::encode_frame_v(version, frame_type, body))?;
     shared.metrics.frames_out.inc();
     shared
         .metrics
@@ -540,6 +603,7 @@ fn connection_loop(shared: &Shared, stream: &mut TcpStream) -> ConnExit {
                 let _ = write_counted(
                     shared,
                     stream,
+                    WIRE_VERSION,
                     FrameType::Error,
                     &encode_error_body(wire_err.code(), &wire_err.to_string()),
                 );
@@ -583,6 +647,17 @@ fn maybe_poison(header: &[u8; HEADER_LEN]) {
     }
 }
 
+/// Splits a request body into its model name and payload according to the
+/// frame's dialect: version 1 has no name field and routes to the default
+/// model, version 2 starts with the length-prefixed name.
+fn named_payload(header: FrameHeader, body: &[u8]) -> Result<(&str, &[u8]), WireError> {
+    if header.version == WIRE_V1 {
+        Ok(("", body))
+    } else {
+        split_named_body(body)
+    }
+}
+
 /// Serves one well-formed frame. Returns `Ok(false)` when the connection
 /// should close after the reply (drain), `Err` on a write failure.
 fn serve_frame(
@@ -591,13 +666,35 @@ fn serve_frame(
     header: FrameHeader,
     body: &[u8],
 ) -> std::io::Result<bool> {
+    let v = header.version;
+    // A well-formed frame with a bad payload — over-long name, garbage
+    // utf-8, truncated body — is answered and the connection lives on; the
+    // stream is still frame-aligned.
+    let answer_wire_err = |shared: &Shared, stream: &mut TcpStream, e: &WireError| {
+        shared.metrics.frame_errors.inc();
+        write_counted(
+            shared,
+            stream,
+            v,
+            FrameType::Error,
+            &encode_error_body(e.code(), &e.to_string()),
+        )
+    };
     match header.frame_type {
         FrameType::Predict => {
-            let reply = predict_one(shared, body);
+            let (model, payload) = match named_payload(header, body) {
+                Ok(split) => split,
+                Err(e) => {
+                    answer_wire_err(shared, stream, &e)?;
+                    return Ok(true);
+                }
+            };
+            let reply = predict_one(shared, model, payload);
             match reply {
                 Ok(prediction) => write_counted(
                     shared,
                     stream,
+                    v,
                     FrameType::PredictReply,
                     &encode_prediction(&prediction),
                 )?,
@@ -610,6 +707,7 @@ fn serve_frame(
                     write_counted(
                         shared,
                         stream,
+                        v,
                         FrameType::Error,
                         &encode_error_body(code, &message),
                     )?
@@ -618,9 +716,18 @@ fn serve_frame(
             Ok(true)
         }
         FrameType::PredictBatch => {
-            let reply = predict_batch(shared, body);
+            let (model, payload) = match named_payload(header, body) {
+                Ok(split) => split,
+                Err(e) => {
+                    answer_wire_err(shared, stream, &e)?;
+                    return Ok(true);
+                }
+            };
+            let reply = predict_batch(shared, model, payload);
             match reply {
-                Ok(items) => write_counted(shared, stream, FrameType::PredictBatchReply, &items)?,
+                Ok(items) => {
+                    write_counted(shared, stream, v, FrameType::PredictBatchReply, &items)?
+                }
                 Err((code, message)) => {
                     if code == ErrorCode::BadBody {
                         shared.metrics.frame_errors.inc();
@@ -628,6 +735,7 @@ fn serve_frame(
                     write_counted(
                         shared,
                         stream,
+                        v,
                         FrameType::Error,
                         &encode_error_body(code, &message),
                     )?
@@ -636,33 +744,186 @@ fn serve_frame(
             Ok(true)
         }
         FrameType::Health => {
-            let (state, live) = match shared.engine.health() {
-                _ if shared.draining.load(Ordering::Acquire) => (2u8, 0u32),
-                Health::Ready => (0, 0),
+            let (model, _) = match named_payload(header, body) {
+                Ok(split) => split,
+                Err(e) => {
+                    answer_wire_err(shared, stream, &e)?;
+                    return Ok(true);
+                }
+            };
+            if shared.draining.load(Ordering::Acquire) {
+                write_counted(shared, stream, v, FrameType::HealthReply, &[2, 0, 0, 0, 0])?;
+                return Ok(true);
+            }
+            let health = match shared.router.resolve(model) {
+                Ok(engine) => engine.health(),
+                Err(e) => {
+                    let (code, message) = router_error_reply(&e);
+                    write_counted(
+                        shared,
+                        stream,
+                        v,
+                        FrameType::Error,
+                        &encode_error_body(code, &message),
+                    )?;
+                    return Ok(true);
+                }
+            };
+            let (state, live) = match health {
+                Health::Ready => (0u8, 0u32),
                 Health::Degraded { live_workers } => (1, live_workers as u32),
                 Health::Unavailable => (2, 0),
             };
             let mut reply = Vec::with_capacity(5);
             reply.push(state);
             reply.extend_from_slice(&live.to_le_bytes());
-            write_counted(shared, stream, FrameType::HealthReply, &reply)?;
+            write_counted(shared, stream, v, FrameType::HealthReply, &reply)?;
             Ok(true)
         }
         FrameType::Metrics => {
-            let text = shared.engine.render_metrics();
-            write_counted(shared, stream, FrameType::MetricsReply, text.as_bytes())?;
+            let (model, _) = match named_payload(header, body) {
+                Ok(split) => split,
+                Err(e) => {
+                    answer_wire_err(shared, stream, &e)?;
+                    return Ok(true);
+                }
+            };
+            // The empty name renders the whole tenancy (router instruments
+            // plus every model labelled); a named request scopes to one
+            // model's labelled registry.
+            if model.is_empty() {
+                let text = shared.router.render_metrics();
+                write_counted(shared, stream, v, FrameType::MetricsReply, text.as_bytes())?;
+            } else {
+                match shared.router.resolve(model) {
+                    Ok(engine) => {
+                        let text = engine
+                            .metrics_registry()
+                            .render_prometheus_labeled(&[("model", model)]);
+                        write_counted(shared, stream, v, FrameType::MetricsReply, text.as_bytes())?;
+                    }
+                    Err(e) => {
+                        let (code, message) = router_error_reply(&e);
+                        write_counted(
+                            shared,
+                            stream,
+                            v,
+                            FrameType::Error,
+                            &encode_error_body(code, &message),
+                        )?;
+                    }
+                }
+            }
             Ok(true)
         }
         FrameType::Drain => {
             shared.draining.store(true, Ordering::Release);
-            write_counted(shared, stream, FrameType::DrainReply, &[])?;
+            write_counted(shared, stream, v, FrameType::DrainReply, &[])?;
             Ok(false)
+        }
+        FrameType::ListModels | FrameType::Reload if v == WIRE_V1 => {
+            write_counted(
+                shared,
+                stream,
+                v,
+                FrameType::Error,
+                &encode_error_body(
+                    ErrorCode::UnsupportedVersion,
+                    "admin frames require the DMW2 dialect",
+                ),
+            )?;
+            Ok(true)
+        }
+        FrameType::ListModels | FrameType::Reload if !shared.config.allow_admin => {
+            write_counted(
+                shared,
+                stream,
+                v,
+                FrameType::Error,
+                &encode_error_body(
+                    ErrorCode::AdminDisabled,
+                    "this server was started without allow_admin",
+                ),
+            )?;
+            Ok(true)
+        }
+        FrameType::ListModels => {
+            let models: Vec<WireModelInfo> = shared
+                .router
+                .list_models()
+                .into_iter()
+                .map(|m| {
+                    let (health_state, live_workers) = match m.health {
+                        Health::Ready => (0u8, 0u32),
+                        Health::Degraded { live_workers } => (1, live_workers as u32),
+                        Health::Unavailable => (2, 0),
+                    };
+                    WireModelInfo {
+                        name: m.name,
+                        version: m.version,
+                        is_default: m.is_default,
+                        health_state,
+                        live_workers,
+                        n_classes: m.n_classes as u32,
+                    }
+                })
+                .collect();
+            write_counted(
+                shared,
+                stream,
+                v,
+                FrameType::ListModelsReply,
+                &encode_model_list(&models),
+            )?;
+            Ok(true)
+        }
+        FrameType::Reload => {
+            let (model, bundle_bytes) = match split_named_body(body) {
+                Ok(split) => split,
+                Err(e) => {
+                    answer_wire_err(shared, stream, &e)?;
+                    return Ok(true);
+                }
+            };
+            let bundle = match ModelBundle::from_bytes(bundle_bytes) {
+                Ok(bundle) => bundle,
+                Err(e) => {
+                    let body = encode_error_body(ErrorCode::BadBody, &format!("bundle image: {e}"));
+                    shared.metrics.frame_errors.inc();
+                    write_counted(shared, stream, v, FrameType::Error, &body)?;
+                    return Ok(true);
+                }
+            };
+            // The build + probe runs on this connection's thread; sibling
+            // connections keep serving the resident pool throughout.
+            match shared.router.reload(model, Arc::new(bundle)) {
+                Ok(version) => write_counted(
+                    shared,
+                    stream,
+                    v,
+                    FrameType::ReloadReply,
+                    &version.to_le_bytes(),
+                )?,
+                Err(e) => {
+                    let (code, message) = router_error_reply(&e);
+                    write_counted(
+                        shared,
+                        stream,
+                        v,
+                        FrameType::Error,
+                        &encode_error_body(code, &message),
+                    )?;
+                }
+            }
+            Ok(true)
         }
         FrameType::PredictReply
         | FrameType::PredictBatchReply
         | FrameType::HealthReply
         | FrameType::MetricsReply
         | FrameType::DrainReply
+        | FrameType::ListModelsReply
+        | FrameType::ReloadReply
         | FrameType::Error => {
             // Reply-direction frames are never valid requests; answer and
             // keep the (still frame-aligned) connection.
@@ -670,6 +931,7 @@ fn serve_frame(
             write_counted(
                 shared,
                 stream,
+                v,
                 FrameType::Error,
                 &encode_error_body(
                     ErrorCode::UnexpectedFrame,
@@ -720,13 +982,37 @@ fn serve_error_reply(e: &ServeError) -> (ErrorCode, String) {
     (ErrorCode::from_serve_error(e), e.to_string())
 }
 
-fn predict_one(shared: &Shared, body: &[u8]) -> Result<Prediction, (ErrorCode, String)> {
-    let graph = decode_graph(body).map_err(|e| (ErrorCode::BadBody, e.to_string()))?;
+/// The error frame a routing failure is answered with. A routing miss
+/// ([`ErrorCode::UnknownModel`]) is not a framing violation: the stream is
+/// intact and the connection stays open.
+fn router_error_reply(e: &RouterError) -> (ErrorCode, String) {
+    match e {
+        RouterError::UnknownModel(_) | RouterError::NoDefaultModel => {
+            (ErrorCode::UnknownModel, e.to_string())
+        }
+        RouterError::InvalidName(_) => (ErrorCode::BadBody, e.to_string()),
+        RouterError::ShutDown => (ErrorCode::Draining, e.to_string()),
+        RouterError::Serve(serve) => serve_error_reply(serve),
+        RouterError::AlreadyRegistered(_) | RouterError::ProbeFailed { .. } => {
+            (ErrorCode::Internal, e.to_string())
+        }
+    }
+}
+
+fn predict_one(
+    shared: &Shared,
+    model: &str,
+    payload: &[u8],
+) -> Result<Prediction, (ErrorCode, String)> {
+    let graph = decode_graph(payload).map_err(|e| (ErrorCode::BadBody, e.to_string()))?;
+    // Resolve before submit: the Arc clone keeps this model's pool alive
+    // for the whole request even if a reload swaps the registry entry.
+    let engine = shared
+        .router
+        .resolve(model)
+        .map_err(|e| router_error_reply(&e))?;
     let _slot = InFlight::reserve(shared, 1).map_err(|e| serve_error_reply(&e))?;
-    let handle = shared
-        .engine
-        .submit(graph)
-        .map_err(|e| serve_error_reply(&e))?;
+    let handle = engine.submit(graph).map_err(|e| serve_error_reply(&e))?;
     let served = handle
         .wait_timeout(shared.config.reply_deadline)
         .map_err(|e| serve_error_reply(&e))?;
@@ -738,10 +1024,14 @@ fn predict_one(shared: &Shared, body: &[u8]) -> Result<Prediction, (ErrorCode, S
 
 /// Serves a batch frame: decodes every graph first (one bad graph fails
 /// the whole frame with `BadBody` — the sender's framing is broken), then
-/// submits all under one in-flight reservation and answers per item, so
-/// one rejected graph does not fail its batch-mates.
-fn predict_batch(shared: &Shared, body: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
-    let blobs = crate::protocol::decode_batch_request(body)
+/// submits all to the named model under one in-flight reservation and
+/// answers per item, so one rejected graph does not fail its batch-mates.
+fn predict_batch(
+    shared: &Shared,
+    model: &str,
+    payload: &[u8],
+) -> Result<Vec<u8>, (ErrorCode, String)> {
+    let blobs = crate::protocol::decode_batch_request(payload)
         .map_err(|e| (ErrorCode::BadBody, e.to_string()))?;
     let mut graphs = Vec::with_capacity(blobs.len());
     for (i, blob) in blobs.iter().enumerate() {
@@ -749,10 +1039,14 @@ fn predict_batch(shared: &Shared, body: &[u8]) -> Result<Vec<u8>, (ErrorCode, St
             decode_graph(blob).map_err(|e| (ErrorCode::BadBody, format!("batch item {i}: {e}")))?,
         );
     }
+    let engine = shared
+        .router
+        .resolve(model)
+        .map_err(|e| router_error_reply(&e))?;
     let _slots = InFlight::reserve(shared, graphs.len()).map_err(|e| serve_error_reply(&e))?;
     let outcomes: Vec<Result<_, ServeError>> = graphs
         .into_iter()
-        .map(|graph| shared.engine.submit(graph))
+        .map(|graph| engine.submit(graph))
         .collect();
     let mut reply = Vec::new();
     reply.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());

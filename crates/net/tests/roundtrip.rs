@@ -125,8 +125,9 @@ fn in_flight_budget_rejects_with_busy() {
 
     let m = server.metrics();
     assert_eq!(m.rejected_busy, 4, "1 predict + 3 batch items");
-    // Same counter the engine snapshot reads (shared by name on the registry).
-    assert_eq!(server.engine().metrics().rejected_busy, 4);
+    // The edge rejections also show in the whole-tenancy rendering.
+    let text = server.router().render_metrics();
+    assert!(text.contains("deepmap_serve_rejected_busy 4"), "{text}");
 
     drop(client);
     server.shutdown();

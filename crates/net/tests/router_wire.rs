@@ -1,0 +1,298 @@
+//! Multi-tenancy over the wire: several named models behind one port,
+//! `DMW1` clients riding the compatibility path, routing misses answered
+//! without dropping the connection, hostile model names refused before
+//! allocation, and the admin plane (list/reload) gated by configuration.
+
+mod common;
+
+use common::{request_graphs, trained_bundle_seeded};
+use deepmap_net::protocol::{encode_frame, encode_named_body, MAX_MODEL_NAME};
+use deepmap_net::{
+    ClientError, ErrorCode, FrameType, NetClient, NetConfig, NetServer, RemoteHealth,
+};
+use deepmap_router::{ModelConfig, ModelRouter, RouterConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PATIENT: Duration = Duration::from_secs(30);
+
+fn two_model_server(config: NetConfig) -> NetServer {
+    let router = Arc::new(ModelRouter::new(RouterConfig::default()));
+    router
+        .register("alpha", trained_bundle_seeded(11), ModelConfig::default())
+        .unwrap();
+    router
+        .register("beta", trained_bundle_seeded(1234), ModelConfig::default())
+        .unwrap();
+    NetServer::start_router(router, "127.0.0.1:0", config).unwrap()
+}
+
+fn connect(server: &NetServer) -> NetClient {
+    let client = NetClient::connect(server.local_addr()).unwrap();
+    client.set_read_timeout(PATIENT).unwrap();
+    client
+}
+
+#[test]
+fn two_models_one_port_route_by_name() {
+    let server = two_model_server(NetConfig::default());
+    let mut direct_alpha = trained_bundle_seeded(11).predictor().unwrap();
+    let mut direct_beta = trained_bundle_seeded(1234).predictor().unwrap();
+    let graphs = request_graphs(6);
+    let mut client = connect(&server);
+
+    for graph in &graphs {
+        let a = client.predict_as("alpha", graph).unwrap();
+        let b = client.predict_as("beta", graph).unwrap();
+        assert_eq!(a.scores, direct_alpha.predict(graph).scores);
+        assert_eq!(b.scores, direct_beta.predict(graph).scores);
+        // The empty name rides to the default (first registered).
+        let d = client.predict(graph).unwrap();
+        assert_eq!(d.scores, a.scores, "default routes to alpha");
+    }
+
+    // Batches route by name too.
+    let batch = client.predict_batch_as("beta", &graphs).unwrap();
+    for (item, graph) in batch.iter().zip(&graphs) {
+        let got = item.as_ref().expect("healthy batch item");
+        assert_eq!(got.scores, direct_beta.predict(graph).scores);
+    }
+
+    // Per-model health and metrics scope to the named pool.
+    assert_eq!(client.health_of("beta").unwrap(), RemoteHealth::Ready);
+    let scoped = client.metrics_of("beta").unwrap();
+    assert!(scoped.contains("model=\"beta\""), "{scoped}");
+    assert!(!scoped.contains("model=\"alpha\""), "{scoped}");
+    // The unscoped rendering enumerates every resident model.
+    let all = client.metrics_text().unwrap();
+    assert!(all.contains("model=\"alpha\""), "{all}");
+    assert!(all.contains("model=\"beta\""), "{all}");
+    assert!(all.contains("deepmap_router_requests_routed"), "{all}");
+
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.conn_panics, 0);
+    assert_eq!(
+        stats.router.pools_leaked, 0,
+        "every pool joined on the way out"
+    );
+}
+
+#[test]
+fn dmw1_client_rides_the_compatibility_path() {
+    let server = two_model_server(NetConfig::default());
+    let mut direct_alpha = trained_bundle_seeded(11).predictor().unwrap();
+    let graphs = request_graphs(4);
+
+    let mut legacy = NetClient::connect_v1(server.local_addr()).unwrap();
+    legacy.set_read_timeout(PATIENT).unwrap();
+    assert_eq!(legacy.wire_version(), 1);
+
+    // Nameless v1 requests land on the default model, byte-identically.
+    for graph in &graphs {
+        let got = legacy.predict(graph).unwrap();
+        assert_eq!(got.scores, direct_alpha.predict(graph).scores);
+    }
+    assert_eq!(legacy.health().unwrap(), RemoteHealth::Ready);
+    assert!(legacy.metrics_text().unwrap().contains("deepmap_router_"));
+
+    // Naming a model is not expressible in the v1 dialect: the client
+    // refuses locally rather than emit bytes v1 peers would misparse.
+    match legacy.predict_as("beta", &graphs[0]) {
+        Err(ClientError::DialectMismatch(_)) => {}
+        other => panic!("expected DialectMismatch, got {other:?}"),
+    }
+    match legacy.list_models() {
+        Err(ClientError::DialectMismatch(_)) => {}
+        other => panic!("expected DialectMismatch, got {other:?}"),
+    }
+
+    // A hand-rolled v1 admin frame is refused by the server, typed.
+    legacy
+        .send_raw(&deepmap_net::protocol::encode_frame_v(
+            1,
+            FrameType::ListModels,
+            &[],
+        ))
+        .unwrap();
+    let (frame_type, body) = legacy.read_reply().unwrap();
+    assert_eq!(frame_type, FrameType::Error);
+    let (code, message) = deepmap_net::protocol::decode_error_body(&body).unwrap();
+    assert_eq!(code, ErrorCode::UnsupportedVersion);
+    assert!(message.contains("DMW2"), "{message}");
+    // …and the connection still serves.
+    assert_eq!(legacy.health().unwrap(), RemoteHealth::Ready);
+
+    drop(legacy);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_model_is_answered_without_closing_the_connection() {
+    let server = two_model_server(NetConfig::default());
+    let graphs = request_graphs(2);
+    let mut client = connect(&server);
+
+    match client.predict_as("nosuch", &graphs[0]) {
+        Err(ClientError::Server(reject)) => {
+            assert_eq!(reject.code, ErrorCode::UnknownModel);
+            assert!(reject.message.contains("nosuch"), "{}", reject.message);
+        }
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    match client.health_of("nosuch") {
+        Err(ClientError::Server(reject)) => assert_eq!(reject.code, ErrorCode::UnknownModel),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    // A routing miss is the client's mistake, not a framing violation: the
+    // stream stays aligned and the very next request is served.
+    let got = client.predict_as("alpha", &graphs[1]).unwrap();
+    assert_eq!(got.scores.len(), 2);
+    assert_eq!(
+        server.metrics().conn_frame_errors,
+        0,
+        "routing misses are not frame errors"
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn overlong_model_name_is_refused_before_allocation() {
+    let server = two_model_server(NetConfig::default());
+    let mut client = connect(&server);
+
+    // A hostile name-length field far beyond the limit, with no name bytes
+    // at all: refused from the length alone.
+    let mut body = Vec::new();
+    body.extend_from_slice(&u16::MAX.to_le_bytes());
+    client
+        .send_raw(&encode_frame(FrameType::Predict, &body))
+        .unwrap();
+    let (frame_type, reply) = client.read_reply().unwrap();
+    assert_eq!(frame_type, FrameType::Error);
+    let (code, message) = deepmap_net::protocol::decode_error_body(&reply).unwrap();
+    assert_eq!(code, ErrorCode::BadBody);
+    assert!(message.contains("exceeds"), "{message}");
+    // The frame was well-formed, so the connection lives on.
+    assert_eq!(client.health().unwrap(), RemoteHealth::Ready);
+
+    // The client refuses to build such a frame in the first place.
+    let long = "x".repeat(MAX_MODEL_NAME + 1);
+    match client.health_of(&long) {
+        Err(ClientError::Wire(_)) => {}
+        other => panic!("expected a client-side refusal, got {other:?}"),
+    }
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn admin_frames_are_gated_by_config() {
+    // Default: admin disabled.
+    let server = two_model_server(NetConfig::default());
+    let mut client = connect(&server);
+    match client.list_models() {
+        Err(ClientError::Server(reject)) => assert_eq!(reject.code, ErrorCode::AdminDisabled),
+        other => panic!("expected AdminDisabled, got {other:?}"),
+    }
+    match client.reload("alpha", b"DMB1 whatever") {
+        Err(ClientError::Server(reject)) => assert_eq!(reject.code, ErrorCode::AdminDisabled),
+        other => panic!("expected AdminDisabled, got {other:?}"),
+    }
+    // The refusal is not a framing violation; the connection still serves.
+    assert_eq!(client.health().unwrap(), RemoteHealth::Ready);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn hot_reload_over_the_wire_swaps_the_model() {
+    let config = NetConfig {
+        allow_admin: true,
+        ..NetConfig::default()
+    };
+    let server = two_model_server(config);
+    let graphs = request_graphs(4);
+    let mut admin = connect(&server);
+    let mut observer = connect(&server);
+
+    // The starting roster: two models, alpha the default, both at v1.
+    let models = admin.list_models().unwrap();
+    assert_eq!(models.len(), 2);
+    assert_eq!(models[0].name, "alpha");
+    assert!(models[0].is_default);
+    assert_eq!(models[0].version, 1);
+    assert_eq!(models[1].name, "beta");
+    assert_eq!(models[1].n_classes, 2);
+
+    // Swap alpha's weights for the beta bundle's, over the wire.
+    let replacement = trained_bundle_seeded(1234);
+    let mut direct_replacement = replacement.predictor().unwrap();
+    let version = admin.reload("alpha", &replacement.to_bytes()).unwrap();
+    assert_eq!(version, 2);
+
+    // A sibling connection sees the new weights under the old name…
+    for graph in &graphs {
+        let got = observer.predict_as("alpha", graph).unwrap();
+        assert_eq!(got.scores, direct_replacement.predict(graph).scores);
+    }
+    // …and the roster records the bump.
+    let models = admin.list_models().unwrap();
+    assert_eq!(models[0].version, 2);
+    assert_eq!(models[1].version, 1, "beta untouched");
+
+    // A corrupt bundle image is a typed refusal, resident pool untouched.
+    match admin.reload("alpha", b"not a bundle") {
+        Err(ClientError::Server(reject)) => {
+            assert_eq!(reject.code, ErrorCode::BadBody);
+            assert!(reject.message.contains("bundle"), "{}", reject.message);
+        }
+        other => panic!("expected BadBody, got {other:?}"),
+    }
+    // A reload of an absent model is a routing miss, connection kept.
+    match admin.reload("ghost", &replacement.to_bytes()) {
+        Err(ClientError::Server(reject)) => assert_eq!(reject.code, ErrorCode::UnknownModel),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    assert!(observer.predict_as("alpha", &graphs[0]).is_ok());
+
+    drop(admin);
+    drop(observer);
+    let stats = server.shutdown();
+    assert_eq!(stats.router.reloads, 1);
+    assert_eq!(stats.router.pools_joined, stats.router.pools_retired);
+    assert_eq!(stats.router.pools_leaked, 0);
+}
+
+#[test]
+fn overlong_name_body_with_padding_never_reaches_the_router() {
+    // Variant of the hostile-length case: the body actually carries the
+    // declared bytes, so a naive server would allocate and route a 64 KiB
+    // name. The limit check must fire on the declared length first.
+    let server = two_model_server(NetConfig::default());
+    let mut client = connect(&server);
+    let body = encode_named_body("", &[]);
+    assert_eq!(body, vec![0, 0], "empty name encodes as a zero length");
+
+    let mut hostile = Vec::new();
+    hostile.extend_from_slice(&((MAX_MODEL_NAME + 1) as u16).to_le_bytes());
+    hostile.extend(std::iter::repeat_n(b'x', MAX_MODEL_NAME + 1));
+    client
+        .send_raw(&encode_frame(FrameType::Health, &hostile))
+        .unwrap();
+    let (frame_type, reply) = client.read_reply().unwrap();
+    assert_eq!(frame_type, FrameType::Error);
+    let (code, _) = deepmap_net::protocol::decode_error_body(&reply).unwrap();
+    assert_eq!(code, ErrorCode::BadBody);
+    assert_eq!(
+        server.router().list_models().len(),
+        2,
+        "the hostile name never perturbed the registry"
+    );
+
+    drop(client);
+    server.shutdown();
+}

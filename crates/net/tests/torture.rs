@@ -12,7 +12,9 @@
 mod common;
 
 use common::{engine, request_graphs, trained_bundle};
-use deepmap_net::protocol::{decode_error_body, encode_frame, HEADER_LEN, MAGIC};
+use deepmap_net::protocol::{
+    decode_error_body, encode_frame, encode_named_body, HEADER_LEN, MAGIC,
+};
 use deepmap_net::{
     ErrorCode, FrameType, NetClient, NetConfig, NetServer, RemoteHealth, WIRE_VERSION,
 };
@@ -104,10 +106,10 @@ fn hostile_streams_never_take_the_server_down() {
         assert!(client.read_reply().is_err(), "bad header closes the stream");
         hostile_frames += 1;
 
-        // 2. Unsupported version.
+        // 2. Unsupported version (3..=252 — both 1 and 2 are spoken now).
         let mut client = connect(&server);
         let mut header = raw_header(FrameType::Health as u8, 0);
-        header[4] = 2 + rng.below(250) as u8;
+        header[4] = 3 + rng.below(250) as u8;
         client.send_raw(&header).unwrap();
         expect_error(&mut client, ErrorCode::UnsupportedVersion, "bad version");
         hostile_frames += 1;
@@ -149,7 +151,10 @@ fn hostile_streams_never_take_the_server_down() {
         let garbage_len = 8 + rng.below(40) as usize;
         let garbage = rng.bytes(garbage_len);
         client
-            .send_raw(&encode_frame(FrameType::Predict, &garbage))
+            .send_raw(&encode_frame(
+                FrameType::Predict,
+                &encode_named_body("", &garbage),
+            ))
             .unwrap();
         expect_error(&mut client, ErrorCode::BadBody, "garbage body");
         let graph = &graphs[round % graphs.len()];
@@ -162,9 +167,18 @@ fn hostile_streams_never_take_the_server_down() {
         // back one per frame, in order, still frame-aligned.
         let mut client = connect(&server);
         let mut burst = Vec::new();
-        burst.extend_from_slice(&encode_frame(FrameType::Health, &[]));
-        burst.extend_from_slice(&encode_frame(FrameType::Predict, &encode_graph(&graphs[0])));
-        burst.extend_from_slice(&encode_frame(FrameType::Health, &[]));
+        burst.extend_from_slice(&encode_frame(
+            FrameType::Health,
+            &encode_named_body("", &[]),
+        ));
+        burst.extend_from_slice(&encode_frame(
+            FrameType::Predict,
+            &encode_named_body("", &encode_graph(&graphs[0])),
+        ));
+        burst.extend_from_slice(&encode_frame(
+            FrameType::Health,
+            &encode_named_body("", &[]),
+        ));
         client.send_raw(&burst).unwrap();
         let (t1, _) = client.read_reply().unwrap();
         let (t2, _) = client.read_reply().unwrap();

@@ -250,18 +250,38 @@ impl Registry {
     /// Metric names are prefixed `deepmap_` with dots mapped to underscores;
     /// gauges also emit a `_peak` companion for their high-water mark.
     pub fn render_prometheus(&self) -> String {
+        self.render_prometheus_labeled(&[])
+    }
+
+    /// [`render_prometheus`](Registry::render_prometheus) with a fixed set
+    /// of labels attached to every series — how a multi-tenant scraper
+    /// keeps several registries with identical metric names apart (e.g.
+    /// one inference engine per resident model, each rendered with
+    /// `model="<name>"`). Histogram series merge the labels with their own
+    /// `le` bucket label.
+    pub fn render_prometheus_labeled(&self, labels: &[(&str, &str)]) -> String {
+        let joined = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        let plain = if joined.is_empty() {
+            String::new()
+        } else {
+            format!("{{{joined}}}")
+        };
         let mut out = String::new();
         for (name, counter) in self.counters.lock().expect("counter registry").iter() {
             let name = metric_name(name);
             out.push_str(&format!("# TYPE {name} counter\n"));
-            out.push_str(&format!("{name} {}\n", counter.get()));
+            out.push_str(&format!("{name}{plain} {}\n", counter.get()));
         }
         for (name, gauge) in self.gauges.lock().expect("gauge registry").iter() {
             let name = metric_name(name);
             out.push_str(&format!("# TYPE {name} gauge\n"));
-            out.push_str(&format!("{name} {}\n", gauge.get()));
+            out.push_str(&format!("{name}{plain} {}\n", gauge.get()));
             out.push_str(&format!("# TYPE {name}_peak gauge\n"));
-            out.push_str(&format!("{name}_peak {}\n", gauge.max()));
+            out.push_str(&format!("{name}_peak{plain} {}\n", gauge.max()));
         }
         for (name, histogram) in self.histograms.lock().expect("histogram registry").iter() {
             let name = metric_name(name);
@@ -274,10 +294,15 @@ impl Registry {
                 } else {
                     "+Inf".to_string()
                 };
-                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                let bucket_labels = if joined.is_empty() {
+                    format!("{{le=\"{le}\"}}")
+                } else {
+                    format!("{{{joined},le=\"{le}\"}}")
+                };
+                out.push_str(&format!("{name}_bucket{bucket_labels} {cumulative}\n"));
             }
-            out.push_str(&format!("{name}_sum {}\n", histogram.sum()));
-            out.push_str(&format!("{name}_count {}\n", histogram.count()));
+            out.push_str(&format!("{name}_sum{plain} {}\n", histogram.sum()));
+            out.push_str(&format!("{name}_count{plain} {}\n", histogram.count()));
         }
         out
     }
@@ -368,6 +393,27 @@ mod tests {
             "deepmap_pipeline_alignment"
         );
         assert_eq!(metric_name("a-b c"), "deepmap_a_b_c");
+    }
+
+    #[test]
+    fn labeled_rendering_tags_every_series() {
+        let reg = Registry::new(TraceLevel::Summary);
+        reg.counter("serve.requests_completed").inc();
+        reg.gauge("serve.queue_depth").add(3);
+        reg.histogram("serve.latency_seconds").observe(0.01);
+        let text = reg.render_prometheus_labeled(&[("model", "mutag")]);
+        assert!(text.contains("deepmap_serve_requests_completed{model=\"mutag\"} 1"));
+        assert!(text.contains("deepmap_serve_queue_depth{model=\"mutag\"} 3"));
+        assert!(text.contains("deepmap_serve_queue_depth_peak{model=\"mutag\"} 3"));
+        assert!(text.contains("deepmap_serve_latency_seconds_count{model=\"mutag\"} 1"));
+        assert!(
+            text.contains("deepmap_serve_latency_seconds_bucket{model=\"mutag\",le=\""),
+            "histogram buckets must merge the model label with le: {text}"
+        );
+        // The unlabelled path is byte-for-byte what it always was.
+        assert!(reg
+            .render_prometheus()
+            .contains("deepmap_serve_requests_completed 1"));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Per-model and router-wide configuration.
+
+use deepmap_graph::builder::graph_from_edges;
+use deepmap_graph::Graph;
+use deepmap_serve::{ResilienceConfig, ServerConfig};
+use std::time::Duration;
+
+/// Everything one resident model needs beyond its bundle: pool sizing,
+/// resilience policy, and the self-test probe that gates hot swaps.
+///
+/// The config is stored with the registry entry, so
+/// [`reload`](crate::ModelRouter::reload) rebuilds the replacement pool
+/// exactly as the resident one was built — a hot swap changes the weights,
+/// never silently the serving policy.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Replica-pool sizing and batching knobs, per model.
+    pub server: ServerConfig,
+    /// Admission limits, deadlines, restart budget, and breaker policy,
+    /// per model.
+    pub resilience: ResilienceConfig,
+    /// How long the self-test predict may take before a candidate pool is
+    /// declared dead. Covers first-request warm-up, so it is generous.
+    pub probe_timeout: Duration,
+    /// The graph used for the self-test predict (`None`: a built-in labeled
+    /// triangle). Any answer — or a typed admission rejection — passes the
+    /// probe; only infrastructure failures (panic, timeout, dead pool)
+    /// fail it, so a strict admission policy does not block deploys.
+    pub probe_graph: Option<Graph>,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            server: ServerConfig::default(),
+            resilience: ResilienceConfig::default(),
+            probe_timeout: Duration::from_secs(30),
+            probe_graph: None,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// The probe graph: the configured one, or the built-in triangle.
+    pub(crate) fn probe(&self) -> Graph {
+        match &self.probe_graph {
+            Some(graph) => graph.clone(),
+            None => graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)], Some(&[0, 0, 0]))
+                .expect("triangle probe graph is well-formed"),
+        }
+    }
+}
+
+/// Router-wide knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// How long [`shutdown`](crate::ModelRouter::shutdown) waits for
+    /// retired replica pools to lose their last in-flight user before it
+    /// gives up and reports them as leaked.
+    pub drain_deadline: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_probe_is_the_builtin_triangle() {
+        let config = ModelConfig::default();
+        let probe = config.probe();
+        assert_eq!(probe.n_vertices(), 3);
+    }
+
+    #[test]
+    fn configured_probe_graph_wins() {
+        let custom = graph_from_edges(2, &[(0, 1)], Some(&[1, 1])).unwrap();
+        let config = ModelConfig {
+            probe_graph: Some(custom),
+            ..ModelConfig::default()
+        };
+        assert_eq!(config.probe().n_vertices(), 2);
+    }
+}

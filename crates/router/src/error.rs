@@ -1,0 +1,139 @@
+//! Typed routing errors.
+
+use deepmap_serve::ServeError;
+use std::fmt;
+
+/// Longest accepted model name, in bytes. Mirrored by the wire protocol's
+/// model-name field limit so a name that registers always routes.
+pub const MAX_MODEL_NAME: usize = 128;
+
+/// Errors from the model registry and routing layer.
+#[derive(Debug)]
+pub enum RouterError {
+    /// No resident model has this name.
+    UnknownModel(
+        /// The name that failed to resolve.
+        String,
+    ),
+    /// [`register`](crate::ModelRouter::register) refused to replace a
+    /// resident model — use [`reload`](crate::ModelRouter::reload) for
+    /// that, it swaps atomically instead of double-registering.
+    AlreadyRegistered(
+        /// The occupied name.
+        String,
+    ),
+    /// The empty name routes to the default model; a request arrived for it
+    /// while no default is set.
+    NoDefaultModel,
+    /// The model name is empty, longer than [`MAX_MODEL_NAME`] bytes, or
+    /// contains control characters.
+    InvalidName(
+        /// Why the name was refused.
+        String,
+    ),
+    /// The freshly built replica pool failed its self-test predict; the
+    /// resident pool (if any) was left untouched.
+    ProbeFailed {
+        /// The model whose candidate pool failed.
+        model: String,
+        /// The self-test failure.
+        reason: String,
+    },
+    /// The underlying serving layer failed (bundle rejected, pool failed to
+    /// start, …).
+    Serve(ServeError),
+    /// The router has shut down; no model can be resolved or registered.
+    ShutDown,
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            RouterError::AlreadyRegistered(name) => {
+                write!(
+                    f,
+                    "model {name:?} is already registered (use reload to swap)"
+                )
+            }
+            RouterError::NoDefaultModel => write!(f, "no default model is set"),
+            RouterError::InvalidName(why) => write!(f, "invalid model name: {why}"),
+            RouterError::ProbeFailed { model, reason } => {
+                write!(f, "self-test probe for model {model:?} failed: {reason}")
+            }
+            RouterError::Serve(e) => write!(f, "serving layer: {e}"),
+            RouterError::ShutDown => write!(f, "model router shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouterError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for RouterError {
+    fn from(e: ServeError) -> Self {
+        RouterError::Serve(e)
+    }
+}
+
+/// Validates a model name for registration: non-empty, at most
+/// [`MAX_MODEL_NAME`] bytes, no control characters (they would corrupt
+/// Prometheus labels and log lines).
+pub fn validate_name(name: &str) -> Result<(), RouterError> {
+    if name.is_empty() {
+        return Err(RouterError::InvalidName(
+            "name is empty (the empty name is reserved for routing to the default model)".into(),
+        ));
+    }
+    if name.len() > MAX_MODEL_NAME {
+        return Err(RouterError::InvalidName(format!(
+            "name is {} bytes, limit is {MAX_MODEL_NAME}",
+            name.len()
+        )));
+    }
+    if name.chars().any(|c| c.is_control() || c == '"') {
+        return Err(RouterError::InvalidName(
+            "name contains control or quote characters".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sane_names_pass() {
+        for name in ["mutag", "nci1-v2", "Fraud Model (EU)", "模型", "a"] {
+            assert!(validate_name(name).is_ok(), "{name:?} should be accepted");
+        }
+        // Exactly at the limit is fine.
+        assert!(validate_name(&"x".repeat(MAX_MODEL_NAME)).is_ok());
+    }
+
+    #[test]
+    fn hostile_names_are_refused() {
+        let over = "x".repeat(MAX_MODEL_NAME + 1);
+        for name in ["", over.as_str(), "new\nline", "tab\there", "qu\"ote"] {
+            assert!(
+                matches!(validate_name(name), Err(RouterError::InvalidName(_))),
+                "{name:?} should be refused"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_errors_wrap_with_source() {
+        let err = RouterError::from(ServeError::QueueFull);
+        assert!(matches!(err, RouterError::Serve(ServeError::QueueFull)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("serving layer"));
+    }
+}

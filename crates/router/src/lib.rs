@@ -1,0 +1,37 @@
+//! `deepmap-router`: multi-tenant model routing between the network tier
+//! and the inference engine.
+//!
+//! PR 6's TCP front end serves exactly one model per process; this crate
+//! removes that assumption. A [`ModelRouter`] keeps many **named**
+//! [`ModelBundle`](deepmap_serve::ModelBundle)s resident at once, each
+//! behind its own [`InferenceServer`](deepmap_serve::InferenceServer)
+//! replica pool with its own admission limits, deadlines, circuit breaker,
+//! and `serve.*` instruments — one tenant's poisoned workers trip *its*
+//! breaker while its siblings keep serving.
+//!
+//! - [`registry`] — the [`ModelRouter`]: register / resolve / reload /
+//!   unregister, the self-test probe gate, atomic `Arc` swap with audited
+//!   retired-pool joining, and the labelled multi-tenant Prometheus
+//!   rendering.
+//! - [`config`] — [`ModelConfig`] (per-model pool + resilience + probe
+//!   policy, stored with the entry so reloads rebuild pools identically)
+//!   and [`RouterConfig`].
+//! - [`error`] — the typed [`RouterError`] taxonomy, including
+//!   [`RouterError::UnknownModel`], which the wire protocol mirrors as its
+//!   own error code.
+//!
+//! **Hot reload is zero-downtime by construction**: the replacement pool is
+//! built and health-probed *before* the registry entry swaps, requests
+//! in flight on the old pool finish on their own `Arc` clones, and the old
+//! pool's batcher and worker threads are joined (and counted in
+//! [`RouterStats`]) once the last clone drops.
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod registry;
+
+pub use config::{ModelConfig, RouterConfig};
+pub use error::{RouterError, MAX_MODEL_NAME};
+pub use registry::{ModelInfo, ModelRouter, RouterStats};

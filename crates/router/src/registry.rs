@@ -1,0 +1,667 @@
+//! The model registry: named replica pools, hot reload with atomic swap,
+//! and per-model metrics.
+//!
+//! ```text
+//! register(name, bundle)  → build pool → self-test probe → insert
+//! resolve(name)           → Arc<InferenceServer>   (lock-scoped lookup)
+//! reload(name, bundle)    → build new pool → probe → swap Arc → retire old
+//! unregister(name)        → remove → retire
+//! shutdown()              → retire all → drain → join → RouterStats
+//! ```
+//!
+//! **Swap semantics.** Every request path clones the model's
+//! `Arc<InferenceServer>` out of the registry before submitting, so a
+//! reload never races a request: in-flight requests keep the old pool
+//! alive through their own `Arc` clones, new requests see the new pool
+//! from the instant the map entry is swapped. A retired pool is joined —
+//! batcher and every worker thread — as soon as its last in-flight user
+//! drops, audited through [`InferenceServer::thread_count`]; nothing is
+//! detached.
+//!
+//! **Probe gate.** A candidate pool must answer a self-test predict before
+//! it can replace anything. A bundle whose replicas cannot be built, or
+//! whose pool panics, times out, or is already shut down on the probe,
+//! never reaches the map — the resident model keeps serving. A typed
+//! admission rejection passes the gate (the pool demonstrably answered);
+//! only infrastructure failures block a deploy.
+//!
+//! **Per-model instruments.** Each pool carries its own `serve.*` registry;
+//! [`ModelRouter::render_metrics`] renders every resident model's registry
+//! with a `model="<name>"` label plus the router's own `router.*`
+//! instruments, so tenants never alias in one Prometheus scrape. Lifecycle
+//! operations additionally open spans (`router.register`, `router.reload`,
+//! `router.unregister`) on the global obs registry with a `model` field,
+//! making tenants distinguishable in JSONL traces too.
+
+use crate::config::{ModelConfig, RouterConfig};
+use crate::error::{validate_name, RouterError};
+use deepmap_graph::Graph;
+use deepmap_obs::{Counter, Gauge, Registry, TraceLevel};
+#[cfg(feature = "fault-inject")]
+use deepmap_serve::FaultPlan;
+use deepmap_serve::{
+    Health, InferenceServer, ModelBundle, PredictionHandle, ServeError, ServedPrediction,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One resident model: its live replica pool, the config that built it,
+/// and a version that bumps on every successful reload.
+struct Entry {
+    engine: Arc<InferenceServer>,
+    bundle: Arc<ModelBundle>,
+    config: ModelConfig,
+    version: u64,
+}
+
+/// A replaced or unregistered pool waiting for its last in-flight user.
+struct Retired {
+    name: String,
+    version: u64,
+    engine: Arc<InferenceServer>,
+}
+
+/// Point-in-time description of one resident model, from
+/// [`ModelRouter::list_models`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Registered name.
+    pub name: String,
+    /// Bumps on every successful reload; starts at 1.
+    pub version: u64,
+    /// Whether the empty wire name routes here.
+    pub is_default: bool,
+    /// The pool's health right now.
+    pub health: Health,
+    /// Worker replicas in the pool.
+    pub workers: usize,
+    /// Classes the bundle predicts over.
+    pub n_classes: usize,
+}
+
+/// Final accounting returned by [`ModelRouter::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Successful `register`/`register_engine` calls over the lifetime.
+    pub registrations: u64,
+    /// Successful hot reloads (each retired one pool).
+    pub reloads: u64,
+    /// Pools retired over the lifetime (reloads + unregisters + shutdown).
+    pub pools_retired: u64,
+    /// Retired pools whose threads were joined (must equal
+    /// `pools_retired` for a leak-free life).
+    pub pools_joined: u64,
+    /// Threads joined across those pools (batcher + workers each).
+    pub threads_joined: u64,
+    /// Pools still referenced by in-flight users when the drain deadline
+    /// passed (0 for a clean shutdown). Their threads join when the last
+    /// holder drops, but past the audit.
+    pub pools_leaked: usize,
+}
+
+/// The router's own instruments, on a dedicated always-live registry the
+/// network tier also hangs its `serve.conn_*` edge counters on.
+struct RouterMetrics {
+    registry: Arc<Registry>,
+    routed: Arc<Counter>,
+    unknown_model: Arc<Counter>,
+    registrations: Arc<Counter>,
+    reloads: Arc<Counter>,
+    unregistrations: Arc<Counter>,
+    probe_failures: Arc<Counter>,
+    pools_retired: Arc<Counter>,
+    pools_joined: Arc<Counter>,
+    threads_joined: Arc<Counter>,
+    models_resident: Arc<Gauge>,
+}
+
+impl RouterMetrics {
+    fn new() -> RouterMetrics {
+        let registry = Arc::new(Registry::new(TraceLevel::Summary));
+        RouterMetrics {
+            routed: registry.counter("router.requests_routed"),
+            unknown_model: registry.counter("router.unknown_model"),
+            registrations: registry.counter("router.registrations"),
+            reloads: registry.counter("router.reloads"),
+            unregistrations: registry.counter("router.unregistrations"),
+            probe_failures: registry.counter("router.probe_failures"),
+            pools_retired: registry.counter("router.pools_retired"),
+            pools_joined: registry.counter("router.pools_joined"),
+            threads_joined: registry.counter("router.threads_joined"),
+            models_resident: registry.gauge("router.models_resident"),
+            registry,
+        }
+    }
+}
+
+struct Inner {
+    models: HashMap<String, Entry>,
+    default: Option<String>,
+    retired: Vec<Retired>,
+    shut_down: bool,
+}
+
+/// A thread-safe, multi-tenant model registry: many named bundles resident
+/// at once, each behind its own [`InferenceServer`] replica pool, with
+/// zero-downtime hot reload. See the [module docs](self) for the swap and
+/// probe semantics.
+pub struct ModelRouter {
+    inner: Mutex<Inner>,
+    config: RouterConfig,
+    metrics: RouterMetrics,
+}
+
+impl ModelRouter {
+    /// An empty router. The first registered model becomes the default.
+    pub fn new(config: RouterConfig) -> ModelRouter {
+        ModelRouter {
+            inner: Mutex::new(Inner {
+                models: HashMap::new(),
+                default: None,
+                retired: Vec::new(),
+                shut_down: false,
+            }),
+            config,
+            metrics: RouterMetrics::new(),
+        }
+    }
+
+    /// Builds a replica pool from `bundle` under `config`, probes it with a
+    /// self-test predict, and makes it resident under `name`. The first
+    /// registered model becomes the default. Fails with
+    /// [`RouterError::AlreadyRegistered`] if the name is taken — replacing
+    /// a resident model is [`reload`](ModelRouter::reload)'s job.
+    pub fn register(
+        &self,
+        name: &str,
+        bundle: Arc<ModelBundle>,
+        config: ModelConfig,
+    ) -> Result<(), RouterError> {
+        validate_name(name)?;
+        let _span = deepmap_obs::span("router.register").with_str("model", name);
+        {
+            let inner = self.lock();
+            if inner.shut_down {
+                return Err(RouterError::ShutDown);
+            }
+            if inner.models.contains_key(name) {
+                return Err(RouterError::AlreadyRegistered(name.to_string()));
+            }
+        }
+        // Build and probe outside the lock: sibling models keep routing
+        // while the candidate warms up.
+        let engine = self.build_and_probe(name, &bundle, &config)?;
+        let mut inner = self.lock();
+        if inner.shut_down {
+            return Err(RouterError::ShutDown);
+        }
+        if inner.models.contains_key(name) {
+            // Raced another register of the same name; the candidate pool
+            // drops (its own Drop joins the threads).
+            return Err(RouterError::AlreadyRegistered(name.to_string()));
+        }
+        inner.models.insert(
+            name.to_string(),
+            Entry {
+                engine: Arc::new(engine),
+                bundle,
+                config,
+                version: 1,
+            },
+        );
+        if inner.default.is_none() {
+            inner.default = Some(name.to_string());
+        }
+        self.metrics.registrations.inc();
+        self.metrics.models_resident.add(1);
+        Ok(())
+    }
+
+    /// Adopts an already-running pool under `name` — the compatibility path
+    /// the network tier uses to wrap a bare [`InferenceServer`] into a
+    /// single-model router. The adopted pool skips the probe (it is
+    /// serving already) and records `config` for future reloads.
+    pub fn register_engine(
+        &self,
+        name: &str,
+        engine: InferenceServer,
+        config: ModelConfig,
+    ) -> Result<(), RouterError> {
+        validate_name(name)?;
+        let bundle = Arc::clone(engine.bundle());
+        let mut inner = self.lock();
+        if inner.shut_down {
+            return Err(RouterError::ShutDown);
+        }
+        if inner.models.contains_key(name) {
+            return Err(RouterError::AlreadyRegistered(name.to_string()));
+        }
+        inner.models.insert(
+            name.to_string(),
+            Entry {
+                engine: Arc::new(engine),
+                bundle,
+                config,
+                version: 1,
+            },
+        );
+        if inner.default.is_none() {
+            inner.default = Some(name.to_string());
+        }
+        self.metrics.registrations.inc();
+        self.metrics.models_resident.add(1);
+        Ok(())
+    }
+
+    /// Hot reload with atomic swap: builds a new pool from `bundle` under
+    /// the entry's stored config, probes it, then swaps it in. In-flight
+    /// requests on the old pool finish on their own `Arc` clones; the old
+    /// pool's threads are joined once the last clone drops (audited in
+    /// [`RouterStats`]). Returns the new version. A failed build or probe
+    /// leaves the resident pool untouched.
+    pub fn reload(&self, name: &str, bundle: Arc<ModelBundle>) -> Result<u64, RouterError> {
+        let _span = deepmap_obs::span("router.reload").with_str("model", name);
+        let config = {
+            let inner = self.lock();
+            if inner.shut_down {
+                return Err(RouterError::ShutDown);
+            }
+            inner
+                .models
+                .get(name)
+                .ok_or_else(|| RouterError::UnknownModel(name.to_string()))?
+                .config
+                .clone()
+        };
+        let engine = self.build_and_probe(name, &bundle, &config)?;
+        let version = {
+            let mut inner = self.lock();
+            if inner.shut_down {
+                return Err(RouterError::ShutDown);
+            }
+            let entry = inner
+                .models
+                .get_mut(name)
+                .ok_or_else(|| RouterError::UnknownModel(name.to_string()))?;
+            let old = std::mem::replace(&mut entry.engine, Arc::new(engine));
+            let old_version = entry.version;
+            entry.version += 1;
+            entry.bundle = bundle;
+            let version = entry.version;
+            inner.retired.push(Retired {
+                name: name.to_string(),
+                version: old_version,
+                engine: old,
+            });
+            version
+        };
+        self.metrics.reloads.inc();
+        self.metrics.pools_retired.inc();
+        self.sweep_retired();
+        Ok(version)
+    }
+
+    /// Removes `name` from the registry. The pool drains: in-flight
+    /// requests finish, then its threads are joined (audited). If `name`
+    /// was the default, the router is left with no default until
+    /// [`set_default`](ModelRouter::set_default) names one.
+    pub fn unregister(&self, name: &str) -> Result<(), RouterError> {
+        let _span = deepmap_obs::span("router.unregister").with_str("model", name);
+        {
+            let mut inner = self.lock();
+            if inner.shut_down {
+                return Err(RouterError::ShutDown);
+            }
+            let entry = inner
+                .models
+                .remove(name)
+                .ok_or_else(|| RouterError::UnknownModel(name.to_string()))?;
+            if inner.default.as_deref() == Some(name) {
+                inner.default = None;
+            }
+            inner.retired.push(Retired {
+                name: name.to_string(),
+                version: entry.version,
+                engine: entry.engine,
+            });
+        }
+        self.metrics.unregistrations.inc();
+        self.metrics.pools_retired.inc();
+        self.metrics.models_resident.add(-1);
+        self.sweep_retired();
+        Ok(())
+    }
+
+    /// Routes the empty wire name to `name` from now on.
+    pub fn set_default(&self, name: &str) -> Result<(), RouterError> {
+        let mut inner = self.lock();
+        if inner.shut_down {
+            return Err(RouterError::ShutDown);
+        }
+        if !inner.models.contains_key(name) {
+            return Err(RouterError::UnknownModel(name.to_string()));
+        }
+        inner.default = Some(name.to_string());
+        Ok(())
+    }
+
+    /// The current default model's name, if one is set.
+    pub fn default_model(&self) -> Option<String> {
+        self.lock().default.clone()
+    }
+
+    /// Resolves `name` (empty: the default model) to its live replica
+    /// pool. The returned `Arc` keeps that pool alive across a concurrent
+    /// reload, which is exactly what makes the swap safe for in-flight
+    /// requests.
+    pub fn resolve(&self, name: &str) -> Result<Arc<InferenceServer>, RouterError> {
+        let inner = self.lock();
+        if inner.shut_down {
+            return Err(RouterError::ShutDown);
+        }
+        let resolved = if name.is_empty() {
+            let default = inner.default.as_deref().ok_or(RouterError::NoDefaultModel);
+            match default {
+                Ok(default) => inner.models.get(default),
+                Err(e) => {
+                    self.metrics.unknown_model.inc();
+                    return Err(e);
+                }
+            }
+        } else {
+            inner.models.get(name)
+        };
+        match resolved {
+            Some(entry) => {
+                self.metrics.routed.inc();
+                Ok(Arc::clone(&entry.engine))
+            }
+            None => {
+                self.metrics.unknown_model.inc();
+                Err(RouterError::UnknownModel(name.to_string()))
+            }
+        }
+    }
+
+    /// Submits `graph` to the named model's pool (empty name: default).
+    pub fn submit(&self, name: &str, graph: Graph) -> Result<PredictionHandle, RouterError> {
+        let engine = self.resolve(name)?;
+        engine.submit(graph).map_err(RouterError::Serve)
+    }
+
+    /// Submits and blocks for the answer.
+    pub fn predict(&self, name: &str, graph: Graph) -> Result<ServedPrediction, RouterError> {
+        let engine = self.resolve(name)?;
+        engine.predict(graph).map_err(RouterError::Serve)
+    }
+
+    /// The named model's health (empty name: default model).
+    pub fn health(&self, name: &str) -> Result<Health, RouterError> {
+        Ok(self.resolve(name)?.health())
+    }
+
+    /// Every resident model, sorted by name.
+    pub fn list_models(&self) -> Vec<ModelInfo> {
+        let inner = self.lock();
+        let mut models: Vec<ModelInfo> = inner
+            .models
+            .iter()
+            .map(|(name, entry)| ModelInfo {
+                name: name.clone(),
+                version: entry.version,
+                is_default: inner.default.as_deref() == Some(name.as_str()),
+                health: entry.engine.health(),
+                workers: entry.config.server.workers.max(1),
+                n_classes: entry.bundle.n_classes(),
+            })
+            .collect();
+        models.sort_by(|a, b| a.name.cmp(&b.name));
+        models
+    }
+
+    /// The router's own always-live registry (`router.*` instruments; the
+    /// network tier also registers its `serve.conn_*` edge counters here).
+    pub fn metrics_registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.metrics.registry)
+    }
+
+    /// One Prometheus rendering for the whole tenancy: the router's own
+    /// instruments unlabelled, then every resident model's `serve.*`
+    /// registry labelled `model="<name>"` — per-model counters never alias,
+    /// however many bundles are resident.
+    pub fn render_metrics(&self) -> String {
+        let mut out = self.metrics.registry.render_prometheus();
+        let engines: Vec<(String, Arc<InferenceServer>)> = {
+            let inner = self.lock();
+            let mut engines: Vec<_> = inner
+                .models
+                .iter()
+                .map(|(name, entry)| (name.clone(), Arc::clone(&entry.engine)))
+                .collect();
+            engines.sort_by(|a, b| a.0.cmp(&b.0));
+            engines
+        };
+        for (name, engine) in engines {
+            out.push_str(
+                &engine
+                    .metrics_registry()
+                    .render_prometheus_labeled(&[("model", &name)]),
+            );
+        }
+        out
+    }
+
+    /// Retires every model, waits up to the configured drain deadline for
+    /// retired pools to lose their in-flight users, joins them, and returns
+    /// the final accounting. Idempotent: later calls return the same stats.
+    pub fn shutdown(&self) -> RouterStats {
+        {
+            let mut inner = self.lock();
+            if !inner.shut_down {
+                inner.shut_down = true;
+                inner.default = None;
+                let names: Vec<String> = inner.models.keys().cloned().collect();
+                for name in names {
+                    if let Some(entry) = inner.models.remove(&name) {
+                        inner.retired.push(Retired {
+                            name,
+                            version: entry.version,
+                            engine: entry.engine,
+                        });
+                        self.metrics.pools_retired.inc();
+                        self.metrics.models_resident.add(-1);
+                    }
+                }
+            }
+        }
+        let deadline = Instant::now() + self.config.drain_deadline;
+        loop {
+            self.sweep_retired();
+            let remaining = self.lock().retired.len();
+            if remaining == 0 || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let pools_leaked = self.lock().retired.len();
+        RouterStats {
+            registrations: self.metrics.registrations.get(),
+            reloads: self.metrics.reloads.get(),
+            pools_retired: self.metrics.pools_retired.get(),
+            pools_joined: self.metrics.pools_joined.get(),
+            threads_joined: self.metrics.threads_joined.get(),
+            pools_leaked,
+        }
+    }
+
+    /// Joins every retired pool whose last in-flight user is gone. Called
+    /// opportunistically after lifecycle operations and in a loop by
+    /// [`shutdown`](ModelRouter::shutdown); cheap when there is nothing to
+    /// do. Joining happens outside the registry lock so routing never
+    /// blocks behind a pool teardown.
+    fn sweep_retired(&self) {
+        let ready: Vec<Retired> = {
+            let mut inner = self.lock();
+            let mut ready = Vec::new();
+            let mut keep = Vec::new();
+            for retired in inner.retired.drain(..) {
+                // strong_count == 1 ⇒ the registry holds the only Arc; no
+                // in-flight request can clone it again (it left the map
+                // when it was retired), so the unwrap below cannot race.
+                if Arc::strong_count(&retired.engine) == 1 {
+                    ready.push(retired);
+                } else {
+                    keep.push(retired);
+                }
+            }
+            inner.retired = keep;
+            ready
+        };
+        for retired in ready {
+            match Arc::try_unwrap(retired.engine) {
+                Ok(mut engine) => {
+                    let threads = engine.thread_count();
+                    engine.shutdown();
+                    debug_assert_eq!(engine.thread_count(), 0);
+                    self.metrics.pools_joined.inc();
+                    self.metrics.threads_joined.add(threads as u64);
+                    deepmap_obs::event(
+                        deepmap_obs::EventLevel::Info,
+                        &format!(
+                            "router: joined retired pool {}@v{} ({threads} threads)",
+                            retired.name, retired.version
+                        ),
+                    );
+                }
+                Err(engine) => {
+                    // A clone appeared between the count check and here —
+                    // impossible for unreachable pools, but never leak on a
+                    // bad assumption: put it back for the next sweep.
+                    self.lock().retired.push(Retired {
+                        name: retired.name,
+                        version: retired.version,
+                        engine,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Builds a pool from `bundle` under `config` and gates it behind the
+    /// self-test probe. On failure the candidate (if it started) is torn
+    /// down before returning.
+    fn build_and_probe(
+        &self,
+        name: &str,
+        bundle: &Arc<ModelBundle>,
+        config: &ModelConfig,
+    ) -> Result<InferenceServer, RouterError> {
+        let engine = InferenceServer::start_with(
+            Arc::clone(bundle),
+            config.server,
+            config.resilience.clone(),
+        )?;
+        self.probe(name, &engine, config)?;
+        Ok(engine)
+    }
+
+    /// The self-test predict. Passing means the pool demonstrably answers:
+    /// a prediction or a typed admission rejection both qualify; a panic,
+    /// timeout, open breaker, or shutdown is an infrastructure failure and
+    /// fails the gate.
+    fn probe(
+        &self,
+        name: &str,
+        engine: &InferenceServer,
+        config: &ModelConfig,
+    ) -> Result<(), RouterError> {
+        let outcome = match engine.submit(config.probe()) {
+            Ok(handle) => handle.wait_timeout(config.probe_timeout),
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok(_) | Err(ServeError::Rejected { .. }) => Ok(()),
+            Err(e) => {
+                self.metrics.probe_failures.inc();
+                Err(RouterError::ProbeFailed {
+                    model: name.to_string(),
+                    reason: e.to_string(),
+                })
+            }
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned registry lock would otherwise wedge every tenant; the
+        // inner state is a plain map plus flags, valid after any panic.
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+impl ModelRouter {
+    /// [`register`](ModelRouter::register) with a deterministic
+    /// [`FaultPlan`] wired into the model's workers — the per-tenant chaos
+    /// entry point. The plan poisons only this model's pool; sibling
+    /// models, with their own pools and plans, are untouched. Skips the
+    /// probe (a plan that panics batch 0 would otherwise never register).
+    pub fn register_chaos(
+        &self,
+        name: &str,
+        bundle: Arc<ModelBundle>,
+        config: ModelConfig,
+        plan: FaultPlan,
+    ) -> Result<(), RouterError> {
+        validate_name(name)?;
+        let engine = InferenceServer::start_chaos(
+            Arc::clone(&bundle),
+            config.server,
+            config.resilience.clone(),
+            plan,
+        )?;
+        let mut inner = self.lock();
+        if inner.shut_down {
+            return Err(RouterError::ShutDown);
+        }
+        if inner.models.contains_key(name) {
+            return Err(RouterError::AlreadyRegistered(name.to_string()));
+        }
+        inner.models.insert(
+            name.to_string(),
+            Entry {
+                engine: Arc::new(engine),
+                bundle,
+                config,
+                version: 1,
+            },
+        );
+        if inner.default.is_none() {
+            inner.default = Some(name.to_string());
+        }
+        self.metrics.registrations.inc();
+        self.metrics.models_resident.add(1);
+        Ok(())
+    }
+}
+
+impl Drop for ModelRouter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ModelRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("ModelRouter")
+            .field("models", &inner.models.len())
+            .field("default", &inner.default)
+            .field("retired", &inner.retired.len())
+            .field("shut_down", &inner.shut_down)
+            .finish()
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-tenant fault isolation: one model's replica pool is poisoned with a
+//! deterministic [`FaultPlan`] until its breaker opens, while a sibling
+//! model — its own pool, its own breaker — keeps serving untouched. The
+//! blast radius of a bad deploy is exactly one registry entry.
+
+#![cfg(feature = "fault-inject")]
+
+mod common;
+
+use common::{request_graphs, trained_bundle};
+use deepmap_router::{ModelConfig, ModelRouter, RouterConfig, RouterError};
+use deepmap_serve::{FaultPlan, Health, ResilienceConfig, ServeError, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Silences the planned worker panics so test output stays readable;
+/// anything not marked `fault-inject:` still prints.
+fn muffle_planned_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let planned = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("fault-inject:"))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("fault-inject:"))
+            })
+            .unwrap_or(false);
+        if !planned {
+            default_hook(info);
+        }
+    }));
+}
+
+#[test]
+fn poisoned_model_trips_its_own_breaker_while_sibling_serves() {
+    muffle_planned_panics();
+    let router = ModelRouter::new(RouterConfig::default());
+    let stable_bundle = trained_bundle(11);
+    let mut direct = stable_bundle.predictor().unwrap();
+    router
+        .register("stable", Arc::clone(&stable_bundle), ModelConfig::default())
+        .unwrap();
+
+    // The victim's plan panics every batch from the start; a zero restart
+    // budget means the first panic trips its breaker. The long cool-down
+    // keeps it open for the rest of the test.
+    let victim_config = ModelConfig {
+        server: ServerConfig {
+            workers: 2,
+            max_batch: 1,
+            ..ServerConfig::default()
+        },
+        resilience: ResilienceConfig {
+            max_restarts: 0,
+            breaker_cooldown: Duration::from_secs(120),
+            ..ResilienceConfig::default()
+        },
+        ..ModelConfig::default()
+    };
+    router
+        .register_chaos(
+            "victim",
+            trained_bundle(1234),
+            victim_config,
+            FaultPlan::new().panic_from(0),
+        )
+        .unwrap();
+
+    let graphs = request_graphs(4);
+
+    // Detonate the victim: its first request panics the worker, and with no
+    // restart budget the pool goes dark.
+    match router.predict("victim", graphs[0].clone()) {
+        Ok(served) => panic!("poisoned pool served class {}", served.class),
+        Err(RouterError::Serve(ServeError::WorkerPanic)) => {}
+        Err(other) => panic!("expected WorkerPanic, got {other}"),
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while router.health("victim").unwrap() != Health::Unavailable && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(router.health("victim").unwrap(), Health::Unavailable);
+
+    // Inside the cool-down the victim fast-fails with its own breaker…
+    assert!(matches!(
+        router.predict("victim", graphs[1].clone()),
+        Err(RouterError::Serve(ServeError::CircuitOpen))
+    ));
+
+    // …while the sibling pool never noticed: correct answers, Ready health.
+    for graph in &graphs {
+        let got = router.predict("stable", graph.clone()).unwrap();
+        let want = direct.predict(graph);
+        assert_eq!(got.class, want.class);
+        assert_eq!(got.scores, want.scores);
+    }
+    assert_eq!(router.health("stable").unwrap(), Health::Ready);
+
+    // The listing and the labelled rendering tell the two pools apart.
+    let models = router.list_models();
+    assert_eq!(models.len(), 2);
+    let stable = models.iter().find(|m| m.name == "stable").unwrap();
+    let victim = models.iter().find(|m| m.name == "victim").unwrap();
+    assert_eq!(stable.health, Health::Ready);
+    assert_eq!(victim.health, Health::Unavailable);
+    let text = router.render_metrics();
+    assert!(
+        text.contains("deepmap_serve_worker_panics{model=\"victim\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("deepmap_serve_worker_panics{model=\"stable\"} 0"),
+        "{text}"
+    );
+
+    // A hot reload replaces the poisoned pool with a clean one — recovery
+    // is a deploy, not a restart of the whole tenancy.
+    let victim_bundle = trained_bundle(1234);
+    let mut direct_victim = victim_bundle.predictor().unwrap();
+    let version = router.reload("victim", victim_bundle).unwrap();
+    assert_eq!(version, 2);
+    let healed = router.predict("victim", graphs[0].clone()).unwrap();
+    assert_eq!(healed.scores, direct_victim.predict(&graphs[0]).scores);
+    assert_eq!(router.health("victim").unwrap(), Health::Ready);
+
+    // Even the poisoned pool's threads are joined on the way out.
+    let stats = router.shutdown();
+    assert_eq!(stats.pools_retired, 3, "reload + two resident at shutdown");
+    assert_eq!(stats.pools_joined, 3);
+    assert_eq!(stats.pools_leaked, 0);
+}

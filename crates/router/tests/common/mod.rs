@@ -1,6 +1,7 @@
-//! Shared helpers for the deepmap-net integration suites: a small trained
-//! bundle (cycles vs cliques) and deterministic request graphs, mirroring
-//! the serve crate's smoke-test fixture.
+//! Shared helpers for the deepmap-router integration suites: small trained
+//! bundles (cycles vs cliques), seed-parameterised so tests can hold two
+//! genuinely different models resident at once, and deterministic request
+//! graphs.
 
 #![allow(dead_code)] // each test binary uses a subset of these helpers
 
@@ -9,19 +10,15 @@ use deepmap_graph::generators::{complete_graph, cycle_graph};
 use deepmap_graph::Graph;
 use deepmap_kernels::FeatureKind;
 use deepmap_nn::train::TrainConfig;
-use deepmap_serve::{InferenceServer, ModelBundle, ServerConfig};
+use deepmap_serve::ModelBundle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-pub fn trained_bundle() -> Arc<ModelBundle> {
-    trained_bundle_seeded(11)
-}
-
-/// Seed-parameterised variant: different seeds give different graph samples
-/// and init, hence two genuinely different resident models for the
-/// multi-tenant wire tests.
-pub fn trained_bundle_seeded(seed: u64) -> Arc<ModelBundle> {
+/// A small cycles-vs-cliques bundle. Different seeds give different graph
+/// samples and init, hence different (but equally valid) weights — two
+/// seeds make two distinguishable resident models.
+pub fn trained_bundle(seed: u64) -> Arc<ModelBundle> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut graphs = Vec::new();
     let mut labels = Vec::new();
@@ -53,10 +50,6 @@ pub fn trained_bundle_seeded(seed: u64) -> Arc<ModelBundle> {
     )
     .unwrap();
     Arc::new(bundle)
-}
-
-pub fn engine(bundle: &Arc<ModelBundle>) -> InferenceServer {
-    InferenceServer::start(Arc::clone(bundle), ServerConfig::default()).unwrap()
 }
 
 pub fn request_graphs(n: usize) -> Vec<Graph> {

@@ -1,0 +1,256 @@
+//! Registry lifecycle: register/resolve/reload/unregister semantics,
+//! default-model routing, hot swap under concurrent load with zero failed
+//! requests, and the shutdown audit (every retired pool joined, every
+//! thread accounted for).
+
+mod common;
+
+use common::{request_graphs, trained_bundle};
+use deepmap_router::{ModelConfig, ModelRouter, RouterConfig, RouterError, MAX_MODEL_NAME};
+use deepmap_serve::{Health, ServeError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn register_resolve_and_default_semantics() {
+    let router = ModelRouter::new(RouterConfig::default());
+    let alpha = trained_bundle(11);
+    let beta = trained_bundle(1234);
+
+    router
+        .register("alpha", Arc::clone(&alpha), ModelConfig::default())
+        .unwrap();
+    router
+        .register("beta", Arc::clone(&beta), ModelConfig::default())
+        .unwrap();
+
+    // First registration became the default; the empty name routes to it.
+    assert_eq!(router.default_model().as_deref(), Some("alpha"));
+    let graphs = request_graphs(4);
+    let mut direct_alpha = alpha.predictor().unwrap();
+    let mut direct_beta = beta.predictor().unwrap();
+    for graph in &graphs {
+        let via_default = router.predict("", graph.clone()).unwrap();
+        let via_name = router.predict("alpha", graph.clone()).unwrap();
+        let want = direct_alpha.predict(graph);
+        assert_eq!(via_default.class, want.class);
+        assert_eq!(via_default.scores, want.scores);
+        assert_eq!(via_name.scores, want.scores);
+        let via_beta = router.predict("beta", graph.clone()).unwrap();
+        assert_eq!(via_beta.scores, direct_beta.predict(graph).scores);
+    }
+
+    // The listing is sorted, versioned, and flags the default.
+    let models = router.list_models();
+    assert_eq!(models.len(), 2);
+    assert_eq!(models[0].name, "alpha");
+    assert!(models[0].is_default);
+    assert_eq!(models[0].version, 1);
+    assert_eq!(models[0].health, Health::Ready);
+    assert_eq!(models[1].name, "beta");
+    assert!(!models[1].is_default);
+    assert_eq!(models[1].n_classes, 2);
+
+    // Occupied names refuse a second register (reload is the swap path).
+    match router.register("alpha", Arc::clone(&beta), ModelConfig::default()) {
+        Err(RouterError::AlreadyRegistered(name)) => assert_eq!(name, "alpha"),
+        other => panic!("expected AlreadyRegistered, got {other:?}"),
+    }
+
+    // Routing misses are typed.
+    match router.predict("gamma", graphs[0].clone()) {
+        Err(RouterError::UnknownModel(name)) => assert_eq!(name, "gamma"),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+
+    // Unregistering the default leaves the empty name unroutable until a
+    // new default is named.
+    router.unregister("alpha").unwrap();
+    assert_eq!(router.default_model(), None);
+    match router.predict("", graphs[0].clone()) {
+        Err(RouterError::NoDefaultModel) => {}
+        other => panic!("expected NoDefaultModel, got {other:?}"),
+    }
+    router.set_default("beta").unwrap();
+    assert!(router.predict("", graphs[0].clone()).is_ok());
+
+    let stats = router.shutdown();
+    assert_eq!(stats.registrations, 2);
+    assert_eq!(
+        stats.pools_retired, 2,
+        "alpha unregistered + beta shut down"
+    );
+    assert_eq!(stats.pools_joined, stats.pools_retired);
+    assert_eq!(stats.pools_leaked, 0);
+    assert!(stats.threads_joined > 0);
+}
+
+#[test]
+fn invalid_names_are_refused() {
+    let router = ModelRouter::new(RouterConfig::default());
+    let bundle = trained_bundle(11);
+    for name in ["", &"x".repeat(MAX_MODEL_NAME + 1), "bad\nname", "q\"uote"] {
+        match router.register(name, Arc::clone(&bundle), ModelConfig::default()) {
+            Err(RouterError::InvalidName(_)) => {}
+            other => panic!("name {name:?}: expected InvalidName, got {other:?}"),
+        }
+    }
+    assert!(router.list_models().is_empty());
+}
+
+#[test]
+fn failed_probe_keeps_the_candidate_out() {
+    let router = ModelRouter::new(RouterConfig::default());
+    let bundle = trained_bundle(11);
+    // A zero probe budget cannot be met (warm-up alone takes longer), so
+    // the candidate pool fails its gate and is torn down.
+    let config = ModelConfig {
+        probe_timeout: Duration::ZERO,
+        ..ModelConfig::default()
+    };
+    match router.register("alpha", Arc::clone(&bundle), config) {
+        Err(RouterError::ProbeFailed { model, .. }) => assert_eq!(model, "alpha"),
+        other => panic!("expected ProbeFailed, got {other:?}"),
+    }
+    assert!(router.list_models().is_empty());
+    assert_eq!(router.default_model(), None);
+
+    // The router is unharmed: a sane registration still lands.
+    router
+        .register("alpha", bundle, ModelConfig::default())
+        .unwrap();
+    assert_eq!(router.list_models().len(), 1);
+    let stats = router.shutdown();
+    assert_eq!(stats.pools_leaked, 0);
+}
+
+#[test]
+fn hot_reload_under_load_loses_no_requests() {
+    let router = Arc::new(ModelRouter::new(RouterConfig::default()));
+    let v1 = trained_bundle(11);
+    let v2 = trained_bundle(1234);
+    router
+        .register("live", Arc::clone(&v1), ModelConfig::default())
+        .unwrap();
+
+    // Four clients hammer the model while it is swapped underneath them.
+    // Every request must be answered — a prediction or a typed admission
+    // rejection both count; a transport-style failure (shutdown, panic,
+    // unknown model) does not.
+    let stop = Arc::new(AtomicBool::new(false));
+    let answered = Arc::new(AtomicU64::new(0));
+    let graphs = request_graphs(8);
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let router = Arc::clone(&router);
+            let stop = Arc::clone(&stop);
+            let answered = Arc::clone(&answered);
+            let graphs = graphs.clone();
+            std::thread::spawn(move || {
+                let mut i = c;
+                while !stop.load(Ordering::Relaxed) {
+                    let graph = graphs[i % graphs.len()].clone();
+                    i += 1;
+                    match router.predict("live", graph) {
+                        Ok(_) => {
+                            answered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(RouterError::Serve(
+                            ServeError::QueueFull | ServeError::Rejected { .. },
+                        )) => {
+                            answered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("request lost across a hot swap: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let traffic establish, then swap back and forth mid-load.
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(router.reload("live", Arc::clone(&v2)).unwrap(), 2);
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(router.reload("live", Arc::clone(&v1)).unwrap(), 3);
+    std::thread::sleep(Duration::from_millis(50));
+
+    stop.store(true, Ordering::Relaxed);
+    for client in clients {
+        client.join().expect("no client may lose a request");
+    }
+    assert!(answered.load(Ordering::Relaxed) > 0, "traffic actually ran");
+
+    // The listing reflects the surviving pool and its bumped version.
+    let models = router.list_models();
+    assert_eq!(models[0].version, 3);
+    assert_eq!(models[0].health, Health::Ready);
+
+    // The audit balances: both retired pools were joined, nothing leaked.
+    let stats = router.shutdown();
+    assert_eq!(stats.reloads, 2);
+    assert_eq!(stats.pools_retired, 3, "two reloads + final shutdown");
+    assert_eq!(stats.pools_joined, 3);
+    assert_eq!(stats.pools_leaked, 0);
+    assert!(
+        stats.threads_joined >= 9,
+        "batcher + workers per pool across three pools, got {}",
+        stats.threads_joined
+    );
+}
+
+#[test]
+fn reload_of_unknown_model_is_refused_and_shutdown_is_idempotent() {
+    let router = ModelRouter::new(RouterConfig::default());
+    let bundle = trained_bundle(11);
+    match router.reload("ghost", Arc::clone(&bundle)) {
+        Err(RouterError::UnknownModel(name)) => assert_eq!(name, "ghost"),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    router
+        .register("alpha", Arc::clone(&bundle), ModelConfig::default())
+        .unwrap();
+
+    let first = router.shutdown();
+    assert_eq!(first.pools_leaked, 0);
+    // Post-shutdown lifecycle calls are typed refusals, and a second
+    // shutdown reports identical books.
+    match router.register("beta", Arc::clone(&bundle), ModelConfig::default()) {
+        Err(RouterError::ShutDown) => {}
+        other => panic!("expected ShutDown, got {other:?}"),
+    }
+    match router.resolve("alpha") {
+        Err(RouterError::ShutDown) => {}
+        Err(other) => panic!("expected ShutDown, got {other}"),
+        Ok(_) => panic!("resolved a model on a shut-down router"),
+    }
+    assert_eq!(router.shutdown(), first);
+}
+
+#[test]
+fn per_model_metrics_render_without_aliasing() {
+    let router = ModelRouter::new(RouterConfig::default());
+    let alpha = trained_bundle(11);
+    let beta = trained_bundle(1234);
+    router
+        .register("alpha", alpha, ModelConfig::default())
+        .unwrap();
+    router
+        .register("beta", beta, ModelConfig::default())
+        .unwrap();
+    let graphs = request_graphs(2);
+    router.predict("alpha", graphs[0].clone()).unwrap();
+    router.predict("beta", graphs[1].clone()).unwrap();
+
+    let text = router.render_metrics();
+    // Router-level instruments render unlabelled…
+    assert!(text.contains("deepmap_router_requests_routed"), "{text}");
+    assert!(text.contains("deepmap_router_models_resident 2"), "{text}");
+    // …and every resident model's serve instruments carry its own label,
+    // so the two pools' counters never alias.
+    for model in ["alpha", "beta"] {
+        let labeled = format!("deepmap_serve_requests_completed{{model=\"{model}\"}}");
+        assert!(text.contains(&labeled), "missing {labeled} in:\n{text}");
+    }
+    router.shutdown();
+}

@@ -234,6 +234,7 @@ pub struct InferenceServer {
     limits: GraphLimits,
     alphabet: Option<Vec<u32>>,
     default_deadline: Option<Duration>,
+    bundle: Arc<ModelBundle>,
 }
 
 /// Everything a worker thread shares with the server.
@@ -374,6 +375,7 @@ impl InferenceServer {
             limits: resilience.limits,
             alphabet,
             default_deadline: resilience.default_deadline,
+            bundle,
         })
     }
 
@@ -507,6 +509,22 @@ impl InferenceServer {
     /// latency histogram with `_bucket`/`_sum`/`_count` series).
     pub fn render_metrics(&self) -> String {
         self.metrics.registry.render_prometheus()
+    }
+
+    /// The bundle this server's replicas were built from. The router tier
+    /// uses this to adopt an already-running engine into a registry entry
+    /// without being handed the bundle twice.
+    pub fn bundle(&self) -> &Arc<ModelBundle> {
+        &self.bundle
+    }
+
+    /// Number of threads this server currently owns (batcher + workers).
+    /// Zero after [`shutdown`](InferenceServer::shutdown) — the router tier
+    /// audits retired replica pools with this before and after joining
+    /// them, so a leaked thread is a visible accounting error rather than a
+    /// silent resource drip.
+    pub fn thread_count(&self) -> usize {
+        self.workers.len() + usize::from(self.batcher.is_some())
     }
 
     /// Stops accepting requests, drains the queue, and joins every thread.

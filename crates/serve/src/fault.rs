@@ -26,6 +26,9 @@ pub struct FaultPlan {
     panic_batches: BTreeSet<u64>,
     latency_batches: BTreeMap<u64, Duration>,
     drop_reply_batches: BTreeSet<u64>,
+    /// Open-ended poisoning: every batch with `seq >= panic_from` panics,
+    /// regardless of how many batches the server ends up dispatching.
+    panic_from: Option<u64>,
 }
 
 impl FaultPlan {
@@ -43,6 +46,17 @@ impl FaultPlan {
     /// Delay the given batch by `latency` before running inference.
     pub fn latency_on_batch(mut self, batch: u64, latency: Duration) -> FaultPlan {
         self.latency_batches.insert(batch, latency);
+        self
+    }
+
+    /// Panic on **every** batch from sequence `seq` onward — an open-ended
+    /// schedule that poisons a replica pool for good, however many batches
+    /// it dispatches. This is the per-tenant kill switch the router's
+    /// isolation tests use: one model's pool burns its whole restart budget
+    /// and trips its breaker while sibling models (own pools, own plans)
+    /// keep serving.
+    pub fn panic_from(mut self, seq: u64) -> FaultPlan {
+        self.panic_from = Some(seq);
         self
     }
 
@@ -104,7 +118,8 @@ impl FaultPlan {
     /// Panics if the plan schedules a panic for `batch`. Called inside the
     /// worker's `catch_unwind` scope, standing in for a replica bug.
     pub(crate) fn maybe_panic(&self, batch: u64) {
-        if self.panic_batches.contains(&batch) {
+        if self.panic_batches.contains(&batch) || self.panic_from.is_some_and(|from| batch >= from)
+        {
             panic!("fault-inject: planned panic on batch {batch}");
         }
     }
@@ -153,5 +168,13 @@ mod tests {
         assert_eq!(plan.latency_for(0), None);
         assert!(plan.should_drop_replies(2));
         assert!(!plan.should_drop_replies(3));
+    }
+
+    #[test]
+    fn panic_from_is_open_ended() {
+        let plan = FaultPlan::new().panic_from(5);
+        plan.maybe_panic(4); // below the threshold: no-op
+        assert!(std::panic::catch_unwind(|| plan.maybe_panic(5)).is_err());
+        assert!(std::panic::catch_unwind(|| plan.maybe_panic(1_000_000)).is_err());
     }
 }

@@ -69,7 +69,7 @@ echo "=== serve chaos smoke ==="
 # must trip on an exhausted budget and recover through its cool-down probe.
 # The feature-gated code also gets its own clippy pass, since the default
 # workspace lint run never compiles it.
-cargo clippy -p deepmap-serve -p deepmap-net -p deepmap-bench --features fault-inject --all-targets -- -D warnings
+cargo clippy -p deepmap-serve -p deepmap-router -p deepmap-net -p deepmap-bench --features fault-inject --all-targets -- -D warnings
 cargo test -q --release -p deepmap-serve --features fault-inject
 
 echo "=== net smoke ==="
@@ -90,6 +90,24 @@ grep -q '"clean_shutdown": *true' results/BENCH_net.json
 # The poison-pill suite proves per-connection panic isolation: a detonated
 # handler takes exactly its own connection, never the acceptor.
 cargo test -q --release -p deepmap-net --features fault-inject
+
+echo "=== router smoke ==="
+# Multi-tenancy end to end: router_bench --smoke parks one and then four
+# named bundles behind a single port, mixes traffic across them by wire
+# name, and hot-swaps one model's weights twice while four client threads
+# hammer it. It exits non-zero unless zero requests failed across the
+# swaps, every retired replica pool was joined (pools_joined ==
+# pools_retired, pools_leaked == 0), and shutdown was fully clean. The
+# per-tenant fault-isolation suite (one poisoned pool trips only its own
+# breaker while the sibling serves) rides the feature-gated test run.
+rm -f results/BENCH_router.json
+cargo run --release -p deepmap-bench --bin router_bench -- --smoke
+test -s results/BENCH_router.json
+grep -q '"bench": *"router_bench"' results/BENCH_router.json
+grep -q '"failed_requests": *0' results/BENCH_router.json
+grep -q '"pools_leaked": *0' results/BENCH_router.json
+grep -q '"clean_shutdown": *true' results/BENCH_router.json
+cargo test -q --release -p deepmap-router --features fault-inject
 
 echo "=== resilience bench smoke ==="
 # resilience --smoke measures healthy vs chaos p50/p99, replays the chaos

@@ -14,8 +14,11 @@
 //! - [`datasets`] — simulated Table-1 benchmarks.
 //! - [`eval`] — cross-validation, metrics, result tables.
 //! - [`serve`] — model bundles and the micro-batching inference server.
-//! - [`net`] — the hardened TCP front end speaking the `DMW1` wire
-//!   protocol, with a matching blocking client.
+//! - [`router`] — the multi-tenant model registry: named bundles behind
+//!   per-model replica pools, with zero-downtime hot reload.
+//! - [`net`] — the hardened TCP front end speaking the `DMW2` wire
+//!   protocol (`DMW1` clients still served), with a matching blocking
+//!   client.
 //! - [`obs`] — structured tracing, stage metrics, and profiling hooks.
 //! - [`par`] — the shared deterministic thread pool (`DEEPMAP_THREADS`).
 
@@ -31,5 +34,6 @@ pub use deepmap_net as net;
 pub use deepmap_nn as nn;
 pub use deepmap_obs as obs;
 pub use deepmap_par as par;
+pub use deepmap_router as router;
 pub use deepmap_serve as serve;
 pub use deepmap_svm as svm;
