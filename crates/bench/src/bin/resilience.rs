@@ -129,6 +129,7 @@ fn unbatched_config(queue: usize) -> ServerConfig {
         queue_capacity: queue,
         max_batch: 1,
         max_wait: Duration::from_millis(2),
+        ..ServerConfig::default()
     }
 }
 

@@ -41,7 +41,8 @@ use deepmap_net::{
     ClientError, ErrorCode, FrameType, NetClient, NetConfig, NetServer, WIRE_VERSION,
 };
 use deepmap_nn::train::TrainConfig;
-use deepmap_serve::{InferenceServer, ModelBundle, ServerConfig};
+use deepmap_router::{ModelConfig, ModelRouter, RouterConfig};
+use deepmap_serve::{InferenceServer, ModelBundle, ServeError, ServerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -182,6 +183,21 @@ fn start_server(bundle: &Arc<ModelBundle>, config: NetConfig) -> NetServer {
         .unwrap_or_else(|e| fail(&format!("net server start failed: {e}")))
 }
 
+/// Like [`start_server`], but keeps a router handle so the trace section
+/// can reach the engine behind the wire (to plant a shed anomaly).
+fn start_router_server(
+    bundle: &Arc<ModelBundle>,
+    config: NetConfig,
+) -> (NetServer, Arc<ModelRouter>) {
+    let router = Arc::new(ModelRouter::new(RouterConfig::default()));
+    router
+        .register("default", Arc::clone(bundle), ModelConfig::default())
+        .unwrap_or_else(|e| fail(&format!("register failed: {e}")));
+    let server = NetServer::start_router(Arc::clone(&router), "127.0.0.1:0", config)
+        .unwrap_or_else(|e| fail(&format!("net server start failed: {e}")));
+    (server, router)
+}
+
 fn connect(server: &NetServer) -> NetClient {
     let client = NetClient::connect(server.local_addr())
         .unwrap_or_else(|e| fail(&format!("connect failed: {e}")));
@@ -266,7 +282,15 @@ fn main() {
     let args = parse_args();
     let bundle = trained_bundle(args.seed, args.smoke);
     let stream = request_stream(args.requests, args.seed);
-    let server = start_server(&bundle, NetConfig::default());
+    // Admin is on so the trace section can pull the flight recorder over
+    // the wire with a TraceDump frame.
+    let (server, router) = start_router_server(
+        &bundle,
+        NetConfig {
+            allow_admin: true,
+            ..NetConfig::default()
+        },
+    );
 
     // 1. Healthy round-trips, client-observed latency over real sockets.
     let mut client = connect(&server);
@@ -300,6 +324,83 @@ fn main() {
     if batch_ok != batch_n {
         fail(&format!("batch served {batch_ok}/{batch_n} items"));
     }
+    // Trace pull: a caller-chosen trace id must ride the TR01 trailer into
+    // the flight recorder and come back out of the admin TraceDump frame
+    // with monotone stage stamps. An in-process zero-deadline request
+    // sheds at the batcher, so the dump provably carries anomaly causes.
+    let chosen_trace = 0x7E57_0000_0000_0001_u64 ^ args.seed;
+    client
+        .predict_traced("", &stream[0], chosen_trace)
+        .unwrap_or_else(|e| fail(&format!("traced predict failed: {e}")));
+    let engine = router
+        .resolve("")
+        .unwrap_or_else(|e| fail(&format!("resolve failed: {e}")));
+    let doomed = engine
+        .submit_with_deadline(stream[0].clone(), Some(Duration::ZERO))
+        .unwrap_or_else(|e| fail(&format!("doomed submit failed: {e}")));
+    match doomed.wait_timeout(PATIENT) {
+        Err(ServeError::DeadlineExceeded) => {}
+        other => fail(&format!("zero-deadline request must shed, got {other:?}")),
+    }
+    let dump = client
+        .trace_dump()
+        .unwrap_or_else(|e| fail(&format!("trace dump failed: {e}")));
+    let chosen_hex = format!("{chosen_trace:016x}");
+    let mut trace_records = 0u64;
+    let mut trace_monotonic = true;
+    let mut chosen_seen = false;
+    let mut anomaly_causes_ok = false;
+    for line in dump.lines() {
+        let record = Json::parse(line)
+            .unwrap_or_else(|e| fail(&format!("trace dump line is not JSON: {e}\n{line}")));
+        trace_records += 1;
+        if record.get("trace_id").and_then(|t| t.as_str()) == Some(chosen_hex.as_str()) {
+            chosen_seen = true;
+        }
+        let stages = record.get("stages");
+        let mut last = 0u64;
+        for stage in [
+            "accepted",
+            "admitted",
+            "enqueued",
+            "batch_sealed",
+            "infer_start",
+            "infer_end",
+            "reply_written",
+        ] {
+            if let Some(at) = stages.and_then(|s| s.get(stage)).and_then(|s| s.as_u64()) {
+                if at < last {
+                    trace_monotonic = false;
+                }
+                last = at;
+            }
+        }
+        if record.get("outcome").and_then(|o| o.as_str()) == Some("shed_deadline") {
+            let cause = record
+                .get("cause")
+                .and_then(|c| c.as_str())
+                .unwrap_or_default();
+            if cause.contains("deadline exceeded") {
+                anomaly_causes_ok = true;
+            }
+        }
+    }
+    if !chosen_seen {
+        fail(&format!(
+            "trace id {chosen_hex} missing from the dump:\n{dump}"
+        ));
+    }
+    if !trace_monotonic {
+        fail(&format!("stage stamps went backwards in the dump:\n{dump}"));
+    }
+    if !anomaly_causes_ok {
+        fail(&format!(
+            "shed anomaly cause missing from the dump:\n{dump}"
+        ));
+    }
+    deepmap_obs::info!(
+        "trace: {trace_records} records pulled, id {chosen_hex} adopted, stamps monotone, shed cause recorded"
+    );
     drop(client);
     deepmap_obs::info!(
         "healthy: {} round-trips, p50 {:.3} ms, p99 {:.3} ms, {:.0} req/s",
@@ -419,6 +520,15 @@ fn main() {
                     "conn_panics".into(),
                     Json::Num(main_metrics.conn_panics as f64),
                 ),
+            ]),
+        ),
+        (
+            "trace".into(),
+            Json::Obj(vec![
+                ("records".into(), Json::Num(trace_records as f64)),
+                ("chosen_id_seen".into(), Json::Bool(chosen_seen)),
+                ("trace_monotonic".into(), Json::Bool(trace_monotonic)),
+                ("anomaly_causes_ok".into(), Json::Bool(anomaly_causes_ok)),
             ]),
         ),
         ("torture_survived".into(), Json::Bool(torture_survived)),

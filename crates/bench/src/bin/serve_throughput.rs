@@ -261,6 +261,7 @@ fn main() {
             queue_capacity: (2 * level).max(8),
             max_batch: 8,
             max_wait: Duration::from_millis(2),
+            ..ServerConfig::default()
         };
         let unbatched_cfg = ServerConfig {
             max_batch: 1,

@@ -42,7 +42,13 @@ pub fn finish_run(name: &str) -> Option<PathBuf> {
             ])
         })
         .collect();
-    let trace = deepmap_obs::flush_trace(name);
+    let trace = match deepmap_obs::flush_trace(name) {
+        Ok(trace) => trace,
+        Err(e) => {
+            deepmap_obs::warn!("stage trace not written: {e}");
+            None
+        }
+    };
     let doc = Json::Obj(vec![
         ("experiment".to_string(), Json::Str(name.to_string())),
         ("recorded".to_string(), Json::Bool(true)),

@@ -16,9 +16,9 @@
 //! `router_bench` benches.
 
 use crate::protocol::{
-    decode_error_body, decode_model_list, encode_batch_request, encode_frame_v, encode_named_body,
-    read_frame, ErrorCode, FrameType, WireError, WireModelInfo, DEFAULT_MAX_FRAME, MAX_MODEL_NAME,
-    WIRE_V1, WIRE_VERSION,
+    append_trace_trailer, decode_error_body, decode_model_list, encode_batch_request,
+    encode_frame_v, encode_named_body, read_frame, ErrorCode, FrameType, WireError, WireModelInfo,
+    DEFAULT_MAX_FRAME, MAX_MODEL_NAME, WIRE_V1, WIRE_VERSION,
 };
 use deepmap_graph::Graph;
 use deepmap_serve::codec::{decode_prediction, encode_graph, Reader};
@@ -232,6 +232,28 @@ impl NetClient {
         decode_prediction(&body).map_err(|e| ClientError::Wire(WireError::BadBody(e.to_string())))
     }
 
+    /// Classifies one graph on the named model, propagating a
+    /// caller-chosen trace id in a `TR01` trailer so the server's flight
+    /// recorder attributes the request to the caller's distributed trace.
+    /// A zero `trace_id` asks the server to mint one. `DMW2` connections
+    /// only — the trailer is part of the v2 contract.
+    pub fn predict_traced(
+        &mut self,
+        model: &str,
+        graph: &Graph,
+        trace_id: u64,
+    ) -> Result<Prediction, ClientError> {
+        if self.wire_version == WIRE_V1 {
+            return Err(ClientError::DialectMismatch("predict_traced".to_string()));
+        }
+        let mut payload = encode_graph(graph);
+        append_trace_trailer(&mut payload, trace_id);
+        let body = self.named("predict_traced", model, &payload)?;
+        let reply = self.round_trip(FrameType::Predict, &body)?;
+        let body = Self::expect(reply, FrameType::PredictReply)?;
+        decode_prediction(&body).map_err(|e| ClientError::Wire(WireError::BadBody(e.to_string())))
+    }
+
     /// Classifies a batch in one frame on the default model. Per-item
     /// failures (admission rejections, deadlines) come back per item; a
     /// frame-level failure (bad framing, busy, draining) fails the whole
@@ -352,6 +374,26 @@ impl NetClient {
             .try_into()
             .map_err(|_| ClientError::Wire(WireError::BadBody("reload reply length".into())))?;
         Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Pulls the flight recorder of every resident model as JSONL — one
+    /// completed or failed request per line, with its trace id, outcome,
+    /// cause, and per-stage timestamps (admin frame; the server must have
+    /// been started with `allow_admin`, else [`ErrorCode::AdminDisabled`]).
+    pub fn trace_dump(&mut self) -> Result<String, ClientError> {
+        self.trace_dump_of("")
+    }
+
+    /// [`trace_dump`](NetClient::trace_dump) scoped to one model (the
+    /// empty name dumps the whole tenancy). `DMW2` connections only.
+    pub fn trace_dump_of(&mut self, model: &str) -> Result<String, ClientError> {
+        if self.wire_version == WIRE_V1 {
+            return Err(ClientError::DialectMismatch("trace_dump".to_string()));
+        }
+        let body = self.named("trace_dump", model, &[])?;
+        let reply = self.round_trip(FrameType::TraceDump, &body)?;
+        let body = Self::expect(reply, FrameType::TraceDumpReply)?;
+        Ok(String::from_utf8_lossy(&body).into_owned())
     }
 
     /// Asks the server to drain gracefully. The server acknowledges and

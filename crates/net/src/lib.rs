@@ -28,6 +28,16 @@
 //!   `DMW1` mode, [`NetClient::connect_v1`]) used by the integration
 //!   tests, the protocol-torture suite, and the benches.
 //!
+//! PR 8 threads request tracing through the edge: predict payloads may
+//! carry an optional `TR01` trace trailer
+//! ([`protocol::append_trace_trailer`]) adopting a caller-chosen trace
+//! id, every request is stamped `accepted` at frame parse and
+//! `reply_written` after the reply write, and the admin-gated
+//! [`FrameType::TraceDump`] frame ([`NetClient::trace_dump`]) pulls each
+//! model's flight recorder as JSONL over the wire. Clients that never
+//! append a trailer send byte-identical frames and hit the exact same
+//! decode path as before.
+//!
 //! The engine's fast-fail taxonomy crosses the wire intact: admission
 //! rejections, queue-full, breaker-open, deadline, and worker-panic
 //! failures each map to their own [`ErrorCode`], so a remote client can
@@ -43,7 +53,8 @@ pub mod server;
 
 pub use client::{ClientError, NetClient, RemoteHealth, ServerReject};
 pub use protocol::{
-    ErrorCode, FrameType, WireError, WireModelInfo, DEFAULT_MAX_FRAME, MAX_MODEL_NAME, WIRE_V1,
+    append_trace_trailer, split_trace_trailer, ErrorCode, FrameType, WireError, WireModelInfo,
+    DEFAULT_MAX_FRAME, MAX_MODEL_NAME, TRACE_TRAILER_LEN, TRACE_TRAILER_MAGIC, WIRE_V1,
     WIRE_VERSION,
 };
 pub use server::{NetConfig, NetMetricsSnapshot, NetServer, NetStats, DEFAULT_MODEL_NAME};

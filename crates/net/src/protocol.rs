@@ -56,7 +56,7 @@ pub const DEFAULT_MAX_FRAME: u32 = 8 * 1024 * 1024;
 /// registration limit. Checked before the name is even sliced out.
 pub const MAX_MODEL_NAME: usize = 128;
 
-/// Every frame type the protocol defines. Requests are `0x01..=0x07`,
+/// Every frame type the protocol defines. Requests are `0x01..=0x08`,
 /// replies have the high bit set; `0xEE` is the error reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -78,6 +78,9 @@ pub enum FrameType {
     /// Hot-reload one model (body: `name | DMB1 bundle image`;
     /// admin-gated, v2 only).
     Reload = 0x07,
+    /// Pull the flight recorder (v2 body: `name` — empty name dumps the
+    /// whole tenancy; admin-gated, v2 only).
+    TraceDump = 0x08,
     /// Reply to [`FrameType::Predict`] (body: encoded prediction).
     PredictReply = 0x81,
     /// Reply to [`FrameType::PredictBatch`] (body: per-item tagged results).
@@ -92,6 +95,9 @@ pub enum FrameType {
     ListModelsReply = 0x86,
     /// Reply to [`FrameType::Reload`] (body: `u64 new version`).
     ReloadReply = 0x87,
+    /// Reply to [`FrameType::TraceDump`] (body: JSONL request records,
+    /// utf-8, one per line).
+    TraceDumpReply = 0x88,
     /// Error reply to any request (body: `u16 code | utf-8 message`).
     Error = 0xEE,
 }
@@ -107,6 +113,7 @@ impl FrameType {
             0x05 => Some(FrameType::Drain),
             0x06 => Some(FrameType::ListModels),
             0x07 => Some(FrameType::Reload),
+            0x08 => Some(FrameType::TraceDump),
             0x81 => Some(FrameType::PredictReply),
             0x82 => Some(FrameType::PredictBatchReply),
             0x83 => Some(FrameType::HealthReply),
@@ -114,6 +121,7 @@ impl FrameType {
             0x85 => Some(FrameType::DrainReply),
             0x86 => Some(FrameType::ListModelsReply),
             0x87 => Some(FrameType::ReloadReply),
+            0x88 => Some(FrameType::TraceDumpReply),
             0xEE => Some(FrameType::Error),
             _ => None,
         }
@@ -439,6 +447,36 @@ pub fn split_named_body(body: &[u8]) -> Result<(&str, &[u8]), WireError> {
     Ok((name, &body[2 + name_len..]))
 }
 
+/// Magic closing a trace trailer: the last four payload bytes when a
+/// client attached a trace id to a predict payload.
+pub const TRACE_TRAILER_MAGIC: [u8; 4] = *b"TR01";
+
+/// Total trailer length: 8-byte little-endian trace id + 4-byte magic.
+pub const TRACE_TRAILER_LEN: usize = 12;
+
+/// Appends a trace trailer to a version-2 predict payload, letting the
+/// client choose the request's trace id (correlating server-side records
+/// with its own). Backward compatible by construction: the graph codec
+/// rejects trailing bytes, so the server tries a plain decode first and
+/// only strips a trailer (and retries) when the decode failed *and* the
+/// tail carries [`TRACE_TRAILER_MAGIC`] — payloads from trailer-unaware
+/// clients are processed byte-for-byte as before.
+pub fn append_trace_trailer(payload: &mut Vec<u8>, trace_id: u64) {
+    payload.extend_from_slice(&trace_id.to_le_bytes());
+    payload.extend_from_slice(&TRACE_TRAILER_MAGIC);
+}
+
+/// Splits a trace trailer off a payload, if one is present: returns the
+/// inner payload and the client's trace id.
+pub fn split_trace_trailer(payload: &[u8]) -> Option<(&[u8], u64)> {
+    if payload.len() < TRACE_TRAILER_LEN || payload[payload.len() - 4..] != TRACE_TRAILER_MAGIC {
+        return None;
+    }
+    let split = payload.len() - TRACE_TRAILER_LEN;
+    let id_bytes = payload[split..split + 8].try_into().expect("8 bytes");
+    Some((&payload[..split], u64::from_le_bytes(id_bytes)))
+}
+
 /// One model's row in a [`FrameType::ListModelsReply`] body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireModelInfo {
@@ -652,6 +690,7 @@ mod tests {
             FrameType::Drain,
             FrameType::ListModels,
             FrameType::Reload,
+            FrameType::TraceDump,
             FrameType::PredictReply,
             FrameType::PredictBatchReply,
             FrameType::HealthReply,
@@ -659,11 +698,25 @@ mod tests {
             FrameType::DrainReply,
             FrameType::ListModelsReply,
             FrameType::ReloadReply,
+            FrameType::TraceDumpReply,
             FrameType::Error,
         ] {
             assert_eq!(FrameType::from_u8(t as u8), Some(t));
         }
         assert_eq!(FrameType::from_u8(0x66), None, "poison pill stays unknown");
+    }
+
+    #[test]
+    fn trace_trailer_round_trips_and_rejects_short_or_unmagiced() {
+        let mut payload = b"graph bytes".to_vec();
+        append_trace_trailer(&mut payload, 0x0123_4567_89AB_CDEF);
+        let (inner, id) = split_trace_trailer(&payload).expect("trailer present");
+        assert_eq!(inner, b"graph bytes");
+        assert_eq!(id, 0x0123_4567_89AB_CDEF);
+        // No magic: not a trailer.
+        assert!(split_trace_trailer(b"graph bytes").is_none());
+        // Magic but too short to hold an id: not a trailer.
+        assert!(split_trace_trailer(b"TR01").is_none());
     }
 
     #[test]

@@ -12,10 +12,18 @@
 //! version-2 frames carry a model name and are routed to that model's
 //! replica pool, version-1 frames (and v2 frames with the empty name) go
 //! to the router's default model, and admin frames
-//! ([`FrameType::ListModels`], [`FrameType::Reload`]) manage the registry
-//! over the wire when [`NetConfig::allow_admin`] is set. Replies mirror
-//! the request's wire dialect, so a `DMW1` client only ever reads `DMW1`
-//! frames back.
+//! ([`FrameType::ListModels`], [`FrameType::Reload`],
+//! [`FrameType::TraceDump`]) manage the registry and pull the flight
+//! recorder over the wire when [`NetConfig::allow_admin`] is set. Replies
+//! mirror the request's wire dialect, so a `DMW1` client only ever reads
+//! `DMW1` frames back.
+//!
+//! Since PR 8 the edge also participates in request tracing: every
+//! predict frame is stamped `accepted` the moment its header is parsed,
+//! a client-supplied `TR01` trace trailer (see
+//! [`crate::protocol::append_trace_trailer`]) is adopted as the request's
+//! trace id, and the reply write stamps `reply_written` into the engine's
+//! flight recorder, closing the end-to-end latency ledger.
 //!
 //! The edge is hardened the same way PR 5 hardened the engine:
 //!
@@ -53,13 +61,17 @@
 //! model's `serve.*` instruments labelled `model="<name>"`.
 
 use crate::protocol::{
-    encode_error_body, encode_model_list, parse_header, split_named_body, ErrorCode, FrameHeader,
-    FrameType, WireError, WireModelInfo, DEFAULT_MAX_FRAME, HEADER_LEN, WIRE_V1, WIRE_VERSION,
+    encode_error_body, encode_model_list, parse_header, split_named_body, split_trace_trailer,
+    ErrorCode, FrameHeader, FrameType, WireError, WireModelInfo, DEFAULT_MAX_FRAME, HEADER_LEN,
+    WIRE_V1, WIRE_VERSION,
 };
-use deepmap_obs::{Counter, Gauge};
+use deepmap_graph::Graph;
+use deepmap_obs::{now_micros, Counter, Gauge};
 use deepmap_router::{ModelConfig, ModelRouter, RouterConfig, RouterError, RouterStats};
 use deepmap_serve::codec::{decode_graph, encode_prediction};
-use deepmap_serve::{Health, InferenceServer, ModelBundle, Prediction, ServeError};
+use deepmap_serve::{
+    Health, InferenceServer, ModelBundle, Prediction, RequestCtx, ServeError, Stage,
+};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -182,11 +194,16 @@ impl NetMetrics {
             idle_closed: registry.counter("serve.conn_idle_closed"),
             timeouts: registry.counter("serve.conn_timeouts"),
             panics: registry.counter("serve.conn_panics"),
-            frames_in: registry.counter("serve.conn_frames_in"),
-            frames_out: registry.counter("serve.conn_frames_out"),
+            // Ingress and egress instruments carry the trace-stage name of
+            // the boundary they observe, so one Prometheus query can join
+            // the edge counters with the engine's stage histograms.
+            frames_in: registry.counter_labeled("serve.conn_frames_in", &[("stage", "accepted")]),
+            frames_out: registry
+                .counter_labeled("serve.conn_frames_out", &[("stage", "reply_written")]),
             frame_errors: registry.counter("serve.conn_frame_errors"),
-            bytes_in: registry.counter("serve.conn_bytes_in"),
-            bytes_out: registry.counter("serve.conn_bytes_out"),
+            bytes_in: registry.counter_labeled("serve.conn_bytes_in", &[("stage", "accepted")]),
+            bytes_out: registry
+                .counter_labeled("serve.conn_bytes_out", &[("stage", "reply_written")]),
             // The edge's slice of the backpressure counter; each engine
             // also counts its own admission-layer rejections.
             rejected_busy: registry.counter("serve.rejected_busy"),
@@ -667,6 +684,10 @@ fn serve_frame(
     body: &[u8],
 ) -> std::io::Result<bool> {
     let v = header.version;
+    // The accepted-stage timestamp for any predict work in this frame:
+    // taken once, before decode or routing, so queueing ahead of admission
+    // is attributed to the edge and not hidden.
+    let accepted_us = now_micros();
     // A well-formed frame with a bad payload — over-long name, garbage
     // utf-8, truncated body — is answered and the connection lives on; the
     // stream is still frame-aligned.
@@ -689,15 +710,24 @@ fn serve_frame(
                     return Ok(true);
                 }
             };
-            let reply = predict_one(shared, model, payload);
+            let reply = predict_one(shared, model, payload, accepted_us);
             match reply {
-                Ok(prediction) => write_counted(
-                    shared,
-                    stream,
-                    v,
-                    FrameType::PredictReply,
-                    &encode_prediction(&prediction),
-                )?,
+                Ok((prediction, trace)) => {
+                    write_counted(
+                        shared,
+                        stream,
+                        v,
+                        FrameType::PredictReply,
+                        &encode_prediction(&prediction),
+                    )?;
+                    // Stamped after the write returns so the recorder's
+                    // last stage covers serialization and the socket.
+                    if let Some((engine, trace_id)) = trace {
+                        let _ = engine
+                            .flight_recorder()
+                            .stamp_reply_written(trace_id, now_micros());
+                    }
+                }
                 Err((code, message)) => {
                     // A bad payload is a protocol violation; engine-side
                     // failures (busy, rejected, breaker) are not.
@@ -723,10 +753,18 @@ fn serve_frame(
                     return Ok(true);
                 }
             };
-            let reply = predict_batch(shared, model, payload);
+            let reply = predict_batch(shared, model, payload, accepted_us);
             match reply {
-                Ok(items) => {
-                    write_counted(shared, stream, v, FrameType::PredictBatchReply, &items)?
+                Ok((items, trace)) => {
+                    write_counted(shared, stream, v, FrameType::PredictBatchReply, &items)?;
+                    if let Some((engine, trace_ids)) = trace {
+                        let done_us = now_micros();
+                        for trace_id in trace_ids {
+                            let _ = engine
+                                .flight_recorder()
+                                .stamp_reply_written(trace_id, done_us);
+                        }
+                    }
                 }
                 Err((code, message)) => {
                     if code == ErrorCode::BadBody {
@@ -821,7 +859,7 @@ fn serve_frame(
             write_counted(shared, stream, v, FrameType::DrainReply, &[])?;
             Ok(false)
         }
-        FrameType::ListModels | FrameType::Reload if v == WIRE_V1 => {
+        FrameType::ListModels | FrameType::Reload | FrameType::TraceDump if v == WIRE_V1 => {
             write_counted(
                 shared,
                 stream,
@@ -834,7 +872,9 @@ fn serve_frame(
             )?;
             Ok(true)
         }
-        FrameType::ListModels | FrameType::Reload if !shared.config.allow_admin => {
+        FrameType::ListModels | FrameType::Reload | FrameType::TraceDump
+            if !shared.config.allow_admin =>
+        {
             write_counted(
                 shared,
                 stream,
@@ -917,6 +957,42 @@ fn serve_frame(
             }
             Ok(true)
         }
+        FrameType::TraceDump => {
+            let (model, _) = match split_named_body(body) {
+                Ok(split) => split,
+                Err(e) => {
+                    answer_wire_err(shared, stream, &e)?;
+                    return Ok(true);
+                }
+            };
+            // The empty name dumps every resident model's recorder; a
+            // named request scopes to one model.
+            let dump = if model.is_empty() {
+                Ok(shared.router.trace_dump())
+            } else {
+                shared.router.trace_dump_of(model)
+            };
+            match dump {
+                Ok(text) => write_counted(
+                    shared,
+                    stream,
+                    v,
+                    FrameType::TraceDumpReply,
+                    text.as_bytes(),
+                )?,
+                Err(e) => {
+                    let (code, message) = router_error_reply(&e);
+                    write_counted(
+                        shared,
+                        stream,
+                        v,
+                        FrameType::Error,
+                        &encode_error_body(code, &message),
+                    )?;
+                }
+            }
+            Ok(true)
+        }
         FrameType::PredictReply
         | FrameType::PredictBatchReply
         | FrameType::HealthReply
@@ -924,6 +1000,7 @@ fn serve_frame(
         | FrameType::DrainReply
         | FrameType::ListModelsReply
         | FrameType::ReloadReply
+        | FrameType::TraceDumpReply
         | FrameType::Error => {
             // Reply-direction frames are never valid requests; answer and
             // keep the (still frame-aligned) connection.
@@ -999,12 +1076,51 @@ fn router_error_reply(e: &RouterError) -> (ErrorCode, String) {
     }
 }
 
+/// Decodes a graph payload that may carry a `TR01` trace trailer.
+///
+/// The graph codec rejects trailing bytes, so a plain decode succeeding
+/// proves there is no trailer — legacy payloads never pay the second
+/// parse and stay byte-for-byte on their original path. Only when the
+/// plain decode fails *and* the tail carries the trailer magic is the
+/// trailer stripped and the inner payload retried.
+fn decode_traced_graph(payload: &[u8]) -> Result<(Graph, Option<u64>), ServeError> {
+    match decode_graph(payload) {
+        Ok(graph) => Ok((graph, None)),
+        Err(first_err) => match split_trace_trailer(payload) {
+            Some((inner, trace_id)) => Ok((decode_graph(inner)?, Some(trace_id))),
+            None => Err(first_err),
+        },
+    }
+}
+
+/// Builds the request context for a predict item: adopt the wire-supplied
+/// trace id when a trailer carried one, mint otherwise, and stamp the
+/// edge's accepted time. The engine downgrades the context to disabled
+/// when tracing is off, so the edge never needs to check.
+fn edge_ctx(wire_trace: Option<u64>, accepted_us: u64) -> RequestCtx {
+    let mut ctx = match wire_trace {
+        Some(id) => RequestCtx::adopt(id),
+        None => RequestCtx::mint(),
+    };
+    ctx.stamp_at(Stage::Accepted, accepted_us);
+    ctx
+}
+
+/// Handle for stamping `reply_written` once the reply bytes hit the
+/// socket: the engine whose recorder holds the record(s), plus the trace
+/// id(s) to stamp. Absent when the engine runs untraced.
+type ReplyStamp = (Arc<InferenceServer>, u64);
+/// Batch-frame variant of [`ReplyStamp`]: all traced ids in the batch.
+type BatchReplyStamp = (Arc<InferenceServer>, Vec<u64>);
+
 fn predict_one(
     shared: &Shared,
     model: &str,
     payload: &[u8],
-) -> Result<Prediction, (ErrorCode, String)> {
-    let graph = decode_graph(payload).map_err(|e| (ErrorCode::BadBody, e.to_string()))?;
+    accepted_us: u64,
+) -> Result<(Prediction, Option<ReplyStamp>), (ErrorCode, String)> {
+    let (graph, wire_trace) =
+        decode_traced_graph(payload).map_err(|e| (ErrorCode::BadBody, e.to_string()))?;
     // Resolve before submit: the Arc clone keeps this model's pool alive
     // for the whole request even if a reload swaps the registry entry.
     let engine = shared
@@ -1012,14 +1128,21 @@ fn predict_one(
         .resolve(model)
         .map_err(|e| router_error_reply(&e))?;
     let _slot = InFlight::reserve(shared, 1).map_err(|e| serve_error_reply(&e))?;
-    let handle = engine.submit(graph).map_err(|e| serve_error_reply(&e))?;
+    let handle = engine
+        .submit_traced(graph, None, edge_ctx(wire_trace, accepted_us))
+        .map_err(|e| serve_error_reply(&e))?;
+    // 0 means the engine runs with tracing disabled: nothing to stamp.
+    let trace_id = handle.trace_id();
     let served = handle
         .wait_timeout(shared.config.reply_deadline)
         .map_err(|e| serve_error_reply(&e))?;
-    Ok(Prediction {
-        class: served.class,
-        scores: served.scores,
-    })
+    Ok((
+        Prediction {
+            class: served.class,
+            scores: served.scores,
+        },
+        (trace_id != 0).then_some((engine, trace_id)),
+    ))
 }
 
 /// Serves a batch frame: decodes every graph first (one bad graph fails
@@ -1030,13 +1153,16 @@ fn predict_batch(
     shared: &Shared,
     model: &str,
     payload: &[u8],
-) -> Result<Vec<u8>, (ErrorCode, String)> {
+    accepted_us: u64,
+) -> Result<(Vec<u8>, Option<BatchReplyStamp>), (ErrorCode, String)> {
     let blobs = crate::protocol::decode_batch_request(payload)
         .map_err(|e| (ErrorCode::BadBody, e.to_string()))?;
     let mut graphs = Vec::with_capacity(blobs.len());
     for (i, blob) in blobs.iter().enumerate() {
+        // Each item may carry its own trace trailer; untraced items mint.
         graphs.push(
-            decode_graph(blob).map_err(|e| (ErrorCode::BadBody, format!("batch item {i}: {e}")))?,
+            decode_traced_graph(blob)
+                .map_err(|e| (ErrorCode::BadBody, format!("batch item {i}: {e}")))?,
         );
     }
     let engine = shared
@@ -1044,9 +1170,18 @@ fn predict_batch(
         .resolve(model)
         .map_err(|e| router_error_reply(&e))?;
     let _slots = InFlight::reserve(shared, graphs.len()).map_err(|e| serve_error_reply(&e))?;
+    let mut trace_ids = Vec::new();
     let outcomes: Vec<Result<_, ServeError>> = graphs
         .into_iter()
-        .map(|graph| engine.submit(graph))
+        .map(|(graph, wire_trace)| {
+            let submitted = engine.submit_traced(graph, None, edge_ctx(wire_trace, accepted_us));
+            if let Ok(handle) = &submitted {
+                if handle.trace_id() != 0 {
+                    trace_ids.push(handle.trace_id());
+                }
+            }
+            submitted
+        })
         .collect();
     let mut reply = Vec::new();
     reply.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
@@ -1071,7 +1206,10 @@ fn predict_batch(
             }
         }
     }
-    Ok(reply)
+    Ok((
+        reply,
+        (!trace_ids.is_empty()).then_some((engine, trace_ids)),
+    ))
 }
 
 fn is_timeout(e: &std::io::Error) -> bool {

@@ -209,6 +209,107 @@ fn admin_frames_are_gated_by_config() {
 }
 
 #[test]
+fn trace_dump_pulls_the_flight_recorder_over_the_wire() {
+    let config = NetConfig {
+        allow_admin: true,
+        ..NetConfig::default()
+    };
+    let server = two_model_server(config);
+    let graphs = request_graphs(4);
+    let mut client = connect(&server);
+
+    // A caller-chosen trace id rides the TR01 trailer and is adopted
+    // verbatim; the other requests mint server-side ids.
+    let chosen = 0xDEAD_BEEF_CAFE_F00D_u64;
+    client.predict_traced("alpha", &graphs[0], chosen).unwrap();
+    for graph in &graphs[1..] {
+        client.predict_as("beta", graph).unwrap();
+    }
+
+    let dump = client.trace_dump().unwrap();
+    let chosen_hex = format!("{chosen:016x}");
+    assert!(dump.contains(&chosen_hex), "{dump}");
+    // The registration probes also leave records; only wire-served
+    // requests carry the edge's reply_written stamp.
+    let mut wire_served = 0;
+    for line in dump.lines() {
+        let record = deepmap_obs::json::Json::parse(line).expect("every line parses");
+        let model = record.get("model").and_then(|m| m.as_str()).unwrap();
+        assert!(model == "alpha" || model == "beta", "{line}");
+        assert_eq!(
+            record.get("outcome").and_then(|o| o.as_str()),
+            Some("completed"),
+            "{line}"
+        );
+        let stages = record.get("stages").unwrap();
+        if stages.get("reply_written").is_none() {
+            continue; // a registration probe, not a wire request
+        }
+        wire_served += 1;
+        // Stage stamps are monotone in taxonomy order, and the edge
+        // stamped both ends of the request's life.
+        let mut last = 0;
+        for stage in ["accepted", "enqueued", "infer_end", "reply_written"] {
+            let at = stages
+                .get(stage)
+                .and_then(|s| s.as_u64())
+                .unwrap_or_else(|| panic!("missing stage {stage} in {line}"));
+            assert!(at >= last, "stage {stage} went backwards in {line}");
+            last = at;
+        }
+    }
+    assert_eq!(wire_served, graphs.len(), "one record per request:\n{dump}");
+
+    // The scoped dump carries only the named model's recorder.
+    let scoped = client.trace_dump_of("beta").unwrap();
+    assert!(!scoped.contains(&chosen_hex), "{scoped}");
+    for line in scoped.lines() {
+        let record = deepmap_obs::json::Json::parse(line).unwrap();
+        assert_eq!(record.get("model").and_then(|m| m.as_str()), Some("beta"));
+    }
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn trace_dump_is_admin_gated_and_v2_only() {
+    // Admin off: the frame is refused, typed, without dropping the
+    // connection.
+    let server = two_model_server(NetConfig::default());
+    let mut client = connect(&server);
+    match client.trace_dump() {
+        Err(ClientError::Server(reject)) => assert_eq!(reject.code, ErrorCode::AdminDisabled),
+        other => panic!("expected AdminDisabled, got {other:?}"),
+    }
+    assert_eq!(client.health().unwrap(), RemoteHealth::Ready);
+
+    // The v1 dialect cannot express the call; the client refuses locally
+    // and a hand-rolled v1 frame is refused by the server.
+    let mut legacy = NetClient::connect_v1(server.local_addr()).unwrap();
+    legacy.set_read_timeout(PATIENT).unwrap();
+    match legacy.trace_dump() {
+        Err(ClientError::DialectMismatch(_)) => {}
+        other => panic!("expected DialectMismatch, got {other:?}"),
+    }
+    legacy
+        .send_raw(&deepmap_net::protocol::encode_frame_v(
+            1,
+            FrameType::TraceDump,
+            &[],
+        ))
+        .unwrap();
+    let (frame_type, body) = legacy.read_reply().unwrap();
+    assert_eq!(frame_type, FrameType::Error);
+    let (code, _) = deepmap_net::protocol::decode_error_body(&body).unwrap();
+    assert_eq!(code, ErrorCode::UnsupportedVersion);
+
+    drop(client);
+    drop(legacy);
+    server.shutdown();
+}
+
+#[test]
 fn hot_reload_over_the_wire_swaps_the_model() {
     let config = NetConfig {
         allow_admin: true,

@@ -29,14 +29,21 @@ pub mod json;
 mod level;
 pub mod metrics;
 mod registry;
+pub mod slo;
 mod span;
 pub mod time;
+pub mod trace;
 
 pub use level::TraceLevel;
 pub use metrics::{Bucket, Counter, Gauge, Histogram};
 pub use registry::{EventLevel, EventRecord, Registry, StageSummary};
+pub use slo::{SloConfig, SloTracker};
 pub use span::{FieldValue, SpanGuard, SpanRecord};
 pub use time::Stopwatch;
+pub use trace::{
+    format_trace_id, mint_trace_id, now_micros, FlightRecorder, RequestCtx, RequestRecord, Stage,
+    TraceOutcome,
+};
 
 use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
@@ -128,20 +135,47 @@ pub fn trace_path(name: &str) -> PathBuf {
     }
 }
 
+/// A trace flush that could not reach the filesystem: which path failed
+/// and the underlying I/O error, so the caller can log it properly instead
+/// of losing the failure to stderr.
+#[derive(Debug)]
+pub struct TraceFlushError {
+    /// The path the trace was headed for.
+    pub path: PathBuf,
+    /// The I/O failure.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for TraceFlushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "could not write trace {}: {}",
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for TraceFlushError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Writes the global registry's JSONL trace for run `name` (see
-/// [`trace_path`]) and returns the path written. Returns `None` without
-/// touching the filesystem when spans are not enabled.
-pub fn flush_trace(name: &str) -> Option<PathBuf> {
+/// [`trace_path`]) and returns the path written, creating the `results/`
+/// (or other parent) directory if it is missing. `Ok(None)` means spans
+/// are not enabled and the filesystem was never touched; a write failure
+/// comes back as a typed [`TraceFlushError`] the caller can log.
+pub fn flush_trace(name: &str) -> Result<Option<PathBuf>, TraceFlushError> {
     if !global_level().spans_enabled() {
-        return None;
+        return Ok(None);
     }
     let path = trace_path(name);
     match global().write_trace(&path) {
-        Ok(()) => Some(path),
-        Err(err) => {
-            eprintln!("warning: could not write trace {}: {err}", path.display());
-            None
-        }
+        Ok(()) => Ok(Some(path)),
+        Err(source) => Err(TraceFlushError { path, source }),
     }
 }
 

@@ -82,6 +82,16 @@ pub struct Histogram {
     counts: Vec<AtomicU64>,
     /// Total of all observations, maintained with a CAS loop over bits.
     sum_bits: AtomicU64,
+    /// Per-bucket exemplars: the most recent traced observation to land in
+    /// each bucket, as `(trace_id, value_bits)`. A trace id of 0 means the
+    /// bucket has never seen a traced observation.
+    exemplars: Vec<Exemplar>,
+}
+
+#[derive(Debug, Default)]
+struct Exemplar {
+    trace_id: AtomicU64,
+    value_bits: AtomicU64,
 }
 
 /// One histogram bucket as reported by [`Histogram::buckets`].
@@ -91,6 +101,9 @@ pub struct Bucket {
     pub upper_bound: f64,
     /// Observations that landed in this bucket.
     pub count: u64,
+    /// The most recent traced observation in this bucket, as
+    /// `(trace_id, value)`, if any request ever carried a trace id here.
+    pub exemplar: Option<(u64, f64)>,
 }
 
 impl Histogram {
@@ -115,21 +128,40 @@ impl Histogram {
             bounds.push(1.0);
         }
         let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        let exemplars = (0..bounds.len() + 1).map(|_| Exemplar::default()).collect();
         Histogram {
             bounds,
             counts,
             sum_bits: AtomicU64::new(0f64.to_bits()),
+            exemplars,
         }
     }
 
     /// Records one observation.
     pub fn observe(&self, value: f64) {
+        self.observe_with_exemplar(value, 0);
+    }
+
+    /// Records one observation and, when `trace_id` is non-zero, remembers
+    /// it as the bucket's exemplar — so a rendered histogram can point at a
+    /// concrete recent request per latency band. The two stores are
+    /// independent relaxed atomics: a racing reader may pair a fresh id
+    /// with a stale value, both still from real observations in the bucket.
+    pub fn observe_with_exemplar(&self, value: f64, trace_id: u64) {
         let idx = self
             .bounds
             .iter()
             .position(|b| value <= *b)
             .unwrap_or(self.bounds.len());
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        if trace_id != 0 {
+            self.exemplars[idx]
+                .value_bits
+                .store(value.to_bits(), Ordering::Relaxed);
+            self.exemplars[idx]
+                .trace_id
+                .store(trace_id, Ordering::Relaxed);
+        }
         let mut current = self.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(current) + value).to_bits();
@@ -198,9 +230,18 @@ impl Histogram {
         self.counts
             .iter()
             .enumerate()
-            .map(|(idx, count)| Bucket {
-                upper_bound: self.bounds.get(idx).copied().unwrap_or(f64::INFINITY),
-                count: count.load(Ordering::Relaxed),
+            .map(|(idx, count)| {
+                let trace_id = self.exemplars[idx].trace_id.load(Ordering::Relaxed);
+                Bucket {
+                    upper_bound: self.bounds.get(idx).copied().unwrap_or(f64::INFINITY),
+                    count: count.load(Ordering::Relaxed),
+                    exemplar: (trace_id != 0).then(|| {
+                        (
+                            trace_id,
+                            f64::from_bits(self.exemplars[idx].value_bits.load(Ordering::Relaxed)),
+                        )
+                    }),
+                }
             })
             .collect()
     }

@@ -66,11 +66,19 @@ pub struct StageSummary {
 pub struct Registry {
     level: LevelCell,
     epoch: Instant,
-    counters: Mutex<Vec<(String, Arc<Counter>)>>,
-    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
-    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+    counters: Mutex<Vec<Slot<Counter>>>,
+    gauges: Mutex<Vec<Slot<Gauge>>>,
+    histograms: Mutex<Vec<Slot<Histogram>>>,
     spans: Mutex<Vec<SpanRecord>>,
     events: Mutex<Vec<EventRecord>>,
+}
+
+/// One registered instrument: its name, the labels it was registered with
+/// (e.g. `stage="batch_sealed"`), and the shared instrument itself.
+struct Slot<T> {
+    name: String,
+    labels: Vec<(String, String)>,
+    inst: Arc<T>,
 }
 
 impl Registry {
@@ -103,35 +111,66 @@ impl Registry {
 
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_labeled(name, &[])
+    }
+
+    /// [`counter`](Registry::counter) with instrument-level labels baked in
+    /// at registration (e.g. `stage="accepted"`). Lookup is by name alone;
+    /// the first registration's labels win.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let mut counters = self.counters.lock().expect("counter registry");
-        if let Some((_, c)) = counters.iter().find(|(n, _)| n == name) {
-            return Arc::clone(c);
+        if let Some(slot) = counters.iter().find(|s| s.name == name) {
+            return Arc::clone(&slot.inst);
         }
         let c = Arc::new(Counter::new());
-        counters.push((name.to_string(), Arc::clone(&c)));
+        counters.push(Slot {
+            name: name.to_string(),
+            labels: own_labels(labels),
+            inst: Arc::clone(&c),
+        });
         c
     }
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_labeled(name, &[])
+    }
+
+    /// [`gauge`](Registry::gauge) with instrument-level labels baked in at
+    /// registration. Lookup is by name alone.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let mut gauges = self.gauges.lock().expect("gauge registry");
-        if let Some((_, g)) = gauges.iter().find(|(n, _)| n == name) {
-            return Arc::clone(g);
+        if let Some(slot) = gauges.iter().find(|s| s.name == name) {
+            return Arc::clone(&slot.inst);
         }
         let g = Arc::new(Gauge::new());
-        gauges.push((name.to_string(), Arc::clone(&g)));
+        gauges.push(Slot {
+            name: name.to_string(),
+            labels: own_labels(labels),
+            inst: Arc::clone(&g),
+        });
         g
     }
 
     /// The histogram named `name`, created on first use with the default
     /// (duration-oriented) bounds.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_labeled(name, &[])
+    }
+
+    /// [`histogram`](Registry::histogram) with instrument-level labels baked
+    /// in at registration. Lookup is by name alone.
+    pub fn histogram_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
         let mut histograms = self.histograms.lock().expect("histogram registry");
-        if let Some((_, h)) = histograms.iter().find(|(n, _)| n == name) {
-            return Arc::clone(h);
+        if let Some(slot) = histograms.iter().find(|s| s.name == name) {
+            return Arc::clone(&slot.inst);
         }
         let h = Arc::new(Histogram::new());
-        histograms.push((name.to_string(), Arc::clone(&h)));
+        histograms.push(Slot {
+            name: name.to_string(),
+            labels: own_labels(labels),
+            inst: Arc::clone(&h),
+        });
         h
     }
 
@@ -260,34 +299,50 @@ impl Registry {
     /// `model="<name>"`). Histogram series merge the labels with their own
     /// `le` bucket label.
     pub fn render_prometheus_labeled(&self, labels: &[(&str, &str)]) -> String {
-        let joined = labels
-            .iter()
-            .map(|(k, v)| format!("{k}=\"{v}\""))
-            .collect::<Vec<_>>()
-            .join(",");
-        let plain = if joined.is_empty() {
-            String::new()
-        } else {
-            format!("{{{joined}}}")
+        // Call-time labels first (e.g. model="…"), then the labels baked in
+        // at instrument registration (e.g. stage="…"). Values are escaped
+        // so hostile-but-valid names cannot corrupt the exposition.
+        let join = |slot_labels: &[(String, String)]| -> String {
+            labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+                .chain(
+                    slot_labels
+                        .iter()
+                        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))),
+                )
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let braced = |joined: &str| -> String {
+            if joined.is_empty() {
+                String::new()
+            } else {
+                format!("{{{joined}}}")
+            }
         };
         let mut out = String::new();
-        for (name, counter) in self.counters.lock().expect("counter registry").iter() {
-            let name = metric_name(name);
+        for slot in self.counters.lock().expect("counter registry").iter() {
+            let name = metric_name(&slot.name);
+            let plain = braced(&join(&slot.labels));
             out.push_str(&format!("# TYPE {name} counter\n"));
-            out.push_str(&format!("{name}{plain} {}\n", counter.get()));
+            out.push_str(&format!("{name}{plain} {}\n", slot.inst.get()));
         }
-        for (name, gauge) in self.gauges.lock().expect("gauge registry").iter() {
-            let name = metric_name(name);
+        for slot in self.gauges.lock().expect("gauge registry").iter() {
+            let name = metric_name(&slot.name);
+            let plain = braced(&join(&slot.labels));
             out.push_str(&format!("# TYPE {name} gauge\n"));
-            out.push_str(&format!("{name}{plain} {}\n", gauge.get()));
+            out.push_str(&format!("{name}{plain} {}\n", slot.inst.get()));
             out.push_str(&format!("# TYPE {name}_peak gauge\n"));
-            out.push_str(&format!("{name}_peak{plain} {}\n", gauge.max()));
+            out.push_str(&format!("{name}_peak{plain} {}\n", slot.inst.max()));
         }
-        for (name, histogram) in self.histograms.lock().expect("histogram registry").iter() {
-            let name = metric_name(name);
+        for slot in self.histograms.lock().expect("histogram registry").iter() {
+            let name = metric_name(&slot.name);
+            let joined = join(&slot.labels);
+            let plain = braced(&joined);
             out.push_str(&format!("# TYPE {name} histogram\n"));
             let mut cumulative = 0u64;
-            for bucket in histogram.buckets() {
+            for bucket in slot.inst.buckets() {
                 cumulative += bucket.count;
                 let le = if bucket.upper_bound.is_finite() {
                     format!("{}", bucket.upper_bound)
@@ -299,10 +354,21 @@ impl Registry {
                 } else {
                     format!("{{{joined},le=\"{le}\"}}")
                 };
-                out.push_str(&format!("{name}_bucket{bucket_labels} {cumulative}\n"));
+                // OpenMetrics-style exemplar: the most recent traced
+                // observation in this bucket, pointing at a flight-recorder
+                // trace id.
+                let exemplar = match bucket.exemplar {
+                    Some((trace_id, value)) => {
+                        format!(" # {{trace_id=\"{trace_id:016x}\"}} {value}")
+                    }
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "{name}_bucket{bucket_labels} {cumulative}{exemplar}\n"
+                ));
             }
-            out.push_str(&format!("{name}_sum{plain} {}\n", histogram.sum()));
-            out.push_str(&format!("{name}_count{plain} {}\n", histogram.count()));
+            out.push_str(&format!("{name}_sum{plain} {}\n", slot.inst.sum()));
+            out.push_str(&format!("{name}_count{plain} {}\n", slot.inst.count()));
         }
         out
     }
@@ -356,6 +422,30 @@ impl std::fmt::Debug for Registry {
             .field("spans", &self.spans.lock().expect("span store").len())
             .finish()
     }
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Escapes a label value per the Prometheus exposition rules: backslash,
+/// double quote, and newline must be escaped so a hostile-but-valid model
+/// name (they can contain any byte the wire accepts) cannot break out of
+/// the quoted label or smuggle extra series into the scrape.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// `pipeline.alignment` → `deepmap_pipeline_alignment`; characters outside
@@ -414,6 +504,46 @@ mod tests {
         assert!(reg
             .render_prometheus()
             .contains("deepmap_serve_requests_completed 1"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new(TraceLevel::Summary);
+        reg.counter("serve.requests_completed").inc();
+        let text = reg.render_prometheus_labeled(&[("model", "a\\b\"c\nd")]);
+        assert!(
+            text.contains("deepmap_serve_requests_completed{model=\"a\\\\b\\\"c\\nd\"} 1"),
+            "hostile label values must be escaped: {text}"
+        );
+    }
+
+    #[test]
+    fn instrument_labels_render_and_merge_with_call_labels() {
+        let reg = Registry::new(TraceLevel::Summary);
+        reg.counter_labeled("serve.conn_frames_in", &[("stage", "accepted")])
+            .inc();
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("deepmap_serve_conn_frames_in{stage=\"accepted\"} 1"),
+            "{text}"
+        );
+        let labeled = reg.render_prometheus_labeled(&[("model", "mutag")]);
+        assert!(
+            labeled.contains("deepmap_serve_conn_frames_in{model=\"mutag\",stage=\"accepted\"} 1"),
+            "call-time labels must precede instrument labels: {labeled}"
+        );
+    }
+
+    #[test]
+    fn exemplars_render_openmetrics_style() {
+        let reg = Registry::new(TraceLevel::Summary);
+        let h = reg.histogram("serve.latency_seconds");
+        h.observe_with_exemplar(0.5e-6, 0xDEAD_BEEF);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("# {trace_id=\"00000000deadbeef\"}"),
+            "bucket exemplar must carry the trace id: {text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Per-model SLO tracking: a latency/error budget with fast and slow
+//! burn-rate windows, Google SRE style.
+//!
+//! Each served request is classified good (replied within the latency
+//! objective) or bad (slow, errored, shed, or lost to a panic). The
+//! tracker keeps per-second good/bad tallies over the slow window and
+//! derives two burn rates:
+//!
+//! ```text
+//! burn = bad_fraction_over_window / error_budget
+//! ```
+//!
+//! A burn rate of 1.0 means the budget is being spent exactly as fast as
+//! it accrues; the SLO is considered breached when **both** the fast and
+//! slow windows burn at ≥ 1.0 — the fast window reacts quickly, the slow
+//! window confirms it is not a blip. The serving engine feeds the breach
+//! signal into `health()` so `Degraded` can fire on SLO burn, not just
+//! breaker state.
+
+use crate::metrics::Gauge;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The objective and budget a [`SloTracker`] enforces.
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Replies slower than this count against the error budget.
+    pub latency_objective: Duration,
+    /// Tolerated bad fraction (e.g. 0.05 = 5% of requests may be bad).
+    pub error_budget: f64,
+    /// Short window for fast burn detection.
+    pub fast_window: Duration,
+    /// Long window that confirms sustained burn.
+    pub slow_window: Duration,
+}
+
+impl Default for SloConfig {
+    /// 250 ms objective, 5% budget, 10 s fast / 60 s slow windows.
+    fn default() -> SloConfig {
+        SloConfig {
+            latency_objective: Duration::from_millis(250),
+            error_budget: 0.05,
+            fast_window: Duration::from_secs(10),
+            slow_window: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One second's worth of good/bad tallies.
+#[derive(Debug, Clone, Copy)]
+struct SecondBucket {
+    second: u64,
+    good: u64,
+    bad: u64,
+}
+
+/// Tracks SLO burn over sliding windows and mirrors the rates into
+/// milli-unit gauges (`Gauge` is integral; 1000 = burn rate 1.0).
+pub struct SloTracker {
+    config: SloConfig,
+    epoch: Instant,
+    buckets: Mutex<VecDeque<SecondBucket>>,
+    fast_gauge: Option<Arc<Gauge>>,
+    slow_gauge: Option<Arc<Gauge>>,
+}
+
+impl SloTracker {
+    /// A tracker with no attached gauges.
+    pub fn new(config: SloConfig) -> SloTracker {
+        SloTracker {
+            config,
+            epoch: Instant::now(),
+            buckets: Mutex::new(VecDeque::new()),
+            fast_gauge: None,
+            slow_gauge: None,
+        }
+    }
+
+    /// Mirrors burn rates into the given gauges (milli-units) on every
+    /// observation.
+    pub fn with_gauges(mut self, fast: Arc<Gauge>, slow: Arc<Gauge>) -> SloTracker {
+        self.fast_gauge = Some(fast);
+        self.slow_gauge = Some(slow);
+        self
+    }
+
+    /// The configured objective and windows.
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    /// Classifies a successful reply by latency.
+    pub fn observe_latency(&self, latency: Duration) {
+        self.observe(latency <= self.config.latency_objective);
+    }
+
+    /// Records a failed request (shed, panic, dropped reply).
+    pub fn observe_error(&self) {
+        self.observe(false);
+    }
+
+    /// Records one request outcome.
+    pub fn observe(&self, good: bool) {
+        let second = self.epoch.elapsed().as_secs();
+        {
+            let mut buckets = lock_ok(&self.buckets);
+            match buckets.back_mut() {
+                Some(bucket) if bucket.second == second => {
+                    if good {
+                        bucket.good += 1;
+                    } else {
+                        bucket.bad += 1;
+                    }
+                }
+                _ => buckets.push_back(SecondBucket {
+                    second,
+                    good: good as u64,
+                    bad: !good as u64,
+                }),
+            }
+            let horizon = second.saturating_sub(self.config.slow_window.as_secs().max(1));
+            while buckets.front().is_some_and(|b| b.second < horizon) {
+                buckets.pop_front();
+            }
+        }
+        if self.fast_gauge.is_some() || self.slow_gauge.is_some() {
+            let (fast, slow) = self.burn_rates();
+            if let Some(gauge) = &self.fast_gauge {
+                gauge.set((fast * 1000.0).round() as i64);
+            }
+            if let Some(gauge) = &self.slow_gauge {
+                gauge.set((slow * 1000.0).round() as i64);
+            }
+        }
+    }
+
+    /// `(fast, slow)` burn rates right now. With no traffic in a window
+    /// its burn is 0.0 — silence does not spend budget.
+    pub fn burn_rates(&self) -> (f64, f64) {
+        let now = self.epoch.elapsed().as_secs();
+        let buckets = lock_ok(&self.buckets);
+        let rate = |window: Duration| -> f64 {
+            let horizon = now.saturating_sub(window.as_secs().max(1));
+            let (mut good, mut bad) = (0u64, 0u64);
+            for bucket in buckets.iter().filter(|b| b.second >= horizon) {
+                good += bucket.good;
+                bad += bucket.bad;
+            }
+            let total = good + bad;
+            if total == 0 || self.config.error_budget <= 0.0 {
+                return 0.0;
+            }
+            (bad as f64 / total as f64) / self.config.error_budget
+        };
+        (rate(self.config.fast_window), rate(self.config.slow_window))
+    }
+
+    /// Whether both windows are burning at ≥ 1.0 — the signal that flips
+    /// engine health to `Degraded`.
+    pub fn breached(&self) -> bool {
+        let (fast, slow) = self.burn_rates();
+        fast >= 1.0 && slow >= 1.0
+    }
+}
+
+fn lock_ok<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

@@ -1,0 +1,504 @@
+//! Request-scoped tracing: trace ids, per-stage timestamps, and a flight
+//! recorder that retains the last N completed/failed requests.
+//!
+//! The serving stack (PRs 5–7) reports aggregate counters and histograms,
+//! which answer "how is the fleet doing" but not "what happened to *this*
+//! request". This module adds the request-scoped layer:
+//!
+//! - [`RequestCtx`] — a 64-bit trace id plus one microsecond timestamp per
+//!   pipeline [`Stage`], minted at the net edge (or adopted from a
+//!   client-supplied id) and threaded through router → batcher → worker.
+//! - [`FlightRecorder`] — a fixed-capacity ring of [`RequestRecord`]s, one
+//!   per finished request, dumpable as JSONL on demand and appended to an
+//!   optional anomaly sink whenever a request ends abnormally (shed,
+//!   panic, breaker rejection, queue-full).
+//!
+//! Timestamps are microseconds since a process-wide epoch taken on first
+//! use ([`now_micros`]), so stamps from different threads are mutually
+//! comparable and monotonic per request by construction.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The pipeline boundaries a request crosses, in order. This is the one
+/// stage vocabulary shared by [`RequestCtx`] stamps, the per-stage latency
+/// histograms, and the `stage` labels on the serving instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Frame (or in-process call) arrived at the serving edge.
+    Accepted,
+    /// Passed admission control (breaker + graph limits).
+    Admitted,
+    /// Placed on the bounded batcher queue.
+    Enqueued,
+    /// The batcher sealed the batch containing this request.
+    BatchSealed,
+    /// A worker began inference on the sealed batch.
+    InferStart,
+    /// Inference finished (successfully or by panic unwinding).
+    InferEnd,
+    /// The reply frame was written back to the client socket.
+    ReplyWritten,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Accepted,
+        Stage::Admitted,
+        Stage::Enqueued,
+        Stage::BatchSealed,
+        Stage::InferStart,
+        Stage::InferEnd,
+        Stage::ReplyWritten,
+    ];
+
+    /// The canonical snake_case name used in labels, JSONL, and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Accepted => "accepted",
+            Stage::Admitted => "admitted",
+            Stage::Enqueued => "enqueued",
+            Stage::BatchSealed => "batch_sealed",
+            Stage::InferStart => "infer_start",
+            Stage::InferEnd => "infer_end",
+            Stage::ReplyWritten => "reply_written",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Microseconds since the process-wide trace epoch (taken on first call).
+///
+/// All stage stamps come from this clock, so timestamps recorded on
+/// different threads are directly comparable.
+pub fn now_micros() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Mints a fresh, never-zero 64-bit trace id.
+///
+/// Ids come from an atomic counter passed through a splitmix64 finaliser,
+/// so they are unique within the process and well spread across the id
+/// space without any shared lock.
+pub fn mint_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let mixed = splitmix64(NEXT.fetch_add(1, Ordering::Relaxed));
+    if mixed == 0 {
+        1
+    } else {
+        mixed
+    }
+}
+
+/// Formats a trace id the way every dump and exemplar renders it: 16 hex
+/// digits, zero-padded.
+pub fn format_trace_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A request-scoped trace context: one 64-bit id plus a microsecond stamp
+/// per [`Stage`]. Cheap to clone and move through channels; a disabled
+/// context ([`RequestCtx::disabled`]) makes every stamp a no-op so the
+/// tracing-off serve path pays almost nothing.
+#[derive(Debug, Clone)]
+pub struct RequestCtx {
+    trace_id: u64,
+    stamps: [u64; Stage::ALL.len()],
+    enabled: bool,
+}
+
+impl RequestCtx {
+    /// Mints a context with a fresh process-unique trace id.
+    pub fn mint() -> RequestCtx {
+        RequestCtx::adopt(mint_trace_id())
+    }
+
+    /// Adopts a client-supplied trace id (0 falls back to minting).
+    pub fn adopt(trace_id: u64) -> RequestCtx {
+        RequestCtx {
+            trace_id: if trace_id == 0 {
+                mint_trace_id()
+            } else {
+                trace_id
+            },
+            stamps: [0; Stage::ALL.len()],
+            enabled: true,
+        }
+    }
+
+    /// A no-op context: id 0, every stamp ignored. Used when the engine is
+    /// configured with tracing off.
+    pub fn disabled() -> RequestCtx {
+        RequestCtx {
+            trace_id: 0,
+            stamps: [0; Stage::ALL.len()],
+            enabled: false,
+        }
+    }
+
+    /// Whether stamps are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The trace id (0 for a disabled context).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Stamps `stage` with the current [`now_micros`] reading.
+    pub fn stamp(&mut self, stage: Stage) {
+        self.stamp_at(stage, now_micros());
+    }
+
+    /// Stamps `stage` with an explicit reading (used when the edge reads
+    /// the clock before the context exists). Stamps are first-write-wins
+    /// and clamped to at least 1 so 0 can mean "never stamped".
+    pub fn stamp_at(&mut self, stage: Stage, at_us: u64) {
+        if self.enabled && self.stamps[stage.index()] == 0 {
+            self.stamps[stage.index()] = at_us.max(1);
+        }
+    }
+
+    /// The stamp for `stage`, if it was recorded.
+    pub fn stage_us(&self, stage: Stage) -> Option<u64> {
+        match self.stamps[stage.index()] {
+            0 => None,
+            us => Some(us),
+        }
+    }
+
+    /// Microseconds elapsed between two stamped stages (saturating), or
+    /// `None` if either stage was never stamped.
+    pub fn stage_delta_us(&self, from: Stage, to: Stage) -> Option<u64> {
+        Some(self.stage_us(to)?.saturating_sub(self.stage_us(from)?))
+    }
+}
+
+/// How a traced request left the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// The reply was produced and handed to the caller.
+    Completed,
+    /// Shed by the batcher because its deadline expired in the queue.
+    ShedDeadline,
+    /// Lost to a worker panic mid-inference.
+    WorkerPanic,
+    /// The reply was produced but dropped before delivery (fault
+    /// injection or a hung-up caller).
+    ReplyDropped,
+    /// Refused at admission by the circuit breaker.
+    BreakerRejected,
+    /// Refused because the bounded queue was full.
+    QueueFull,
+    /// Refused by graph admission limits before enqueue.
+    AdmissionRejected,
+}
+
+impl TraceOutcome {
+    /// Canonical snake_case name used in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceOutcome::Completed => "completed",
+            TraceOutcome::ShedDeadline => "shed_deadline",
+            TraceOutcome::WorkerPanic => "worker_panic",
+            TraceOutcome::ReplyDropped => "reply_dropped",
+            TraceOutcome::BreakerRejected => "breaker_rejected",
+            TraceOutcome::QueueFull => "queue_full",
+            TraceOutcome::AdmissionRejected => "admission_rejected",
+        }
+    }
+
+    /// Anything other than a clean completion counts as an anomaly and is
+    /// mirrored to the recorder's anomaly sink.
+    pub fn is_anomaly(self) -> bool {
+        !matches!(self, TraceOutcome::Completed)
+    }
+}
+
+/// One finished request as retained by the [`FlightRecorder`].
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// The request's trace id.
+    pub trace_id: u64,
+    /// Present stage stamps in pipeline order (µs since the trace epoch).
+    pub stamps: Vec<(Stage, u64)>,
+    /// How the request ended.
+    pub outcome: TraceOutcome,
+    /// Human-readable cause; always set for anomalies (e.g. the worker's
+    /// panic message, or how long a shed request overstayed its deadline).
+    pub cause: Option<String>,
+    /// Sequence number of the batch that carried the request, if it was
+    /// ever sealed into one.
+    pub batch_seq: Option<u64>,
+    /// Size of that batch (0 if never batched).
+    pub batch_size: usize,
+}
+
+impl RequestRecord {
+    /// Builds a record from a context, collecting its present stamps.
+    pub fn from_ctx(ctx: &RequestCtx, outcome: TraceOutcome) -> RequestRecord {
+        let stamps = Stage::ALL
+            .iter()
+            .filter_map(|&s| ctx.stage_us(s).map(|us| (s, us)))
+            .collect();
+        RequestRecord {
+            trace_id: ctx.trace_id(),
+            stamps,
+            outcome,
+            cause: None,
+            batch_seq: None,
+            batch_size: 0,
+        }
+    }
+
+    /// Attaches a cause message.
+    pub fn with_cause(mut self, cause: impl Into<String>) -> RequestRecord {
+        self.cause = Some(cause.into());
+        self
+    }
+
+    /// Attaches the sealed batch's sequence number and size.
+    pub fn with_batch(mut self, seq: u64, size: usize) -> RequestRecord {
+        self.batch_seq = Some(seq);
+        self.batch_size = size;
+        self
+    }
+
+    /// Whether the recorded stamps are non-decreasing in pipeline order.
+    /// True by construction for stamps taken off [`now_micros`]; dumps
+    /// assert it anyway so a clock regression is loud.
+    pub fn stamps_monotonic(&self) -> bool {
+        self.stamps.windows(2).all(|w| w[0].1 <= w[1].1)
+    }
+
+    /// Serialises to the flight-recorder JSONL object. Trace ids render as
+    /// 16-digit hex strings (a u64 does not survive a JSON f64).
+    pub fn to_json(&self) -> Json {
+        let stages = self
+            .stamps
+            .iter()
+            .map(|&(s, us)| (s.name().to_string(), Json::Num(us as f64)))
+            .collect();
+        Json::Obj(vec![
+            (
+                "trace_id".to_string(),
+                Json::Str(format_trace_id(self.trace_id)),
+            ),
+            (
+                "outcome".to_string(),
+                Json::Str(self.outcome.name().to_string()),
+            ),
+            (
+                "cause".to_string(),
+                match &self.cause {
+                    Some(c) => Json::Str(c.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "batch_seq".to_string(),
+                match self.batch_seq {
+                    Some(seq) => Json::Num(seq as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("batch_size".to_string(), Json::Num(self.batch_size as f64)),
+            ("stages".to_string(), Json::Obj(stages)),
+        ])
+    }
+}
+
+/// A fixed-capacity ring of the last N finished requests, plus a smaller
+/// ring of the last anomalies so a burst of healthy traffic cannot evict
+/// the interesting failures before anyone looks.
+///
+/// Recording is one short mutex hold (push + bounded pop); counters are
+/// lock-free. Anomalous records are additionally appended, as JSONL, to an
+/// optional sink file the moment they happen — the "automatic dump".
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<RequestRecord>>,
+    anomaly_ring: Mutex<VecDeque<RequestRecord>>,
+    recorded: AtomicU64,
+    evicted: AtomicU64,
+    anomalies: AtomicU64,
+    anomaly_sink: Mutex<Option<PathBuf>>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` requests (min 1). The
+    /// anomaly ring keeps `capacity / 4` records (min 16).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            anomaly_ring: Mutex::new(VecDeque::new()),
+            recorded: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            anomalies: AtomicU64::new(0),
+            anomaly_sink: Mutex::new(None),
+        }
+    }
+
+    /// Routes anomaly records to a JSONL file as they happen (`None`
+    /// disables). Parent directories are created on first write.
+    pub fn set_anomaly_sink(&self, path: Option<PathBuf>) {
+        *lock_ok(&self.anomaly_sink) = path;
+    }
+
+    /// Records a finished request, evicting the oldest when full.
+    pub fn record(&self, record: RequestRecord) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        if record.outcome.is_anomaly() {
+            self.anomalies.fetch_add(1, Ordering::Relaxed);
+            self.append_anomaly(&record);
+            let cap = (self.capacity / 4).max(16);
+            let mut ring = lock_ok(&self.anomaly_ring);
+            if ring.len() >= cap {
+                ring.pop_front();
+            }
+            ring.push_back(record.clone());
+        }
+        let mut ring = lock_ok(&self.ring);
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(record);
+    }
+
+    /// Back-fills the reply-written stamp on an already-recorded request.
+    ///
+    /// The engine records a request when the worker resolves it, but the
+    /// reply frame leaves the socket later, on the connection thread; this
+    /// scans newest-first (the record is almost always near the tail) and
+    /// returns whether the trace id was found.
+    pub fn stamp_reply_written(&self, trace_id: u64, at_us: u64) -> bool {
+        if trace_id == 0 {
+            return false;
+        }
+        let mut ring = lock_ok(&self.ring);
+        for record in ring.iter_mut().rev() {
+            if record.trace_id == trace_id {
+                if record.stamps.last().map(|&(s, _)| s) != Some(Stage::ReplyWritten) {
+                    let floor = record.stamps.last().map(|&(_, us)| us).unwrap_or(0);
+                    record.stamps.push((Stage::ReplyWritten, at_us.max(floor)));
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A copy of the main ring, oldest first.
+    pub fn snapshot(&self) -> Vec<RequestRecord> {
+        lock_ok(&self.ring).iter().cloned().collect()
+    }
+
+    /// A copy of the anomaly ring, oldest first.
+    pub fn anomaly_snapshot(&self) -> Vec<RequestRecord> {
+        lock_ok(&self.anomaly_ring).iter().cloned().collect()
+    }
+
+    /// The main ring as JSONL, one record per line, oldest first.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in self.snapshot() {
+            out.push_str(&record.to_json().to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`FlightRecorder::export_jsonl`] to `path`, creating parent
+    /// directories as needed.
+    pub fn dump_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.export_jsonl())
+    }
+
+    /// Total requests recorded since construction.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Records evicted from the main ring.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Anomalous records seen since construction.
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies.load(Ordering::Relaxed)
+    }
+
+    /// Main-ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently retained in the main ring.
+    pub fn len(&self) -> usize {
+        lock_ok(&self.ring).len()
+    }
+
+    /// Whether the main ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn append_anomaly(&self, record: &RequestRecord) {
+        let sink = lock_ok(&self.anomaly_sink);
+        let Some(path) = sink.as_ref() else { return };
+        let line = format!("{}\n", record.to_json().to_json());
+        let result = (|| -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            file.write_all(line.as_bytes())
+        })();
+        if let Err(err) = result {
+            eprintln!(
+                "[obs] flight recorder: failed to append anomaly to {}: {err}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Mutex lock that shrugs off poisoning: the recorder holds plain data and
+/// a panicked writer leaves it consistent enough to keep serving.
+fn lock_ok<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

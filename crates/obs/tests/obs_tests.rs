@@ -169,7 +169,7 @@ fn global_off_mode_leaves_registry_untouched() {
         .iter()
         .any(|s| s.name == "off.test_span"));
     // flush_trace declines to write anything.
-    assert_eq!(deepmap_obs::flush_trace("off-test"), None);
+    assert!(matches!(deepmap_obs::flush_trace("off-test"), Ok(None)));
 
     // Back on: the same call sites hit the registry.
     deepmap_obs::set_global_level(TraceLevel::Summary);
@@ -204,4 +204,228 @@ fn write_trace_round_trips_through_file() {
     let value = Json::parse(line).expect("line parses");
     assert_eq!(value.get("name").unwrap().as_str(), Some("disk.round_trip"));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// PR 8: histogram bucket edges, request tracing, the flight recorder, SLO.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn histogram_percentiles_at_bucket_edges() {
+    // Empty histogram: every percentile is 0.0.
+    let empty = Histogram::with_bounds(vec![1.0, 2.0, 4.0]);
+    assert_eq!(empty.percentile(0.0), 0.0);
+    assert_eq!(empty.percentile(0.5), 0.0);
+    assert_eq!(empty.percentile(1.0), 0.0);
+    assert_eq!(empty.mean(), 0.0);
+
+    // Single sample: every percentile reports that sample's bucket bound.
+    let single = Histogram::with_bounds(vec![1.0, 2.0, 4.0]);
+    single.observe(1.5);
+    assert_eq!(single.percentile(0.0), 2.0);
+    assert_eq!(single.percentile(0.5), 2.0);
+    assert_eq!(single.percentile(1.0), 2.0);
+    assert_eq!(single.count(), 1);
+
+    // All observations in the overflow bucket: percentiles clamp to the
+    // last finite bound rather than reporting +Inf.
+    let overflow = Histogram::with_bounds(vec![1.0, 2.0]);
+    for _ in 0..10 {
+        overflow.observe(100.0);
+    }
+    assert_eq!(overflow.percentile(0.5), 2.0);
+    assert_eq!(overflow.percentile(0.99), 2.0);
+    let buckets = overflow.buckets();
+    assert_eq!(buckets.last().unwrap().count, 10);
+    assert!(buckets.last().unwrap().upper_bound.is_infinite());
+}
+
+#[test]
+fn histogram_exemplars_remember_a_trace_id_per_bucket() {
+    let h = Histogram::with_bounds(vec![1.0, 2.0]);
+    h.observe(0.5); // untraced: no exemplar
+    assert!(h.buckets()[0].exemplar.is_none());
+    h.observe_with_exemplar(0.7, 0xAB);
+    h.observe_with_exemplar(1.5, 0xCD);
+    let buckets = h.buckets();
+    assert_eq!(buckets[0].exemplar, Some((0xAB, 0.7)));
+    assert_eq!(buckets[1].exemplar, Some((0xCD, 1.5)));
+    // A newer traced observation replaces the bucket's exemplar.
+    h.observe_with_exemplar(0.9, 0xEF);
+    assert_eq!(h.buckets()[0].exemplar, Some((0xEF, 0.9)));
+}
+
+#[test]
+fn request_ctx_stamps_are_monotonic_and_first_write_wins() {
+    use deepmap_obs::{RequestCtx, RequestRecord, Stage, TraceOutcome};
+    let mut ctx = RequestCtx::mint();
+    assert!(ctx.is_enabled());
+    assert_ne!(ctx.trace_id(), 0);
+    for stage in Stage::ALL {
+        ctx.stamp(stage);
+    }
+    let record = RequestRecord::from_ctx(&ctx, TraceOutcome::Completed);
+    assert_eq!(record.stamps.len(), Stage::ALL.len());
+    assert!(record.stamps_monotonic());
+    // First write wins: re-stamping does not move an existing stamp.
+    let first = ctx.stage_us(Stage::Accepted).unwrap();
+    ctx.stamp(Stage::Accepted);
+    assert_eq!(ctx.stage_us(Stage::Accepted), Some(first));
+    // Disabled contexts ignore everything.
+    let mut off = RequestCtx::disabled();
+    off.stamp(Stage::Accepted);
+    assert_eq!(off.trace_id(), 0);
+    assert_eq!(off.stage_us(Stage::Accepted), None);
+}
+
+#[test]
+fn flight_recorder_evicts_fifo_and_keeps_anomalies() {
+    use deepmap_obs::{FlightRecorder, RequestCtx, RequestRecord, Stage, TraceOutcome};
+    let recorder = FlightRecorder::new(4);
+    let mut anomaly_id = 0;
+    for i in 0..10u64 {
+        let mut ctx = RequestCtx::mint();
+        ctx.stamp(Stage::Accepted);
+        ctx.stamp(Stage::Enqueued);
+        let record = if i == 1 {
+            anomaly_id = ctx.trace_id();
+            RequestRecord::from_ctx(&ctx, TraceOutcome::ShedDeadline)
+                .with_cause("deadline exceeded in queue")
+        } else {
+            RequestRecord::from_ctx(&ctx, TraceOutcome::Completed).with_batch(i, 1)
+        };
+        recorder.record(record);
+    }
+    assert_eq!(recorder.len(), 4);
+    assert_eq!(recorder.recorded(), 10);
+    assert_eq!(recorder.evicted(), 6);
+    assert_eq!(recorder.anomalies(), 1);
+    // The early anomaly was evicted from the main ring but survives in the
+    // anomaly ring, cause intact.
+    assert!(!recorder.snapshot().iter().any(|r| r.trace_id == anomaly_id));
+    let anomalies = recorder.anomaly_snapshot();
+    assert_eq!(anomalies.len(), 1);
+    assert_eq!(anomalies[0].trace_id, anomaly_id);
+    assert_eq!(
+        anomalies[0].cause.as_deref(),
+        Some("deadline exceeded in queue")
+    );
+}
+
+#[test]
+fn flight_recorder_jsonl_round_trips_and_stamps_reply_written() {
+    use deepmap_obs::{
+        format_trace_id, FlightRecorder, RequestCtx, RequestRecord, Stage, TraceOutcome,
+    };
+    let recorder = FlightRecorder::new(8);
+    let mut ctx = RequestCtx::mint();
+    ctx.stamp(Stage::Accepted);
+    ctx.stamp(Stage::Admitted);
+    ctx.stamp(Stage::Enqueued);
+    ctx.stamp(Stage::BatchSealed);
+    ctx.stamp(Stage::InferStart);
+    ctx.stamp(Stage::InferEnd);
+    let id = ctx.trace_id();
+    recorder.record(RequestRecord::from_ctx(&ctx, TraceOutcome::Completed).with_batch(7, 3));
+    // The net edge back-fills reply_written after the socket write.
+    assert!(recorder.stamp_reply_written(id, deepmap_obs::now_micros()));
+    assert!(!recorder.stamp_reply_written(0xFFFF_FFFF_FFFF_FFFF, 1));
+    let jsonl = recorder.export_jsonl();
+    let line = jsonl.lines().next().expect("one record");
+    let value = Json::parse(line).expect("record parses");
+    assert_eq!(
+        value.get("trace_id").unwrap().as_str(),
+        Some(format_trace_id(id).as_str())
+    );
+    assert_eq!(value.get("outcome").unwrap().as_str(), Some("completed"));
+    assert_eq!(value.get("batch_seq").unwrap().as_u64(), Some(7));
+    let stages = value.get("stages").expect("stages object");
+    let mut last = 0.0;
+    for stage in deepmap_obs::Stage::ALL {
+        let us = stages
+            .get(stage.name())
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("stage {} missing", stage.name()));
+        assert!(us >= last, "stage stamps must be monotonic in {line}");
+        last = us;
+    }
+}
+
+#[test]
+fn flight_recorder_appends_anomalies_to_sink_file() {
+    use deepmap_obs::{FlightRecorder, RequestCtx, RequestRecord, Stage, TraceOutcome};
+    let dir = std::env::temp_dir().join(format!(
+        "deepmap-obs-anomaly-{}",
+        deepmap_obs::mint_trace_id()
+    ));
+    let sink = dir.join("anomalies.jsonl");
+    let recorder = FlightRecorder::new(8);
+    recorder.set_anomaly_sink(Some(sink.clone()));
+    let mut ctx = RequestCtx::mint();
+    ctx.stamp(Stage::Accepted);
+    recorder.record(
+        RequestRecord::from_ctx(&ctx, TraceOutcome::WorkerPanic).with_cause("boom in worker"),
+    );
+    // Completions do not hit the sink.
+    let mut ok = RequestCtx::mint();
+    ok.stamp(Stage::Accepted);
+    recorder.record(RequestRecord::from_ctx(&ok, TraceOutcome::Completed));
+    let text = std::fs::read_to_string(&sink).expect("anomaly sink written");
+    assert_eq!(text.lines().count(), 1);
+    let value = Json::parse(text.lines().next().unwrap()).expect("parses");
+    assert_eq!(value.get("outcome").unwrap().as_str(), Some("worker_panic"));
+    assert_eq!(value.get("cause").unwrap().as_str(), Some("boom in worker"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slo_tracker_burns_on_bad_traffic_and_recovers_rates() {
+    use deepmap_obs::{SloConfig, SloTracker};
+    use std::time::Duration;
+    let config = SloConfig {
+        latency_objective: Duration::from_millis(100),
+        error_budget: 0.1,
+        fast_window: Duration::from_secs(5),
+        slow_window: Duration::from_secs(60),
+    };
+    let tracker = SloTracker::new(config);
+    // All-good traffic: zero burn.
+    for _ in 0..50 {
+        tracker.observe_latency(Duration::from_millis(10));
+    }
+    let (fast, slow) = tracker.burn_rates();
+    assert_eq!((fast, slow), (0.0, 0.0));
+    assert!(!tracker.breached());
+    // 50 good + 50 bad = 50% bad against a 10% budget → burn 5.0 on both
+    // windows (all samples land within the last few seconds).
+    for _ in 0..50 {
+        tracker.observe_error();
+    }
+    let (fast, slow) = tracker.burn_rates();
+    assert!((fast - 5.0).abs() < 1e-9, "fast burn {fast}");
+    assert!((slow - 5.0).abs() < 1e-9, "slow burn {slow}");
+    assert!(tracker.breached());
+    // Slow-but-successful replies also spend budget.
+    let slow_only = SloTracker::new(config);
+    for _ in 0..10 {
+        slow_only.observe_latency(Duration::from_millis(500));
+    }
+    assert!(slow_only.breached());
+}
+
+#[test]
+fn slo_tracker_mirrors_burn_into_gauges() {
+    use deepmap_obs::{SloConfig, SloTracker};
+    let reg = Registry::new(TraceLevel::Summary);
+    let fast = reg.gauge("serve.slo_burn_fast_milli");
+    let slow = reg.gauge("serve.slo_burn_slow_milli");
+    let tracker = SloTracker::new(SloConfig {
+        error_budget: 0.5,
+        ..SloConfig::default()
+    })
+    .with_gauges(fast.clone(), slow.clone());
+    tracker.observe_error();
+    // 100% bad / 50% budget = burn 2.0 → 2000 milli.
+    assert_eq!(fast.get(), 2000);
+    assert_eq!(slow.get(), 2000);
 }

@@ -390,6 +390,22 @@ impl ModelRouter {
         engine.submit(graph).map_err(RouterError::Serve)
     }
 
+    /// [`submit`](ModelRouter::submit) with a caller-provided trace
+    /// context — how the net edge threads trace ids (minted at frame
+    /// arrival or adopted from the wire trailer) through the router into
+    /// the engine's batcher and workers.
+    pub fn submit_traced(
+        &self,
+        name: &str,
+        graph: Graph,
+        ctx: deepmap_serve::RequestCtx,
+    ) -> Result<PredictionHandle, RouterError> {
+        let engine = self.resolve(name)?;
+        engine
+            .submit_traced(graph, None, ctx)
+            .map_err(RouterError::Serve)
+    }
+
     /// Submits and blocks for the answer.
     pub fn predict(&self, name: &str, graph: Graph) -> Result<ServedPrediction, RouterError> {
         let engine = self.resolve(name)?;
@@ -450,6 +466,42 @@ impl ModelRouter {
             );
         }
         out
+    }
+
+    /// The whole tenancy's flight recorders as one JSONL document: every
+    /// resident model's retained request records, each line tagged with
+    /// `"model"`, models in name order and records oldest-first within a
+    /// model. This is what the wire-level `TraceDump` admin frame returns.
+    pub fn trace_dump(&self) -> String {
+        let engines: Vec<(String, Arc<InferenceServer>)> = {
+            let inner = self.lock();
+            let mut engines: Vec<_> = inner
+                .models
+                .iter()
+                .map(|(name, entry)| (name.clone(), Arc::clone(&entry.engine)))
+                .collect();
+            engines.sort_by(|a, b| a.0.cmp(&b.0));
+            engines
+        };
+        let mut out = String::new();
+        for (name, engine) in engines {
+            render_records(&mut out, &name, &engine);
+        }
+        out
+    }
+
+    /// [`trace_dump`](ModelRouter::trace_dump) for one model (empty name:
+    /// default model).
+    pub fn trace_dump_of(&self, name: &str) -> Result<String, RouterError> {
+        let engine = self.resolve(name)?;
+        let label = if name.is_empty() {
+            self.default_model().unwrap_or_default()
+        } else {
+            name.to_string()
+        };
+        let mut out = String::new();
+        render_records(&mut out, &label, &engine);
+        Ok(out)
     }
 
     /// Retires every model, waits up to the configured drain deadline for
@@ -645,6 +697,21 @@ impl ModelRouter {
         self.metrics.registrations.inc();
         self.metrics.models_resident.add(1);
         Ok(())
+    }
+}
+
+/// Appends one model's flight-recorder records to `out` as JSONL, tagging
+/// each line with the model name right after the trace id.
+fn render_records(out: &mut String, model: &str, engine: &InferenceServer) {
+    use deepmap_obs::json::Json;
+    for record in engine.flight_recorder().snapshot() {
+        let mut fields = match record.to_json() {
+            Json::Obj(fields) => fields,
+            other => vec![("record".to_string(), other)],
+        };
+        fields.insert(1, ("model".to_string(), Json::Str(model.to_string())));
+        out.push_str(&Json::Obj(fields).to_json());
+        out.push('\n');
     }
 }
 

@@ -247,9 +247,11 @@ fn per_model_metrics_render_without_aliasing() {
     assert!(text.contains("deepmap_router_requests_routed"), "{text}");
     assert!(text.contains("deepmap_router_models_resident 2"), "{text}");
     // …and every resident model's serve instruments carry its own label,
-    // so the two pools' counters never alias.
+    // so the two pools' counters never alias. Since PR 8 the engine
+    // counters also carry the trace-stage they observe.
     for model in ["alpha", "beta"] {
-        let labeled = format!("deepmap_serve_requests_completed{{model=\"{model}\"}}");
+        let labeled =
+            format!("deepmap_serve_requests_completed{{model=\"{model}\",stage=\"infer_end\"}}");
         assert!(text.contains(&labeled), "missing {labeled} in:\n{text}");
     }
     router.shutdown();

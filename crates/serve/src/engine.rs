@@ -40,7 +40,10 @@ use crate::limits::GraphLimits;
 use crate::supervise::{Admission, BreakerState, Health, ResilienceConfig, Supervisor};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use deepmap_graph::Graph;
-use deepmap_obs::{Counter, Gauge, Histogram, Registry, TraceLevel};
+use deepmap_obs::{
+    Counter, FlightRecorder, Gauge, Histogram, Registry, RequestCtx, RequestRecord, SloTracker,
+    Stage, TraceLevel, TraceOutcome,
+};
 use std::panic::AssertUnwindSafe;
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -64,6 +67,12 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Flush a batch when its oldest request has waited this long.
     pub max_wait: Duration,
+    /// Whether requests carry a [`RequestCtx`] (trace id + stage stamps)
+    /// and land in the flight recorder. Off, the serve path mints no ids,
+    /// takes no stamps, and records nothing.
+    pub trace_requests: bool,
+    /// How many finished requests the flight recorder retains.
+    pub recorder_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +82,8 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             max_batch: 8,
             max_wait: Duration::from_millis(2),
+            trace_requests: true,
+            recorder_capacity: 256,
         }
     }
 }
@@ -99,6 +110,8 @@ struct Request {
     /// This request is the circuit breaker's half-open probe: its outcome
     /// closes or reopens the breaker.
     probe: bool,
+    /// Trace id + stage stamps, threaded from the edge to the worker.
+    ctx: RequestCtx,
     reply: mpsc::Sender<Result<ServedPrediction, ServeError>>,
 }
 
@@ -114,9 +127,16 @@ struct Batch {
 #[derive(Debug)]
 pub struct PredictionHandle {
     rx: mpsc::Receiver<Result<ServedPrediction, ServeError>>,
+    trace_id: u64,
 }
 
 impl PredictionHandle {
+    /// The request's trace id (0 when the server runs with tracing off) —
+    /// the key into the flight recorder and the per-stage exemplars.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
     /// Blocks until the prediction (or its typed failure — worker panic,
     /// shed deadline) arrives. [`ServeError::Shutdown`] means the server
     /// dropped the request without answering (it is shutting down).
@@ -160,28 +180,85 @@ struct ServerMetrics {
     queue_depth: Arc<Gauge>,
     breaker_state: Arc<Gauge>,
     latency_seconds: Arc<Histogram>,
+    /// Per-stage latency attribution, each labeled with the stage stamp
+    /// that closes its interval (see [`Stage`]); buckets carry exemplar
+    /// trace ids pointing into the flight recorder.
+    stage_admission: Arc<Histogram>,
+    stage_queue: Arc<Histogram>,
+    stage_dispatch: Arc<Histogram>,
+    stage_infer: Arc<Histogram>,
+    /// Request-scoped telemetry rides alongside the instruments because
+    /// they travel together everywhere (submit path, batcher, workers).
+    recorder: Arc<FlightRecorder>,
+    slo: Option<SloTracker>,
 }
 
 impl ServerMetrics {
-    fn new() -> ServerMetrics {
+    fn new(recorder_capacity: usize, slo: Option<deepmap_obs::SloConfig>) -> ServerMetrics {
         let registry = Arc::new(Registry::new(TraceLevel::Summary));
+        // Instruments carry `stage` labels from the trace vocabulary, so a
+        // dashboard series and a flight-recorder stamp name the same
+        // boundary: a counter labeled `stage="batch_sealed"` moves exactly
+        // when `batch_sealed` stamps are taken.
+        let enqueued = [("stage", Stage::Enqueued.name())];
+        let sealed = [("stage", Stage::BatchSealed.name())];
+        let infer_end = [("stage", Stage::InferEnd.name())];
+        let slo = slo.map(|config| {
+            SloTracker::new(config).with_gauges(
+                registry.gauge("serve.slo_burn_fast_milli"),
+                registry.gauge("serve.slo_burn_slow_milli"),
+            )
+        });
         ServerMetrics {
-            submitted: registry.counter("serve.requests_submitted"),
+            submitted: registry.counter_labeled("serve.requests_submitted", &enqueued),
             rejected: registry.counter("serve.requests_rejected"),
             rejected_invalid: registry.counter("serve.rejected_invalid"),
             rejected_busy: registry.counter("serve.rejected_busy"),
             breaker_rejected: registry.counter("serve.breaker_rejected"),
-            shed_deadline: registry.counter("serve.requests_shed_deadline"),
-            completed: registry.counter("serve.requests_completed"),
-            batches: registry.counter("serve.batches_dispatched"),
-            batched_requests: registry.counter("serve.batched_requests"),
+            shed_deadline: registry.counter_labeled("serve.requests_shed_deadline", &sealed),
+            completed: registry.counter_labeled("serve.requests_completed", &infer_end),
+            batches: registry.counter_labeled("serve.batches_dispatched", &sealed),
+            batched_requests: registry.counter_labeled("serve.batched_requests", &sealed),
             worker_panics: registry.counter("serve.worker_panics"),
             worker_restarts: registry.counter("serve.worker_restarts"),
             replies_dropped: registry.counter("serve.replies_dropped"),
             queue_depth: registry.gauge("serve.queue_depth"),
             breaker_state: registry.gauge("serve.breaker_state"),
-            latency_seconds: registry.histogram("serve.latency_seconds"),
+            latency_seconds: registry.histogram_labeled("serve.latency_seconds", &infer_end),
+            stage_admission: registry.histogram_labeled(
+                "serve.stage_admission_seconds",
+                &[("stage", Stage::Enqueued.name())],
+            ),
+            stage_queue: registry.histogram_labeled(
+                "serve.stage_queue_seconds",
+                &[("stage", Stage::BatchSealed.name())],
+            ),
+            stage_dispatch: registry.histogram_labeled(
+                "serve.stage_dispatch_seconds",
+                &[("stage", Stage::InferStart.name())],
+            ),
+            stage_infer: registry.histogram_labeled(
+                "serve.stage_infer_seconds",
+                &[("stage", Stage::InferEnd.name())],
+            ),
+            recorder: Arc::new(FlightRecorder::new(recorder_capacity)),
+            slo,
             registry,
+        }
+    }
+
+    /// Records an interval ending at `to` into its stage histogram, with
+    /// the request's trace id as the bucket exemplar.
+    fn observe_stage(&self, ctx: &RequestCtx, from: Stage, to: Stage, histogram: &Histogram) {
+        if let Some(us) = ctx.stage_delta_us(from, to) {
+            histogram.observe_with_exemplar(us as f64 / 1e6, ctx.trace_id());
+        }
+    }
+
+    /// SLO bookkeeping for a request that failed server-side.
+    fn slo_error(&self) {
+        if let Some(slo) = &self.slo {
+            slo.observe_error();
         }
     }
 }
@@ -234,6 +311,7 @@ pub struct InferenceServer {
     limits: GraphLimits,
     alphabet: Option<Vec<u32>>,
     default_deadline: Option<Duration>,
+    trace_requests: bool,
     bundle: Arc<ModelBundle>,
 }
 
@@ -332,6 +410,7 @@ impl InferenceServer {
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
             max_batch: config.max_batch.max(1),
+            recorder_capacity: config.recorder_capacity.max(1),
             ..config
         };
         // Build every replica up front so construction failures surface
@@ -339,7 +418,7 @@ impl InferenceServer {
         let predictors = (0..config.workers)
             .map(|_| bundle.predictor())
             .collect::<Result<Vec<_>, _>>()?;
-        let metrics = Arc::new(ServerMetrics::new());
+        let metrics = Arc::new(ServerMetrics::new(config.recorder_capacity, resilience.slo));
         let supervisor = Arc::new(Supervisor::new(
             config.workers,
             &resilience,
@@ -375,6 +454,7 @@ impl InferenceServer {
             limits: resilience.limits,
             alphabet,
             default_deadline: resilience.default_deadline,
+            trace_requests: config.trace_requests,
             bundle,
         })
     }
@@ -398,12 +478,43 @@ impl InferenceServer {
         graph: Graph,
         deadline: Option<Duration>,
     ) -> Result<PredictionHandle, ServeError> {
+        let ctx = if self.trace_requests {
+            RequestCtx::mint()
+        } else {
+            RequestCtx::disabled()
+        };
+        self.submit_traced(graph, deadline, ctx)
+    }
+
+    /// [`submit_with_deadline`](InferenceServer::submit_with_deadline) with
+    /// a caller-provided [`RequestCtx`] — how the net edge threads a trace
+    /// id (minted at frame arrival, or adopted from the client's trace
+    /// trailer) through the engine. The context is discarded when the
+    /// server runs with [`ServerConfig::trace_requests`] off, so a traced
+    /// edge in front of an untraced engine costs nothing.
+    pub fn submit_traced(
+        &self,
+        graph: Graph,
+        deadline: Option<Duration>,
+        mut ctx: RequestCtx,
+    ) -> Result<PredictionHandle, ServeError> {
+        if !self.trace_requests {
+            ctx = RequestCtx::disabled();
+        }
+        ctx.stamp(Stage::Accepted); // First-write-wins: a no-op when the edge already stamped it.
         let tx = self.tx.as_ref().ok_or(ServeError::Shutdown)?;
         let probe = match self.supervisor.admit() {
             Admission::Normal => false,
             Admission::Probe => true,
             Admission::Refused => {
                 self.metrics.breaker_rejected.inc();
+                self.metrics.slo_error();
+                if ctx.is_enabled() {
+                    self.metrics.recorder.record(
+                        RequestRecord::from_ctx(&ctx, TraceOutcome::BreakerRejected)
+                            .with_cause("circuit breaker open: admission refused"),
+                    );
+                }
                 return Err(ServeError::CircuitOpen);
             }
         };
@@ -413,18 +524,31 @@ impl InferenceServer {
                 // The probe never ran; rearm the breaker for the next one.
                 self.supervisor.probe_failed();
             }
+            // Invalid graphs are the client's fault and do not spend the
+            // SLO error budget, but the refusal is still worth a record.
+            if ctx.is_enabled() {
+                self.metrics.recorder.record(
+                    RequestRecord::from_ctx(&ctx, TraceOutcome::AdmissionRejected)
+                        .with_cause(format!("admission limits: {reason}")),
+                );
+            }
             return Err(ServeError::Rejected { reason });
         }
+        ctx.stamp(Stage::Admitted);
         let submitted = Instant::now();
         let deadline = deadline
             .or(self.default_deadline)
             .map(|budget| submitted + budget);
         let (reply_tx, reply_rx) = mpsc::channel();
+        // Stamped before try_send: the request owns the context once queued.
+        ctx.stamp(Stage::Enqueued);
+        let trace_id = ctx.trace_id();
         let request = Request {
             graph,
             submitted,
             deadline,
             probe,
+            ctx,
             reply: reply_tx,
         };
         match tx.try_send(request) {
@@ -433,12 +557,26 @@ impl InferenceServer {
                 // The gauge tracks its own high-water mark, which is the
                 // peak queue depth.
                 self.metrics.queue_depth.add(1);
-                Ok(PredictionHandle { rx: reply_rx })
+                Ok(PredictionHandle {
+                    rx: reply_rx,
+                    trace_id,
+                })
             }
-            Err(_) => {
+            Err(err) => {
                 self.metrics.rejected.inc();
+                self.metrics.slo_error();
                 if probe {
                     self.supervisor.probe_failed();
+                }
+                let request = match err {
+                    crossbeam::channel::TrySendError::Full(request)
+                    | crossbeam::channel::TrySendError::Disconnected(request) => request,
+                };
+                if request.ctx.is_enabled() {
+                    self.metrics.recorder.record(
+                        RequestRecord::from_ctx(&request.ctx, TraceOutcome::QueueFull)
+                            .with_cause("bounded request queue at capacity"),
+                    );
                 }
                 Err(ServeError::QueueFull)
             }
@@ -453,8 +591,9 @@ impl InferenceServer {
 
     /// Point-in-time health: `Ready` (breaker closed, all replicas live),
     /// `Degraded` (serving below full strength — replicas restarting or
-    /// down, or a breaker probe in flight), or `Unavailable` (breaker
-    /// open, no live replica, or shut down).
+    /// down, a breaker probe in flight, or the SLO burning through its
+    /// error budget on both windows), or `Unavailable` (breaker open, no
+    /// live replica, or shut down).
     pub fn health(&self) -> Health {
         if self.tx.is_none() {
             return Health::Unavailable;
@@ -469,11 +608,33 @@ impl InferenceServer {
             BreakerState::Closed => {
                 if live < self.supervisor.total_workers() {
                     Health::Degraded { live_workers: live }
+                } else if self.metrics.slo.as_ref().is_some_and(|slo| slo.breached()) {
+                    // Every replica is up and the breaker is closed, yet
+                    // requests are blowing the latency/error budget —
+                    // degrade so orchestration reacts before users do.
+                    Health::Degraded { live_workers: live }
                 } else {
                     Health::Ready
                 }
             }
         }
+    }
+
+    /// The flight recorder retaining the last
+    /// [`ServerConfig::recorder_capacity`] finished requests. Always
+    /// present; empty when the server runs with tracing off.
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.metrics.recorder)
+    }
+
+    /// Whether requests on this server carry trace contexts.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_requests
+    }
+
+    /// Current `(fast, slow)` SLO burn rates, when an SLO is configured.
+    pub fn slo_burn_rates(&self) -> Option<(f64, f64)> {
+        self.metrics.slo.as_ref().map(|slo| slo.burn_rates())
     }
 
     /// Current counters.
@@ -562,8 +723,17 @@ fn shed_if_expired(
     match request.deadline {
         Some(deadline) if now >= deadline => {
             metrics.shed_deadline.inc();
+            metrics.slo_error();
             if request.probe {
                 supervisor.probe_failed();
+            }
+            if request.ctx.is_enabled() {
+                let overstay = now.duration_since(deadline);
+                metrics.recorder.record(
+                    RequestRecord::from_ctx(&request.ctx, TraceOutcome::ShedDeadline).with_cause(
+                        format!("deadline exceeded by {}µs in queue", overstay.as_micros()),
+                    ),
+                );
             }
             let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
             None
@@ -612,7 +782,7 @@ fn run_batcher(
         }
         // Final sweep: anything that expired while the batch was forming.
         let now = Instant::now();
-        let requests: Vec<Request> = batch
+        let mut requests: Vec<Request> = batch
             .into_iter()
             .filter_map(|request| shed_if_expired(request, now, &metrics, &supervisor))
             .collect();
@@ -622,6 +792,9 @@ fn run_batcher(
         metrics.batches.inc();
         if requests.len() > 1 {
             metrics.batched_requests.add(requests.len() as u64);
+        }
+        for request in &mut requests {
+            request.ctx.stamp(Stage::BatchSealed);
         }
         let batch = Batch {
             seq: supervisor.next_batch_seq(),
@@ -634,8 +807,26 @@ fn run_batcher(
     // Request channel closed: dropping batch_tx lets the workers drain out.
 }
 
+/// Best-effort extraction of a panic's message from the payload
+/// [`std::panic::catch_unwind`] hands back — `panic!("…")` produces a
+/// `String` or `&str`; anything else gets a placeholder. The flight
+/// recorder stores this as the anomaly cause.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
+    }
+}
+
 fn run_worker(mut predictor: Predictor, batch_rx: Receiver<Batch>, shared: WorkerShared) {
-    while let Ok(Batch { seq, requests }) = batch_rx.recv() {
+    while let Ok(Batch { seq, mut requests }) = batch_rx.recv() {
+        // Injected latency counts as inference time, so stamp first.
+        for request in &mut requests {
+            request.ctx.stamp(Stage::InferStart);
+        }
         shared.inject_latency(seq);
         let batch_size = requests.len();
         let graphs: Vec<&Graph> = requests.iter().map(|r| &r.graph).collect();
@@ -646,18 +837,47 @@ fn run_worker(mut predictor: Predictor, batch_rx: Receiver<Batch>, shared: Worke
             shared.inject_panic(seq);
             predictor.predict_batch(&graphs)
         }));
+        drop(graphs);
         match outcome {
             Ok(predictions) => {
                 let drop_replies = shared.should_drop_replies(seq);
-                for (request, prediction) in requests.into_iter().zip(predictions) {
+                for (mut request, prediction) in requests.into_iter().zip(predictions) {
+                    request.ctx.stamp(Stage::InferEnd);
                     let latency = request.submitted.elapsed();
                     shared.metrics.completed.inc();
                     shared
                         .metrics
                         .latency_seconds
-                        .observe(latency.as_secs_f64());
+                        .observe_with_exemplar(latency.as_secs_f64(), request.ctx.trace_id());
                     if request.probe {
                         shared.supervisor.probe_succeeded();
+                    }
+                    if let Some(slo) = &shared.metrics.slo {
+                        if drop_replies {
+                            slo.observe_error();
+                        } else {
+                            slo.observe_latency(latency);
+                        }
+                    }
+                    if request.ctx.is_enabled() {
+                        let ctx = &request.ctx;
+                        let m = &shared.metrics;
+                        m.observe_stage(ctx, Stage::Accepted, Stage::Enqueued, &m.stage_admission);
+                        m.observe_stage(ctx, Stage::Enqueued, Stage::BatchSealed, &m.stage_queue);
+                        m.observe_stage(
+                            ctx,
+                            Stage::BatchSealed,
+                            Stage::InferStart,
+                            &m.stage_dispatch,
+                        );
+                        m.observe_stage(ctx, Stage::InferStart, Stage::InferEnd, &m.stage_infer);
+                        let record = if drop_replies {
+                            RequestRecord::from_ctx(ctx, TraceOutcome::ReplyDropped)
+                                .with_cause(format!("fault-inject: reply dropped on batch {seq}"))
+                        } else {
+                            RequestRecord::from_ctx(ctx, TraceOutcome::Completed)
+                        };
+                        m.recorder.record(record.with_batch(seq, batch_size));
                     }
                     if drop_replies {
                         shared.metrics.replies_dropped.inc();
@@ -673,11 +893,21 @@ fn run_worker(mut predictor: Predictor, batch_rx: Receiver<Batch>, shared: Worke
                     let _ = request.reply.send(Ok(served));
                 }
             }
-            Err(_) => {
+            Err(payload) => {
                 shared.metrics.worker_panics.inc();
+                let cause = panic_message(payload.as_ref());
                 let mut had_probe = false;
-                for request in requests {
+                for mut request in requests {
                     had_probe |= request.probe;
+                    request.ctx.stamp(Stage::InferEnd);
+                    shared.metrics.slo_error();
+                    if request.ctx.is_enabled() {
+                        shared.metrics.recorder.record(
+                            RequestRecord::from_ctx(&request.ctx, TraceOutcome::WorkerPanic)
+                                .with_cause(cause.clone())
+                                .with_batch(seq, batch_size),
+                        );
+                    }
                     let _ = request.reply.send(Err(ServeError::WorkerPanic));
                 }
                 if had_probe {

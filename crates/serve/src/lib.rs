@@ -55,3 +55,7 @@ pub use error::ServeError;
 pub use fault::FaultPlan;
 pub use limits::GraphLimits;
 pub use supervise::{BreakerState, Health, ResilienceConfig};
+
+// Request-scoped tracing vocabulary, re-exported so serve-tier callers
+// (router, net) need not depend on deepmap-obs directly for it.
+pub use deepmap_obs::{FlightRecorder, RequestCtx, RequestRecord, SloConfig, Stage, TraceOutcome};

@@ -40,6 +40,11 @@ pub struct ResilienceConfig {
     pub restart_backoff: Duration,
     /// How long an open breaker fast-fails before admitting a probe.
     pub breaker_cooldown: Duration,
+    /// Optional latency/error SLO. When set, the engine tracks fast/slow
+    /// burn rates against the budget and `health()` reports `Degraded`
+    /// while both windows burn at ≥ 1.0 — SLO burn degrades health even
+    /// when the breaker is closed and every replica is live.
+    pub slo: Option<deepmap_obs::SloConfig>,
 }
 
 impl Default for ResilienceConfig {
@@ -50,6 +55,7 @@ impl Default for ResilienceConfig {
             max_restarts: 3,
             restart_backoff: Duration::from_millis(10),
             breaker_cooldown: Duration::from_millis(100),
+            slo: None,
         }
     }
 }

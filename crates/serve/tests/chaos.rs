@@ -15,6 +15,7 @@ use deepmap_kernels::FeatureKind;
 use deepmap_nn::train::TrainConfig;
 use deepmap_serve::{
     FaultPlan, Health, InferenceServer, ModelBundle, ResilienceConfig, ServeError, ServerConfig,
+    TraceOutcome,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -248,6 +249,7 @@ fn injected_latency_makes_the_batcher_shed_expired_requests() {
     let doomed = server
         .submit_with_deadline(graphs[4].clone(), Some(Duration::from_millis(10)))
         .unwrap();
+    let doomed_id = doomed.trace_id();
     assert_eq!(
         resolve(doomed),
         format!("err={}", ServeError::DeadlineExceeded)
@@ -256,6 +258,86 @@ fn injected_latency_makes_the_batcher_shed_expired_requests() {
         assert!(resolve(handle).starts_with("class="), "no deadline, served");
     }
     assert_eq!(server.metrics().shed_deadline, 1);
+
+    // The shed request left an anomaly record naming its exact trace id,
+    // its outcome, and how far past the deadline it sat.
+    let recorder = server.flight_recorder();
+    let shed: Vec<_> = recorder
+        .anomaly_snapshot()
+        .into_iter()
+        .filter(|r| r.outcome == TraceOutcome::ShedDeadline)
+        .collect();
+    assert_eq!(shed.len(), 1, "exactly one shed anomaly: {shed:?}");
+    assert_eq!(
+        shed[0].trace_id, doomed_id,
+        "the shed record names the victim"
+    );
+    let cause = shed[0].cause.as_deref().unwrap_or_default();
+    assert!(cause.contains("deadline exceeded"), "cause: {cause}");
+    assert!(shed[0].stamps_monotonic(), "stamps: {:?}", shed[0].stamps);
+}
+
+#[test]
+fn flight_recorder_names_exact_panicked_requests_with_causes() {
+    let bundle = trained_bundle();
+    let server = InferenceServer::start_chaos(
+        bundle,
+        unbatched(2),
+        ResilienceConfig {
+            max_restarts: 4,
+            restart_backoff: Duration::from_millis(1),
+            ..ResilienceConfig::default()
+        },
+        FaultPlan::new().panic_on_batches([1, 3]),
+    )
+    .unwrap();
+
+    let handles: Vec<_> = request_graphs(8)
+        .into_iter()
+        .map(|g| server.submit(g).expect("breaker never trips"))
+        .collect();
+    let trace_ids: Vec<u64> = handles.iter().map(|h| h.trace_id()).collect();
+    assert!(
+        trace_ids.iter().all(|&id| id != 0),
+        "tracing is on by default, every handle carries a real trace id"
+    );
+    let outcomes: Vec<String> = handles.into_iter().map(resolve).collect();
+
+    // Every request — served or panicked — left a record naming its exact
+    // trace id, and every record's stamps are monotone.
+    let records = server.flight_recorder().snapshot();
+    for (i, &id) in trace_ids.iter().enumerate() {
+        let record = records
+            .iter()
+            .find(|r| r.trace_id == id)
+            .unwrap_or_else(|| panic!("request {i} left no record: {records:?}"));
+        assert!(
+            record.stamps_monotonic(),
+            "request {i}: {:?}",
+            record.stamps
+        );
+        if i == 1 || i == 3 {
+            assert_eq!(outcomes[i], format!("err={}", ServeError::WorkerPanic));
+            assert_eq!(record.outcome, TraceOutcome::WorkerPanic);
+            let cause = record.cause.as_deref().unwrap_or_default();
+            assert!(
+                cause.contains("fault-inject: planned panic"),
+                "request {i} cause: {cause}"
+            );
+        } else {
+            assert_eq!(record.outcome, TraceOutcome::Completed, "request {i}");
+            assert!(record.cause.is_none(), "request {i}");
+        }
+    }
+
+    // The anomaly ring retains exactly the two panic victims.
+    let anomaly_ids: Vec<u64> = server
+        .flight_recorder()
+        .anomaly_snapshot()
+        .iter()
+        .map(|r| r.trace_id)
+        .collect();
+    assert_eq!(anomaly_ids, vec![trace_ids[1], trace_ids[3]]);
 }
 
 /// Runs `n` requests through a chaos server and returns the per-request

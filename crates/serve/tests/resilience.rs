@@ -268,7 +268,9 @@ fn metrics_move_under_rejection_heavy_load_and_render() {
     let text = server.render_metrics();
     for series in [
         "deepmap_serve_rejected_invalid 4",
-        "deepmap_serve_requests_shed_deadline 4",
+        // Shed happens when the batcher seals a batch — the stage label
+        // names that boundary (PR 8).
+        "deepmap_serve_requests_shed_deadline{stage=\"batch_sealed\"} 4",
         "deepmap_serve_worker_panics 0",
         "deepmap_serve_worker_restarts 0",
         "deepmap_serve_breaker_rejected 0",

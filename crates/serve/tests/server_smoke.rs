@@ -87,18 +87,20 @@ fn server_matches_direct_predictor() {
 
     // The snapshot is served from the shared obs registry, which also
     // renders the same numbers in the Prometheus text format.
+    // PR 8: serving instruments carry a stage label tying each series to
+    // the request-tracing taxonomy.
     let text = server.render_metrics();
     assert!(
-        text.contains("deepmap_serve_requests_submitted 20"),
+        text.contains("deepmap_serve_requests_submitted{stage=\"enqueued\"} 20"),
         "{text}"
     );
     assert!(
-        text.contains("deepmap_serve_requests_completed 20"),
+        text.contains("deepmap_serve_requests_completed{stage=\"infer_end\"} 20"),
         "{text}"
     );
     assert!(text.contains("# TYPE deepmap_serve_latency_seconds histogram"));
     assert!(
-        text.contains("deepmap_serve_latency_seconds_count 20"),
+        text.contains("deepmap_serve_latency_seconds_count{stage=\"infer_end\"} 20"),
         "{text}"
     );
     assert_eq!(

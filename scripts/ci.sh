@@ -87,6 +87,13 @@ test -s results/BENCH_net.json
 grep -q '"bench": *"serve_net"' results/BENCH_net.json
 grep -q '"torture_survived": *true' results/BENCH_net.json
 grep -q '"clean_shutdown": *true' results/BENCH_net.json
+# serve_net's trace section pulls a TraceDump over the wire and exits
+# non-zero unless its chosen trace id was adopted, every record's stage
+# stamps are monotone, and the planted shed anomaly carries its cause;
+# the greps pin the recorded verdicts.
+grep -q '"chosen_id_seen": *true' results/BENCH_net.json
+grep -q '"trace_monotonic": *true' results/BENCH_net.json
+grep -q '"anomaly_causes_ok": *true' results/BENCH_net.json
 # The poison-pill suite proves per-connection panic isolation: a detonated
 # handler takes exactly its own connection, never the acceptor.
 cargo test -q --release -p deepmap-net --features fault-inject
@@ -120,5 +127,17 @@ test -s results/BENCH_resilience.json
 grep -q '"bench": *"resilience"' results/BENCH_resilience.json
 grep -q '"hung_requests": *0' results/BENCH_resilience.json
 grep -q '"deterministic": *true' results/BENCH_resilience.json
+
+echo "=== request tracing smoke ==="
+# trace_bench interleaves the same request stream through a traced and an
+# untraced engine and exits non-zero unless attribution costs at most 5%
+# at p50, every traced request landed in the flight recorder with
+# monotone stage stamps, and the untraced engine recorded nothing.
+rm -f results/BENCH_trace.json
+cargo run --release -p deepmap-bench --bin trace_bench -- --smoke
+test -s results/BENCH_trace.json
+grep -q '"bench": *"trace_bench"' results/BENCH_trace.json
+grep -q '"trace_monotonic": *true' results/BENCH_trace.json
+grep -q '"overhead_within_budget": *true' results/BENCH_trace.json
 
 echo "CI GATE PASSED"
