@@ -17,6 +17,11 @@
 //! `available_parallelism`, so a 1-core CI container reporting ~1.0x
 //! speedups is legible as a hardware limit, not a regression.
 //!
+//! The report also carries a single-thread `kernels` section: GFLOP/s for
+//! each blocked/unrolled matmul variant against the naive ascending-k
+//! reference on one fixed shape — the per-core arithmetic floor the
+//! thread-scaling numbers multiply.
+//!
 //! ```text
 //! cargo run --release -p deepmap-bench --bin parallel_scaling
 //! cargo run --release -p deepmap-bench --bin parallel_scaling -- --smoke
@@ -180,6 +185,73 @@ fn run_at(
     }
 }
 
+/// A boxed closure producing one kernel invocation's result.
+type KernelFn = Box<dyn FnMut() -> deepmap_nn::matrix::Matrix>;
+
+/// Single-thread GFLOP/s for each f32 matmul kernel on one fixed square
+/// shape, with the naive reference as the scalar baseline. Runs before the
+/// thread sweep, with the pool irrelevant (the kernels are serial).
+fn kernel_micro_bench(smoke: bool, seed: u64) -> Vec<Json> {
+    let n = if smoke { 64 } else { 192 };
+    let reps = if smoke { 3 } else { 10 };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let a = deepmap_nn::init::uniform(1.0, n, n, &mut rng);
+    let b = deepmap_nn::init::uniform(1.0, n, n, &mut rng);
+    let at = a.transpose();
+    let bt = b.transpose();
+    let flops = 2.0 * (n as f64).powi(3) * reps as f64;
+    let time = |mut f: KernelFn| -> f64 {
+        let _warm = f();
+        let start = Instant::now();
+        let mut sink = 0.0f32;
+        for _ in 0..reps {
+            sink += f().get(0, 0);
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        assert!(sink.is_finite());
+        flops / secs / 1e9
+    };
+    let scalar = {
+        let (a, b) = (a.clone(), b.clone());
+        time(Box::new(move || a.matmul_reference(&b)))
+    };
+    let variants: Vec<(&str, KernelFn)> = vec![
+        {
+            let (a, b) = (a.clone(), b.clone());
+            ("matmul", Box::new(move || a.matmul(&b)))
+        },
+        {
+            let (at, b) = (at.clone(), b.clone());
+            ("t_matmul", Box::new(move || at.t_matmul(&b)))
+        },
+        {
+            let (a, bt) = (a.clone(), bt.clone());
+            ("matmul_t", Box::new(move || a.matmul_t(&bt)))
+        },
+    ];
+    let mut rows = vec![Json::Obj(vec![
+        ("kernel".into(), Json::Str("matmul_reference".into())),
+        ("gflops".into(), Json::Num(scalar)),
+        ("speedup_vs_scalar".into(), Json::Num(1.0)),
+    ])];
+    for (name, f) in variants {
+        let gflops = time(f);
+        deepmap_obs::info!(
+            "kernel {name}: {gflops:.2} GFLOP/s ({:.2}x vs naive reference)",
+            gflops / scalar.max(1e-9)
+        );
+        rows.push(Json::Obj(vec![
+            ("kernel".into(), Json::Str(name.into())),
+            ("gflops".into(), Json::Num(gflops)),
+            (
+                "speedup_vs_scalar".into(),
+                Json::Num(gflops / scalar.max(1e-9)),
+            ),
+        ]));
+    }
+    rows
+}
+
 fn main() {
     let args = parse_args();
     let pairs = if args.smoke { 8 } else { 20 };
@@ -205,6 +277,8 @@ fn main() {
         stream.len(),
         cores
     );
+
+    let kernel_rows = kernel_micro_bench(args.smoke, args.seed);
 
     let points: Vec<SweepPoint> = THREAD_SWEEP
         .iter()
@@ -255,6 +329,7 @@ fn main() {
         ("available_parallelism".into(), Json::Num(cores as f64)),
         ("deterministic".into(), Json::Bool(deterministic)),
         ("best_speedup".into(), Json::Num(best_speedup)),
+        ("kernels".into(), Json::Arr(kernel_rows)),
         ("sweep".into(), Json::Arr(rows)),
     ]);
     std::fs::create_dir_all(args.out.parent().unwrap_or_else(|| ".".as_ref())).ok();
@@ -271,7 +346,12 @@ fn main() {
         .get("sweep")
         .and_then(|s| s.as_arr())
         .map_or(0, |s| s.len());
+    let n_kernels = parsed
+        .get("kernels")
+        .and_then(|s| s.as_arr())
+        .map_or(0, |s| s.len());
     if n_points < THREAD_SWEEP.len()
+        || n_kernels < 4
         || parsed.get("deterministic").is_none()
         || parsed
             .get("available_parallelism")

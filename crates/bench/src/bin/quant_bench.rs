@@ -1,0 +1,334 @@
+//! f32-vs-SIMD-vs-int8 benchmark for the inference hot path.
+//!
+//! Three tiers, one report (`results/BENCH_quant.json`):
+//!
+//! - **kernels** — per-call latency (p50/p99) and GFLOP/s for one
+//!   dense-layer-shaped product, at each numeric tier: the naive scalar
+//!   reference (`matmul_reference`), the blocked/unrolled f32 kernel
+//!   (`matmul`, bit-identical to the reference), and the int8 path
+//!   (`qmatmul`, including its per-row activation quantization);
+//! - **predictor** — end-to-end `Predictor::predict` latency at
+//!   `Precision::F32` vs `Precision::Int8` over a held-out request stream;
+//! - **accuracy** — the f32/int8 prediction-agreement rate over the same
+//!   stream against the gate the bundle was quantized under, plus the f32
+//!   and int8 weight-section sizes.
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --bin quant_bench
+//! cargo run --release -p deepmap-bench --bin quant_bench -- --smoke
+//!
+//! --smoke       tiny shapes and stream; exit non-zero unless the report
+//!               is produced, agreement meets the gate, and the SIMD
+//!               kernel is at least as fast as the scalar reference
+//! --seed <u64>  master seed (default 7)
+//! --out <path>  report path (default results/BENCH_quant.json)
+//! ```
+
+use deepmap_bench::json::Json;
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::quant::{qmatmul, QuantizedMatrix};
+use deepmap_nn::train::TrainConfig;
+use deepmap_serve::{ModelBundle, Precision};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Minimum f32/int8 class-agreement the quantized bundle must clear, both
+/// at quantize time and when re-measured here on the request stream.
+const AGREEMENT_GATE: f64 = 0.9;
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        seed: 7,
+        out: PathBuf::from("results/BENCH_quant.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    fail("--seed must be an integer");
+                })
+            }
+            "--out" => args.out = PathBuf::from(value("--out")),
+            other => fail(&format!(
+                "unknown flag {other}\nusage: quant_bench [--smoke] [--seed s] [--out path]"
+            )),
+        }
+    }
+    args
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("quant_bench: {msg}");
+    std::process::exit(1);
+}
+
+fn synthetic_dataset(pairs: usize, seed: u64) -> (Vec<Graph>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..pairs {
+        graphs.push(cycle_graph(6 + i % 4, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    (graphs, labels)
+}
+
+fn request_stream(n: usize, seed: u64) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                cycle_graph(5 + i % 4, 0, &mut rng)
+            } else {
+                complete_graph(4 + i % 4, 0, &mut rng)
+            }
+        })
+        .collect()
+}
+
+/// Percentile over per-call latencies (seconds); `q` in [0, 1].
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx]
+}
+
+/// Times `reps` calls of `f`, returning (p50_s, p99_s, mean_s).
+fn time_calls(reps: usize, mut f: impl FnMut() -> f32) -> (f64, f64, f64) {
+    let mut sink = f(); // warm-up
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        sink += f();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    assert!(sink.is_finite());
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    (
+        percentile(&mut samples, 0.5),
+        percentile(&mut samples, 0.99),
+        mean,
+    )
+}
+
+fn kernel_row(name: &str, (p50, p99, mean): (f64, f64, f64), flops: f64) -> Json {
+    Json::Obj(vec![
+        ("kernel".into(), Json::Str(name.into())),
+        ("p50_us".into(), Json::Num(p50 * 1e6)),
+        ("p99_us".into(), Json::Num(p99 * 1e6)),
+        ("gflops".into(), Json::Num(flops / mean.max(1e-12) / 1e9)),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    deepmap_par::set_threads(1); // every number here is single-thread
+
+    // ---- kernel tier -------------------------------------------------
+    // One dense-layer-shaped product: (batch of im2col rows) × (weights).
+    let (rows, k, cols) = if args.smoke {
+        (48, 64, 32)
+    } else {
+        (192, 256, 128)
+    };
+    let reps = if args.smoke { 20 } else { 100 };
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xBEEF);
+    let act = deepmap_nn::init::uniform(1.0, rows, k, &mut rng);
+    let w = deepmap_nn::init::uniform(1.0, k, cols, &mut rng);
+    let qw = QuantizedMatrix::quantize(&w).unwrap_or_else(|e| fail(&format!("quantize: {e}")));
+    let flops = 2.0 * rows as f64 * k as f64 * cols as f64;
+
+    let scalar = time_calls(reps, || act.matmul_reference(&w).get(0, 0));
+    let simd = time_calls(reps, || act.matmul(&w).get(0, 0));
+    let int8 = time_calls(reps, || qmatmul(&act, &qw).get(0, 0));
+    let simd_speedup = scalar.2 / simd.2.max(1e-12);
+    let int8_speedup = scalar.2 / int8.2.max(1e-12);
+    deepmap_obs::info!(
+        "kernel {rows}x{k}x{cols}: scalar p50 {:.1}us | simd p50 {:.1}us ({simd_speedup:.2}x) | int8 p50 {:.1}us ({int8_speedup:.2}x)",
+        scalar.0 * 1e6,
+        simd.0 * 1e6,
+        int8.0 * 1e6,
+    );
+    // The vectorized kernel is a drop-in: same bits, or it doesn't ship.
+    let simd_out = act.matmul(&w);
+    if simd_out != act.matmul_reference(&w) {
+        fail("matmul is not bit-identical to matmul_reference");
+    }
+
+    // ---- model tier --------------------------------------------------
+    let pairs = if args.smoke { 8 } else { 20 };
+    let stream_len = if args.smoke { 24 } else { 120 };
+    let (graphs, labels) = synthetic_dataset(pairs, args.seed);
+    let stream = request_stream(stream_len, args.seed);
+    let dm = DeepMap::new(DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: if args.smoke { 4 } else { 12 },
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: args.seed,
+        },
+        seed: args.seed,
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    });
+    let (prepared, pre) = dm
+        .try_prepare_frozen(&graphs, &labels)
+        .unwrap_or_else(|e| fail(&format!("prepare failed: {e}")));
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let result = dm.fit_split(&prepared, &all, &all);
+    let mut bundle = ModelBundle::freeze(
+        &dm,
+        &prepared,
+        pre,
+        &result.model,
+        vec!["cycle".to_string(), "clique".to_string()],
+    )
+    .unwrap_or_else(|e| fail(&format!("freeze failed: {e}")));
+    let probe_refs: Vec<&Graph> = stream.iter().collect();
+    let gate_agreement = bundle
+        .quantize(&probe_refs, AGREEMENT_GATE)
+        .unwrap_or_else(|e| fail(&format!("quantization gate: {e}")));
+
+    let mut f32p = bundle.predictor().unwrap_or_else(|e| fail(&e.to_string()));
+    let mut int8p = bundle
+        .predictor_with(Precision::Int8)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let predictor_reps = if args.smoke { 2 } else { 5 };
+    let time_stream = |p: &mut deepmap_serve::Predictor| -> (f64, f64, f64) {
+        let mut samples = Vec::with_capacity(stream.len() * predictor_reps);
+        let mut sink = 0usize;
+        for _ in 0..predictor_reps {
+            for graph in &stream {
+                let start = Instant::now();
+                sink += p.predict(graph).class;
+                samples.push(start.elapsed().as_secs_f64());
+            }
+        }
+        assert!(sink < usize::MAX);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        (
+            percentile(&mut samples, 0.5),
+            percentile(&mut samples, 0.99),
+            mean,
+        )
+    };
+    let f32_lat = time_stream(&mut f32p);
+    let int8_lat = time_stream(&mut int8p);
+
+    let agreeing = stream
+        .iter()
+        .filter(|g| f32p.predict(g).class == int8p.predict(g).class)
+        .count();
+    let agreement = agreeing as f64 / stream.len() as f64;
+    let f32_bytes = bundle.weight_section_bytes();
+    let int8_bytes = bundle.quantized_bytes().unwrap_or(0);
+    deepmap_obs::info!(
+        "predictor: f32 p50 {:.1}us | int8 p50 {:.1}us ({:.2}x) | agreement {agreement:.3} (gate {AGREEMENT_GATE}) | weights {f32_bytes}B -> {int8_bytes}B",
+        f32_lat.0 * 1e6,
+        int8_lat.0 * 1e6,
+        f32_lat.2 / int8_lat.2.max(1e-12),
+    );
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("quant_bench".into())),
+        ("smoke".into(), Json::Bool(args.smoke)),
+        ("seed".into(), Json::Num(args.seed as f64)),
+        (
+            "kernel_shape".into(),
+            Json::Arr(vec![
+                Json::Num(rows as f64),
+                Json::Num(k as f64),
+                Json::Num(cols as f64),
+            ]),
+        ),
+        (
+            "kernels".into(),
+            Json::Arr(vec![
+                kernel_row("matmul_reference", scalar, flops),
+                kernel_row("matmul", simd, flops),
+                kernel_row("qmatmul", int8, flops),
+            ]),
+        ),
+        ("simd_speedup".into(), Json::Num(simd_speedup)),
+        ("int8_kernel_speedup".into(), Json::Num(int8_speedup)),
+        (
+            "predictor".into(),
+            Json::Obj(vec![
+                ("f32_p50_us".into(), Json::Num(f32_lat.0 * 1e6)),
+                ("f32_p99_us".into(), Json::Num(f32_lat.1 * 1e6)),
+                ("int8_p50_us".into(), Json::Num(int8_lat.0 * 1e6)),
+                ("int8_p99_us".into(), Json::Num(int8_lat.1 * 1e6)),
+                (
+                    "int8_speedup".into(),
+                    Json::Num(f32_lat.2 / int8_lat.2.max(1e-12)),
+                ),
+            ]),
+        ),
+        ("agreement".into(), Json::Num(agreement)),
+        ("agreement_at_quantize".into(), Json::Num(gate_agreement)),
+        ("agreement_gate".into(), Json::Num(AGREEMENT_GATE)),
+        ("f32_weight_bytes".into(), Json::Num(f32_bytes as f64)),
+        ("int8_weight_bytes".into(), Json::Num(int8_bytes as f64)),
+        ("requests".into(), Json::Num(stream.len() as f64)),
+    ]);
+    std::fs::create_dir_all(args.out.parent().unwrap_or_else(|| ".".as_ref())).ok();
+    std::fs::write(&args.out, report.to_json())
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", args.out.display())));
+
+    // Self-check (what `scripts/ci.sh --smoke` gates on): the report parses
+    // back, agreement clears the gate, and the vectorized kernel did not
+    // regress below the scalar reference.
+    let text = std::fs::read_to_string(&args.out)
+        .unwrap_or_else(|e| fail(&format!("cannot re-read {}: {e}", args.out.display())));
+    let parsed =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("report is not valid JSON: {e}")));
+    let reread_agreement = parsed
+        .get("agreement")
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| fail("report is missing agreement"));
+    if reread_agreement < AGREEMENT_GATE {
+        fail(&format!(
+            "f32/int8 agreement {reread_agreement:.3} below gate {AGREEMENT_GATE}"
+        ));
+    }
+    if parsed
+        .get("kernels")
+        .and_then(|v| v.as_arr())
+        .map_or(0, |a| a.len())
+        != 3
+    {
+        fail("report is missing kernel rows");
+    }
+    if simd_speedup < 1.0 {
+        fail(&format!(
+            "vectorized matmul is slower than the scalar reference ({simd_speedup:.2}x)"
+        ));
+    }
+    println!(
+        "wrote {} (simd {simd_speedup:.2}x, int8 kernel {int8_speedup:.2}x, agreement {agreement:.3} >= {AGREEMENT_GATE})",
+        args.out.display()
+    );
+}

@@ -559,12 +559,16 @@ fn write_counted(
     body: &[u8],
 ) -> std::io::Result<()> {
     use std::io::Write;
-    stream.write_all(&crate::protocol::encode_frame_v(version, frame_type, body))?;
+    // Counted before the write: a client that has read this reply must see
+    // the counters already bumped, so "observe reply, then scrape metrics"
+    // can never race. A failed write_all overcounts by one frame on a
+    // connection that is being torn down anyway.
     shared.metrics.frames_out.inc();
     shared
         .metrics
         .bytes_out
         .add((HEADER_LEN + body.len()) as u64);
+    stream.write_all(&crate::protocol::encode_frame_v(version, frame_type, body))?;
     Ok(())
 }
 

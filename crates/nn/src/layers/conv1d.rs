@@ -3,6 +3,7 @@
 use super::{Layer, Mode, Param};
 use crate::init::glorot_uniform;
 use crate::matrix::Matrix;
+use crate::quant::{QuantError, QuantLayer, QuantizedMatrix};
 use rand::rngs::StdRng;
 
 /// 1-D convolution over a `(length × channels)` input.
@@ -167,7 +168,13 @@ impl Layer for Conv1D {
             "Conv1D::backward requires a Train-mode forward first"
         );
         let cols = &self.cols;
-        assert_eq!(grad_output.rows(), cols.rows());
+        assert_eq!(
+            grad_output.rows(),
+            cols.rows(),
+            "Conv1D::backward: gradient has {} rows, cached forward produced {}",
+            grad_output.rows(),
+            cols.rows()
+        );
         // dW += colsᵀ · dY ; db += column-sum(dY).
         self.dw.add_assign(&cols.t_matmul(grad_output));
         self.db.add_assign(&grad_output.sum_rows());
@@ -222,6 +229,16 @@ impl Layer for Conv1D {
             cols: Matrix::zeros(0, 0),
             cols_valid: false,
             cached_input_len: 0,
+        })
+    }
+
+    fn quantize(&self) -> Result<QuantLayer, QuantError> {
+        Ok(QuantLayer::Conv1D {
+            kernel: self.kernel,
+            stride: self.stride,
+            c_in: self.c_in,
+            w: QuantizedMatrix::quantize(&self.w)?,
+            b: self.b.as_slice().to_vec(),
         })
     }
 

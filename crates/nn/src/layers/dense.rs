@@ -3,6 +3,7 @@
 use super::{Layer, Mode, Param};
 use crate::init::glorot_uniform;
 use crate::matrix::Matrix;
+use crate::quant::{QuantError, QuantLayer, QuantizedMatrix};
 use rand::rngs::StdRng;
 
 /// A fully-connected (affine) layer: `Y = X · W + b`, applied row-wise.
@@ -113,6 +114,13 @@ impl Layer for Dense {
             dw: Matrix::zeros(self.dw.rows(), self.dw.cols()),
             db: Matrix::zeros(self.db.rows(), self.db.cols()),
             cached_input: None,
+        })
+    }
+
+    fn quantize(&self) -> Result<QuantLayer, QuantError> {
+        Ok(QuantLayer::Dense {
+            w: QuantizedMatrix::quantize(&self.w)?,
+            b: self.b.as_slice().to_vec(),
         })
     }
 

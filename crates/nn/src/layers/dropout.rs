@@ -2,6 +2,7 @@
 
 use super::{Layer, Mode};
 use crate::matrix::Matrix;
+use crate::quant::{QuantError, QuantLayer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -113,6 +114,10 @@ impl Layer for Dropout {
 
     fn set_noise_nonce(&mut self, nonce: u64) {
         self.nonce = nonce;
+    }
+
+    fn quantize(&self) -> Result<QuantLayer, QuantError> {
+        Ok(QuantLayer::Identity)
     }
 
     fn name(&self) -> &'static str {

@@ -2,6 +2,7 @@
 
 use super::{Layer, Mode};
 use crate::matrix::Matrix;
+use crate::quant::{QuantError, QuantLayer};
 
 /// Reshapes `(L × C)` to `(1 × L·C)` row-major.
 ///
@@ -44,6 +45,10 @@ impl Layer for Flatten {
 
     fn clone_layer(&self) -> Box<dyn Layer> {
         Box::new(Flatten::new())
+    }
+
+    fn quantize(&self) -> Result<QuantLayer, QuantError> {
+        Ok(QuantLayer::Flatten)
     }
 
     fn name(&self) -> &'static str {

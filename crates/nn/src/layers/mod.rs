@@ -22,6 +22,7 @@ pub use sum_pool::SumPool;
 pub use tanh::Tanh;
 
 use crate::matrix::Matrix;
+use crate::quant::{QuantError, QuantLayer};
 
 /// Whether a forward pass is part of training (enables dropout) or
 /// inference.
@@ -89,6 +90,15 @@ pub trait Layer: Send + Sync {
     /// Default: no-op for noise-free layers.
     fn set_noise_nonce(&mut self, nonce: u64) {
         let _ = nonce;
+    }
+
+    /// Lowers the layer to its int8 inference form. Implementations must
+    /// preserve inference semantics up to quantization error — stochastic
+    /// layers lower to their *inference* behaviour (`Dropout` → identity).
+    /// The default refuses ([`QuantError::NotQuantizable`]), so new layers
+    /// opt in explicitly rather than silently serving wrong math.
+    fn quantize(&self) -> Result<QuantLayer, QuantError> {
+        Err(QuantError::NotQuantizable { layer: self.name() })
     }
 
     /// Human-readable layer name for debugging and model summaries.

@@ -2,6 +2,7 @@
 
 use super::{Layer, Mode};
 use crate::matrix::Matrix;
+use crate::quant::{QuantError, QuantLayer};
 
 /// Elementwise `max(0, x)`.
 ///
@@ -63,6 +64,10 @@ impl Layer for ReLU {
 
     fn clone_layer(&self) -> Box<dyn Layer> {
         Box::new(ReLU::new())
+    }
+
+    fn quantize(&self) -> Result<QuantLayer, QuantError> {
+        Ok(QuantLayer::ReLU)
     }
 
     fn name(&self) -> &'static str {

@@ -2,6 +2,7 @@
 
 use super::{Layer, Mode};
 use crate::matrix::Matrix;
+use crate::quant::{QuantError, QuantLayer};
 
 /// Sums over sequence positions: `(L × C) → (1 × C)`.
 ///
@@ -38,7 +39,13 @@ impl Layer for SumPool {
             self.cached_len > 0,
             "SumPool::backward requires a Train-mode forward first"
         );
-        assert_eq!(grad_output.rows(), 1);
+        assert_eq!(
+            grad_output.rows(),
+            1,
+            "SumPool::backward: gradient must be a single pooled row, got {}x{}",
+            grad_output.rows(),
+            grad_output.cols()
+        );
         // d(sum)/d(row r) = I, so the gradient broadcasts to every position.
         let mut out = Matrix::zeros(self.cached_len, grad_output.cols());
         for r in 0..self.cached_len {
@@ -49,6 +56,10 @@ impl Layer for SumPool {
 
     fn clone_layer(&self) -> Box<dyn Layer> {
         Box::new(SumPool::new())
+    }
+
+    fn quantize(&self) -> Result<QuantLayer, QuantError> {
+        Ok(QuantLayer::SumPool)
     }
 
     fn name(&self) -> &'static str {

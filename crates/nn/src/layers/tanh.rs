@@ -2,6 +2,7 @@
 
 use super::{Layer, Mode};
 use crate::matrix::Matrix;
+use crate::quant::{QuantError, QuantLayer};
 
 /// Elementwise `tanh(x)`.
 ///
@@ -55,6 +56,10 @@ impl Layer for Tanh {
 
     fn clone_layer(&self) -> Box<dyn Layer> {
         Box::new(Tanh::new())
+    }
+
+    fn quantize(&self) -> Result<QuantLayer, QuantError> {
+        Ok(QuantLayer::Tanh)
     }
 
     fn name(&self) -> &'static str {

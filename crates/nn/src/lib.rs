@@ -14,6 +14,9 @@
 //! - [`optim`] — RMSProp (the paper's optimiser) and a
 //!   reduce-LR-on-plateau scheduler (factor 0.5, patience 5; paper §5.1).
 //! - [`model`] — [`model::Sequential`] container.
+//! - [`quant`] — opt-in int8 lowering of trained models for serving
+//!   (per-channel symmetric weights, exact `i32` accumulation, `QNT1`
+//!   serialization). Training math is never quantized.
 //! - [`train`] — mini-batch trainer with per-epoch statistics.
 //! - [`init`] — Glorot/Xavier initialisation from a seeded RNG.
 //! - [`persist`] — framed binary checkpointing of model weights.
@@ -30,7 +33,9 @@ pub mod matrix;
 pub mod model;
 pub mod optim;
 pub mod persist;
+pub mod quant;
 pub mod train;
 
 pub use matrix::Matrix;
 pub use model::Sequential;
+pub use quant::QuantModel;

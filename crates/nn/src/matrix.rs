@@ -2,15 +2,26 @@
 //!
 //! The NN substrate works on small dense matrices: a sample flowing through
 //! the DeepMap CNN is a `(sequence length × channels)` matrix, and layer
-//! parameters are weight matrices. The matmuls use cache-blocked `ikj`-order
-//! loops whose slice-based inner loop the compiler auto-vectorises; no BLAS
-//! dependency is allowed in this workspace.
+//! parameters are weight matrices. The matmuls run hand-unrolled
+//! micro-kernels inside cache-blocked loops: the AXPY-style products
+//! (`matmul`, `t_matmul`) process four contributions of the contracted
+//! dimension per pass over an eight-lane output chunk, and the dot-product
+//! kernel (`matmul_t`) runs eight independent accumulator chains (four
+//! output rows × two output columns) so the serial dependence of a single
+//! dot product stops bounding throughput. The kernels are plain array/slice
+//! code — no intrinsics, no nightly features — shaped so LLVM lowers the
+//! lane loops to vector instructions (AVX2 with `target-cpu=native`, SSE2
+//! otherwise). No BLAS dependency is allowed in this workspace.
 //!
-//! Determinism: blocking only changes *which* output elements are worked on
-//! when, never the order in which contributions to a single output element
-//! are accumulated (always ascending over the contracted dimension). Every
-//! product is therefore bit-identical to the naive triple loop — the
-//! property tests at the bottom of this file pin that down.
+//! Determinism: unrolling and blocking only change *which* output elements
+//! are worked on when, never the order in which contributions to a single
+//! output element are accumulated (always ascending over the contracted
+//! dimension, one rounded `+ a·b` at a time — deliberately not `mul_add`,
+//! which would fuse the rounding and change results where FMA hardware
+//! exists). Every product is therefore bit-identical to the naive triple
+//! loop [`Matrix::matmul_reference`] on finite data — the property tests at
+//! the bottom of this file and in `tests/proptests.rs` pin that down across
+//! degenerate and tile-straddling shapes.
 
 use std::fmt;
 
@@ -23,6 +34,112 @@ const BLOCK_J: usize = 128;
 /// Tile height over output rows for the dot-product (`matmul_t`) kernel:
 /// each right-hand row is reused across this many left-hand rows while hot.
 const BLOCK_I: usize = 32;
+/// Output lanes processed together by the AXPY micro-kernels — one
+/// `f32x8`-style vector register worth of columns.
+const LANES: usize = 8;
+
+/// Adds four ascending-`k` contributions `a[q]·b{q}[j]` into `out[j]`,
+/// eight lanes at a time. Per output element the contribution order is
+/// exactly `a[0]`, `a[1]`, `a[2]`, `a[3]`, each rounded separately, so the
+/// result is bit-identical to four sequential scalar AXPY passes — the
+/// unroll only cuts the loads/stores of `out` by 4× and feeds the lane
+/// loops to the vectoriser.
+#[inline]
+fn axpy4(out: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    let n = out.len();
+    debug_assert!(
+        b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n,
+        "axpy4: operand slices must match the output width (internal kernel invariant)"
+    );
+    let mut j = 0;
+    while j + LANES <= n {
+        let mut v = [0.0f32; LANES];
+        v.copy_from_slice(&out[j..j + LANES]);
+        for (o, &b) in v.iter_mut().zip(&b0[j..j + LANES]) {
+            *o += a[0] * b;
+        }
+        for (o, &b) in v.iter_mut().zip(&b1[j..j + LANES]) {
+            *o += a[1] * b;
+        }
+        for (o, &b) in v.iter_mut().zip(&b2[j..j + LANES]) {
+            *o += a[2] * b;
+        }
+        for (o, &b) in v.iter_mut().zip(&b3[j..j + LANES]) {
+            *o += a[3] * b;
+        }
+        out[j..j + LANES].copy_from_slice(&v);
+        j += LANES;
+    }
+    while j < n {
+        let mut v = out[j];
+        v += a[0] * b0[j];
+        v += a[1] * b1[j];
+        v += a[2] * b2[j];
+        v += a[3] * b3[j];
+        out[j] = v;
+        j += 1;
+    }
+}
+
+/// Single-contribution AXPY tail of [`axpy4`]: `out[j] += a·b[j]`, eight
+/// lanes at a time.
+#[inline]
+fn axpy1(out: &mut [f32], a: f32, b: &[f32]) {
+    let n = out.len();
+    debug_assert!(
+        b.len() == n,
+        "axpy1: operand slice must match the output width (internal kernel invariant)"
+    );
+    let mut j = 0;
+    while j + LANES <= n {
+        let mut v = [0.0f32; LANES];
+        v.copy_from_slice(&out[j..j + LANES]);
+        for (o, &bv) in v.iter_mut().zip(&b[j..j + LANES]) {
+            *o += a * bv;
+        }
+        out[j..j + LANES].copy_from_slice(&v);
+        j += LANES;
+    }
+    while j < n {
+        out[j] += a * b[j];
+        j += 1;
+    }
+}
+
+/// Serial ascending-`k` dot product — one accumulator, the naive order.
+#[inline]
+fn dot1(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Eight independent serial dot products: four left rows against two right
+/// rows. Every accumulator chain is a plain ascending-`k` sum (bit-identical
+/// to [`dot1`]); the win is instruction-level parallelism — eight chains in
+/// flight instead of one latency-bound chain — plus 4× reuse of each `b`
+/// load and 2× reuse of each `a` load.
+#[inline]
+fn dot4x2(a: [&[f32]; 4], b0: &[f32], b1: &[f32]) -> [[f32; 2]; 4] {
+    let kk = b0.len();
+    debug_assert!(
+        b1.len() == kk && a.iter().all(|row| row.len() == kk),
+        "dot4x2: all operand rows must share the contracted length (internal kernel invariant)"
+    );
+    let mut s = [[0.0f32; 2]; 4];
+    for k in 0..kk {
+        let bv0 = b0[k];
+        let bv1 = b1[k];
+        for (q, row) in a.iter().enumerate() {
+            let av = row[k];
+            s[q][0] += av * bv0;
+            s[q][1] += av * bv1;
+        }
+    }
+    s
+}
 
 /// A dense row-major matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,7 +164,13 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: a {rows}x{cols} matrix needs {} scalars, got {}",
+            rows * cols,
+            data.len()
+        );
         Matrix { rows, cols, data }
     }
 
@@ -82,26 +205,54 @@ impl Matrix {
     /// Immutable element access.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        debug_assert!(r < self.rows && c < self.cols);
+        // Internal hot-path bounds check only: release builds rely on the
+        // slice index below, so the shape-carrying message is debug-only.
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "Matrix::get: ({r}, {c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
     /// Mutable element access.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, value: f32) {
-        debug_assert!(r < self.rows && c < self.cols);
+        // Internal hot-path bounds check only (see `get`).
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "Matrix::set: ({r}, {c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = value;
     }
 
     /// Row `r` as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
+        // Internal hot-path bounds check only: the slice below already
+        // panics on overflow, this just names the shape in debug builds.
+        debug_assert!(
+            r < self.rows,
+            "Matrix::row: row {r} out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Row `r` as a mutable slice.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        // Internal hot-path bounds check only (see `row`).
+        debug_assert!(
+            r < self.rows,
+            "Matrix::row_mut: row {r} out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -121,9 +272,6 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
-    // The indexed `k` loop mirrors the blocked-tile arithmetic; iterator
-    // chains over `a_row` obscure the k0..k1 tile bounds.
-    #[allow(clippy::needless_range_loop)]
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
@@ -134,8 +282,10 @@ impl Matrix {
         let mut out = Matrix::zeros(m, n);
         // Cache-blocked ikj: for each output row, walk `k` in tiles so the
         // touched rows of `other` stay hot, and `j` in tiles so the output
-        // slice does. Per output element the `k` order is still ascending,
-        // so results are bit-identical to the unblocked loop.
+        // slice does. Inside a tile the micro-kernel retires four `k`
+        // contributions per pass (`axpy4`), eight output lanes at a time.
+        // Per output element the `k` order is still ascending, so results
+        // are bit-identical to `matmul_reference`.
         for i in 0..m {
             let out_row = &mut out.data[i * n..(i + 1) * n];
             let a_row = &self.data[i * kk..(i + 1) * kk];
@@ -143,15 +293,31 @@ impl Matrix {
                 let k1 = (k0 + BLOCK_K).min(kk);
                 for j0 in (0..n).step_by(BLOCK_J) {
                     let j1 = (j0 + BLOCK_J).min(n);
-                    for k in k0..k1 {
+                    let out_tile = &mut out_row[j0..j1];
+                    let mut k = k0;
+                    while k + 4 <= k1 {
+                        let a = [a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]];
+                        // Zero-skip (sparse one-hot features make all-zero
+                        // quads common): adding 0·b changes nothing on
+                        // finite data, so skipping stays bit-identical.
+                        if a != [0.0; 4] {
+                            axpy4(
+                                out_tile,
+                                a,
+                                &other.data[k * n + j0..k * n + j1],
+                                &other.data[(k + 1) * n + j0..(k + 1) * n + j1],
+                                &other.data[(k + 2) * n + j0..(k + 2) * n + j1],
+                                &other.data[(k + 3) * n + j0..(k + 3) * n + j1],
+                            );
+                        }
+                        k += 4;
+                    }
+                    while k < k1 {
                         let a = a_row[k];
-                        if a == 0.0 {
-                            continue;
+                        if a != 0.0 {
+                            axpy1(out_tile, a, &other.data[k * n + j0..k * n + j1]);
                         }
-                        let b_row = &other.data[k * n + j0..k * n + j1];
-                        for (o, &b) in out_row[j0..j1].iter_mut().zip(b_row) {
-                            *o += a * b;
-                        }
+                        k += 1;
                     }
                 }
             }
@@ -159,7 +325,34 @@ impl Matrix {
         out
     }
 
+    /// The naive ascending-`k` triple loop (no blocking, no unrolling, no
+    /// zero-skip): the bit-exactness oracle the micro-kernels are property
+    /// tested against, and the scalar baseline the kernel micro-benches
+    /// measure speedups from. Not for production use — it is the slow path
+    /// by design.
+    pub fn matmul_reference(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dimensions: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for j in 0..other.cols {
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * other.data[k * other.cols + j];
+                }
+                out.data[i * other.cols + j] = acc;
+            }
+        }
+        out
+    }
+
     /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// # Panics
+    /// Panics on outer-dimension mismatch.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
@@ -170,21 +363,39 @@ impl Matrix {
         let mut out = Matrix::zeros(m, n);
         // Blocked over the contracted dimension (`r`, the shared row index):
         // within a tile each output row accumulates all of the tile's
-        // contributions while resident. `r` stays ascending per output
-        // element, so results are bit-identical to the unblocked loop.
+        // contributions while resident, four at a time through `axpy4`. `r`
+        // stays ascending per output element, so results are bit-identical
+        // to the transpose-then-`matmul_reference` product.
         for r0 in (0..rr).step_by(BLOCK_K) {
             let r1 = (r0 + BLOCK_K).min(rr);
             for i in 0..m {
                 let out_row = &mut out.data[i * n..(i + 1) * n];
-                for r in r0..r1 {
+                let mut r = r0;
+                while r + 4 <= r1 {
+                    let a = [
+                        self.data[r * m + i],
+                        self.data[(r + 1) * m + i],
+                        self.data[(r + 2) * m + i],
+                        self.data[(r + 3) * m + i],
+                    ];
+                    if a != [0.0; 4] {
+                        axpy4(
+                            out_row,
+                            a,
+                            &other.data[r * n..(r + 1) * n],
+                            &other.data[(r + 1) * n..(r + 2) * n],
+                            &other.data[(r + 2) * n..(r + 3) * n],
+                            &other.data[(r + 3) * n..(r + 4) * n],
+                        );
+                    }
+                    r += 4;
+                }
+                while r < r1 {
                     let a = self.data[r * m + i];
-                    if a == 0.0 {
-                        continue;
+                    if a != 0.0 {
+                        axpy1(out_row, a, &other.data[r * n..(r + 1) * n]);
                     }
-                    let b_row = &other.data[r * n..(r + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
+                    r += 1;
                 }
             }
         }
@@ -192,6 +403,9 @@ impl Matrix {
     }
 
     /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
@@ -200,21 +414,48 @@ impl Matrix {
         );
         let (m, n) = (self.rows, other.rows);
         let mut out = Matrix::zeros(m, n);
-        // Row-blocked dot products: each row of `other` is reused across a
-        // tile of `self` rows while hot. The single-accumulator ascending-k
-        // dot per output element is untouched, so results are bit-identical
-        // to the unblocked loop.
+        // Register-blocked dot products: a 4×2 block of outputs is computed
+        // by `dot4x2` as eight independent serial chains, and each row of
+        // `other` is further reused across a BLOCK_I tile of `self` rows
+        // while hot. The single-accumulator ascending-`k` order of every
+        // output element is untouched, so results are bit-identical to the
+        // `matmul`-with-explicit-transpose product.
         for i0 in (0..m).step_by(BLOCK_I) {
             let i1 = (i0 + BLOCK_I).min(m);
-            for j in 0..n {
-                let b_row = other.row(j);
-                for i in i0..i1 {
-                    let a_row = self.row(i);
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
+            let mut j = 0;
+            while j + 2 <= n {
+                let b0 = other.row(j);
+                let b1 = other.row(j + 1);
+                let mut i = i0;
+                while i + 4 <= i1 {
+                    let s = dot4x2(
+                        [
+                            self.row(i),
+                            self.row(i + 1),
+                            self.row(i + 2),
+                            self.row(i + 3),
+                        ],
+                        b0,
+                        b1,
+                    );
+                    for (q, pair) in s.iter().enumerate() {
+                        out.data[(i + q) * n + j] = pair[0];
+                        out.data[(i + q) * n + j + 1] = pair[1];
                     }
-                    out.data[i * n + j] = acc;
+                    i += 4;
+                }
+                while i < i1 {
+                    let a_row = self.row(i);
+                    out.data[i * n + j] = dot1(a_row, b0);
+                    out.data[i * n + j + 1] = dot1(a_row, b1);
+                    i += 1;
+                }
+                j += 2;
+            }
+            if j < n {
+                let b0 = other.row(j);
+                for i in i0..i1 {
+                    out.data[i * n + j] = dot1(self.row(i), b0);
                 }
             }
         }
@@ -237,7 +478,15 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_assign shape mismatch: {}x{} += {}x{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -328,6 +577,19 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "a 2x3 matrix needs 6 scalars, got 5")]
+    fn from_vec_mismatch_names_shape() {
+        let _ = Matrix::from_vec(2, 3, vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "add_assign shape mismatch: 2x2 += 1x4")]
+    fn add_assign_mismatch_names_shapes() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_assign(&Matrix::zeros(1, 4));
+    }
+
+    #[test]
     fn transpose_round_trip() {
         let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
         assert_eq!(a.transpose().transpose(), a);
@@ -394,26 +656,35 @@ mod tests {
         let (m, k, n) = (3, 67, 131);
         let a = Matrix::from_vec(m, k, (0..m * k).map(|v| (v % 13) as f32 - 6.0).collect());
         let b = Matrix::from_vec(k, n, (0..k * n).map(|v| (v % 7) as f32 - 3.0).collect());
-        assert_eq!(a.matmul(&b), naive_matmul(&a, &b));
-        assert_eq!(a.transpose().t_matmul(&b), naive_matmul(&a, &b));
-        assert_eq!(a.matmul_t(&b.transpose()), naive_matmul(&a, &b));
+        assert_eq!(a.matmul(&b), a.matmul_reference(&b));
+        assert_eq!(a.transpose().t_matmul(&b), a.matmul_reference(&b));
+        assert_eq!(a.matmul_t(&b.transpose()), a.matmul_reference(&b));
     }
 
-    /// Naive ascending-`k` triple loop (no blocking, no zero-skip): the
-    /// reference the blocked kernels must match bit for bit on finite data.
-    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
-        assert_eq!(a.cols(), b.rows());
-        let mut out = Matrix::zeros(a.rows(), b.cols());
-        for i in 0..a.rows() {
-            for j in 0..b.cols() {
-                let mut acc = 0.0f32;
-                for k in 0..a.cols() {
-                    acc += a.get(i, k) * b.get(k, j);
-                }
-                out.set(i, j, acc);
-            }
+    #[test]
+    fn zero_width_contraction_yields_zeros() {
+        // k = 0: an (m×0)·(0×n) product is all zeros, and the kernels must
+        // not touch a single element of either empty operand.
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 5);
+        assert_eq!(a.matmul(&b), Matrix::zeros(3, 5));
+        assert_eq!(a.matmul_reference(&b), Matrix::zeros(3, 5));
+        assert_eq!(a.transpose().t_matmul(&b), Matrix::zeros(3, 5));
+        assert_eq!(a.matmul_t(&b.transpose()), Matrix::zeros(3, 5));
+    }
+
+    #[test]
+    fn sparse_rows_hit_the_zero_skip() {
+        // A quad that is entirely zero, a quad that mixes zero and
+        // non-zero, and a ragged scalar tail — all against the reference.
+        let mut a = Matrix::zeros(2, 11);
+        for k in [4, 6, 10] {
+            a.set(0, k, (k + 1) as f32);
+            a.set(1, k, -(k as f32));
         }
-        out
+        let b = Matrix::from_vec(11, 9, (0..99).map(|v| (v % 5) as f32 - 2.0).collect());
+        assert_eq!(a.matmul(&b), a.matmul_reference(&b));
+        assert_eq!(a.transpose().t_matmul(&b), a.matmul_reference(&b));
     }
 
     mod properties {
@@ -426,7 +697,8 @@ mod tests {
         }
 
         /// Random shapes deliberately straddling the tile sizes (64 / 128 /
-        /// 32) so ragged block tails are exercised, with the operand pair
+        /// 32) and the 8-lane / 4-unroll micro-kernel widths, so ragged
+        /// block and vector tails are exercised, with the operand pair
         /// shaped consistently for one product.
         fn product_inputs() -> impl Strategy<Value = (Matrix, Matrix)> {
             (1usize..12, 1usize..100, 1usize..150)
@@ -437,7 +709,7 @@ mod tests {
             #![proptest_config(ProptestConfig::with_cases(64))]
             #[test]
             fn blocked_products_match_naive_reference((a, b) in product_inputs()) {
-                let naive = naive_matmul(&a, &b);
+                let naive = a.matmul_reference(&b);
                 prop_assert_eq!(a.matmul(&b), naive.clone());
                 prop_assert_eq!(a.transpose().t_matmul(&b), naive.clone());
                 prop_assert_eq!(a.matmul_t(&b.transpose()), naive);

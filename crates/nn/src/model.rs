@@ -3,6 +3,7 @@
 use crate::layers::{Layer, Mode, Param};
 use crate::loss::{predict_class, softmax_cross_entropy};
 use crate::matrix::Matrix;
+use crate::quant::{QuantError, QuantModel};
 
 /// A stack of layers applied in order.
 ///
@@ -232,6 +233,22 @@ impl Sequential {
     /// Layer names, for summaries.
     pub fn layer_names(&self) -> Vec<&'static str> {
         self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Lowers the whole stack to an int8 [`QuantModel`] via
+    /// [`Layer::quantize`]. Training state is untouched; the returned model
+    /// is an independent inference artifact.
+    ///
+    /// # Errors
+    /// Fails when any layer has no quantized lowering or a weight matrix
+    /// exceeds the `i32` accumulator headroom — never a partial model.
+    pub fn quantize(&self) -> Result<QuantModel, QuantError> {
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| l.quantize())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(QuantModel::from_layers(layers))
     }
 }
 

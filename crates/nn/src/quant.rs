@@ -1,0 +1,834 @@
+//! int8 quantized inference.
+//!
+//! A trained [`Sequential`] can be lowered to a [`QuantModel`]: weight
+//! matrices become per-output-channel symmetric int8
+//! ([`QuantizedMatrix`], scale `max|w|/127`, zero-point 0), activations are
+//! quantized dynamically per row at the same symmetry, and every matmul
+//! accumulates in `i32` — exact integer arithmetic, order-independent, so
+//! the quantized path is trivially deterministic across thread counts and
+//! kernel shapes. A single dequantize per output element
+//! (`acc as f32 · row_scale · channel_scale`) returns to f32 between
+//! layers, so the nonlinearities and readouts run unchanged.
+//!
+//! Quantization is *inference-only* and opt-in: training math is untouched,
+//! and serving selects the path explicitly (`ServerConfig::precision` in
+//! `deepmap-serve`, default f32). The quantized model serializes to the
+//! framed `QNT1` binary format (same strictness discipline as
+//! [`crate::persist`]: magic, full validation, trailing-byte rejection),
+//! which `deepmap-serve` embeds as the extra section of a `DMB2` bundle.
+//!
+//! Accuracy is probabilistic, not exact — per-element error of one matmul
+//! is bounded by `k · s_act · s_w · 127.5` (see the property test), and the
+//! end-to-end guard is a *prediction agreement* gate: callers compare
+//! quantized and f32 predictions on real samples and reject the quantized
+//! model when agreement falls below their threshold (the serve crate does
+//! this at bundle build time).
+
+use crate::matrix::Matrix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"QNT1";
+
+/// Largest contracted dimension the `i32` accumulator provably cannot
+/// overflow at: every product is in `[-127·127, 127·127]`, so `k` terms
+/// need `k · 127² ≤ i32::MAX`.
+pub const MAX_ACC_K: usize = (i32::MAX / (127 * 127)) as usize;
+
+/// Errors from quantization and `QNT1` (de)serialisation.
+#[derive(Debug, PartialEq)]
+pub enum QuantError {
+    /// The model contains a layer with no quantized lowering.
+    NotQuantizable {
+        /// Name of the offending layer.
+        layer: &'static str,
+    },
+    /// A weight matrix's contracted dimension exceeds [`MAX_ACC_K`].
+    AccumulatorOverflow {
+        /// The contracted dimension that is too large.
+        k: usize,
+    },
+    /// The buffer does not start with the `QNT1` magic.
+    BadMagic,
+    /// The buffer ended before the declared data.
+    Truncated,
+    /// An unknown layer tag was encountered.
+    BadTag {
+        /// The unrecognised tag byte.
+        tag: u8,
+    },
+    /// The buffer contains bytes beyond the declared data.
+    TrailingBytes {
+        /// Number of unexpected bytes after the last layer.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::NotQuantizable { layer } => {
+                write!(f, "layer {layer} has no quantized lowering")
+            }
+            QuantError::AccumulatorOverflow { k } => write!(
+                f,
+                "contracted dimension {k} exceeds the int8 accumulator bound {MAX_ACC_K}"
+            ),
+            QuantError::BadMagic => write!(f, "not a QNT1 quantized model"),
+            QuantError::Truncated => write!(f, "quantized model truncated"),
+            QuantError::BadTag { tag } => write!(f, "unknown quantized layer tag {tag}"),
+            QuantError::TrailingBytes { extra } => {
+                write!(f, "quantized model has {extra} trailing bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// A `(k × n)` weight matrix stored as per-output-channel symmetric int8.
+///
+/// Column `j` holds `q[i][j] = round(w[i][j] / scale[j])` with
+/// `scale[j] = max_i |w[i][j]| / 127` — symmetric (zero-point 0), so the
+/// integer dot product needs no zero-point correction terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    /// Per-column dequantization scales, length `cols`.
+    scales: Vec<f32>,
+    /// Row-major int8 values, length `rows · cols`.
+    q: Vec<i8>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a weight matrix per output channel (column).
+    ///
+    /// # Errors
+    /// [`QuantError::AccumulatorOverflow`] when the contracted dimension
+    /// (`w.rows()`) exceeds [`MAX_ACC_K`].
+    pub fn quantize(w: &Matrix) -> Result<Self, QuantError> {
+        let (rows, cols) = w.shape();
+        if rows > MAX_ACC_K {
+            return Err(QuantError::AccumulatorOverflow { k: rows });
+        }
+        let mut scales = vec![0.0f32; cols];
+        for i in 0..rows {
+            for (s, &v) in scales.iter_mut().zip(w.row(i)) {
+                *s = s.max(v.abs());
+            }
+        }
+        for s in &mut scales {
+            *s /= 127.0;
+        }
+        let mut q = vec![0i8; rows * cols];
+        for i in 0..rows {
+            let row = w.row(i);
+            let qrow = &mut q[i * cols..(i + 1) * cols];
+            for ((dst, &v), &s) in qrow.iter_mut().zip(row).zip(&scales) {
+                // All-zero columns keep scale 0; their quantized values stay
+                // 0 and dequantize back to exactly 0.
+                *dst = if s == 0.0 {
+                    0
+                } else {
+                    (v / s).round().clamp(-127.0, 127.0) as i8
+                };
+            }
+        }
+        Ok(QuantizedMatrix {
+            rows,
+            cols,
+            scales,
+            q,
+        })
+    }
+
+    /// Rows (the contracted dimension of [`qmatmul`]).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns (output channels).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Per-column dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstructs the nearest f32 matrix (`q · scale` per element) — the
+    /// round-trip target the quantization error bound is measured against.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let row = out.row_mut(i);
+            let qrow = &self.q[i * self.cols..(i + 1) * self.cols];
+            for ((o, &qv), &s) in row.iter_mut().zip(qrow).zip(&self.scales) {
+                *o = qv as f32 * s;
+            }
+        }
+        out
+    }
+
+    /// Serialized payload size in bytes (for compression-ratio reporting).
+    pub fn storage_bytes(&self) -> usize {
+        8 + 4 * self.scales.len() + self.q.len()
+    }
+
+    fn write_into(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.rows as u32);
+        buf.put_u32_le(self.cols as u32);
+        for &s in &self.scales {
+            buf.put_f32_le(s);
+        }
+        for &v in &self.q {
+            buf.put_u8(v as u8);
+        }
+    }
+
+    fn read_from(cursor: &mut &[u8]) -> Result<Self, QuantError> {
+        if cursor.remaining() < 8 {
+            return Err(QuantError::Truncated);
+        }
+        let rows = cursor.get_u32_le() as usize;
+        let cols = cursor.get_u32_le() as usize;
+        if rows > MAX_ACC_K {
+            return Err(QuantError::AccumulatorOverflow { k: rows });
+        }
+        if cursor.remaining() < 4 * cols {
+            return Err(QuantError::Truncated);
+        }
+        let mut scales = Vec::with_capacity(cols);
+        for _ in 0..cols {
+            scales.push(cursor.get_f32_le());
+        }
+        let n = rows.checked_mul(cols).ok_or(QuantError::Truncated)?;
+        if cursor.remaining() < n {
+            return Err(QuantError::Truncated);
+        }
+        let mut q = Vec::with_capacity(n);
+        for _ in 0..n {
+            q.push(cursor.get_u8() as i8);
+        }
+        Ok(QuantizedMatrix {
+            rows,
+            cols,
+            scales,
+            q,
+        })
+    }
+}
+
+/// Symmetrically quantizes one activation row into `out`, returning the
+/// scale (`max|x|/127`; 0 for an all-zero row, whose quantized values are
+/// all 0).
+pub fn quantize_row(row: &[f32], out: &mut [i8]) -> f32 {
+    assert_eq!(
+        row.len(),
+        out.len(),
+        "quantize_row: input row has {} values, output buffer {}",
+        row.len(),
+        out.len()
+    );
+    let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        out.iter_mut().for_each(|v| *v = 0);
+        return 0.0;
+    }
+    let scale = max_abs / 127.0;
+    let inv = 127.0 / max_abs;
+    for (o, &v) in out.iter_mut().zip(row) {
+        *o = (v * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+/// Quantized matmul: `act (m × k, f32) · w (k × n, int8)` → f32 `(m × n)`.
+///
+/// Each activation row is quantized dynamically ([`quantize_row`]), the dot
+/// products accumulate exactly in `i32` (AXPY order over the output row, so
+/// the inner loop is a unit-stride widening multiply-add the vectoriser
+/// handles), and each output dequantizes once:
+/// `out[i][j] = acc · s_act[i] · s_w[j]`. Integer accumulation is exact, so
+/// results are independent of summation order and thread count by
+/// construction.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch. The accumulator headroom bound
+/// (`k ≤` [`MAX_ACC_K`]) is enforced when `w` is built.
+pub fn qmatmul(act: &Matrix, w: &QuantizedMatrix) -> Matrix {
+    assert_eq!(
+        act.cols(),
+        w.rows,
+        "qmatmul inner dimensions: {}x{} · {}x{}",
+        act.rows(),
+        act.cols(),
+        w.rows,
+        w.cols
+    );
+    let (m, k, n) = (act.rows(), act.cols(), w.cols);
+    let mut out = Matrix::zeros(m, n);
+    let mut qrow = vec![0i8; k];
+    let mut acc = vec![0i32; n];
+    for i in 0..m {
+        let s_act = quantize_row(act.row(i), &mut qrow);
+        acc.iter_mut().for_each(|a| *a = 0);
+        for (kk, &qa) in qrow.iter().enumerate() {
+            let a = qa as i32;
+            // ReLU activations make zero rows common; 0·w adds nothing.
+            if a == 0 {
+                continue;
+            }
+            let wrow = &w.q[kk * n..(kk + 1) * n];
+            for (o, &b) in acc.iter_mut().zip(wrow) {
+                *o += a * b as i32;
+            }
+        }
+        let out_row = out.row_mut(i);
+        for ((o, &a), &sw) in out_row.iter_mut().zip(&acc).zip(&w.scales) {
+            *o = a as f32 * (s_act * sw);
+        }
+    }
+    out
+}
+
+/// One layer of a quantized inference stack.
+///
+/// Parameterised layers carry int8 weights and f32 biases; stateless layers
+/// are lowered structurally (`Dropout` becomes `Identity` — its inference
+/// forward already is).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantLayer {
+    /// im2col convolution with int8 weights.
+    Conv1D {
+        /// Window length.
+        kernel: usize,
+        /// Window step.
+        stride: usize,
+        /// Input channels.
+        c_in: usize,
+        /// `(kernel·c_in × filters)` quantized weights.
+        w: QuantizedMatrix,
+        /// Per-filter f32 bias.
+        b: Vec<f32>,
+    },
+    /// Affine layer with int8 weights.
+    Dense {
+        /// `(in_dim × out_dim)` quantized weights.
+        w: QuantizedMatrix,
+        /// Per-output f32 bias.
+        b: Vec<f32>,
+    },
+    /// Elementwise `max(0, x)`.
+    ReLU,
+    /// Elementwise `tanh(x)`.
+    Tanh,
+    /// Row summation readout `(L × C) → (1 × C)`.
+    SumPool,
+    /// Row-major reshape `(L × C) → (1 × L·C)`.
+    Flatten,
+    /// Pass-through (inference lowering of `Dropout`).
+    Identity,
+}
+
+impl QuantLayer {
+    /// Layer name, matching the f32 [`crate::layers::Layer::name`]
+    /// convention.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QuantLayer::Conv1D { .. } => "Conv1D",
+            QuantLayer::Dense { .. } => "Dense",
+            QuantLayer::ReLU => "ReLU",
+            QuantLayer::Tanh => "Tanh",
+            QuantLayer::SumPool => "SumPool",
+            QuantLayer::Flatten => "Flatten",
+            QuantLayer::Identity => "Identity",
+        }
+    }
+
+    /// Runs the layer forward.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        match self {
+            QuantLayer::Conv1D {
+                kernel,
+                stride,
+                c_in,
+                w,
+                b,
+            } => {
+                assert_eq!(
+                    input.cols(),
+                    *c_in,
+                    "quantized Conv1D: input has {} channels, layer expects {c_in}",
+                    input.cols()
+                );
+                assert!(
+                    input.rows() >= *kernel,
+                    "quantized Conv1D: input length {} shorter than kernel {kernel}",
+                    input.rows()
+                );
+                let l_out = (input.rows() - kernel) / stride + 1;
+                let mut cols = Matrix::zeros(l_out, kernel * c_in);
+                for t in 0..l_out {
+                    let dst = cols.row_mut(t);
+                    for k in 0..*kernel {
+                        let src = input.row(t * stride + k);
+                        dst[k * c_in..(k + 1) * c_in].copy_from_slice(src);
+                    }
+                }
+                let mut out = qmatmul(&cols, w);
+                add_bias(&mut out, b);
+                out
+            }
+            QuantLayer::Dense { w, b } => {
+                let mut out = qmatmul(input, w);
+                add_bias(&mut out, b);
+                out
+            }
+            QuantLayer::ReLU => {
+                let mut out = input.clone();
+                for v in out.as_mut_slice() {
+                    *v = v.max(0.0);
+                }
+                out
+            }
+            QuantLayer::Tanh => {
+                let mut out = input.clone();
+                for v in out.as_mut_slice() {
+                    *v = v.tanh();
+                }
+                out
+            }
+            QuantLayer::SumPool => input.sum_rows(),
+            QuantLayer::Flatten => {
+                Matrix::from_vec(1, input.rows() * input.cols(), input.as_slice().to_vec())
+            }
+            QuantLayer::Identity => input.clone(),
+        }
+    }
+
+    fn write_into(&self, buf: &mut BytesMut) {
+        match self {
+            QuantLayer::Conv1D {
+                kernel,
+                stride,
+                c_in,
+                w,
+                b,
+            } => {
+                buf.put_u8(0);
+                buf.put_u32_le(*kernel as u32);
+                buf.put_u32_le(*stride as u32);
+                buf.put_u32_le(*c_in as u32);
+                w.write_into(buf);
+                write_f32s(buf, b);
+            }
+            QuantLayer::Dense { w, b } => {
+                buf.put_u8(1);
+                w.write_into(buf);
+                write_f32s(buf, b);
+            }
+            QuantLayer::ReLU => buf.put_u8(2),
+            QuantLayer::Tanh => buf.put_u8(3),
+            QuantLayer::SumPool => buf.put_u8(4),
+            QuantLayer::Flatten => buf.put_u8(5),
+            QuantLayer::Identity => buf.put_u8(6),
+        }
+    }
+
+    fn read_from(cursor: &mut &[u8]) -> Result<Self, QuantError> {
+        if cursor.remaining() < 1 {
+            return Err(QuantError::Truncated);
+        }
+        match cursor.get_u8() {
+            0 => {
+                if cursor.remaining() < 12 {
+                    return Err(QuantError::Truncated);
+                }
+                let kernel = cursor.get_u32_le() as usize;
+                let stride = cursor.get_u32_le() as usize;
+                let c_in = cursor.get_u32_le() as usize;
+                let w = QuantizedMatrix::read_from(cursor)?;
+                let b = read_f32s(cursor)?;
+                Ok(QuantLayer::Conv1D {
+                    kernel,
+                    stride,
+                    c_in,
+                    w,
+                    b,
+                })
+            }
+            1 => {
+                let w = QuantizedMatrix::read_from(cursor)?;
+                let b = read_f32s(cursor)?;
+                Ok(QuantLayer::Dense { w, b })
+            }
+            2 => Ok(QuantLayer::ReLU),
+            3 => Ok(QuantLayer::Tanh),
+            4 => Ok(QuantLayer::SumPool),
+            5 => Ok(QuantLayer::Flatten),
+            6 => Ok(QuantLayer::Identity),
+            tag => Err(QuantError::BadTag { tag }),
+        }
+    }
+}
+
+fn add_bias(out: &mut Matrix, b: &[f32]) {
+    for r in 0..out.rows() {
+        for (o, &bias) in out.row_mut(r).iter_mut().zip(b) {
+            *o += bias;
+        }
+    }
+}
+
+fn write_f32s(buf: &mut BytesMut, values: &[f32]) {
+    buf.put_u32_le(values.len() as u32);
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+}
+
+fn read_f32s(cursor: &mut &[u8]) -> Result<Vec<f32>, QuantError> {
+    if cursor.remaining() < 4 {
+        return Err(QuantError::Truncated);
+    }
+    let len = cursor.get_u32_le() as usize;
+    if cursor.remaining() < 4 * len {
+        return Err(QuantError::Truncated);
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(cursor.get_f32_le());
+    }
+    Ok(out)
+}
+
+/// A quantized inference stack lowered from a [`Sequential`]
+/// (via [`Sequential::quantize`](crate::model::Sequential::quantize)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantModel {
+    layers: Vec<QuantLayer>,
+}
+
+impl QuantModel {
+    /// Builds a model from explicit layers (deserialization and tests; the
+    /// normal entry point is `Sequential::quantize`).
+    pub fn from_layers(layers: Vec<QuantLayer>) -> Self {
+        QuantModel { layers }
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer names in order.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Full forward pass. Pure (`&self`), so one model serves many threads.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    /// Runs layers `start..end` only — same contract as
+    /// [`Sequential::forward_range`](crate::model::Sequential::forward_range),
+    /// used by the batched serving path to split the conv stack from the
+    /// readout head.
+    ///
+    /// # Panics
+    /// Panics when `start > end` or `end > self.n_layers()`.
+    pub fn infer_range(&self, input: &Matrix, start: usize, end: usize) -> Matrix {
+        assert!(
+            start <= end && end <= self.layers.len(),
+            "invalid layer range {start}..{end} for {} layers",
+            self.layers.len()
+        );
+        let mut x = input.clone();
+        for layer in &self.layers[start..end] {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    /// Total serialized size of the int8 weight payloads (for reporting the
+    /// compression ratio against 4-bytes-per-scalar f32 checkpoints).
+    pub fn weight_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                QuantLayer::Conv1D { w, b, .. } | QuantLayer::Dense { w, b } => {
+                    w.storage_bytes() + 4 * b.len()
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Serialises to the framed `QNT1` format:
+    ///
+    /// ```text
+    /// magic "QNT1" | u32 layer count | per layer: u8 tag | payload
+    /// ```
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.weight_bytes() + 16 * self.layers.len());
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(self.layers.len() as u32);
+        for layer in &self.layers {
+            layer.write_into(&mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialises a [`QuantModel::to_bytes`] frame.
+    ///
+    /// # Errors
+    /// Rejects bad magic, truncation, unknown layer tags, accumulator-unsafe
+    /// shapes, and trailing bytes — nothing partial is ever returned.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, QuantError> {
+        let mut cursor = data;
+        if cursor.remaining() < 8 {
+            return Err(QuantError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        cursor.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(QuantError::BadMagic);
+        }
+        let count = cursor.get_u32_le() as usize;
+        let mut layers = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            layers.push(QuantLayer::read_from(&mut cursor)?);
+        }
+        if cursor.remaining() != 0 {
+            return Err(QuantError::TrailingBytes {
+                extra: cursor.remaining(),
+            });
+        }
+        Ok(QuantModel { layers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv1D, Dense, Dropout, ReLU, SumPool};
+    use crate::model::Sequential;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_matrix(rows: usize, cols: usize, seed: f32) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|v| ((v as f32 * 0.37 + seed).sin()) * 2.0)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn quantize_round_trip_error_bounded() {
+        let w = sample_matrix(13, 7, 0.5);
+        let q = QuantizedMatrix::quantize(&w).unwrap();
+        let back = q.dequantize();
+        for j in 0..w.cols() {
+            // Per-element error ≤ scale/2 (round-to-nearest on a symmetric
+            // grid).
+            let bound = q.scales()[j] * 0.5 + 1e-6;
+            for i in 0..w.rows() {
+                let err = (w.get(i, j) - back.get(i, j)).abs();
+                assert!(err <= bound, "({i},{j}): err {err} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_column_quantizes_to_exact_zero() {
+        let mut w = sample_matrix(5, 3, 1.0);
+        for i in 0..5 {
+            w.set(i, 1, 0.0);
+        }
+        let q = QuantizedMatrix::quantize(&w).unwrap();
+        assert_eq!(q.scales()[1], 0.0);
+        let back = q.dequantize();
+        for i in 0..5 {
+            assert_eq!(back.get(i, 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn quantize_row_all_zero_is_scale_zero() {
+        let mut out = vec![7i8; 4];
+        let s = quantize_row(&[0.0; 4], &mut out);
+        assert_eq!(s, 0.0);
+        assert_eq!(out, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn accumulator_bound_enforced() {
+        // A matrix taller than MAX_ACC_K is rejected without allocating the
+        // full int8 payload. MAX_ACC_K ≈ 133k rows, so a 1-column matrix is
+        // cheap to build.
+        let w = Matrix::zeros(MAX_ACC_K + 1, 1);
+        assert_eq!(
+            QuantizedMatrix::quantize(&w),
+            Err(QuantError::AccumulatorOverflow { k: MAX_ACC_K + 1 })
+        );
+    }
+
+    #[test]
+    fn qmatmul_error_bounded() {
+        let a = sample_matrix(6, 40, 0.1);
+        let w = sample_matrix(40, 9, 0.9);
+        let q = QuantizedMatrix::quantize(&w).unwrap();
+        let exact = a.matmul(&w);
+        let approx = qmatmul(&a, &q);
+        for i in 0..a.rows() {
+            let s_act = a.row(i).iter().fold(0.0f32, |m, &v| m.max(v.abs())) / 127.0;
+            for j in 0..w.cols() {
+                // k terms, each off by ≤ x_max·s_w/2 + w_max·s_a/2 + s_a·s_w/4
+                // with x_max = 127·s_a and w_max = 127·s_w, so per-term error
+                // ≤ s_a·s_w·127.25; keep slack for f32 rounding of the
+                // reference product.
+                let bound = 40.0 * s_act * q.scales()[j] * 127.5 + 1e-4;
+                let err = (exact.get(i, j) - approx.get(i, j)).abs();
+                assert!(err <= bound, "({i},{j}): err {err} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn qmatmul_deterministic() {
+        let a = sample_matrix(4, 33, 0.2);
+        let w = sample_matrix(33, 5, 0.7);
+        let q = QuantizedMatrix::quantize(&w).unwrap();
+        assert_eq!(qmatmul(&a, &q), qmatmul(&a, &q));
+    }
+
+    fn quantizable_model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Box::new(Conv1D::new(3, 8, 2, 2, &mut rng)))
+            .push(Box::new(ReLU::new()))
+            .push(Box::new(Dropout::new(0.5, seed)))
+            .push(Box::new(SumPool::new()))
+            .push(Box::new(Dense::new(8, 4, &mut rng)))
+    }
+
+    #[test]
+    fn sequential_quantize_lowers_every_layer() {
+        let qm = quantizable_model(3).quantize().unwrap();
+        assert_eq!(
+            qm.layer_names(),
+            // Dropout lowers to its inference semantics: identity.
+            vec!["Conv1D", "ReLU", "Identity", "SumPool", "Dense"]
+        );
+    }
+
+    #[test]
+    fn quantized_model_tracks_f32_model() {
+        let model = quantizable_model(4);
+        let qm = model.quantize().unwrap();
+        let x = sample_matrix(6, 3, 0.3);
+        let f32_out = model.infer(&x);
+        let q_out = qm.infer(&x);
+        assert_eq!(f32_out.shape(), q_out.shape());
+        let scale = f32_out
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()))
+            .max(1e-3);
+        for (a, b) in f32_out.as_slice().iter().zip(q_out.as_slice()) {
+            assert!(
+                (a - b).abs() <= 0.15 * scale,
+                "quantized output drifted: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_conv_matches_dequantized_f32_conv() {
+        // With the weights *already* on the int8 grid, the only remaining
+        // error is activation quantization.
+        let model = quantizable_model(5);
+        let qm = model.quantize().unwrap();
+        let x = sample_matrix(4, 3, 0.8);
+        let ranged = qm.infer_range(&x, 0, qm.n_layers());
+        assert_eq!(ranged, qm.infer(&x));
+    }
+
+    #[test]
+    fn infer_range_splits_like_sequential() {
+        let qm = quantizable_model(6).quantize().unwrap();
+        let x = sample_matrix(6, 3, 0.4);
+        let mid = qm.infer_range(&x, 0, 2);
+        let tail = qm.infer_range(&mid, 2, qm.n_layers());
+        assert_eq!(tail, qm.infer(&x));
+        assert_eq!(qm.infer_range(&x, 1, 1), x);
+    }
+
+    #[test]
+    fn qnt1_round_trip() {
+        let qm = quantizable_model(7).quantize().unwrap();
+        let blob = qm.to_bytes();
+        let back = QuantModel::from_bytes(&blob).unwrap();
+        assert_eq!(back, qm);
+        let x = sample_matrix(6, 3, 0.6);
+        assert_eq!(back.infer(&x), qm.infer(&x));
+    }
+
+    #[test]
+    fn qnt1_rejects_bad_magic() {
+        let mut blob = quantizable_model(7).quantize().unwrap().to_bytes().to_vec();
+        blob[0] ^= 0xFF;
+        assert_eq!(QuantModel::from_bytes(&blob), Err(QuantError::BadMagic));
+        assert_eq!(QuantModel::from_bytes(&[]), Err(QuantError::Truncated));
+    }
+
+    #[test]
+    fn qnt1_rejects_truncation_and_trailing() {
+        let blob = quantizable_model(8).quantize().unwrap().to_bytes();
+        for cut in [5, blob.len() / 2, blob.len() - 1] {
+            assert_eq!(
+                QuantModel::from_bytes(&blob[..cut]),
+                Err(QuantError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        let mut oversized = blob.to_vec();
+        oversized.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(
+            QuantModel::from_bytes(&oversized),
+            Err(QuantError::TrailingBytes { extra: 3 })
+        );
+    }
+
+    #[test]
+    fn qnt1_rejects_unknown_tag() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(1);
+        buf.put_u8(42);
+        assert_eq!(
+            QuantModel::from_bytes(&buf.freeze()),
+            Err(QuantError::BadTag { tag: 42 })
+        );
+    }
+
+    #[test]
+    fn weight_bytes_beats_f32() {
+        let model = quantizable_model(9);
+        let qm = model.quantize().unwrap();
+        // int8 payload must undercut 4-bytes-per-parameter f32 storage.
+        assert!(qm.weight_bytes() < 4 * model.n_parameters());
+        assert!(qm.weight_bytes() > 0);
+    }
+}

@@ -26,6 +26,31 @@ fn transpose_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
         .prop_flat_map(|(shared, ca, cb)| (matrix_of(shared, ca), matrix_of(shared, cb)))
 }
 
+/// A dimension that is usually one of the listed edge values and otherwise
+/// a random fallback — lets shape strategies hit exact boundaries (0, 1,
+/// lane widths, block sizes) far more often than uniform sampling would.
+fn edge_dim(edges: &'static [usize], max: usize) -> impl Strategy<Value = usize> {
+    (0..edges.len() * 2, 1..max).prop_map(move |(pick, fallback)| {
+        if pick < edges.len() {
+            edges[pick]
+        } else {
+            fallback
+        }
+    })
+}
+
+/// Operand pairs for one matrix product, biased toward degenerate shapes:
+/// row vectors (m = 1), column vectors (n = 1), empty contraction (k = 0),
+/// and dims straddling the kernels' 8-lane unroll and 32/64/128 tiles.
+fn degenerate_product() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (
+        edge_dim(&[1, 2, 31, 32, 33], 12),
+        edge_dim(&[0, 1, 3, 4, 5, 7, 8, 9, 63, 64, 65], 90),
+        edge_dim(&[1, 2, 7, 8, 9, 127, 128, 129], 40),
+    )
+        .prop_flat_map(|(m, k, n)| (matrix_of(m, k), matrix_of(k, n)))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -41,6 +66,35 @@ proptest! {
         let a = at.transpose();
         let b = bt.transpose();
         prop_assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    /// All three blocked/unrolled matmul kernels stay bit-identical to the
+    /// naive ascending-k reference on degenerate and tile-straddling
+    /// shapes, so every ragged vector/block tail path is exercised.
+    #[test]
+    fn kernel_edge_shapes_match_reference((a, b) in degenerate_product()) {
+        let reference = a.matmul_reference(&b);
+        prop_assert_eq!(a.matmul(&b), reference.clone());
+        prop_assert_eq!(a.transpose().t_matmul(&b), reference.clone());
+        prop_assert_eq!(a.matmul_t(&b.transpose()), reference);
+    }
+
+    /// The int8 path's per-output error obeys the analytic bound
+    /// `k · s_act · s_w · 127.5` on random (including degenerate) shapes.
+    #[test]
+    fn qmatmul_error_bound_holds((a, b) in degenerate_product()) {
+        let q = deepmap_nn::quant::QuantizedMatrix::quantize(&b).unwrap();
+        let exact = a.matmul_reference(&b);
+        let approx = deepmap_nn::quant::qmatmul(&a, &q);
+        let k = a.cols() as f32;
+        for i in 0..a.rows() {
+            let s_act = a.row(i).iter().fold(0.0f32, |m, &v| m.max(v.abs())) / 127.0;
+            for j in 0..b.cols() {
+                let bound = k * s_act * q.scales()[j] * 127.5 + 1e-4;
+                let err = (exact.get(i, j) - approx.get(i, j)).abs();
+                prop_assert!(err <= bound, "({}, {}): err {} > bound {}", i, j, err, bound);
+            }
+        }
     }
 
     /// Matmul distributes over addition: A(B + C) = AB + AC (up to f32).

@@ -535,6 +535,39 @@ mod tests {
     }
 
     #[test]
+    fn multiple_instrument_labels_render_in_registration_order() {
+        // The serve tier registers its latency histogram with two baked-in
+        // labels (stage + precision); all of them must survive rendering,
+        // merge with `le` on buckets, and sit after any call-time labels.
+        let reg = Registry::new(TraceLevel::Summary);
+        let h = reg.histogram_labeled(
+            "serve.latency_seconds",
+            &[("stage", "infer_end"), ("precision", "int8")],
+        );
+        h.observe(0.25);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains(
+                "deepmap_serve_latency_seconds_count{stage=\"infer_end\",precision=\"int8\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "deepmap_serve_latency_seconds_bucket{stage=\"infer_end\",precision=\"int8\",le=\""
+            ),
+            "buckets must merge every instrument label with le: {text}"
+        );
+        let labeled = reg.render_prometheus_labeled(&[("model", "mutag")]);
+        assert!(
+            labeled.contains(
+                "deepmap_serve_latency_seconds_count{model=\"mutag\",stage=\"infer_end\",precision=\"int8\"} 1"
+            ),
+            "call-time labels must precede every instrument label: {labeled}"
+        );
+    }
+
+    #[test]
     fn exemplars_render_openmetrics_style() {
         let reg = Registry::new(TraceLevel::Summary);
         let h = reg.histogram("serve.latency_seconds");

@@ -52,6 +52,20 @@ pub fn trained_bundle(seed: u64) -> Arc<ModelBundle> {
     Arc::new(bundle)
 }
 
+/// [`trained_bundle`], then lowered to int8 with the agreement gate run
+/// over the training graphs themselves — a DMB2 bundle servable at either
+/// precision.
+pub fn quantized_bundle(seed: u64) -> Arc<ModelBundle> {
+    let bundle = trained_bundle(seed);
+    let mut bundle = (*bundle).clone();
+    let probes = request_graphs(8);
+    let probe_refs: Vec<&Graph> = probes.iter().collect();
+    bundle
+        .quantize(&probe_refs, 0.5)
+        .expect("toy model survives int8");
+    Arc::new(bundle)
+}
+
 pub fn request_graphs(n: usize) -> Vec<Graph> {
     let mut rng = StdRng::seed_from_u64(77);
     (0..n)

@@ -5,9 +5,9 @@
 
 mod common;
 
-use common::{request_graphs, trained_bundle};
+use common::{quantized_bundle, request_graphs, trained_bundle};
 use deepmap_router::{ModelConfig, ModelRouter, RouterConfig, RouterError, MAX_MODEL_NAME};
-use deepmap_serve::{Health, ServeError};
+use deepmap_serve::{Health, Precision, ServeError, ServerConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -225,6 +225,70 @@ fn reload_of_unknown_model_is_refused_and_shutdown_is_idempotent() {
         Ok(_) => panic!("resolved a model on a shut-down router"),
     }
     assert_eq!(router.shutdown(), first);
+}
+
+#[test]
+fn per_model_precision_is_part_of_the_serving_policy() {
+    // Two residents over the *same* DMB2 bundle, one per precision: the
+    // per-model ServerConfig carries the numeric mode, so a router can run
+    // an int8 pool next to its f32 reference.
+    let router = ModelRouter::new(RouterConfig::default());
+    let bundle = quantized_bundle(11);
+    let int8_config = ModelConfig {
+        server: ServerConfig {
+            precision: Precision::Int8,
+            ..ServerConfig::default()
+        },
+        ..ModelConfig::default()
+    };
+    router
+        .register("ref-f32", Arc::clone(&bundle), ModelConfig::default())
+        .unwrap();
+    router
+        .register("live-int8", Arc::clone(&bundle), int8_config.clone())
+        .unwrap();
+
+    let mut direct_f32 = bundle.predictor().unwrap();
+    let mut direct_int8 = bundle.predictor_with(Precision::Int8).unwrap();
+    for graph in &request_graphs(6) {
+        let f32_served = router.predict("ref-f32", graph.clone()).unwrap();
+        assert_eq!(f32_served.scores, direct_f32.predict(graph).scores);
+        let int8_served = router.predict("live-int8", graph.clone()).unwrap();
+        assert_eq!(int8_served.scores, direct_int8.predict(graph).scores);
+    }
+
+    // Each pool's latency series carries its own precision label.
+    let text = router.render_metrics();
+    assert!(
+        text.contains(
+            "deepmap_serve_latency_seconds_count{model=\"ref-f32\",stage=\"infer_end\",precision=\"f32\"}"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "deepmap_serve_latency_seconds_count{model=\"live-int8\",stage=\"infer_end\",precision=\"int8\"}"
+        ),
+        "{text}"
+    );
+
+    // A hot swap rebuilds the pool at the registered precision — reload the
+    // int8 model and check it still serves int8 answers.
+    assert_eq!(router.reload("live-int8", Arc::clone(&bundle)).unwrap(), 2);
+    let graph = &request_graphs(1)[0];
+    let reloaded = router.predict("live-int8", graph.clone()).unwrap();
+    assert_eq!(reloaded.scores, direct_int8.predict(graph).scores);
+
+    // An int8 policy over a bundle without quantized weights is a typed
+    // registration failure, not a broken resident.
+    let plain = trained_bundle(1234);
+    match router.register("bad-int8", plain, int8_config) {
+        Err(RouterError::Serve(ServeError::NoQuantizedWeights)) => {}
+        other => panic!("expected NoQuantizedWeights, got {other:?}"),
+    }
+    assert_eq!(router.list_models().len(), 2);
+    let stats = router.shutdown();
+    assert_eq!(stats.pools_leaked, 0);
 }
 
 #[test]

@@ -1,11 +1,12 @@
-//! The `DMB1` model bundle: a trained DeepMap classifier frozen for serving.
+//! The `DMB1`/`DMB2` model bundle: a trained DeepMap classifier frozen for
+//! serving.
 //!
 //! A bundle packs everything inference needs into one versioned binary
 //! file, all hand-rolled little-endian framing in the style of the `DMW1`
 //! weight checkpoints:
 //!
 //! ```text
-//! magic "DMB1" | u32 version (= 1)
+//! magic "DMB1" | u32 version (= 1)     (or "DMB2" | 2, see below)
 //! model config   (shapes, filters, readout, seed)
 //! train config   (provenance: epochs, batch size, learning rate, seed)
 //! max feature dim (the top-K truncation the pipeline applied, if any)
@@ -13,11 +14,17 @@
 //! preprocessor   (u64 len | FrozenPreprocessor blob: assembly params +
 //!                 frozen feature vocabulary, see deepmap-core::frozen)
 //! weights        (u64 len | DMW1 checkpoint)
+//! quantized      (DMB2 only: u64 len | QNT1 int8 model, see
+//!                 deepmap-nn::quant)
 //! ```
 //!
-//! Loading validates every section, rebuilds the architecture from the
-//! recorded config, and checks the weights actually fit it — a bundle that
-//! loads is a bundle that predicts.
+//! A bundle without quantized weights serialises byte-for-byte as `DMB1`;
+//! calling [`ModelBundle::quantize`] (which gates on f32/int8 prediction
+//! agreement over a probe set) upgrades it to `DMB2` with one extra
+//! trailing section. Loading validates every section — including parsing
+//! the full `QNT1` frame on `DMB2` — rebuilds the architecture from the
+//! recorded config, and checks the weights actually fit it: a bundle that
+//! loads is a bundle that predicts, at every precision it carries.
 
 use crate::codec::Reader;
 use crate::error::ServeError;
@@ -31,11 +38,45 @@ use deepmap_nn::layers::Mode;
 use deepmap_nn::loss::softmax;
 use deepmap_nn::persist::{load_weights, save_weights};
 use deepmap_nn::train::TrainConfig;
-use deepmap_nn::{Matrix, Sequential};
+use deepmap_nn::{Matrix, QuantModel, Sequential};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"DMB1";
 const VERSION: u32 = 1;
+const MAGIC_V2: &[u8; 4] = b"DMB2";
+const VERSION_V2: u32 = 2;
+
+/// Numeric mode of a serving path. The default is [`Precision::F32`]
+/// everywhere: quantized inference is an explicit opt-in
+/// (`ServerConfig::precision`), never a silent change to the math a model
+/// was validated with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-precision f32 inference — bit-identical to training-time eval.
+    #[default]
+    F32,
+    /// int8 weights + dynamic int8 activations with exact `i32`
+    /// accumulation; requires the bundle to carry a quantized (`DMB2`)
+    /// section.
+    Int8,
+}
+
+impl Precision {
+    /// Stable lowercase label, used for metrics series
+    /// (`precision="f32"|"int8"`) and report keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// A frozen, servable DeepMap classifier: architecture, trained weights,
 /// frozen feature vocabulary, assembly parameters, and label names.
@@ -47,6 +88,10 @@ pub struct ModelBundle {
     class_names: Vec<String>,
     pre: FrozenPreprocessor,
     weights: Vec<u8>,
+    /// Serialized `QNT1` int8 model; present on `DMB2` bundles only. Kept
+    /// as the validated blob (not the parsed model) so `to_bytes` is a
+    /// faithful round trip.
+    quant: Option<Vec<u8>>,
 }
 
 impl ModelBundle {
@@ -90,7 +135,73 @@ impl ModelBundle {
             class_names,
             pre,
             weights,
+            quant: None,
         })
+    }
+
+    /// Lowers the frozen weights to int8 and attaches them as the bundle's
+    /// `DMB2` section, gated on prediction agreement: the quantized model
+    /// must pick the same class as the f32 model on at least
+    /// `min_agreement` of the `probes` (0.0–1.0). Returns the measured
+    /// agreement on success; on rejection
+    /// ([`ServeError::QuantizationRejected`]) the bundle is unchanged.
+    ///
+    /// An empty probe set vacuously passes — callers own choosing a probe
+    /// set that represents their traffic (the bench uses held-out training
+    /// graphs).
+    pub fn quantize(&mut self, probes: &[&Graph], min_agreement: f64) -> Result<f64, ServeError> {
+        let model = self.build_model()?;
+        let qm = model
+            .quantize()
+            .map_err(|e| ServeError::Corrupt(format!("quantization failed: {e}")))?;
+        let mut agreeing = 0usize;
+        for graph in probes {
+            let input = self.pre.embed_one(graph);
+            let f32_class = model.predict(&input);
+            let int8_class = qm.infer(&input).argmax_row(0);
+            if f32_class == int8_class {
+                agreeing += 1;
+            }
+        }
+        let agreement = if probes.is_empty() {
+            1.0
+        } else {
+            agreeing as f64 / probes.len() as f64
+        };
+        if agreement < min_agreement {
+            return Err(ServeError::QuantizationRejected {
+                agreement,
+                required: min_agreement,
+            });
+        }
+        self.quant = Some(qm.to_bytes().to_vec());
+        Ok(agreement)
+    }
+
+    /// Whether the bundle carries a quantized (`DMB2`) weight section.
+    pub fn has_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Size of the serialized int8 section in bytes, when present —
+    /// reported by the bench against the f32 weight section.
+    pub fn quantized_bytes(&self) -> Option<usize> {
+        self.quant.as_ref().map(|blob| blob.len())
+    }
+
+    /// Size of the serialized f32 weight section in bytes.
+    pub fn weight_section_bytes(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Parses the quantized section into a ready int8 model.
+    ///
+    /// # Errors
+    /// [`ServeError::NoQuantizedWeights`] when the bundle is plain `DMB1`.
+    pub fn build_quant_model(&self) -> Result<QuantModel, ServeError> {
+        let blob = self.quant.as_ref().ok_or(ServeError::NoQuantizedWeights)?;
+        QuantModel::from_bytes(blob)
+            .map_err(|e| ServeError::Corrupt(format!("quantized section: {e}")))
     }
 
     /// The recorded architecture.
@@ -144,20 +255,42 @@ impl ModelBundle {
         Ok(model)
     }
 
-    /// A ready-to-use single-threaded predictor over this bundle.
+    /// A ready-to-use single-threaded f32 predictor over this bundle.
     pub fn predictor(&self) -> Result<Predictor, ServeError> {
+        self.predictor_with(Precision::F32)
+    }
+
+    /// A predictor at an explicit precision.
+    /// [`Precision::Int8`] requires the bundle to carry quantized weights
+    /// ([`ServeError::NoQuantizedWeights`] otherwise).
+    pub fn predictor_with(&self, precision: Precision) -> Result<Predictor, ServeError> {
+        let engine = match precision {
+            Precision::F32 => PredictorEngine::F32(self.build_model()?),
+            Precision::Int8 => PredictorEngine::Int8(self.build_quant_model()?),
+        };
         Ok(Predictor {
-            model: self.build_model()?,
+            engine,
             pre: self.pre.clone(),
             w: self.model_cfg.w,
+            precision,
         })
     }
 
-    /// Serialises the bundle.
+    /// Serialises the bundle: byte-for-byte `DMB1` when no quantized
+    /// weights are attached, `DMB2` (one extra trailing section) when they
+    /// are.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        match &self.quant {
+            None => {
+                out.extend_from_slice(MAGIC);
+                out.extend_from_slice(&VERSION.to_le_bytes());
+            }
+            Some(_) => {
+                out.extend_from_slice(MAGIC_V2);
+                out.extend_from_slice(&VERSION_V2.to_le_bytes());
+            }
+        }
         let c = &self.model_cfg;
         for v in [
             c.m,
@@ -198,6 +331,10 @@ impl ModelBundle {
         out.extend_from_slice(&pre_blob);
         out.extend_from_slice(&(self.weights.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.weights);
+        if let Some(blob) = &self.quant {
+            out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            out.extend_from_slice(blob);
+        }
         out
     }
 
@@ -206,11 +343,18 @@ impl ModelBundle {
     /// the declared architecture.
     pub fn from_bytes(data: &[u8]) -> Result<ModelBundle, ServeError> {
         let mut r = Reader::new(data);
-        if r.take(4)? != MAGIC {
-            return Err(ServeError::BadMagic);
-        }
+        let has_quant_section = match r.take(4)? {
+            magic if magic == MAGIC => false,
+            magic if magic == MAGIC_V2 => true,
+            _ => return Err(ServeError::BadMagic),
+        };
         let version = r.u32()?;
-        if version != VERSION {
+        let expected = if has_quant_section {
+            VERSION_V2
+        } else {
+            VERSION
+        };
+        if version != expected {
             return Err(ServeError::UnsupportedVersion(version));
         }
         let m = r.u64()? as usize;
@@ -279,6 +423,12 @@ impl ModelBundle {
         }
         let weights_len = r.u64()? as usize;
         let weights = r.take(weights_len)?.to_vec();
+        let quant = if has_quant_section {
+            let quant_len = r.u64()? as usize;
+            Some(r.take(quant_len)?.to_vec())
+        } else {
+            None
+        };
         r.finish()?;
         let bundle = ModelBundle {
             model_cfg,
@@ -287,9 +437,14 @@ impl ModelBundle {
             class_names,
             pre,
             weights,
+            quant,
         };
-        // A bundle that parses must also predict: prove the weights fit.
+        // A bundle that parses must also predict: prove the weights fit —
+        // at every precision the bundle claims to serve.
         bundle.build_model()?;
+        if bundle.has_quantized() {
+            bundle.build_quant_model()?;
+        }
         Ok(bundle)
     }
 
@@ -315,20 +470,66 @@ pub struct Prediction {
     pub scores: Vec<f32>,
 }
 
+/// The numeric backend a [`Predictor`] pushes activations through: the
+/// rebuilt f32 model, or the bundle's int8 model. Both expose the same
+/// layer indexing (quantization lowers layers one-to-one), so the batched
+/// split-at-the-pool path works unchanged across precisions.
+enum PredictorEngine {
+    F32(Sequential),
+    Int8(QuantModel),
+}
+
+impl PredictorEngine {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        match self {
+            PredictorEngine::F32(model) => model.forward(input, Mode::Eval),
+            PredictorEngine::Int8(model) => model.infer(input),
+        }
+    }
+
+    fn forward_range(&mut self, input: &Matrix, start: usize, end: usize) -> Matrix {
+        match self {
+            PredictorEngine::F32(model) => model.forward_range(input, start, end, Mode::Eval),
+            PredictorEngine::Int8(model) => model.infer_range(input, start, end),
+        }
+    }
+
+    fn n_layers(&self) -> usize {
+        match self {
+            PredictorEngine::F32(model) => model.n_layers(),
+            PredictorEngine::Int8(model) => model.n_layers(),
+        }
+    }
+
+    fn is_concat(&self) -> bool {
+        let names = match self {
+            PredictorEngine::F32(model) => model.layer_names(),
+            PredictorEngine::Int8(model) => model.layer_names(),
+        };
+        names.contains(&"Flatten")
+    }
+}
+
 /// A single-threaded predictor: a rebuilt model plus the frozen
-/// preprocessor. Each inference worker owns one (the model caches
+/// preprocessor. Each inference worker owns one (the f32 model caches
 /// intermediate activations, so it is deliberately not shared).
 pub struct Predictor {
-    model: Sequential,
+    engine: PredictorEngine,
     pre: FrozenPreprocessor,
     w: usize,
+    precision: Precision,
 }
 
 impl Predictor {
+    /// The numeric mode this predictor runs at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
     /// Classifies one graph.
     pub fn predict(&mut self, graph: &Graph) -> Prediction {
         let input = self.pre.embed_one(graph);
-        let logits = self.model.forward(&input, Mode::Eval);
+        let logits = self.engine.forward(&input);
         Self::to_prediction(&logits)
     }
 
@@ -341,10 +542,12 @@ impl Predictor {
     /// matrix, pushed through the conv stack together, then split and
     /// summed per graph before the dense head. The per-row arithmetic is
     /// identical to the one-at-a-time path, so batched predictions are
-    /// bit-identical to unbatched ones. The concat readout flattens
-    /// position-wise and cannot be row-batched; it falls back to a loop.
+    /// bit-identical to unbatched ones — at int8 too, because activation
+    /// quantization is per-im2col-row and therefore row-local. The concat
+    /// readout flattens position-wise and cannot be row-batched; it falls
+    /// back to a loop.
     pub fn predict_batch(&mut self, graphs: &[&Graph]) -> Vec<Prediction> {
-        if graphs.len() <= 1 || self.model_readout_is_concat() {
+        if graphs.len() <= 1 || self.engine.is_concat() {
             return graphs.iter().map(|g| self.predict(g)).collect();
         }
         let inputs: Vec<Matrix> = graphs.iter().map(|g| self.pre.embed_one(g)).collect();
@@ -358,10 +561,8 @@ impl Predictor {
                     .copy_from_slice(input.row(row));
             }
         }
-        let conv = self
-            .model
-            .forward_range(&stacked, 0, CONV_STACK_LAYERS, Mode::Eval);
-        let n_layers = self.model.n_layers();
+        let conv = self.engine.forward_range(&stacked, 0, CONV_STACK_LAYERS);
+        let n_layers = self.engine.n_layers();
         graphs
             .iter()
             .enumerate()
@@ -375,16 +576,12 @@ impl Predictor {
                         *o += v;
                     }
                 }
-                let logits =
-                    self.model
-                        .forward_range(&pooled, CONV_STACK_LAYERS + 1, n_layers, Mode::Eval);
+                let logits = self
+                    .engine
+                    .forward_range(&pooled, CONV_STACK_LAYERS + 1, n_layers);
                 Self::to_prediction(&logits)
             })
             .collect()
-    }
-
-    fn model_readout_is_concat(&self) -> bool {
-        self.model.layer_names().contains(&"Flatten")
     }
 
     fn to_prediction(logits: &Matrix) -> Prediction {

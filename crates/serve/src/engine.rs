@@ -32,7 +32,7 @@
 //! amortises per-call overhead. Predictions are bit-identical to the
 //! unbatched path (see [`Predictor::predict_batch`]).
 
-use crate::bundle::{ModelBundle, Predictor};
+use crate::bundle::{ModelBundle, Precision, Predictor};
 use crate::error::ServeError;
 #[cfg(feature = "fault-inject")]
 use crate::fault::FaultPlan;
@@ -73,6 +73,10 @@ pub struct ServerConfig {
     pub trace_requests: bool,
     /// How many finished requests the flight recorder retains.
     pub recorder_capacity: usize,
+    /// Numeric mode every worker replica serves at. Defaults to
+    /// [`Precision::F32`]; [`Precision::Int8`] requires the bundle to
+    /// carry quantized (`DMB2`) weights and fails startup otherwise.
+    pub precision: Precision,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +88,7 @@ impl Default for ServerConfig {
             max_wait: Duration::from_millis(2),
             trace_requests: true,
             recorder_capacity: 256,
+            precision: Precision::F32,
         }
     }
 }
@@ -194,7 +199,11 @@ struct ServerMetrics {
 }
 
 impl ServerMetrics {
-    fn new(recorder_capacity: usize, slo: Option<deepmap_obs::SloConfig>) -> ServerMetrics {
+    fn new(
+        recorder_capacity: usize,
+        slo: Option<deepmap_obs::SloConfig>,
+        precision: Precision,
+    ) -> ServerMetrics {
         let registry = Arc::new(Registry::new(TraceLevel::Summary));
         // Instruments carry `stage` labels from the trace vocabulary, so a
         // dashboard series and a flight-recorder stamp name the same
@@ -203,6 +212,12 @@ impl ServerMetrics {
         let enqueued = [("stage", Stage::Enqueued.name())];
         let sealed = [("stage", Stage::BatchSealed.name())];
         let infer_end = [("stage", Stage::InferEnd.name())];
+        // End-to-end latency also carries the serving precision, so f32 and
+        // int8 deployments chart as distinct series under one metric name.
+        let latency_labels = [
+            ("stage", Stage::InferEnd.name()),
+            ("precision", precision.label()),
+        ];
         let slo = slo.map(|config| {
             SloTracker::new(config).with_gauges(
                 registry.gauge("serve.slo_burn_fast_milli"),
@@ -224,7 +239,7 @@ impl ServerMetrics {
             replies_dropped: registry.counter("serve.replies_dropped"),
             queue_depth: registry.gauge("serve.queue_depth"),
             breaker_state: registry.gauge("serve.breaker_state"),
-            latency_seconds: registry.histogram_labeled("serve.latency_seconds", &infer_end),
+            latency_seconds: registry.histogram_labeled("serve.latency_seconds", &latency_labels),
             stage_admission: registry.histogram_labeled(
                 "serve.stage_admission_seconds",
                 &[("stage", Stage::Enqueued.name())],
@@ -312,12 +327,16 @@ pub struct InferenceServer {
     alphabet: Option<Vec<u32>>,
     default_deadline: Option<Duration>,
     trace_requests: bool,
+    precision: Precision,
     bundle: Arc<ModelBundle>,
 }
 
 /// Everything a worker thread shares with the server.
 struct WorkerShared {
     bundle: Arc<ModelBundle>,
+    /// Respawned replicas must come back at the precision the server was
+    /// started with, never silently fall back to f32.
+    precision: Precision,
     metrics: Arc<ServerMetrics>,
     supervisor: Arc<Supervisor>,
     #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
@@ -416,9 +435,13 @@ impl InferenceServer {
         // Build every replica up front so construction failures surface
         // here instead of panicking inside a detached worker thread.
         let predictors = (0..config.workers)
-            .map(|_| bundle.predictor())
+            .map(|_| bundle.predictor_with(config.precision))
             .collect::<Result<Vec<_>, _>>()?;
-        let metrics = Arc::new(ServerMetrics::new(config.recorder_capacity, resilience.slo));
+        let metrics = Arc::new(ServerMetrics::new(
+            config.recorder_capacity,
+            resilience.slo,
+            config.precision,
+        ));
         let supervisor = Arc::new(Supervisor::new(
             config.workers,
             &resilience,
@@ -438,6 +461,7 @@ impl InferenceServer {
                 let batch_rx = batch_rx.clone();
                 let shared = WorkerShared {
                     bundle: Arc::clone(&bundle),
+                    precision: config.precision,
                     metrics: Arc::clone(&metrics),
                     supervisor: Arc::clone(&supervisor),
                     fault: fault.clone(),
@@ -455,8 +479,14 @@ impl InferenceServer {
             alphabet,
             default_deadline: resilience.default_deadline,
             trace_requests: config.trace_requests,
+            precision: config.precision,
             bundle,
         })
+    }
+
+    /// The numeric mode this server's replicas serve at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Enqueues a graph for classification under the server's default
@@ -917,7 +947,7 @@ fn run_worker(mut predictor: Predictor, batch_rx: Receiver<Batch>, shared: Worke
                 match shared.supervisor.try_restart() {
                     Some(backoff) => {
                         std::thread::sleep(backoff);
-                        match shared.bundle.predictor() {
+                        match shared.bundle.predictor_with(shared.precision) {
                             Ok(fresh) => {
                                 predictor = fresh;
                                 shared.metrics.worker_restarts.inc();

@@ -6,13 +6,26 @@ use std::fmt;
 /// Errors from bundle (de)serialisation and the inference server.
 #[derive(Debug)]
 pub enum ServeError {
-    /// The payload does not start with the `DMB1` magic.
+    /// The payload does not start with the `DMB1` or `DMB2` magic.
     BadMagic,
     /// The bundle declares a format version this build cannot read.
     UnsupportedVersion(
         /// The declared version.
         u32,
     ),
+    /// Int8 serving was requested for a bundle without a quantized
+    /// (`DMB2`) weight section. Run [`crate::ModelBundle::quantize`] on
+    /// the bundle first.
+    NoQuantizedWeights,
+    /// [`crate::ModelBundle::quantize`] refused to attach int8 weights
+    /// because the quantized model disagreed with f32 on too many probe
+    /// graphs. The bundle is unchanged.
+    QuantizationRejected {
+        /// Fraction of probes where int8 and f32 picked the same class.
+        agreement: f64,
+        /// The minimum agreement the caller demanded.
+        required: f64,
+    },
     /// The payload ended before the declared data.
     Truncated,
     /// The payload contains bytes beyond the declared data.
@@ -61,11 +74,27 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::BadMagic => write!(f, "not a DMB1 model bundle"),
+            ServeError::BadMagic => write!(f, "not a DMB1/DMB2 model bundle"),
             ServeError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported bundle version {v} (this build reads version 1)"
+                    "unsupported bundle version {v} (this build reads versions 1 and 2)"
+                )
+            }
+            ServeError::NoQuantizedWeights => {
+                write!(
+                    f,
+                    "int8 serving requires a DMB2 bundle with quantized weights"
+                )
+            }
+            ServeError::QuantizationRejected {
+                agreement,
+                required,
+            } => {
+                write!(
+                    f,
+                    "quantization rejected: int8/f32 prediction agreement {agreement:.4} \
+                     below required {required:.4}"
                 )
             }
             ServeError::Truncated => write!(f, "bundle truncated"),

@@ -6,11 +6,12 @@
 //! packages all of it into a deployable unit and serves it — and keeps
 //! serving it when inputs are hostile and replicas die:
 //!
-//! - [`bundle`] — the versioned `DMB1` [`ModelBundle`] format freezing a
-//!   trained model (architecture + weights + frozen feature vocabulary +
-//!   assembly parameters + class names), and a single-threaded
+//! - [`bundle`] — the versioned `DMB1`/`DMB2` [`ModelBundle`] format
+//!   freezing a trained model (architecture + weights + frozen feature
+//!   vocabulary + assembly parameters + class names, plus an optional
+//!   agreement-gated int8 weight section), and a single-threaded
 //!   [`Predictor`] that classifies unseen graphs one at a time or in
-//!   bit-identical micro-batches.
+//!   bit-identical micro-batches, at an explicit [`Precision`].
 //! - [`codec`] — the shared validated byte codecs: one length-checked,
 //!   trailing-byte-rejecting [`codec::Reader`] reused by the bundle format
 //!   and the `deepmap-net` wire protocol, plus graph and prediction
@@ -46,7 +47,7 @@ pub mod fault;
 pub mod limits;
 pub mod supervise;
 
-pub use bundle::{ModelBundle, Prediction, Predictor};
+pub use bundle::{ModelBundle, Precision, Prediction, Predictor};
 pub use engine::{
     InferenceServer, MetricsSnapshot, PredictionHandle, ServedPrediction, ServerConfig,
 };

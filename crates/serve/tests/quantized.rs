@@ -1,0 +1,245 @@
+//! DMB2 quantized bundles: format round trip, the agreement gate, int8
+//! predictor parity, and int8 serving through the InferenceServer.
+
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::TrainConfig;
+use deepmap_serve::{InferenceServer, ModelBundle, Precision, ServeError, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn toy_dataset(n_per_class: usize) -> (Vec<Graph>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..n_per_class {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    (graphs, labels)
+}
+
+/// Trains a WL model and freezes it; returns the bundle plus held-out
+/// graphs usable as quantization probes.
+fn train_and_freeze() -> (ModelBundle, Vec<Graph>) {
+    let (graphs, labels) = toy_dataset(8);
+    let dm = DeepMap::new(DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: 1,
+        },
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    });
+    let (prepared, pre) = dm.try_prepare_frozen(&graphs, &labels).unwrap();
+    let n = graphs.len();
+    let train_idx: Vec<usize> = (0..n * 3 / 4).collect();
+    let test_idx: Vec<usize> = (n * 3 / 4..n).collect();
+    let result = dm.fit_split(&prepared, &train_idx, &test_idx);
+    let bundle = ModelBundle::freeze(
+        &dm,
+        &prepared,
+        pre,
+        &result.model,
+        vec!["cycle".to_string(), "clique".to_string()],
+    )
+    .expect("freeze");
+    let held_out: Vec<Graph> = test_idx.iter().map(|&i| graphs[i].clone()).collect();
+    (bundle, held_out)
+}
+
+fn quantized_bundle() -> (ModelBundle, Vec<Graph>, f64) {
+    let (mut bundle, held_out) = train_and_freeze();
+    let probes: Vec<&Graph> = held_out.iter().collect();
+    let agreement = bundle.quantize(&probes, 0.75).expect("quantize");
+    (bundle, held_out, agreement)
+}
+
+#[test]
+fn unquantized_bundles_stay_dmb1_and_quantized_become_dmb2() {
+    let (bundle, _, _) = quantized_bundle();
+    let (fresh, _) = train_and_freeze();
+    assert!(!fresh.has_quantized());
+    assert_eq!(&fresh.to_bytes()[..4], b"DMB1");
+    assert!(bundle.has_quantized());
+    assert_eq!(&bundle.to_bytes()[..4], b"DMB2");
+    // The DMB2 encoding is the DMB1 encoding plus one trailing section.
+    let quant_section = 8 + bundle.quantized_bytes().unwrap();
+    assert_eq!(
+        bundle.to_bytes().len(),
+        fresh.to_bytes().len() + quant_section
+    );
+    // And the int8 section is materially smaller than the f32 weights.
+    assert!(
+        bundle.quantized_bytes().unwrap() < bundle.weight_section_bytes(),
+        "int8 section {} should undercut f32 section {}",
+        bundle.quantized_bytes().unwrap(),
+        bundle.weight_section_bytes()
+    );
+    let plain = ModelBundle::from_bytes(&fresh.to_bytes()).unwrap();
+    assert!(!plain.has_quantized());
+}
+
+#[test]
+fn dmb2_roundtrip_preserves_quantized_weights() {
+    let (bundle, held_out, agreement) = quantized_bundle();
+    assert!((0.0..=1.0).contains(&agreement));
+    let restored = ModelBundle::from_bytes(&bundle.to_bytes()).expect("roundtrip");
+    assert!(restored.has_quantized());
+    assert_eq!(restored.quantized_bytes(), bundle.quantized_bytes());
+    let mut before = bundle.predictor_with(Precision::Int8).unwrap();
+    let mut after = restored.predictor_with(Precision::Int8).unwrap();
+    assert_eq!(after.precision(), Precision::Int8);
+    for graph in &held_out {
+        let a = before.predict(graph);
+        let b = after.predict(graph);
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.scores, b.scores, "int8 inference is deterministic");
+    }
+}
+
+#[test]
+fn int8_predictions_agree_with_f32_on_probes() {
+    let (bundle, held_out, agreement) = quantized_bundle();
+    // The gate passed at 0.75; re-measure by hand and cross-check.
+    let mut f32p = bundle.predictor().unwrap();
+    let mut int8p = bundle.predictor_with(Precision::Int8).unwrap();
+    let agreeing = held_out
+        .iter()
+        .filter(|g| f32p.predict(g).class == int8p.predict(g).class)
+        .count();
+    let measured = agreeing as f64 / held_out.len() as f64;
+    assert!((measured - agreement).abs() < 1e-9);
+    assert!(measured >= 0.75);
+}
+
+#[test]
+fn int8_batched_predictions_match_unbatched_bit_for_bit() {
+    let (bundle, held_out, _) = quantized_bundle();
+    let mut predictor = bundle.predictor_with(Precision::Int8).unwrap();
+    let refs: Vec<&Graph> = held_out.iter().collect();
+    let batched = predictor.predict_batch(&refs);
+    for (graph, b) in held_out.iter().zip(&batched) {
+        let solo = predictor.predict(graph);
+        assert_eq!(solo.class, b.class);
+        assert_eq!(
+            solo.scores, b.scores,
+            "activation quantization is row-local, so batching is exact"
+        );
+    }
+}
+
+#[test]
+fn int8_predictor_requires_quantized_weights() {
+    let (bundle, _) = train_and_freeze();
+    let err = match bundle.predictor_with(Precision::Int8) {
+        Ok(_) => panic!("int8 predictor from a DMB1 bundle must fail"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, ServeError::NoQuantizedWeights), "{err}");
+    // The same startup error surfaces from the server, before any worker
+    // thread spawns.
+    let err = match InferenceServer::start(
+        Arc::new(bundle),
+        ServerConfig {
+            precision: Precision::Int8,
+            ..ServerConfig::default()
+        },
+    ) {
+        Ok(_) => panic!("int8 server over a DMB1 bundle must fail startup"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, ServeError::NoQuantizedWeights), "{err}");
+}
+
+#[test]
+fn quantize_gate_rejects_and_leaves_bundle_unchanged() {
+    let (mut bundle, held_out) = train_and_freeze();
+    let probes: Vec<&Graph> = held_out.iter().collect();
+    // An unattainable threshold must reject (agreement can never exceed 1)
+    // and must not attach weights.
+    let err = bundle.quantize(&probes, 1.5).unwrap_err();
+    match err {
+        ServeError::QuantizationRejected {
+            agreement,
+            required,
+        } => {
+            assert!((0.0..=1.0).contains(&agreement));
+            assert_eq!(required, 1.5);
+        }
+        other => panic!("expected QuantizationRejected, got {other}"),
+    }
+    assert!(!bundle.has_quantized());
+    assert_eq!(&bundle.to_bytes()[..4], b"DMB1");
+}
+
+#[test]
+fn malformed_dmb2_bundles_are_rejected() {
+    let (bundle, _, _) = quantized_bundle();
+    let blob = bundle.to_bytes();
+
+    assert!(matches!(
+        ModelBundle::from_bytes(&blob[..blob.len() - 5]),
+        Err(ServeError::Truncated)
+    ));
+
+    let mut trailing = blob.clone();
+    trailing.extend_from_slice(&[9, 9]);
+    assert!(matches!(
+        ModelBundle::from_bytes(&trailing),
+        Err(ServeError::TrailingBytes { extra: 2 })
+    ));
+
+    // Corrupting the QNT1 magic inside the quant section must fail the
+    // parse-time validation, not defer the error to first use.
+    let qlen = bundle.quantized_bytes().unwrap();
+    let qstart = blob.len() - qlen;
+    assert_eq!(&blob[qstart..qstart + 4], b"QNT1");
+    let mut bad_qnt = blob.clone();
+    bad_qnt[qstart] ^= 0xFF;
+    assert!(matches!(
+        ModelBundle::from_bytes(&bad_qnt),
+        Err(ServeError::Corrupt(_))
+    ));
+
+    // A DMB2 header on a payload with no quant section is truncated.
+    let mut headless = bundle.to_bytes();
+    headless.truncate(blob.len() - qlen - 8);
+    assert!(ModelBundle::from_bytes(&headless).is_err());
+}
+
+#[test]
+fn server_serves_int8_and_labels_metrics_with_precision() {
+    let (bundle, held_out, _) = quantized_bundle();
+    let bundle = Arc::new(bundle);
+    let mut direct = bundle.predictor_with(Precision::Int8).unwrap();
+    let expected: Vec<_> = held_out.iter().map(|g| direct.predict(g)).collect();
+    let server = InferenceServer::start(
+        Arc::clone(&bundle),
+        ServerConfig {
+            precision: Precision::Int8,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(server.precision(), Precision::Int8);
+    for (graph, want) in held_out.iter().zip(&expected) {
+        let served = server.predict(graph.clone()).unwrap();
+        assert_eq!(served.class, want.class);
+        assert_eq!(served.scores, want.scores, "served int8 == direct int8");
+    }
+    let text = server.render_metrics();
+    assert!(
+        text.contains(
+            "deepmap_serve_latency_seconds_count{stage=\"infer_end\",precision=\"int8\"}"
+        ),
+        "{text}"
+    );
+}

@@ -99,8 +99,11 @@ fn server_matches_direct_predictor() {
         "{text}"
     );
     assert!(text.contains("# TYPE deepmap_serve_latency_seconds histogram"));
+    // PR 9: the latency series also carries the serving precision.
     assert!(
-        text.contains("deepmap_serve_latency_seconds_count{stage=\"infer_end\"} 20"),
+        text.contains(
+            "deepmap_serve_latency_seconds_count{stage=\"infer_end\",precision=\"f32\"} 20"
+        ),
         "{text}"
     );
     assert_eq!(

@@ -53,13 +53,28 @@ echo "=== parallel scaling smoke ==="
 # parallel_scaling --smoke sweeps the shared pool over 1/2/4/8 threads,
 # re-asserts bit-identical weights and predictions at every size, and
 # exits non-zero unless the JSON report parses back with every required
-# field (including available_parallelism, so 1-core runners are legible).
+# field (including available_parallelism, so 1-core runners are legible,
+# and the single-thread kernel GFLOP/s section).
 rm -f results/BENCH_parallel.json
 cargo run --release -p deepmap-bench --bin parallel_scaling -- --smoke
 test -s results/BENCH_parallel.json
 grep -q '"bench": *"parallel_scaling"' results/BENCH_parallel.json
 grep -q '"deterministic": *true' results/BENCH_parallel.json
 grep -q '"available_parallelism"' results/BENCH_parallel.json
+grep -q '"kernels"' results/BENCH_parallel.json
+
+echo "=== quantized inference smoke ==="
+# quant_bench --smoke benches the scalar/SIMD/int8 kernel tiers and the
+# f32-vs-int8 predictor, re-verifies the vectorized matmul is bit-identical
+# to the naive reference, and exits non-zero unless f32/int8 prediction
+# agreement clears the 0.9 gate and the SIMD kernel is at least as fast as
+# the scalar reference.
+rm -f results/BENCH_quant.json
+cargo run --release -p deepmap-bench --bin quant_bench -- --smoke
+test -s results/BENCH_quant.json
+grep -q '"bench": *"quant_bench"' results/BENCH_quant.json
+grep -q '"agreement_gate"' results/BENCH_quant.json
+grep -q '"int8_weight_bytes"' results/BENCH_quant.json
 
 echo "=== serve chaos smoke ==="
 # The chaos suite runs the inference server under deterministic fault
