@@ -1,0 +1,679 @@
+//! Lifecycle benchmark: safe rollout under live wire traffic.
+//!
+//! Trains a small DeepMap-WL classifier, freezes it into a bundle, then
+//! exercises the rollout state machine end to end while client threads
+//! hammer the TCP front end:
+//!
+//! 1. **promotion** — a lifecycle-attached [`NetServer`] serves load
+//!    while an admin connection walks the candidate over the wire:
+//!    `rollout_begin` → shadow mirroring until the sample floor is met →
+//!    `rollout_advance` → canary slice → `rollout_promote`. Every client
+//!    request must succeed and the rollout must end `Live`;
+//! 2. **chaos** — a candidate planted with a [`FaultPlan`] panics on
+//!    every batch past a horizon, mid-canary-slice. The controller must
+//!    roll it back automatically, retire the candidate pool, and — the
+//!    contract this harness exists to prove — lose zero client requests
+//!    to the dying canary;
+//! 3. **journal** — a rollout is begun and the controller dropped
+//!    uncleanly, then the journal's final record is torn mid-write. A
+//!    fresh controller must salvage the torn tail and resume the rollout
+//!    in shadow from disk alone.
+//!
+//! The report lands in `results/BENCH_lifecycle.json`. `failed_requests`
+//! must be 0 across both load scenarios and the journal must recover, or
+//! the binary exits non-zero.
+//!
+//! ```text
+//! cargo run --release -p deepmap-bench --features fault-inject --bin lifecycle_bench
+//! cargo run --release -p deepmap-bench --features fault-inject --bin lifecycle_bench -- --smoke
+//!
+//! --smoke          lighter load and training; same hard assertions
+//! --seed <u64>     master seed (default 11)
+//! --out <path>     report path (default results/BENCH_lifecycle.json)
+//! ```
+
+use deepmap_bench::json::Json;
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_lifecycle::{
+    LifecycleConfig, LifecycleController, PromotionPolicy, RolloutState, RolloutStatus,
+};
+use deepmap_net::{ClientError, NetClient, NetConfig, NetServer};
+use deepmap_nn::train::TrainConfig;
+use deepmap_router::{ModelConfig, ModelRouter, RouterConfig};
+use deepmap_serve::{FaultPlan, ModelBundle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const MODEL: &str = "prod";
+const PATIENT: Duration = Duration::from_secs(60);
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        seed: 11,
+        out: PathBuf::from("results/BENCH_lifecycle.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    fail("--seed must be an integer");
+                })
+            }
+            "--out" => args.out = PathBuf::from(value("--out")),
+            other => fail(&format!(
+                "unknown flag {other}\nusage: lifecycle_bench [--smoke] [--seed s] [--out path]"
+            )),
+        }
+    }
+    args
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("lifecycle_bench: {msg}");
+    std::process::exit(1);
+}
+
+/// Deterministic gates: mirror and canary everything, demand a handful of
+/// samples, keep the latency/burn gates far from micro-benchmark noise.
+fn bench_policy() -> PromotionPolicy {
+    PromotionPolicy {
+        min_agreement: 0.9,
+        max_p99_regression: 1000.0,
+        max_error_burn: 1e6,
+        min_samples: 8,
+        mirror_fraction: 1.0,
+        canary_fraction: 1.0,
+        max_canary_faults: 2,
+    }
+}
+
+fn trained_bundle(seed: u64, smoke: bool) -> Arc<ModelBundle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..10 {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    let dm = DeepMap::new(DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: if smoke { 6 } else { 15 },
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed,
+        },
+        seed,
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    });
+    let (prepared, pre) = dm
+        .try_prepare_frozen(&graphs, &labels)
+        .unwrap_or_else(|e| fail(&format!("prepare failed: {e}")));
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let result = dm.fit_split(&prepared, &all, &all);
+    Arc::new(
+        ModelBundle::freeze(
+            &dm,
+            &prepared,
+            pre,
+            &result.model,
+            vec!["cycle".to_string(), "clique".to_string()],
+        )
+        .unwrap_or_else(|e| fail(&format!("freeze failed: {e}"))),
+    )
+}
+
+fn request_stream(n: usize, seed: u64) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                cycle_graph(5 + i % 4, 0, &mut rng)
+            } else {
+                complete_graph(4 + i % 4, 0, &mut rng)
+            }
+        })
+        .collect()
+}
+
+fn scratch_journal(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "deepmap-lifecycle-bench-{}-{tag}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail(&format!("temp dir: {e}")));
+    dir.join("rollouts.journal")
+}
+
+/// What one load thread saw: successful replies, plus the first few
+/// failure messages (any failure at all fails the bench).
+struct LoadReport {
+    ok: u64,
+    failed: u64,
+    samples: Vec<String>,
+}
+
+/// Spawns client threads that hammer `predict_as(MODEL, ..)` until `stop`
+/// is raised. Every request must be answered with a prediction: the live
+/// pool absorbs canary faults, promotion swaps are atomic behind the
+/// router's probe gate, so a single typed error here is a found bug.
+fn spawn_load(
+    addr: SocketAddr,
+    threads: usize,
+    seed: u64,
+    stop: &Arc<AtomicBool>,
+) -> Vec<JoinHandle<LoadReport>> {
+    (0..threads)
+        .map(|t| {
+            let stop = Arc::clone(stop);
+            let graphs = request_stream(8, seed + t as u64);
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr)
+                    .unwrap_or_else(|e| fail(&format!("load client connect: {e}")));
+                let mut report = LoadReport {
+                    ok: 0,
+                    failed: 0,
+                    samples: Vec::new(),
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    for graph in &graphs {
+                        match client.predict_as(MODEL, graph) {
+                            Ok(_) => report.ok += 1,
+                            Err(e) => {
+                                report.failed += 1;
+                                if report.samples.len() < 8 {
+                                    report.samples.push(e.to_string());
+                                }
+                            }
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                }
+                report
+            })
+        })
+        .collect()
+}
+
+fn join_load(handles: Vec<JoinHandle<LoadReport>>) -> LoadReport {
+    let mut total = LoadReport {
+        ok: 0,
+        failed: 0,
+        samples: Vec::new(),
+    };
+    for handle in handles {
+        let r = handle
+            .join()
+            .unwrap_or_else(|_| fail("load thread panicked"));
+        total.ok += r.ok;
+        total.failed += r.failed;
+        total.samples.extend(r.samples);
+        total.samples.truncate(8);
+    }
+    total
+}
+
+/// Polls the rollout over the wire until `cond` holds (mirroring and the
+/// canary bookkeeping are asynchronous).
+fn wait_status(
+    admin: &mut NetClient,
+    cond: impl Fn(&RolloutStatus) -> bool,
+    what: &str,
+) -> RolloutStatus {
+    let deadline = Instant::now() + PATIENT;
+    loop {
+        let status = admin
+            .rollout_status(MODEL)
+            .unwrap_or_else(|e| fail(&format!("rollout_status: {e}")));
+        if cond(&status) {
+            return status;
+        }
+        if Instant::now() >= deadline {
+            fail(&format!(
+                "deadline waiting for {what}, last seen {status:?}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Retries a rollout verb until the server accepts it: between a status
+/// poll and the verb the gates re-check live counters, so a refusal is
+/// re-polled rather than fatal (until the deadline).
+fn retry_verb(
+    what: &str,
+    mut op: impl FnMut() -> Result<RolloutStatus, ClientError>,
+) -> RolloutStatus {
+    let deadline = Instant::now() + PATIENT;
+    loop {
+        match op() {
+            Ok(status) => return status,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    fail(&format!("{what} never accepted: {e}"));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Scenario 1: walk a candidate to live over the wire while load runs.
+/// Returns (load totals, final status, wall time begin→live).
+fn promotion_under_load(args: &Args) -> (LoadReport, RolloutStatus, f64) {
+    let live = trained_bundle(args.seed, args.smoke);
+    let candidate = trained_bundle(args.seed, args.smoke); // identical weights: agreement is 1.0
+    let router = Arc::new(ModelRouter::new(RouterConfig::default()));
+    router
+        .register(MODEL, live, ModelConfig::default())
+        .unwrap_or_else(|e| fail(&format!("register: {e}")));
+    let journal = scratch_journal("promote");
+    let _ = std::fs::remove_file(&journal);
+    let lc = Arc::new(
+        LifecycleController::new(
+            Arc::clone(&router),
+            LifecycleConfig {
+                journal_path: Some(journal.clone()),
+                ..LifecycleConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| fail(&format!("controller: {e}"))),
+    );
+    let server = NetServer::start_lifecycle(
+        Arc::clone(&router),
+        Arc::clone(&lc),
+        "127.0.0.1:0",
+        NetConfig {
+            allow_admin: true,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("server start: {e}")));
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads = if args.smoke { 2 } else { 4 };
+    let load = spawn_load(addr, threads, args.seed, &stop);
+    let mut admin =
+        NetClient::connect(addr).unwrap_or_else(|e| fail(&format!("admin connect: {e}")));
+
+    let started = Instant::now();
+    let status = admin
+        .rollout_begin(MODEL, &bench_policy(), &candidate.to_bytes())
+        .unwrap_or_else(|e| fail(&format!("rollout_begin: {e}")));
+    if status.state != RolloutState::Shadow {
+        fail(&format!("begin must land in shadow, got {status:?}"));
+    }
+    wait_status(&mut admin, |s| s.mirrored >= 8, "shadow sample floor");
+    let status = retry_verb("advance", || admin.rollout_advance(MODEL));
+    if status.state != RolloutState::Canary {
+        fail(&format!("advance must land in canary, got {status:?}"));
+    }
+    wait_status(&mut admin, |s| s.canary_ok >= 4, "canary slice");
+    let status = retry_verb("promote", || admin.rollout_promote(MODEL));
+    let promote_ms = started.elapsed().as_secs_f64() * 1e3;
+    if status.state != RolloutState::Live {
+        fail(&format!("promote must land live, got {status:?}"));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let totals = join_load(load);
+    drop(admin);
+    server.shutdown();
+    lc.shutdown();
+    let _ = std::fs::remove_file(&journal);
+    (totals, status, promote_ms)
+}
+
+/// Scenario 2: a canary that panics mid-slice is rolled back
+/// automatically; the live pool answers every client request throughout.
+/// Returns (load totals, final status, wall time advance→rolled-back,
+/// candidate retired).
+fn rollback_under_chaos(args: &Args) -> (LoadReport, RolloutStatus, f64, bool) {
+    let live = trained_bundle(args.seed, args.smoke);
+    let candidate = trained_bundle(args.seed, args.smoke);
+    let router = Arc::new(ModelRouter::new(RouterConfig::default()));
+    router
+        .register(MODEL, live, ModelConfig::default())
+        .unwrap_or_else(|e| fail(&format!("register: {e}")));
+    let lc = Arc::new(
+        LifecycleController::new(Arc::clone(&router), LifecycleConfig::default())
+            .unwrap_or_else(|e| fail(&format!("controller: {e}"))),
+    );
+    // Clean through shadow, then every candidate batch past the horizon
+    // panics — squarely inside the canary slice.
+    lc.begin_chaos(
+        MODEL,
+        candidate,
+        bench_policy(),
+        FaultPlan::new().panic_from(96),
+    )
+    .unwrap_or_else(|e| fail(&format!("begin_chaos: {e}")));
+    let server = NetServer::start_lifecycle(
+        Arc::clone(&router),
+        Arc::clone(&lc),
+        "127.0.0.1:0",
+        NetConfig::default(), // chaos run drives the controller directly
+    )
+    .unwrap_or_else(|e| fail(&format!("server start: {e}")));
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads = if args.smoke { 2 } else { 3 };
+    let load = spawn_load(addr, threads, args.seed, &stop);
+
+    let deadline = Instant::now() + PATIENT;
+    loop {
+        let status = lc
+            .status(MODEL)
+            .unwrap_or_else(|e| fail(&format!("status: {e}")));
+        if status.mirrored >= 8 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            fail(&format!("shadow floor never met under load: {status:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let tripped_from = Instant::now();
+    {
+        let deadline = Instant::now() + PATIENT;
+        loop {
+            match lc.advance(MODEL) {
+                Ok(()) => break,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        fail(&format!("advance never accepted: {e}"));
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    // The canary slice now walks the candidate across the fault horizon;
+    // the controller must trip on its own — no operator in the loop.
+    let deadline = Instant::now() + PATIENT;
+    let status = loop {
+        let status = lc
+            .status(MODEL)
+            .unwrap_or_else(|e| fail(&format!("status: {e}")));
+        match status.state {
+            RolloutState::Canary => {
+                if Instant::now() >= deadline {
+                    fail(&format!("canary never tripped: {status:?}"));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            _ => break status,
+        }
+    };
+    let rollback_ms = tripped_from.elapsed().as_secs_f64() * 1e3;
+    if status.state != RolloutState::RolledBack {
+        fail(&format!("expected automatic rollback, got {status:?}"));
+    }
+
+    // The worker tick retires the candidate pool.
+    let deadline = Instant::now() + PATIENT;
+    let candidate_name = LifecycleController::candidate_name(MODEL);
+    while router.resolve(&candidate_name).is_ok() {
+        if Instant::now() >= deadline {
+            fail("candidate pool never retired after rollback");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let totals = join_load(load);
+    server.shutdown();
+    lc.shutdown();
+    (totals, status, rollback_ms, true)
+}
+
+/// Scenario 3: unclean stop mid-rollout plus a torn final record; a fresh
+/// controller must salvage the tail and resume from the journal alone.
+/// Returns (recovered, salvaged).
+fn journal_kill_recover(args: &Args) -> (bool, bool) {
+    let path = scratch_journal("recover");
+    let _ = std::fs::remove_file(&path);
+    let config = LifecycleConfig {
+        journal_path: Some(path.clone()),
+        ..LifecycleConfig::default()
+    };
+    {
+        let router = Arc::new(ModelRouter::new(RouterConfig::default()));
+        router
+            .register(
+                MODEL,
+                trained_bundle(args.seed, args.smoke),
+                ModelConfig::default(),
+            )
+            .unwrap_or_else(|e| fail(&format!("register: {e}")));
+        let lc = LifecycleController::new(Arc::clone(&router), config.clone())
+            .unwrap_or_else(|e| fail(&format!("controller: {e}")));
+        lc.begin(
+            MODEL,
+            trained_bundle(args.seed ^ 0x5EED, args.smoke),
+            bench_policy(),
+        )
+        .unwrap_or_else(|e| fail(&format!("begin: {e}")));
+        // Dropped without shutdown: the kill-9 equivalent.
+    }
+    {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| fail(&format!("open journal: {e}")));
+        file.write_all(b"J1 0000002a deadbeef {\"kind\":\"transition\",\"tor")
+            .unwrap_or_else(|e| fail(&format!("tear journal: {e}")));
+    }
+    let router = Arc::new(ModelRouter::new(RouterConfig::default()));
+    router
+        .register(
+            MODEL,
+            trained_bundle(args.seed, args.smoke),
+            ModelConfig::default(),
+        )
+        .unwrap_or_else(|e| fail(&format!("re-register: {e}")));
+    let lc = LifecycleController::new(Arc::clone(&router), config)
+        .unwrap_or_else(|e| fail(&format!("recovering controller: {e}")));
+    let recovery = lc.recovery().clone();
+    let salvaged = recovery.salvaged.is_some();
+    let resumed = recovery.resumed == 1
+        && lc
+            .status(MODEL)
+            .map(|s| s.state == RolloutState::Shadow)
+            .unwrap_or(false)
+        && router
+            .resolve(&LifecycleController::candidate_name(MODEL))
+            .is_ok();
+    lc.rollback(MODEL, "recovery drill complete").ok();
+    lc.shutdown();
+    let _ = std::fs::remove_file(&path);
+    (resumed, salvaged)
+}
+
+/// Silences the default panic printout for the fault plan's own panics —
+/// they are the scenario, not a bug — while leaving real panics loud.
+fn muffle_planned_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let planned = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|msg| msg.contains("fault-inject:"));
+        if !planned {
+            default_hook(info);
+        }
+    }));
+}
+
+fn load_json(r: &LoadReport) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Num(r.ok as f64)),
+        ("failed".into(), Json::Num(r.failed as f64)),
+        (
+            "failure_samples".into(),
+            Json::Arr(r.samples.iter().map(|s| Json::Str(s.clone())).collect()),
+        ),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    muffle_planned_panics();
+
+    let (promo_load, promo_status, promote_ms) = promotion_under_load(&args);
+    deepmap_obs::info!(
+        "promotion: {} requests ok / {} failed, live in {:.0} ms (mirrored {}, canary_ok {})",
+        promo_load.ok,
+        promo_load.failed,
+        promote_ms,
+        promo_status.mirrored,
+        promo_status.canary_ok
+    );
+
+    let (chaos_load, chaos_status, rollback_ms, candidate_retired) = rollback_under_chaos(&args);
+    deepmap_obs::info!(
+        "chaos: {} requests ok / {} failed, auto-rollback in {:.0} ms ({})",
+        chaos_load.ok,
+        chaos_load.failed,
+        rollback_ms,
+        chaos_status
+            .reason
+            .as_deref()
+            .unwrap_or("no reason recorded")
+    );
+
+    let (journal_recovered, torn_tail_salvaged) = journal_kill_recover(&args);
+    deepmap_obs::info!(
+        "journal: recovered {journal_recovered}, torn tail salvaged {torn_tail_salvaged}"
+    );
+
+    let failed_requests = promo_load.failed + chaos_load.failed;
+    let promoted = promo_status.state == RolloutState::Live;
+    let rolled_back = chaos_status.state == RolloutState::RolledBack;
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("lifecycle".into())),
+        ("smoke".into(), Json::Bool(args.smoke)),
+        ("seed".into(), Json::Num(args.seed as f64)),
+        (
+            "promotion".into(),
+            Json::Obj(vec![
+                ("load".into(), load_json(&promo_load)),
+                ("promote_ms".into(), Json::Num(promote_ms)),
+                ("mirrored".into(), Json::Num(promo_status.mirrored as f64)),
+                ("agreement".into(), Json::Num(promo_status.agreement)),
+                ("canary_ok".into(), Json::Num(promo_status.canary_ok as f64)),
+                ("promoted".into(), Json::Bool(promoted)),
+            ]),
+        ),
+        (
+            "chaos".into(),
+            Json::Obj(vec![
+                ("load".into(), load_json(&chaos_load)),
+                ("rollback_ms".into(), Json::Num(rollback_ms)),
+                (
+                    "reason".into(),
+                    Json::Str(
+                        chaos_status
+                            .reason
+                            .clone()
+                            .unwrap_or_else(|| "none".to_string()),
+                    ),
+                ),
+                (
+                    "canary_faults".into(),
+                    Json::Num(chaos_status.canary_faults as f64),
+                ),
+                ("candidate_retired".into(), Json::Bool(candidate_retired)),
+            ]),
+        ),
+        ("rolled_back".into(), Json::Bool(rolled_back)),
+        ("journal_recovered".into(), Json::Bool(journal_recovered)),
+        ("torn_tail_salvaged".into(), Json::Bool(torn_tail_salvaged)),
+        ("failed_requests".into(), Json::Num(failed_requests as f64)),
+        (
+            "zero_lost_requests".into(),
+            Json::Bool(failed_requests == 0),
+        ),
+    ]);
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(&args.out, report.to_json())
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", args.out.display())));
+
+    // Self-check: re-read and parse what landed on disk, then enforce the
+    // lifecycle contract with non-zero exits.
+    let text = std::fs::read_to_string(&args.out)
+        .unwrap_or_else(|e| fail(&format!("cannot re-read {}: {e}", args.out.display())));
+    let parsed =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("report is not valid JSON: {e}")));
+    if parsed.get("failed_requests").is_none()
+        || parsed
+            .get("promotion")
+            .and_then(|p| p.get("promote_ms"))
+            .is_none()
+        || parsed
+            .get("chaos")
+            .and_then(|c| c.get("rollback_ms"))
+            .is_none()
+    {
+        fail("report is missing required fields");
+    }
+    if failed_requests != 0 {
+        let first = promo_load
+            .samples
+            .iter()
+            .chain(chaos_load.samples.iter())
+            .next()
+            .cloned()
+            .unwrap_or_default();
+        fail(&format!(
+            "{failed_requests} client requests failed (first: {first}) — zero-lost contract broken"
+        ));
+    }
+    if !promoted {
+        fail("promotion scenario did not end live");
+    }
+    if !(rolled_back && candidate_retired) {
+        fail("chaos scenario did not auto-roll-back and retire the candidate");
+    }
+    if !(journal_recovered && torn_tail_salvaged) {
+        fail("journal scenario did not salvage and resume");
+    }
+    println!(
+        "wrote {} (promotion {:.0} ms, auto-rollback {:.0} ms, {} + {} requests, 0 failed)",
+        args.out.display(),
+        promote_ms,
+        rollback_ms,
+        promo_load.ok,
+        chaos_load.ok
+    );
+}

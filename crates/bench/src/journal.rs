@@ -15,11 +15,10 @@
 
 use crate::json::Json;
 use deepmap_eval::cv::FoldCurve;
+use deepmap_obs::journal::{Framing, Journal as JsonlJournal, JournalError};
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 /// One journaled fold: the experiment cell key plus the fold's curve.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,10 +104,25 @@ impl FoldRecord {
 }
 
 /// The append-only journal. Safe to share across fold worker threads.
+///
+/// The append/replay plumbing (flush-on-append, torn-line tolerance on
+/// resume) lives in [`deepmap_obs::journal`] — shared with the lifecycle
+/// controller's rollout journal — in its [`Framing::Plain`] mode, which
+/// is byte-for-byte the format this journal has always written.
 pub struct Journal {
-    file: Mutex<File>,
+    inner: JsonlJournal,
     loaded: HashMap<Key, FoldRecord>,
     skipped_lines: usize,
+}
+
+/// Journal callers predate the typed [`JournalError`] and speak
+/// `io::Result`; filesystem failures pass through and the (unreachable
+/// for this record shape) encoding failure maps to `InvalidData`.
+fn to_io(err: JournalError) -> io::Error {
+    match err {
+        JournalError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    }
 }
 
 impl Journal {
@@ -118,42 +132,22 @@ impl Journal {
     /// appended after them; without it, any existing journal is
     /// truncated and the run starts clean.
     pub fn open(path: &Path, resume: bool) -> io::Result<Journal> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
+        let (inner, replay) = JsonlJournal::open(path, Framing::Plain, resume).map_err(to_io)?;
         let mut loaded = HashMap::new();
-        let mut skipped_lines = 0usize;
-        if resume && path.exists() {
-            let reader = BufReader::new(File::open(path)?);
-            for line in reader.lines() {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
+        // Lines the replay could not parse as JSON, plus parsed records
+        // that are not fold records (hand-edited garbage): skip both
+        // rather than refuse to resume.
+        let mut skipped_lines = replay.skipped_lines;
+        for value in &replay.records {
+            match FoldRecord::from_json(value) {
+                Some(rec) => {
+                    loaded.insert(rec.key(), rec);
                 }
-                match Json::parse(&line)
-                    .ok()
-                    .as_ref()
-                    .and_then(FoldRecord::from_json)
-                {
-                    Some(rec) => {
-                        loaded.insert(rec.key(), rec);
-                    }
-                    // A torn line from a killed writer, or hand-edited
-                    // garbage: skip it rather than refuse to resume.
-                    None => skipped_lines += 1,
-                }
+                None => skipped_lines += 1,
             }
         }
-        let file = OpenOptions::new()
-            .create(true)
-            .append(resume)
-            .truncate(!resume)
-            .write(true)
-            .open(path)?;
         Ok(Journal {
-            file: Mutex::new(file),
+            inner,
             loaded,
             skipped_lines,
         })
@@ -212,10 +206,7 @@ impl Journal {
     /// Appends one record and flushes it to disk immediately — the whole
     /// point is surviving a kill right after this call returns.
     pub fn record(&self, rec: &FoldRecord) -> io::Result<()> {
-        let line = rec.to_json().to_json();
-        let mut file = self.file.lock().expect("journal mutex poisoned");
-        writeln!(file, "{line}")?;
-        file.flush()
+        self.inner.append(&rec.to_json()).map_err(to_io)
     }
 }
 

@@ -1,0 +1,1164 @@
+//! The rollout controller: drives candidates through
+//! `Resident → Shadow → Canary → Live` on top of the model router.
+//!
+//! The controller never sits on the reply path. Shadow traffic is mirrored
+//! through a bounded queue into a worker thread that scores both pools and
+//! compares them; when the queue is full the sample is shed, never queued
+//! behind. Canary traffic is routed inline by the serving edge (via
+//! [`LifecycleController::canary_target`] /
+//! [`LifecycleController::predict`]), and every candidate infrastructure
+//! fault is retried on the live pool — a misbehaving canary costs latency
+//! on a slice of requests, never answers.
+
+use crate::error::LifecycleError;
+use crate::journal::{LifecycleJournal, RecoveryReport, ReplayedRollout};
+use crate::policy::PromotionPolicy;
+use crate::state::{RolloutState, RolloutStatus};
+use deepmap_graph::Graph;
+use deepmap_router::{ModelConfig, ModelRouter, RouterError};
+use deepmap_serve::{Health, ModelBundle, ServeError, ServedPrediction};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+#[cfg(feature = "fault-inject")]
+use deepmap_serve::FaultPlan;
+
+/// Controller knobs. The defaults suit tests and small deployments;
+/// production callers mostly tune `candidate` (the pool config candidates
+/// are built with) and `journal_path`.
+#[derive(Debug, Clone)]
+pub struct LifecycleConfig {
+    /// Pool configuration candidate models are registered with.
+    pub candidate: ModelConfig,
+    /// Where the rollout journal lives; `None` runs without persistence
+    /// (transitions survive nothing, but everything else works).
+    pub journal_path: Option<PathBuf>,
+    /// Embed the request graph in each mirror record, turning the journal
+    /// into a replayable training-data feed. Costs journal bytes.
+    pub journal_graphs: bool,
+    /// Mirror queue depth. A full queue sheds the sample — mirroring is
+    /// sampled observation, not delivery.
+    pub mirror_queue: usize,
+    /// Per-rollout latency ring size for the p99 comparison.
+    pub latency_window: usize,
+    /// Worker housekeeping cadence (canary health watch, pool cleanup,
+    /// retired-pool sweeps).
+    pub tick: Duration,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> LifecycleConfig {
+        LifecycleConfig {
+            candidate: ModelConfig::default(),
+            journal_path: None,
+            journal_graphs: false,
+            mirror_queue: 256,
+            latency_window: 512,
+            tick: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Fixed-size latency sample ring; p99 over whatever it currently holds.
+struct LatencyRing {
+    samples: Vec<u64>,
+    cap: usize,
+    at: usize,
+}
+
+impl LatencyRing {
+    fn new(cap: usize) -> LatencyRing {
+        LatencyRing {
+            samples: Vec::new(),
+            cap: cap.max(1),
+            at: 0,
+        }
+    }
+
+    fn push(&mut self, us: u64) {
+        if self.samples.len() < self.cap {
+            self.samples.push(us);
+        } else {
+            self.samples[self.at] = us;
+            self.at = (self.at + 1) % self.cap;
+        }
+    }
+
+    fn p99(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1) * 99 / 100]
+    }
+}
+
+/// One in-flight (or finished) rollout, as the controller tracks it.
+struct Rollout {
+    id: u64,
+    model: String,
+    candidate: String,
+    policy: PromotionPolicy,
+    state: RolloutState,
+    reason: Option<String>,
+    /// The bundle that was live when the rollout began — what a rollback
+    /// after promotion swaps back to.
+    previous: Arc<ModelBundle>,
+    /// The candidate bundle.
+    bundle: Arc<ModelBundle>,
+    mirrored: u64,
+    agreed: u64,
+    mirror_shed: u64,
+    live_lat: LatencyRing,
+    cand_lat: LatencyRing,
+    canary_routed: u64,
+    canary_ok: u64,
+    canary_faults: u64,
+    /// The candidate pool should be unregistered by the worker tick (set
+    /// by the data-path trip, which must not block on a pool teardown).
+    cleanup_pending: bool,
+}
+
+/// A mirrored request waiting to be scored off-path.
+struct MirrorJob {
+    model: String,
+    graph: Graph,
+}
+
+struct Shared {
+    router: Arc<ModelRouter>,
+    config: LifecycleConfig,
+    rollouts: Mutex<HashMap<String, Rollout>>,
+    journal: Mutex<Option<LifecycleJournal>>,
+    stop: AtomicBool,
+    /// Rollouts currently in Shadow or Canary — the lock-free early-out
+    /// for [`LifecycleController::mirror_tap`] on the hot path.
+    active_mirrors: AtomicUsize,
+    /// Rollouts currently in Canary — the lock-free early-out for
+    /// [`LifecycleController::canary_target`].
+    active_canaries: AtomicUsize,
+    next_id: AtomicU64,
+    mirror_ticket: AtomicU64,
+    canary_ticket: AtomicU64,
+}
+
+fn now_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+fn mirrors(state: RolloutState) -> bool {
+    matches!(state, RolloutState::Shadow | RolloutState::Canary)
+}
+
+/// Candidate infrastructure faults — failures of the pool, not of the
+/// request. Admission rejections and backpressure are the candidate
+/// behaving correctly under load and do not burn the fault budget.
+fn is_infra_fault(error: &ServeError) -> bool {
+    matches!(
+        error,
+        ServeError::WorkerPanic
+            | ServeError::CircuitOpen
+            | ServeError::WaitTimeout
+            | ServeError::Shutdown
+            | ServeError::DeadlineExceeded
+    )
+}
+
+impl Shared {
+    fn lock_rollouts(&self) -> MutexGuard<'_, HashMap<String, Rollout>> {
+        match self.rollouts.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Maintains the lock-free stage counters across a state change.
+    fn note_state_change(&self, from: RolloutState, to: RolloutState) {
+        if mirrors(from) && !mirrors(to) {
+            self.active_mirrors.fetch_sub(1, Ordering::SeqCst);
+        }
+        if !mirrors(from) && mirrors(to) {
+            self.active_mirrors.fetch_add(1, Ordering::SeqCst);
+        }
+        if from == RolloutState::Canary && to != RolloutState::Canary {
+            self.active_canaries.fetch_sub(1, Ordering::SeqCst);
+        }
+        if from != RolloutState::Canary && to == RolloutState::Canary {
+            self.active_canaries.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn journal_begin(
+        &self,
+        id: u64,
+        model: &str,
+        candidate: &str,
+        policy: &PromotionPolicy,
+        bundle_bytes: &[u8],
+    ) -> Result<(), LifecycleError> {
+        let mut journal = match self.journal.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match journal.as_mut() {
+            Some(j) => j.begin(id, model, candidate, policy, bundle_bytes),
+            None => Ok(()),
+        }
+    }
+
+    fn journal_transition(
+        &self,
+        id: u64,
+        model: &str,
+        from: RolloutState,
+        to: RolloutState,
+        reason: Option<&str>,
+    ) -> Result<(), LifecycleError> {
+        let mut journal = match self.journal.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match journal.as_mut() {
+            Some(j) => j.transition(id, model, from, to, now_us(), reason),
+            None => Ok(()),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn journal_mirror(
+        &self,
+        id: u64,
+        model: &str,
+        agree: bool,
+        live_class: usize,
+        candidate_class: usize,
+        live_us: u64,
+        candidate_us: u64,
+        graph: Option<&Graph>,
+    ) {
+        let mut journal = match self.journal.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(j) = journal.as_mut() {
+            let graph_bytes = graph.map(deepmap_serve::codec::encode_graph);
+            // Mirror records are an observability stream; a failed append
+            // (disk full, …) must not take down serving.
+            let _ = j.mirror(
+                id,
+                model,
+                agree,
+                live_class,
+                candidate_class,
+                live_us,
+                candidate_us,
+                graph_bytes.as_deref(),
+            );
+        }
+    }
+
+    /// Auto-rollback from the data path or the watch tick. Memory first —
+    /// canary routing stops the instant the state flips — then the journal
+    /// record. A crash in between replays as a still-active canary, which
+    /// simply re-trips on the same evidence after resume.
+    fn trip(&self, model: &str, why: String) {
+        let (id, from) = {
+            let mut rollouts = self.lock_rollouts();
+            let Some(entry) = rollouts.get_mut(model) else {
+                return;
+            };
+            if entry.state.is_terminal() {
+                return;
+            }
+            let from = entry.state;
+            entry.state = RolloutState::RolledBack;
+            entry.reason = Some(why.clone());
+            entry.cleanup_pending = true;
+            self.note_state_change(from, RolloutState::RolledBack);
+            (entry.id, from)
+        };
+        let _ = self.journal_transition(id, model, from, RolloutState::RolledBack, Some(&why));
+    }
+
+    /// Scores one mirrored request on both pools and records the verdict.
+    fn process_mirror(&self, job: MirrorJob) {
+        let (id, candidate) = {
+            let rollouts = self.lock_rollouts();
+            let Some(entry) = rollouts.get(&job.model) else {
+                return;
+            };
+            if !mirrors(entry.state) {
+                return;
+            }
+            (entry.id, entry.candidate.clone())
+        };
+        let Ok(live) = self.router.resolve(&job.model) else {
+            return;
+        };
+        let Ok(cand) = self.router.resolve(&candidate) else {
+            return;
+        };
+        let started = Instant::now();
+        let live_pred = live.predict(job.graph.clone());
+        let live_us = started.elapsed().as_micros() as u64;
+        let started = Instant::now();
+        let cand_pred = cand.predict(job.graph.clone());
+        let cand_us = started.elapsed().as_micros() as u64;
+        // A candidate-side failure feeds the candidate pool's own SLO
+        // tracker, which the burn gate and the watch tick read — no need
+        // to double-count it here.
+        let (Ok(live_pred), Ok(cand_pred)) = (live_pred, cand_pred) else {
+            return;
+        };
+        let agree = live_pred.class == cand_pred.class;
+        {
+            let mut rollouts = self.lock_rollouts();
+            let Some(entry) = rollouts.get_mut(&job.model) else {
+                return;
+            };
+            if entry.id != id {
+                return;
+            }
+            entry.mirrored += 1;
+            if agree {
+                entry.agreed += 1;
+            }
+            entry.live_lat.push(live_us);
+            entry.cand_lat.push(cand_us);
+        }
+        let graph = self.config.journal_graphs.then_some(&job.graph);
+        self.journal_mirror(
+            id,
+            &job.model,
+            agree,
+            live_pred.class,
+            cand_pred.class,
+            live_us,
+            cand_us,
+            graph,
+        );
+    }
+
+    /// Housekeeping: tear down pools the data path flagged, watch canary
+    /// health and SLO burn, and sweep retired router pools.
+    fn tick(&self) {
+        let pending: Vec<String> = {
+            let mut rollouts = self.lock_rollouts();
+            rollouts
+                .values_mut()
+                .filter(|r| r.cleanup_pending)
+                .map(|r| {
+                    r.cleanup_pending = false;
+                    r.candidate.clone()
+                })
+                .collect()
+        };
+        for candidate in pending {
+            // UnknownModel just means it was already gone.
+            let _ = self.router.unregister(&candidate);
+        }
+
+        let canaries: Vec<(String, String, f64)> = {
+            let rollouts = self.lock_rollouts();
+            rollouts
+                .values()
+                .filter(|r| r.state == RolloutState::Canary)
+                .map(|r| {
+                    (
+                        r.model.clone(),
+                        r.candidate.clone(),
+                        r.policy.max_error_burn,
+                    )
+                })
+                .collect()
+        };
+        for (model, candidate, max_burn) in canaries {
+            match self.router.resolve(&candidate) {
+                Err(_) => self.trip(&model, "candidate pool vanished mid-canary".to_string()),
+                Ok(engine) => {
+                    if matches!(engine.health(), Health::Unavailable) {
+                        self.trip(
+                            &model,
+                            "candidate unavailable (breaker open or pool dead)".to_string(),
+                        );
+                    } else if let Some((fast, _)) = engine.slo_burn_rates() {
+                        if fast > max_burn {
+                            self.trip(
+                                &model,
+                                format!(
+                                    "candidate SLO burn {fast:.2} exceeds policy ceiling \
+                                     {max_burn:.2}"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        self.router.sweep_retired();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Receiver<MirrorJob>) {
+    let mut last_tick = Instant::now();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match rx.recv_timeout(shared.config.tick) {
+            Ok(job) => shared.process_mirror(job),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        // A saturated mirror queue must not starve the watch: tick on
+        // cadence even when jobs keep arriving.
+        if last_tick.elapsed() >= shared.config.tick {
+            shared.tick();
+            last_tick = Instant::now();
+        }
+    }
+}
+
+/// The shadow gates, shared by `advance` (shadow → canary) and `promote`
+/// (canary → live). `Err` carries the human-readable reason for
+/// [`LifecycleError::NotEligible`].
+fn check_gates(entry: &Rollout, candidate_burn: Option<(f64, f64)>) -> Result<(), String> {
+    let policy = &entry.policy;
+    if entry.mirrored < policy.min_samples {
+        return Err(format!(
+            "only {} mirrored samples, policy requires {}",
+            entry.mirrored, policy.min_samples
+        ));
+    }
+    let agreement = entry.agreed as f64 / entry.mirrored as f64;
+    if agreement < policy.min_agreement {
+        return Err(format!(
+            "agreement {:.4} below policy minimum {:.4}",
+            agreement, policy.min_agreement
+        ));
+    }
+    let live_p99 = entry.live_lat.p99().max(1);
+    let cand_p99 = entry.cand_lat.p99();
+    if cand_p99 as f64 > live_p99 as f64 * policy.max_p99_regression {
+        return Err(format!(
+            "candidate p99 {cand_p99}us vs live {live_p99}us exceeds the {:.2}x \
+             regression budget",
+            policy.max_p99_regression
+        ));
+    }
+    if let Some((fast, _)) = candidate_burn {
+        if fast > policy.max_error_burn {
+            return Err(format!(
+                "candidate SLO burn {fast:.2} exceeds policy ceiling {:.2}",
+                policy.max_error_burn
+            ));
+        }
+    }
+    if entry.canary_faults >= policy.max_canary_faults {
+        return Err(format!(
+            "canary fault budget exhausted ({} of {})",
+            entry.canary_faults, policy.max_canary_faults
+        ));
+    }
+    Ok(())
+}
+
+/// Drives versioned rollouts over a [`ModelRouter`]: shadow mirroring,
+/// policy-gated canary promotion, automatic rollback, and a crash-safe
+/// journal that lets a restarted controller resume mid-flight rollouts.
+pub struct LifecycleController {
+    shared: Arc<Shared>,
+    tx: SyncSender<MirrorJob>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    recovery: RecoveryReport,
+}
+
+impl LifecycleController {
+    /// The derived registry name a model's candidate serves under while
+    /// shadowing and canarying.
+    pub fn candidate_name(model: &str) -> String {
+        format!("{model}.next")
+    }
+
+    /// Starts a controller over `router`. When `config.journal_path` is
+    /// set, an existing journal is replayed first: finished rollouts
+    /// become queryable history, mid-flight rollouts are resumed — their
+    /// candidate pools re-registered from the journaled bundle image and
+    /// their state machines picked up where the journal left them
+    /// (measurement counters restart from zero; the policy's sample floor
+    /// re-accumulates before any further promotion).
+    pub fn new(
+        router: Arc<ModelRouter>,
+        config: LifecycleConfig,
+    ) -> Result<LifecycleController, LifecycleError> {
+        let (journal, replayed, replay) = match &config.journal_path {
+            Some(path) => {
+                let (journal, replayed, replay) = LifecycleJournal::open(path)?;
+                (Some(journal), replayed, Some(replay))
+            }
+            None => (None, HashMap::new(), None),
+        };
+        let mut recovery = RecoveryReport {
+            records: replay.as_ref().map_or(0, |r| r.records.len() as u64),
+            skipped: replay.as_ref().map_or(0, |r| r.skipped_lines as u64),
+            salvaged: replay.as_ref().and_then(|r| r.salvaged),
+            rollouts: replayed.len() as u64,
+            resumed: 0,
+        };
+        let next_id = replayed.values().map(|r| r.id).max().unwrap_or(0) + 1;
+
+        let (tx, rx) = std::sync::mpsc::sync_channel(config.mirror_queue.max(1));
+        let shared = Arc::new(Shared {
+            router,
+            config,
+            rollouts: Mutex::new(HashMap::new()),
+            journal: Mutex::new(journal),
+            stop: AtomicBool::new(false),
+            active_mirrors: AtomicUsize::new(0),
+            active_canaries: AtomicUsize::new(0),
+            next_id: AtomicU64::new(next_id),
+            mirror_ticket: AtomicU64::new(0),
+            canary_ticket: AtomicU64::new(0),
+        });
+
+        for (_, rep) in replayed {
+            if resume_rollout(&shared, rep)? {
+                recovery.resumed += 1;
+            }
+        }
+
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("deepmap-lifecycle".to_string())
+                .spawn(move || worker_loop(shared, rx))
+                .expect("spawn lifecycle worker")
+        };
+
+        Ok(LifecycleController {
+            shared,
+            tx,
+            worker: Mutex::new(Some(worker)),
+            recovery,
+        })
+    }
+
+    /// What reopening the journal recovered — record counts, torn-tail
+    /// salvage, and how many mid-flight rollouts were resumed.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Begins a rollout: journals the candidate (bundle image included,
+    /// fsynced), registers it under [`candidate_name`] behind the router's
+    /// registration probe, and enters shadow mode. Fails without touching
+    /// the live pool if the policy is malformed, the model is unknown, a
+    /// rollout is already in flight, or the candidate fails its probe.
+    ///
+    /// [`candidate_name`]: LifecycleController::candidate_name
+    pub fn begin(
+        &self,
+        model: &str,
+        bundle: Arc<ModelBundle>,
+        policy: PromotionPolicy,
+    ) -> Result<(), LifecycleError> {
+        let _span = deepmap_obs::span("lifecycle.begin").with_str("model", model);
+        self.begin_with(model, bundle, policy, |router, name, bundle, config| {
+            router.register(name, bundle, config)
+        })
+    }
+
+    /// [`begin`](LifecycleController::begin) with a deterministic
+    /// [`FaultPlan`] wired into the candidate pool's workers — the chaos
+    /// entry point rollback-under-fire suites use. The plan poisons only
+    /// the candidate; the live pool is untouched. Skips the registration
+    /// probe, exactly like the router's chaos registration.
+    #[cfg(feature = "fault-inject")]
+    pub fn begin_chaos(
+        &self,
+        model: &str,
+        bundle: Arc<ModelBundle>,
+        policy: PromotionPolicy,
+        plan: FaultPlan,
+    ) -> Result<(), LifecycleError> {
+        let _span = deepmap_obs::span("lifecycle.begin_chaos").with_str("model", model);
+        self.begin_with(
+            model,
+            bundle,
+            policy,
+            move |router, name, bundle, config| router.register_chaos(name, bundle, config, plan),
+        )
+    }
+
+    fn begin_with(
+        &self,
+        model: &str,
+        bundle: Arc<ModelBundle>,
+        policy: PromotionPolicy,
+        register: impl FnOnce(
+            &ModelRouter,
+            &str,
+            Arc<ModelBundle>,
+            ModelConfig,
+        ) -> Result<(), RouterError>,
+    ) -> Result<(), LifecycleError> {
+        policy.validate()?;
+        let shared = &self.shared;
+        let live = shared.router.resolve(model)?;
+        let previous = Arc::clone(live.bundle());
+        drop(live);
+        let candidate = LifecycleController::candidate_name(model);
+        let id = {
+            let mut rollouts = shared.lock_rollouts();
+            if let Some(existing) = rollouts.get(model) {
+                if !existing.state.is_terminal() {
+                    return Err(LifecycleError::RolloutActive(model.to_string()));
+                }
+            }
+            let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+            rollouts.insert(
+                model.to_string(),
+                Rollout {
+                    id,
+                    model: model.to_string(),
+                    candidate: candidate.clone(),
+                    policy,
+                    state: RolloutState::Resident,
+                    reason: None,
+                    previous,
+                    bundle: Arc::clone(&bundle),
+                    mirrored: 0,
+                    agreed: 0,
+                    mirror_shed: 0,
+                    live_lat: LatencyRing::new(shared.config.latency_window),
+                    cand_lat: LatencyRing::new(shared.config.latency_window),
+                    canary_routed: 0,
+                    canary_ok: 0,
+                    canary_faults: 0,
+                    cleanup_pending: false,
+                },
+            );
+            id
+        };
+        shared.journal_begin(id, model, &candidate, &policy, &bundle.to_bytes())?;
+
+        // A candidate pool left over from an earlier crashed rollout would
+        // collide; retire it first.
+        if shared.router.resolve(&candidate).is_ok() {
+            let _ = shared.router.unregister(&candidate);
+        }
+        if let Err(e) = register(
+            &shared.router,
+            &candidate,
+            bundle,
+            shared.config.candidate.clone(),
+        ) {
+            let reason = e.to_string();
+            let _ = shared.journal_transition(
+                id,
+                model,
+                RolloutState::Resident,
+                RolloutState::Failed,
+                Some(&reason),
+            );
+            let mut rollouts = shared.lock_rollouts();
+            if let Some(entry) = rollouts.get_mut(model) {
+                if entry.id == id {
+                    entry.state = RolloutState::Failed;
+                    entry.reason = Some(reason);
+                }
+            }
+            return Err(e.into());
+        }
+
+        shared.journal_transition(
+            id,
+            model,
+            RolloutState::Resident,
+            RolloutState::Shadow,
+            None,
+        )?;
+        let mut rollouts = shared.lock_rollouts();
+        if let Some(entry) = rollouts.get_mut(model) {
+            if entry.id == id && entry.state == RolloutState::Resident {
+                entry.state = RolloutState::Shadow;
+                shared.note_state_change(RolloutState::Resident, RolloutState::Shadow);
+            }
+        }
+        Ok(())
+    }
+
+    /// Shadow → canary, gated by the policy: enough mirrored samples,
+    /// agreement at or above the floor, candidate p99 within the
+    /// regression budget, and candidate SLO burn under the ceiling.
+    /// Returns [`LifecycleError::NotEligible`] naming the failed gate.
+    pub fn advance(&self, model: &str) -> Result<(), LifecycleError> {
+        let _span = deepmap_obs::span("lifecycle.advance").with_str("model", model);
+        let shared = &self.shared;
+        let (id, candidate) = {
+            let rollouts = shared.lock_rollouts();
+            let entry = rollouts
+                .get(model)
+                .ok_or_else(|| LifecycleError::NoRollout(model.to_string()))?;
+            if entry.state != RolloutState::Shadow {
+                return Err(LifecycleError::BadState {
+                    model: model.to_string(),
+                    state: entry.state,
+                    wanted: "shadow",
+                });
+            }
+            (entry.id, entry.candidate.clone())
+        };
+        let burn = shared
+            .router
+            .resolve(&candidate)
+            .ok()
+            .and_then(|e| e.slo_burn_rates());
+        {
+            let rollouts = shared.lock_rollouts();
+            let entry = rollouts
+                .get(model)
+                .ok_or_else(|| LifecycleError::NoRollout(model.to_string()))?;
+            check_gates(entry, burn).map_err(|reason| LifecycleError::NotEligible {
+                model: model.to_string(),
+                reason,
+            })?;
+        }
+        shared.journal_transition(id, model, RolloutState::Shadow, RolloutState::Canary, None)?;
+        let mut rollouts = shared.lock_rollouts();
+        if let Some(entry) = rollouts.get_mut(model) {
+            if entry.id == id && entry.state == RolloutState::Shadow {
+                entry.state = RolloutState::Canary;
+                shared.note_state_change(RolloutState::Shadow, RolloutState::Canary);
+            }
+        }
+        Ok(())
+    }
+
+    /// Canary → live: re-checks every gate, then swaps the candidate into
+    /// the live slot via the router's probe-gated atomic reload and
+    /// retires the candidate pool. In-flight requests on the old pool
+    /// finish on their own clones; nothing is dropped.
+    pub fn promote(&self, model: &str) -> Result<(), LifecycleError> {
+        let _span = deepmap_obs::span("lifecycle.promote").with_str("model", model);
+        let shared = &self.shared;
+        let (id, candidate, bundle) = {
+            let rollouts = shared.lock_rollouts();
+            let entry = rollouts
+                .get(model)
+                .ok_or_else(|| LifecycleError::NoRollout(model.to_string()))?;
+            if entry.state != RolloutState::Canary {
+                return Err(LifecycleError::BadState {
+                    model: model.to_string(),
+                    state: entry.state,
+                    wanted: "canary",
+                });
+            }
+            (entry.id, entry.candidate.clone(), Arc::clone(&entry.bundle))
+        };
+        let burn = shared
+            .router
+            .resolve(&candidate)
+            .ok()
+            .and_then(|e| e.slo_burn_rates());
+        {
+            let rollouts = shared.lock_rollouts();
+            let entry = rollouts
+                .get(model)
+                .ok_or_else(|| LifecycleError::NoRollout(model.to_string()))?;
+            check_gates(entry, burn).map_err(|reason| LifecycleError::NotEligible {
+                model: model.to_string(),
+                reason,
+            })?;
+        }
+        // The probe-gated swap: a candidate that fails its probe here
+        // leaves the resident pool untouched and the rollout in canary.
+        shared.router.reload(model, bundle)?;
+        let _ = shared.router.unregister(&candidate);
+        shared.journal_transition(id, model, RolloutState::Canary, RolloutState::Live, None)?;
+        let mut rollouts = shared.lock_rollouts();
+        if let Some(entry) = rollouts.get_mut(model) {
+            if entry.id == id && entry.state == RolloutState::Canary {
+                entry.state = RolloutState::Live;
+                shared.note_state_change(RolloutState::Canary, RolloutState::Live);
+            }
+        }
+        Ok(())
+    }
+
+    /// Operator rollback. From shadow or canary this withdraws the
+    /// candidate (the live pool was never touched); from live it swaps the
+    /// previous bundle back through the same probe-gated reload that
+    /// promoted the candidate.
+    pub fn rollback(&self, model: &str, reason: &str) -> Result<(), LifecycleError> {
+        let _span = deepmap_obs::span("lifecycle.rollback").with_str("model", model);
+        let shared = &self.shared;
+        let (id, from, candidate, previous) = {
+            let rollouts = shared.lock_rollouts();
+            let entry = rollouts
+                .get(model)
+                .ok_or_else(|| LifecycleError::NoRollout(model.to_string()))?;
+            if entry.state.is_terminal() && entry.state != RolloutState::Live {
+                return Err(LifecycleError::BadState {
+                    model: model.to_string(),
+                    state: entry.state,
+                    wanted: "an active rollout or live",
+                });
+            }
+            (
+                entry.id,
+                entry.state,
+                entry.candidate.clone(),
+                Arc::clone(&entry.previous),
+            )
+        };
+        if from == RolloutState::Live {
+            shared.router.reload(model, previous)?;
+        }
+        let _ = shared.router.unregister(&candidate);
+        shared.journal_transition(id, model, from, RolloutState::RolledBack, Some(reason))?;
+        let mut rollouts = shared.lock_rollouts();
+        if let Some(entry) = rollouts.get_mut(model) {
+            if entry.id == id && entry.state == from {
+                entry.state = RolloutState::RolledBack;
+                entry.reason = Some(reason.to_string());
+                shared.note_state_change(from, RolloutState::RolledBack);
+            }
+        }
+        Ok(())
+    }
+
+    /// Offers a live request for shadow mirroring. Lock-free no-op when no
+    /// rollout is mirroring; otherwise samples by the rollout's mirror
+    /// fraction and hands a clone to the scoring worker through a bounded
+    /// queue — a full queue sheds the sample and counts it, never blocks.
+    /// Always off the reply path: the caller's response is unaffected.
+    pub fn mirror_tap(&self, model: &str, graph: &Graph) {
+        let shared = &self.shared;
+        if shared.active_mirrors.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        {
+            let rollouts = shared.lock_rollouts();
+            let Some(entry) = rollouts.get(model) else {
+                return;
+            };
+            if !mirrors(entry.state) {
+                return;
+            }
+            let permille = (entry.policy.mirror_fraction * 1000.0) as u64;
+            let ticket = shared.mirror_ticket.fetch_add(1, Ordering::SeqCst);
+            if ticket % 1000 >= permille {
+                return;
+            }
+        }
+        let job = MirrorJob {
+            model: model.to_string(),
+            graph: graph.clone(),
+        };
+        match self.tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                let mut rollouts = shared.lock_rollouts();
+                if let Some(entry) = rollouts.get_mut(model) {
+                    entry.mirror_shed += 1;
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+
+    /// When the model has a canary in flight and this request falls in the
+    /// canary slice, returns the candidate's registry name to route to.
+    /// Lock-free `None` when no canary is active.
+    pub fn canary_target(&self, model: &str) -> Option<String> {
+        let shared = &self.shared;
+        if shared.active_canaries.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let mut rollouts = shared.lock_rollouts();
+        let entry = rollouts.get_mut(model)?;
+        if entry.state != RolloutState::Canary || entry.cleanup_pending {
+            return None;
+        }
+        let permille = (entry.policy.canary_fraction * 1000.0) as u64;
+        let ticket = shared.canary_ticket.fetch_add(1, Ordering::SeqCst);
+        if ticket % 1000 >= permille {
+            return None;
+        }
+        entry.canary_routed += 1;
+        Some(entry.candidate.clone())
+    }
+
+    /// Reports how a canary-routed request went: `None` for success, the
+    /// serve error otherwise. Infrastructure faults (panic, breaker,
+    /// timeout, shutdown) burn the policy's fault budget and trip an
+    /// automatic rollback when it is exhausted; backpressure and admission
+    /// rejections are the candidate behaving and burn nothing.
+    pub fn report_canary(&self, model: &str, error: Option<&ServeError>) {
+        let shared = &self.shared;
+        let need_trip = {
+            let mut rollouts = shared.lock_rollouts();
+            let Some(entry) = rollouts.get_mut(model) else {
+                return;
+            };
+            if entry.state != RolloutState::Canary {
+                return;
+            }
+            match error {
+                None => {
+                    entry.canary_ok += 1;
+                    false
+                }
+                Some(e) if is_infra_fault(e) => {
+                    entry.canary_faults += 1;
+                    entry.canary_faults >= entry.policy.max_canary_faults
+                }
+                Some(_) => false,
+            }
+        };
+        if need_trip {
+            shared.trip(
+                model,
+                "canary fault budget exhausted — automatic rollback".to_string(),
+            );
+        }
+    }
+
+    /// The canary-aware data path: mirrors the request if a rollout is
+    /// shadowing, routes it to the candidate if it falls in the canary
+    /// slice, and — on any candidate infrastructure fault — reports the
+    /// fault and retries on the live pool, so a dying canary never costs a
+    /// client its answer.
+    pub fn predict(&self, model: &str, graph: Graph) -> Result<ServedPrediction, RouterError> {
+        self.mirror_tap(model, &graph);
+        if let Some(candidate) = self.canary_target(model) {
+            match self.shared.router.predict(&candidate, graph.clone()) {
+                Ok(prediction) => {
+                    self.report_canary(model, None);
+                    return Ok(prediction);
+                }
+                Err(RouterError::Serve(e)) => {
+                    self.report_canary(model, Some(&e));
+                    // fall through to the live pool
+                }
+                Err(_) => {
+                    // Candidate unresolvable (already torn down after a
+                    // trip) — the live pool answers.
+                }
+            }
+        }
+        self.shared.router.predict(model, graph)
+    }
+
+    /// The rollout's current status, as the `RolloutStatus` wire frame
+    /// reports it.
+    pub fn status(&self, model: &str) -> Result<RolloutStatus, LifecycleError> {
+        let candidate = {
+            let rollouts = self.shared.lock_rollouts();
+            rollouts
+                .get(model)
+                .ok_or_else(|| LifecycleError::NoRollout(model.to_string()))?
+                .candidate
+                .clone()
+        };
+        let burn = self
+            .shared
+            .router
+            .resolve(&candidate)
+            .ok()
+            .and_then(|e| e.slo_burn_rates())
+            .unwrap_or((0.0, 0.0));
+        let rollouts = self.shared.lock_rollouts();
+        let entry = rollouts
+            .get(model)
+            .ok_or_else(|| LifecycleError::NoRollout(model.to_string()))?;
+        Ok(snapshot(entry, burn))
+    }
+
+    /// Status of every rollout the controller knows, sorted by model.
+    pub fn list(&self) -> Vec<RolloutStatus> {
+        let models: Vec<String> = {
+            let rollouts = self.shared.lock_rollouts();
+            rollouts.keys().cloned().collect()
+        };
+        let mut statuses: Vec<RolloutStatus> = models
+            .iter()
+            .filter_map(|model| self.status(model).ok())
+            .collect();
+        statuses.sort_by(|a, b| a.model.cmp(&b.model));
+        statuses
+    }
+
+    /// Stops the mirror worker and joins it. Rollout state stays queryable
+    /// (and journaled); candidate pools stay registered — a controller
+    /// restart resumes them from the journal.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let handle = {
+            let mut worker = match self.worker.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            worker.take()
+        };
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LifecycleController {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn snapshot(entry: &Rollout, burn: (f64, f64)) -> RolloutStatus {
+    RolloutStatus {
+        model: entry.model.clone(),
+        candidate: entry.candidate.clone(),
+        rollout_id: entry.id,
+        state: entry.state,
+        reason: entry.reason.clone(),
+        mirrored: entry.mirrored,
+        agreed: entry.agreed,
+        agreement: if entry.mirrored > 0 {
+            entry.agreed as f64 / entry.mirrored as f64
+        } else {
+            0.0
+        },
+        mirror_shed: entry.mirror_shed,
+        live_p99_us: entry.live_lat.p99(),
+        candidate_p99_us: entry.cand_lat.p99(),
+        canary_routed: entry.canary_routed,
+        canary_ok: entry.canary_ok,
+        canary_faults: entry.canary_faults,
+        candidate_burn_fast: burn.0,
+        candidate_burn_slow: burn.1,
+    }
+}
+
+/// Rebuilds one journaled rollout at controller start. Returns `Ok(true)`
+/// when a mid-flight rollout was actually resumed (candidate pool
+/// re-registered and the state machine re-armed).
+fn resume_rollout(shared: &Arc<Shared>, rep: ReplayedRollout) -> Result<bool, LifecycleError> {
+    let bundle = match ModelBundle::from_bytes(&rep.bundle_bytes) {
+        Ok(bundle) => Arc::new(bundle),
+        Err(e) => {
+            if !rep.state.is_terminal() {
+                let _ = shared.journal_transition(
+                    rep.id,
+                    &rep.model,
+                    rep.state,
+                    RolloutState::Failed,
+                    Some(&format!("journaled bundle image undecodable: {e}")),
+                );
+            }
+            // Without a bundle there is nothing to track; the journal
+            // records why.
+            return Ok(false);
+        }
+    };
+
+    let live = shared.router.resolve(&rep.model).ok();
+    let previous = live
+        .as_ref()
+        .map(|e| Arc::clone(e.bundle()))
+        .unwrap_or_else(|| Arc::clone(&bundle));
+
+    let mut entry = Rollout {
+        id: rep.id,
+        model: rep.model.clone(),
+        candidate: rep.candidate.clone(),
+        policy: rep.policy,
+        state: rep.state,
+        reason: rep.reason.clone(),
+        previous,
+        bundle: Arc::clone(&bundle),
+        mirrored: 0,
+        agreed: 0,
+        mirror_shed: 0,
+        live_lat: LatencyRing::new(shared.config.latency_window),
+        cand_lat: LatencyRing::new(shared.config.latency_window),
+        canary_routed: 0,
+        canary_ok: 0,
+        canary_faults: 0,
+        cleanup_pending: false,
+    };
+
+    if rep.state.is_terminal() {
+        // Finished history: queryable, nothing to re-arm.
+        shared.lock_rollouts().insert(rep.model, entry);
+        return Ok(false);
+    }
+
+    if live.is_none() {
+        let reason = format!("model '{}' is not resident in the router", rep.model);
+        let _ = shared.journal_transition(
+            rep.id,
+            &rep.model,
+            rep.state,
+            RolloutState::Failed,
+            Some(&reason),
+        );
+        entry.state = RolloutState::Failed;
+        entry.reason = Some(reason);
+        shared.lock_rollouts().insert(rep.model, entry);
+        return Ok(false);
+    }
+
+    // Re-register the candidate from the journaled image. If the pool
+    // survived (the router outlived the controller), it is already there.
+    let registered = match shared.router.register(
+        &rep.candidate,
+        Arc::clone(&bundle),
+        shared.config.candidate.clone(),
+    ) {
+        Ok(()) => true,
+        Err(RouterError::AlreadyRegistered(_)) => true,
+        Err(e) => {
+            let reason = format!("candidate re-registration failed on resume: {e}");
+            let _ = shared.journal_transition(
+                rep.id,
+                &rep.model,
+                rep.state,
+                RolloutState::Failed,
+                Some(&reason),
+            );
+            entry.state = RolloutState::Failed;
+            entry.reason = Some(reason);
+            false
+        }
+    };
+    if !registered {
+        shared.lock_rollouts().insert(rep.model, entry);
+        return Ok(false);
+    }
+
+    // A rollout journaled as resident crashed between begin and shadow
+    // entry; with the candidate now registered, it proceeds to shadow.
+    if entry.state == RolloutState::Resident {
+        shared.journal_transition(
+            rep.id,
+            &rep.model,
+            RolloutState::Resident,
+            RolloutState::Shadow,
+            Some("resumed from journal"),
+        )?;
+        entry.state = RolloutState::Shadow;
+    }
+    shared.note_state_change(RolloutState::Resident, entry.state);
+    shared.lock_rollouts().insert(rep.model, entry);
+    Ok(true)
+}

@@ -1,0 +1,112 @@
+//! Typed lifecycle errors.
+
+use crate::state::RolloutState;
+use deepmap_obs::journal::JournalError;
+use deepmap_router::RouterError;
+use std::fmt;
+
+/// Everything that can go wrong driving a rollout. Wire handlers map each
+/// variant to its own error code, so remote operators see the same
+/// taxonomy in-process callers do.
+#[derive(Debug)]
+pub enum LifecycleError {
+    /// The model has no rollout (active or finished) to operate on.
+    NoRollout(
+        /// The model name queried.
+        String,
+    ),
+    /// A rollout for this model is already in flight; finish or roll it
+    /// back before beginning another.
+    RolloutActive(
+        /// The model name with the active rollout.
+        String,
+    ),
+    /// The requested transition is not legal from the rollout's current
+    /// state (e.g. `promote` before `advance`).
+    BadState {
+        /// The model whose rollout refused the transition.
+        model: String,
+        /// Where the rollout actually is.
+        state: RolloutState,
+        /// The state the operation needed.
+        wanted: &'static str,
+    },
+    /// The promotion policy is not satisfied yet — the reason spells out
+    /// which gate failed and by how much.
+    NotEligible {
+        /// The model whose rollout was evaluated.
+        model: String,
+        /// The failed gate, human-readable.
+        reason: String,
+    },
+    /// The policy itself is malformed (fraction outside `[0, 1]`, zero
+    /// sample floor, …).
+    BadPolicy(
+        /// What is wrong with it.
+        String,
+    ),
+    /// The underlying router refused (unknown model, probe failure, …).
+    Router(RouterError),
+    /// The rollout journal could not be written or opened.
+    Journal(JournalError),
+    /// The journal replayed, but its record stream is not a valid rollout
+    /// history (unknown record kind, undecodable bundle image, …).
+    Corrupt(
+        /// What the replay choked on.
+        String,
+    ),
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifecycleError::NoRollout(model) => {
+                write!(f, "model '{model}' has no rollout")
+            }
+            LifecycleError::RolloutActive(model) => {
+                write!(f, "model '{model}' already has a rollout in flight")
+            }
+            LifecycleError::BadState {
+                model,
+                state,
+                wanted,
+            } => {
+                write!(
+                    f,
+                    "rollout for '{model}' is {state}, but this operation needs {wanted}"
+                )
+            }
+            LifecycleError::NotEligible { model, reason } => {
+                write!(f, "rollout for '{model}' is not eligible: {reason}")
+            }
+            LifecycleError::BadPolicy(reason) => write!(f, "bad promotion policy: {reason}"),
+            LifecycleError::Router(e) => write!(f, "router: {e}"),
+            LifecycleError::Journal(e) => write!(f, "rollout journal: {e}"),
+            LifecycleError::Corrupt(reason) => {
+                write!(f, "rollout journal replay: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LifecycleError::Router(e) => Some(e),
+            LifecycleError::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RouterError> for LifecycleError {
+    fn from(e: RouterError) -> LifecycleError {
+        LifecycleError::Router(e)
+    }
+}
+
+impl From<JournalError> for LifecycleError {
+    fn from(e: JournalError) -> LifecycleError {
+        LifecycleError::Journal(e)
+    }
+}

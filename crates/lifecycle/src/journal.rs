@@ -1,0 +1,398 @@
+//! The crash-safe rollout journal.
+//!
+//! Every lifecycle decision is a CRC-framed JSONL record
+//! ([`Framing::Checked`] from `deepmap-obs`): `begin` carries the full
+//! candidate bundle image and policy so a restarted controller can rebuild
+//! the rollout from the journal alone; `transition` records are fsynced
+//! before the in-memory state machine moves, so the journal never lags
+//! reality across a crash; `mirror` records stream the shadow-traffic
+//! comparisons (optionally with the request graph itself), which makes the
+//! journal double as a training-data feed. A torn final record — the
+//! signature of a kill mid-write — is truncated and salvaged on reopen,
+//! never fatal.
+
+use crate::error::LifecycleError;
+use crate::policy::PromotionPolicy;
+use crate::state::RolloutState;
+use deepmap_obs::journal::{Framing, Journal, Replay, Salvage};
+use deepmap_obs::json::Json;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Lowercase hex encoding for bundle/graph images embedded in records.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Parses [`to_hex`] back; `None` on odd length or a non-hex digit.
+pub fn from_hex(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = text.as_bytes();
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// One rollout reconstructed from the journal: everything `begin` wrote
+/// plus the last state `transition` reached. Non-terminal entries are what
+/// a restarted controller resumes.
+#[derive(Debug, Clone)]
+pub struct ReplayedRollout {
+    /// Monotonic rollout id.
+    pub id: u64,
+    /// The live model the rollout targets.
+    pub model: String,
+    /// The candidate's derived registry name.
+    pub candidate: String,
+    /// The policy the rollout was begun with.
+    pub policy: PromotionPolicy,
+    /// The candidate bundle image (`ModelBundle::to_bytes`).
+    pub bundle_bytes: Vec<u8>,
+    /// The last journaled state.
+    pub state: RolloutState,
+    /// The last journaled transition reason, if any.
+    pub reason: Option<String>,
+}
+
+/// What reopening the journal recovered — surfaced through
+/// [`LifecycleController::recovery`](crate::LifecycleController::recovery)
+/// so operators (and the bench self-checks) can see a crash was survived.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Intact records replayed.
+    pub records: u64,
+    /// Damaged records skipped before the salvage point.
+    pub skipped: u64,
+    /// Present when a torn/corrupt tail was truncated on reopen.
+    pub salvaged: Option<Salvage>,
+    /// Rollouts found in the journal (terminal and not).
+    pub rollouts: u64,
+    /// Rollouts that were mid-flight and are being resumed.
+    pub resumed: u64,
+}
+
+/// The lifecycle journal: a [`Framing::Checked`] JSONL stream plus the
+/// fold that turns it back into rollout state.
+pub struct LifecycleJournal {
+    inner: Journal,
+}
+
+impl LifecycleJournal {
+    /// Opens (or creates) the journal at `path`, replaying any existing
+    /// records. Returns the journal positioned for append, the per-model
+    /// rollout fold, and the raw replay (record count, salvage info).
+    pub fn open(
+        path: &Path,
+    ) -> Result<(LifecycleJournal, HashMap<String, ReplayedRollout>, Replay), LifecycleError> {
+        let (inner, replay) = Journal::open(path, Framing::Checked, true)?;
+        let mut rollouts: HashMap<String, ReplayedRollout> = HashMap::new();
+        for record in &replay.records {
+            fold_record(&mut rollouts, record)?;
+        }
+        Ok((LifecycleJournal { inner }, rollouts, replay))
+    }
+
+    /// Journals the start of a rollout — candidate bundle image and policy
+    /// included — and fsyncs before returning. After this record lands, a
+    /// crashed controller can rebuild the whole rollout from disk.
+    pub fn begin(
+        &mut self,
+        id: u64,
+        model: &str,
+        candidate: &str,
+        policy: &PromotionPolicy,
+        bundle_bytes: &[u8],
+    ) -> Result<(), LifecycleError> {
+        let record = Json::Obj(vec![
+            ("kind".to_string(), Json::Str("begin".to_string())),
+            ("rollout".to_string(), Json::Num(id as f64)),
+            ("model".to_string(), Json::Str(model.to_string())),
+            ("candidate".to_string(), Json::Str(candidate.to_string())),
+            ("policy".to_string(), policy.to_json()),
+            ("bundle_hex".to_string(), Json::Str(to_hex(bundle_bytes))),
+        ]);
+        self.inner.append_sync(&record)?;
+        Ok(())
+    }
+
+    /// Journals a state transition and fsyncs. Called *before* the
+    /// in-memory state machine moves: on a crash the journal may be one
+    /// step ahead of what the controller acted on, never behind.
+    pub fn transition(
+        &mut self,
+        id: u64,
+        model: &str,
+        from: RolloutState,
+        to: RolloutState,
+        at_us: u64,
+        reason: Option<&str>,
+    ) -> Result<(), LifecycleError> {
+        let mut fields = vec![
+            ("kind".to_string(), Json::Str("transition".to_string())),
+            ("rollout".to_string(), Json::Num(id as f64)),
+            ("model".to_string(), Json::Str(model.to_string())),
+            ("from".to_string(), Json::Str(from.name().to_string())),
+            ("to".to_string(), Json::Str(to.name().to_string())),
+            ("at_us".to_string(), Json::Num(at_us as f64)),
+        ];
+        if let Some(reason) = reason {
+            fields.push(("reason".to_string(), Json::Str(reason.to_string())));
+        }
+        self.inner.append_sync(&Json::Obj(fields))?;
+        Ok(())
+    }
+
+    /// Journals one mirrored comparison (flushed, not fsynced — mirror
+    /// records are an observability/training stream, not recovery state;
+    /// losing the tail on a crash costs samples, not correctness).
+    #[allow(clippy::too_many_arguments)]
+    pub fn mirror(
+        &mut self,
+        id: u64,
+        model: &str,
+        agree: bool,
+        live_class: usize,
+        candidate_class: usize,
+        live_us: u64,
+        candidate_us: u64,
+        graph_bytes: Option<&[u8]>,
+    ) -> Result<(), LifecycleError> {
+        let mut fields = vec![
+            ("kind".to_string(), Json::Str("mirror".to_string())),
+            ("rollout".to_string(), Json::Num(id as f64)),
+            ("model".to_string(), Json::Str(model.to_string())),
+            (
+                "agree".to_string(),
+                Json::Num(if agree { 1.0 } else { 0.0 }),
+            ),
+            ("live_class".to_string(), Json::Num(live_class as f64)),
+            (
+                "candidate_class".to_string(),
+                Json::Num(candidate_class as f64),
+            ),
+            ("live_us".to_string(), Json::Num(live_us as f64)),
+            ("candidate_us".to_string(), Json::Num(candidate_us as f64)),
+        ];
+        if let Some(bytes) = graph_bytes {
+            fields.push(("graph_hex".to_string(), Json::Str(to_hex(bytes))));
+        }
+        self.inner.append(&Json::Obj(fields))?;
+        Ok(())
+    }
+}
+
+/// Applies one replayed record to the per-model fold. `mirror` records are
+/// ignored here (they feed training, not the state machine). Records that
+/// reference a rollout the fold has never seen are tolerated only when the
+/// `begin` plausibly sat before a salvage point — anything structurally
+/// invalid is [`LifecycleError::Corrupt`].
+fn fold_record(
+    rollouts: &mut HashMap<String, ReplayedRollout>,
+    record: &Json,
+) -> Result<(), LifecycleError> {
+    let kind = record
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| LifecycleError::Corrupt("record without a 'kind' field".to_string()))?;
+    match kind {
+        "begin" => {
+            let want = |field: &str| -> Result<&Json, LifecycleError> {
+                record.get(field).ok_or_else(|| {
+                    LifecycleError::Corrupt(format!("begin record missing '{field}'"))
+                })
+            };
+            let model = want("model")?
+                .as_str()
+                .ok_or_else(|| LifecycleError::Corrupt("begin 'model' not a string".to_string()))?
+                .to_string();
+            let policy = PromotionPolicy::from_json(want("policy")?).ok_or_else(|| {
+                LifecycleError::Corrupt(format!("begin record for '{model}' has a bad policy"))
+            })?;
+            let bundle_bytes = from_hex(want("bundle_hex")?.as_str().ok_or_else(|| {
+                LifecycleError::Corrupt("begin 'bundle_hex' not a string".to_string())
+            })?)
+            .ok_or_else(|| {
+                LifecycleError::Corrupt(format!("begin record for '{model}' has bad bundle hex"))
+            })?;
+            let entry = ReplayedRollout {
+                id: want("rollout")?.as_u64().ok_or_else(|| {
+                    LifecycleError::Corrupt("begin 'rollout' not an id".to_string())
+                })?,
+                candidate: want("candidate")?
+                    .as_str()
+                    .ok_or_else(|| {
+                        LifecycleError::Corrupt("begin 'candidate' not a string".to_string())
+                    })?
+                    .to_string(),
+                model: model.clone(),
+                policy,
+                bundle_bytes,
+                state: RolloutState::Resident,
+                reason: None,
+            };
+            // A later begin for the same model supersedes an earlier
+            // (necessarily terminal) rollout — last record wins, exactly
+            // like the live controller's map.
+            rollouts.insert(model, entry);
+        }
+        "transition" => {
+            let model = record.get("model").and_then(Json::as_str).ok_or_else(|| {
+                LifecycleError::Corrupt("transition record without a model".to_string())
+            })?;
+            let to = record
+                .get("to")
+                .and_then(Json::as_str)
+                .and_then(RolloutState::from_name)
+                .ok_or_else(|| {
+                    LifecycleError::Corrupt(format!(
+                        "transition record for '{model}' has a bad 'to' state"
+                    ))
+                })?;
+            let id = record.get("rollout").and_then(Json::as_u64);
+            if let Some(entry) = rollouts.get_mut(model) {
+                if id == Some(entry.id) {
+                    entry.state = to;
+                    entry.reason = record
+                        .get("reason")
+                        .and_then(Json::as_str)
+                        .map(str::to_string);
+                }
+                // A transition for a different rollout id of this model is
+                // stale history (its begin was superseded) — skip it.
+            }
+            // A transition with no matching begin at all can only happen if
+            // the begin sat in a salvaged region; the rollout is
+            // unreconstructable either way, so it is dropped, not fatal.
+        }
+        "mirror" => {}
+        other => {
+            return Err(LifecycleError::Corrupt(format!(
+                "unknown record kind '{other}'"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(from_hex("abc"), None);
+        assert_eq!(from_hex("zz"), None);
+    }
+
+    #[test]
+    fn begin_and_transitions_fold_back() {
+        let dir = std::env::temp_dir().join(format!(
+            "deepmap-lifecycle-journal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rollouts.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let policy = PromotionPolicy::default();
+        {
+            let (mut journal, rollouts, replay) = LifecycleJournal::open(&path).unwrap();
+            assert!(rollouts.is_empty());
+            assert_eq!(replay.records.len(), 0);
+            journal
+                .begin(1, "live", "live.next", &policy, &[1, 2, 3])
+                .unwrap();
+            journal
+                .transition(
+                    1,
+                    "live",
+                    RolloutState::Resident,
+                    RolloutState::Shadow,
+                    10,
+                    None,
+                )
+                .unwrap();
+            journal
+                .mirror(1, "live", true, 0, 0, 120, 130, Some(&[9, 9]))
+                .unwrap();
+            journal
+                .transition(
+                    1,
+                    "live",
+                    RolloutState::Shadow,
+                    RolloutState::Canary,
+                    20,
+                    Some("gates clear"),
+                )
+                .unwrap();
+        }
+
+        let (_journal, rollouts, replay) = LifecycleJournal::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 4);
+        assert!(replay.salvaged.is_none());
+        let entry = rollouts.get("live").unwrap();
+        assert_eq!(entry.id, 1);
+        assert_eq!(entry.candidate, "live.next");
+        assert_eq!(entry.state, RolloutState::Canary);
+        assert_eq!(entry.reason.as_deref(), Some("gates clear"));
+        assert_eq!(entry.bundle_bytes, vec![1, 2, 3]);
+        assert_eq!(entry.policy, policy);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn later_begin_supersedes_and_stale_transitions_are_ignored() {
+        let mut rollouts = HashMap::new();
+        let policy = PromotionPolicy::default();
+        let begin = |id: u64| {
+            Json::Obj(vec![
+                ("kind".to_string(), Json::Str("begin".to_string())),
+                ("rollout".to_string(), Json::Num(id as f64)),
+                ("model".to_string(), Json::Str("live".to_string())),
+                ("candidate".to_string(), Json::Str("live.next".to_string())),
+                ("policy".to_string(), policy.to_json()),
+                ("bundle_hex".to_string(), Json::Str("0a0b".to_string())),
+            ])
+        };
+        let transition = |id: u64, to: &str| {
+            Json::Obj(vec![
+                ("kind".to_string(), Json::Str("transition".to_string())),
+                ("rollout".to_string(), Json::Num(id as f64)),
+                ("model".to_string(), Json::Str("live".to_string())),
+                ("from".to_string(), Json::Str("resident".to_string())),
+                ("to".to_string(), Json::Str(to.to_string())),
+                ("at_us".to_string(), Json::Num(1.0)),
+            ])
+        };
+        fold_record(&mut rollouts, &begin(1)).unwrap();
+        fold_record(&mut rollouts, &transition(1, "shadow")).unwrap();
+        fold_record(&mut rollouts, &begin(2)).unwrap();
+        // Stale transition from rollout 1 must not touch rollout 2.
+        fold_record(&mut rollouts, &transition(1, "canary")).unwrap();
+        let entry = rollouts.get("live").unwrap();
+        assert_eq!(entry.id, 2);
+        assert_eq!(entry.state, RolloutState::Resident);
+
+        // Unknown kinds are corruption, not silence.
+        let bogus = Json::Obj(vec![("kind".to_string(), Json::Str("zombie".to_string()))]);
+        assert!(matches!(
+            fold_record(&mut rollouts, &bogus),
+            Err(LifecycleError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,50 @@
+//! Safe model lifecycle for DeepMap serving.
+//!
+//! A candidate bundle never jumps straight into production. The
+//! [`LifecycleController`] walks it through a versioned state machine on
+//! top of the model router:
+//!
+//! ```text
+//! begin()          advance()        promote()
+//! Resident ──────▶ Shadow ────────▶ Canary ────────▶ Live
+//!    │                │                │
+//!    ▼                ▼                ▼ (policy trip / operator)
+//!  Failed         RolledBack       RolledBack
+//! ```
+//!
+//! - **Shadow**: the candidate is registered under a derived name
+//!   (`<model>.next`) and a configurable fraction of live traffic is
+//!   mirrored to it *off the reply path* — mirrored predictions never
+//!   affect client responses, and the mirror backlog is bounded and shed
+//!   under pressure, never blocking. The controller compares prediction
+//!   agreement, per-stage latency, and SLO burn against a
+//!   [`PromotionPolicy`].
+//! - **Canary**: a real traffic slice routes to the candidate. Candidate
+//!   infrastructure faults are retried on the live pool (zero lost client
+//!   requests) and counted against the policy's fault budget; exhausting
+//!   it — or tripping the breaker, or burning the error budget — rolls
+//!   the rollout back automatically.
+//! - **Live**: the candidate replaces the resident bundle through the
+//!   router's probe-gated atomic swap. Rolling back *after* promotion
+//!   swaps the previous bundle back through the same gate.
+//!
+//! Every transition (and the mirrored request/outcome stream) is
+//! persisted to a crash-safe CRC-framed JSONL journal — fsynced on
+//! transition, torn tail salvaged on reopen — so a restarted controller
+//! resumes mid-flight rollouts from disk alone. The mirror stream doubles
+//! as a training-data feed when
+//! [`LifecycleConfig::journal_graphs`] is set.
+
+#![deny(missing_docs)]
+
+pub mod controller;
+pub mod error;
+pub mod journal;
+pub mod policy;
+pub mod state;
+
+pub use controller::{LifecycleConfig, LifecycleController};
+pub use error::LifecycleError;
+pub use journal::{RecoveryReport, ReplayedRollout};
+pub use policy::{PromotionPolicy, POLICY_WIRE_LEN};
+pub use state::{RolloutState, RolloutStatus};

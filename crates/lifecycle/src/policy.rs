@@ -1,0 +1,240 @@
+//! The promotion policy: the gates a candidate must clear and the traffic
+//! fractions the rollout uses.
+
+use crate::error::LifecycleError;
+use deepmap_obs::json::Json;
+
+/// Byte length of the fixed wire/journal encoding.
+pub const POLICY_WIRE_LEN: usize = 56;
+
+/// What a candidate must prove before it may advance, and how much
+/// traffic each stage may touch. Checked by
+/// [`LifecycleController::advance`](crate::LifecycleController::advance)
+/// (shadow → canary) and
+/// [`LifecycleController::promote`](crate::LifecycleController::promote)
+/// (canary → live); the canary fault budget is enforced continuously and
+/// trips an automatic rollback.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PromotionPolicy {
+    /// Minimum prediction agreement (`agreed / mirrored`) with the live
+    /// model over mirrored traffic.
+    pub min_agreement: f64,
+    /// Candidate p99 may be at most this multiple of the live pool's p99
+    /// over the same mirrored requests (1.0 = no regression allowed).
+    pub max_p99_regression: f64,
+    /// Candidate fast-window SLO burn rate ceiling (1.0 = burning budget
+    /// exactly as fast as it accrues).
+    pub max_error_burn: f64,
+    /// Mirrored comparisons required before the shadow gates are even
+    /// evaluated — thin evidence never promotes.
+    pub min_samples: u64,
+    /// Fraction of live traffic mirrored to the candidate in shadow (and
+    /// canary) mode, `0.0..=1.0`.
+    pub mirror_fraction: f64,
+    /// Fraction of live traffic the canary slice routes to the candidate,
+    /// `0.0..=1.0`.
+    pub canary_fraction: f64,
+    /// Candidate infrastructure faults (panic, breaker, timeout,
+    /// shutdown) tolerated on the canary slice before the rollout
+    /// auto-rolls back.
+    pub max_canary_faults: u64,
+}
+
+impl Default for PromotionPolicy {
+    /// 98% agreement, ≤1.5× p99, burn < 1.0, 32 samples, 20% mirror,
+    /// 10% canary, 2 tolerated canary faults.
+    fn default() -> PromotionPolicy {
+        PromotionPolicy {
+            min_agreement: 0.98,
+            max_p99_regression: 1.5,
+            max_error_burn: 1.0,
+            min_samples: 32,
+            mirror_fraction: 0.2,
+            canary_fraction: 0.1,
+            max_canary_faults: 2,
+        }
+    }
+}
+
+impl PromotionPolicy {
+    /// Rejects structurally nonsensical policies (NaN gates, fractions
+    /// outside `[0, 1]`, a zero sample floor) before a rollout starts.
+    pub fn validate(&self) -> Result<(), LifecycleError> {
+        let frac = |name: &str, v: f64| -> Result<(), LifecycleError> {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(LifecycleError::BadPolicy(format!(
+                    "{name} must be within [0, 1], got {v}"
+                )));
+            }
+            Ok(())
+        };
+        frac("min_agreement", self.min_agreement)?;
+        frac("mirror_fraction", self.mirror_fraction)?;
+        frac("canary_fraction", self.canary_fraction)?;
+        if !self.max_p99_regression.is_finite() || self.max_p99_regression <= 0.0 {
+            return Err(LifecycleError::BadPolicy(format!(
+                "max_p99_regression must be a positive finite ratio, got {}",
+                self.max_p99_regression
+            )));
+        }
+        if !self.max_error_burn.is_finite() || self.max_error_burn < 0.0 {
+            return Err(LifecycleError::BadPolicy(format!(
+                "max_error_burn must be a non-negative finite rate, got {}",
+                self.max_error_burn
+            )));
+        }
+        if self.min_samples == 0 {
+            return Err(LifecycleError::BadPolicy(
+                "min_samples must be at least 1 — a rollout needs evidence".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fixed 56-byte little-endian encoding (floats as IEEE 754 bits),
+    /// used by the `Rollout` wire frame and the journal.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(POLICY_WIRE_LEN);
+        out.extend_from_slice(&self.min_agreement.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.max_p99_regression.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.max_error_burn.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.min_samples.to_le_bytes());
+        out.extend_from_slice(&self.mirror_fraction.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.canary_fraction.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.max_canary_faults.to_le_bytes());
+        out
+    }
+
+    /// Parses [`PromotionPolicy::encode`] back; `None` on a short or long
+    /// buffer (structural validity only — run
+    /// [`validate`](PromotionPolicy::validate) for semantic checks).
+    pub fn decode(bytes: &[u8]) -> Option<PromotionPolicy> {
+        if bytes.len() != POLICY_WIRE_LEN {
+            return None;
+        }
+        let mut at = 0usize;
+        let mut next = || {
+            let chunk: [u8; 8] = bytes[at..at + 8].try_into().unwrap();
+            at += 8;
+            u64::from_le_bytes(chunk)
+        };
+        Some(PromotionPolicy {
+            min_agreement: f64::from_bits(next()),
+            max_p99_regression: f64::from_bits(next()),
+            max_error_burn: f64::from_bits(next()),
+            min_samples: next(),
+            mirror_fraction: f64::from_bits(next()),
+            canary_fraction: f64::from_bits(next()),
+            max_canary_faults: next(),
+        })
+    }
+
+    /// JSON encoding for the journal's `begin` record.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("min_agreement".to_string(), Json::Num(self.min_agreement)),
+            (
+                "max_p99_regression".to_string(),
+                Json::Num(self.max_p99_regression),
+            ),
+            ("max_error_burn".to_string(), Json::Num(self.max_error_burn)),
+            (
+                "min_samples".to_string(),
+                Json::Num(self.min_samples as f64),
+            ),
+            (
+                "mirror_fraction".to_string(),
+                Json::Num(self.mirror_fraction),
+            ),
+            (
+                "canary_fraction".to_string(),
+                Json::Num(self.canary_fraction),
+            ),
+            (
+                "max_canary_faults".to_string(),
+                Json::Num(self.max_canary_faults as f64),
+            ),
+        ])
+    }
+
+    /// Parses [`PromotionPolicy::to_json`] back.
+    pub fn from_json(value: &Json) -> Option<PromotionPolicy> {
+        Some(PromotionPolicy {
+            min_agreement: value.get("min_agreement")?.as_f64()?,
+            max_p99_regression: value.get("max_p99_regression")?.as_f64()?,
+            max_error_burn: value.get("max_error_burn")?.as_f64()?,
+            min_samples: value.get("min_samples")?.as_u64()?,
+            mirror_fraction: value.get("mirror_fraction")?.as_f64()?,
+            canary_fraction: value.get("canary_fraction")?.as_f64()?,
+            max_canary_faults: value.get("max_canary_faults")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_validates() {
+        PromotionPolicy::default().validate().unwrap();
+    }
+
+    #[test]
+    fn wire_and_json_encodings_round_trip() {
+        let policy = PromotionPolicy {
+            min_agreement: 0.93,
+            max_p99_regression: 2.25,
+            max_error_burn: 0.5,
+            min_samples: 7,
+            mirror_fraction: 0.35,
+            canary_fraction: 0.05,
+            max_canary_faults: 4,
+        };
+        let bytes = policy.encode();
+        assert_eq!(bytes.len(), POLICY_WIRE_LEN);
+        assert_eq!(PromotionPolicy::decode(&bytes), Some(policy));
+        assert_eq!(PromotionPolicy::decode(&bytes[1..]), None);
+        assert_eq!(PromotionPolicy::from_json(&policy.to_json()), Some(policy));
+    }
+
+    #[test]
+    fn nonsense_policies_are_refused() {
+        let cases = [
+            PromotionPolicy {
+                min_agreement: 1.2,
+                ..PromotionPolicy::default()
+            },
+            PromotionPolicy {
+                min_agreement: f64::NAN,
+                ..PromotionPolicy::default()
+            },
+            PromotionPolicy {
+                mirror_fraction: -0.1,
+                ..PromotionPolicy::default()
+            },
+            PromotionPolicy {
+                canary_fraction: 1.5,
+                ..PromotionPolicy::default()
+            },
+            PromotionPolicy {
+                max_p99_regression: 0.0,
+                ..PromotionPolicy::default()
+            },
+            PromotionPolicy {
+                max_error_burn: f64::INFINITY,
+                ..PromotionPolicy::default()
+            },
+            PromotionPolicy {
+                min_samples: 0,
+                ..PromotionPolicy::default()
+            },
+        ];
+        for policy in cases {
+            assert!(
+                matches!(policy.validate(), Err(LifecycleError::BadPolicy(_))),
+                "{policy:?} should be refused"
+            );
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The rollout state machine and the point-in-time status snapshot.
+
+use deepmap_obs::json::Json;
+use std::fmt;
+
+/// Where a candidate bundle is on its way to (or back from) production.
+///
+/// ```text
+/// Resident ──▶ Shadow ──▶ Canary ──▶ Live
+///                 │           │
+///                 ▼           ▼
+///              Failed     RolledBack
+/// ```
+///
+/// `Resident` is the instant between journaling a rollout and its
+/// candidate pool passing the registration probe; `Shadow` mirrors
+/// traffic off the reply path; `Canary` serves a real slice; `Live`
+/// means the candidate replaced the resident bundle via the probe-gated
+/// atomic swap. `RolledBack` and `Failed` are terminal: `Failed` is a
+/// candidate that never served (probe/registration failure), `RolledBack`
+/// one that did and was withdrawn — by policy or by an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutState {
+    /// Journaled, candidate pool not yet registered.
+    Resident,
+    /// Candidate registered under its derived name, mirroring traffic.
+    Shadow,
+    /// Candidate serving a real traffic slice.
+    Canary,
+    /// Candidate promoted into the live slot (terminal, success).
+    Live,
+    /// Candidate withdrawn; the resident bundle serves (terminal).
+    RolledBack,
+    /// Candidate never became servable (terminal).
+    Failed,
+}
+
+impl RolloutState {
+    /// All states, in pipeline order.
+    pub const ALL: [RolloutState; 6] = [
+        RolloutState::Resident,
+        RolloutState::Shadow,
+        RolloutState::Canary,
+        RolloutState::Live,
+        RolloutState::RolledBack,
+        RolloutState::Failed,
+    ];
+
+    /// Stable snake_case name (journal records, status JSON, wire).
+    pub fn name(self) -> &'static str {
+        match self {
+            RolloutState::Resident => "resident",
+            RolloutState::Shadow => "shadow",
+            RolloutState::Canary => "canary",
+            RolloutState::Live => "live",
+            RolloutState::RolledBack => "rolled_back",
+            RolloutState::Failed => "failed",
+        }
+    }
+
+    /// Parses [`RolloutState::name`] back; `None` for anything else.
+    pub fn from_name(name: &str) -> Option<RolloutState> {
+        RolloutState::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Stable byte for the wire reply.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            RolloutState::Resident => 0,
+            RolloutState::Shadow => 1,
+            RolloutState::Canary => 2,
+            RolloutState::Live => 3,
+            RolloutState::RolledBack => 4,
+            RolloutState::Failed => 5,
+        }
+    }
+
+    /// Parses [`RolloutState::as_u8`] back.
+    pub fn from_u8(byte: u8) -> Option<RolloutState> {
+        RolloutState::ALL.into_iter().find(|s| s.as_u8() == byte)
+    }
+
+    /// Whether the rollout is finished (no further transitions).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            RolloutState::Live | RolloutState::RolledBack | RolloutState::Failed
+        )
+    }
+}
+
+impl fmt::Display for RolloutState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Point-in-time snapshot of one rollout, from
+/// [`LifecycleController::status`](crate::LifecycleController::status).
+/// Serialises to JSON for the `RolloutStatus` wire reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloutStatus {
+    /// The live model the rollout targets.
+    pub model: String,
+    /// The candidate's derived registry name (`<model>.next`).
+    pub candidate: String,
+    /// Monotonic rollout id (survives controller restarts via the journal).
+    pub rollout_id: u64,
+    /// Where the state machine is.
+    pub state: RolloutState,
+    /// Why a terminal state was entered, when it was.
+    pub reason: Option<String>,
+    /// Mirrored comparisons scored so far.
+    pub mirrored: u64,
+    /// Mirrored comparisons where candidate and live agreed on the class.
+    pub agreed: u64,
+    /// `agreed / mirrored` (0.0 before any samples).
+    pub agreement: f64,
+    /// Mirror jobs shed because the backlog was full (never blocks).
+    pub mirror_shed: u64,
+    /// p99 of the live pool over the mirrored comparisons, microseconds.
+    pub live_p99_us: u64,
+    /// p99 of the candidate pool over the same comparisons, microseconds.
+    pub candidate_p99_us: u64,
+    /// Requests the canary slice routed to the candidate.
+    pub canary_routed: u64,
+    /// Canary requests the candidate answered.
+    pub canary_ok: u64,
+    /// Canary requests lost to candidate infrastructure faults (each one
+    /// was retried on the live pool — clients never see them).
+    pub canary_faults: u64,
+    /// Candidate pool's fast-window SLO burn rate (0.0 when the pool is
+    /// not resident).
+    pub candidate_burn_fast: f64,
+    /// Candidate pool's slow-window SLO burn rate.
+    pub candidate_burn_slow: f64,
+}
+
+impl RolloutStatus {
+    /// JSON encoding (the `RolloutStatus` wire reply body).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("model".to_string(), Json::Str(self.model.clone())),
+            ("candidate".to_string(), Json::Str(self.candidate.clone())),
+            ("rollout_id".to_string(), Json::Num(self.rollout_id as f64)),
+            (
+                "state".to_string(),
+                Json::Str(self.state.name().to_string()),
+            ),
+        ];
+        if let Some(reason) = &self.reason {
+            fields.push(("reason".to_string(), Json::Str(reason.clone())));
+        }
+        fields.extend([
+            ("mirrored".to_string(), Json::Num(self.mirrored as f64)),
+            ("agreed".to_string(), Json::Num(self.agreed as f64)),
+            ("agreement".to_string(), Json::Num(self.agreement)),
+            (
+                "mirror_shed".to_string(),
+                Json::Num(self.mirror_shed as f64),
+            ),
+            (
+                "live_p99_us".to_string(),
+                Json::Num(self.live_p99_us as f64),
+            ),
+            (
+                "candidate_p99_us".to_string(),
+                Json::Num(self.candidate_p99_us as f64),
+            ),
+            (
+                "canary_routed".to_string(),
+                Json::Num(self.canary_routed as f64),
+            ),
+            ("canary_ok".to_string(), Json::Num(self.canary_ok as f64)),
+            (
+                "canary_faults".to_string(),
+                Json::Num(self.canary_faults as f64),
+            ),
+            (
+                "candidate_burn_fast".to_string(),
+                Json::Num(self.candidate_burn_fast),
+            ),
+            (
+                "candidate_burn_slow".to_string(),
+                Json::Num(self.candidate_burn_slow),
+            ),
+        ]);
+        Json::Obj(fields)
+    }
+
+    /// Parses [`RolloutStatus::to_json`] back; `None` when a required
+    /// field is missing or mistyped.
+    pub fn from_json(value: &Json) -> Option<RolloutStatus> {
+        Some(RolloutStatus {
+            model: value.get("model")?.as_str()?.to_string(),
+            candidate: value.get("candidate")?.as_str()?.to_string(),
+            rollout_id: value.get("rollout_id")?.as_u64()?,
+            state: RolloutState::from_name(value.get("state")?.as_str()?)?,
+            reason: value
+                .get("reason")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            mirrored: value.get("mirrored")?.as_u64()?,
+            agreed: value.get("agreed")?.as_u64()?,
+            agreement: value.get("agreement")?.as_f64()?,
+            mirror_shed: value.get("mirror_shed")?.as_u64()?,
+            live_p99_us: value.get("live_p99_us")?.as_u64()?,
+            candidate_p99_us: value.get("candidate_p99_us")?.as_u64()?,
+            canary_routed: value.get("canary_routed")?.as_u64()?,
+            canary_ok: value.get("canary_ok")?.as_u64()?,
+            canary_faults: value.get("canary_faults")?.as_u64()?,
+            candidate_burn_fast: value.get("candidate_burn_fast")?.as_f64()?,
+            candidate_burn_slow: value.get("candidate_burn_slow")?.as_f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_byte_and_name_round_trip() {
+        for state in RolloutState::ALL {
+            assert_eq!(RolloutState::from_u8(state.as_u8()), Some(state));
+            assert_eq!(RolloutState::from_name(state.name()), Some(state));
+        }
+        assert_eq!(RolloutState::from_u8(99), None);
+        assert_eq!(RolloutState::from_name("zombie"), None);
+    }
+
+    #[test]
+    fn terminality_matches_the_diagram() {
+        assert!(!RolloutState::Resident.is_terminal());
+        assert!(!RolloutState::Shadow.is_terminal());
+        assert!(!RolloutState::Canary.is_terminal());
+        assert!(RolloutState::Live.is_terminal());
+        assert!(RolloutState::RolledBack.is_terminal());
+        assert!(RolloutState::Failed.is_terminal());
+    }
+
+    #[test]
+    fn status_json_round_trips() {
+        let status = RolloutStatus {
+            model: "live".into(),
+            candidate: "live.next".into(),
+            rollout_id: 7,
+            state: RolloutState::Canary,
+            reason: None,
+            mirrored: 40,
+            agreed: 39,
+            agreement: 0.975,
+            mirror_shed: 2,
+            live_p99_us: 900,
+            candidate_p99_us: 1100,
+            canary_routed: 12,
+            canary_ok: 12,
+            canary_faults: 0,
+            candidate_burn_fast: 0.0,
+            candidate_burn_slow: 0.0,
+        };
+        let parsed = RolloutStatus::from_json(&status.to_json()).unwrap();
+        assert_eq!(parsed, status);
+
+        let with_reason = RolloutStatus {
+            state: RolloutState::RolledBack,
+            reason: Some("canary fault budget exhausted".into()),
+            ..status
+        };
+        let parsed = RolloutStatus::from_json(&with_reason.to_json()).unwrap();
+        assert_eq!(parsed, with_reason);
+    }
+}

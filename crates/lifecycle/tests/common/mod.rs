@@ -1,0 +1,73 @@
+//! Shared helpers for the deepmap-lifecycle integration suites: a small trained
+//! bundle (cycles vs cliques) and deterministic request graphs, mirroring
+//! the serve crate's smoke-test fixture.
+
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use deepmap_core::{DeepMap, DeepMapConfig};
+use deepmap_graph::generators::{complete_graph, cycle_graph};
+use deepmap_graph::Graph;
+use deepmap_kernels::FeatureKind;
+use deepmap_nn::train::TrainConfig;
+use deepmap_serve::{InferenceServer, ModelBundle, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+pub fn trained_bundle() -> Arc<ModelBundle> {
+    trained_bundle_seeded(11)
+}
+
+/// Seed-parameterised variant: different seeds give different graph samples
+/// and init, hence two genuinely different resident models for the
+/// multi-tenant wire tests.
+pub fn trained_bundle_seeded(seed: u64) -> Arc<ModelBundle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..8 {
+        graphs.push(cycle_graph(6 + i % 3, 0, &mut rng));
+        labels.push(0);
+        graphs.push(complete_graph(5 + i % 3, 0, &mut rng));
+        labels.push(1);
+    }
+    let dm = DeepMap::new(DeepMapConfig {
+        r: 3,
+        train: TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            learning_rate: 0.01,
+            seed: seed.wrapping_add(1),
+        },
+        ..DeepMapConfig::paper(FeatureKind::WlSubtree { iterations: 2 })
+    });
+    let (prepared, pre) = dm.try_prepare_frozen(&graphs, &labels).unwrap();
+    let all: Vec<usize> = (0..graphs.len()).collect();
+    let result = dm.fit_split(&prepared, &all, &all);
+    let bundle = ModelBundle::freeze(
+        &dm,
+        &prepared,
+        pre,
+        &result.model,
+        vec!["cycle".to_string(), "clique".to_string()],
+    )
+    .unwrap();
+    Arc::new(bundle)
+}
+
+pub fn engine(bundle: &Arc<ModelBundle>) -> InferenceServer {
+    InferenceServer::start(Arc::clone(bundle), ServerConfig::default()).unwrap()
+}
+
+pub fn request_graphs(n: usize) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(77);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                cycle_graph(5 + i % 4, 0, &mut rng)
+            } else {
+                complete_graph(4 + i % 4, 0, &mut rng)
+            }
+        })
+        .collect()
+}

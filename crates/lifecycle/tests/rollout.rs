@@ -1,0 +1,373 @@
+//! Integration tests for the rollout state machine: shadow mirroring,
+//! policy-gated promotion, operator rollback, journal crash recovery with
+//! torn-tail salvage, and (under `fault-inject`) automatic rollback of a
+//! canary that starts panicking mid-slice — with zero lost client
+//! requests.
+
+mod common;
+
+use common::{request_graphs, trained_bundle_seeded};
+use deepmap_lifecycle::{
+    LifecycleConfig, LifecycleController, LifecycleError, PromotionPolicy, RolloutState,
+    RolloutStatus,
+};
+use deepmap_router::{ModelConfig, ModelRouter, RouterConfig, RouterError};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PATIENT: Duration = Duration::from_secs(60);
+
+/// Deterministic gates for tests: mirror and canary everything, demand a
+/// handful of samples, and keep the latency/burn gates far from the noise
+/// floor of micro-benchmark-sized predictions.
+fn test_policy() -> PromotionPolicy {
+    PromotionPolicy {
+        min_agreement: 0.9,
+        max_p99_regression: 1000.0,
+        max_error_burn: 1e6,
+        min_samples: 8,
+        mirror_fraction: 1.0,
+        canary_fraction: 1.0,
+        max_canary_faults: 2,
+    }
+}
+
+fn router_with(model: &str, seed: u64) -> Arc<ModelRouter> {
+    let router = Arc::new(ModelRouter::new(RouterConfig::default()));
+    router
+        .register(model, trained_bundle_seeded(seed), ModelConfig::default())
+        .unwrap();
+    router
+}
+
+fn controller(router: &Arc<ModelRouter>) -> LifecycleController {
+    LifecycleController::new(Arc::clone(router), LifecycleConfig::default()).unwrap()
+}
+
+/// Drives mirrored traffic until `cond` holds on the rollout status (or
+/// panics at the deadline — mirroring is asynchronous, so tests poll).
+fn drive_until(
+    lc: &LifecycleController,
+    model: &str,
+    cond: impl Fn(&RolloutStatus) -> bool,
+) -> RolloutStatus {
+    let graphs = request_graphs(4);
+    let deadline = Instant::now() + PATIENT;
+    loop {
+        for graph in &graphs {
+            lc.predict(model, graph.clone()).expect("live predict");
+        }
+        let status = lc.status(model).expect("status");
+        if cond(&status) {
+            return status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "deadline waiting on rollout status, last seen: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn state_machine_refuses_out_of_order_transitions() {
+    let router = router_with("alpha", 11);
+    let lc = controller(&router);
+    let bundle = trained_bundle_seeded(11);
+
+    // Nothing in flight: every rollout verb is a typed refusal.
+    assert!(matches!(
+        lc.advance("alpha"),
+        Err(LifecycleError::NoRollout(_))
+    ));
+    assert!(matches!(
+        lc.promote("alpha"),
+        Err(LifecycleError::NoRollout(_))
+    ));
+    assert!(matches!(
+        lc.rollback("alpha", "nothing to roll back"),
+        Err(LifecycleError::NoRollout(_))
+    ));
+    assert!(matches!(
+        lc.status("alpha"),
+        Err(LifecycleError::NoRollout(_))
+    ));
+
+    // A rollout needs a resident model and a sane policy.
+    assert!(matches!(
+        lc.begin("ghost", Arc::clone(&bundle), test_policy()),
+        Err(LifecycleError::Router(RouterError::UnknownModel(_)))
+    ));
+    let broken = PromotionPolicy {
+        min_samples: 0,
+        ..test_policy()
+    };
+    assert!(matches!(
+        lc.begin("alpha", Arc::clone(&bundle), broken),
+        Err(LifecycleError::BadPolicy(_))
+    ));
+
+    // One rollout per model at a time.
+    lc.begin("alpha", Arc::clone(&bundle), test_policy())
+        .unwrap();
+    assert!(matches!(
+        lc.begin("alpha", Arc::clone(&bundle), test_policy()),
+        Err(LifecycleError::RolloutActive(_))
+    ));
+
+    // Shadow cannot skip straight to live.
+    match lc.promote("alpha") {
+        Err(LifecycleError::BadState { state, wanted, .. }) => {
+            assert_eq!(state, RolloutState::Shadow);
+            assert_eq!(wanted, "canary");
+        }
+        other => panic!("expected BadState, got {other:?}"),
+    }
+
+    // Rollback withdraws the candidate; a second rollback has nothing
+    // left to act on.
+    lc.rollback("alpha", "changed my mind").unwrap();
+    let status = lc.status("alpha").unwrap();
+    assert_eq!(status.state, RolloutState::RolledBack);
+    assert_eq!(status.reason.as_deref(), Some("changed my mind"));
+    assert!(router.resolve("alpha.next").is_err(), "candidate withdrawn");
+    assert!(matches!(
+        lc.rollback("alpha", "again"),
+        Err(LifecycleError::BadState { .. })
+    ));
+
+    // A terminal rollout does not block the next one.
+    lc.begin("alpha", bundle, test_policy()).unwrap();
+    assert_eq!(lc.status("alpha").unwrap().state, RolloutState::Shadow);
+    lc.shutdown();
+}
+
+#[test]
+fn shadow_gates_canary_and_promote_swaps_live() {
+    let router = router_with("alpha", 11);
+    let lc = controller(&router);
+    // Same weights as the live model: agreement is exactly 1.0, so the
+    // gates are deterministic.
+    lc.begin("alpha", trained_bundle_seeded(11), test_policy())
+        .unwrap();
+    assert_eq!(LifecycleController::candidate_name("alpha"), "alpha.next");
+    assert!(
+        router.resolve("alpha.next").is_ok(),
+        "candidate pool registered for shadowing"
+    );
+
+    // Thin evidence never promotes.
+    match lc.advance("alpha") {
+        Err(LifecycleError::NotEligible { reason, .. }) => {
+            assert!(reason.contains("samples"), "{reason}");
+        }
+        other => panic!("expected NotEligible, got {other:?}"),
+    }
+
+    // Mirror until the sample floor is met; identical weights agree.
+    let status = drive_until(&lc, "alpha", |s| s.mirrored >= 8);
+    assert_eq!(status.state, RolloutState::Shadow);
+    assert!((status.agreement - 1.0).abs() < f64::EPSILON, "{status:?}");
+
+    lc.advance("alpha").unwrap();
+    assert_eq!(lc.status("alpha").unwrap().state, RolloutState::Canary);
+
+    // The canary slice answers (canary_fraction 1.0 routes everything).
+    let status = drive_until(&lc, "alpha", |s| s.canary_ok >= 4);
+    assert!(status.canary_routed >= status.canary_ok);
+    assert_eq!(status.canary_faults, 0);
+
+    lc.promote("alpha").unwrap();
+    assert_eq!(lc.status("alpha").unwrap().state, RolloutState::Live);
+    assert!(
+        router.resolve("alpha.next").is_err(),
+        "candidate pool retired after the live swap"
+    );
+    let info = router.list_models();
+    assert_eq!(info.len(), 1);
+    assert_eq!(info[0].version, 2, "promotion is a versioned reload");
+
+    // Demoting a live rollout swaps the previous bundle back.
+    lc.rollback("alpha", "post-promotion regression").unwrap();
+    let status = lc.status("alpha").unwrap();
+    assert_eq!(status.state, RolloutState::RolledBack);
+    let info = router.list_models();
+    assert_eq!(info[0].version, 3, "rollback is a versioned reload too");
+    // The model still serves after the whole journey.
+    lc.predict("alpha", request_graphs(1).remove(0)).unwrap();
+    lc.shutdown();
+}
+
+fn scratch_journal(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "deepmap-lifecycle-test-{}-{tag}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("rollouts.journal")
+}
+
+#[test]
+fn journal_resumes_midflight_rollout_and_salvages_torn_tail() {
+    let path = scratch_journal("resume");
+    let _ = std::fs::remove_file(&path);
+    let config = LifecycleConfig {
+        journal_path: Some(path.clone()),
+        ..LifecycleConfig::default()
+    };
+
+    // First controller begins a rollout and stops uncleanly: no terminal
+    // transition is ever journaled.
+    {
+        let router = router_with("alpha", 11);
+        let lc = LifecycleController::new(Arc::clone(&router), config.clone()).unwrap();
+        lc.begin("alpha", trained_bundle_seeded(1234), test_policy())
+            .unwrap();
+        assert_eq!(lc.status("alpha").unwrap().state, RolloutState::Shadow);
+    }
+
+    // The crash tore the final record mid-write (no trailing newline).
+    {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        file.write_all(b"J1 0000002a deadbeef {\"kind\":\"transition\",\"tor")
+            .unwrap();
+    }
+
+    // A fresh process: new router (the model re-registered by the host),
+    // new controller — the journal alone carries the rollout.
+    let router = router_with("alpha", 11);
+    let lc = LifecycleController::new(Arc::clone(&router), config.clone()).unwrap();
+    let recovery = lc.recovery().clone();
+    assert!(
+        recovery.salvaged.is_some(),
+        "the torn tail was truncated, not fatal: {recovery:?}"
+    );
+    assert_eq!(recovery.rollouts, 1);
+    assert_eq!(recovery.resumed, 1, "{recovery:?}");
+    let status = lc.status("alpha").unwrap();
+    assert_eq!(status.state, RolloutState::Shadow, "resumed mid-flight");
+    assert!(
+        router.resolve("alpha.next").is_ok(),
+        "candidate pool rebuilt from the journaled bundle image"
+    );
+
+    // The resumed rollout is fully operable: measurements re-accumulate
+    // and the state machine drives on.
+    let status = drive_until(&lc, "alpha", |s| s.mirrored >= 8);
+    assert_eq!(status.state, RolloutState::Shadow);
+    lc.rollback("alpha", "recovery drill complete").unwrap();
+    lc.shutdown();
+    drop(lc);
+
+    // A third open replays the whole history to a terminal state: nothing
+    // to resume any more.
+    let router = router_with("alpha", 11);
+    let lc = LifecycleController::new(Arc::clone(&router), config).unwrap();
+    assert_eq!(lc.recovery().resumed, 0);
+    assert_eq!(
+        lc.status("alpha").unwrap().state,
+        RolloutState::RolledBack,
+        "terminal history is still queryable"
+    );
+    lc.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mirroring_sheds_under_pressure_instead_of_blocking() {
+    let router = router_with("alpha", 11);
+    // A one-slot mirror queue with a slow worker cadence: most taps shed.
+    let lc = LifecycleController::new(
+        Arc::clone(&router),
+        LifecycleConfig {
+            mirror_queue: 1,
+            tick: Duration::from_millis(200),
+            ..LifecycleConfig::default()
+        },
+    )
+    .unwrap();
+    lc.begin("alpha", trained_bundle_seeded(11), test_policy())
+        .unwrap();
+    let graphs = request_graphs(4);
+    let started = Instant::now();
+    for _ in 0..64 {
+        for graph in &graphs {
+            lc.predict("alpha", graph.clone()).unwrap();
+        }
+    }
+    // 256 predicts against a single-slot queue: the reply path never
+    // blocked on the mirror (generous bound — the predicts themselves
+    // dominate), and the backlog was shed, not queued.
+    assert!(
+        started.elapsed() < PATIENT,
+        "mirror tap must never block the reply path"
+    );
+    let status = lc.status("alpha").unwrap();
+    assert!(
+        status.mirror_shed > 0,
+        "a saturated queue sheds: {status:?}"
+    );
+    lc.shutdown();
+}
+
+#[cfg(feature = "fault-inject")]
+mod chaos {
+    use super::*;
+    use deepmap_serve::FaultPlan;
+
+    #[test]
+    fn canary_panics_mid_slice_auto_roll_back_with_zero_lost_requests() {
+        let router = router_with("alpha", 11);
+        let lc = controller(&router);
+        // The candidate serves cleanly through shadow, then starts
+        // panicking on every batch from sequence 48 — mid-canary-slice.
+        let plan = FaultPlan::new().panic_from(48);
+        lc.begin_chaos("alpha", trained_bundle_seeded(11), test_policy(), plan)
+            .unwrap();
+
+        let status = drive_until(&lc, "alpha", |s| s.mirrored >= 8);
+        assert_eq!(status.state, RolloutState::Shadow);
+        lc.advance("alpha").unwrap();
+
+        // Keep serving until the controller trips. Every client request
+        // must be answered — the live pool absorbs each canary fault.
+        let graphs = request_graphs(4);
+        let deadline = Instant::now() + PATIENT;
+        let mut answered = 0u64;
+        while lc.status("alpha").unwrap().state == RolloutState::Canary {
+            for graph in &graphs {
+                lc.predict("alpha", graph.clone())
+                    .expect("no client request may be lost to a dying canary");
+                answered += 1;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "canary never tripped after {answered} requests"
+            );
+        }
+
+        let status = lc.status("alpha").unwrap();
+        assert_eq!(
+            status.state,
+            RolloutState::RolledBack,
+            "a panicking canary is rolled back automatically: {status:?}"
+        );
+        assert!(status.reason.is_some(), "{status:?}");
+
+        // The worker tick retires the candidate pool; the live model is
+        // untouched throughout.
+        let deadline = Instant::now() + PATIENT;
+        while router.resolve("alpha.next").is_ok() {
+            assert!(Instant::now() < deadline, "candidate pool never retired");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(router.list_models()[0].version, 1, "live pool untouched");
+        lc.predict("alpha", graphs[0].clone()).unwrap();
+        lc.shutdown();
+    }
+}

@@ -17,10 +17,12 @@
 
 use crate::protocol::{
     append_trace_trailer, decode_error_body, decode_model_list, encode_batch_request,
-    encode_frame_v, encode_named_body, read_frame, ErrorCode, FrameType, WireError, WireModelInfo,
-    DEFAULT_MAX_FRAME, MAX_MODEL_NAME, WIRE_V1, WIRE_VERSION,
+    encode_frame_v, encode_named_body, read_frame, ErrorCode, FrameType, RolloutAction, WireError,
+    WireModelInfo, DEFAULT_MAX_FRAME, MAX_MODEL_NAME, WIRE_V1, WIRE_VERSION,
 };
 use deepmap_graph::Graph;
+use deepmap_lifecycle::{PromotionPolicy, RolloutStatus};
+use deepmap_obs::json::Json;
 use deepmap_serve::codec::{decode_prediction, encode_graph, Reader};
 use deepmap_serve::Prediction;
 use std::fmt;
@@ -394,6 +396,82 @@ impl NetClient {
         let reply = self.round_trip(FrameType::TraceDump, &body)?;
         let body = Self::expect(reply, FrameType::TraceDumpReply)?;
         Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+
+    /// Starts a rollout of `bundle_bytes` (a `DMB1` bundle image) as the
+    /// named model's candidate: the server registers it under
+    /// `<model>.next` and enters shadow mode under `policy` (admin frame;
+    /// `DMW2` connections only). Returns the rollout's post-begin status.
+    pub fn rollout_begin(
+        &mut self,
+        model: &str,
+        policy: &PromotionPolicy,
+        bundle_bytes: &[u8],
+    ) -> Result<RolloutStatus, ClientError> {
+        let mut payload = policy.encode();
+        payload.extend_from_slice(bundle_bytes);
+        self.rollout_op(model, RolloutAction::Begin, &payload)
+    }
+
+    /// Advances the named model's rollout from shadow to canary; the
+    /// server refuses ([`ErrorCode::RolloutRefused`]) when a promotion
+    /// gate is unmet, naming the gate in the message.
+    pub fn rollout_advance(&mut self, model: &str) -> Result<RolloutStatus, ClientError> {
+        self.rollout_op(model, RolloutAction::Advance, &[])
+    }
+
+    /// Promotes the named model's canary to live through the server's
+    /// probe-gated swap.
+    pub fn rollout_promote(&mut self, model: &str) -> Result<RolloutStatus, ClientError> {
+        self.rollout_op(model, RolloutAction::Promote, &[])
+    }
+
+    /// Rolls the named model's rollout back (any active state, or demotes
+    /// a live one back to its previous bundle). The reason, when
+    /// non-empty, is journaled with the transition.
+    pub fn rollout_abort(
+        &mut self,
+        model: &str,
+        reason: &str,
+    ) -> Result<RolloutStatus, ClientError> {
+        self.rollout_op(model, RolloutAction::Rollback, reason.as_bytes())
+    }
+
+    /// Fetches the named model's rollout status (admin frame; `DMW2`
+    /// connections only).
+    pub fn rollout_status(&mut self, model: &str) -> Result<RolloutStatus, ClientError> {
+        if self.wire_version == WIRE_V1 {
+            return Err(ClientError::DialectMismatch("rollout_status".to_string()));
+        }
+        let body = self.named("rollout_status", model, &[])?;
+        let reply = self.round_trip(FrameType::RolloutStatus, &body)?;
+        let body = Self::expect(reply, FrameType::RolloutStatusReply)?;
+        Self::decode_rollout_status(&body)
+    }
+
+    fn rollout_op(
+        &mut self,
+        model: &str,
+        action: RolloutAction,
+        payload: &[u8],
+    ) -> Result<RolloutStatus, ClientError> {
+        if self.wire_version == WIRE_V1 {
+            return Err(ClientError::DialectMismatch("rollout".to_string()));
+        }
+        let mut rest = Vec::with_capacity(1 + payload.len());
+        rest.push(action as u8);
+        rest.extend_from_slice(payload);
+        let body = self.named("rollout", model, &rest)?;
+        let reply = self.round_trip(FrameType::Rollout, &body)?;
+        let body = Self::expect(reply, FrameType::RolloutReply)?;
+        Self::decode_rollout_status(&body)
+    }
+
+    fn decode_rollout_status(body: &[u8]) -> Result<RolloutStatus, ClientError> {
+        let bad = |what: &str| ClientError::Wire(WireError::BadBody(what.to_string()));
+        let text = std::str::from_utf8(body).map_err(|_| bad("rollout status is not utf-8"))?;
+        let json = Json::parse(text).map_err(|e| bad(&format!("rollout status json: {e}")))?;
+        RolloutStatus::from_json(&json).ok_or_else(|| bad("rollout status fields missing"))
     }
 
     /// Asks the server to drain gracefully. The server acknowledges and

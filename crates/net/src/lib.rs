@@ -38,6 +38,15 @@
 //! append a trailer send byte-identical frames and hit the exact same
 //! decode path as before.
 //!
+//! PR 10 attaches the model lifecycle controller to the edge
+//! ([`NetServer::start_lifecycle`]): predict frames feed the controller's
+//! shadow mirror and canary slice — with automatic live-pool retry when a
+//! canary faults, so no client request is ever lost to a dying candidate
+//! — and the admin-gated [`FrameType::Rollout`] /
+//! [`FrameType::RolloutStatus`] frames drive shadow → canary → live
+//! promotions (and rollbacks) over the wire
+//! ([`NetClient::rollout_begin`] and friends).
+//!
 //! The engine's fast-fail taxonomy crosses the wire intact: admission
 //! rejections, queue-full, breaker-open, deadline, and worker-panic
 //! failures each map to their own [`ErrorCode`], so a remote client can
@@ -53,8 +62,8 @@ pub mod server;
 
 pub use client::{ClientError, NetClient, RemoteHealth, ServerReject};
 pub use protocol::{
-    append_trace_trailer, split_trace_trailer, ErrorCode, FrameType, WireError, WireModelInfo,
-    DEFAULT_MAX_FRAME, MAX_MODEL_NAME, TRACE_TRAILER_LEN, TRACE_TRAILER_MAGIC, WIRE_V1,
-    WIRE_VERSION,
+    append_trace_trailer, split_trace_trailer, ErrorCode, FrameType, RolloutAction, WireError,
+    WireModelInfo, DEFAULT_MAX_FRAME, MAX_MODEL_NAME, TRACE_TRAILER_LEN, TRACE_TRAILER_MAGIC,
+    WIRE_V1, WIRE_VERSION,
 };
 pub use server::{NetConfig, NetMetricsSnapshot, NetServer, NetStats, DEFAULT_MODEL_NAME};

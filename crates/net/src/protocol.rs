@@ -56,7 +56,7 @@ pub const DEFAULT_MAX_FRAME: u32 = 8 * 1024 * 1024;
 /// registration limit. Checked before the name is even sliced out.
 pub const MAX_MODEL_NAME: usize = 128;
 
-/// Every frame type the protocol defines. Requests are `0x01..=0x08`,
+/// Every frame type the protocol defines. Requests are `0x01..=0x0A`,
 /// replies have the high bit set; `0xEE` is the error reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -81,6 +81,14 @@ pub enum FrameType {
     /// Pull the flight recorder (v2 body: `name` — empty name dumps the
     /// whole tenancy; admin-gated, v2 only).
     TraceDump = 0x08,
+    /// Drive a model rollout (body: `name | u8 action | action payload`;
+    /// for [`RolloutAction::Begin`] the payload is a 56-byte promotion
+    /// policy followed by a `DMB1`/`DMB2` candidate bundle image, for
+    /// [`RolloutAction::Rollback`] an optional utf-8 reason; admin-gated,
+    /// v2 only).
+    Rollout = 0x09,
+    /// Query a model's rollout status (body: `name`; admin-gated, v2 only).
+    RolloutStatus = 0x0A,
     /// Reply to [`FrameType::Predict`] (body: encoded prediction).
     PredictReply = 0x81,
     /// Reply to [`FrameType::PredictBatch`] (body: per-item tagged results).
@@ -98,6 +106,11 @@ pub enum FrameType {
     /// Reply to [`FrameType::TraceDump`] (body: JSONL request records,
     /// utf-8, one per line).
     TraceDumpReply = 0x88,
+    /// Reply to [`FrameType::Rollout`] (body: rollout status JSON, utf-8).
+    RolloutReply = 0x89,
+    /// Reply to [`FrameType::RolloutStatus`] (body: rollout status JSON,
+    /// utf-8).
+    RolloutStatusReply = 0x8A,
     /// Error reply to any request (body: `u16 code | utf-8 message`).
     Error = 0xEE,
 }
@@ -114,6 +127,8 @@ impl FrameType {
             0x06 => Some(FrameType::ListModels),
             0x07 => Some(FrameType::Reload),
             0x08 => Some(FrameType::TraceDump),
+            0x09 => Some(FrameType::Rollout),
+            0x0A => Some(FrameType::RolloutStatus),
             0x81 => Some(FrameType::PredictReply),
             0x82 => Some(FrameType::PredictBatchReply),
             0x83 => Some(FrameType::HealthReply),
@@ -122,6 +137,8 @@ impl FrameType {
             0x86 => Some(FrameType::ListModelsReply),
             0x87 => Some(FrameType::ReloadReply),
             0x88 => Some(FrameType::TraceDumpReply),
+            0x89 => Some(FrameType::RolloutReply),
+            0x8A => Some(FrameType::RolloutStatusReply),
             0xEE => Some(FrameType::Error),
             _ => None,
         }
@@ -173,6 +190,45 @@ pub enum ErrorCode {
     /// An admin frame arrived but the server was started without
     /// `allow_admin`.
     AdminDisabled = 17,
+    /// The lifecycle controller refused the rollout operation (no rollout,
+    /// one already in flight, wrong state, promotion gates unmet, or a
+    /// malformed policy) — the message spells out which.
+    RolloutRefused = 18,
+}
+
+/// The operation byte inside a [`FrameType::Rollout`] request body,
+/// following the length-prefixed model name.
+///
+/// - [`RolloutAction::Begin`]: the rest of the body is the 56-byte
+///   [`deepmap_lifecycle::PromotionPolicy`] wire image followed by the
+///   candidate bundle image.
+/// - [`RolloutAction::Advance`] / [`RolloutAction::Promote`]: no payload.
+/// - [`RolloutAction::Rollback`]: the rest of the body is an optional
+///   utf-8 reason string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RolloutAction {
+    /// Start a rollout: register the candidate and enter shadow mode.
+    Begin = 0,
+    /// Shadow → canary, gated on the promotion policy.
+    Advance = 1,
+    /// Canary → live through the router's probe-gated swap.
+    Promote = 2,
+    /// Abort the rollout (from any active state, or demote a `Live` one).
+    Rollback = 3,
+}
+
+impl RolloutAction {
+    /// Parses an action byte; unknown values are `None`.
+    pub fn from_u8(byte: u8) -> Option<RolloutAction> {
+        match byte {
+            0 => Some(RolloutAction::Begin),
+            1 => Some(RolloutAction::Advance),
+            2 => Some(RolloutAction::Promote),
+            3 => Some(RolloutAction::Rollback),
+            _ => None,
+        }
+    }
 }
 
 impl ErrorCode {
@@ -196,6 +252,7 @@ impl ErrorCode {
             14 => ErrorCode::UnexpectedFrame,
             16 => ErrorCode::UnknownModel,
             17 => ErrorCode::AdminDisabled,
+            18 => ErrorCode::RolloutRefused,
             _ => ErrorCode::Internal,
         }
     }
@@ -236,6 +293,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::UnknownModel => "unknown-model",
             ErrorCode::AdminDisabled => "admin-disabled",
+            ErrorCode::RolloutRefused => "rollout-refused",
         };
         write!(f, "{name}")
     }
@@ -691,6 +749,8 @@ mod tests {
             FrameType::ListModels,
             FrameType::Reload,
             FrameType::TraceDump,
+            FrameType::Rollout,
+            FrameType::RolloutStatus,
             FrameType::PredictReply,
             FrameType::PredictBatchReply,
             FrameType::HealthReply,
@@ -699,6 +759,8 @@ mod tests {
             FrameType::ListModelsReply,
             FrameType::ReloadReply,
             FrameType::TraceDumpReply,
+            FrameType::RolloutReply,
+            FrameType::RolloutStatusReply,
             FrameType::Error,
         ] {
             assert_eq!(FrameType::from_u8(t as u8), Some(t));
@@ -815,7 +877,11 @@ mod tests {
         assert_eq!(decode_error_body(&forged).unwrap().0, ErrorCode::Internal);
         assert_eq!(decode_error_body(&[1]), Err(WireError::Truncated));
         // The DMW2 routing codes survive their own round trip.
-        for code in [ErrorCode::UnknownModel, ErrorCode::AdminDisabled] {
+        for code in [
+            ErrorCode::UnknownModel,
+            ErrorCode::AdminDisabled,
+            ErrorCode::RolloutRefused,
+        ] {
             let body = encode_error_body(code, "");
             assert_eq!(decode_error_body(&body).unwrap().0, code);
         }

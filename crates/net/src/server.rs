@@ -62,10 +62,11 @@
 
 use crate::protocol::{
     encode_error_body, encode_model_list, parse_header, split_named_body, split_trace_trailer,
-    ErrorCode, FrameHeader, FrameType, WireError, WireModelInfo, DEFAULT_MAX_FRAME, HEADER_LEN,
-    WIRE_V1, WIRE_VERSION,
+    ErrorCode, FrameHeader, FrameType, RolloutAction, WireError, WireModelInfo, DEFAULT_MAX_FRAME,
+    HEADER_LEN, WIRE_V1, WIRE_VERSION,
 };
 use deepmap_graph::Graph;
+use deepmap_lifecycle::{LifecycleController, LifecycleError, PromotionPolicy, POLICY_WIRE_LEN};
 use deepmap_obs::{now_micros, Counter, Gauge};
 use deepmap_router::{ModelConfig, ModelRouter, RouterConfig, RouterError, RouterStats};
 use deepmap_serve::codec::{decode_graph, encode_prediction};
@@ -216,6 +217,10 @@ impl NetMetrics {
 /// [`NetServer`] handle.
 struct Shared {
     router: Arc<ModelRouter>,
+    /// The rollout controller, when this edge serves lifecycle-managed
+    /// models: predict frames pass through its shadow mirror and canary
+    /// slice, and the `Rollout`/`RolloutStatus` admin frames drive it.
+    lifecycle: Option<Arc<LifecycleController>>,
     config: NetConfig,
     draining: AtomicBool,
     in_flight: AtomicUsize,
@@ -283,12 +288,36 @@ impl NetServer {
         addr: impl ToSocketAddrs,
         config: NetConfig,
     ) -> Result<NetServer, ServeError> {
+        Self::start_with_lifecycle(router, None, addr, config)
+    }
+
+    /// [`start_router`](NetServer::start_router) with a rollout controller
+    /// attached: predict frames feed the controller's shadow mirror and
+    /// canary slice (with automatic live-pool retry on candidate faults),
+    /// and the `Rollout` / `RolloutStatus` admin frames drive and observe
+    /// rollouts over the wire. The controller must wrap the same router.
+    pub fn start_lifecycle(
+        router: Arc<ModelRouter>,
+        lifecycle: Arc<LifecycleController>,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> Result<NetServer, ServeError> {
+        Self::start_with_lifecycle(router, Some(lifecycle), addr, config)
+    }
+
+    fn start_with_lifecycle(
+        router: Arc<ModelRouter>,
+        lifecycle: Option<Arc<LifecycleController>>,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> Result<NetServer, ServeError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let metrics = NetMetrics::new(&router);
         let shared = Arc::new(Shared {
             router,
+            lifecycle,
             config,
             draining: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
@@ -371,6 +400,12 @@ impl NetServer {
     /// while the server runs; new requests route to the new pools).
     pub fn router(&self) -> &Arc<ModelRouter> {
         &self.shared.router
+    }
+
+    /// The attached rollout controller, when the server was started with
+    /// [`NetServer::start_lifecycle`].
+    pub fn lifecycle(&self) -> Option<&Arc<LifecycleController>> {
+        self.shared.lifecycle.as_ref()
     }
 
     /// The default model's replica pool, if a default is set (for its
@@ -863,7 +898,13 @@ fn serve_frame(
             write_counted(shared, stream, v, FrameType::DrainReply, &[])?;
             Ok(false)
         }
-        FrameType::ListModels | FrameType::Reload | FrameType::TraceDump if v == WIRE_V1 => {
+        FrameType::ListModels
+        | FrameType::Reload
+        | FrameType::TraceDump
+        | FrameType::Rollout
+        | FrameType::RolloutStatus
+            if v == WIRE_V1 =>
+        {
             write_counted(
                 shared,
                 stream,
@@ -876,7 +917,11 @@ fn serve_frame(
             )?;
             Ok(true)
         }
-        FrameType::ListModels | FrameType::Reload | FrameType::TraceDump
+        FrameType::ListModels
+        | FrameType::Reload
+        | FrameType::TraceDump
+        | FrameType::Rollout
+        | FrameType::RolloutStatus
             if !shared.config.allow_admin =>
         {
             write_counted(
@@ -961,6 +1006,75 @@ fn serve_frame(
             }
             Ok(true)
         }
+        FrameType::Rollout => {
+            let (model, rest) = match split_named_body(body) {
+                Ok(split) => split,
+                Err(e) => {
+                    answer_wire_err(shared, stream, &e)?;
+                    return Ok(true);
+                }
+            };
+            match serve_rollout(shared, model, rest) {
+                Ok(status_json) => write_counted(
+                    shared,
+                    stream,
+                    v,
+                    FrameType::RolloutReply,
+                    status_json.as_bytes(),
+                )?,
+                Err((code, message)) => {
+                    if code == ErrorCode::BadBody {
+                        shared.metrics.frame_errors.inc();
+                    }
+                    write_counted(
+                        shared,
+                        stream,
+                        v,
+                        FrameType::Error,
+                        &encode_error_body(code, &message),
+                    )?;
+                }
+            }
+            Ok(true)
+        }
+        FrameType::RolloutStatus => {
+            let (model, _) = match split_named_body(body) {
+                Ok(split) => split,
+                Err(e) => {
+                    answer_wire_err(shared, stream, &e)?;
+                    return Ok(true);
+                }
+            };
+            let status = match &shared.lifecycle {
+                None => Err((
+                    ErrorCode::RolloutRefused,
+                    "this server runs without a lifecycle controller".to_string(),
+                )),
+                Some(lc) => lc
+                    .status(model)
+                    .map(|s| s.to_json().to_json())
+                    .map_err(|e| lifecycle_error_reply(&e)),
+            };
+            match status {
+                Ok(json) => write_counted(
+                    shared,
+                    stream,
+                    v,
+                    FrameType::RolloutStatusReply,
+                    json.as_bytes(),
+                )?,
+                Err((code, message)) => {
+                    write_counted(
+                        shared,
+                        stream,
+                        v,
+                        FrameType::Error,
+                        &encode_error_body(code, &message),
+                    )?;
+                }
+            }
+            Ok(true)
+        }
         FrameType::TraceDump => {
             let (model, _) = match split_named_body(body) {
                 Ok(split) => split,
@@ -1005,6 +1119,8 @@ fn serve_frame(
         | FrameType::ListModelsReply
         | FrameType::ReloadReply
         | FrameType::TraceDumpReply
+        | FrameType::RolloutReply
+        | FrameType::RolloutStatusReply
         | FrameType::Error => {
             // Reply-direction frames are never valid requests; answer and
             // keep the (still frame-aligned) connection.
@@ -1061,6 +1177,92 @@ impl Drop for InFlight<'_> {
 
 fn serve_error_reply(e: &ServeError) -> (ErrorCode, String) {
     (ErrorCode::from_serve_error(e), e.to_string())
+}
+
+/// The error frame a lifecycle failure is answered with. State-machine
+/// refusals (no rollout, one already active, wrong state, gates unmet,
+/// malformed policy) map to [`ErrorCode::RolloutRefused`] with the reason
+/// in the message; router failures reuse the router mapping; journal and
+/// corruption failures are internal.
+fn lifecycle_error_reply(e: &LifecycleError) -> (ErrorCode, String) {
+    match e {
+        LifecycleError::NoRollout(_)
+        | LifecycleError::RolloutActive(_)
+        | LifecycleError::BadState { .. }
+        | LifecycleError::NotEligible { .. }
+        | LifecycleError::BadPolicy(_) => (ErrorCode::RolloutRefused, e.to_string()),
+        LifecycleError::Router(re) => router_error_reply(re),
+        LifecycleError::Journal(_) | LifecycleError::Corrupt(_) => {
+            (ErrorCode::Internal, e.to_string())
+        }
+    }
+}
+
+/// Serves one `Rollout` admin frame: parses the action byte and its
+/// payload, drives the controller, and returns the post-action status
+/// JSON for the reply body.
+fn serve_rollout(shared: &Shared, model: &str, rest: &[u8]) -> Result<String, (ErrorCode, String)> {
+    let Some(lc) = &shared.lifecycle else {
+        return Err((
+            ErrorCode::RolloutRefused,
+            "this server runs without a lifecycle controller".to_string(),
+        ));
+    };
+    let Some((&action_byte, payload)) = rest.split_first() else {
+        return Err((
+            ErrorCode::BadBody,
+            "rollout body is missing its action byte".to_string(),
+        ));
+    };
+    let Some(action) = RolloutAction::from_u8(action_byte) else {
+        return Err((
+            ErrorCode::BadBody,
+            format!("unknown rollout action 0x{action_byte:02x}"),
+        ));
+    };
+    let outcome = match action {
+        RolloutAction::Begin => {
+            if payload.len() < POLICY_WIRE_LEN {
+                return Err((
+                    ErrorCode::BadBody,
+                    format!(
+                        "rollout-begin payload is {} bytes, needs at least the \
+                         {POLICY_WIRE_LEN}-byte policy",
+                        payload.len()
+                    ),
+                ));
+            }
+            let Some(policy) = PromotionPolicy::decode(&payload[..POLICY_WIRE_LEN]) else {
+                return Err((
+                    ErrorCode::BadBody,
+                    "malformed promotion policy image".to_string(),
+                ));
+            };
+            let bundle = ModelBundle::from_bytes(&payload[POLICY_WIRE_LEN..])
+                .map_err(|e| (ErrorCode::BadBody, format!("candidate bundle image: {e}")))?;
+            lc.begin(model, Arc::new(bundle), policy)
+        }
+        RolloutAction::Advance => lc.advance(model),
+        RolloutAction::Promote => lc.promote(model),
+        RolloutAction::Rollback => {
+            let reason = std::str::from_utf8(payload).map_err(|_| {
+                (
+                    ErrorCode::BadBody,
+                    "rollback reason is not utf-8".to_string(),
+                )
+            })?;
+            let reason = if reason.is_empty() {
+                "operator rollback over the wire"
+            } else {
+                reason
+            };
+            lc.rollback(model, reason)
+        }
+    };
+    outcome.map_err(|e| lifecycle_error_reply(&e))?;
+    lc.status(model)
+        .map(|s| s.to_json().to_json())
+        .map_err(|e| lifecycle_error_reply(&e))
 }
 
 /// The error frame a routing failure is answered with. A routing miss
@@ -1125,6 +1327,26 @@ fn predict_one(
 ) -> Result<(Prediction, Option<ReplyStamp>), (ErrorCode, String)> {
     let (graph, wire_trace) =
         decode_traced_graph(payload).map_err(|e| (ErrorCode::BadBody, e.to_string()))?;
+    if let Some(lc) = &shared.lifecycle {
+        // Off the reply path: a full mirror queue sheds the sample.
+        lc.mirror_tap(model, &graph);
+        if let Some(candidate) = lc.canary_target(model) {
+            if let Some(reply) = canary_attempt(
+                shared,
+                lc,
+                model,
+                &candidate,
+                &graph,
+                wire_trace,
+                accepted_us,
+            ) {
+                return Ok(reply);
+            }
+            // Candidate failed or vanished: the fault is reported to the
+            // controller and the live pool answers below — the client
+            // never loses its request to a dying canary.
+        }
+    }
     // Resolve before submit: the Arc clone keeps this model's pool alive
     // for the whole request even if a reload swaps the registry entry.
     let engine = shared
@@ -1149,6 +1371,54 @@ fn predict_one(
     ))
 }
 
+/// Tries to answer one predict request from the canary slice. `None`
+/// means "answer from the live pool instead" — every candidate failure is
+/// reported to the controller (burning its fault budget when it is an
+/// infrastructure fault) and then retried on the live pool by the caller,
+/// so a panicking or timing-out canary never costs a client its answer.
+fn canary_attempt(
+    shared: &Shared,
+    lc: &LifecycleController,
+    model: &str,
+    candidate: &str,
+    graph: &Graph,
+    wire_trace: Option<u64>,
+    accepted_us: u64,
+) -> Option<(Prediction, Option<ReplyStamp>)> {
+    // Unresolvable candidate: the pool was already torn down after a trip;
+    // nothing to report, the live pool answers.
+    let engine = shared.router.resolve(candidate).ok()?;
+    // Edge backpressure is not a candidate fault; fall through without
+    // burning the budget (the live attempt will reserve its own slot and
+    // answer Busy if the edge really is full).
+    let _slot = InFlight::reserve(shared, 1).ok()?;
+    let handle = match engine.submit_traced(graph.clone(), None, edge_ctx(wire_trace, accepted_us))
+    {
+        Ok(handle) => handle,
+        Err(e) => {
+            lc.report_canary(model, Some(&e));
+            return None;
+        }
+    };
+    let trace_id = handle.trace_id();
+    match handle.wait_timeout(shared.config.reply_deadline) {
+        Ok(served) => {
+            lc.report_canary(model, None);
+            Some((
+                Prediction {
+                    class: served.class,
+                    scores: served.scores,
+                },
+                (trace_id != 0).then_some((engine, trace_id)),
+            ))
+        }
+        Err(e) => {
+            lc.report_canary(model, Some(&e));
+            None
+        }
+    }
+}
+
 /// Serves a batch frame: decodes every graph first (one bad graph fails
 /// the whole frame with `BadBody` — the sender's framing is broken), then
 /// submits all to the named model under one in-flight reservation and
@@ -1168,6 +1438,14 @@ fn predict_batch(
             decode_traced_graph(blob)
                 .map_err(|e| (ErrorCode::BadBody, format!("batch item {i}: {e}")))?,
         );
+    }
+    if let Some(lc) = &shared.lifecycle {
+        // Batch frames feed the shadow mirror but are not canary-routed:
+        // the canary slice is measured per request, and splitting a batch
+        // across pools would blur its latency attribution.
+        for (graph, _) in &graphs {
+            lc.mirror_tap(model, graph);
+        }
     }
     let engine = shared
         .router

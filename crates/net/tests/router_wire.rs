@@ -369,6 +369,92 @@ fn hot_reload_over_the_wire_swaps_the_model() {
 }
 
 #[test]
+fn reload_racing_a_drain_completes_atomically_or_fails_typed() {
+    // A hot reload in flight while the server drains must resolve one of
+    // three ways — a completed swap (Ok with the bumped version), a typed
+    // refusal frame, or a closed connection — and in every case the
+    // registry must come out whole: no half-built pool resident, none
+    // leaked. Run the race a few times to let either side win.
+    for round in 0..3u64 {
+        let config = NetConfig {
+            allow_admin: true,
+            drain_deadline: Duration::from_secs(10),
+            ..NetConfig::default()
+        };
+        let server = two_model_server(config);
+        let addr = server.local_addr();
+        let image = trained_bundle_seeded(77 + round).to_bytes();
+
+        let barrier = Arc::new(std::sync::Barrier::new(3));
+        let mut workers = Vec::new();
+        for _ in 0..2 {
+            let barrier = Arc::clone(&barrier);
+            let image = image.clone();
+            workers.push(std::thread::spawn(move || {
+                let admin = NetClient::connect(addr);
+                let mut admin = match admin {
+                    Ok(admin) => admin,
+                    Err(e) => return Err(e),
+                };
+                admin.set_read_timeout(PATIENT).unwrap();
+                barrier.wait();
+                admin.reload("alpha", &image)
+            }));
+        }
+        barrier.wait();
+        // Vary who wins the race: drain immediately, or after the reloads
+        // have had a moment to reach the router.
+        if round > 0 {
+            std::thread::sleep(Duration::from_millis(2 * round));
+        }
+        server.drain();
+
+        let mut completed = 0usize;
+        for worker in workers {
+            match worker.join().unwrap() {
+                Ok(version) => {
+                    assert!(version >= 2, "a completed reload bumps the version");
+                    completed += 1;
+                }
+                Err(ClientError::Server(reject)) => {
+                    // Typed refusal: the edge turned the request away.
+                    assert!(
+                        matches!(reject.code, ErrorCode::Draining | ErrorCode::Busy),
+                        "unexpected refusal {:?}: {}",
+                        reject.code,
+                        reject.message
+                    );
+                }
+                // The drain closed the connection under the request (or
+                // before it connected) — the reload never half-applied.
+                Err(ClientError::Io(_)) => {}
+                other => panic!("unexpected reload outcome {other:?}"),
+            }
+        }
+
+        // The registry is whole regardless of who won: alpha resolves and
+        // answers in-process (the edge is draining, the router is not).
+        let graph = request_graphs(1).remove(0);
+        server
+            .router()
+            .predict("alpha", graph)
+            .expect("alpha serves after the race");
+
+        let stats = server.shutdown();
+        assert!(
+            stats.router.reloads as usize >= completed,
+            "every client-visible Ok was a real swap ({} reloads, {completed} acks)",
+            stats.router.reloads
+        );
+        assert_eq!(stats.router.pools_joined, stats.router.pools_retired);
+        assert_eq!(
+            stats.router.pools_leaked, 0,
+            "round {round}: no half-built pool leaked"
+        );
+    }
+}
+
+#[test]
 fn overlong_name_body_with_padding_never_reaches_the_router() {
     // Variant of the hostile-length case: the body actually carries the
     // declared bytes, so a naive server would allocate and route a 64 KiB

@@ -1,0 +1,485 @@
+//! Append-only JSONL journals with typed errors and torn-tail salvage.
+//!
+//! Two subsystems keep crash-safe request/run logs: the bench crate's
+//! fold journal (PR 1, checkpoint/resume for table runs) and the model
+//! lifecycle controller's rollout journal. Both need the same machinery —
+//! open-or-truncate, append one JSON record per line, flush so a kill
+//! right after the call loses nothing, and survive reopening a file whose
+//! final record was torn by a mid-write kill. This module hosts that
+//! machinery once, in two framings:
+//!
+//! - [`Framing::Plain`] — one bare JSON object per line. A line that does
+//!   not parse is *skipped* on replay (counted, never fatal). This is the
+//!   PR 1 bench-journal format, unchanged byte for byte.
+//! - [`Framing::Checked`] — each line is length-prefixed and checksummed:
+//!
+//!   ```text
+//!   J1 <len:8 lowercase hex> <crc32:8 lowercase hex> <json>\n
+//!   ```
+//!
+//!   where `len` is the byte length of `<json>` and `crc32` is the
+//!   IEEE CRC-32 of those bytes. On replay the file is scanned record by
+//!   record; at the first damaged record the file is **truncated back to
+//!   the end of the last intact record** (the salvage is reported in
+//!   [`Replay::salvaged`]) and appending resumes from there. A torn
+//!   final record is therefore recovered, not fatal — the crash-safety
+//!   contract the lifecycle journal needs.
+//!
+//! Appends take the file mutex, so a journal can be shared across
+//! threads; [`Journal::append_sync`] additionally fsyncs, for records
+//! (like lifecycle state transitions) that must survive power loss, not
+//! just a process kill.
+
+use crate::json::Json;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// How records are laid out on disk. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// Bare JSON per line; damaged lines are skipped on replay.
+    Plain,
+    /// `J1 <len> <crc32> <json>` per line; a damaged tail is truncated
+    /// away (salvage) on replay.
+    Checked,
+}
+
+/// A journal operation that failed, typed so callers can distinguish
+/// filesystem trouble from a structurally damaged journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// A record could not be encoded (the JSON serialised to something
+    /// containing a raw newline — impossible for [`Json`] values, kept
+    /// typed rather than panicking).
+    Unencodable {
+        /// Why the record was refused.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal io: {e}"),
+            JournalError::Unencodable { reason } => {
+                write!(f, "record cannot be journaled: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Unencodable { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// What a truncating salvage removed from a damaged journal tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Salvage {
+    /// File size the journal was truncated back to (end of the last
+    /// intact record).
+    pub kept_bytes: u64,
+    /// Bytes discarded after that point.
+    pub dropped_bytes: u64,
+}
+
+/// The result of replaying an existing journal on open.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Every intact record, in append order.
+    pub records: Vec<Json>,
+    /// Damaged lines skipped ([`Framing::Plain`] only; `Checked` journals
+    /// truncate instead of skipping).
+    pub skipped_lines: usize,
+    /// Present when a damaged tail was truncated away
+    /// ([`Framing::Checked`] only).
+    pub salvaged: Option<Salvage>,
+}
+
+/// An append-only JSONL journal. Cheap to share behind an `Arc`; appends
+/// serialise on an internal mutex.
+pub struct Journal {
+    file: Mutex<File>,
+    framing: Framing,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens the journal at `path`, creating parent directories as
+    /// needed. With `resume` set, existing records are replayed (and a
+    /// damaged `Checked` tail truncated away) and new appends land after
+    /// them; without it any existing file is truncated and the replay is
+    /// empty.
+    pub fn open(
+        path: &Path,
+        framing: Framing,
+        resume: bool,
+    ) -> Result<(Journal, Replay), JournalError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut replay = Replay::default();
+        if resume && path.exists() {
+            let bytes = std::fs::read(path)?;
+            let salvage_at = replay_bytes(&bytes, framing, &mut replay);
+            if let Some(keep) = salvage_at {
+                replay.salvaged = Some(Salvage {
+                    kept_bytes: keep,
+                    dropped_bytes: bytes.len() as u64 - keep,
+                });
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .append(false)
+            .truncate(!resume)
+            .open(path)?;
+        if resume {
+            if let Some(salvage) = &replay.salvaged {
+                // Truncate the damaged tail so the next append starts a
+                // clean record; fsync so the repair itself is durable.
+                file.set_len(salvage.kept_bytes)?;
+                file.sync_all()?;
+            }
+        }
+        use std::io::Seek;
+        let mut file = file;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok((
+            Journal {
+                file: Mutex::new(file),
+                framing,
+                path: path.to_path_buf(),
+            },
+            replay,
+        ))
+    }
+
+    /// Where this journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The framing this journal was opened with.
+    pub fn framing(&self) -> Framing {
+        self.framing
+    }
+
+    /// Appends one record and flushes it — a process kill after this call
+    /// returns loses nothing (the OS still holds the page; see
+    /// [`Journal::append_sync`] for power-loss durability).
+    pub fn append(&self, record: &Json) -> Result<(), JournalError> {
+        self.write_record(record, false)
+    }
+
+    /// Appends one record, flushes, and fsyncs the file. Use for records
+    /// that must not be lost even to power failure (e.g. lifecycle state
+    /// transitions).
+    pub fn append_sync(&self, record: &Json) -> Result<(), JournalError> {
+        self.write_record(record, true)
+    }
+
+    /// Fsyncs everything appended so far.
+    pub fn sync(&self) -> Result<(), JournalError> {
+        let file = lock_ok(&self.file);
+        file.sync_all()?;
+        Ok(())
+    }
+
+    fn write_record(&self, record: &Json, sync: bool) -> Result<(), JournalError> {
+        let body = record.to_json();
+        if body.contains('\n') {
+            return Err(JournalError::Unencodable {
+                reason: "serialised record contains a raw newline".to_string(),
+            });
+        }
+        let line = match self.framing {
+            Framing::Plain => format!("{body}\n"),
+            Framing::Checked => {
+                let bytes = body.as_bytes();
+                format!("J1 {:08x} {:08x} {body}\n", bytes.len(), crc32(bytes))
+            }
+        };
+        let mut file = lock_ok(&self.file);
+        file.write_all(line.as_bytes())?;
+        file.flush()?;
+        if sync {
+            file.sync_all()?;
+        }
+        Ok(())
+    }
+}
+
+/// Replays `bytes`, filling `replay.records`/`skipped_lines`. Returns
+/// `Some(offset)` when a `Checked` journal must be truncated back to
+/// `offset` (first damaged record), `None` when the whole file is intact.
+fn replay_bytes(bytes: &[u8], framing: Framing, replay: &mut Replay) -> Option<u64> {
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        let (line, consumed, terminated) = match rest.iter().position(|&b| b == b'\n') {
+            Some(nl) => (&rest[..nl], nl + 1, true),
+            None => (rest, rest.len(), false),
+        };
+        match framing {
+            Framing::Plain => {
+                let intact = terminated
+                    && match std::str::from_utf8(line) {
+                        Ok(text) => {
+                            let text = text.trim();
+                            if text.is_empty() {
+                                offset += consumed;
+                                continue;
+                            }
+                            match Json::parse(text) {
+                                Ok(value) => {
+                                    replay.records.push(value);
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                        }
+                        Err(_) => false,
+                    };
+                if !intact {
+                    // Torn or hand-damaged line: skip it, keep reading.
+                    replay.skipped_lines += 1;
+                }
+                offset += consumed;
+            }
+            Framing::Checked => match parse_checked_line(line, terminated) {
+                Some(value) => {
+                    replay.records.push(value);
+                    offset += consumed;
+                }
+                // First damaged record: everything from here on is
+                // untrustworthy — truncate back to the last intact one.
+                None => return Some(offset as u64),
+            },
+        }
+    }
+    None
+}
+
+/// Parses one `J1 <len> <crc> <json>` line; `None` means damaged.
+fn parse_checked_line(line: &[u8], terminated: bool) -> Option<Json> {
+    if !terminated {
+        return None;
+    }
+    let text = std::str::from_utf8(line).ok()?;
+    let rest = text.strip_prefix("J1 ")?;
+    let len_hex = rest.get(..8)?;
+    let rest = rest.get(8..)?.strip_prefix(' ')?;
+    let crc_hex = rest.get(..8)?;
+    let body = rest.get(8..)?.strip_prefix(' ')?;
+    let len = usize::from_str_radix(len_hex, 16).ok()?;
+    let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    if body.len() != len || crc32(body.as_bytes()) != crc {
+        return None;
+    }
+    Json::parse(body).ok()
+}
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    });
+    let mut crc = u32::MAX;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+fn lock_ok<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("deepmap-obs-journal-{tag}-{}", std::process::id()))
+    }
+
+    fn rec(i: u64) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("test".into())),
+            ("i".into(), Json::Num(i as f64)),
+        ])
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn plain_roundtrip_and_skip() {
+        let path = tmp_path("plain");
+        {
+            let (journal, replay) = Journal::open(&path, Framing::Plain, false).unwrap();
+            assert!(replay.records.is_empty());
+            journal.append(&rec(0)).unwrap();
+            journal.append(&rec(1)).unwrap();
+        }
+        // Damage the middle by appending garbage then one more good record.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .write_all(b"{torn garbage\n")
+            .unwrap();
+        {
+            let (journal, replay) = Journal::open(&path, Framing::Plain, true).unwrap();
+            assert_eq!(replay.records.len(), 2);
+            assert_eq!(replay.skipped_lines, 1);
+            assert!(replay.salvaged.is_none());
+            journal.append(&rec(2)).unwrap();
+        }
+        let (_, replay) = Journal::open(&path, Framing::Plain, true).unwrap();
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.skipped_lines, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checked_roundtrip() {
+        let path = tmp_path("checked");
+        {
+            let (journal, _) = Journal::open(&path, Framing::Checked, false).unwrap();
+            journal.append(&rec(0)).unwrap();
+            journal.append_sync(&rec(1)).unwrap();
+        }
+        let (_, replay) = Journal::open(&path, Framing::Checked, true).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(replay.salvaged.is_none());
+        assert_eq!(replay.records[1].get("i").unwrap().as_u64(), Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checked_torn_tail_is_truncated_and_salvaged() {
+        let path = tmp_path("torn");
+        {
+            let (journal, _) = Journal::open(&path, Framing::Checked, false).unwrap();
+            journal.append(&rec(0)).unwrap();
+            journal.append(&rec(1)).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let first_nl = full.iter().position(|&b| b == b'\n').unwrap();
+        let keep = first_nl + 1;
+        // Kill mid-write: the second record stops partway through.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let (journal, replay) = Journal::open(&path, Framing::Checked, true).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        let salvage = replay.salvaged.expect("tail should be salvaged");
+        assert_eq!(salvage.kept_bytes, keep as u64);
+        assert!(salvage.dropped_bytes > 0);
+        // The file was physically truncated and appending resumes clean.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep as u64);
+        journal.append(&rec(2)).unwrap();
+        drop(journal);
+        let (_, replay) = Journal::open(&path, Framing::Checked, true).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(replay.salvaged.is_none());
+        assert_eq!(replay.records[1].get("i").unwrap().as_u64(), Some(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checked_corrupt_crc_truncates_from_damage() {
+        let path = tmp_path("crc");
+        {
+            let (journal, _) = Journal::open(&path, Framing::Checked, false).unwrap();
+            journal.append(&rec(0)).unwrap();
+            journal.append(&rec(1)).unwrap();
+            journal.append(&rec(2)).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        // Flip a byte inside the second record's JSON body.
+        bytes[first_nl + 25] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replay) = Journal::open(&path, Framing::Checked, true).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.salvaged.is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fresh_open_truncates() {
+        let path = tmp_path("trunc");
+        {
+            let (journal, _) = Journal::open(&path, Framing::Checked, false).unwrap();
+            journal.append(&rec(0)).unwrap();
+        }
+        let (_, replay) = Journal::open(&path, Framing::Checked, false).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_appends_all_land() {
+        let path = tmp_path("concurrent");
+        let (journal, _) = Journal::open(&path, Framing::Checked, false).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let journal = &journal;
+                scope.spawn(move || {
+                    for i in 0..8 {
+                        journal.append(&rec(t * 8 + i)).unwrap();
+                    }
+                });
+            }
+        });
+        drop(journal);
+        let (_, replay) = Journal::open(&path, Framing::Checked, true).unwrap();
+        assert_eq!(replay.records.len(), 32);
+        assert!(replay.salvaged.is_none());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -25,6 +25,7 @@
 
 #![deny(missing_docs)]
 
+pub mod journal;
 pub mod json;
 mod level;
 pub mod metrics;
@@ -34,6 +35,7 @@ mod span;
 pub mod time;
 pub mod trace;
 
+pub use journal::{Framing, Journal, JournalError, Replay, Salvage};
 pub use level::TraceLevel;
 pub use metrics::{Bucket, Counter, Gauge, Histogram};
 pub use registry::{EventLevel, EventRecord, Registry, StageSummary};

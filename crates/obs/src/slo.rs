@@ -102,7 +102,15 @@ impl SloTracker {
 
     /// Records one request outcome.
     pub fn observe(&self, good: bool) {
-        let second = self.epoch.elapsed().as_secs();
+        self.observe_at(self.epoch.elapsed().as_secs(), good);
+    }
+
+    /// Records one outcome into an explicit epoch-second bucket — the
+    /// injected-clock variant of [`SloTracker::observe`] the property
+    /// tests drive so window-boundary behavior is checkable without real
+    /// sleeps. Seconds must be fed in non-decreasing order (as the wall
+    /// clock would).
+    pub fn observe_at(&self, second: u64, good: bool) {
         {
             let mut buckets = lock_ok(&self.buckets);
             match buckets.back_mut() {
@@ -125,7 +133,7 @@ impl SloTracker {
             }
         }
         if self.fast_gauge.is_some() || self.slow_gauge.is_some() {
-            let (fast, slow) = self.burn_rates();
+            let (fast, slow) = self.burn_rates_at(second);
             if let Some(gauge) = &self.fast_gauge {
                 gauge.set((fast * 1000.0).round() as i64);
             }
@@ -138,7 +146,13 @@ impl SloTracker {
     /// `(fast, slow)` burn rates right now. With no traffic in a window
     /// its burn is 0.0 — silence does not spend budget.
     pub fn burn_rates(&self) -> (f64, f64) {
-        let now = self.epoch.elapsed().as_secs();
+        self.burn_rates_at(self.epoch.elapsed().as_secs())
+    }
+
+    /// `(fast, slow)` burn rates as seen from an explicit epoch second —
+    /// the injected-clock variant of [`SloTracker::burn_rates`] paired
+    /// with [`SloTracker::observe_at`].
+    pub fn burn_rates_at(&self, now: u64) -> (f64, f64) {
         let buckets = lock_ok(&self.buckets);
         let rate = |window: Duration| -> f64 {
             let horizon = now.saturating_sub(window.as_secs().max(1));

@@ -1,0 +1,152 @@
+//! Property tests for `SloTracker` burn-rate math at the edges: zero
+//! traffic, 100% error rate, and window boundaries. PR 8 shipped the
+//! tracker with example-based tests only; these pin the arithmetic over
+//! arbitrary traffic shapes via the injected-clock hooks
+//! (`observe_at` / `burn_rates_at`), so no test ever sleeps.
+
+use deepmap_obs::{SloConfig, SloTracker};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn config(budget: f64, fast: u64, slow: u64) -> SloConfig {
+    SloConfig {
+        latency_objective: Duration::from_millis(250),
+        error_budget: budget,
+        fast_window: Duration::from_secs(fast),
+        slow_window: Duration::from_secs(slow),
+    }
+}
+
+proptest! {
+    /// Silence never spends budget: with zero traffic the burn is exactly
+    /// 0.0 at any observation point, for any window/budget shape.
+    #[test]
+    fn zero_traffic_burns_nothing(
+        now in 0u64..100_000,
+        budget in 0.0f64..=1.0,
+        fast in 1u64..120,
+        slow in 1u64..600,
+    ) {
+        let tracker = SloTracker::new(config(budget, fast, slow));
+        let (f, s) = tracker.burn_rates_at(now);
+        prop_assert_eq!(f, 0.0);
+        prop_assert_eq!(s, 0.0);
+        prop_assert!(!tracker.breached());
+    }
+
+    /// All-bad traffic burns at exactly `1 / error_budget` in every
+    /// window that saw it — the 100% error rate edge.
+    #[test]
+    fn total_failure_burns_inverse_budget(
+        n in 1u64..500,
+        budget in 0.001f64..=1.0,
+        fast in 1u64..60,
+        slow in 60u64..300,
+    ) {
+        let tracker = SloTracker::new(config(budget, fast, slow));
+        for i in 0..n {
+            // Spread across a few seconds, all within the fast window.
+            tracker.observe_at(i % fast.min(5), false);
+        }
+        let now = fast.min(5) - 1;
+        let (f, s) = tracker.burn_rates_at(now);
+        let want = 1.0 / budget;
+        prop_assert!((f - want).abs() < 1e-9, "fast burn {f} != {want}");
+        prop_assert!((s - want).abs() < 1e-9, "slow burn {s} != {want}");
+    }
+
+    /// A zero (or negative) error budget never divides by zero: burn is
+    /// defined as 0.0 no matter how bad the traffic.
+    #[test]
+    fn degenerate_budget_is_not_a_division(
+        n in 1u64..100,
+        budget in -1.0f64..=0.0,
+    ) {
+        let tracker = SloTracker::new(config(budget, 10, 60));
+        for _ in 0..n {
+            tracker.observe_at(0, false);
+        }
+        let (f, s) = tracker.burn_rates_at(0);
+        prop_assert_eq!(f, 0.0);
+        prop_assert_eq!(s, 0.0);
+    }
+
+    /// Window boundary: bad traffic at second 0 is visible while `now`
+    /// keeps it inside the window and invisible one second after it
+    /// falls out. The tracker's window at time `now` covers seconds
+    /// `now - W ..= now` inclusive.
+    #[test]
+    fn window_boundary_is_exact(
+        window in 2u64..120,
+        bad in 1u64..50,
+    ) {
+        // Slow window same as fast so nothing is pruned early.
+        let tracker = SloTracker::new(config(0.5, window, window));
+        for _ in 0..bad {
+            tracker.observe_at(0, false);
+        }
+        // Inside the window (inclusive edge): the burn is visible.
+        let (f_edge, _) = tracker.burn_rates_at(window);
+        prop_assert!((f_edge - 2.0).abs() < 1e-9, "edge burn {f_edge} != 2.0");
+        // One second past the edge: the bucket falls out, burn drops to 0.
+        let (f_out, s_out) = tracker.burn_rates_at(window + 1);
+        prop_assert_eq!(f_out, 0.0);
+        prop_assert_eq!(s_out, 0.0);
+    }
+
+    /// Mixed traffic: burn equals `bad_fraction / budget` exactly, and
+    /// the fast window never sees traffic the slow window misses.
+    #[test]
+    fn burn_matches_bad_fraction(
+        good in 0u64..400,
+        bad in 0u64..400,
+        budget in 0.01f64..=0.5,
+    ) {
+        prop_assume!(good + bad > 0);
+        let tracker = SloTracker::new(config(budget, 10, 60));
+        for i in 0..good {
+            tracker.observe_at(i % 3, true);
+        }
+        for i in 0..bad {
+            tracker.observe_at(i % 3, false);
+        }
+        let (f, s) = tracker.burn_rates_at(3);
+        let want = (bad as f64 / (good + bad) as f64) / budget;
+        prop_assert!((f - want).abs() < 1e-9, "fast {f} != {want}");
+        prop_assert!((s - want).abs() < 1e-9, "slow {s} != {want}");
+        // Fast window ⊆ slow window at identical traffic.
+        prop_assert!((f - s).abs() < 1e-9);
+    }
+
+    /// Old buckets beyond the slow horizon are pruned on observe, but
+    /// pruning never changes what the windows report: replaying the same
+    /// stream through a tracker with a tiny slow window matches a direct
+    /// computation over the surviving seconds.
+    #[test]
+    fn pruning_preserves_window_sums(
+        seconds in proptest::collection::vec((0u64..2, any::<bool>()), 1..200),
+        slow in 2u64..30,
+    ) {
+        let tracker = SloTracker::new(config(0.1, 1, slow));
+        let mut stream: Vec<(u64, bool)> = seconds;
+        // Feed in non-decreasing second order, as the wall clock would.
+        let mut t = 0u64;
+        for (i, entry) in stream.iter_mut().enumerate() {
+            t += entry.0; // step 0 or 1 seconds forward
+            entry.0 = t;
+            let _ = i;
+        }
+        for &(second, good) in &stream {
+            tracker.observe_at(second, good);
+        }
+        let now = t;
+        let horizon = now.saturating_sub(slow);
+        let in_window: Vec<&(u64, bool)> =
+            stream.iter().filter(|(s, _)| *s >= horizon).collect();
+        let total = in_window.len() as f64;
+        let bad = in_window.iter().filter(|(_, g)| !*g).count() as f64;
+        let want = if total == 0.0 { 0.0 } else { (bad / total) / 0.1 };
+        let (_, s_burn) = tracker.burn_rates_at(now);
+        prop_assert!((s_burn - want).abs() < 1e-9, "slow {s_burn} != {want}");
+    }
+}

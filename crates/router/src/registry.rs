@@ -213,8 +213,10 @@ impl ModelRouter {
         if inner.default.is_none() {
             inner.default = Some(name.to_string());
         }
+        drop(inner); // sweep_retired re-locks; holding the guard would deadlock
         self.metrics.registrations.inc();
         self.metrics.models_resident.add(1);
+        self.sweep_retired();
         Ok(())
     }
 
@@ -249,8 +251,10 @@ impl ModelRouter {
         if inner.default.is_none() {
             inner.default = Some(name.to_string());
         }
+        drop(inner); // sweep_retired re-locks; holding the guard would deadlock
         self.metrics.registrations.inc();
         self.metrics.models_resident.add(1);
+        self.sweep_retired();
         Ok(())
     }
 
@@ -547,12 +551,25 @@ impl ModelRouter {
         }
     }
 
-    /// Joins every retired pool whose last in-flight user is gone. Called
-    /// opportunistically after lifecycle operations and in a loop by
-    /// [`shutdown`](ModelRouter::shutdown); cheap when there is nothing to
-    /// do. Joining happens outside the registry lock so routing never
-    /// blocks behind a pool teardown.
-    fn sweep_retired(&self) {
+    /// Pools retired but not yet joined — waiting on a still-in-flight
+    /// user. Every lifecycle operation (register, reload, unregister)
+    /// sweeps opportunistically, so over repeated hot swaps this converges
+    /// to 0 without anyone calling [`sweep_retired`](Self::sweep_retired)
+    /// by hand; a persistently non-zero backlog means some client is
+    /// sitting on an old pool's `Arc`.
+    pub fn retired_backlog(&self) -> usize {
+        self.lock().retired.len()
+    }
+
+    /// Joins every retired pool whose last in-flight user is gone and
+    /// returns how many pools were joined. Runs opportunistically on every
+    /// register/reload/unregister and in a loop by
+    /// [`shutdown`](ModelRouter::shutdown) — callers never *need* to
+    /// invoke it, but long-idle deployments that want a retired pool's
+    /// threads back before the next lifecycle operation may. Cheap when
+    /// there is nothing to do; joining happens outside the registry lock
+    /// so routing never blocks behind a pool teardown.
+    pub fn sweep_retired(&self) -> usize {
         let ready: Vec<Retired> = {
             let mut inner = self.lock();
             let mut ready = Vec::new();
@@ -570,12 +587,14 @@ impl ModelRouter {
             inner.retired = keep;
             ready
         };
+        let mut joined = 0usize;
         for retired in ready {
             match Arc::try_unwrap(retired.engine) {
                 Ok(mut engine) => {
                     let threads = engine.thread_count();
                     engine.shutdown();
                     debug_assert_eq!(engine.thread_count(), 0);
+                    joined += 1;
                     self.metrics.pools_joined.inc();
                     self.metrics.threads_joined.add(threads as u64);
                     deepmap_obs::event(
@@ -598,6 +617,7 @@ impl ModelRouter {
                 }
             }
         }
+        joined
     }
 
     /// Builds a pool from `bundle` under `config` and gates it behind the
@@ -694,8 +714,10 @@ impl ModelRouter {
         if inner.default.is_none() {
             inner.default = Some(name.to_string());
         }
+        drop(inner); // sweep_retired re-locks; holding the guard would deadlock
         self.metrics.registrations.inc();
         self.metrics.models_resident.add(1);
+        self.sweep_retired();
         Ok(())
     }
 }

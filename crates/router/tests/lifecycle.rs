@@ -292,6 +292,68 @@ fn per_model_precision_is_part_of_the_serving_policy() {
 }
 
 #[test]
+fn repeated_hot_swaps_sweep_retired_pools_without_manual_sweeping() {
+    let router = ModelRouter::new(RouterConfig::default());
+    let v1 = trained_bundle(11);
+    let v2 = trained_bundle(1234);
+    router
+        .register("live", Arc::clone(&v1), ModelConfig::default())
+        .unwrap();
+
+    // An in-flight user holds the pool's Arc across a swap: the retired
+    // pool cannot be joined at the swap itself, so it sits in the backlog.
+    let held = router.resolve("live").unwrap();
+    router.reload("live", Arc::clone(&v2)).unwrap();
+    assert_eq!(
+        router.retired_backlog(),
+        1,
+        "a pool with an in-flight user must wait for its holder"
+    );
+    drop(held);
+
+    // Repeated hot swaps with no manual sweep: every reload sweeps
+    // opportunistically, so the backlog (including the pool the holder
+    // just released) never accumulates.
+    for i in 0..4 {
+        let bundle = if i % 2 == 0 {
+            Arc::clone(&v1)
+        } else {
+            Arc::clone(&v2)
+        };
+        router.reload("live", bundle).unwrap();
+        assert_eq!(
+            router.retired_backlog(),
+            0,
+            "reload {i} left unjoined pools behind"
+        );
+    }
+
+    // register() sweeps too: park another stale pool, then watch a plain
+    // registration collect it.
+    let held = router.resolve("live").unwrap();
+    router.reload("live", Arc::clone(&v1)).unwrap();
+    assert_eq!(router.retired_backlog(), 1);
+    drop(held);
+    router
+        .register("sibling", Arc::clone(&v2), ModelConfig::default())
+        .unwrap();
+    assert_eq!(
+        router.retired_backlog(),
+        0,
+        "register must sweep the stale pool"
+    );
+
+    // The explicit sweep remains available but has nothing left to do.
+    assert_eq!(router.sweep_retired(), 0);
+
+    // The books balance without shutdown() having had to catch strays:
+    // every retired pool was already joined when the audit runs.
+    let stats = router.shutdown();
+    assert_eq!(stats.pools_joined, stats.pools_retired);
+    assert_eq!(stats.pools_leaked, 0);
+}
+
+#[test]
 fn per_model_metrics_render_without_aliasing() {
     let router = ModelRouter::new(RouterConfig::default());
     let alpha = trained_bundle(11);

@@ -84,7 +84,7 @@ echo "=== serve chaos smoke ==="
 # must trip on an exhausted budget and recover through its cool-down probe.
 # The feature-gated code also gets its own clippy pass, since the default
 # workspace lint run never compiles it.
-cargo clippy -p deepmap-serve -p deepmap-router -p deepmap-net -p deepmap-bench --features fault-inject --all-targets -- -D warnings
+cargo clippy -p deepmap-serve -p deepmap-router -p deepmap-lifecycle -p deepmap-net -p deepmap-bench --features fault-inject --all-targets -- -D warnings
 cargo test -q --release -p deepmap-serve --features fault-inject
 
 echo "=== net smoke ==="
@@ -142,6 +142,24 @@ test -s results/BENCH_resilience.json
 grep -q '"bench": *"resilience"' results/BENCH_resilience.json
 grep -q '"hung_requests": *0' results/BENCH_resilience.json
 grep -q '"deterministic": *true' results/BENCH_resilience.json
+
+echo "=== lifecycle bench smoke ==="
+# lifecycle_bench --smoke walks a candidate bundle through shadow → canary
+# → live over the wire while client threads hammer the server, forces a
+# canary that panics mid-slice to auto-roll-back, and kill-9s a controller
+# mid-rollout to prove the CRC journal salvages its torn tail and resumes.
+# It exits non-zero unless zero client requests failed across both load
+# scenarios; the greps pin the recorded verdicts. The rollout state-machine
+# suite (including the chaos rollback test) rides the feature-gated run.
+rm -f results/BENCH_lifecycle.json
+cargo run --release -p deepmap-bench --features fault-inject --bin lifecycle_bench -- --smoke
+test -s results/BENCH_lifecycle.json
+grep -q '"bench": *"lifecycle"' results/BENCH_lifecycle.json
+grep -q '"failed_requests": *0' results/BENCH_lifecycle.json
+grep -q '"rolled_back": *true' results/BENCH_lifecycle.json
+grep -q '"journal_recovered": *true' results/BENCH_lifecycle.json
+grep -q '"torn_tail_salvaged": *true' results/BENCH_lifecycle.json
+cargo test -q --release -p deepmap-lifecycle --features fault-inject
 
 echo "=== request tracing smoke ==="
 # trace_bench interleaves the same request stream through a traced and an

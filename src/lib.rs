@@ -16,6 +16,9 @@
 //! - [`serve`] — model bundles and the micro-batching inference server.
 //! - [`router`] — the multi-tenant model registry: named bundles behind
 //!   per-model replica pools, with zero-downtime hot reload.
+//! - [`lifecycle`] — safe rollout on top of the router: shadow
+//!   mirroring, policy-gated canary promotion with automatic rollback,
+//!   and a crash-safe rollout journal.
 //! - [`net`] — the hardened TCP front end speaking the `DMW2` wire
 //!   protocol (`DMW1` clients still served), with a matching blocking
 //!   client.
@@ -30,6 +33,7 @@ pub use deepmap_eval as eval;
 pub use deepmap_gnn as gnn;
 pub use deepmap_graph as graph;
 pub use deepmap_kernels as kernels;
+pub use deepmap_lifecycle as lifecycle;
 pub use deepmap_net as net;
 pub use deepmap_nn as nn;
 pub use deepmap_obs as obs;
